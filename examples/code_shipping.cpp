@@ -1,0 +1,84 @@
+// Code shipping (paper §6): "we are also very interested in exploiting TML
+// for other tasks in data-intensive applications, like code shipping in
+// distributed systems [Mathiske et al. 1995]".
+//
+// PTML makes compiled functions *mobile*: a producer system encodes a
+// function's TML tree to bytes; a consumer system — a different store, a
+// different VM — decodes them, re-optimizes for its own bindings, generates
+// code and runs.  Here the "wire" is a std::string; everything else is the
+// real pipeline.
+//
+// Build & run:  ./build/examples/code_shipping
+
+#include <cstdio>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "frontend/compile.h"
+#include "prims/standard.h"
+#include "store/ptml.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+int main() {
+  using namespace tml;
+
+  // ---- producer: compile a TL function and put its TML on the wire ----
+  std::string wire;
+  {
+    fe::CompileOptions copts;  // direct binding: a self-contained function
+    auto unit = fe::Compile(
+        "fun horner(x) ="
+        "  let a = array(3, -2, 0, 7, 1) in"  // 3x^4 - 2x^3 + 7x + 1
+        "  var acc := 0 in"
+        "  begin"
+        "    for i = 0 upto size(a) - 1 do acc := acc * x + a[i] end;"
+        "    acc"
+        "  end "
+        "end",
+        prims::StandardRegistry(), copts);
+    if (!unit.ok()) {
+      std::printf("%s\n", unit.status().ToString().c_str());
+      return 1;
+    }
+    const auto& fn = unit->functions[0];
+    wire = store::EncodePtml(*unit->module, fn.abs);
+    std::printf("producer: shipped 'horner' as %zu PTML bytes\n",
+                wire.size());
+  }
+
+  // ---- consumer: decode, optimize locally, compile, execute -----------
+  {
+    ir::Module m;
+    auto decoded = store::DecodePtml(&m, prims::StandardRegistry(), wire);
+    if (!decoded.ok()) {
+      std::printf("%s\n", decoded.status().ToString().c_str());
+      return 1;
+    }
+    if (!decoded->free_vars.empty()) {
+      std::printf("consumer: refusing code with unbound identifiers\n");
+      return 1;
+    }
+    const ir::Abstraction* prog = ir::Optimize(&m, decoded->abs);
+    vm::CodeUnit unit;
+    auto fn = vm::CompileProc(&unit, m, prog, "horner");
+    if (!fn.ok()) {
+      std::printf("%s\n", fn.status().ToString().c_str());
+      return 1;
+    }
+    vm::VM vm;
+    for (int64_t x : {0, 1, 2, 5}) {
+      vm::Value args[] = {vm::Value::Int(x)};
+      auto r = vm.Run(*fn, args);
+      if (!r.ok()) {
+        std::printf("%s\n", r.status().ToString().c_str());
+        return 1;
+      }
+      std::printf("consumer: horner(%lld) = %s\n",
+                  static_cast<long long>(x),
+                  vm::ToString(r->value).c_str());
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,96 @@
+// Persistent code: PTML records surviving process restarts.
+//
+// The paper's premise is that intermediate code is a *database object*: the
+// compiler back end attaches a compact persistent TML tree (PTML) to every
+// function, and the store keeps it durably next to the executable code and
+// the closure records.  This example writes a function's PTML to a store
+// file, "restarts" (reopens the file), decodes the tree back, optimizes it,
+// and runs it — code as data, across process lifetimes.
+//
+// Build & run:  ./build/examples/persistent_store
+
+#include <cstdio>
+#include <string>
+
+#include "core/optimizer.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "prims/standard.h"
+#include "store/object_store.h"
+#include "store/ptml.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+int main() {
+  using namespace tml;
+  const std::string path = "/tmp/tml_example_store.db";
+  std::remove(path.c_str());
+
+  Oid ptml_oid = kNullOid;
+  {
+    // --- process 1: compile a function and persist its TML tree --------
+    ir::Module m;
+    auto parsed = ir::ParseValueText(
+        &m, prims::StandardRegistry(),
+        "(proc (n ce cc)"
+        " (Y (proc (/ c0 for c)"
+        "      (c (cont () (for 1 0))"
+        "         (cont (i acc)"
+        "           (> i n"
+        "              (cont () (cc acc))"
+        "              (cont ()"
+        "                (+ acc i ce (cont (a2)"
+        "                  (+ i 1 ce (cont (t2) (for t2 a2))))))))))))");
+    if (!parsed.ok()) {
+      std::printf("%s\n", parsed.status().ToString().c_str());
+      return 1;
+    }
+    const ir::Abstraction* prog = ir::Cast<ir::Abstraction>(parsed->value);
+    std::string ptml = store::EncodePtml(m, prog);
+    std::printf("process 1: term of %zu nodes -> %zu PTML bytes\n",
+                1 + ir::TermSize(prog->body()), ptml.size());
+
+    auto s = store::ObjectStore::Open(path);
+    auto oid = (*s)->Allocate(store::ObjType::kPtml, ptml);
+    ptml_oid = *oid;
+    (void)(*s)->SetRoot("sum-function", ptml_oid);
+    Status st = (*s)->Commit();
+    std::printf("process 1: committed as <oid %llu> (%s)\n",
+                static_cast<unsigned long long>(ptml_oid),
+                st.ToString().c_str());
+  }
+
+  {
+    // --- process 2: reopen, decode, optimize, execute ------------------
+    auto s = store::ObjectStore::Open(path);
+    if (!s.ok()) {
+      std::printf("%s\n", s.status().ToString().c_str());
+      return 1;
+    }
+    auto root = (*s)->GetRoot("sum-function");
+    auto obj = (*s)->Get(*root);
+    std::printf("\nprocess 2: loaded %zu PTML bytes from disk\n",
+                obj->bytes.size());
+
+    ir::Module m;
+    auto decoded =
+        store::DecodePtml(&m, prims::StandardRegistry(), obj->bytes);
+    if (!decoded.ok()) {
+      std::printf("%s\n", decoded.status().ToString().c_str());
+      return 1;
+    }
+    const ir::Abstraction* prog = ir::Optimize(&m, decoded->abs);
+    std::printf("process 2: decoded + optimized:\n%s\n",
+                ir::PrintValue(m, prog).c_str());
+
+    vm::CodeUnit unit;
+    auto fn = vm::CompileProc(&unit, m, prog, "sum");
+    vm::VM vm;
+    vm::Value args[] = {vm::Value::Int(100)};
+    auto r = vm.Run(*fn, args);
+    std::printf("process 2: sum(100) = %s\n",
+                vm::ToString(r->value).c_str());
+  }
+  std::remove(path.c_str());
+  return 0;
+}

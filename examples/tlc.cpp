@@ -1,0 +1,138 @@
+// tlc — a small command-line compiler/runner for TL programs.
+//
+//   tlc <file.tl> <function> [int args...]      run on the TVM
+//   options:
+//     --library      bind operators through stdlib closures (Tycoon mode)
+//     --static       run the local static optimizer per function
+//     --reflect      reflect.optimize the entry point before running
+//     --emit-tml     print each function's TML instead of running
+//     --emit-code    print the TVM disassembly instead of running
+//
+// Example:
+//   echo 'fun tri(n) = var s := 0 in
+//           begin for i = 1 upto n do s := s + i end; s end end' > /tmp/t.tl
+//   ./build/examples/tlc /tmp/t.tl tri 100
+//   ./build/examples/tlc --library --reflect /tmp/t.tl tri 100
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/printer.h"
+#include "core/validate.h"
+#include "prims/standard.h"
+#include "runtime/universe.h"
+#include "vm/codegen.h"
+
+int main(int argc, char** argv) {
+  using namespace tml;
+  bool library = false, static_opt = false, reflect = false;
+  bool emit_tml = false, emit_code = false;
+  std::vector<std::string> positional;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    if (a == "--library") library = true;
+    else if (a == "--static") static_opt = true;
+    else if (a == "--reflect") reflect = true;
+    else if (a == "--emit-tml") emit_tml = true;
+    else if (a == "--emit-code") emit_code = true;
+    else positional.push_back(a);
+  }
+  if (positional.size() < 1) {
+    std::fprintf(stderr,
+                 "usage: tlc [--library] [--static] [--reflect] "
+                 "[--emit-tml|--emit-code] <file.tl> [function args...]\n");
+    return 2;
+  }
+  std::ifstream in(positional[0]);
+  if (!in) {
+    std::fprintf(stderr, "tlc: cannot open %s\n", positional[0].c_str());
+    return 2;
+  }
+  std::stringstream ss;
+  ss << in.rdbuf();
+  std::string source = ss.str();
+
+  fe::BindingMode mode =
+      library ? fe::BindingMode::kLibrary : fe::BindingMode::kDirect;
+
+  if (emit_tml) {
+    fe::CompileOptions copts;
+    copts.binding = mode;
+    auto unit = fe::Compile(source, prims::StandardRegistry(), copts);
+    if (!unit.ok()) {
+      std::fprintf(stderr, "tlc: %s\n", unit.status().ToString().c_str());
+      return 1;
+    }
+    for (const auto& fn : unit->functions) {
+      std::printf(";; %s (free: ", fn.name.c_str());
+      for (size_t i = 0; i < fn.free_names.size(); ++i) {
+        std::printf("%s%s", i ? " " : "", fn.free_names[i].c_str());
+      }
+      std::printf(")\n%s\n\n",
+                  ir::PrintValue(*unit->module, fn.abs).c_str());
+    }
+    return 0;
+  }
+
+  auto store = store::ObjectStore::Open("");
+  rt::Universe u(store->get());
+  rt::InstallOptions iopts;
+  iopts.static_optimize = static_opt;
+  Status st = u.InstallSource("main", source, mode, iopts);
+  if (!st.ok()) {
+    std::fprintf(stderr, "tlc: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  if (emit_code) {
+    fe::CompileOptions copts;
+    copts.binding = mode;
+    auto unit = fe::Compile(source, prims::StandardRegistry(), copts);
+    for (const auto& fn : unit->functions) {
+      vm::CodeUnit cu;
+      auto code = vm::CompileProc(&cu, *unit->module, fn.abs, fn.name);
+      if (code.ok()) std::printf("%s\n", (*code)->Disassemble().c_str());
+    }
+    return 0;
+  }
+
+  if (positional.size() < 2) {
+    std::fprintf(stderr, "tlc: no function to run\n");
+    return 2;
+  }
+  auto f = u.Lookup("main", positional[1]);
+  if (!f.ok()) {
+    std::fprintf(stderr, "tlc: %s\n", f.status().ToString().c_str());
+    return 1;
+  }
+  Oid target = *f;
+  if (reflect) {
+    auto r = u.ReflectOptimize(target);
+    if (!r.ok()) {
+      std::fprintf(stderr, "tlc: reflect: %s\n",
+                   r.status().ToString().c_str());
+      return 1;
+    }
+    target = *r;
+  }
+  std::vector<vm::Value> args;
+  for (size_t i = 2; i < positional.size(); ++i) {
+    args.push_back(vm::Value::Int(std::strtoll(positional[i].c_str(),
+                                               nullptr, 10)));
+  }
+  auto r = u.Call(target, args);
+  if (!r.ok()) {
+    std::fprintf(stderr, "tlc: %s\n", r.status().ToString().c_str());
+    return 1;
+  }
+  std::string out = u.vm()->TakeOutput();
+  if (!out.empty()) std::fputs(out.c_str(), stdout);
+  std::printf("%s%s = %s   [%llu instructions]\n", positional[1].c_str(),
+              r->raised ? " raised" : "", vm::ToString(r->value).c_str(),
+              static_cast<unsigned long long>(r->steps));
+  return r->raised ? 1 : 0;
+}

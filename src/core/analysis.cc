@@ -1,0 +1,206 @@
+#include "core/analysis.h"
+
+#include <cassert>
+
+namespace tml::ir {
+
+void OccurrenceMap::AccumulateValue(const Value* v, int32_t scale) {
+  switch (v->kind()) {
+    case NodeKind::kLiteral:
+    case NodeKind::kOid:
+    case NodeKind::kPrimitive:
+      return;
+    case NodeKind::kVariable:
+      Add(Cast<Variable>(v), scale);
+      return;
+    case NodeKind::kAbstraction:
+      AccumulateApp(Cast<Abstraction>(v)->body(), scale);
+      return;
+    case NodeKind::kApplication:
+      assert(false && "application in value position");
+      return;
+  }
+}
+
+void OccurrenceMap::AccumulateApp(const Application* app, int32_t scale) {
+  AccumulateValue(app->callee(), scale);
+  for (const Value* a : app->args()) AccumulateValue(a, scale);
+}
+
+OccurrenceMap OccurrenceMap::For(const Application* app) {
+  OccurrenceMap m;
+  m.AccumulateApp(app, 1);
+  return m;
+}
+
+OccurrenceMap OccurrenceMap::For(const Value* v) {
+  OccurrenceMap m;
+  m.AccumulateValue(v, 1);
+  return m;
+}
+
+uint32_t CountOccurrences(const Value* val, const Variable* v) {
+  switch (val->kind()) {
+    case NodeKind::kLiteral:
+    case NodeKind::kOid:
+    case NodeKind::kPrimitive:
+      return 0;
+    case NodeKind::kVariable:
+      return val == v ? 1u : 0u;
+    case NodeKind::kAbstraction:
+      return CountOccurrences(Cast<Abstraction>(val)->body(), v);
+    case NodeKind::kApplication:
+      assert(false && "application in value position");
+      return 0;
+  }
+  return 0;
+}
+
+uint32_t CountOccurrences(const Application* app, const Variable* v) {
+  uint32_t n = CountOccurrences(app->callee(), v);
+  for (const Value* a : app->args()) n += CountOccurrences(a, v);
+  return n;
+}
+
+namespace {
+
+void CollectFree(const Value* v,
+                 std::unordered_set<const Variable*>* bound,
+                 std::unordered_set<const Variable*>* seen,
+                 std::vector<const Variable*>* out);
+
+void CollectFreeApp(const Application* app,
+                    std::unordered_set<const Variable*>* bound,
+                    std::unordered_set<const Variable*>* seen,
+                    std::vector<const Variable*>* out) {
+  CollectFree(app->callee(), bound, seen, out);
+  for (const Value* a : app->args()) CollectFree(a, bound, seen, out);
+}
+
+void CollectFree(const Value* v,
+                 std::unordered_set<const Variable*>* bound,
+                 std::unordered_set<const Variable*>* seen,
+                 std::vector<const Variable*>* out) {
+  switch (v->kind()) {
+    case NodeKind::kLiteral:
+    case NodeKind::kOid:
+    case NodeKind::kPrimitive:
+      return;
+    case NodeKind::kVariable: {
+      const Variable* var = Cast<Variable>(v);
+      if (bound->count(var) == 0 && seen->insert(var).second) {
+        out->push_back(var);
+      }
+      return;
+    }
+    case NodeKind::kAbstraction: {
+      const Abstraction* abs = Cast<Abstraction>(v);
+      // Unique binding: params cannot shadow, so a flat set suffices.
+      for (const Variable* p : abs->params()) bound->insert(p);
+      CollectFreeApp(abs->body(), bound, seen, out);
+      return;
+    }
+    case NodeKind::kApplication:
+      assert(false && "application in value position");
+      return;
+  }
+}
+
+}  // namespace
+
+std::vector<const Variable*> FreeVariables(const Value* v) {
+  std::unordered_set<const Variable*> bound, seen;
+  std::vector<const Variable*> out;
+  CollectFree(v, &bound, &seen, &out);
+  return out;
+}
+
+std::vector<const Variable*> FreeVariables(const Application* app) {
+  std::unordered_set<const Variable*> bound, seen;
+  std::vector<const Variable*> out;
+  CollectFreeApp(app, &bound, &seen, &out);
+  return out;
+}
+
+namespace {
+
+struct AlphaCtx {
+  const Module& ma;
+  const Module& mb;
+  std::vector<std::pair<const Variable*, const Variable*>> pairs;
+
+  bool VarsMatch(const Variable* a, const Variable* b) const {
+    for (auto it = pairs.rbegin(); it != pairs.rend(); ++it) {
+      if (it->first == a || it->second == b) {
+        return it->first == a && it->second == b;
+      }
+    }
+    // Both free: same node, or same spelling across modules.
+    if (a == b) return true;
+    return ma.NameOf(*a) == mb.NameOf(*b) && a->sort() == b->sort();
+  }
+};
+
+bool AlphaEqValue(AlphaCtx* ctx, const Value* a, const Value* b);
+
+bool AlphaEqApp(AlphaCtx* ctx, const Application* a, const Application* b) {
+  if (a->num_args() != b->num_args()) return false;
+  if (!AlphaEqValue(ctx, a->callee(), b->callee())) return false;
+  for (size_t i = 0; i < a->num_args(); ++i) {
+    if (!AlphaEqValue(ctx, a->arg(i), b->arg(i))) return false;
+  }
+  return true;
+}
+
+bool AlphaEqValue(AlphaCtx* ctx, const Value* a, const Value* b) {
+  if (a->kind() != b->kind()) return false;
+  switch (a->kind()) {
+    case NodeKind::kLiteral:
+      return LiteralEquals(*Cast<Literal>(a), *Cast<Literal>(b));
+    case NodeKind::kOid:
+      return Cast<OidRef>(a)->oid() == Cast<OidRef>(b)->oid();
+    case NodeKind::kPrimitive:
+      return &Cast<PrimRef>(a)->prim() == &Cast<PrimRef>(b)->prim();
+    case NodeKind::kVariable:
+      return ctx->VarsMatch(Cast<Variable>(a), Cast<Variable>(b));
+    case NodeKind::kAbstraction: {
+      const Abstraction* aa = Cast<Abstraction>(a);
+      const Abstraction* ab = Cast<Abstraction>(b);
+      if (aa->num_params() != ab->num_params()) return false;
+      size_t base = ctx->pairs.size();
+      for (size_t i = 0; i < aa->num_params(); ++i) {
+        if (aa->param(i)->sort() != ab->param(i)->sort()) return false;
+        ctx->pairs.emplace_back(aa->param(i), ab->param(i));
+      }
+      bool eq = AlphaEqApp(ctx, aa->body(), ab->body());
+      ctx->pairs.resize(base);
+      return eq;
+    }
+    case NodeKind::kApplication:
+      return false;
+  }
+  return false;
+}
+
+}  // namespace
+
+bool AlphaEquivalent(const Module& ma, const Value* a, const Module& mb,
+                     const Value* b) {
+  AlphaCtx ctx{ma, mb, {}};
+  return AlphaEqValue(&ctx, a, b);
+}
+
+bool AlphaEquivalentApp(const Module& ma, const Application* a,
+                        const Module& mb, const Application* b) {
+  AlphaCtx ctx{ma, mb, {}};
+  return AlphaEqApp(&ctx, a, b);
+}
+
+bool OccursFree(const Value* val, const Variable* v) {
+  // With unique binding, any occurrence is a free occurrence unless v is a
+  // parameter of an abstraction *inside* val — impossible, since a variable
+  // is bound exactly once and occurrences sit under their binder.
+  return CountOccurrences(val, v) > 0;
+}
+
+}  // namespace tml::ir

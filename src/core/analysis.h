@@ -1,0 +1,78 @@
+// Binding analysis over TML terms (paper §1, §3).
+//
+// The three "common tasks" the paper identifies — binding analysis,
+// identifier substitution and free-variable analysis — are provided here as
+// reusable tools shared by the static optimizer, the reflective runtime
+// optimizer and the query rewriter.
+
+#ifndef TML_CORE_ANALYSIS_H_
+#define TML_CORE_ANALYSIS_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "core/module.h"
+#include "core/node.h"
+
+namespace tml::ir {
+
+/// |E|_v for every variable v: the number of occurrence positions of v in a
+/// term.  Maintained incrementally by the reduction pass so that rule
+/// preconditions (|app|_v == 0, == 1) stay exact during a sweep.
+class OccurrenceMap {
+ public:
+  /// Build the map for a whole term.
+  static OccurrenceMap For(const Application* app);
+  static OccurrenceMap For(const Value* v);
+
+  uint32_t Count(const Variable* v) const {
+    auto it = counts_.find(v);
+    return it == counts_.end() ? 0 : it->second;
+  }
+
+  void Add(const Variable* v, int32_t delta) {
+    int64_t c = static_cast<int64_t>(Count(v)) + delta;
+    if (c <= 0) {
+      counts_.erase(v);
+    } else {
+      counts_[v] = static_cast<uint32_t>(c);
+    }
+  }
+
+  /// Add `scale` × (occurrences in `v`) for every variable occurring in `v`.
+  void AccumulateValue(const Value* v, int32_t scale);
+  void AccumulateApp(const Application* app, int32_t scale);
+
+  size_t num_tracked() const { return counts_.size(); }
+
+ private:
+  std::unordered_map<const Variable*, uint32_t> counts_;
+};
+
+/// Occurrences of one specific variable in a term — the literal |E|_v of §3.
+uint32_t CountOccurrences(const Application* app, const Variable* v);
+uint32_t CountOccurrences(const Value* val, const Variable* v);
+
+/// Free variables of a value (variables occurring outside any enclosing
+/// binder within the value).  Order of first occurrence is preserved — this
+/// is what the reflective optimizer zips against closure-record slots (§4.1).
+std::vector<const Variable*> FreeVariables(const Value* v);
+std::vector<const Variable*> FreeVariables(const Application* app);
+
+/// True if `v` occurs free in `val` / `app` — drives scoping-sensitive query
+/// rules such as trivial-exists (§4.2).
+bool OccursFree(const Value* val, const Variable* v);
+
+/// Structural equality modulo α-conversion: binders are paired positionally,
+/// free variables and leaves must agree exactly (free vars by node identity
+/// when the terms share a module, else by spelling).
+bool AlphaEquivalent(const Module& ma, const Value* a, const Module& mb,
+                     const Value* b);
+bool AlphaEquivalentApp(const Module& ma, const Application* a,
+                        const Module& mb, const Application* b);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_ANALYSIS_H_

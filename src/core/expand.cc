@@ -1,0 +1,197 @@
+#include "core/expand.h"
+
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/primitive.h"
+
+namespace tml::ir {
+
+std::string ExpandStats::ToString() const {
+  return "inlined=" + std::to_string(inlined) +
+         " considered=" + std::to_string(considered) +
+         " rejected=" + std::to_string(rejected_cost);
+}
+
+ExpandStats& ExpandStats::operator+=(const ExpandStats& o) {
+  inlined += o.inlined;
+  considered += o.considered;
+  rejected_cost += o.rejected_cost;
+  return *this;
+}
+
+int EstimateAbsCost(const Abstraction* abs) {
+  return EstimateCost(abs->body());
+}
+
+int EstimateCost(const Application* app) {
+  int cost = 0;
+  const Value* callee = app->callee();
+  if (const PrimRef* pr = DynCast<PrimRef>(callee)) {
+    cost += pr->prim().CostEstimate(*app);
+  } else if (Isa<Variable>(callee)) {
+    // Dynamic transfer of control with argument passing.
+    cost += 2 + static_cast<int>(app->num_args());
+  } else {
+    cost += 1;
+  }
+  // Nested abstractions contribute the cost of their (single) body — a
+  // static estimate, not a dynamic frequency-weighted one (Appel's model
+  // makes the same simplification).
+  for (const Value* a : app->args()) {
+    if (const Abstraction* abs = DynCast<Abstraction>(a)) {
+      cost += EstimateAbsCost(abs);
+    }
+  }
+  if (const Abstraction* abs = DynCast<Abstraction>(callee)) {
+    cost += EstimateAbsCost(abs);
+  }
+  return cost;
+}
+
+namespace {
+
+class Expander {
+ public:
+  Expander(Module* m, const ExpandOptions& opts, int penalty,
+           ExpandStats* stats)
+      : m_(m), opts_(opts), penalty_(penalty), stats_(stats) {}
+
+  const Application* Run(const Application* app) {
+    counts_ = OccurrenceMap::For(app);
+    return ExpandApp(app);
+  }
+
+  bool changed() const { return changed_; }
+
+ private:
+  const Value* ExpandValue(const Value* v) {
+    const Abstraction* abs = DynCast<Abstraction>(v);
+    if (abs == nullptr) return v;
+    const Application* body = ExpandApp(abs->body());
+    if (body == abs->body()) return v;
+    return m_->Abs(abs->params(), body);
+  }
+
+  const Application* ExpandApp(const Application* app) {
+    // Record bindings introduced by this node before descending.
+    size_t env_base = env_.size();
+    const Value* callee = app->callee();
+
+    if (const Abstraction* abs = DynCast<Abstraction>(callee)) {
+      // ((λ(v1..vn) body) a1..an): v_i |-> a_i inside body.
+      if (abs->num_params() == app->num_args()) {
+        for (size_t i = 0; i < app->num_args(); ++i) {
+          if (const Abstraction* bound = DynCast<Abstraction>(app->arg(i))) {
+            env_.emplace_back(abs->param(i), bound);
+          }
+        }
+      }
+    } else if (const PrimRef* pr = DynCast<PrimRef>(callee);
+               pr != nullptr && pr->prim().op() == PrimOp::kY &&
+               app->num_args() == 1) {
+      // (Y λ(c0 v1..vn c)(c k0 abs1..absn)): v_i |-> abs_i everywhere in
+      // the generator's scope (the bindings are mutually recursive).
+      if (const Abstraction* gen = DynCast<Abstraction>(app->arg(0))) {
+        const Application* ybody = gen->body();
+        size_t n = gen->num_params() >= 2 ? gen->num_params() - 2 : 0;
+        if (ybody->num_args() == n + 1 &&
+            ybody->callee() == gen->param(gen->num_params() - 1)) {
+          for (size_t i = 1; i <= n; ++i) {
+            if (const Abstraction* bound =
+                    DynCast<Abstraction>(ybody->arg(i))) {
+              env_.emplace_back(gen->param(i), bound);
+            }
+          }
+        }
+      }
+    }
+
+    // Descend.
+    bool rebuilt = false;
+    std::vector<const Value*> elems;
+    elems.reserve(app->num_args() + 1);
+    const Value* ncallee = ExpandValue(callee);
+    rebuilt |= (ncallee != callee);
+    elems.push_back(ncallee);
+    for (const Value* a : app->args()) {
+      const Value* na = ExpandValue(a);
+      rebuilt |= (na != a);
+      elems.push_back(na);
+    }
+
+    // Try to inline at this call site: callee is a variable bound to a
+    // known abstraction.
+    if (const Variable* f = DynCast<Variable>(ncallee)) {
+      if (const Abstraction* target = Lookup(f)) {
+        ++stats_->considered;
+        if (ShouldInline(target, app)) {
+          elems[0] = m_->AlphaClone(*target);
+          rebuilt = true;
+          changed_ = true;
+          ++expansions_;
+          ++stats_->inlined;
+        } else {
+          ++stats_->rejected_cost;
+        }
+      }
+    }
+
+    env_.resize(env_base);
+    if (!rebuilt) return app;
+    return m_->AppWith(*app, std::move(elems));
+  }
+
+  const Abstraction* Lookup(const Variable* v) const {
+    for (auto it = env_.rbegin(); it != env_.rend(); ++it) {
+      if (it->first == v) return it->second;
+    }
+    return nullptr;
+  }
+
+  bool ShouldInline(const Abstraction* target, const Application* site) {
+    if (expansions_ >= opts_.max_expansions_per_pass) return false;
+    if (target->num_params() != site->num_args()) return false;
+    int body_cost = EstimateAbsCost(target);
+    if (body_cost <= opts_.always_inline_cost) return true;
+    int savings = 0;
+    for (const Value* a : site->args()) {
+      switch (a->kind()) {
+        case NodeKind::kLiteral:
+        case NodeKind::kOid:
+        case NodeKind::kAbstraction:
+        case NodeKind::kPrimitive:
+          savings += opts_.savings_per_static_arg;
+          break;
+        default:
+          break;
+      }
+    }
+    int budget = opts_.budget + savings - penalty_;
+    return body_cost <= budget;
+  }
+
+  Module* m_;
+  const ExpandOptions& opts_;
+  int penalty_;
+  ExpandStats* stats_;
+  OccurrenceMap counts_;
+  std::vector<std::pair<const Variable*, const Abstraction*>> env_;
+  bool changed_ = false;
+  int expansions_ = 0;
+};
+
+}  // namespace
+
+const Abstraction* Expand(Module* m, const Abstraction* prog,
+                          const ExpandOptions& opts, int penalty,
+                          ExpandStats* stats) {
+  ExpandStats local;
+  Expander e(m, opts, penalty, stats != nullptr ? stats : &local);
+  const Application* body = e.Run(prog->body());
+  if (!e.changed()) return prog;
+  return m->Abs(prog->params(), body);
+}
+
+}  // namespace tml::ir

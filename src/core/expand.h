@@ -1,0 +1,63 @@
+// The TML expansion pass (paper §3): β-expansion / procedure inlining.
+//
+// The reduction pass substitutes an abstraction only when its binding is
+// referenced exactly once (no code growth).  The expansion pass handles the
+// remaining cases: a call site (f a1..an ..) whose callee f is statically
+// bound to an abstraction — via an enclosing λ binding or a Y fixpoint —
+// may be replaced by an α-renamed copy of that abstraction, turning the
+// call into a β-redex for the next reduction pass.  This is procedure
+// inlining in compiler terms and view expansion in database terms (§3);
+// applied to Y bindings it performs loop unrolling.
+//
+// The decision is driven by a heuristic cost model similar to Appel's
+// [Appel 1992]: the body cost (estimated abstract-machine instructions via
+// Primitive::CostEstimate) is weighed against the expected savings from
+// arguments that are compile-time constants or abstractions.
+
+#ifndef TML_CORE_EXPAND_H_
+#define TML_CORE_EXPAND_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+
+namespace tml::ir {
+
+struct ExpandOptions {
+  /// Inline unconditionally when the body costs no more than this.
+  int always_inline_cost = 12;
+  /// Base budget: inline when body_cost <= budget + savings.
+  int budget = 24;
+  /// Cost credit per literal/abstraction/OID argument at the call site.
+  int savings_per_static_arg = 8;
+  /// Every round of reduction/expansion subtracts this from the budget —
+  /// the accumulated penalty of §3 that guarantees termination.
+  int round_penalty = 8;
+  /// Hard cap on inlined copies per pass (defense in depth).
+  int max_expansions_per_pass = 256;
+};
+
+struct ExpandStats {
+  uint64_t inlined = 0;
+  uint64_t considered = 0;
+  uint64_t rejected_cost = 0;
+  std::string ToString() const;
+  ExpandStats& operator+=(const ExpandStats& o);
+};
+
+/// One expansion sweep over `prog` with the given accumulated `penalty`.
+/// Returns the (possibly unchanged) program.
+const Abstraction* Expand(Module* m, const Abstraction* prog,
+                          const ExpandOptions& opts, int penalty,
+                          ExpandStats* stats = nullptr);
+
+/// Estimated abstract-machine cost of executing a term once (uses
+/// Primitive::CostEstimate; plain applications cost their argument count).
+int EstimateCost(const Application* app);
+int EstimateAbsCost(const Abstraction* abs);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_EXPAND_H_

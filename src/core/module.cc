@@ -1,0 +1,208 @@
+#include "core/module.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "core/primitive.h"
+
+namespace tml::ir {
+
+bool LiteralEquals(const Literal& a, const Literal& b) {
+  if (a.lit_kind() != b.lit_kind()) return false;
+  switch (a.lit_kind()) {
+    case LitKind::kNil:
+      return true;
+    case LitKind::kBool:
+      return a.bool_value() == b.bool_value();
+    case LitKind::kInt:
+      return a.int_value() == b.int_value();
+    case LitKind::kChar:
+      return a.char_value() == b.char_value();
+    case LitKind::kReal:
+      return a.real_value() == b.real_value();
+    case LitKind::kString:
+      return a.string_value() == b.string_value();
+  }
+  return false;
+}
+
+const Literal* Module::CloneLit(const Literal& lit) {
+  switch (lit.lit_kind()) {
+    case LitKind::kNil:
+      return NilLit();
+    case LitKind::kBool:
+      return BoolLit(lit.bool_value());
+    case LitKind::kInt:
+      return IntLit(lit.int_value());
+    case LitKind::kChar:
+      return CharLit(lit.char_value());
+    case LitKind::kReal:
+      return RealLit(lit.real_value());
+    case LitKind::kString:
+      return StringLit(lit.string_value());
+  }
+  return NilLit();
+}
+
+const Abstraction* Module::Abs(std::span<Variable* const> params,
+                               const Application* body) {
+  assert(body != nullptr);
+  uint32_t n = static_cast<uint32_t>(params.size());
+  Variable** stored = static_cast<Variable**>(
+      arena_.Allocate(sizeof(Variable*) * (n ? n : 1), alignof(Variable*)));
+  uint32_t num_cont = 0;
+  for (uint32_t i = 0; i < n; ++i) {
+    stored[i] = params[i];
+    if (params[i]->is_cont()) ++num_cont;
+    // NOTE: user-level procs keep continuation params trailing (ce cc, §2.2
+    // constraint 5; checked by the validator), but the Y combinator's
+    // argument is λ(c0 v1..vn c) with a *leading* continuation parameter, so
+    // no ordering is enforced here.
+  }
+  return NewNode<Abstraction>(stored, n, num_cont, body);
+}
+
+const Application* Module::App(const Value* callee,
+                               std::span<const Value* const> args) {
+  assert(callee != nullptr);
+  uint32_t n = static_cast<uint32_t>(args.size()) + 1;
+  const Value** elems = static_cast<const Value**>(
+      arena_.Allocate(sizeof(const Value*) * n, alignof(const Value*)));
+  elems[0] = callee;
+  for (uint32_t i = 1; i < n; ++i) {
+    assert(args[i - 1] != nullptr);
+    elems[i] = args[i - 1];
+  }
+  return NewNode<Application>(elems, n);
+}
+
+const Application* Module::AppWith(const Application& app,
+                                   std::vector<const Value*> elems) {
+  assert(!elems.empty());
+  uint32_t n = static_cast<uint32_t>(elems.size());
+  const Value** stored = static_cast<const Value**>(
+      arena_.Allocate(sizeof(const Value*) * n, alignof(const Value*)));
+  std::copy(elems.begin(), elems.end(), stored);
+  (void)app;
+  return NewNode<Application>(stored, n);
+}
+
+namespace {
+
+const Variable* LookupVar(
+    const std::vector<std::pair<const Variable*, Variable*>>& map,
+    const Variable* v) {
+  for (auto it = map.rbegin(); it != map.rend(); ++it) {
+    if (it->first == v) return it->second;
+  }
+  return nullptr;
+}
+
+}  // namespace
+
+const Value* Module::CloneValue(
+    const Value* v, std::vector<std::pair<const Variable*, Variable*>>* map) {
+  switch (v->kind()) {
+    case NodeKind::kLiteral:
+    case NodeKind::kOid:
+    case NodeKind::kPrimitive:
+      return v;  // leaves are freely shareable
+    case NodeKind::kVariable: {
+      const Variable* var = Cast<Variable>(v);
+      const Variable* repl = LookupVar(*map, var);
+      return repl != nullptr ? repl : v;  // free vars stay shared
+    }
+    case NodeKind::kAbstraction: {
+      const Abstraction* abs = Cast<Abstraction>(v);
+      size_t base = map->size();
+      std::vector<Variable*> fresh;
+      fresh.reserve(abs->num_params());
+      for (Variable* p : abs->params()) {
+        Variable* np = FreshCopy(*p);
+        fresh.push_back(np);
+        map->emplace_back(p, np);
+      }
+      const Application* body = CloneApp(abs->body(), map);
+      map->resize(base);
+      return Abs(fresh, body);
+    }
+    case NodeKind::kApplication:
+      assert(false && "application in value position");
+      return v;
+  }
+  return v;
+}
+
+const Application* Module::CloneApp(
+    const Application* app,
+    std::vector<std::pair<const Variable*, Variable*>>* map) {
+  std::vector<const Value*> elems;
+  elems.reserve(app->num_args() + 1);
+  elems.push_back(CloneValue(app->callee(), map));
+  for (const Value* a : app->args()) elems.push_back(CloneValue(a, map));
+  return AppWith(*app, std::move(elems));
+}
+
+const Abstraction* Module::AlphaClone(const Abstraction& abs) {
+  std::vector<std::pair<const Variable*, Variable*>> map;
+  return Cast<Abstraction>(CloneValue(&abs, &map));
+}
+
+const Value* Module::Import(
+    const Value& v,
+    std::vector<std::pair<const Variable*, const Value*>>* import_map) {
+  switch (v.kind()) {
+    case NodeKind::kLiteral:
+      return CloneLit(*Cast<Literal>(&v));
+    case NodeKind::kOid:
+      return OidVal(Cast<OidRef>(&v)->oid());
+    case NodeKind::kPrimitive:
+      return Prim(&Cast<PrimRef>(&v)->prim());
+    case NodeKind::kVariable: {
+      if (import_map != nullptr) {
+        for (auto it = import_map->rbegin(); it != import_map->rend(); ++it) {
+          if (it->first == &v) return it->second;
+        }
+      }
+      assert(false && "unmapped free variable during Import");
+      return NilLit();
+    }
+    case NodeKind::kAbstraction: {
+      const Abstraction* abs = Cast<Abstraction>(&v);
+      std::vector<std::pair<const Variable*, const Value*>> local;
+      if (import_map != nullptr) local = *import_map;
+      std::vector<Variable*> fresh;
+      fresh.reserve(abs->num_params());
+      for (Variable* p : abs->params()) {
+        Variable* np = FreshCopy(*p);
+        fresh.push_back(np);
+        local.emplace_back(p, np);
+      }
+      std::vector<const Value*> elems;
+      const Application* b = abs->body();
+      elems.reserve(b->num_args() + 1);
+      elems.push_back(Import(*b->callee(), &local));
+      for (const Value* a : b->args()) elems.push_back(Import(*a, &local));
+      return Abs(fresh, AppWith(*b, std::move(elems)));
+    }
+    case NodeKind::kApplication:
+      assert(false && "application in value position");
+      return NilLit();
+  }
+  return NilLit();
+}
+
+size_t ValueSize(const Value* v) {
+  if (Isa<Abstraction>(v)) {
+    return 1 + TermSize(Cast<Abstraction>(v)->body());
+  }
+  return 1;
+}
+
+size_t TermSize(const Application* app) {
+  size_t n = 1 + ValueSize(app->callee());
+  for (const Value* a : app->args()) n += ValueSize(a);
+  return n;
+}
+
+}  // namespace tml::ir

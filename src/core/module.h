@@ -1,0 +1,138 @@
+// ir::Module — the owner of one TML term graph.
+//
+// A Module bundles the arena that all nodes of a term live in, the interner
+// for identifier spellings, and the fresh-uid counter that implements the
+// α-conversion of the paper (every binder gets a unique numeric suffix, so
+// the unique-binding rule of §2.2 holds by construction).
+
+#ifndef TML_CORE_MODULE_H_
+#define TML_CORE_MODULE_H_
+
+#include <initializer_list>
+#include <string_view>
+#include <vector>
+
+#include "core/node.h"
+#include "support/arena.h"
+#include "support/interner.h"
+
+namespace tml::ir {
+
+class Module {
+ public:
+  Module() = default;
+  Module(const Module&) = delete;
+  Module& operator=(const Module&) = delete;
+
+  // ---- Leaf factories ------------------------------------------------
+
+  const Literal* NilLit() { return NewNode<Literal>(); }
+  const Literal* BoolLit(bool b) { return NewNode<Literal>(b); }
+  const Literal* IntLit(int64_t i) { return NewNode<Literal>(i); }
+  const Literal* CharLit(uint8_t c) { return NewNode<Literal>(c); }
+  const Literal* RealLit(double r) { return NewNode<Literal>(r); }
+  const Literal* StringLit(std::string_view s) {
+    const char* copy = arena_.StrDup(s.data(), s.size());
+    return NewNode<Literal>(copy, s.size());
+  }
+  /// Clone a literal (possibly from another module) into this arena.
+  const Literal* CloneLit(const Literal& lit);
+
+  const OidRef* OidVal(Oid oid) { return NewNode<OidRef>(oid); }
+
+  const PrimRef* Prim(const Primitive* prim) {
+    return NewNode<PrimRef>(prim);
+  }
+
+  /// A fresh variable; the uid suffix makes it distinct from all others.
+  Variable* NewVar(std::string_view name, VarSort sort) {
+    return NewNode<Variable>(interner_.Intern(name), next_uid_++, sort);
+  }
+  Variable* NewValueVar(std::string_view name) {
+    return NewVar(name, VarSort::kValue);
+  }
+  Variable* NewContVar(std::string_view name) {
+    return NewVar(name, VarSort::kCont);
+  }
+  /// A fresh copy of `v` (same spelling/sort, new uid) for α-renaming.
+  Variable* FreshCopy(const Variable& v) {
+    return NewNode<Variable>(interner_.Intern(NameOf(v)), next_uid_++,
+                             v.sort());
+  }
+
+  // ---- Composite factories -------------------------------------------
+
+  /// λ(params) body.  `params` must list value variables before continuation
+  /// variables; the split is derived from the variable sorts.
+  const Abstraction* Abs(std::span<Variable* const> params,
+                         const Application* body);
+  const Abstraction* Abs(std::initializer_list<Variable*> params,
+                         const Application* body) {
+    return Abs(std::span<Variable* const>(params.begin(), params.size()),
+               body);
+  }
+
+  const Application* App(const Value* callee,
+                         std::span<const Value* const> args);
+  const Application* App(const Value* callee,
+                         std::initializer_list<const Value*> args) {
+    return App(callee,
+               std::span<const Value* const>(args.begin(), args.size()));
+  }
+
+  /// Rebuild `app` with a different argument vector (callee kept).
+  const Application* AppWith(const Application& app,
+                             std::vector<const Value*> elems);
+
+  // ---- Identifier spelling -------------------------------------------
+
+  std::string_view NameOf(const Variable& v) const {
+    return interner_.Name(v.name());
+  }
+  Interner* interner() { return &interner_; }
+
+  /// Deep-copy `abs` into this module with entirely fresh binders
+  /// (α-conversion); free variables are remapped via `free_map` when
+  /// present, else kept as-is (shared pointers).  Used by the expansion
+  /// pass to inline a multiply-referenced procedure without violating the
+  /// unique-binding rule.
+  const Abstraction* AlphaClone(const Abstraction& abs);
+
+  /// Deep-copy a value that may originate in another Module into this one.
+  /// Free variables must be mapped by the caller via `import_map`.
+  const Value* Import(const Value& v,
+                      std::vector<std::pair<const Variable*, const Value*>>*
+                          import_map);
+
+  Arena* arena() { return &arena_; }
+  size_t bytes_used() const { return arena_.bytes_used(); }
+  uint32_t next_uid() const { return next_uid_; }
+
+ private:
+  /// Placement-construct a node in the arena.  Module is a friend of every
+  /// node class, so the private constructors are reachable from here.
+  template <typename T, typename... Args>
+  T* NewNode(Args&&... args) {
+    void* mem = arena_.Allocate(sizeof(T), alignof(T));
+    return new (mem) T(std::forward<Args>(args)...);
+  }
+
+  const Value* CloneValue(
+      const Value* v,
+      std::vector<std::pair<const Variable*, Variable*>>* map);
+  const Application* CloneApp(
+      const Application* app,
+      std::vector<std::pair<const Variable*, Variable*>>* map);
+
+  Arena arena_;
+  Interner interner_;
+  uint32_t next_uid_ = 1;
+};
+
+/// Total node positions in a term (occurrences count once per position).
+size_t TermSize(const Application* app);
+size_t ValueSize(const Value* v);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_MODULE_H_

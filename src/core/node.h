@@ -1,0 +1,259 @@
+// TML abstract syntax (paper §2.2, Fig. 1).
+//
+// Exactly six node kinds represent every program and query:
+//
+//   val ::= lit | oid | var | prim | abs
+//   abs ::= λ(v1 .. vn) app
+//   app ::= (val0 val1 .. valn)
+//
+// Nodes are immutable after construction and live in their ir::Module's
+// arena; rewriting is functional (path copying) with unchanged subterms
+// shared.  Variable nodes double as binder identities: the unique-binding
+// rule (§2.2 constraint 4) means each Variable object is bound by at most
+// one abstraction, and every occurrence of that variable is the same
+// pointer.  Substitution is therefore pointer substitution and α-collision
+// cannot arise.
+
+#ifndef TML_CORE_NODE_H_
+#define TML_CORE_NODE_H_
+
+#include <cassert>
+#include <cstdint>
+#include <span>
+#include <string_view>
+
+#include "core/oid.h"
+#include "support/interner.h"
+
+namespace tml::ir {
+
+class Primitive;
+
+enum class NodeKind : uint8_t {
+  kLiteral,
+  kOid,
+  kVariable,
+  kPrimitive,
+  kAbstraction,
+  kApplication,
+};
+
+/// Root of the (six-member) node hierarchy.
+class Node {
+ public:
+  NodeKind kind() const { return kind_; }
+
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+ protected:
+  explicit Node(NodeKind kind) : kind_(kind) {}
+
+ private:
+  const NodeKind kind_;
+};
+
+/// Anything that may appear as an operand of an application.
+class Value : public Node {
+ protected:
+  using Node::Node;
+};
+
+/// Scalar literal constants.
+enum class LitKind : uint8_t { kNil, kBool, kInt, kChar, kReal, kString };
+
+class Literal final : public Value {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kLiteral;
+
+  LitKind lit_kind() const { return lit_kind_; }
+
+  bool bool_value() const {
+    assert(lit_kind_ == LitKind::kBool);
+    return b_;
+  }
+  int64_t int_value() const {
+    assert(lit_kind_ == LitKind::kInt);
+    return i_;
+  }
+  uint8_t char_value() const {
+    assert(lit_kind_ == LitKind::kChar);
+    return ch_;
+  }
+  double real_value() const {
+    assert(lit_kind_ == LitKind::kReal);
+    return r_;
+  }
+  std::string_view string_value() const {
+    assert(lit_kind_ == LitKind::kString);
+    return {str_, str_len_};
+  }
+
+ private:
+  friend class Module;
+
+  Literal() : Value(kKind), lit_kind_(LitKind::kNil), i_(0) {}
+  explicit Literal(bool b) : Value(kKind), lit_kind_(LitKind::kBool), b_(b) {}
+  explicit Literal(int64_t i)
+      : Value(kKind), lit_kind_(LitKind::kInt), i_(i) {}
+  explicit Literal(uint8_t ch)
+      : Value(kKind), lit_kind_(LitKind::kChar), ch_(ch) {}
+  explicit Literal(double r)
+      : Value(kKind), lit_kind_(LitKind::kReal), r_(r) {}
+  Literal(const char* str, size_t len)
+      : Value(kKind), lit_kind_(LitKind::kString), str_(str), str_len_(len) {}
+
+  LitKind lit_kind_;
+  union {
+    bool b_;
+    int64_t i_;
+    uint8_t ch_;
+    double r_;
+    const char* str_;
+  };
+  size_t str_len_ = 0;
+};
+
+/// True when both literals denote the same scalar (identity for `==` tags).
+bool LiteralEquals(const Literal& a, const Literal& b);
+
+/// Reference to a complex object in the persistent store (paper §2.2).
+class OidRef final : public Value {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kOid;
+
+  Oid oid() const { return oid_; }
+
+ private:
+  friend class Module;
+  explicit OidRef(Oid oid) : Value(kKind), oid_(oid) {}
+
+  Oid oid_;
+};
+
+/// Sort of a variable: continuations are second class (§2.2 constraint 3).
+enum class VarSort : uint8_t { kValue, kCont };
+
+/// A variable.  The node *is* the binder identity (unique-binding rule); all
+/// occurrences share the pointer.  `uid` is the α-conversion suffix the
+/// paper prints (`complex_6`, `t_12`).
+class Variable final : public Value {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kVariable;
+
+  Symbol name() const { return name_; }
+  uint32_t uid() const { return uid_; }
+  VarSort sort() const { return sort_; }
+  bool is_cont() const { return sort_ == VarSort::kCont; }
+
+ private:
+  friend class Module;
+  Variable(Symbol name, uint32_t uid, VarSort sort)
+      : Value(kKind), name_(name), uid_(uid), sort_(sort) {}
+
+  Symbol name_;
+  uint32_t uid_;
+  VarSort sort_;
+};
+
+/// Reference to a primitive procedure (§2.3).
+class PrimRef final : public Value {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kPrimitive;
+
+  const Primitive& prim() const { return *prim_; }
+
+ private:
+  friend class Module;
+  explicit PrimRef(const Primitive* prim)
+      : Value(kKind), prim_(prim) {}
+
+  const Primitive* prim_;
+};
+
+class Application;
+
+/// λ(v1 .. vn) app.  Parameters are value variables followed by continuation
+/// variables (§2.2 well-formedness keeps the order fixed).  The printed form
+/// is `cont(..)` when num_cont_params() == 0, else `proc(..)` (§2.2).
+class Abstraction final : public Value {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kAbstraction;
+
+  std::span<Variable* const> params() const {
+    return {params_, num_params_};
+  }
+  size_t num_params() const { return num_params_; }
+  Variable* param(size_t i) const {
+    assert(i < num_params_);
+    return params_[i];
+  }
+  /// Count of continuation-sort parameters (trailing for user-level procs;
+  /// the Y combinator's argument also has a leading one).
+  size_t num_cont_params() const { return num_cont_params_; }
+  size_t num_value_params() const { return num_params_ - num_cont_params_; }
+  bool is_cont() const { return num_cont_params_ == 0; }
+
+  const Application* body() const { return body_; }
+
+ private:
+  friend class Module;
+  Abstraction(Variable** params, uint32_t num_params, uint32_t num_cont_params,
+              const Application* body)
+      : Value(kKind),
+        params_(params),
+        num_params_(num_params),
+        num_cont_params_(num_cont_params),
+        body_(body) {}
+
+  Variable** params_;
+  uint32_t num_params_;
+  uint32_t num_cont_params_;
+  const Application* body_;
+};
+
+/// (val0 val1 .. valn) — the single control construct of CPS: a generalized
+/// goto with parameter passing (Steele).
+class Application final : public Node {
+ public:
+  static constexpr NodeKind kKind = NodeKind::kApplication;
+
+  const Value* callee() const { return elems_[0]; }
+  std::span<const Value* const> args() const {
+    return {elems_ + 1, num_elems_ - 1};
+  }
+  size_t num_args() const { return num_elems_ - 1; }
+  const Value* arg(size_t i) const {
+    assert(i + 1 < num_elems_);
+    return elems_[i + 1];
+  }
+
+ private:
+  friend class Module;
+  Application(const Value** elems, uint32_t num_elems)
+      : Node(kKind), elems_(elems), num_elems_(num_elems) {}
+
+  const Value** elems_;  // [callee, arg1, .., argn]
+  uint32_t num_elems_;
+};
+
+/// LLVM-style downcast helpers (no RTTI).
+template <typename T>
+bool Isa(const Node* n) {
+  return n != nullptr && n->kind() == T::kKind;
+}
+
+template <typename T>
+const T* DynCast(const Node* n) {
+  return Isa<T>(n) ? static_cast<const T*>(n) : nullptr;
+}
+
+template <typename T>
+const T* Cast(const Node* n) {
+  assert(Isa<T>(n));
+  return static_cast<const T*>(n);
+}
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_NODE_H_

@@ -1,0 +1,20 @@
+// Object identifiers (OIDs) into the persistent object store.
+//
+// TML terms may contain OID leaves denoting arbitrarily complex objects
+// (tables, indices, closures, modules) in the store (paper §2.1/§2.2).
+
+#ifndef TML_CORE_OID_H_
+#define TML_CORE_OID_H_
+
+#include <cstdint>
+
+namespace tml {
+
+/// A stable object identifier.  0 is reserved as the null OID.
+using Oid = uint64_t;
+
+inline constexpr Oid kNullOid = 0;
+
+}  // namespace tml
+
+#endif  // TML_CORE_OID_H_

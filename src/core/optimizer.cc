@@ -1,0 +1,47 @@
+#include "core/optimizer.h"
+
+namespace tml::ir {
+
+std::string OptimizerStats::ToString() const {
+  return "rounds=" + std::to_string(rounds) + " size " +
+         std::to_string(input_size) + " -> " + std::to_string(output_size) +
+         " | " + rewrite.ToString() + " | " + expand.ToString();
+}
+
+const Abstraction* Optimize(Module* m, const Abstraction* prog,
+                            const OptimizerOptions& opts,
+                            OptimizerStats* stats) {
+  OptimizerStats local;
+  OptimizerStats* s = stats != nullptr ? stats : &local;
+  s->input_size = 1 + TermSize(prog->body());
+
+  int penalty = 0;
+  bool pending_expansion = false;
+  for (int round = 0; round < opts.max_rounds; ++round) {
+    ++s->rounds;
+    const Abstraction* reduced = Reduce(m, prog, opts.rewrite, &s->rewrite);
+    ExpandStats round_expand;
+    const Abstraction* expanded =
+        Expand(m, reduced, opts.expand, penalty, &round_expand);
+    s->expand += round_expand;
+    bool expand_changed = (expanded != reduced);
+    prog = expanded;
+    pending_expansion = expand_changed;
+    if (!expand_changed) break;
+    // Accumulate the §3 penalty: each inlined copy tightens the budget of
+    // subsequent rounds until the process necessarily stops.
+    penalty += opts.expand.round_penalty +
+               static_cast<int>(round_expand.inlined);
+    if (penalty >= opts.penalty_limit) break;
+  }
+  if (pending_expansion) {
+    // The loop stopped right after an expansion (penalty limit or round
+    // budget): clean up the β-redexes it introduced so the result is a
+    // reduction fixpoint.
+    prog = Reduce(m, prog, opts.rewrite, &s->rewrite);
+  }
+  s->output_size = 1 + TermSize(prog->body());
+  return prog;
+}
+
+}  // namespace tml::ir

@@ -1,0 +1,49 @@
+// The two-phase TML optimizer (paper §3).
+//
+// Alternates a reduction pass (applied to its fixpoint; guaranteed to
+// terminate because every rule shrinks the term) with an expansion pass
+// (inlining / view expansion).  Each round accumulates a penalty that
+// tightens the inlining budget, so the alternation terminates "even in
+// obscure cases" exactly as the paper prescribes.
+//
+// The same optimizer object serves the static compiler, the reflective
+// runtime optimizer (§4.1) and the query rewriter (§4.2): they differ only
+// in how much binding information is present in the input term.
+
+#ifndef TML_CORE_OPTIMIZER_H_
+#define TML_CORE_OPTIMIZER_H_
+
+#include <string>
+
+#include "core/expand.h"
+#include "core/module.h"
+#include "core/rewrite.h"
+
+namespace tml::ir {
+
+struct OptimizerOptions {
+  RewriteOptions rewrite;
+  ExpandOptions expand;
+  /// Stop when the accumulated penalty reaches this limit (§3).
+  int penalty_limit = 64;
+  /// Upper bound on reduction/expansion rounds.
+  int max_rounds = 16;
+};
+
+struct OptimizerStats {
+  RewriteStats rewrite;
+  ExpandStats expand;
+  int rounds = 0;
+  size_t input_size = 0;   ///< term size before optimization
+  size_t output_size = 0;  ///< term size after optimization
+  std::string ToString() const;
+};
+
+/// Optimize a whole program (a proc abstraction) in place of module `m`.
+const Abstraction* Optimize(Module* m, const Abstraction* prog,
+                            const OptimizerOptions& opts = {},
+                            OptimizerStats* stats = nullptr);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_OPTIMIZER_H_

@@ -1,0 +1,418 @@
+#include "core/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <string>
+
+namespace tml::ir {
+
+namespace {
+
+enum class Tok : uint8_t {
+  kLParen,
+  kRParen,
+  kSlash,
+  kIdent,
+  kInt,
+  kReal,
+  kChar,
+  kString,
+  kOid,
+  kEnd,
+};
+
+struct Token {
+  Tok kind;
+  std::string text;   // ident / string payload
+  int64_t int_val = 0;
+  double real_val = 0;
+  uint8_t char_val = 0;
+  uint64_t oid_val = 0;
+  size_t pos = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<Token> Next() {
+    SkipWs();
+    Token t;
+    t.pos = pos_;
+    if (pos_ >= text_.size()) {
+      t.kind = Tok::kEnd;
+      return t;
+    }
+    char c = text_[pos_];
+    if (c == '(') {
+      ++pos_;
+      t.kind = Tok::kLParen;
+      return t;
+    }
+    if (c == ')') {
+      ++pos_;
+      t.kind = Tok::kRParen;
+      return t;
+    }
+    if (c == '\'') {
+      // character literal 'x'
+      if (pos_ + 2 >= text_.size() || text_[pos_ + 2] != '\'') {
+        return Err("bad character literal");
+      }
+      t.kind = Tok::kChar;
+      t.char_val = static_cast<uint8_t>(text_[pos_ + 1]);
+      pos_ += 3;
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < text_.size() && text_[pos_] != '"') {
+        if (text_[pos_] == '\\' && pos_ + 1 < text_.size()) ++pos_;
+        s.push_back(text_[pos_++]);
+      }
+      if (pos_ >= text_.size()) return Err("unterminated string literal");
+      ++pos_;  // closing quote
+      t.kind = Tok::kString;
+      t.text = std::move(s);
+      return t;
+    }
+    // number?
+    if (std::isdigit(static_cast<unsigned char>(c)) ||
+        ((c == '-' || c == '+') && pos_ + 1 < text_.size() &&
+         std::isdigit(static_cast<unsigned char>(text_[pos_ + 1])))) {
+      size_t start = pos_;
+      if (c == '-' || c == '+') ++pos_;
+      bool is_real = false;
+      while (pos_ < text_.size()) {
+        char d = text_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' || d == 'e' || d == 'E') {
+          is_real = true;
+          ++pos_;
+          if (pos_ < text_.size() &&
+              (text_[pos_] == '-' || text_[pos_] == '+')) {
+            ++pos_;
+          }
+        } else {
+          break;
+        }
+      }
+      std::string num(text_.substr(start, pos_ - start));
+      if (is_real) {
+        t.kind = Tok::kReal;
+        t.real_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = Tok::kInt;
+        t.int_val = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return t;
+    }
+    // identifier (or <oid ...>)
+    size_t start = pos_;
+    while (pos_ < text_.size() && !IsDelim(text_[pos_])) ++pos_;
+    std::string word(text_.substr(start, pos_ - start));
+    if (word == "/") {
+      t.kind = Tok::kSlash;
+      return t;
+    }
+    if (word == "<oid") {
+      SkipWs();
+      size_t hstart = pos_;
+      while (pos_ < text_.size() && text_[pos_] != '>') ++pos_;
+      if (pos_ >= text_.size()) return Err("unterminated <oid ...>");
+      std::string hex(text_.substr(hstart, pos_ - hstart));
+      ++pos_;  // '>'
+      t.kind = Tok::kOid;
+      t.oid_val = std::strtoull(hex.c_str(), nullptr, 0);
+      return t;
+    }
+    if (word.empty()) return Err("unexpected character");
+    t.kind = Tok::kIdent;
+    t.text = std::move(word);
+    return t;
+  }
+
+ private:
+  static bool IsDelim(char c) {
+    return c == '(' || c == ')' || c == '"' || c == ';' ||
+           std::isspace(static_cast<unsigned char>(c));
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size()) {
+      char c = text_[pos_];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == ';') {
+        while (pos_ < text_.size() && text_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(const std::string& msg) {
+    return Status::Invalid("TML parse error at byte " + std::to_string(pos_) +
+                           ": " + msg);
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+class Parser {
+ public:
+  Parser(Module* m, const PrimitiveRegistry& prims, std::string_view text,
+         const ParseOptions& opts)
+      : m_(m), prims_(prims), lexer_(text), opts_(opts) {}
+
+  Status Init() { return Advance(); }
+
+  Result<const Value*> ParseValue() {
+    switch (cur_.kind) {
+      case Tok::kInt: {
+        const Value* v = m_->IntLit(cur_.int_val);
+        TML_RETURN_NOT_OK(Advance());
+        return v;
+      }
+      case Tok::kReal: {
+        const Value* v = m_->RealLit(cur_.real_val);
+        TML_RETURN_NOT_OK(Advance());
+        return v;
+      }
+      case Tok::kChar: {
+        const Value* v = m_->CharLit(cur_.char_val);
+        TML_RETURN_NOT_OK(Advance());
+        return v;
+      }
+      case Tok::kString: {
+        const Value* v = m_->StringLit(cur_.text);
+        TML_RETURN_NOT_OK(Advance());
+        return v;
+      }
+      case Tok::kOid: {
+        const Value* v = m_->OidVal(cur_.oid_val);
+        TML_RETURN_NOT_OK(Advance());
+        return v;
+      }
+      case Tok::kIdent:
+        return ParseIdentValue();
+      case Tok::kSlash: {
+        // '/' is only a separator inside parameter lists; as a value it is
+        // the integer-division primitive.
+        cur_.kind = Tok::kIdent;
+        cur_.text = "/";
+        return ParseIdentValue();
+      }
+      case Tok::kLParen: {
+        // A parenthesized value can only be an abstraction: `(cont (i) app)`
+        // — CPS forbids nested applications as operands.
+        TML_RETURN_NOT_OK(Advance());
+        if (cur_.kind != Tok::kIdent ||
+            (cur_.text != "cont" && cur_.text != "proc" &&
+             cur_.text != "lambda" && cur_.text != "λ")) {
+          return Status::Invalid(
+              "TML parse error at byte " + std::to_string(cur_.pos) +
+              ": parenthesized operand must be an abstraction "
+              "(CPS forbids nested applications)");
+        }
+        std::string kw = cur_.text;  // copy: ParseAbs advances past cur_
+        TML_ASSIGN_OR_RETURN(const Value* abs, ParseAbs(kw));
+        if (cur_.kind != Tok::kRParen) {
+          return Status::Invalid("TML parse error at byte " +
+                                 std::to_string(cur_.pos) +
+                                 ": expected ')' after abstraction");
+        }
+        TML_RETURN_NOT_OK(Advance());
+        return abs;
+      }
+      default:
+        return Status::Invalid("TML parse error at byte " +
+                               std::to_string(cur_.pos) +
+                               ": expected a value");
+    }
+  }
+
+  Result<const Application*> ParseApp() {
+    if (cur_.kind != Tok::kLParen) {
+      return Status::Invalid("TML parse error at byte " +
+                             std::to_string(cur_.pos) + ": expected '('");
+    }
+    TML_RETURN_NOT_OK(Advance());
+    std::vector<const Value*> elems;
+    while (cur_.kind != Tok::kRParen) {
+      if (cur_.kind == Tok::kEnd) {
+        return Status::Invalid("TML parse error: unterminated application");
+      }
+      TML_ASSIGN_OR_RETURN(const Value* v, ParseValue());
+      elems.push_back(v);
+    }
+    TML_RETURN_NOT_OK(Advance());  // ')'
+    if (elems.empty()) {
+      return Status::Invalid("TML parse error: empty application");
+    }
+    const Value* callee = elems[0];
+    elems.erase(elems.begin());
+    return m_->App(callee, std::span<const Value* const>(elems.data(),
+                                                         elems.size()));
+  }
+
+  Status ExpectEnd() {
+    if (cur_.kind != Tok::kEnd) {
+      return Status::Invalid("TML parse error: trailing input at byte " +
+                             std::to_string(cur_.pos));
+    }
+    return Status::OK();
+  }
+
+  std::vector<Variable*> TakeFreeVars() { return std::move(free_vars_); }
+
+ private:
+  Result<const Value*> ParseIdentValue() {
+    std::string name = cur_.text;
+    if (name == "true" || name == "false") {
+      TML_RETURN_NOT_OK(Advance());
+      return static_cast<const Value*>(m_->BoolLit(name == "true"));
+    }
+    if (name == "nil") {
+      TML_RETURN_NOT_OK(Advance());
+      return static_cast<const Value*>(m_->NilLit());
+    }
+    if (name == "cont" || name == "proc" || name == "lambda" ||
+        name == "λ") {
+      return ParseAbs(name);
+    }
+    TML_RETURN_NOT_OK(Advance());
+    // innermost binding wins
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->first == name) return static_cast<const Value*>(it->second);
+    }
+    if (const Primitive* p = prims_.LookupName(name)) {
+      return static_cast<const Value*>(m_->Prim(p));
+    }
+    if (opts_.allow_free_vars) {
+      for (Variable* fv : free_vars_) {
+        if (m_->NameOf(*fv) == name) return static_cast<const Value*>(fv);
+      }
+      Variable* fv = m_->NewValueVar(name);
+      free_vars_.push_back(fv);
+      return static_cast<const Value*>(fv);
+    }
+    return Status::NotFound("unbound identifier in TML text: " + name);
+  }
+
+  Result<const Value*> ParseAbs(const std::string& kw) {
+    TML_RETURN_NOT_OK(Advance());  // consume keyword
+    if (cur_.kind != Tok::kLParen) {
+      return Status::Invalid("TML parse error: expected '(' after " + kw);
+    }
+    TML_RETURN_NOT_OK(Advance());
+    std::vector<std::string> names;
+    std::vector<bool> marked_cont;
+    bool any_marked = false;
+    int slash_at = -1;
+    while (cur_.kind != Tok::kRParen) {
+      if (cur_.kind == Tok::kSlash) {
+        if (slash_at >= 0) {
+          return Status::Invalid("TML parse error: duplicate '/'");
+        }
+        slash_at = static_cast<int>(names.size());
+        TML_RETURN_NOT_OK(Advance());
+        continue;
+      }
+      if (cur_.kind != Tok::kIdent) {
+        return Status::Invalid("TML parse error: expected parameter name");
+      }
+      // `^name` explicitly marks a continuation-sort parameter (needed for
+      // the Y generator's leading continuation, which neither the '/'
+      // separator nor the proc default can express).
+      if (cur_.text.size() > 1 && cur_.text[0] == '^') {
+        names.push_back(cur_.text.substr(1));
+        marked_cont.push_back(true);
+        any_marked = true;
+      } else {
+        names.push_back(cur_.text);
+        marked_cont.push_back(false);
+      }
+      TML_RETURN_NOT_OK(Advance());
+    }
+    TML_RETURN_NOT_OK(Advance());  // ')'
+
+    size_t num_value;  // for the positional (slash / proc-default) rules
+    if (any_marked || slash_at == static_cast<int>(names.size())) {
+      num_value = names.size();  // sorts come from '^' marks only
+    } else if (slash_at >= 0) {
+      num_value = static_cast<size_t>(slash_at);
+    } else if (kw == "proc") {
+      // ce/cc convention: last two parameters are continuations.
+      if (names.size() < 2) {
+        return Status::Invalid(
+            "TML parse error: proc needs >= 2 parameters (ce cc) "
+            "or an explicit '/'");
+      }
+      num_value = names.size() - 2;
+    } else {
+      num_value = names.size();  // cont / bare lambda: all value params
+    }
+
+    std::vector<Variable*> params;
+    params.reserve(names.size());
+    size_t scope_base = scope_.size();
+    for (size_t i = 0; i < names.size(); ++i) {
+      bool is_cont = marked_cont[i] || i >= num_value;
+      Variable* v = m_->NewVar(
+          names[i], is_cont ? VarSort::kCont : VarSort::kValue);
+      params.push_back(v);
+      scope_.emplace_back(names[i], v);
+    }
+    TML_ASSIGN_OR_RETURN(const Application* body, ParseApp());
+    scope_.resize(scope_base);
+    return static_cast<const Value*>(m_->Abs(
+        std::span<Variable* const>(params.data(), params.size()), body));
+  }
+
+  Status Advance() {
+    TML_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Module* m_;
+  const PrimitiveRegistry& prims_;
+  Lexer lexer_;
+  ParseOptions opts_;
+  Token cur_;
+  std::vector<std::pair<std::string, Variable*>> scope_;
+  std::vector<Variable*> free_vars_;
+};
+
+}  // namespace
+
+Result<ParseOutcome> ParseValueText(Module* m, const PrimitiveRegistry& prims,
+                                    std::string_view text,
+                                    const ParseOptions& opts) {
+  Parser p(m, prims, text, opts);
+  TML_RETURN_NOT_OK(p.Init());
+  TML_ASSIGN_OR_RETURN(const Value* v, p.ParseValue());
+  TML_RETURN_NOT_OK(p.ExpectEnd());
+  ParseOutcome out;
+  out.value = v;
+  out.free_vars = p.TakeFreeVars();
+  return out;
+}
+
+Result<ParseOutcome> ParseAppText(Module* m, const PrimitiveRegistry& prims,
+                                  std::string_view text,
+                                  const ParseOptions& opts) {
+  Parser p(m, prims, text, opts);
+  TML_RETURN_NOT_OK(p.Init());
+  TML_ASSIGN_OR_RETURN(const Application* app, p.ParseApp());
+  TML_RETURN_NOT_OK(p.ExpectEnd());
+  ParseOutcome out;
+  out.app = app;
+  out.free_vars = p.TakeFreeVars();
+  return out;
+}
+
+}  // namespace tml::ir

@@ -1,0 +1,56 @@
+// S-expression parser for the printed TML notation.
+//
+// Grammar (comments run from ';' to end of line):
+//
+//   app    := '(' value+ ')'
+//   value  := INT | REAL | CHAR | STRING | 'true' | 'false' | 'nil'
+//           | '<oid' HEX '>'
+//           | IDENT                      -- bound var, primitive, or free var
+//           | ('cont'|'proc'|'λ'|'lambda') '(' params ')' app
+//   params := IDENT* [ '/' IDENT* ]      -- '/' separates value params from
+//                                        -- continuation params
+//
+// Without an explicit '/': `cont` binds value parameters only; `proc`
+// treats its last two parameters as continuations (the ce/cc convention of
+// §2.2 constraint 5); `λ`/`lambda` binds value parameters only.
+//
+// Identifier resolution: innermost bound variable, else registered
+// primitive, else (when ParseOptions::allow_free_vars) a fresh free
+// variable recorded in ParseOutcome::free_vars.
+
+#ifndef TML_CORE_PARSER_H_
+#define TML_CORE_PARSER_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/module.h"
+#include "core/primitive_registry.h"
+#include "support/status.h"
+
+namespace tml::ir {
+
+struct ParseOptions {
+  bool allow_free_vars = false;
+};
+
+struct ParseOutcome {
+  const Value* value = nullptr;      // set by ParseValueText
+  const Application* app = nullptr;  // set by ParseAppText
+  /// Free variables in first-occurrence order.
+  std::vector<Variable*> free_vars;
+};
+
+/// Parse a single value (most commonly a proc abstraction).
+Result<ParseOutcome> ParseValueText(Module* m, const PrimitiveRegistry& prims,
+                                    std::string_view text,
+                                    const ParseOptions& opts = {});
+
+/// Parse a single application.
+Result<ParseOutcome> ParseAppText(Module* m, const PrimitiveRegistry& prims,
+                                  std::string_view text,
+                                  const ParseOptions& opts = {});
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_PARSER_H_

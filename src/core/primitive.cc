@@ -1,0 +1,16 @@
+#include "core/primitive.h"
+
+namespace tml::ir {
+
+int Primitive::CostEstimate(const Application& call) const {
+  (void)call;
+  return 2;
+}
+
+const Application* Primitive::Fold(Module* m, const Application& call) const {
+  (void)m;
+  (void)call;
+  return nullptr;
+}
+
+}  // namespace tml::ir

@@ -1,0 +1,142 @@
+// Primitive procedures (paper §2.3, Fig. 2).
+//
+// TML factors all "real work" (arithmetic, store access, query evaluation)
+// into primitive procedures outside the language core.  Each primitive
+// carries the four pieces of metadata the paper requires:
+//   1. a target-code mapping        -> PrimOp consumed by vm::CodeGen
+//   2. a meta-evaluation function   -> Primitive::Fold (constant folding)
+//   3. a runtime cost estimate      -> Primitive::CostEstimate
+//   4. optimizer attributes         -> effect class, commutativity, flags
+//
+// New primitives can be registered at back-end compile time
+// (PrimitiveRegistry::Register), which is how the query primitives of §4.2
+// are added without touching the IR.
+
+#ifndef TML_CORE_PRIMITIVE_H_
+#define TML_CORE_PRIMITIVE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace tml::ir {
+
+class Module;
+class Application;
+class Node;
+
+/// Stable identity of a primitive for switch-based dispatch in the folder,
+/// the reference interpreter and the VM code generator.
+enum class PrimOp : uint16_t {
+  // Integer arithmetic: (p a b ce cc) — ce on overflow / division by zero.
+  kAddI,
+  kSubI,
+  kMulI,
+  kDivI,
+  kModI,
+  // Integer comparison: (p a b c_then c_else).
+  kLtI,
+  kGtI,
+  kLeI,
+  kGeI,
+  // Bit operations: (p a b c).
+  kShl,
+  kShr,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  // Real arithmetic (added per §2.3's extension mechanism; needed for the
+  // Stanford programs Mm and Oscar/FFT): (p a b ce cc) resp. (p a b c1 c2).
+  kAddR,
+  kSubR,
+  kMulR,
+  kDivR,
+  kLtR,
+  kLeR,
+  kSqrt,       // (sqrt x ce cc)
+  kIntToReal,  // (int2real x c)
+  kTruncR,     // (real2int x c)
+  // Conversions (Fig. 2).
+  kChar2Int,
+  kInt2Char,
+  // Booleans as values (used by query predicates / trivial-exists, §4.2).
+  kAnd,  // (and a b c)
+  kOr,   // (or a b c)
+  kNot,  // (not a c)
+  kEqB,  // (beq a b c1 c2) — branch on boolean equality of scalars
+  // Aggregates (Fig. 2).
+  kArray,         // (array v1..vn c) — mutable array
+  kVector,        // (vector v1..vn c) — immutable array
+  kMkArray,       // (mkarray n init ce cc) — sized mutable array (§2.3
+                  // extension: registered like any new primitive)
+  kNewByteArray,  // (new n init c)
+  kALoad,         // ([] arr i ce cc)
+  kAStore,        // ([]:= arr i v ce cc)
+  kBLoad,         // ($[] barr i ce cc)
+  kBStore,        // ($[]:= barr i v ce cc)
+  kSize,          // (size arr c)
+  kMove,          // (move dst dstoff src srcoff n c)
+  kBMove,         // ($move dst dstoff src srcoff n c)
+  // Control (Fig. 2).
+  kCase,         // (== v t1..tn c1..cn [celse]) — identity case analysis
+  kY,            // (Y abs) — fixed point of mutually recursive bindings
+  kCCall,        // (ccall fname a1..an ce cc) — native call-out
+  kPushHandler,  // (pushHandler h c)
+  kPopHandler,   // (popHandler c)
+  kRaise,        // (raise v)
+  // Query primitives (§4.2); relations are OIDs into the store.
+  kSelect,   // (select pred rel ce cc) — pred: proc(x ce cc)
+  kProject,  // (project fn rel ce cc)
+  kQJoin,    // (join pred rel1 rel2 ce cc)
+  kExists,   // (exists pred rel ce cc)
+  kEmpty,    // (empty rel c) — true iff |rel| == 0
+  kQCount,   // (card rel c)
+  // Escape hatch for user-registered primitives (dispatch by name).
+  kCustom,
+};
+
+/// Side-effect classes after Gifford & Lucassen (paper §2.3 item 4).
+enum class EffectClass : uint8_t {
+  kPure,     ///< no store interaction; freely foldable / removable
+  kRead,     ///< reads the store (array load, query over stable relation)
+  kWrite,    ///< writes the store
+  kAlloc,    ///< allocates (observable via identity only)
+  kControl,  ///< transfers control non-locally (raise, handler ops)
+};
+
+/// Metadata + behaviour of one primitive procedure.
+///
+/// Fold() is the paper's `eval` meta-evaluation function: given a call whose
+/// arguments allow compile-time evaluation, return a strictly smaller
+/// replacement term (usually an application of one of the continuations),
+/// else nullptr.
+class Primitive {
+ public:
+  virtual ~Primitive() = default;
+
+  virtual std::string_view name() const = 0;
+  virtual PrimOp op() const = 0;
+
+  /// Number of value arguments; -1 for variadic (array, vector, ==, ccall).
+  virtual int num_value_args() const = 0;
+  /// Number of continuation arguments; -1 for variadic (==).
+  virtual int num_cont_args() const = 0;
+
+  virtual EffectClass effect() const = 0;
+  virtual bool commutative() const { return false; }
+
+  /// Abstract-machine instruction count for one execution of this call
+  /// (paper §2.3 item 3); drives the inlining cost model.
+  virtual int CostEstimate(const Application& call) const;
+
+  /// Meta-evaluate `call`; returns the replacement application (allocated in
+  /// `m`) or nullptr when no reduction applies (paper §3, rule `fold`).
+  virtual const Application* Fold(Module* m, const Application& call) const;
+
+  /// True when `fold` may be attempted on this primitive at all.
+  virtual bool foldable() const { return effect() == EffectClass::kPure; }
+};
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_PRIMITIVE_H_

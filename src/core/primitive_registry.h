@@ -1,0 +1,69 @@
+// Registry of primitive procedures, keyed by name and by PrimOp.
+//
+// The standard Fig. 2 set is installed by prims::RegisterStandard(); callers
+// may register additional primitives at back-end compile time (§2.3) — this
+// is how the §4.2 query primitives and any domain-specific bulk operations
+// are added.
+
+#ifndef TML_CORE_PRIMITIVE_REGISTRY_H_
+#define TML_CORE_PRIMITIVE_REGISTRY_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/primitive.h"
+#include "support/status.h"
+
+namespace tml::ir {
+
+class PrimitiveRegistry {
+ public:
+  /// Register a primitive; fails on duplicate name.
+  Status Register(std::unique_ptr<Primitive> prim) {
+    std::string name(prim->name());
+    if (by_name_.count(name) != 0) {
+      return Status::AlreadyExists("primitive already registered: " + name);
+    }
+    const Primitive* p = prim.get();
+    owned_.push_back(std::move(prim));
+    by_name_.emplace(std::move(name), p);
+    if (p->op() != PrimOp::kCustom) by_op_.emplace(p->op(), p);
+    return Status::OK();
+  }
+
+  const Primitive* LookupName(std::string_view name) const {
+    auto it = by_name_.find(std::string(name));
+    return it == by_name_.end() ? nullptr : it->second;
+  }
+
+  const Primitive* LookupOp(PrimOp op) const {
+    auto it = by_op_.find(op);
+    return it == by_op_.end() ? nullptr : it->second;
+  }
+
+  /// All registered primitives, in registration order.
+  std::vector<const Primitive*> All() const {
+    std::vector<const Primitive*> out;
+    out.reserve(owned_.size());
+    for (const auto& p : owned_) out.push_back(p.get());
+    return out;
+  }
+
+ private:
+  struct OpHash {
+    size_t operator()(PrimOp op) const {
+      return static_cast<size_t>(op);
+    }
+  };
+
+  std::vector<std::unique_ptr<Primitive>> owned_;
+  std::unordered_map<std::string, const Primitive*> by_name_;
+  std::unordered_map<PrimOp, const Primitive*, OpHash> by_op_;
+};
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_PRIMITIVE_REGISTRY_H_

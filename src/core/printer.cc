@@ -1,0 +1,141 @@
+#include "core/printer.h"
+
+#include <cstdio>
+
+#include "core/primitive.h"
+
+namespace tml::ir {
+
+namespace {
+
+class Printer {
+ public:
+  Printer(const Module& m, const PrintOptions& opts) : m_(m), opts_(opts) {}
+
+  void Value(const ir::Value* v, int depth) {
+    switch (v->kind()) {
+      case NodeKind::kLiteral:
+        Lit(*Cast<Literal>(v));
+        return;
+      case NodeKind::kOid: {
+        char buf[32];
+        std::snprintf(buf, sizeof(buf), "<oid 0x%08llx>",
+                      static_cast<unsigned long long>(Cast<OidRef>(v)->oid()));
+        out_ += buf;
+        return;
+      }
+      case NodeKind::kVariable:
+        Var(*Cast<Variable>(v));
+        return;
+      case NodeKind::kPrimitive:
+        out_ += Cast<PrimRef>(v)->prim().name();
+        return;
+      case NodeKind::kAbstraction:
+        Abs(*Cast<Abstraction>(v), depth);
+        return;
+      case NodeKind::kApplication:
+        out_ += "<bad-node>";
+        return;
+    }
+  }
+
+  void Abs(const Abstraction& abs, int depth) {
+    out_ += abs.is_cont() ? "cont(" : "proc(";
+    bool first = true;
+    for (const Variable* p : abs.params()) {
+      if (!first) out_ += ' ';
+      first = false;
+      // `^` marks continuation-sort parameters so the printed form
+      // re-parses with identical sorts (see parser.h).
+      if (p->is_cont() && opts_.explicit_sorts) out_ += '^';
+      Var(*p);
+    }
+    out_ += ")";
+    Newline(depth + 1);
+    App(abs.body(), depth + 1);
+  }
+
+  void App(const Application* app, int depth) {
+    out_ += '(';
+    Value(app->callee(), depth);
+    for (const ir::Value* a : app->args()) {
+      if (Isa<Abstraction>(a)) {
+        Newline(depth + 1);
+      } else {
+        out_ += ' ';
+      }
+      Value(a, depth + 1);
+    }
+    out_ += ')';
+  }
+
+  std::string Take() { return std::move(out_); }
+
+ private:
+  void Var(const Variable& v) {
+    out_ += m_.NameOf(v);
+    if (opts_.uid_suffix) {
+      out_ += '_';
+      out_ += std::to_string(v.uid());
+    }
+  }
+
+  void Lit(const Literal& lit) {
+    char buf[64];
+    switch (lit.lit_kind()) {
+      case LitKind::kNil:
+        out_ += "nil";
+        return;
+      case LitKind::kBool:
+        out_ += lit.bool_value() ? "true" : "false";
+        return;
+      case LitKind::kInt:
+        out_ += std::to_string(lit.int_value());
+        return;
+      case LitKind::kChar:
+        std::snprintf(buf, sizeof(buf), "'%c'", lit.char_value());
+        out_ += buf;
+        return;
+      case LitKind::kReal:
+        std::snprintf(buf, sizeof(buf), "%g", lit.real_value());
+        if (std::string_view(buf).find_first_of(".eE") ==
+            std::string_view::npos) {
+          std::snprintf(buf, sizeof(buf), "%.1f", lit.real_value());
+        }
+        out_ += buf;
+        return;
+      case LitKind::kString:
+        out_ += '"';
+        out_ += lit.string_value();
+        out_ += '"';
+        return;
+    }
+  }
+
+  void Newline(int depth) {
+    out_ += '\n';
+    out_.append(static_cast<size_t>(depth * opts_.indent), ' ');
+  }
+
+  const Module& m_;
+  const PrintOptions& opts_;
+  std::string out_;
+};
+
+}  // namespace
+
+std::string PrintValue(const Module& m, const Value* v,
+                       const PrintOptions& opts) {
+  Printer p(m, opts);
+  p.Value(v, 0);
+  return p.Take();
+}
+
+std::string PrintApp(const Module& m, const Application* app,
+                     const PrintOptions& opts) {
+  Printer p(m, opts);
+  p.App(app, 0);
+  return p.Take();
+}
+
+}  // namespace tml::ir

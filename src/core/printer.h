@@ -1,0 +1,41 @@
+// Pretty printer producing the paper's TML notation (§2.2, §4.1):
+//
+//   proc(c_10 c_11)
+//   (λ(complex_6 x_7 +_8 sqrt_9)
+//    (complex_6 x_7 2 cont(t_12)
+//     (t_12 c_10 cont(t_13)
+//      ...)))
+//
+// Variables print as `name_uid` (the α-conversion suffix), abstractions as
+// `cont(..)` when they take no continuation parameters and `proc(..)`
+// otherwise, object identifiers as `<oid 0x...>`.
+
+#ifndef TML_CORE_PRINTER_H_
+#define TML_CORE_PRINTER_H_
+
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+
+namespace tml::ir {
+
+struct PrintOptions {
+  /// Print `name_uid`; with false, just `name` (compact docs/examples).
+  bool uid_suffix = true;
+  /// Prefix continuation-sort parameters with `^` so that the printed form
+  /// re-parses with identical variable sorts.  Disable for the pure paper
+  /// notation in documentation output.
+  bool explicit_sorts = true;
+  /// Spaces per nesting level.
+  int indent = 1;
+};
+
+std::string PrintValue(const Module& m, const Value* v,
+                       const PrintOptions& opts = {});
+std::string PrintApp(const Module& m, const Application* app,
+                     const PrintOptions& opts = {});
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_PRINTER_H_

@@ -1,0 +1,378 @@
+#include "core/rewrite.h"
+
+#include <cassert>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/primitive.h"
+#include "core/subst.h"
+
+namespace tml::ir {
+
+std::string RewriteStats::ToString() const {
+  std::string s;
+  s += "subst=" + std::to_string(subst);
+  s += " remove=" + std::to_string(remove);
+  s += " reduce=" + std::to_string(reduce);
+  s += " eta=" + std::to_string(eta);
+  s += " fold=" + std::to_string(fold);
+  s += " case-subst=" + std::to_string(case_subst);
+  s += " Y-remove=" + std::to_string(y_remove);
+  s += " Y-reduce=" + std::to_string(y_reduce);
+  s += " Y-subst=" + std::to_string(y_subst);
+  s += " sweeps=" + std::to_string(sweeps);
+  return s;
+}
+
+RewriteStats& RewriteStats::operator+=(const RewriteStats& o) {
+  subst += o.subst;
+  remove += o.remove;
+  reduce += o.reduce;
+  eta += o.eta;
+  fold += o.fold;
+  case_subst += o.case_subst;
+  y_remove += o.y_remove;
+  y_reduce += o.y_reduce;
+  y_subst += o.y_subst;
+  sweeps += o.sweeps;
+  return *this;
+}
+
+namespace {
+
+// NOTE on |E|_v: thanks to the unique-binding rule every occurrence of a
+// variable lies beneath its binder, so each rule precondition is decidable
+// by a *local* traversal of the binder's scope (the |app|_v of §3, taken
+// literally).  The reducer therefore recounts at each rule site instead of
+// maintaining a global incremental map — immune to drift by construction.
+class Reducer {
+ public:
+  Reducer(Module* m, const RewriteOptions& opts, RewriteStats* stats)
+      : m_(m), opts_(opts), stats_(stats) {}
+
+  const Application* Fixpoint(const Application* app) {
+    for (int i = 0; i < opts_.max_sweeps; ++i) {
+      changed_ = false;
+      app = RewriteApp(app);
+      Bump(&stats_->sweeps);
+      if (!changed_) break;
+    }
+    return app;
+  }
+
+ private:
+  // ---- Sweep machinery -------------------------------------------------
+
+  const Value* RewriteValue(const Value* v) {
+    if (!Isa<Abstraction>(v)) return v;
+    const Abstraction* abs = Cast<Abstraction>(v);
+    const Application* body = RewriteApp(abs->body());
+    if (body != abs->body()) abs = m_->Abs(abs->params(), body);
+    return TryEta(abs);
+  }
+
+  const Application* RewriteApp(const Application* app) {
+    // Bottom-up: operands first.
+    bool rebuilt = false;
+    std::vector<const Value*> elems;
+    elems.reserve(app->num_args() + 1);
+    {
+      const Value* c = RewriteValue(app->callee());
+      rebuilt |= (c != app->callee());
+      elems.push_back(c);
+    }
+    for (const Value* a : app->args()) {
+      const Value* na = RewriteValue(a);
+      rebuilt |= (na != a);
+      elems.push_back(na);
+    }
+    if (rebuilt) app = m_->AppWith(*app, std::move(elems));
+
+    const Value* callee = app->callee();
+    if (Isa<Abstraction>(callee)) return RewriteBeta(app);
+    if (Isa<PrimRef>(callee)) return RewritePrim(app);
+    return app;
+  }
+
+  // ---- η-reduce ---------------------------------------------------------
+
+  const Value* TryEta(const Abstraction* abs) {
+    if (!opts_.enable_eta) return abs;
+    const Application* body = abs->body();
+    if (body->num_args() != abs->num_params() || abs->num_params() == 0) {
+      return abs;
+    }
+    for (size_t i = 0; i < abs->num_params(); ++i) {
+      if (body->arg(i) != abs->param(i)) return abs;
+    }
+    const Value* target = body->callee();
+    for (const Variable* p : abs->params()) {
+      if (CountOccurrences(target, p) != 0) return abs;
+    }
+    Bump(&stats_->eta);
+    changed_ = true;
+    return target;
+  }
+
+  // ---- subst / remove / reduce on ((λ..)..) ------------------------------
+
+  const Application* RewriteBeta(const Application* app) {
+    const Abstraction* abs = Cast<Abstraction>(app->callee());
+    if (abs->num_params() != app->num_args()) return app;  // ill-formed
+
+    const Application* body = abs->body();
+    std::vector<Variable*> keep_params;
+    std::vector<const Value*> keep_args;
+    bool local_changed = false;
+
+    for (size_t i = 0; i < abs->num_params(); ++i) {
+      Variable* v = abs->param(i);
+      const Value* arg = app->arg(i);
+      // |body|_v by local traversal (exact: all occurrences are in scope).
+      uint32_t cnt = CountOccurrences(body, v);
+      bool arg_is_abs = Isa<Abstraction>(arg);
+      // Substituting an abstraction relies on `remove` striking the (now
+      // dead) binding immediately — otherwise the same abstraction object
+      // would appear twice, breaking unique binding (the paper makes the
+      // same observation in §3).
+      bool subst_ok = opts_.enable_subst &&
+                      (!arg_is_abs || opts_.enable_remove);
+      if (subst_ok && cnt > 0 && (!arg_is_abs || cnt == 1)) {
+        // subst: replace every occurrence; the precondition keeps
+        // abstraction bodies from being duplicated.
+        body = Substitute(m_, body, v, arg);
+        cnt = 0;
+        local_changed = true;
+        Bump(&stats_->subst);
+      }
+      if (opts_.enable_remove && cnt == 0) {
+        // remove: strike the dead binding together with its value.
+        local_changed = true;
+        Bump(&stats_->remove);
+        continue;
+      }
+      keep_params.push_back(v);
+      keep_args.push_back(arg);
+    }
+
+    if (keep_params.empty() && opts_.enable_reduce) {
+      Bump(&stats_->reduce);
+      changed_ = true;
+      return body;
+    }
+    if (!local_changed) return app;
+    changed_ = true;
+    return m_->App(
+        m_->Abs(std::span<Variable* const>(keep_params.data(),
+                                           keep_params.size()),
+                body),
+        std::span<const Value* const>(keep_args.data(), keep_args.size()));
+  }
+
+  // ---- primitive rules ---------------------------------------------------
+
+  const Application* RewritePrim(const Application* app) {
+    const Primitive& prim = Cast<PrimRef>(app->callee())->prim();
+    switch (prim.op()) {
+      case PrimOp::kCase:
+        return RewriteCase(app);
+      case PrimOp::kY:
+        return RewriteY(app);
+      default:
+        break;
+    }
+    if (!opts_.enable_fold || !prim.foldable()) return app;
+    const Application* folded = prim.Fold(m_, *app);
+    if (folded == nullptr) return app;
+    Bump(&stats_->fold);
+    changed_ = true;
+    return folded;
+  }
+
+  // (== v t1..tn c1..cn [celse]) — fold on literal scrutinee; case-subst on
+  // variable scrutinee.
+  const Application* RewriteCase(const Application* app) {
+    if (app->num_args() < 3) return app;
+    const Value* scrutinee = app->arg(0);
+    size_t num_tags = 0;
+    while (1 + num_tags < app->num_args() &&
+           Isa<Literal>(app->arg(1 + num_tags))) {
+      ++num_tags;
+    }
+    size_t num_conts = app->num_args() - 1 - num_tags;
+    if (num_tags == 0 ||
+        (num_conts != num_tags && num_conts != num_tags + 1)) {
+      return app;  // ill-formed; leave for the validator
+    }
+    bool has_else = num_conts == num_tags + 1;
+
+    if (opts_.enable_fold && Isa<Literal>(scrutinee)) {
+      // fold ==: the matching branch (or else) is invoked directly.
+      const Literal* lit = Cast<Literal>(scrutinee);
+      const Value* taken = nullptr;
+      for (size_t i = 0; i < num_tags; ++i) {
+        const Literal* tag = Cast<Literal>(app->arg(1 + i));
+        if (LiteralEquals(*lit, *tag)) {
+          taken = app->arg(1 + num_tags + i);
+          break;
+        }
+      }
+      if (taken == nullptr && has_else) {
+        taken = app->arg(app->num_args() - 1);
+      }
+      if (taken != nullptr) {
+        Bump(&stats_->fold);
+        changed_ = true;
+        return m_->App(taken, {});
+      }
+      return app;
+    }
+
+    if (!opts_.enable_case_subst || !Isa<Variable>(scrutinee)) return app;
+    const Variable* v = Cast<Variable>(scrutinee);
+    bool fired = false;
+    std::vector<const Value*> elems;
+    elems.reserve(app->num_args() + 1);
+    elems.push_back(app->callee());
+    for (size_t i = 0; i < app->num_args(); ++i) elems.push_back(app->arg(i));
+    for (size_t i = 0; i < num_tags; ++i) {
+      const Value* branch = app->arg(1 + num_tags + i);
+      const Abstraction* abs = DynCast<Abstraction>(branch);
+      if (abs == nullptr) continue;
+      if (CountOccurrences(abs->body(), v) == 0) continue;
+      const Application* nb = Substitute(m_, abs->body(), v, app->arg(1 + i));
+      elems[1 + 1 + num_tags + i] = m_->Abs(abs->params(), nb);
+      fired = true;
+    }
+    if (!fired) return app;
+    Bump(&stats_->case_subst);
+    changed_ = true;
+    return m_->AppWith(*app, std::move(elems));
+  }
+
+  // (Y λ(c0 v1..vn c)(c k0 abs1..absn)) — substitute leaf bindings, strike
+  // dead recursive bindings, collapse empty fixpoints.
+  const Application* RewriteY(const Application* app) {
+    if (app->num_args() != 1) return app;
+    const Abstraction* gen = DynCast<Abstraction>(app->arg(0));
+    if (gen == nullptr || gen->num_params() < 2) return app;
+    const Application* ybody = gen->body();
+    const Variable* c0 = gen->param(0);
+    const Variable* c = gen->param(gen->num_params() - 1);
+    if (ybody->callee() != c) return app;
+    size_t n = gen->num_params() - 2;
+    if (ybody->num_args() != n + 1) return app;
+
+    // Y-subst: a binding whose value is a *leaf* (η reduced a wrapper to
+    // its primitive, or copy propagation produced a variable/constant) is
+    // substituted at every occurrence and struck — like `subst`, leaves
+    // may be copied freely.  This rule restores the Fig. 2 shape invariant
+    // (Y bodies return abstractions), so it is not gated by
+    // enable_y_rules.
+    for (size_t i = 1; i <= n; ++i) {
+      const Value* reti = ybody->arg(i);
+      if (Isa<Abstraction>(reti)) continue;
+      Variable* vi = gen->param(i);
+      // v := v denotes ⊥ (a forwarding loop η-reduced onto itself);
+      // substituting it would unbind other occurrences — leave it for
+      // Y-remove to strike once dead.
+      if (reti == vi) continue;
+      const Application* nbody0 = Substitute(m_, ybody, vi, reti);
+      std::vector<Variable*> nparams;
+      std::vector<const Value*> nrets;
+      for (size_t j = 0; j < gen->num_params(); ++j) {
+        if (j != i) nparams.push_back(gen->param(j));
+      }
+      nrets.push_back(nbody0->arg(0));
+      for (size_t j = 1; j <= n; ++j) {
+        if (j != i) nrets.push_back(nbody0->arg(j));
+      }
+      const Application* nybody =
+          m_->App(nbody0->callee(),
+                  std::span<const Value* const>(nrets.data(), nrets.size()));
+      const Abstraction* ngen = m_->Abs(
+          std::span<Variable* const>(nparams.data(), nparams.size()),
+          nybody);
+      Bump(&stats_->y_subst);
+      changed_ = true;
+      // Re-process the rebuilt Y application this sweep.
+      return RewritePrim(m_->App(app->callee(), {ngen}));
+    }
+
+    if (!opts_.enable_y_rules) return app;
+
+    // Y-remove: |app|_vi = 0 ∧ ∀j≠i |val_j|_vi = 0, checked by local
+    // traversal of the entry and the *other* bindings (occurrences inside
+    // v_i's own body are allowed — self recursion of a dead function).
+    std::vector<Variable*> keep_params;
+    std::vector<const Value*> keep_rets;
+    keep_params.push_back(gen->param(0));
+    keep_rets.push_back(ybody->arg(0));
+    bool removed = false;
+    for (size_t i = 1; i <= n; ++i) {
+      Variable* vi = gen->param(i);
+      uint32_t external = CountOccurrences(ybody->arg(0), vi);
+      for (size_t j = 1; j <= n && external == 0; ++j) {
+        if (j != i) external += CountOccurrences(ybody->arg(j), vi);
+      }
+      if (external == 0) {
+        removed = true;
+        Bump(&stats_->y_remove);
+        continue;
+      }
+      keep_params.push_back(vi);
+      keep_rets.push_back(ybody->arg(i));
+    }
+    size_t n2 = keep_params.size() - 1;
+    keep_params.push_back(gen->param(gen->num_params() - 1));
+
+    // Y-reduce: no recursive bindings left and the entry continuation is
+    // not self-referential -> the fixpoint collapses to the entry body.
+    const Abstraction* entry = DynCast<Abstraction>(keep_rets[0]);
+    if (n2 == 0 && entry != nullptr && entry->num_params() == 0 &&
+        CountOccurrences(entry->body(), c0) == 0) {
+      Bump(&stats_->y_reduce);
+      changed_ = true;
+      return entry->body();
+    }
+
+    if (!removed) return app;
+    changed_ = true;
+    const Application* nbody =
+        m_->App(c, std::span<const Value* const>(keep_rets.data(),
+                                                 keep_rets.size()));
+    const Abstraction* ngen =
+        m_->Abs(std::span<Variable* const>(keep_params.data(),
+                                           keep_params.size()),
+                nbody);
+    return m_->App(app->callee(), {ngen});
+  }
+
+  void Bump(uint64_t* counter) { ++*counter; }
+
+  Module* m_;
+  const RewriteOptions& opts_;
+  RewriteStats* stats_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+const Abstraction* Reduce(Module* m, const Abstraction* prog,
+                          const RewriteOptions& opts, RewriteStats* stats) {
+  RewriteStats local;
+  Reducer r(m, opts, stats != nullptr ? stats : &local);
+  const Application* body = r.Fixpoint(prog->body());
+  if (body == prog->body()) return prog;
+  return m->Abs(prog->params(), body);
+}
+
+const Application* ReduceApp(Module* m, const Application* app,
+                             const RewriteOptions& opts,
+                             RewriteStats* stats) {
+  RewriteStats local;
+  Reducer r(m, opts, stats != nullptr ? stats : &local);
+  return r.Fixpoint(app);
+}
+
+}  // namespace tml::ir

@@ -1,0 +1,87 @@
+// The TML reduction pass (paper §3).
+//
+// Implements the core rewrite rules
+//
+//   subst       λ(..v..)app / ..val..   ->  λ(..v..)app[val/v] / ..val..
+//               (val ∉ Abs ∨ |app|_v = 1)
+//   remove      |app|_v = 0             ->  strike the binding and its value
+//   reduce      (λ()app)                ->  app
+//   η-reduce    λ(v1..vn)(val v1..vn)   ->  val        (∀i |val|_vi = 0)
+//   fold        (prim val1..valn)       ->  eval(prim, val1..valn)
+//   case-subst  branch bodies see the matched tag value
+//   Y-remove    unreferenced recursive bindings are struck
+//   Y-reduce    (Y λ(c0 c)(c cont()app)) -> app          (|app|_c0 = 0)
+//
+// applied bottom-up until no rule fires.  Every rule strictly shrinks the
+// term (or is idempotence-guarded), so each sweep terminates and the
+// fixpoint loop needs at most O(term size) sweeps.
+//
+// |E|_v is tracked in an OccurrenceMap built per sweep and updated exactly
+// at every rule application, keeping the `subst` precondition |app|_v = 1
+// for abstractions sound even after earlier copy propagation in the same
+// sweep (duplicating an abstraction would break the unique-binding rule).
+//
+// Per-rule enable flags exist for the E5 ablation benchmarks; per-rule
+// counters feed the optimizer statistics the paper attaches to generated
+// code ("costs, savings, ...", §4.1).
+
+#ifndef TML_CORE_REWRITE_H_
+#define TML_CORE_REWRITE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+
+namespace tml::ir {
+
+struct RewriteOptions {
+  bool enable_subst = true;
+  bool enable_remove = true;
+  bool enable_reduce = true;
+  bool enable_eta = true;
+  bool enable_fold = true;
+  bool enable_case_subst = true;
+  bool enable_y_rules = true;
+  /// Safety bound on fixpoint sweeps (each sweep shrinks the term, so this
+  /// is never reached by well-formed input).
+  int max_sweeps = 1000;
+};
+
+struct RewriteStats {
+  uint64_t subst = 0;
+  uint64_t remove = 0;
+  uint64_t reduce = 0;
+  uint64_t eta = 0;
+  uint64_t fold = 0;
+  uint64_t case_subst = 0;
+  uint64_t y_remove = 0;
+  uint64_t y_reduce = 0;
+  /// Y-subst: a recursive binding whose value η-reduced to a leaf (most
+  /// prominently a library wrapper collapsing to its primitive) is
+  /// substituted at every use — the companion of `subst` for Y scopes.
+  uint64_t y_subst = 0;
+  uint64_t sweeps = 0;
+
+  uint64_t TotalApplications() const {
+    return subst + remove + reduce + eta + fold + case_subst + y_remove +
+           y_reduce + y_subst;
+  }
+  std::string ToString() const;
+  RewriteStats& operator+=(const RewriteStats& o);
+};
+
+/// Reduce a whole program (proc abstraction) to its rewrite fixpoint.
+const Abstraction* Reduce(Module* m, const Abstraction* prog,
+                          const RewriteOptions& opts = {},
+                          RewriteStats* stats = nullptr);
+
+/// Reduce a bare application (used by tests and the query rewriter).
+const Application* ReduceApp(Module* m, const Application* app,
+                             const RewriteOptions& opts = {},
+                             RewriteStats* stats = nullptr);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_REWRITE_H_

@@ -1,0 +1,45 @@
+#include "core/subst.h"
+
+#include <vector>
+
+namespace tml::ir {
+
+const Value* SubstituteValue(Module* m, const Value* node, const Variable* v,
+                             const Value* val) {
+  switch (node->kind()) {
+    case NodeKind::kLiteral:
+    case NodeKind::kOid:
+    case NodeKind::kPrimitive:
+      return node;
+    case NodeKind::kVariable:
+      return node == v ? val : node;
+    case NodeKind::kAbstraction: {
+      const Abstraction* abs = Cast<Abstraction>(node);
+      const Application* body = Substitute(m, abs->body(), v, val);
+      if (body == abs->body()) return node;  // share unchanged subtree
+      return m->Abs(abs->params(), body);
+    }
+    case NodeKind::kApplication:
+      return node;  // unreachable
+  }
+  return node;
+}
+
+const Application* Substitute(Module* m, const Application* app,
+                              const Variable* v, const Value* val) {
+  bool changed = false;
+  std::vector<const Value*> elems;
+  elems.reserve(app->num_args() + 1);
+  const Value* callee = SubstituteValue(m, app->callee(), v, val);
+  changed |= (callee != app->callee());
+  elems.push_back(callee);
+  for (const Value* a : app->args()) {
+    const Value* na = SubstituteValue(m, a, v, val);
+    changed |= (na != a);
+    elems.push_back(na);
+  }
+  if (!changed) return app;
+  return m->AppWith(*app, std::move(elems));
+}
+
+}  // namespace tml::ir

@@ -1,0 +1,25 @@
+// Identifier substitution E[val/v] (paper §3).
+//
+// Functional path-copying: subtrees that contain no occurrence of `v` are
+// shared with the input term, so substitution is O(|E|) with no allocation
+// along unchanged paths.  Because of the unique-binding rule no α-collision
+// can occur; when `val` is an abstraction the caller must guarantee that at
+// most one occurrence is replaced (the `subst` rule precondition), otherwise
+// the clone must be α-renamed first (see the expansion pass).
+
+#ifndef TML_CORE_SUBST_H_
+#define TML_CORE_SUBST_H_
+
+#include "core/module.h"
+#include "core/node.h"
+
+namespace tml::ir {
+
+const Value* SubstituteValue(Module* m, const Value* node, const Variable* v,
+                             const Value* val);
+const Application* Substitute(Module* m, const Application* app,
+                              const Variable* v, const Value* val);
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_SUBST_H_

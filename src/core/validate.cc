@@ -1,0 +1,292 @@
+#include "core/validate.h"
+
+#include <string>
+#include <unordered_set>
+
+#include "core/primitive.h"
+#include "core/printer.h"
+
+namespace tml::ir {
+
+namespace {
+
+/// Expected sort of an argument position.
+enum class ArgSort : uint8_t { kValue, kCont };
+
+class Validator {
+ public:
+  Validator(const Module& m, const ValidateOptions& opts) : m_(m) {
+    for (const Variable* v : opts.free) in_scope_.insert(v);
+  }
+
+  Status CheckProgram(const Abstraction* prog) {
+    TML_RETURN_NOT_OK(CheckProcShape(prog));
+    return CheckAbs(prog);
+  }
+
+  Status CheckTopApp(const Application* app) { return CheckApp(app); }
+
+ private:
+  Status CheckAbs(const Abstraction* abs) {
+    for (Variable* p : abs->params()) {
+      if (!bound_once_.insert(p).second) {
+        return Err("variable bound more than once (unique-binding rule): " +
+                   VarName(p));
+      }
+      in_scope_.insert(p);
+    }
+    TML_RETURN_NOT_OK(CheckApp(abs->body()));
+    for (Variable* p : abs->params()) in_scope_.erase(p);
+    return Status::OK();
+  }
+
+  Status CheckApp(const Application* app) {
+    // Callee-specific arity/sort layout.
+    const Value* callee = app->callee();
+    switch (callee->kind()) {
+      case NodeKind::kLiteral:
+      case NodeKind::kOid:
+        return Err("literal or OID in functional position");
+      case NodeKind::kAbstraction: {
+        const Abstraction* abs = Cast<Abstraction>(callee);
+        if (abs->num_params() != app->num_args()) {
+          return Err("arity mismatch: abstraction expects " +
+                     std::to_string(abs->num_params()) + " args, got " +
+                     std::to_string(app->num_args()));
+        }
+        for (size_t i = 0; i < app->num_args(); ++i) {
+          ArgSort want = abs->param(i)->is_cont() ? ArgSort::kCont
+                                                  : ArgSort::kValue;
+          TML_RETURN_NOT_OK(CheckArg(app->arg(i), want));
+        }
+        return CheckAbs(abs);
+      }
+      case NodeKind::kVariable: {
+        const Variable* v = Cast<Variable>(callee);
+        TML_RETURN_NOT_OK(CheckVarInScope(v));
+        if (v->is_cont()) {
+          // Continuations receive values only.
+          for (const Value* a : app->args()) {
+            TML_RETURN_NOT_OK(CheckArg(a, ArgSort::kValue));
+          }
+        } else {
+          // User-level proc: value args then exactly (ce cc).
+          if (app->num_args() < 2) {
+            return Err("proc call needs at least (ce cc) continuations");
+          }
+          for (size_t i = 0; i < app->num_args(); ++i) {
+            ArgSort want = (i + 2 >= app->num_args()) ? ArgSort::kCont
+                                                      : ArgSort::kValue;
+            TML_RETURN_NOT_OK(CheckArg(app->arg(i), want));
+          }
+        }
+        return Status::OK();
+      }
+      case NodeKind::kPrimitive:
+        return CheckPrimCall(Cast<PrimRef>(callee)->prim(), app);
+      case NodeKind::kApplication:
+        return Err("nested application (CPS forbids non-atomic operands)");
+    }
+    return Status::OK();
+  }
+
+  Status CheckPrimCall(const Primitive& prim, const Application* app) {
+    if (prim.op() == PrimOp::kCase) return CheckCase(app);
+    if (prim.op() == PrimOp::kY) return CheckY(app);
+    if (prim.op() == PrimOp::kCCall) return CheckCCall(app);
+
+    int nv = prim.num_value_args();
+    int nc = prim.num_cont_args();
+    if (nv >= 0 && nc >= 0 &&
+        app->num_args() != static_cast<size_t>(nv + nc)) {
+      return Err("primitive '" + std::string(prim.name()) + "' expects " +
+                 std::to_string(nv + nc) + " args, got " +
+                 std::to_string(app->num_args()));
+    }
+    size_t num_value = nv >= 0 ? static_cast<size_t>(nv)
+                               : app->num_args() - static_cast<size_t>(nc);
+    for (size_t i = 0; i < app->num_args(); ++i) {
+      ArgSort want = i < num_value ? ArgSort::kValue : ArgSort::kCont;
+      TML_RETURN_NOT_OK(CheckArg(app->arg(i), want));
+    }
+    return Status::OK();
+  }
+
+  // (== v t1..tn c1..cn [celse]) — tags are literals, n >= 1.
+  Status CheckCase(const Application* app) {
+    if (app->num_args() < 3) return Err("'==' needs scrutinee, tag, branch");
+    TML_RETURN_NOT_OK(CheckArg(app->arg(0), ArgSort::kValue));
+    size_t i = 1;
+    size_t num_tags = 0;
+    while (i < app->num_args() && Isa<Literal>(app->arg(i))) {
+      ++num_tags;
+      ++i;
+    }
+    if (num_tags == 0) return Err("'==' needs at least one literal tag");
+    size_t num_conts = app->num_args() - 1 - num_tags;
+    if (num_conts != num_tags && num_conts != num_tags + 1) {
+      return Err("'==' needs one branch per tag plus optional else");
+    }
+    for (; i < app->num_args(); ++i) {
+      TML_RETURN_NOT_OK(CheckArg(app->arg(i), ArgSort::kCont));
+    }
+    return Status::OK();
+  }
+
+  // (Y λ(c0 v1..vn c)(c cont()app abs1..absn))
+  Status CheckY(const Application* app) {
+    if (app->num_args() != 1 || !Isa<Abstraction>(app->arg(0))) {
+      return Err("'Y' takes exactly one abstraction argument");
+    }
+    const Abstraction* gen = Cast<Abstraction>(app->arg(0));
+    if (gen->num_params() < 2) return Err("'Y' abstraction needs (c0 .. c)");
+    const Variable* c0 = gen->param(0);
+    const Variable* c = gen->param(gen->num_params() - 1);
+    if (!c0->is_cont() || !c->is_cont()) {
+      return Err("'Y' abstraction must begin and end with cont params");
+    }
+    const Application* body = gen->body();
+    if (body->callee() != c) {
+      return Err("'Y' abstraction body must apply its last parameter");
+    }
+    size_t n = gen->num_params() - 2;
+    if (body->num_args() != n + 1) {
+      return Err("'Y' body must return " + std::to_string(n + 1) +
+                 " abstractions");
+    }
+    for (size_t i = 0; i < body->num_args(); ++i) {
+      if (!Isa<Abstraction>(body->arg(i))) {
+        return Err("'Y' body may only return abstractions");
+      }
+    }
+    // The entry abstraction (bound to c0) takes no parameters.
+    if (Cast<Abstraction>(body->arg(0))->num_params() != 0) {
+      return Err("'Y' entry continuation must be cont()");
+    }
+    // Bind the generator's parameters, then check each returned abstraction
+    // directly: the body application (c k0 abs1..absn) is the multiple-value
+    // return protocol of Y, not an ordinary call, so the abstractions are
+    // not subject to the value-position (ce cc) shape rule — instead each
+    // abs_i must agree in kind with the sort of the variable v_i it binds.
+    for (Variable* p : gen->params()) {
+      if (!bound_once_.insert(p).second) {
+        return Err("variable bound more than once (unique-binding rule): " +
+                   VarName(p));
+      }
+      in_scope_.insert(p);
+    }
+    Status st = Status::OK();
+    for (size_t i = 0; st.ok() && i < body->num_args(); ++i) {
+      const Abstraction* abs = Cast<Abstraction>(body->arg(i));
+      if (i > 0) {
+        const Variable* vi = gen->param(i);  // v_i pairs with abs_i
+        if (vi->is_cont() != abs->is_cont()) {
+          return Err("'Y' binding sort mismatch for " + VarName(vi));
+        }
+        if (!vi->is_cont()) TML_RETURN_NOT_OK(CheckProcShape(abs));
+      }
+      st = CheckAbs(abs);
+    }
+    for (Variable* p : gen->params()) in_scope_.erase(p);
+    return st;
+  }
+
+  // (ccall "name" a1..an ce cc)
+  Status CheckCCall(const Application* app) {
+    if (app->num_args() < 3) return Err("'ccall' needs name, ce, cc");
+    const Literal* name = DynCast<Literal>(app->arg(0));
+    if (name == nullptr || name->lit_kind() != LitKind::kString) {
+      return Err("'ccall' first argument must be a string literal");
+    }
+    for (size_t i = 1; i + 2 < app->num_args(); ++i) {
+      TML_RETURN_NOT_OK(CheckArg(app->arg(i), ArgSort::kValue));
+    }
+    TML_RETURN_NOT_OK(CheckArg(app->arg(app->num_args() - 2), ArgSort::kCont));
+    TML_RETURN_NOT_OK(CheckArg(app->arg(app->num_args() - 1), ArgSort::kCont));
+    return Status::OK();
+  }
+
+  Status CheckArg(const Value* arg, ArgSort want) {
+    switch (arg->kind()) {
+      case NodeKind::kLiteral:
+      case NodeKind::kOid:
+      case NodeKind::kPrimitive:
+        if (want == ArgSort::kCont) {
+          return Err("constant in continuation position");
+        }
+        return Status::OK();
+      case NodeKind::kVariable: {
+        const Variable* v = Cast<Variable>(arg);
+        TML_RETURN_NOT_OK(CheckVarInScope(v));
+        if (want == ArgSort::kValue && v->is_cont()) {
+          return Err("continuation variable escapes to value position: " +
+                     VarName(v));
+        }
+        if (want == ArgSort::kCont && !v->is_cont()) {
+          return Err("value variable used as continuation: " + VarName(v));
+        }
+        return Status::OK();
+      }
+      case NodeKind::kAbstraction: {
+        const Abstraction* abs = Cast<Abstraction>(arg);
+        if (want == ArgSort::kValue) {
+          TML_RETURN_NOT_OK(CheckProcShape(abs));
+        } else if (!abs->is_cont()) {
+          return Err("proc abstraction used as continuation");
+        }
+        return CheckAbs(abs);
+      }
+      case NodeKind::kApplication:
+        return Err("application used as operand");
+    }
+    return Status::OK();
+  }
+
+  // Constraint 5: value-position abstractions end in exactly (ce cc).
+  Status CheckProcShape(const Abstraction* abs) {
+    size_t n = abs->num_params();
+    if (abs->num_cont_params() != 2 || n < 2 ||
+        !abs->param(n - 1)->is_cont() || !abs->param(n - 2)->is_cont()) {
+      return Err(
+          "abstraction used as value must take exactly two trailing "
+          "continuation parameters (ce cc)");
+    }
+    return Status::OK();
+  }
+
+  Status CheckVarInScope(const Variable* v) {
+    if (in_scope_.count(v) == 0) {
+      return Err("occurrence of variable outside its binder's scope: " +
+                 VarName(v));
+    }
+    return Status::OK();
+  }
+
+  std::string VarName(const Variable* v) const {
+    return std::string(m_.NameOf(*v)) + "_" + std::to_string(v->uid());
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::Invalid("TML validation: " + msg);
+  }
+
+  const Module& m_;
+  std::unordered_set<const Variable*> in_scope_;
+  std::unordered_set<const Variable*> bound_once_;
+};
+
+}  // namespace
+
+Status Validate(const Module& m, const Abstraction* prog,
+                const ValidateOptions& opts) {
+  Validator v(m, opts);
+  return v.CheckProgram(prog);
+}
+
+Status ValidateApp(const Module& m, const Application* app,
+                   const ValidateOptions& opts) {
+  Validator v(m, opts);
+  return v.CheckTopApp(app);
+}
+
+}  // namespace tml::ir

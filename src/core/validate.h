@@ -1,0 +1,45 @@
+// Well-formedness checking for TML terms (paper §2.2, constraints 1–5):
+//
+//   1. Statically visible applications of abstractions pass the right
+//      number of arguments, value and continuation sorts in the right order.
+//   2. Applications of primitive procedures obey the primitive's calling
+//      convention (including the special shapes of `==`, `Y` and `ccall`).
+//   3. Continuations do not escape: no continuation variable and no `cont`
+//      abstraction appears in a value-argument position.
+//   4. Unique binding: every variable is bound at most once, and every
+//      occurrence is in the scope of its binder (or declared free).
+//   5. Abstractions used as values take exactly two trailing continuation
+//      parameters (ce cc) — except the argument of `Y`, whose shape
+//      λ(c0 v1..vn c)(c cont()app abs1..absn) is checked structurally.
+//
+// The compiler front end establishes these properties; the optimizer never
+// violates them (§3).  Tests assert the validator after every pass.
+
+#ifndef TML_CORE_VALIDATE_H_
+#define TML_CORE_VALIDATE_H_
+
+#include <span>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "support/status.h"
+
+namespace tml::ir {
+
+struct ValidateOptions {
+  /// Variables in `free` are allowed to occur unbound (e.g. the R-value
+  /// bindings of §4.1 before wrapping).
+  std::span<const Variable* const> free = {};
+};
+
+/// Validate a whole program (a proc abstraction).
+Status Validate(const Module& m, const Abstraction* prog,
+                const ValidateOptions& opts = {});
+
+/// Validate a term with the given variables in scope.
+Status ValidateApp(const Module& m, const Application* app,
+                   const ValidateOptions& opts = {});
+
+}  // namespace tml::ir
+
+#endif  // TML_CORE_VALIDATE_H_

@@ -1,0 +1,319 @@
+#include "corpus/stanford.h"
+
+namespace tml::corpus {
+
+namespace {
+
+const char* kPerm = R"TL(
+fun swap(a, i, j) =
+  let t = a[i] in
+  begin a[i] := a[j]; a[j] := t end
+end
+
+fun permute(a, n, cnt) =
+  begin
+    cnt[0] := cnt[0] + 1;
+    if n != 0 then
+      permute(a, n - 1, cnt);
+      for i = 0 upto n - 1 do
+        swap(a, n, i);
+        permute(a, n - 1, cnt);
+        swap(a, n, i)
+      end
+    end
+  end
+end
+
+fun bench(reps) =
+  var total := 0 in
+  begin
+    for r = 1 upto reps do
+      let a = newarray(8, 0) in
+      let cnt = array(0) in
+      begin
+        for i = 0 upto 7 do a[i] := i end;
+        permute(a, 7, cnt);
+        total := total + cnt[0]
+      end
+    end;
+    total
+  end
+end
+)TL";
+
+const char* kTowers = R"TL(
+fun hanoi(n, from, to, via, cnt) =
+  if n > 0 then
+    hanoi(n - 1, from, via, to, cnt);
+    cnt[0] := cnt[0] + 1;
+    hanoi(n - 1, via, to, from, cnt)
+  end
+end
+
+fun bench(n) =
+  let cnt = array(0) in
+  begin hanoi(n, 1, 3, 2, cnt); cnt[0] end
+end
+)TL";
+
+const char* kQueens = R"TL(
+fun tryq(col, rows, d1, d2, cnt) =
+  if col == 8 then cnt[0] := cnt[0] + 1
+  else
+    for r = 0 upto 7 do
+      if rows[r] == 0 and d1[col + r] == 0 and d2[col - r + 7] == 0 then
+        rows[r] := 1; d1[col + r] := 1; d2[col - r + 7] := 1;
+        tryq(col + 1, rows, d1, d2, cnt);
+        rows[r] := 0; d1[col + r] := 0; d2[col - r + 7] := 0
+      end
+    end
+  end
+end
+
+fun bench(reps) =
+  var total := 0 in
+  begin
+    for rep = 1 upto reps do
+      let rows = newarray(8, 0) in
+      let d1 = newarray(16, 0) in
+      let d2 = newarray(16, 0) in
+      let cnt = array(0) in
+      begin tryq(0, rows, d1, d2, cnt); total := total + cnt[0] end
+    end;
+    total
+  end
+end
+)TL";
+
+const char* kIntmm = R"TL(
+fun bench(n) =
+  let a = newarray(n * n, 0) in
+  let b = newarray(n * n, 0) in
+  let c = newarray(n * n, 0) in
+  begin
+    for i = 0 upto n * n - 1 do
+      a[i] := i % 7 + 1;
+      b[i] := i % 5 + 1
+    end;
+    for i = 0 upto n - 1 do
+      for j = 0 upto n - 1 do
+        var s := 0 in
+        begin
+          for k = 0 upto n - 1 do
+            s := s + a[i * n + k] * b[k * n + j]
+          end;
+          c[i * n + j] := s
+        end
+      end
+    end;
+    c[0] + c[n * n / 2] + c[n * n - 1]
+  end
+end
+)TL";
+
+const char* kMm = R"TL(
+fun bench(n) =
+  let a = newarray(n * n, 0) in
+  let b = newarray(n * n, 0) in
+  let c = newarray(n * n, 0) in
+  begin
+    for i = 0 upto n * n - 1 do
+      a[i] := real(i % 7 + 1);
+      b[i] := real(i % 5 + 1)
+    end;
+    for i = 0 upto n - 1 do
+      for j = 0 upto n - 1 do
+        var s := 0.0 in
+        begin
+          for k = 0 upto n - 1 do
+            s := s +. a[i * n + k] *. b[k * n + j]
+          end;
+          c[i * n + j] := s
+        end
+      end
+    end;
+    trunc(c[0] +. c[n * n / 2] +. c[n * n - 1])
+  end
+end
+)TL";
+
+// The piece-fitting backtracking search of Puzzle, reduced to one
+// dimension: count the tilings of an n-cell board with pieces of length
+// 1..3 (the classic exhaustive-search / array-scan operation mix).
+const char* kPuzzle = R"TL(
+fun fits(board, pos, len) =
+  var ok := 1 in
+  begin
+    for i = pos upto pos + len - 1 do
+      if board[i] != 0 then ok := 0 end
+    end;
+    ok == 1
+  end
+end
+
+fun place(board, pos, len, v) =
+  for i = pos upto pos + len - 1 do board[i] := v end
+end
+
+fun solve(board, pos, cnt) =
+  if pos == size(board) then cnt[0] := cnt[0] + 1
+  else
+    if board[pos] != 0 then solve(board, pos + 1, cnt)
+    else
+      for len = 1 upto 3 do
+        if pos + len <= size(board) and fits(board, pos, len) then
+          place(board, pos, len, len);
+          solve(board, pos + len, cnt);
+          place(board, pos, len, 0)
+        end
+      end
+    end
+  end
+end
+
+fun bench(n) =
+  let board = newarray(n, 0) in
+  let cnt = array(0) in
+  begin solve(board, 0, cnt); cnt[0] end
+end
+)TL";
+
+const char* kQuick = R"TL(
+fun quick(a, lo, hi) =
+  if lo < hi then
+    let pivot = a[(lo + hi) / 2] in
+    var i := lo in
+    var j := hi in
+    begin
+      while i <= j do
+        while a[i] < pivot do i := i + 1 end;
+        while pivot < a[j] do j := j - 1 end;
+        if i <= j then
+          let t = a[i] in
+          begin
+            a[i] := a[j]; a[j] := t;
+            i := i + 1; j := j - 1
+          end
+        end
+      end;
+      quick(a, lo, j);
+      quick(a, i, hi)
+    end
+  end
+end
+
+fun bench(n) =
+  let a = newarray(n, 0) in
+  var seed := 1234 in
+  begin
+    for i = 0 upto n - 1 do
+      seed := (seed * 1309 + 13849) % 65536;
+      a[i] := seed
+    end;
+    quick(a, 0, n - 1);
+    a[0] + a[n / 2] + a[n - 1]
+  end
+end
+)TL";
+
+const char* kBubble = R"TL(
+fun bench(n) =
+  let a = newarray(n, 0) in
+  var seed := 4321 in
+  begin
+    for i = 0 upto n - 1 do
+      seed := (seed * 1309 + 13849) % 65536;
+      a[i] := seed
+    end;
+    for i = n - 1 downto 1 do
+      for j = 0 upto i - 1 do
+        if a[j + 1] < a[j] then
+          let t = a[j] in
+          begin a[j] := a[j + 1]; a[j + 1] := t end
+        end
+      end
+    end;
+    a[0] + a[n / 2] + a[n - 1]
+  end
+end
+)TL";
+
+// Records are 3-slot arrays (key, left, right); nil is the empty tree.
+const char* kTree = R"TL(
+fun insert(node, key) =
+  if node == nil then array(key, nil, nil)
+  else
+    begin
+      if key < node[0] then node[1] := insert(node[1], key)
+      else
+        if key > node[0] then node[2] := insert(node[2], key) end
+      end;
+      node
+    end
+  end
+end
+
+fun depth(node) =
+  if node == nil then 0
+  else
+    let l = depth(node[1]) in
+    let r = depth(node[2]) in
+    if l > r then l + 1 else r + 1 end
+  end
+end
+
+fun total(node) =
+  if node == nil then 0
+  else 1 + total(node[1]) + total(node[2])
+  end
+end
+
+fun bench(n) =
+  var root := nil in
+  var seed := 7 in
+  begin
+    for i = 1 upto n do
+      seed := (seed * 1309 + 13849) % 65536;
+      root := insert(root, seed)
+    end;
+    total(root) * 100 + depth(root)
+  end
+end
+)TL";
+
+// Oscar substitute: damped harmonic oscillator integrated with Euler steps
+// (real multiply/add over mutable state; see DESIGN.md §2).
+const char* kOscar = R"TL(
+fun bench(steps) =
+  var x := 1.0 in
+  var v := 0.0 in
+  begin
+    for i = 1 upto steps do
+      v := v -. x *. 0.001;
+      x := x +. v *. 0.001
+    end;
+    trunc(x *. 1000000.0) + trunc(v *. 1000000.0)
+  end
+end
+)TL";
+
+}  // namespace
+
+const std::vector<StanfordProgram>& StanfordSuite() {
+  static const auto* suite = new std::vector<StanfordProgram>{
+      // checksums are filled in by tests/corpus/corpus_test.cc golden runs
+      {"Perm", kPerm, 1, -1, 3},
+      {"Towers", kTowers, 6, 63, 12},
+      {"Queens", kQueens, 1, 92, 2},
+      {"Intmm", kIntmm, 6, -1, 24},
+      {"Mm", kMm, 6, -1, 24},
+      {"Puzzle", kPuzzle, 8, -1, 17},
+      {"Quick", kQuick, 64, -1, 2000},
+      {"Bubble", kBubble, 32, -1, 256},
+      {"Tree", kTree, 64, -1, 1500},
+      {"Oscar", kOscar, 500, -1, 150000},
+  };
+  return *suite;
+}
+
+}  // namespace tml::corpus

@@ -1,0 +1,34 @@
+// The Stanford benchmark suite in TL (the E1 workload, paper §6).
+//
+// These are the classic Hennessy benchmark programs (Perm, Towers, Queens,
+// Intmm, Mm, Puzzle, Quick, Bubble, Tree) rewritten in the TL subset, plus
+// Oscar* — a real-arithmetic integration loop standing in for the FFT-based
+// Oscar (TML has no trigonometric primitives; the operation mix — real
+// multiply/add in a tight loop over mutable state — is preserved, see
+// DESIGN.md §2).
+//
+// Every program exports `fun bench(n)` returning an integer checksum; the
+// `small_n` inputs are used by the correctness tests (with golden
+// checksums), `bench_n` by the E1 harness.
+
+#ifndef TML_CORPUS_STANFORD_H_
+#define TML_CORPUS_STANFORD_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace tml::corpus {
+
+struct StanfordProgram {
+  const char* name;
+  const char* source;     // TL source; entry point `bench(n)`
+  int64_t small_n;        // test input
+  int64_t small_checksum; // golden result for small_n
+  int64_t bench_n;        // benchmark input
+};
+
+const std::vector<StanfordProgram>& StanfordSuite();
+
+}  // namespace tml::corpus
+
+#endif  // TML_CORPUS_STANFORD_H_

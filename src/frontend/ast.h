@@ -1,0 +1,119 @@
+// AST for the TL subset — the source language compiled to TML.
+//
+// TL (the Tycoon Language) is a value-oriented imperative language.  This
+// subset is rich enough for the paper's running examples and the Stanford
+// benchmark programs: top-level functions, let/var bindings, assignment,
+// conditionals, while/for loops, try/catch/throw, integer/real/char/bool
+// scalars, arrays and byte arrays.
+//
+// Grammar (blocks are `;`-separated expression sequences):
+//
+//   unit    := fndef*
+//   fndef   := 'fun' IDENT '(' [IDENT (',' IDENT)*] ')' '=' block 'end'
+//   block   := expr (';' expr)*
+//   expr    := 'let' IDENT '=' expr 'in' block
+//            | 'var' IDENT ':=' expr 'in' block
+//            | 'if' expr 'then' block ['else' block] 'end'
+//            | 'while' expr 'do' block 'end'
+//            | 'for' IDENT '=' expr ('upto'|'downto') expr 'do' block 'end'
+//            | 'try' block 'catch' IDENT '->' block 'end'
+//            | 'throw' expr
+//            | assign
+//   assign  := IDENT ':=' expr | postfix '[' expr ']' ':=' expr | or
+//   or      := and ('or' and)*                  (short-circuit)
+//   and     := cmp ('and' cmp)*
+//   cmp     := add (('<'|'<='|'>'|'>='|'=='|'!='|'<.'|'<=.') add)?
+//   add     := mul (('+'|'-'|'+.'|'-.') mul)*
+//   mul     := unary (('*'|'/'|'%'|'*.'|'/.') unary)*
+//   unary   := '-' unary | 'not' unary | postfix
+//   postfix := primary ('(' args ')' | '[' expr ']')*
+//   primary := INT | REAL | CHAR | STRING | 'true' | 'false' | 'nil'
+//            | IDENT | '(' block ')'
+//            | 'array' '(' args ')'          -- array literal
+//            | 'newarray' '(' expr ',' expr ')'
+//            | 'newbytes' '(' expr ',' expr ')'
+//
+// Intrinsic call forms recognized by the CPS converter: print, size, sqrt,
+// real, trunc, ord, chr.
+
+#ifndef TML_FRONTEND_AST_H_
+#define TML_FRONTEND_AST_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace tml::fe {
+
+struct Expr;
+using ExprPtr = std::unique_ptr<Expr>;
+
+enum class ExprKind : uint8_t {
+  kIntLit,
+  kRealLit,
+  kCharLit,
+  kStringLit,
+  kBoolLit,
+  kNilLit,
+  kName,
+  kLet,      // let/var name = init in body   (is_var distinguishes)
+  kAssign,   // name := value
+  kIndex,    // base[index]
+  kIndexAssign,  // base[index] := value
+  kCall,     // callee-name(args)
+  kBinary,   // op, lhs, rhs
+  kUnary,    // op, operand
+  kIf,
+  kWhile,
+  kFor,
+  kSeq,      // e1; e2; ...
+  kTry,      // body catch name -> handler
+  kThrow,
+};
+
+enum class BinOp : uint8_t {
+  kAdd, kSub, kMul, kDiv, kMod,
+  kAddR, kSubR, kMulR, kDivR,
+  kLt, kLe, kGt, kGe, kEq, kNe,
+  kLtR, kLeR,
+  kAnd, kOr,  // short-circuit
+};
+
+enum class UnOp : uint8_t { kNeg, kNot };
+
+struct Expr {
+  ExprKind kind;
+  int line = 0;
+
+  // literals
+  int64_t int_val = 0;
+  double real_val = 0;
+  uint8_t char_val = 0;
+  bool bool_val = false;
+  std::string str_val;
+
+  std::string name;   // kName, kLet, kAssign, kCall, kFor, kTry (catch var)
+  bool is_var = false;  // kLet: introduced with `var` (mutable)
+  bool downto = false;  // kFor
+
+  BinOp bin_op = BinOp::kAdd;
+  UnOp un_op = UnOp::kNeg;
+
+  ExprPtr a, b, c;              // operands / init / cond / bounds
+  std::vector<ExprPtr> elems;   // kSeq items, kCall args
+};
+
+struct FnDef {
+  std::string name;
+  std::vector<std::string> params;
+  ExprPtr body;
+  int line = 0;
+};
+
+struct Unit {
+  std::vector<FnDef> functions;
+};
+
+}  // namespace tml::fe
+
+#endif  // TML_FRONTEND_AST_H_

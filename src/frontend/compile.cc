@@ -1,0 +1,751 @@
+#include "frontend/compile.h"
+
+#include <functional>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/primitive.h"
+#include "frontend/parser.h"
+
+namespace tml::fe {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Module;
+using ir::Variable;
+using ir::VarSort;
+
+namespace {
+
+// ---- assigned-name analysis (decides boxing) ------------------------------
+
+void CollectAssigned(const Expr* e, std::unordered_set<std::string>* out) {
+  if (e == nullptr) return;
+  if (e->kind == ExprKind::kAssign) out->insert(e->name);
+  CollectAssigned(e->a.get(), out);
+  CollectAssigned(e->b.get(), out);
+  CollectAssigned(e->c.get(), out);
+  for (const ExprPtr& x : e->elems) CollectAssigned(x.get(), out);
+}
+
+// ---- CPS conversion --------------------------------------------------------
+
+class Converter {
+ public:
+  Converter(Module* m, const ir::PrimitiveRegistry& prims,
+            const CompileOptions& opts)
+      : m_(m), prims_(prims), opts_(opts) {}
+
+  Result<CompiledFunction> ConvertFn(const FnDef& fn) {
+    std::unordered_set<std::string> assigned;
+    CollectAssigned(fn.body.get(), &assigned);
+
+    std::vector<Variable*> params;
+    size_t scope_base = scope_.size();
+    std::vector<std::pair<Variable*, Variable*>> boxed_params;  // raw, box
+    for (const std::string& p : fn.params) {
+      Variable* v = m_->NewValueVar(p);
+      params.push_back(v);
+      if (assigned.count(p)) {
+        Variable* box = m_->NewValueVar(p + "$box");
+        boxed_params.emplace_back(v, box);
+        scope_.push_back(ScopeEntry{p, box, /*boxed=*/true});
+      } else {
+        scope_.push_back(ScopeEntry{p, v, /*boxed=*/false});
+      }
+    }
+    Variable* ce = m_->NewContVar("ce");
+    Variable* cc = m_->NewContVar("cc");
+    params.push_back(ce);
+    params.push_back(cc);
+    ce_ = ce;
+    assigned_ = std::move(assigned);
+
+    TML_ASSIGN_OR_RETURN(const Application* body,
+                         Conv(fn.body.get(), K::Cont(cc)));
+    // Wrap boxed parameters: (array p (cont (p$box) ...)).
+    for (auto it = boxed_params.rbegin(); it != boxed_params.rend(); ++it) {
+      body = m_->App(Prim(ir::PrimOp::kArray),
+                     {it->first, m_->Abs({it->second}, body)});
+    }
+    scope_.resize(scope_base);
+
+    CompiledFunction out;
+    out.name = fn.name;
+    out.abs = m_->Abs(std::span<Variable* const>(params.data(), params.size()),
+                      body);
+    out.free_names = std::move(free_names_);
+    out.free_vars = std::move(free_vars_);
+    free_names_.clear();
+    free_vars_.clear();
+    free_map_.clear();
+    return out;
+  }
+
+ private:
+  // A continuation under construction: either an existing TML continuation
+  // value or a builder consuming the result value.
+  struct K {
+    const ir::Value* cont = nullptr;
+    std::function<Result<const Application*>(const ir::Value*)> fn;
+
+    static K Cont(const ir::Value* c) {
+      K k;
+      k.cont = c;
+      return k;
+    }
+    static K Fn(std::function<Result<const Application*>(const ir::Value*)>
+                    f) {
+      K k;
+      k.fn = std::move(f);
+      return k;
+    }
+  };
+
+  Result<const Application*> Apply(const K& k, const ir::Value* v) {
+    if (k.cont != nullptr) return m_->App(k.cont, {v});
+    return k.fn(v);
+  }
+
+  /// Reify k as a continuation value usable exactly once.
+  Result<const ir::Value*> Reify(const K& k, const char* hint) {
+    if (k.cont != nullptr) return k.cont;
+    Variable* t = m_->NewValueVar(hint);
+    TML_ASSIGN_OR_RETURN(const Application* app, k.fn(t));
+    return static_cast<const ir::Value*>(m_->Abs({t}, app));
+  }
+
+  /// Run `body` with a continuation *variable* for k, binding the reified
+  /// continuation once — needed when k is consumed at several join points.
+  Result<const Application*> WithJoin(
+      const K& k,
+      const std::function<Result<const Application*>(const ir::Value*)>&
+          body) {
+    if (k.cont != nullptr && ir::Isa<Variable>(k.cont)) {
+      return body(k.cont);
+    }
+    Variable* kv = m_->NewContVar("k");
+    TML_ASSIGN_OR_RETURN(const Application* inner, body(kv));
+    TML_ASSIGN_OR_RETURN(const ir::Value* reified, Reify(k, "t"));
+    return m_->App(m_->Abs({kv}, inner), {reified});
+  }
+
+  const ir::Value* Prim(ir::PrimOp op) {
+    const ir::Primitive* p = nullptr;
+    for (const ir::Primitive* cand : prims_.All()) {
+      if (cand->op() == op) {
+        p = cand;
+        break;
+      }
+    }
+    return m_->Prim(p);
+  }
+
+  /// The free variable (creating it on first use) for `name`.
+  Variable* FreeVar(const std::string& name) {
+    auto it = free_map_.find(name);
+    if (it != free_map_.end()) return it->second;
+    Variable* v = m_->NewValueVar(name);
+    free_map_[name] = v;
+    free_names_.push_back(name);
+    free_vars_.push_back(v);
+    return v;
+  }
+
+  struct ScopeEntry {
+    std::string name;
+    const ir::Value* value;  // the binding value, or the box variable
+    bool boxed;
+  };
+
+  const ScopeEntry* Lookup(const std::string& name) const {
+    for (auto it = scope_.rbegin(); it != scope_.rend(); ++it) {
+      if (it->name == name) return &*it;
+    }
+    return nullptr;
+  }
+
+  Status Err(const Expr* e, const std::string& msg) const {
+    return Status::Invalid("TL compile error at line " +
+                           std::to_string(e->line) + ": " + msg);
+  }
+
+  // ---- operator lowering ---------------------------------------------------
+
+  struct OpInfo {
+    ir::PrimOp prim;      // kDirect
+    const char* lib;      // kLibrary free-variable name
+    bool is_cmp;          // two branch continuations in direct mode
+  };
+
+  static Result<OpInfo> InfoFor(BinOp op) {
+    switch (op) {
+      case BinOp::kAdd: return OpInfo{ir::PrimOp::kAddI, "int_add", false};
+      case BinOp::kSub: return OpInfo{ir::PrimOp::kSubI, "int_sub", false};
+      case BinOp::kMul: return OpInfo{ir::PrimOp::kMulI, "int_mul", false};
+      case BinOp::kDiv: return OpInfo{ir::PrimOp::kDivI, "int_div", false};
+      case BinOp::kMod: return OpInfo{ir::PrimOp::kModI, "int_mod", false};
+      case BinOp::kAddR: return OpInfo{ir::PrimOp::kAddR, "real_add", false};
+      case BinOp::kSubR: return OpInfo{ir::PrimOp::kSubR, "real_sub", false};
+      case BinOp::kMulR: return OpInfo{ir::PrimOp::kMulR, "real_mul", false};
+      case BinOp::kDivR: return OpInfo{ir::PrimOp::kDivR, "real_div", false};
+      case BinOp::kLt: return OpInfo{ir::PrimOp::kLtI, "int_lt", true};
+      case BinOp::kLe: return OpInfo{ir::PrimOp::kLeI, "int_le", true};
+      case BinOp::kGt: return OpInfo{ir::PrimOp::kGtI, "int_gt", true};
+      case BinOp::kGe: return OpInfo{ir::PrimOp::kGeI, "int_ge", true};
+      case BinOp::kEq: return OpInfo{ir::PrimOp::kEqB, "scalar_eq", true};
+      case BinOp::kNe: return OpInfo{ir::PrimOp::kEqB, "scalar_eq", true};
+      case BinOp::kLtR: return OpInfo{ir::PrimOp::kLtR, "real_lt", true};
+      case BinOp::kLeR: return OpInfo{ir::PrimOp::kLeR, "real_le", true};
+      default:
+        return Status::Invalid("no operator info");
+    }
+  }
+
+  /// Emit a binary operation producing a value for k.
+  Result<const Application*> EmitBinary(const Expr* site, BinOp op,
+                                        const ir::Value* a,
+                                        const ir::Value* b, const K& k) {
+    TML_ASSIGN_OR_RETURN(OpInfo info, InfoFor(op));
+    if (opts_.binding == BindingMode::kLibrary) {
+      // (lib a b ce k): the library function returns the value (a boolean
+      // for comparisons).
+      if (op == BinOp::kNe) return NegateResult(a, b, k);
+      TML_ASSIGN_OR_RETURN(const ir::Value* kv, Reify(k, "t"));
+      return m_->App(FreeVar(info.lib), {a, b, ce_, kv});
+    }
+    if (!info.is_cmp) {
+      TML_ASSIGN_OR_RETURN(const ir::Value* kv, Reify(k, "t"));
+      return m_->App(Prim(info.prim), {a, b, ce_, kv});
+    }
+    // Comparison: branch continuations materialize a boolean.
+    bool negate = (op == BinOp::kNe);
+    return WithJoin(k, [&](const ir::Value* kv)
+                           -> Result<const Application*> {
+      const Abstraction* t_branch =
+          m_->Abs({}, m_->App(kv, {m_->BoolLit(!negate)}));
+      const Abstraction* f_branch =
+          m_->Abs({}, m_->App(kv, {m_->BoolLit(negate)}));
+      return m_->App(Prim(info.prim), {a, b, t_branch, f_branch});
+    });
+  }
+
+  // kNe in library mode: (scalar_eq a b ce (cont (t) (not t k'))).
+  Result<const Application*> NegateResult(const ir::Value* a,
+                                          const ir::Value* b, const K& k) {
+    TML_ASSIGN_OR_RETURN(const ir::Value* kv, Reify(k, "t"));
+    Variable* t = m_->NewValueVar("t");
+    const Application* body =
+        m_->App(Prim(ir::PrimOp::kNot), {t, kv});
+    return m_->App(FreeVar("scalar_eq"), {a, b, ce_, m_->Abs({t}, body)});
+  }
+
+  /// Branch on a boolean value: (beq v true then else).
+  Result<const Application*> BranchBool(const ir::Value* cond,
+                                        const Abstraction* then_k,
+                                        const Abstraction* else_k) {
+    return m_->App(Prim(ir::PrimOp::kEqB),
+                   {cond, m_->BoolLit(true), then_k, else_k});
+  }
+
+  // ---- expression conversion -------------------------------------------------
+
+  Result<const Application*> Conv(const Expr* e, const K& k) {
+    switch (e->kind) {
+      case ExprKind::kIntLit:
+        return Apply(k, m_->IntLit(e->int_val));
+      case ExprKind::kRealLit:
+        return Apply(k, m_->RealLit(e->real_val));
+      case ExprKind::kCharLit:
+        return Apply(k, m_->CharLit(e->char_val));
+      case ExprKind::kStringLit:
+        return Apply(k, m_->StringLit(e->str_val));
+      case ExprKind::kBoolLit:
+        return Apply(k, m_->BoolLit(e->bool_val));
+      case ExprKind::kNilLit:
+        return Apply(k, m_->NilLit());
+      case ExprKind::kName: {
+        const ScopeEntry* s = Lookup(e->name);
+        if (s == nullptr) return Apply(k, FreeVar(e->name));
+        if (!s->boxed) return Apply(k, s->value);
+        return LoadIndexed(s->value, m_->IntLit(0), k, /*force_prim=*/true);
+      }
+      case ExprKind::kLet:
+        return Conv(e->a.get(),
+                    K::Fn([this, e, &k](const ir::Value* v)
+                              -> Result<const Application*> {
+                      bool boxed = e->is_var && assigned_.count(e->name) > 0;
+                      if (!boxed && assigned_.count(e->name) > 0) {
+                        boxed = true;  // `let` re-assigned: box anyway
+                      }
+                      if (!boxed) {
+                        scope_.push_back(ScopeEntry{e->name, v, false});
+                        auto body = Conv(e->b.get(), k);
+                        scope_.pop_back();
+                        return body;
+                      }
+                      Variable* box = m_->NewValueVar(e->name + "$box");
+                      scope_.push_back(ScopeEntry{e->name, box, true});
+                      auto body = Conv(e->b.get(), k);
+                      scope_.pop_back();
+                      if (!body.ok()) return body.status();
+                      return m_->App(Prim(ir::PrimOp::kArray),
+                                     {v, m_->Abs({box}, *body)});
+                    }));
+      case ExprKind::kAssign: {
+        const ScopeEntry* s = Lookup(e->name);
+        if (s == nullptr || !s->boxed) {
+          return Err(e, "assignment to unassignable name '" + e->name + "'");
+        }
+        const ir::Value* box = s->value;
+        return Conv(e->a.get(),
+                    K::Fn([this, box, &k](const ir::Value* v)
+                              -> Result<const Application*> {
+                      return StoreIndexed(box, m_->IntLit(0), v, k,
+                                          /*force_prim=*/true);
+                    }));
+      }
+      case ExprKind::kIndex:
+        return Conv(e->a.get(),
+                    K::Fn([this, e, &k](const ir::Value* base)
+                              -> Result<const Application*> {
+                      return Conv(
+                          e->b.get(),
+                          K::Fn([this, base, &k](const ir::Value* idx)
+                                    -> Result<const Application*> {
+                            return LoadIndexed(base, idx, k, false);
+                          }));
+                    }));
+      case ExprKind::kIndexAssign:
+        return Conv(
+            e->a.get(),
+            K::Fn([this, e, &k](const ir::Value* base)
+                      -> Result<const Application*> {
+              return Conv(
+                  e->b.get(),
+                  K::Fn([this, e, base, &k](const ir::Value* idx)
+                            -> Result<const Application*> {
+                    return Conv(
+                        e->c.get(),
+                        K::Fn([this, base, idx, &k](const ir::Value* v)
+                                  -> Result<const Application*> {
+                          return StoreIndexed(base, idx, v, k, false);
+                        }));
+                  }));
+            }));
+      case ExprKind::kCall:
+        return ConvCall(e, k);
+      case ExprKind::kBinary:
+        return ConvBinary(e, k);
+      case ExprKind::kUnary:
+        if (e->un_op == UnOp::kNot) {
+          return Conv(e->a.get(),
+                      K::Fn([this, &k](const ir::Value* v)
+                                -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "t"));
+                        return m_->App(Prim(ir::PrimOp::kNot), {v, kv});
+                      }));
+        }
+        return Err(e, "unsupported unary operator");
+      case ExprKind::kIf:
+        return Conv(
+            e->a.get(),
+            K::Fn([this, e, &k](const ir::Value* cond)
+                      -> Result<const Application*> {
+              return WithJoin(k, [&](const ir::Value* kv)
+                                     -> Result<const Application*> {
+                TML_ASSIGN_OR_RETURN(const Application* then_app,
+                                     Conv(e->b.get(), K::Cont(kv)));
+                const Application* else_app = nullptr;
+                if (e->c != nullptr) {
+                  TML_ASSIGN_OR_RETURN(else_app,
+                                       Conv(e->c.get(), K::Cont(kv)));
+                } else {
+                  else_app = m_->App(kv, {m_->NilLit()});
+                }
+                return BranchBool(cond, m_->Abs({}, then_app),
+                                  m_->Abs({}, else_app));
+              });
+            }));
+      case ExprKind::kWhile:
+        return ConvWhile(e, k);
+      case ExprKind::kFor:
+        return ConvFor(e, k);
+      case ExprKind::kSeq: {
+        // e1; e2; ...; en — all but the last for effect.
+        return ConvSeq(e, 0, k);
+      }
+      case ExprKind::kTry:
+        return ConvTry(e, k);
+      case ExprKind::kThrow:
+        return Conv(e->a.get(),
+                    K::Fn([this](const ir::Value* v)
+                              -> Result<const Application*> {
+                      return m_->App(ce_, {v});
+                    }));
+    }
+    return Err(e, "unsupported expression");
+  }
+
+  Result<const Application*> ConvSeq(const Expr* e, size_t i, const K& k) {
+    if (i + 1 == e->elems.size()) return Conv(e->elems[i].get(), k);
+    return Conv(e->elems[i].get(),
+                K::Fn([this, e, i, &k](const ir::Value*)
+                          -> Result<const Application*> {
+                  return ConvSeq(e, i + 1, k);
+                }));
+  }
+
+  Result<const Application*> ConvBinary(const Expr* e, const K& k) {
+    if (e->bin_op == BinOp::kAnd || e->bin_op == BinOp::kOr) {
+      bool is_and = e->bin_op == BinOp::kAnd;
+      return Conv(
+          e->a.get(),
+          K::Fn([this, e, is_and, &k](const ir::Value* av)
+                    -> Result<const Application*> {
+            return WithJoin(k, [&](const ir::Value* kv)
+                                   -> Result<const Application*> {
+              TML_ASSIGN_OR_RETURN(const Application* rhs,
+                                   Conv(e->b.get(), K::Cont(kv)));
+              const Application* shortc =
+                  m_->App(kv, {m_->BoolLit(!is_and)});
+              // and: if a then b else false; or: if a then true else b.
+              const Abstraction* then_k =
+                  m_->Abs({}, is_and ? rhs : shortc);
+              const Abstraction* else_k =
+                  m_->Abs({}, is_and ? shortc : rhs);
+              return BranchBool(av, then_k, else_k);
+            });
+          }));
+    }
+    return Conv(e->a.get(),
+                K::Fn([this, e, &k](const ir::Value* av)
+                          -> Result<const Application*> {
+                  return Conv(e->b.get(),
+                              K::Fn([this, e, av, &k](const ir::Value* bv)
+                                        -> Result<const Application*> {
+                                return EmitBinary(e, e->bin_op, av, bv, k);
+                              }));
+                }));
+  }
+
+  Result<const Application*> ConvCall(const Expr* e, const K& k) {
+    // Intrinsic forms first.
+    if (e->name == "__array") {
+      return ConvArgs(e, 0, {},
+                      [this, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "a"));
+                        vals.push_back(kv);
+                        return m_->App(Prim(ir::PrimOp::kArray),
+                                       std::span<const ir::Value* const>(
+                                           vals.data(), vals.size()));
+                      });
+    }
+    if (e->name == "__newarray" || e->name == "__newbytes") {
+      if (e->elems.size() != 2) return Err(e, "newarray/newbytes need 2 args");
+      bool bytes = e->name == "__newbytes";
+      return ConvArgs(e, 0, {},
+                      [this, bytes, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "a"));
+                        if (bytes) {
+                          return m_->App(Prim(ir::PrimOp::kNewByteArray),
+                                         {vals[0], vals[1], kv});
+                        }
+                        return m_->App(Prim(ir::PrimOp::kMkArray),
+                                       {vals[0], vals[1], ce_, kv});
+                      });
+    }
+    if (e->name == "print") {
+      return ConvArgs(e, 0, {},
+                      [this, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "g"));
+                        std::vector<const ir::Value*> args;
+                        args.push_back(m_->StringLit("print"));
+                        for (const ir::Value* v : vals) args.push_back(v);
+                        args.push_back(ce_);
+                        args.push_back(kv);
+                        return m_->App(Prim(ir::PrimOp::kCCall),
+                                       std::span<const ir::Value* const>(
+                                           args.data(), args.size()));
+                      });
+    }
+    if (e->name == "size" && e->elems.size() == 1 && Lookup("size") == nullptr) {
+      return ConvArgs(e, 0, {},
+                      [this, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        if (opts_.binding == BindingMode::kLibrary) {
+                          TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                               Reify(k, "t"));
+                          return m_->App(FreeVar("arr_size"),
+                                         {vals[0], ce_, kv});
+                        }
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "t"));
+                        return m_->App(Prim(ir::PrimOp::kSize),
+                                       {vals[0], kv});
+                      });
+    }
+    if (e->name == "sqrt" && e->elems.size() == 1 &&
+        Lookup("sqrt") == nullptr) {
+      return ConvArgs(e, 0, {},
+                      [this, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "t"));
+                        if (opts_.binding == BindingMode::kLibrary) {
+                          return m_->App(FreeVar("math_sqrt"),
+                                         {vals[0], ce_, kv});
+                        }
+                        return m_->App(Prim(ir::PrimOp::kSqrt),
+                                       {vals[0], ce_, kv});
+                      });
+    }
+    if ((e->name == "real" || e->name == "trunc" || e->name == "ord" ||
+         e->name == "chr") &&
+        e->elems.size() == 1 && Lookup(e->name) == nullptr) {
+      ir::PrimOp op = e->name == "real"    ? ir::PrimOp::kIntToReal
+                      : e->name == "trunc" ? ir::PrimOp::kTruncR
+                      : e->name == "ord"   ? ir::PrimOp::kChar2Int
+                                           : ir::PrimOp::kInt2Char;
+      return ConvArgs(e, 0, {},
+                      [this, op, &k](std::vector<const ir::Value*> vals)
+                          -> Result<const Application*> {
+                        TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                             Reify(k, "t"));
+                        if (op == ir::PrimOp::kTruncR) {
+                          return m_->App(Prim(op), {vals[0], kv});
+                        }
+                        return m_->App(Prim(op), {vals[0], kv});
+                      });
+    }
+    // Ordinary call: (f a1..an ce k).
+    const ScopeEntry* s = Lookup(e->name);
+    const ir::Value* f =
+        s != nullptr ? s->value
+                     : static_cast<const ir::Value*>(FreeVar(e->name));
+    if (s != nullptr && s->boxed) {
+      return Err(e, "calling a mutable variable is not supported");
+    }
+    return ConvArgs(e, 0, {},
+                    [this, f, &k](std::vector<const ir::Value*> vals)
+                        -> Result<const Application*> {
+                      TML_ASSIGN_OR_RETURN(const ir::Value* kv,
+                                           Reify(k, "r"));
+                      vals.push_back(ce_);
+                      vals.push_back(kv);
+                      return m_->App(f, std::span<const ir::Value* const>(
+                                            vals.data(), vals.size()));
+                    });
+  }
+
+  /// Convert call arguments left to right, then invoke `done`.
+  Result<const Application*> ConvArgs(
+      const Expr* e, size_t i, std::vector<const ir::Value*> acc,
+      const std::function<Result<const Application*>(
+          std::vector<const ir::Value*>)>& done) {
+    if (i == e->elems.size()) return done(std::move(acc));
+    return Conv(e->elems[i].get(),
+                K::Fn([this, e, i, acc = std::move(acc), &done](
+                          const ir::Value* v) mutable
+                          -> Result<const Application*> {
+                  acc.push_back(v);
+                  return ConvArgs(e, i + 1, std::move(acc), done);
+                }));
+  }
+
+  Result<const Application*> LoadIndexed(const ir::Value* base,
+                                         const ir::Value* idx, const K& k,
+                                         bool force_prim) {
+    TML_ASSIGN_OR_RETURN(const ir::Value* kv, Reify(k, "v"));
+    if (!force_prim && opts_.binding == BindingMode::kLibrary) {
+      return m_->App(FreeVar("arr_get"), {base, idx, ce_, kv});
+    }
+    return m_->App(Prim(ir::PrimOp::kALoad), {base, idx, ce_, kv});
+  }
+
+  Result<const Application*> StoreIndexed(const ir::Value* base,
+                                          const ir::Value* idx,
+                                          const ir::Value* v, const K& k,
+                                          bool force_prim) {
+    // The assignment expression's value is nil.
+    TML_ASSIGN_OR_RETURN(const Application* rest, Apply(k, m_->NilLit()));
+    Variable* ig = m_->NewValueVar("g");
+    const Abstraction* kv = m_->Abs({ig}, rest);
+    if (!force_prim && opts_.binding == BindingMode::kLibrary) {
+      return m_->App(FreeVar("arr_set"), {base, idx, v, ce_, kv});
+    }
+    return m_->App(Prim(ir::PrimOp::kAStore), {base, idx, v, ce_, kv});
+  }
+
+  // while cond do body end — the paper's Y-loop shape.
+  Result<const Application*> ConvWhile(const Expr* e, const K& k) {
+    return WithJoin(k, [&](const ir::Value* kv)
+                           -> Result<const Application*> {
+      Variable* c0 = m_->NewContVar("c0");
+      Variable* loop = m_->NewContVar("loop");
+      Variable* c = m_->NewContVar("c");
+      // loop body: eval cond; true -> body; loop()  false -> (kv nil)
+      TML_ASSIGN_OR_RETURN(
+          const Application* check,
+          Conv(e->a.get(),
+               K::Fn([&](const ir::Value* cv) -> Result<const Application*> {
+                 TML_ASSIGN_OR_RETURN(
+                     const Application* body_app,
+                     Conv(e->b.get(),
+                          K::Fn([&](const ir::Value*)
+                                    -> Result<const Application*> {
+                            return m_->App(loop, {});
+                          })));
+                 const Application* exit_app = m_->App(kv, {m_->NilLit()});
+                 return BranchBool(cv, m_->Abs({}, body_app),
+                                   m_->Abs({}, exit_app));
+               })));
+      const Abstraction* loop_abs = m_->Abs({}, check);
+      const Abstraction* entry = m_->Abs({}, m_->App(loop, {}));
+      const Application* ybody = m_->App(c, {entry, loop_abs});
+      const Abstraction* gen = m_->Abs({c0, loop, c}, ybody);
+      return m_->App(Prim(ir::PrimOp::kY), {gen});
+    });
+  }
+
+  // for i = lo upto/downto hi do body end
+  Result<const Application*> ConvFor(const Expr* e, const K& k) {
+    return Conv(e->a.get(), K::Fn([&](const ir::Value* lo)
+                                      -> Result<const Application*> {
+      return Conv(e->b.get(), K::Fn([&](const ir::Value* hi)
+                                        -> Result<const Application*> {
+        return WithJoin(k, [&](const ir::Value* kv)
+                               -> Result<const Application*> {
+          Variable* c0 = m_->NewContVar("c0");
+          Variable* loop = m_->NewContVar("for");
+          Variable* c = m_->NewContVar("c");
+          Variable* i = m_->NewValueVar(e->name);
+          scope_.push_back(ScopeEntry{e->name, i, false});
+          // exit test: upto: i > hi; downto: i < hi.
+          TML_ASSIGN_OR_RETURN(
+              const Application* test,
+              EmitBinary(e, e->downto ? BinOp::kLt : BinOp::kGt, i, hi,
+                         K::Fn([&](const ir::Value* cv)
+                                   -> Result<const Application*> {
+                           TML_ASSIGN_OR_RETURN(
+                               const Application* body_app,
+                               Conv(e->c.get(),
+                                    K::Fn([&](const ir::Value*)
+                                              -> Result<const Application*> {
+                                      return EmitBinary(
+                                          e,
+                                          e->downto ? BinOp::kSub
+                                                    : BinOp::kAdd,
+                                          i, m_->IntLit(1),
+                                          K::Fn([&](const ir::Value* ni)
+                                                    -> Result<
+                                                        const Application*> {
+                                            return m_->App(loop, {ni});
+                                          }));
+                                    })));
+                           const Application* exit_app =
+                               m_->App(kv, {m_->NilLit()});
+                           return BranchBool(cv, m_->Abs({}, exit_app),
+                                             m_->Abs({}, body_app));
+                         })));
+          scope_.pop_back();
+          const Abstraction* loop_abs = m_->Abs({i}, test);
+          const Abstraction* entry = m_->Abs({}, m_->App(loop, {lo}));
+          const Application* ybody = m_->App(c, {entry, loop_abs});
+          const Abstraction* gen = m_->Abs({c0, loop, c}, ybody);
+          return m_->App(Prim(ir::PrimOp::kY), {gen});
+        });
+      }));
+    }));
+  }
+
+  // try body catch x -> handler end: pure ce-passing (§2.3).
+  Result<const Application*> ConvTry(const Expr* e, const K& k) {
+    return WithJoin(k, [&](const ir::Value* kv)
+                           -> Result<const Application*> {
+      Variable* h = m_->NewContVar("h");
+      const ir::Value* outer_ce = ce_;
+      // Handler: (cont (x) handler-code) with the *outer* ce.
+      Variable* x = m_->NewValueVar(e->name);
+      scope_.push_back(ScopeEntry{e->name, x, false});
+      TML_ASSIGN_OR_RETURN(const Application* handler_app,
+                           Conv(e->b.get(), K::Cont(kv)));
+      scope_.pop_back();
+      const Abstraction* handler = m_->Abs({x}, handler_app);
+      // Body with ce := h.
+      ce_ = h;
+      auto body = Conv(e->a.get(), K::Cont(kv));
+      ce_ = outer_ce;
+      if (!body.ok()) return body.status();
+      return m_->App(m_->Abs({h}, *body), {handler});
+    });
+  }
+
+  Module* m_;
+  const ir::PrimitiveRegistry& prims_;
+  CompileOptions opts_;
+  std::vector<ScopeEntry> scope_;
+  std::unordered_set<std::string> assigned_;
+  const ir::Value* ce_ = nullptr;
+  std::vector<std::string> free_names_;
+  std::vector<Variable*> free_vars_;
+  std::unordered_map<std::string, Variable*> free_map_;
+};
+
+}  // namespace
+
+const std::vector<LibraryEntry>& StdlibEntries() {
+  static const auto* entries = new std::vector<LibraryEntry>{
+      {"int_add", "(proc (a b ce cc) (+ a b ce cc))"},
+      {"int_sub", "(proc (a b ce cc) (- a b ce cc))"},
+      {"int_mul", "(proc (a b ce cc) (* a b ce cc))"},
+      {"int_div", "(proc (a b ce cc) (/ a b ce cc))"},
+      {"int_mod", "(proc (a b ce cc) (% a b ce cc))"},
+      {"int_lt",
+       "(proc (a b ce cc) (< a b (cont () (cc true)) (cont () (cc false))))"},
+      {"int_le",
+       "(proc (a b ce cc) (<= a b (cont () (cc true)) (cont () (cc false))))"},
+      {"int_gt",
+       "(proc (a b ce cc) (> a b (cont () (cc true)) (cont () (cc false))))"},
+      {"int_ge",
+       "(proc (a b ce cc) (>= a b (cont () (cc true)) (cont () (cc false))))"},
+      {"scalar_eq",
+       "(proc (a b ce cc) (beq a b (cont () (cc true)) (cont () (cc false))))"},
+      {"real_add", "(proc (a b ce cc) (+. a b ce cc))"},
+      {"real_sub", "(proc (a b ce cc) (-. a b ce cc))"},
+      {"real_mul", "(proc (a b ce cc) (*. a b ce cc))"},
+      {"real_div", "(proc (a b ce cc) (/. a b ce cc))"},
+      {"real_lt",
+       "(proc (a b ce cc) (<. a b (cont () (cc true)) (cont () (cc false))))"},
+      {"real_le",
+       "(proc (a b ce cc) (<=. a b (cont () (cc true)) (cont () (cc false))))"},
+      {"math_sqrt", "(proc (a ce cc) (sqrt a ce cc))"},
+      {"arr_get", "(proc (a i ce cc) ([] a i ce cc))"},
+      {"arr_set", "(proc (a i v ce cc) ([]:= a i v ce cc))"},
+      {"arr_size", "(proc (a ce cc) (size a cc))"},
+  };
+  return *entries;
+}
+
+Result<CompiledUnit> Compile(std::string_view source,
+                             const ir::PrimitiveRegistry& prims,
+                             const CompileOptions& opts) {
+  TML_ASSIGN_OR_RETURN(Unit unit, ParseUnit(source));
+  CompiledUnit out;
+  out.module = std::make_unique<Module>();
+  Converter conv(out.module.get(), prims, opts);
+  for (const FnDef& fn : unit.functions) {
+    TML_ASSIGN_OR_RETURN(CompiledFunction cf, conv.ConvertFn(fn));
+    out.functions.push_back(std::move(cf));
+  }
+  return out;
+}
+
+}  // namespace tml::fe

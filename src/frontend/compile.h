@@ -1,0 +1,74 @@
+// TL -> TML compilation (CPS conversion).
+//
+// Every TL function becomes a TML proc abstraction λ(p1..pn ce cc)app.
+// Exceptions use pure ce-passing (§2.3): `try e catch x -> h` binds a new
+// exception continuation for e's extent; `throw v` applies the current one.
+// Mutable locals (anything assigned) are boxed in one-slot arrays so the
+// conversion stays a straightforward source-to-CPS mapping; loops compile
+// to the Y fixpoint exactly as in the paper's for-loop example.
+//
+// Binding modes (the E1 experiment's independent variable):
+//
+//   kDirect  — operators compile to TML primitives; a local static
+//              optimizer can fold and simplify them.
+//   kLibrary — operators compile to calls through *free variables*
+//              (int_add, arr_get, math_sqrt, ...), later bound to library
+//              closures in the persistent store.  This reproduces the
+//              Tycoon situation of §6: "even operations on integers and
+//              arrays are factored out into dynamically bound libraries and
+//              therefore not amenable to local optimization."
+//
+// Unresolved names (other unit functions, library entries) are reported as
+// free variables in first-occurrence order; the runtime linker binds them
+// to OIDs — the R-value bindings of §4.1.
+
+#ifndef TML_FRONTEND_COMPILE_H_
+#define TML_FRONTEND_COMPILE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "core/primitive_registry.h"
+#include "frontend/ast.h"
+#include "support/status.h"
+
+namespace tml::fe {
+
+enum class BindingMode { kDirect, kLibrary };
+
+struct CompileOptions {
+  BindingMode binding = BindingMode::kDirect;
+};
+
+struct CompiledFunction {
+  std::string name;
+  const ir::Abstraction* abs = nullptr;
+  /// Free identifiers in first-occurrence order, parallel to free_vars.
+  std::vector<std::string> free_names;
+  std::vector<ir::Variable*> free_vars;
+};
+
+struct CompiledUnit {
+  std::unique_ptr<ir::Module> module;
+  std::vector<CompiledFunction> functions;
+};
+
+/// Names of the standard-library entries the kLibrary mode emits, paired
+/// with the TML body each one wraps (used to build the stdlib module).
+struct LibraryEntry {
+  const char* name;  // e.g. "int_add"
+  const char* tml;   // proc text parsable by ir::ParseValueText
+};
+const std::vector<LibraryEntry>& StdlibEntries();
+
+/// Compile TL source to TML.
+Result<CompiledUnit> Compile(std::string_view source,
+                             const ir::PrimitiveRegistry& prims,
+                             const CompileOptions& opts = {});
+
+}  // namespace tml::fe
+
+#endif  // TML_FRONTEND_COMPILE_H_

@@ -1,0 +1,658 @@
+#include "frontend/parser.h"
+
+#include <cctype>
+#include <cstdlib>
+#include <unordered_set>
+
+namespace tml::fe {
+
+namespace {
+
+enum class Tk : uint8_t {
+  kEnd, kIdent, kInt, kReal, kChar, kString,
+  kLParen, kRParen, kLBracket, kRBracket, kComma, kSemi, kArrow,
+  kAssign,  // :=
+  kEq,      // =
+  kOp,      // operator spelled in text
+  kKeyword,
+};
+
+struct Token {
+  Tk kind = Tk::kEnd;
+  std::string text;
+  int64_t int_val = 0;
+  double real_val = 0;
+  uint8_t char_val = 0;
+  int line = 1;
+};
+
+const std::unordered_set<std::string>& Keywords() {
+  static const auto* kw = new std::unordered_set<std::string>{
+      "fun", "let", "var", "in", "if", "then", "else", "end", "while",
+      "do", "for", "upto", "downto", "begin", "try", "catch", "throw",
+      "true", "false", "nil", "and", "or", "not", "array", "newarray",
+      "newbytes"};
+  return *kw;
+}
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view src) : src_(src) {}
+
+  Result<Token> Next() {
+    SkipWs();
+    Token t;
+    t.line = line_;
+    if (pos_ >= src_.size()) return t;
+    char c = src_[pos_];
+    if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+      size_t start = pos_;
+      while (pos_ < src_.size() &&
+             (std::isalnum(static_cast<unsigned char>(src_[pos_])) ||
+              src_[pos_] == '_')) {
+        ++pos_;
+      }
+      t.text = std::string(src_.substr(start, pos_ - start));
+      t.kind = Keywords().count(t.text) ? Tk::kKeyword : Tk::kIdent;
+      return t;
+    }
+    if (std::isdigit(static_cast<unsigned char>(c))) {
+      size_t start = pos_;
+      bool is_real = false;
+      while (pos_ < src_.size()) {
+        char d = src_[pos_];
+        if (std::isdigit(static_cast<unsigned char>(d))) {
+          ++pos_;
+        } else if (d == '.' && pos_ + 1 < src_.size() &&
+                   std::isdigit(static_cast<unsigned char>(src_[pos_ + 1]))) {
+          is_real = true;
+          ++pos_;
+        } else if ((d == 'e' || d == 'E') && pos_ + 1 < src_.size()) {
+          is_real = true;
+          ++pos_;
+          if (pos_ < src_.size() && (src_[pos_] == '+' || src_[pos_] == '-')) {
+            ++pos_;
+          }
+        } else {
+          break;
+        }
+      }
+      std::string num(src_.substr(start, pos_ - start));
+      if (is_real) {
+        t.kind = Tk::kReal;
+        t.real_val = std::strtod(num.c_str(), nullptr);
+      } else {
+        t.kind = Tk::kInt;
+        t.int_val = std::strtoll(num.c_str(), nullptr, 10);
+      }
+      return t;
+    }
+    if (c == '\'') {
+      if (pos_ + 2 >= src_.size() || src_[pos_ + 2] != '\'') {
+        return Err("bad character literal");
+      }
+      t.kind = Tk::kChar;
+      t.char_val = static_cast<uint8_t>(src_[pos_ + 1]);
+      pos_ += 3;
+      return t;
+    }
+    if (c == '"') {
+      ++pos_;
+      std::string s;
+      while (pos_ < src_.size() && src_[pos_] != '"') {
+        s.push_back(src_[pos_++]);
+      }
+      if (pos_ >= src_.size()) return Err("unterminated string");
+      ++pos_;
+      t.kind = Tk::kString;
+      t.text = std::move(s);
+      return t;
+    }
+    ++pos_;
+    switch (c) {
+      case '(': t.kind = Tk::kLParen; return t;
+      case ')': t.kind = Tk::kRParen; return t;
+      case '[': t.kind = Tk::kLBracket; return t;
+      case ']': t.kind = Tk::kRBracket; return t;
+      case ',': t.kind = Tk::kComma; return t;
+      case ';': t.kind = Tk::kSemi; return t;
+      case ':':
+        if (Peek() == '=') {
+          ++pos_;
+          t.kind = Tk::kAssign;
+          return t;
+        }
+        return Err("expected ':='");
+      case '-':
+        if (Peek() == '>') {
+          ++pos_;
+          t.kind = Tk::kArrow;
+          return t;
+        }
+        t.kind = Tk::kOp;
+        t.text = WithDot("-");
+        return t;
+      case '+': t.kind = Tk::kOp; t.text = WithDot("+"); return t;
+      case '*': t.kind = Tk::kOp; t.text = WithDot("*"); return t;
+      case '/': t.kind = Tk::kOp; t.text = WithDot("/"); return t;
+      case '%': t.kind = Tk::kOp; t.text = "%"; return t;
+      case '<':
+        if (Peek() == '=') {
+          ++pos_;
+          t.kind = Tk::kOp;
+          t.text = WithDot("<=");
+          return t;
+        }
+        t.kind = Tk::kOp;
+        t.text = WithDot("<");
+        return t;
+      case '>':
+        if (Peek() == '=') {
+          ++pos_;
+          t.kind = Tk::kOp;
+          t.text = ">=";
+          return t;
+        }
+        t.kind = Tk::kOp;
+        t.text = ">";
+        return t;
+      case '=':
+        if (Peek() == '=') {
+          ++pos_;
+          t.kind = Tk::kOp;
+          t.text = "==";
+          return t;
+        }
+        t.kind = Tk::kEq;
+        return t;
+      case '!':
+        if (Peek() == '=') {
+          ++pos_;
+          t.kind = Tk::kOp;
+          t.text = "!=";
+          return t;
+        }
+        return Err("expected '!='");
+      default:
+        return Err(std::string("unexpected character '") + c + "'");
+    }
+  }
+
+ private:
+  char Peek() const { return pos_ < src_.size() ? src_[pos_] : '\0'; }
+
+  // "+." real-operator suffix.
+  std::string WithDot(std::string base) {
+    if (Peek() == '.') {
+      ++pos_;
+      base += '.';
+    }
+    return base;
+  }
+
+  void SkipWs() {
+    while (pos_ < src_.size()) {
+      char c = src_[pos_];
+      if (c == '\n') {
+        ++line_;
+        ++pos_;
+      } else if (std::isspace(static_cast<unsigned char>(c))) {
+        ++pos_;
+      } else if (c == '#') {  // comment to end of line
+        while (pos_ < src_.size() && src_[pos_] != '\n') ++pos_;
+      } else {
+        break;
+      }
+    }
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::Invalid("TL lex error at line " + std::to_string(line_) +
+                           ": " + msg);
+  }
+
+  std::string_view src_;
+  size_t pos_ = 0;
+  int line_ = 1;
+};
+
+class Parser {
+ public:
+  explicit Parser(std::string_view src) : lexer_(src) {}
+
+  Result<Unit> Parse() {
+    TML_RETURN_NOT_OK(Advance());
+    Unit unit;
+    while (cur_.kind != Tk::kEnd) {
+      TML_ASSIGN_OR_RETURN(FnDef fn, ParseFn());
+      unit.functions.push_back(std::move(fn));
+    }
+    return unit;
+  }
+
+ private:
+  Result<FnDef> ParseFn() {
+    TML_RETURN_NOT_OK(ExpectKeyword("fun"));
+    FnDef fn;
+    fn.line = cur_.line;
+    TML_ASSIGN_OR_RETURN(fn.name, ExpectIdent());
+    TML_RETURN_NOT_OK(Expect(Tk::kLParen, "'('"));
+    while (cur_.kind != Tk::kRParen) {
+      TML_ASSIGN_OR_RETURN(std::string p, ExpectIdent());
+      fn.params.push_back(std::move(p));
+      if (cur_.kind == Tk::kComma) TML_RETURN_NOT_OK(Advance());
+    }
+    TML_RETURN_NOT_OK(Advance());  // ')'
+    TML_RETURN_NOT_OK(Expect(Tk::kEq, "'='"));
+    TML_ASSIGN_OR_RETURN(fn.body, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return fn;
+  }
+
+  // expr (';' expr)*
+  Result<ExprPtr> ParseBlock() {
+    TML_ASSIGN_OR_RETURN(ExprPtr first, ParseExpr());
+    if (cur_.kind != Tk::kSemi) return first;
+    auto seq = New(ExprKind::kSeq);
+    seq->elems.push_back(std::move(first));
+    while (cur_.kind == Tk::kSemi) {
+      TML_RETURN_NOT_OK(Advance());
+      TML_ASSIGN_OR_RETURN(ExprPtr next, ParseExpr());
+      seq->elems.push_back(std::move(next));
+    }
+    return seq;
+  }
+
+  Result<ExprPtr> ParseExpr() {
+    if (cur_.kind == Tk::kKeyword) {
+      const std::string& kw = cur_.text;
+      if (kw == "let" || kw == "var") return ParseLet(kw == "var");
+      if (kw == "if") return ParseIf();
+      if (kw == "while") return ParseWhile();
+      if (kw == "for") return ParseFor();
+      if (kw == "begin") return ParseBegin();
+      if (kw == "try") return ParseTry();
+      if (kw == "throw") {
+        TML_RETURN_NOT_OK(Advance());
+        auto e = New(ExprKind::kThrow);
+        TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+        return e;
+      }
+    }
+    return ParseAssign();
+  }
+
+  Result<ExprPtr> ParseLet(bool is_var) {
+    TML_RETURN_NOT_OK(Advance());  // let/var
+    auto e = New(ExprKind::kLet);
+    e->is_var = is_var;
+    TML_ASSIGN_OR_RETURN(e->name, ExpectIdent());
+    if (is_var) {
+      TML_RETURN_NOT_OK(Expect(Tk::kAssign, "':='"));
+    } else {
+      TML_RETURN_NOT_OK(Expect(Tk::kEq, "'='"));
+    }
+    TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+    TML_RETURN_NOT_OK(ExpectKeyword("in"));
+    TML_ASSIGN_OR_RETURN(e->b, ParseBlock());
+    return e;
+  }
+
+  Result<ExprPtr> ParseIf() {
+    TML_RETURN_NOT_OK(Advance());
+    auto e = New(ExprKind::kIf);
+    TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+    TML_RETURN_NOT_OK(ExpectKeyword("then"));
+    TML_ASSIGN_OR_RETURN(e->b, ParseBlock());
+    if (cur_.kind == Tk::kKeyword && cur_.text == "else") {
+      TML_RETURN_NOT_OK(Advance());
+      TML_ASSIGN_OR_RETURN(e->c, ParseBlock());
+    }
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseWhile() {
+    TML_RETURN_NOT_OK(Advance());
+    auto e = New(ExprKind::kWhile);
+    TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+    TML_RETURN_NOT_OK(ExpectKeyword("do"));
+    TML_ASSIGN_OR_RETURN(e->b, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseFor() {
+    TML_RETURN_NOT_OK(Advance());
+    auto e = New(ExprKind::kFor);
+    TML_ASSIGN_OR_RETURN(e->name, ExpectIdent());
+    TML_RETURN_NOT_OK(Expect(Tk::kEq, "'='"));
+    TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+    if (cur_.kind == Tk::kKeyword && cur_.text == "downto") {
+      e->downto = true;
+      TML_RETURN_NOT_OK(Advance());
+    } else {
+      TML_RETURN_NOT_OK(ExpectKeyword("upto"));
+    }
+    TML_ASSIGN_OR_RETURN(e->b, ParseExpr());
+    TML_RETURN_NOT_OK(ExpectKeyword("do"));
+    TML_ASSIGN_OR_RETURN(e->c, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseBegin() {
+    TML_RETURN_NOT_OK(Advance());
+    TML_ASSIGN_OR_RETURN(ExprPtr block, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return block;
+  }
+
+  Result<ExprPtr> ParseTry() {
+    TML_RETURN_NOT_OK(Advance());
+    auto e = New(ExprKind::kTry);
+    TML_ASSIGN_OR_RETURN(e->a, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("catch"));
+    TML_ASSIGN_OR_RETURN(e->name, ExpectIdent());
+    TML_RETURN_NOT_OK(Expect(Tk::kArrow, "'->'"));
+    TML_ASSIGN_OR_RETURN(e->b, ParseBlock());
+    TML_RETURN_NOT_OK(ExpectKeyword("end"));
+    return e;
+  }
+
+  Result<ExprPtr> ParseAssign() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseOr());
+    if (cur_.kind != Tk::kAssign) return lhs;
+    TML_RETURN_NOT_OK(Advance());
+    if (lhs->kind == ExprKind::kName) {
+      auto e = New(ExprKind::kAssign);
+      e->name = lhs->name;
+      TML_ASSIGN_OR_RETURN(e->a, ParseExpr());
+      return e;
+    }
+    if (lhs->kind == ExprKind::kIndex) {
+      auto e = New(ExprKind::kIndexAssign);
+      e->a = std::move(lhs->a);
+      e->b = std::move(lhs->b);
+      TML_ASSIGN_OR_RETURN(e->c, ParseExpr());
+      return e;
+    }
+    return Err("invalid assignment target");
+  }
+
+  Result<ExprPtr> ParseOr() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAnd());
+    while (cur_.kind == Tk::kKeyword && cur_.text == "or") {
+      TML_RETURN_NOT_OK(Advance());
+      auto e = New(ExprKind::kBinary);
+      e->bin_op = BinOp::kOr;
+      e->a = std::move(lhs);
+      TML_ASSIGN_OR_RETURN(e->b, ParseAnd());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseAnd() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseCmp());
+    while (cur_.kind == Tk::kKeyword && cur_.text == "and") {
+      TML_RETURN_NOT_OK(Advance());
+      auto e = New(ExprKind::kBinary);
+      e->bin_op = BinOp::kAnd;
+      e->a = std::move(lhs);
+      TML_ASSIGN_OR_RETURN(e->b, ParseCmp());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseCmp() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseAdd());
+    if (cur_.kind != Tk::kOp) return lhs;
+    BinOp op;
+    if (cur_.text == "<") op = BinOp::kLt;
+    else if (cur_.text == "<=") op = BinOp::kLe;
+    else if (cur_.text == ">") op = BinOp::kGt;
+    else if (cur_.text == ">=") op = BinOp::kGe;
+    else if (cur_.text == "==") op = BinOp::kEq;
+    else if (cur_.text == "!=") op = BinOp::kNe;
+    else if (cur_.text == "<.") op = BinOp::kLtR;
+    else if (cur_.text == "<=.") op = BinOp::kLeR;
+    else return lhs;
+    TML_RETURN_NOT_OK(Advance());
+    auto e = New(ExprKind::kBinary);
+    e->bin_op = op;
+    e->a = std::move(lhs);
+    TML_ASSIGN_OR_RETURN(e->b, ParseAdd());
+    return e;
+  }
+
+  Result<ExprPtr> ParseAdd() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseMul());
+    while (cur_.kind == Tk::kOp &&
+           (cur_.text == "+" || cur_.text == "-" || cur_.text == "+." ||
+            cur_.text == "-.")) {
+      BinOp op = cur_.text == "+"    ? BinOp::kAdd
+                 : cur_.text == "-"  ? BinOp::kSub
+                 : cur_.text == "+." ? BinOp::kAddR
+                                     : BinOp::kSubR;
+      TML_RETURN_NOT_OK(Advance());
+      auto e = New(ExprKind::kBinary);
+      e->bin_op = op;
+      e->a = std::move(lhs);
+      TML_ASSIGN_OR_RETURN(e->b, ParseMul());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseMul() {
+    TML_ASSIGN_OR_RETURN(ExprPtr lhs, ParseUnary());
+    while (cur_.kind == Tk::kOp &&
+           (cur_.text == "*" || cur_.text == "/" || cur_.text == "%" ||
+            cur_.text == "*." || cur_.text == "/.")) {
+      BinOp op = cur_.text == "*"    ? BinOp::kMul
+                 : cur_.text == "/"  ? BinOp::kDiv
+                 : cur_.text == "%"  ? BinOp::kMod
+                 : cur_.text == "*." ? BinOp::kMulR
+                                     : BinOp::kDivR;
+      TML_RETURN_NOT_OK(Advance());
+      auto e = New(ExprKind::kBinary);
+      e->bin_op = op;
+      e->a = std::move(lhs);
+      TML_ASSIGN_OR_RETURN(e->b, ParseUnary());
+      lhs = std::move(e);
+    }
+    return lhs;
+  }
+
+  Result<ExprPtr> ParseUnary() {
+    if (cur_.kind == Tk::kOp && (cur_.text == "-" || cur_.text == "-.")) {
+      bool real = cur_.text == "-.";
+      TML_RETURN_NOT_OK(Advance());
+      // Constant-fold negative literals directly.
+      if (!real && cur_.kind == Tk::kInt) {
+        auto e = New(ExprKind::kIntLit);
+        e->int_val = -cur_.int_val;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      if (cur_.kind == Tk::kReal) {
+        auto e = New(ExprKind::kRealLit);
+        e->real_val = -cur_.real_val;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      auto e = New(ExprKind::kBinary);
+      e->bin_op = real ? BinOp::kSubR : BinOp::kSub;
+      e->a = New(real ? ExprKind::kRealLit : ExprKind::kIntLit);
+      TML_ASSIGN_OR_RETURN(e->b, ParseUnary());
+      return e;
+    }
+    if (cur_.kind == Tk::kKeyword && cur_.text == "not") {
+      TML_RETURN_NOT_OK(Advance());
+      auto e = New(ExprKind::kUnary);
+      e->un_op = UnOp::kNot;
+      TML_ASSIGN_OR_RETURN(e->a, ParseUnary());
+      return e;
+    }
+    return ParsePostfix();
+  }
+
+  Result<ExprPtr> ParsePostfix() {
+    TML_ASSIGN_OR_RETURN(ExprPtr e, ParsePrimary());
+    while (true) {
+      if (cur_.kind == Tk::kLParen) {
+        if (e->kind != ExprKind::kName) {
+          return Err("only named functions can be called");
+        }
+        TML_RETURN_NOT_OK(Advance());
+        auto call = New(ExprKind::kCall);
+        call->name = e->name;
+        while (cur_.kind != Tk::kRParen) {
+          TML_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+          call->elems.push_back(std::move(arg));
+          if (cur_.kind == Tk::kComma) TML_RETURN_NOT_OK(Advance());
+        }
+        TML_RETURN_NOT_OK(Advance());
+        e = std::move(call);
+      } else if (cur_.kind == Tk::kLBracket) {
+        TML_RETURN_NOT_OK(Advance());
+        auto idx = New(ExprKind::kIndex);
+        idx->a = std::move(e);
+        TML_ASSIGN_OR_RETURN(idx->b, ParseExpr());
+        TML_RETURN_NOT_OK(Expect(Tk::kRBracket, "']'"));
+        e = std::move(idx);
+      } else {
+        return e;
+      }
+    }
+  }
+
+  Result<ExprPtr> ParsePrimary() {
+    switch (cur_.kind) {
+      case Tk::kInt: {
+        auto e = New(ExprKind::kIntLit);
+        e->int_val = cur_.int_val;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      case Tk::kReal: {
+        auto e = New(ExprKind::kRealLit);
+        e->real_val = cur_.real_val;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      case Tk::kChar: {
+        auto e = New(ExprKind::kCharLit);
+        e->char_val = cur_.char_val;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      case Tk::kString: {
+        auto e = New(ExprKind::kStringLit);
+        e->str_val = cur_.text;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      case Tk::kIdent: {
+        auto e = New(ExprKind::kName);
+        e->name = cur_.text;
+        TML_RETURN_NOT_OK(Advance());
+        return e;
+      }
+      case Tk::kLParen: {
+        TML_RETURN_NOT_OK(Advance());
+        TML_ASSIGN_OR_RETURN(ExprPtr e, ParseBlock());
+        TML_RETURN_NOT_OK(Expect(Tk::kRParen, "')'"));
+        return e;
+      }
+      case Tk::kKeyword: {
+        const std::string& kw = cur_.text;
+        if (kw == "true" || kw == "false") {
+          auto e = New(ExprKind::kBoolLit);
+          e->bool_val = (kw == "true");
+          TML_RETURN_NOT_OK(Advance());
+          return e;
+        }
+        if (kw == "nil") {
+          TML_RETURN_NOT_OK(Advance());
+          return New(ExprKind::kNilLit);
+        }
+        if (kw == "array" || kw == "newarray" || kw == "newbytes") {
+          auto e = New(ExprKind::kCall);
+          e->name = "__" + kw;
+          TML_RETURN_NOT_OK(Advance());
+          TML_RETURN_NOT_OK(Expect(Tk::kLParen, "'('"));
+          while (cur_.kind != Tk::kRParen) {
+            TML_ASSIGN_OR_RETURN(ExprPtr arg, ParseExpr());
+            e->elems.push_back(std::move(arg));
+            if (cur_.kind == Tk::kComma) TML_RETURN_NOT_OK(Advance());
+          }
+          TML_RETURN_NOT_OK(Advance());
+          return e;
+        }
+        // `if`/`while`/... appearing in operand position: allow the full
+        // expression forms here too.
+        if (kw == "let" || kw == "var" || kw == "if" || kw == "while" ||
+            kw == "for" || kw == "begin" || kw == "try" || kw == "throw") {
+          return ParseExpr();
+        }
+        return Err("unexpected keyword '" + kw + "'");
+      }
+      default:
+        return Err("expected an expression");
+    }
+  }
+
+  // ---- token plumbing ---------------------------------------------------
+
+  Status Advance() {
+    TML_ASSIGN_OR_RETURN(cur_, lexer_.Next());
+    return Status::OK();
+  }
+
+  Status Expect(Tk kind, const char* what) {
+    if (cur_.kind != kind) return Err(std::string("expected ") + what);
+    return Advance();
+  }
+
+  Status ExpectKeyword(const char* kw) {
+    if (cur_.kind != Tk::kKeyword || cur_.text != kw) {
+      return Err(std::string("expected '") + kw + "', found '" + cur_.text +
+                 "'");
+    }
+    return Advance();
+  }
+
+  Result<std::string> ExpectIdent() {
+    if (cur_.kind != Tk::kIdent) return Err("expected an identifier");
+    std::string s = cur_.text;
+    TML_RETURN_NOT_OK(Advance());
+    return s;
+  }
+
+  ExprPtr New(ExprKind kind) {
+    auto e = std::make_unique<Expr>();
+    e->kind = kind;
+    e->line = cur_.line;
+    return e;
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::Invalid("TL parse error at line " +
+                           std::to_string(cur_.line) + ": " + msg);
+  }
+
+  Lexer lexer_;
+  Token cur_;
+};
+
+}  // namespace
+
+Result<Unit> ParseUnit(std::string_view source) {
+  Parser p(source);
+  return p.Parse();
+}
+
+}  // namespace tml::fe

@@ -1,0 +1,18 @@
+// TL-subset lexer and parser (grammar in ast.h).
+
+#ifndef TML_FRONTEND_PARSER_H_
+#define TML_FRONTEND_PARSER_H_
+
+#include <string_view>
+
+#include "frontend/ast.h"
+#include "support/status.h"
+
+namespace tml::fe {
+
+/// Parse a compilation unit (a sequence of `fun` definitions).
+Result<Unit> ParseUnit(std::string_view source);
+
+}  // namespace tml::fe
+
+#endif  // TML_FRONTEND_PARSER_H_

@@ -1,0 +1,659 @@
+#include "interp/interp.h"
+
+#include <cmath>
+#include <cstring>
+#include <deque>
+#include <limits>
+
+#include "core/primitive.h"
+
+namespace tml::interp {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Cast;
+using ir::DynCast;
+using ir::Isa;
+using ir::LitKind;
+using ir::Literal;
+using ir::PrimOp;
+using ir::PrimRef;
+using ir::Variable;
+
+std::string ToString(const IValue& v) {
+  struct Visitor {
+    std::string operator()(std::monostate) const { return "nil"; }
+    std::string operator()(bool b) const { return b ? "true" : "false"; }
+    std::string operator()(int64_t i) const { return std::to_string(i); }
+    std::string operator()(uint8_t c) const {
+      return std::string("'") + static_cast<char>(c) + "'";
+    }
+    std::string operator()(double r) const {
+      char buf[64];
+      std::snprintf(buf, sizeof(buf), "%g", r);
+      return buf;
+    }
+    std::string operator()(const std::string& s) const { return s; }
+    std::string operator()(const std::shared_ptr<IArrayObj>& a) const {
+      std::string out = "[";
+      for (size_t i = 0; i < a->slots.size(); ++i) {
+        if (i > 0) out += ' ';
+        out += ToString(a->slots[i]);
+      }
+      return out + "]";
+    }
+    std::string operator()(const std::shared_ptr<IBytesObj>& b) const {
+      return "<bytes " + std::to_string(b->bytes.size()) + ">";
+    }
+    std::string operator()(const IClosure*) const { return "<closure>"; }
+    std::string operator()(Oid oid) const {
+      return "<oid " + std::to_string(oid) + ">";
+    }
+  };
+  return std::visit(Visitor{}, v.v);
+}
+
+namespace {
+
+IValue Nil() { return IValue{}; }
+IValue Int(int64_t i) { return IValue{i}; }
+IValue Bool(bool b) { return IValue{b}; }
+IValue Real(double r) { return IValue{r}; }
+IValue Str(std::string s) { return IValue{std::move(s)}; }
+
+/// Deep-copy a result, replacing machine-owned closures with nil so nothing
+/// dangles after the machine's pools are freed.
+IValue Sanitize(const IValue& v) {
+  if (std::holds_alternative<const IClosure*>(v.v)) return Nil();
+  if (auto* arr = std::get_if<std::shared_ptr<IArrayObj>>(&v.v)) {
+    auto copy = std::make_shared<IArrayObj>();
+    copy->immutable = (*arr)->immutable;
+    copy->slots.reserve((*arr)->slots.size());
+    for (const IValue& s : (*arr)->slots) copy->slots.push_back(Sanitize(s));
+    return IValue{copy};
+  }
+  return v;
+}
+
+class Machine {
+ public:
+  Machine(const ir::Module& m, const InterpOptions& opts)
+      : m_(m), opts_(opts) {}
+
+  Result<InterpResult> Run(const Abstraction* prog,
+                           const std::vector<IValue>& args) {
+    if (prog->num_params() != args.size() + 2) {
+      return Status::Invalid("program arity: expected " +
+                             std::to_string(prog->num_params()) +
+                             " params incl. (ce cc), got " +
+                             std::to_string(args.size()) + " args");
+    }
+    const IClosure* halt = NewSpecial(SpecialCont::kHalt);
+    const IClosure* top_handler = NewSpecial(SpecialCont::kTopHandler);
+    handlers_.push_back(top_handler);
+
+    const EnvNode* env = nullptr;
+    for (size_t i = 0; i < args.size(); ++i) {
+      env = Bind(env, prog->param(i), args[i]);
+    }
+    env = Bind(env, prog->param(prog->num_params() - 2),
+               IValue{top_handler});
+    env = Bind(env, prog->param(prog->num_params() - 1), IValue{halt});
+
+    app_ = prog->body();
+    env_ = env;
+    while (!done_) {
+      if (++steps_ > opts_.max_steps) {
+        return Status::RuntimeError("interpreter step limit exceeded");
+      }
+      TML_RETURN_NOT_OK(Step());
+    }
+    InterpResult res;
+    res.value = Sanitize(result_);
+    res.raised = raised_;
+    res.steps = steps_;
+    res.output = std::move(output_);
+    return res;
+  }
+
+ private:
+  // ---- Allocation ------------------------------------------------------
+
+  const EnvNode* Bind(const EnvNode* env, const Variable* var, IValue val) {
+    env_pool_.push_back(EnvNode{var, std::move(val), env});
+    return &env_pool_.back();
+  }
+
+  const IClosure* NewClosure(const Abstraction* abs, const EnvNode* env) {
+    clo_pool_.push_back(IClosure{abs, env, SpecialCont::kNone});
+    return &clo_pool_.back();
+  }
+
+  const IClosure* NewSpecial(SpecialCont s) {
+    clo_pool_.push_back(IClosure{nullptr, nullptr, s});
+    return &clo_pool_.back();
+  }
+
+  // ---- Evaluation ------------------------------------------------------
+
+  Result<IValue> Eval(const ir::Value* v, const EnvNode* env) {
+    switch (v->kind()) {
+      case ir::NodeKind::kLiteral: {
+        const Literal* lit = Cast<Literal>(v);
+        switch (lit->lit_kind()) {
+          case LitKind::kNil: return Nil();
+          case LitKind::kBool: return Bool(lit->bool_value());
+          case LitKind::kInt: return Int(lit->int_value());
+          case LitKind::kChar: return IValue{lit->char_value()};
+          case LitKind::kReal: return Real(lit->real_value());
+          case LitKind::kString: return Str(std::string(lit->string_value()));
+        }
+        return Nil();
+      }
+      case ir::NodeKind::kOid:
+        return IValue{Cast<ir::OidRef>(v)->oid()};
+      case ir::NodeKind::kVariable: {
+        const Variable* var = Cast<Variable>(v);
+        for (const EnvNode* e = env; e != nullptr; e = e->next) {
+          if (e->var == var) return e->val;
+        }
+        return Status::RuntimeError("unbound variable at runtime: " +
+                                    std::string(m_.NameOf(*var)));
+      }
+      case ir::NodeKind::kPrimitive:
+        return Status::RuntimeError("primitive used as a value");
+      case ir::NodeKind::kAbstraction:
+        return IValue{NewClosure(Cast<Abstraction>(v), env)};
+      case ir::NodeKind::kApplication:
+        return Status::RuntimeError("application in value position");
+    }
+    return Nil();
+  }
+
+  Status Step() {
+    const Application* app = app_;
+    const ir::Value* callee = app->callee();
+    if (const PrimRef* pr = DynCast<PrimRef>(callee)) {
+      return StepPrim(pr->prim(), app);
+    }
+    TML_ASSIGN_OR_RETURN(IValue f, Eval(callee, env_));
+    std::vector<IValue> vals;
+    vals.reserve(app->num_args());
+    for (const ir::Value* a : app->args()) {
+      TML_ASSIGN_OR_RETURN(IValue v, Eval(a, env_));
+      vals.push_back(std::move(v));
+    }
+    return Invoke(f, vals);
+  }
+
+  Status Invoke(const IValue& f, const std::vector<IValue>& vals) {
+    const IClosure* const* cp = std::get_if<const IClosure*>(&f.v);
+    if (cp == nullptr) {
+      return Status::RuntimeError(
+          "application of a non-procedure value: " + ToString(f));
+    }
+    const IClosure* clo = *cp;
+    switch (clo->special) {
+      case SpecialCont::kHalt:
+        done_ = true;
+        raised_ = false;
+        result_ = vals.empty() ? Nil() : vals[0];
+        return Status::OK();
+      case SpecialCont::kTopHandler:
+        done_ = true;
+        raised_ = true;
+        result_ = vals.empty() ? Nil() : vals[0];
+        return Status::OK();
+      case SpecialCont::kNone:
+        break;
+    }
+    if (clo->abs->num_params() != vals.size()) {
+      return Status::RuntimeError("arity mismatch in application");
+    }
+    const EnvNode* env = clo->env;
+    for (size_t i = 0; i < vals.size(); ++i) {
+      env = Bind(env, clo->abs->param(i), vals[i]);
+    }
+    app_ = clo->abs->body();
+    env_ = env;
+    return Status::OK();
+  }
+
+  Status Raise(IValue err) {
+    if (handlers_.empty()) {
+      done_ = true;
+      raised_ = true;
+      result_ = std::move(err);
+      return Status::OK();
+    }
+    const IClosure* h = handlers_.back();
+    handlers_.pop_back();
+    return Invoke(IValue{h}, {std::move(err)});
+  }
+
+  // ---- Primitive dispatch ----------------------------------------------
+
+  Status StepPrim(const ir::Primitive& prim, const Application* app) {
+    std::vector<IValue> a;
+    a.reserve(app->num_args());
+    for (const ir::Value* arg : app->args()) {
+      TML_ASSIGN_OR_RETURN(IValue v, Eval(arg, env_));
+      a.push_back(std::move(v));
+    }
+    switch (prim.op()) {
+      case PrimOp::kAddI:
+      case PrimOp::kSubI:
+      case PrimOp::kMulI:
+      case PrimOp::kDivI:
+      case PrimOp::kModI:
+        return IntArith(prim.op(), a);
+      case PrimOp::kLtI:
+      case PrimOp::kGtI:
+      case PrimOp::kLeI:
+      case PrimOp::kGeI:
+        return IntCmp(prim.op(), a);
+      case PrimOp::kShl:
+      case PrimOp::kShr:
+      case PrimOp::kBitAnd:
+      case PrimOp::kBitOr:
+      case PrimOp::kBitXor:
+        return BitOp(prim.op(), a);
+      case PrimOp::kAddR:
+      case PrimOp::kSubR:
+      case PrimOp::kMulR:
+      case PrimOp::kDivR:
+        return RealArith(prim.op(), a);
+      case PrimOp::kLtR:
+      case PrimOp::kLeR: {
+        if (!a[0].is_real() || !a[1].is_real()) return TypeErr("real cmp");
+        bool taken = prim.op() == PrimOp::kLtR
+                         ? a[0].as_real() < a[1].as_real()
+                         : a[0].as_real() <= a[1].as_real();
+        return Invoke(taken ? a[2] : a[3], {});
+      }
+      case PrimOp::kSqrt: {
+        if (!a[0].is_real()) return TypeErr("sqrt");
+        if (a[0].as_real() < 0) return Invoke(a[1], {Str("sqrt: negative")});
+        return Invoke(a[2], {Real(std::sqrt(a[0].as_real()))});
+      }
+      case PrimOp::kIntToReal:
+        if (!a[0].is_int()) return TypeErr("int2real");
+        return Invoke(a[1], {Real(static_cast<double>(a[0].as_int()))});
+      case PrimOp::kTruncR: {
+        if (!a[0].is_real()) return TypeErr("real2int");
+        double r = a[0].as_real();
+        if (!(r > -9.0e18 && r < 9.0e18)) return TypeErr("real2int range");
+        return Invoke(a[1], {Int(static_cast<int64_t>(r))});
+      }
+      case PrimOp::kChar2Int: {
+        auto* c = std::get_if<uint8_t>(&a[0].v);
+        if (c == nullptr) return TypeErr("char2int");
+        return Invoke(a[1], {Int(*c)});
+      }
+      case PrimOp::kInt2Char:
+        if (!a[0].is_int()) return TypeErr("int2char");
+        return Invoke(a[1], {IValue{static_cast<uint8_t>(
+                                a[0].as_int() & 0xFF)}});
+      case PrimOp::kAnd:
+      case PrimOp::kOr: {
+        if (!a[0].is_bool() || !a[1].is_bool()) return TypeErr("and/or");
+        bool r = prim.op() == PrimOp::kAnd
+                     ? (a[0].as_bool() && a[1].as_bool())
+                     : (a[0].as_bool() || a[1].as_bool());
+        return Invoke(a[2], {Bool(r)});
+      }
+      case PrimOp::kNot:
+        if (!a[0].is_bool()) return TypeErr("not");
+        return Invoke(a[1], {Bool(!a[0].as_bool())});
+      case PrimOp::kEqB:
+        return Invoke(ScalarEq(a[0], a[1]) ? a[2] : a[3], {});
+      case PrimOp::kArray:
+      case PrimOp::kVector: {
+        auto arr = std::make_shared<IArrayObj>();
+        arr->immutable = prim.op() == PrimOp::kVector;
+        arr->slots.assign(a.begin(), a.end() - 1);
+        return Invoke(a.back(), {IValue{arr}});
+      }
+      case PrimOp::kNewByteArray: {
+        if (!a[0].is_int() || !a[1].is_int()) return TypeErr("new");
+        int64_t n = a[0].as_int();
+        if (n < 0) return TypeErr("new: negative size");
+        auto b = std::make_shared<IBytesObj>();
+        b->bytes.assign(static_cast<size_t>(n),
+                        static_cast<uint8_t>(a[1].as_int() & 0xFF));
+        return Invoke(a[2], {IValue{b}});
+      }
+      case PrimOp::kMkArray: {
+        if (!a[0].is_int()) return TypeErr("mkarray");
+        int64_t n = a[0].as_int();
+        if (n < 0) return Invoke(a[2], {Str("mkarray: negative size")});
+        auto arr = std::make_shared<IArrayObj>();
+        arr->slots.assign(static_cast<size_t>(n), a[1]);
+        return Invoke(a[3], {IValue{arr}});
+      }
+      case PrimOp::kALoad: {
+        // `[]` is polymorphic over arrays and byte arrays (the TL front
+        // end indexes both with the same syntax).
+        if (!a[1].is_int()) return TypeErr("[]");
+        int64_t i = a[1].as_int();
+        if (auto* b = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v)) {
+          if (i < 0 || static_cast<size_t>(i) >= (*b)->bytes.size()) {
+            return Invoke(a[2], {Str("[]: index out of range")});
+          }
+          return Invoke(a[3], {Int((*b)->bytes[static_cast<size_t>(i)])});
+        }
+        auto* arr = std::get_if<std::shared_ptr<IArrayObj>>(&a[0].v);
+        if (arr == nullptr) return TypeErr("[]");
+        if (i < 0 || static_cast<size_t>(i) >= (*arr)->slots.size()) {
+          return Invoke(a[2], {Str("[]: index out of range")});
+        }
+        return Invoke(a[3], {(*arr)->slots[static_cast<size_t>(i)]});
+      }
+      case PrimOp::kAStore: {
+        if (!a[1].is_int()) return TypeErr("[]:=");
+        int64_t i = a[1].as_int();
+        if (auto* b = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v)) {
+          if (!a[2].is_int()) return TypeErr("[]:= byte value");
+          if (i < 0 || static_cast<size_t>(i) >= (*b)->bytes.size()) {
+            return Invoke(a[3], {Str("[]:=: index out of range")});
+          }
+          (*b)->bytes[static_cast<size_t>(i)] =
+              static_cast<uint8_t>(a[2].as_int() & 0xFF);
+          return Invoke(a[4], {Nil()});
+        }
+        auto* arr = std::get_if<std::shared_ptr<IArrayObj>>(&a[0].v);
+        if (arr == nullptr) return TypeErr("[]:=");
+        if ((*arr)->immutable) {
+          return Invoke(a[3], {Str("[]:=: immutable vector")});
+        }
+        if (i < 0 || static_cast<size_t>(i) >= (*arr)->slots.size()) {
+          return Invoke(a[3], {Str("[]:=: index out of range")});
+        }
+        (*arr)->slots[static_cast<size_t>(i)] = a[2];
+        return Invoke(a[4], {Nil()});
+      }
+      case PrimOp::kBLoad: {
+        auto* b = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v);
+        if (b == nullptr || !a[1].is_int()) return TypeErr("$[]");
+        int64_t i = a[1].as_int();
+        if (i < 0 || static_cast<size_t>(i) >= (*b)->bytes.size()) {
+          return Invoke(a[2], {Str("$[]: index out of range")});
+        }
+        return Invoke(a[3], {Int((*b)->bytes[static_cast<size_t>(i)])});
+      }
+      case PrimOp::kBStore: {
+        auto* b = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v);
+        if (b == nullptr || !a[1].is_int() || !a[2].is_int()) {
+          return TypeErr("$[]:=");
+        }
+        int64_t i = a[1].as_int();
+        if (i < 0 || static_cast<size_t>(i) >= (*b)->bytes.size()) {
+          return Invoke(a[3], {Str("$[]:=: index out of range")});
+        }
+        (*b)->bytes[static_cast<size_t>(i)] =
+            static_cast<uint8_t>(a[2].as_int() & 0xFF);
+        return Invoke(a[4], {Nil()});
+      }
+      case PrimOp::kSize: {
+        if (auto* arr = std::get_if<std::shared_ptr<IArrayObj>>(&a[0].v)) {
+          return Invoke(a[1], {Int(static_cast<int64_t>(
+                                 (*arr)->slots.size()))});
+        }
+        if (auto* b = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v)) {
+          return Invoke(a[1], {Int(static_cast<int64_t>(
+                                 (*b)->bytes.size()))});
+        }
+        return TypeErr("size");
+      }
+      case PrimOp::kMove:
+        return Move(a, /*bytes=*/false);
+      case PrimOp::kBMove:
+        return Move(a, /*bytes=*/true);
+      case PrimOp::kCase:
+        return Case(app, a);
+      case PrimOp::kY:
+        return FixY(app);
+      case PrimOp::kPushHandler: {
+        auto* h = std::get_if<const IClosure*>(&a[0].v);
+        if (h == nullptr) return TypeErr("pushHandler");
+        handlers_.push_back(*h);
+        return Invoke(a[1], {});
+      }
+      case PrimOp::kPopHandler:
+        if (handlers_.size() <= 1) return TypeErr("popHandler: empty stack");
+        handlers_.pop_back();
+        return Invoke(a[0], {});
+      case PrimOp::kRaise:
+        return Raise(a[0]);
+      case PrimOp::kCCall:
+        return CCall(a);
+      default:
+        return Status::Unimplemented(
+            "primitive not supported by the reference interpreter: " +
+            std::string(prim.name()));
+    }
+  }
+
+  Status IntArith(PrimOp op, const std::vector<IValue>& a) {
+    if (!a[0].is_int() || !a[1].is_int()) return TypeErr("int arith");
+    int64_t x = a[0].as_int(), y = a[1].as_int(), r = 0;
+    bool fail = false;
+    switch (op) {
+      case PrimOp::kAddI: fail = __builtin_add_overflow(x, y, &r); break;
+      case PrimOp::kSubI: fail = __builtin_sub_overflow(x, y, &r); break;
+      case PrimOp::kMulI: fail = __builtin_mul_overflow(x, y, &r); break;
+      case PrimOp::kDivI:
+        fail = (y == 0 ||
+                (x == std::numeric_limits<int64_t>::min() && y == -1));
+        if (!fail) r = x / y;
+        break;
+      case PrimOp::kModI:
+        fail = (y == 0 ||
+                (x == std::numeric_limits<int64_t>::min() && y == -1));
+        if (!fail) r = x % y;
+        break;
+      default: return TypeErr("int arith");
+    }
+    if (fail) return Invoke(a[2], {Str("integer arithmetic fault")});
+    return Invoke(a[3], {Int(r)});
+  }
+
+  Status IntCmp(PrimOp op, const std::vector<IValue>& a) {
+    if (!a[0].is_int() || !a[1].is_int()) return TypeErr("int cmp");
+    int64_t x = a[0].as_int(), y = a[1].as_int();
+    bool taken = false;
+    switch (op) {
+      case PrimOp::kLtI: taken = x < y; break;
+      case PrimOp::kGtI: taken = x > y; break;
+      case PrimOp::kLeI: taken = x <= y; break;
+      case PrimOp::kGeI: taken = x >= y; break;
+      default: break;
+    }
+    return Invoke(taken ? a[2] : a[3], {});
+  }
+
+  Status BitOp(PrimOp op, const std::vector<IValue>& a) {
+    if (!a[0].is_int() || !a[1].is_int()) return TypeErr("bit op");
+    int64_t x = a[0].as_int(), y = a[1].as_int(), r = 0;
+    uint64_t ux = static_cast<uint64_t>(x);
+    switch (op) {
+      case PrimOp::kShl:
+        r = (y >= 0 && y < 64) ? static_cast<int64_t>(ux << y) : 0;
+        break;
+      case PrimOp::kShr:
+        r = (y >= 0 && y < 64) ? static_cast<int64_t>(ux >> y) : 0;
+        break;
+      case PrimOp::kBitAnd: r = x & y; break;
+      case PrimOp::kBitOr: r = x | y; break;
+      case PrimOp::kBitXor: r = x ^ y; break;
+      default: break;
+    }
+    return Invoke(a[2], {Int(r)});
+  }
+
+  Status RealArith(PrimOp op, const std::vector<IValue>& a) {
+    if (!a[0].is_real() || !a[1].is_real()) return TypeErr("real arith");
+    double x = a[0].as_real(), y = a[1].as_real(), r = 0;
+    switch (op) {
+      case PrimOp::kAddR: r = x + y; break;
+      case PrimOp::kSubR: r = x - y; break;
+      case PrimOp::kMulR: r = x * y; break;
+      case PrimOp::kDivR:
+        if (y == 0.0) return Invoke(a[2], {Str("real division by zero")});
+        r = x / y;
+        break;
+      default: break;
+    }
+    return Invoke(a[3], {Real(r)});
+  }
+
+  static bool ScalarEq(const IValue& a, const IValue& b) {
+    if (a.v.index() != b.v.index()) return false;
+    if (a.is_int()) return a.as_int() == b.as_int();
+    if (a.is_bool()) return a.as_bool() == b.as_bool();
+    if (a.is_real()) return a.as_real() == b.as_real();
+    if (auto* c = std::get_if<uint8_t>(&a.v)) {
+      return *c == std::get<uint8_t>(b.v);
+    }
+    if (auto* s = std::get_if<std::string>(&a.v)) {
+      return *s == std::get<std::string>(b.v);
+    }
+    if (a.is_nil()) return true;
+    if (auto* o = std::get_if<Oid>(&a.v)) return *o == std::get<Oid>(b.v);
+    return false;  // arrays/closures: identity not comparable here
+  }
+
+  Status Move(const std::vector<IValue>& a, bool bytes) {
+    // (move dst dstoff src srcoff n c)
+    if (!a[1].is_int() || !a[3].is_int() || !a[4].is_int()) {
+      return TypeErr("move");
+    }
+    int64_t doff = a[1].as_int(), soff = a[3].as_int(), n = a[4].as_int();
+    if (bytes) {
+      auto* d = std::get_if<std::shared_ptr<IBytesObj>>(&a[0].v);
+      auto* s = std::get_if<std::shared_ptr<IBytesObj>>(&a[2].v);
+      if (d == nullptr || s == nullptr) return TypeErr("$move");
+      if (n < 0 || doff < 0 || soff < 0 ||
+          static_cast<size_t>(doff + n) > (*d)->bytes.size() ||
+          static_cast<size_t>(soff + n) > (*s)->bytes.size()) {
+        return TypeErr("$move bounds");
+      }
+      std::memmove((*d)->bytes.data() + doff, (*s)->bytes.data() + soff,
+                   static_cast<size_t>(n));
+    } else {
+      auto* d = std::get_if<std::shared_ptr<IArrayObj>>(&a[0].v);
+      auto* s = std::get_if<std::shared_ptr<IArrayObj>>(&a[2].v);
+      if (d == nullptr || s == nullptr || (*d)->immutable) {
+        return TypeErr("move");
+      }
+      if (n < 0 || doff < 0 || soff < 0 ||
+          static_cast<size_t>(doff + n) > (*d)->slots.size() ||
+          static_cast<size_t>(soff + n) > (*s)->slots.size()) {
+        return TypeErr("move bounds");
+      }
+      for (int64_t i = 0; i < n; ++i) {
+        (*d)->slots[static_cast<size_t>(doff + i)] =
+            (*s)->slots[static_cast<size_t>(soff + i)];
+      }
+    }
+    return Invoke(a[5], {Nil()});
+  }
+
+  // (== v t1..tn c1..cn [celse]) with literal tags.
+  Status Case(const Application* app, const std::vector<IValue>& a) {
+    size_t num_tags = 0;
+    while (1 + num_tags < app->num_args() &&
+           Isa<Literal>(app->arg(1 + num_tags))) {
+      ++num_tags;
+    }
+    size_t num_conts = app->num_args() - 1 - num_tags;
+    bool has_else = num_conts == num_tags + 1;
+    for (size_t i = 0; i < num_tags; ++i) {
+      if (ScalarEq(a[0], a[1 + i])) {
+        return Invoke(a[1 + num_tags + i], {});
+      }
+    }
+    if (has_else) return Invoke(a.back(), {});
+    return Status::RuntimeError("'==' fell through without else branch");
+  }
+
+  // (Y λ(c0 v1..vn c)(c k0 abs1..absn)): establish the mutually recursive
+  // bindings in a cyclic environment, then run the entry continuation.
+  Status FixY(const Application* app) {
+    if (app->num_args() != 1 || !Isa<Abstraction>(app->arg(0))) {
+      return TypeErr("Y");
+    }
+    const Abstraction* gen = Cast<Abstraction>(app->arg(0));
+    if (gen->num_params() < 2) return TypeErr("Y generator");
+    const Application* ybody = gen->body();
+    size_t n = gen->num_params() - 2;
+    if (ybody->num_args() != n + 1 ||
+        ybody->callee() != gen->param(gen->num_params() - 1)) {
+      return TypeErr("Y generator body");
+    }
+    // Bind c0, v1..vn to env nodes first, then create the closures sharing
+    // the extended environment head — this ties the recursive knot.
+    const EnvNode* base = env_;
+    std::vector<EnvNode*> cells;
+    const EnvNode* env = base;
+    for (size_t i = 0; i + 1 < gen->num_params(); ++i) {
+      env_pool_.push_back(EnvNode{gen->param(i), Nil(), env});
+      cells.push_back(&env_pool_.back());
+      env = cells.back();
+    }
+    for (size_t i = 0; i <= n; ++i) {
+      const Abstraction* abs = DynCast<Abstraction>(ybody->arg(i));
+      if (abs == nullptr) return TypeErr("Y binding");
+      cells[i]->val = IValue{NewClosure(abs, env)};
+    }
+    // Invoke the entry continuation cont() bound to c0.
+    const Abstraction* entry = Cast<Abstraction>(ybody->arg(0));
+    app_ = entry->body();
+    env_ = env;
+    return Status::OK();
+  }
+
+  Status CCall(const std::vector<IValue>& a) {
+    auto* name = std::get_if<std::string>(&a[0].v);
+    if (name == nullptr) return TypeErr("ccall name");
+    const IValue& ce = a[a.size() - 2];
+    const IValue& cc = a[a.size() - 1];
+    (void)ce;
+    if (*name == "print") {
+      for (size_t i = 1; i + 2 < a.size(); ++i) {
+        output_ += ToString(a[i]);
+      }
+      output_ += '\n';
+      return Invoke(cc, {Nil()});
+    }
+    return Status::Unimplemented("ccall: unknown host function " + *name);
+  }
+
+  Status TypeErr(const std::string& what) {
+    return Status::RuntimeError("interpreter type error: " + what);
+  }
+
+  const ir::Module& m_;
+  InterpOptions opts_;
+  std::deque<EnvNode> env_pool_;
+  std::deque<IClosure> clo_pool_;
+  std::vector<const IClosure*> handlers_;
+  const Application* app_ = nullptr;
+  const EnvNode* env_ = nullptr;
+  bool done_ = false;
+  bool raised_ = false;
+  IValue result_;
+  uint64_t steps_ = 0;
+  std::string output_;
+};
+
+}  // namespace
+
+Result<InterpResult> Run(const ir::Module& m, const ir::Abstraction* prog,
+                         const std::vector<IValue>& args,
+                         const InterpOptions& opts) {
+  Machine machine(m, opts);
+  return machine.Run(prog, args);
+}
+
+}  // namespace tml::interp

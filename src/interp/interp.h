@@ -1,0 +1,109 @@
+// Reference CPS interpreter — the executable semantics of TML (§2).
+//
+// Executes closed TML terms directly (environment passing, no compilation).
+// It is deliberately simple and slow: its role is to give the rewrite rules
+// an independent oracle.  The differential test harness runs every program
+// on this interpreter and on the TVM bytecode machine, before and after
+// every optimization level, and requires identical observable results.
+//
+// Supported: the full Fig. 2 primitive set over scalars, arrays and byte
+// arrays, `==` case analysis, the Y fixpoint, handler-stack exceptions and
+// ce-passing exceptions.  Not supported: OID dereferencing and the query
+// primitives — terms containing cross-module OIDs execute on the VM, which
+// owns the runtime object table (see src/runtime).
+//
+// Memory model: environments and closures are bump-allocated in the running
+// machine and freed wholesale when Run returns (the same arena discipline
+// the IR uses; recursive Y environments are cyclic, which refcounting could
+// not reclaim).  Consequently closure values never escape: the result value
+// is deep-sanitized, with any closure replaced by nil.
+
+#ifndef TML_INTERP_INTERP_H_
+#define TML_INTERP_INTERP_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "support/status.h"
+
+namespace tml::interp {
+
+struct EnvNode;
+struct IClosure;
+struct IArrayObj;
+struct IBytesObj;
+
+/// A runtime value of the reference interpreter.
+struct IValue {
+  std::variant<std::monostate,              // nil
+               bool, int64_t, uint8_t, double,
+               std::string,                 // string literal
+               std::shared_ptr<IArrayObj>,  // mutable or immutable array
+               std::shared_ptr<IBytesObj>,  // byte array
+               const IClosure*,             // proc or cont (machine-owned)
+               Oid>
+      v;
+
+  bool is_nil() const { return std::holds_alternative<std::monostate>(v); }
+  bool is_int() const { return std::holds_alternative<int64_t>(v); }
+  int64_t as_int() const { return std::get<int64_t>(v); }
+  bool is_bool() const { return std::holds_alternative<bool>(v); }
+  bool as_bool() const { return std::get<bool>(v); }
+  bool is_real() const { return std::holds_alternative<double>(v); }
+  double as_real() const { return std::get<double>(v); }
+};
+
+struct IArrayObj {
+  std::vector<IValue> slots;
+  bool immutable = false;
+};
+
+struct IBytesObj {
+  std::vector<uint8_t> bytes;
+};
+
+struct EnvNode {
+  const ir::Variable* var = nullptr;
+  IValue val;
+  const EnvNode* next = nullptr;
+};
+
+/// Distinguished continuations closing the top level.
+enum class SpecialCont : uint8_t { kNone, kHalt, kTopHandler };
+
+struct IClosure {
+  const ir::Abstraction* abs = nullptr;
+  const EnvNode* env = nullptr;
+  SpecialCont special = SpecialCont::kNone;
+};
+
+/// Render a value for test assertions ("13", "'a'", "[1 2 3]", ...).
+std::string ToString(const IValue& v);
+
+struct InterpOptions {
+  /// Abort after this many application steps (guards non-termination in
+  /// property tests).
+  uint64_t max_steps = 200'000'000;
+};
+
+struct InterpResult {
+  IValue value;         ///< value passed to the halt continuation (sanitized)
+  bool raised = false;  ///< true when an exception reached top level
+  uint64_t steps = 0;   ///< applications executed (a cost proxy)
+  std::string output;   ///< text printed via (ccall "print" ..)
+};
+
+/// Run a whole program: a proc λ(p1..pn ce cc); `args` bind p1..pn, ce/cc
+/// are the top-level handler/halt continuations.
+Result<InterpResult> Run(const ir::Module& m, const ir::Abstraction* prog,
+                         const std::vector<IValue>& args,
+                         const InterpOptions& opts = {});
+
+}  // namespace tml::interp
+
+#endif  // TML_INTERP_INTERP_H_

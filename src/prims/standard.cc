@@ -1,0 +1,467 @@
+#include "prims/standard.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <memory>
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "core/primitive.h"
+
+namespace tml::prims {
+
+using ir::Application;
+using ir::Cast;
+using ir::DynCast;
+using ir::EffectClass;
+using ir::Isa;
+using ir::LitKind;
+using ir::Literal;
+using ir::Module;
+using ir::PrimOp;
+using ir::Value;
+
+namespace {
+
+/// Shorthand: (cont result) — the normal continuation receives the result.
+const Application* Continue(Module* m, const Value* cont, const Value* v) {
+  return m->App(cont, {v});
+}
+const Application* Jump(Module* m, const Value* cont) {
+  return m->App(cont, {});
+}
+
+const Literal* AsInt(const Value* v) {
+  const Literal* lit = DynCast<Literal>(v);
+  return lit != nullptr && lit->lit_kind() == LitKind::kInt ? lit : nullptr;
+}
+const Literal* AsReal(const Value* v) {
+  const Literal* lit = DynCast<Literal>(v);
+  return lit != nullptr && lit->lit_kind() == LitKind::kReal ? lit : nullptr;
+}
+const Literal* AsBool(const Value* v) {
+  const Literal* lit = DynCast<Literal>(v);
+  return lit != nullptr && lit->lit_kind() == LitKind::kBool ? lit : nullptr;
+}
+
+bool IsIntConst(const Value* v, int64_t c) {
+  const Literal* lit = AsInt(v);
+  return lit != nullptr && lit->int_value() == c;
+}
+
+// ---- Per-op meta-evaluation (the paper's `eval` function, §3) -----------
+
+const Application* FoldIntArith(PrimOp op, Module* m, const Application& c) {
+  if (c.num_args() != 4) return nullptr;
+  const Value* a = c.arg(0);
+  const Value* b = c.arg(1);
+  const Value* cc = c.arg(3);
+  const Literal* la = AsInt(a);
+  const Literal* lb = AsInt(b);
+  if (la != nullptr && lb != nullptr) {
+    int64_t x = la->int_value(), y = lb->int_value(), r = 0;
+    switch (op) {
+      case PrimOp::kAddI:
+        if (__builtin_add_overflow(x, y, &r)) return nullptr;
+        break;
+      case PrimOp::kSubI:
+        if (__builtin_sub_overflow(x, y, &r)) return nullptr;
+        break;
+      case PrimOp::kMulI:
+        if (__builtin_mul_overflow(x, y, &r)) return nullptr;
+        break;
+      case PrimOp::kDivI:
+        if (y == 0 || (x == std::numeric_limits<int64_t>::min() && y == -1)) {
+          return nullptr;  // would raise at runtime; keep the ce path
+        }
+        r = x / y;
+        break;
+      case PrimOp::kModI:
+        if (y == 0 || (x == std::numeric_limits<int64_t>::min() && y == -1)) {
+          return nullptr;
+        }
+        r = x % y;
+        break;
+      default:
+        return nullptr;
+    }
+    return Continue(m, cc, m->IntLit(r));
+  }
+  // Algebraic identities that can neither overflow nor raise.
+  switch (op) {
+    case PrimOp::kAddI:
+      if (IsIntConst(b, 0)) return Continue(m, cc, a);
+      if (IsIntConst(a, 0)) return Continue(m, cc, b);
+      break;
+    case PrimOp::kSubI:
+      if (IsIntConst(b, 0)) return Continue(m, cc, a);
+      break;
+    case PrimOp::kMulI:
+      if (IsIntConst(b, 1)) return Continue(m, cc, a);
+      if (IsIntConst(a, 1)) return Continue(m, cc, b);
+      if (IsIntConst(b, 0) || IsIntConst(a, 0)) {
+        return Continue(m, cc, m->IntLit(0));
+      }
+      break;
+    case PrimOp::kDivI:
+      if (IsIntConst(b, 1)) return Continue(m, cc, a);
+      break;
+    case PrimOp::kModI:
+      if (IsIntConst(b, 1)) return Continue(m, cc, m->IntLit(0));
+      break;
+    default:
+      break;
+  }
+  return nullptr;
+}
+
+const Application* FoldIntCmp(PrimOp op, Module* m, const Application& c) {
+  if (c.num_args() != 4) return nullptr;
+  const Value* a = c.arg(0);
+  const Value* b = c.arg(1);
+  const Value* c_then = c.arg(2);
+  const Value* c_else = c.arg(3);
+  const Literal* la = AsInt(a);
+  const Literal* lb = AsInt(b);
+  if (la != nullptr && lb != nullptr) {
+    int64_t x = la->int_value(), y = lb->int_value();
+    bool taken = false;
+    switch (op) {
+      case PrimOp::kLtI: taken = x < y; break;
+      case PrimOp::kGtI: taken = x > y; break;
+      case PrimOp::kLeI: taken = x <= y; break;
+      case PrimOp::kGeI: taken = x >= y; break;
+      default: return nullptr;
+    }
+    return Jump(m, taken ? c_then : c_else);
+  }
+  if (a == b && Isa<ir::Variable>(a)) {
+    // (p x x): reflexive comparisons decide statically.
+    switch (op) {
+      case PrimOp::kLeI:
+      case PrimOp::kGeI:
+        return Jump(m, c_then);
+      case PrimOp::kLtI:
+      case PrimOp::kGtI:
+        return Jump(m, c_else);
+      default:
+        break;
+    }
+  }
+  return nullptr;
+}
+
+const Application* FoldBitOp(PrimOp op, Module* m, const Application& c) {
+  if (c.num_args() != 3) return nullptr;
+  const Literal* la = AsInt(c.arg(0));
+  const Literal* lb = AsInt(c.arg(1));
+  if (la == nullptr || lb == nullptr) return nullptr;
+  int64_t x = la->int_value(), y = lb->int_value(), r = 0;
+  uint64_t ux = static_cast<uint64_t>(x);
+  switch (op) {
+    case PrimOp::kShl:
+      if (y < 0 || y >= 64) return nullptr;
+      r = static_cast<int64_t>(ux << y);
+      break;
+    case PrimOp::kShr:
+      if (y < 0 || y >= 64) return nullptr;
+      r = static_cast<int64_t>(ux >> y);
+      break;
+    case PrimOp::kBitAnd: r = x & y; break;
+    case PrimOp::kBitOr: r = x | y; break;
+    case PrimOp::kBitXor: r = x ^ y; break;
+    default: return nullptr;
+  }
+  return Continue(m, c.arg(2), m->IntLit(r));
+}
+
+const Application* FoldRealArith(PrimOp op, Module* m, const Application& c) {
+  if (c.num_args() != 4) return nullptr;
+  const Literal* la = AsReal(c.arg(0));
+  const Literal* lb = AsReal(c.arg(1));
+  if (la == nullptr || lb == nullptr) return nullptr;
+  double x = la->real_value(), y = lb->real_value(), r = 0;
+  switch (op) {
+    case PrimOp::kAddR: r = x + y; break;
+    case PrimOp::kSubR: r = x - y; break;
+    case PrimOp::kMulR: r = x * y; break;
+    case PrimOp::kDivR:
+      if (y == 0.0) return nullptr;
+      r = x / y;
+      break;
+    default: return nullptr;
+  }
+  return Continue(m, c.arg(3), m->RealLit(r));
+}
+
+const Application* FoldRealCmp(PrimOp op, Module* m, const Application& c) {
+  if (c.num_args() != 4) return nullptr;
+  const Literal* la = AsReal(c.arg(0));
+  const Literal* lb = AsReal(c.arg(1));
+  if (la == nullptr || lb == nullptr) return nullptr;
+  double x = la->real_value(), y = lb->real_value();
+  bool taken = op == PrimOp::kLtR ? x < y : x <= y;
+  return Jump(m, taken ? c.arg(2) : c.arg(3));
+}
+
+const Application* FoldBool(PrimOp op, Module* m, const Application& c) {
+  switch (op) {
+    case PrimOp::kAnd: {
+      if (c.num_args() != 3) return nullptr;
+      const Literal* la = AsBool(c.arg(0));
+      const Literal* lb = AsBool(c.arg(1));
+      const Value* cc = c.arg(2);
+      if (la != nullptr) {
+        return la->bool_value() ? Continue(m, cc, c.arg(1))
+                                : Continue(m, cc, m->BoolLit(false));
+      }
+      if (lb != nullptr) {
+        return lb->bool_value() ? Continue(m, cc, c.arg(0))
+                                : Continue(m, cc, m->BoolLit(false));
+      }
+      return nullptr;
+    }
+    case PrimOp::kOr: {
+      if (c.num_args() != 3) return nullptr;
+      const Literal* la = AsBool(c.arg(0));
+      const Literal* lb = AsBool(c.arg(1));
+      const Value* cc = c.arg(2);
+      if (la != nullptr) {
+        return la->bool_value() ? Continue(m, cc, m->BoolLit(true))
+                                : Continue(m, cc, c.arg(1));
+      }
+      if (lb != nullptr) {
+        return lb->bool_value() ? Continue(m, cc, m->BoolLit(true))
+                                : Continue(m, cc, c.arg(0));
+      }
+      return nullptr;
+    }
+    case PrimOp::kNot: {
+      if (c.num_args() != 2) return nullptr;
+      const Literal* la = AsBool(c.arg(0));
+      if (la == nullptr) return nullptr;
+      return Continue(m, c.arg(1), m->BoolLit(!la->bool_value()));
+    }
+    case PrimOp::kEqB: {
+      if (c.num_args() != 4) return nullptr;
+      const Literal* la = DynCast<Literal>(c.arg(0));
+      const Literal* lb = DynCast<Literal>(c.arg(1));
+      if (la == nullptr || lb == nullptr) return nullptr;
+      return Jump(m, LiteralEquals(*la, *lb) ? c.arg(2) : c.arg(3));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+const Application* FoldMisc(PrimOp op, Module* m, const Application& c) {
+  switch (op) {
+    case PrimOp::kChar2Int: {
+      if (c.num_args() != 2) return nullptr;
+      const Literal* l = DynCast<Literal>(c.arg(0));
+      if (l == nullptr || l->lit_kind() != LitKind::kChar) return nullptr;
+      return Continue(m, c.arg(1), m->IntLit(l->char_value()));
+    }
+    case PrimOp::kInt2Char: {
+      if (c.num_args() != 2) return nullptr;
+      const Literal* l = AsInt(c.arg(0));
+      if (l == nullptr || l->int_value() < 0 || l->int_value() > 255) {
+        return nullptr;
+      }
+      return Continue(m, c.arg(1),
+                      m->CharLit(static_cast<uint8_t>(l->int_value())));
+    }
+    case PrimOp::kIntToReal: {
+      if (c.num_args() != 2) return nullptr;
+      const Literal* l = AsInt(c.arg(0));
+      if (l == nullptr) return nullptr;
+      return Continue(m, c.arg(1),
+                      m->RealLit(static_cast<double>(l->int_value())));
+    }
+    case PrimOp::kTruncR: {
+      if (c.num_args() != 2) return nullptr;
+      const Literal* l = AsReal(c.arg(0));
+      if (l == nullptr) return nullptr;
+      double r = l->real_value();
+      if (!(r > -9.0e18 && r < 9.0e18)) return nullptr;
+      return Continue(m, c.arg(1), m->IntLit(static_cast<int64_t>(r)));
+    }
+    case PrimOp::kSqrt: {
+      if (c.num_args() != 3) return nullptr;
+      const Literal* l = AsReal(c.arg(0));
+      if (l == nullptr || l->real_value() < 0) return nullptr;
+      return Continue(m, c.arg(2), m->RealLit(std::sqrt(l->real_value())));
+    }
+    default:
+      return nullptr;
+  }
+}
+
+// ---- Primitive descriptor ------------------------------------------------
+
+struct Spec {
+  const char* name;
+  PrimOp op;
+  int nv;  // value args, -1 variadic
+  int nc;  // cont args, -1 variadic
+  EffectClass effect;
+  bool commutative;
+  int cost;
+};
+
+class StdPrimitive final : public ir::Primitive {
+ public:
+  explicit StdPrimitive(const Spec& spec) : spec_(spec) {}
+
+  std::string_view name() const override { return spec_.name; }
+  PrimOp op() const override { return spec_.op; }
+  int num_value_args() const override { return spec_.nv; }
+  int num_cont_args() const override { return spec_.nc; }
+  EffectClass effect() const override { return spec_.effect; }
+  bool commutative() const override { return spec_.commutative; }
+
+  int CostEstimate(const Application& call) const override {
+    if (spec_.op == PrimOp::kCase) {
+      return 1 + static_cast<int>(call.num_args()) / 2;
+    }
+    return spec_.cost;
+  }
+
+  bool foldable() const override {
+    return effect() == EffectClass::kPure;
+  }
+
+  const Application* Fold(Module* m, const Application& call) const override {
+    switch (spec_.op) {
+      case PrimOp::kAddI:
+      case PrimOp::kSubI:
+      case PrimOp::kMulI:
+      case PrimOp::kDivI:
+      case PrimOp::kModI:
+        return FoldIntArith(spec_.op, m, call);
+      case PrimOp::kLtI:
+      case PrimOp::kGtI:
+      case PrimOp::kLeI:
+      case PrimOp::kGeI:
+        return FoldIntCmp(spec_.op, m, call);
+      case PrimOp::kShl:
+      case PrimOp::kShr:
+      case PrimOp::kBitAnd:
+      case PrimOp::kBitOr:
+      case PrimOp::kBitXor:
+        return FoldBitOp(spec_.op, m, call);
+      case PrimOp::kAddR:
+      case PrimOp::kSubR:
+      case PrimOp::kMulR:
+      case PrimOp::kDivR:
+        return FoldRealArith(spec_.op, m, call);
+      case PrimOp::kLtR:
+      case PrimOp::kLeR:
+        return FoldRealCmp(spec_.op, m, call);
+      case PrimOp::kAnd:
+      case PrimOp::kOr:
+      case PrimOp::kNot:
+      case PrimOp::kEqB:
+        return FoldBool(spec_.op, m, call);
+      default:
+        return FoldMisc(spec_.op, m, call);
+    }
+  }
+
+ private:
+  Spec spec_;
+};
+
+constexpr EffectClass kPure = EffectClass::kPure;
+constexpr EffectClass kRead = EffectClass::kRead;
+constexpr EffectClass kWrite = EffectClass::kWrite;
+constexpr EffectClass kAlloc = EffectClass::kAlloc;
+constexpr EffectClass kControl = EffectClass::kControl;
+
+const Spec kSpecs[] = {
+    // Fig. 2: integer arithmetic (normal + exception continuation).
+    {"+", PrimOp::kAddI, 2, 2, kPure, true, 1},
+    {"-", PrimOp::kSubI, 2, 2, kPure, false, 1},
+    {"*", PrimOp::kMulI, 2, 2, kPure, true, 2},
+    {"/", PrimOp::kDivI, 2, 2, kPure, false, 4},
+    {"%", PrimOp::kModI, 2, 2, kPure, false, 4},
+    // Fig. 2: integer comparison (two branch continuations).
+    {"<", PrimOp::kLtI, 2, 2, kPure, false, 1},
+    {">", PrimOp::kGtI, 2, 2, kPure, false, 1},
+    {"<=", PrimOp::kLeI, 2, 2, kPure, false, 1},
+    {">=", PrimOp::kGeI, 2, 2, kPure, false, 1},
+    // Fig. 2: bit operations.
+    {"<<", PrimOp::kShl, 2, 1, kPure, false, 1},
+    {">>", PrimOp::kShr, 2, 1, kPure, false, 1},
+    {"&", PrimOp::kBitAnd, 2, 1, kPure, true, 1},
+    {"|", PrimOp::kBitOr, 2, 1, kPure, true, 1},
+    {"^", PrimOp::kBitXor, 2, 1, kPure, true, 1},
+    // Fig. 2: conversions.
+    {"char2int", PrimOp::kChar2Int, 1, 1, kPure, false, 1},
+    {"int2char", PrimOp::kInt2Char, 1, 1, kPure, false, 1},
+    // Real arithmetic (§2.3 extension mechanism).
+    {"+.", PrimOp::kAddR, 2, 2, kPure, true, 1},
+    {"-.", PrimOp::kSubR, 2, 2, kPure, false, 1},
+    {"*.", PrimOp::kMulR, 2, 2, kPure, true, 2},
+    {"/.", PrimOp::kDivR, 2, 2, kPure, false, 4},
+    {"<.", PrimOp::kLtR, 2, 2, kPure, false, 1},
+    {"<=.", PrimOp::kLeR, 2, 2, kPure, false, 1},
+    {"sqrt", PrimOp::kSqrt, 1, 2, kPure, false, 6},
+    {"int2real", PrimOp::kIntToReal, 1, 1, kPure, false, 1},
+    {"real2int", PrimOp::kTruncR, 1, 1, kPure, false, 1},
+    // Booleans as values.
+    {"and", PrimOp::kAnd, 2, 1, kPure, true, 1},
+    {"or", PrimOp::kOr, 2, 1, kPure, true, 1},
+    {"not", PrimOp::kNot, 1, 1, kPure, false, 1},
+    {"beq", PrimOp::kEqB, 2, 2, kPure, true, 1},
+    // Fig. 2: aggregates.
+    {"array", PrimOp::kArray, -1, 1, kAlloc, false, 4},
+    {"vector", PrimOp::kVector, -1, 1, kAlloc, false, 4},
+    {"mkarray", PrimOp::kMkArray, 2, 2, kAlloc, false, 8},
+    {"new", PrimOp::kNewByteArray, 2, 1, kAlloc, false, 4},
+    {"[]", PrimOp::kALoad, 2, 2, kRead, false, 2},
+    {"[]:=", PrimOp::kAStore, 3, 2, kWrite, false, 2},
+    {"$[]", PrimOp::kBLoad, 2, 2, kRead, false, 2},
+    {"$[]:=", PrimOp::kBStore, 3, 2, kWrite, false, 2},
+    {"size", PrimOp::kSize, 1, 1, kRead, false, 1},
+    {"move", PrimOp::kMove, 5, 1, kWrite, false, 8},
+    {"$move", PrimOp::kBMove, 5, 1, kWrite, false, 8},
+    // Fig. 2: control.
+    {"==", PrimOp::kCase, -1, -1, kPure, false, 2},
+    {"Y", PrimOp::kY, 1, 0, kPure, false, 1},
+    {"ccall", PrimOp::kCCall, -1, 2, kControl, false, 16},
+    {"pushHandler", PrimOp::kPushHandler, 0, 2, kControl, false, 2},
+    {"popHandler", PrimOp::kPopHandler, 0, 1, kControl, false, 2},
+    {"raise", PrimOp::kRaise, 1, 0, kControl, false, 4},
+    // §4.2: query primitives over relations in the persistent store.
+    {"select", PrimOp::kSelect, 2, 2, kRead, false, 64},
+    {"project", PrimOp::kProject, 2, 2, kRead, false, 64},
+    {"join", PrimOp::kQJoin, 3, 2, kRead, false, 128},
+    {"exists", PrimOp::kExists, 2, 2, kRead, false, 48},
+    {"empty", PrimOp::kEmpty, 1, 1, kRead, false, 4},
+    {"card", PrimOp::kQCount, 1, 1, kRead, false, 4},
+};
+
+}  // namespace
+
+Status RegisterStandard(ir::PrimitiveRegistry* reg) {
+  for (const Spec& spec : kSpecs) {
+    TML_RETURN_NOT_OK(reg->Register(std::make_unique<StdPrimitive>(spec)));
+  }
+  return Status::OK();
+}
+
+const ir::PrimitiveRegistry& StandardRegistry() {
+  static const ir::PrimitiveRegistry* kRegistry = [] {
+    auto* reg = new ir::PrimitiveRegistry();
+    Status st = RegisterStandard(reg);
+    assert(st.ok());
+    (void)st;
+    return reg;
+  }();
+  return *kRegistry;
+}
+
+}  // namespace tml::prims

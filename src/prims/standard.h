@@ -1,0 +1,24 @@
+// The standard primitive set (paper Fig. 2) plus the extensions the paper's
+// mechanism anticipates (§2.3): real arithmetic for the numeric Stanford
+// programs and the §4.2 query primitives.
+//
+// Every primitive carries its meta-evaluation (fold) function, cost
+// estimate and optimizer attributes; see core/primitive.h.
+
+#ifndef TML_PRIMS_STANDARD_H_
+#define TML_PRIMS_STANDARD_H_
+
+#include "core/primitive_registry.h"
+#include "support/status.h"
+
+namespace tml::prims {
+
+/// Install the full standard set into `reg`.
+tml::Status RegisterStandard(ir::PrimitiveRegistry* reg);
+
+/// Process-wide registry with the standard set pre-installed.
+const ir::PrimitiveRegistry& StandardRegistry();
+
+}  // namespace tml::prims
+
+#endif  // TML_PRIMS_STANDARD_H_

@@ -1,0 +1,186 @@
+#include "query/relation.h"
+
+#include <cstring>
+
+#include "support/varint.h"
+
+namespace tml::query {
+
+namespace {
+
+enum : uint8_t {
+  kDNil = 0,
+  kDBool = 1,
+  kDInt = 2,
+  kDReal = 3,
+  kDString = 4,
+};
+
+void PutDatum(std::string* out, const Datum& d) {
+  if (std::holds_alternative<std::monostate>(d)) {
+    out->push_back(kDNil);
+  } else if (const bool* b = std::get_if<bool>(&d)) {
+    out->push_back(kDBool);
+    out->push_back(*b ? 1 : 0);
+  } else if (const int64_t* i = std::get_if<int64_t>(&d)) {
+    out->push_back(kDInt);
+    PutVarintSigned(out, *i);
+  } else if (const double* r = std::get_if<double>(&d)) {
+    out->push_back(kDReal);
+    char buf[8];
+    std::memcpy(buf, r, 8);
+    out->append(buf, 8);
+  } else {
+    const std::string& s = std::get<std::string>(d);
+    out->push_back(kDString);
+    PutVarint(out, s.size());
+    out->append(s);
+  }
+}
+
+Result<Datum> ReadDatum(VarintReader* r) {
+  TML_ASSIGN_OR_RETURN(std::string tag, r->ReadBytes(1));
+  switch (static_cast<uint8_t>(tag[0])) {
+    case kDNil:
+      return Datum{};
+    case kDBool: {
+      TML_ASSIGN_OR_RETURN(std::string b, r->ReadBytes(1));
+      return Datum{b[0] != 0};
+    }
+    case kDInt: {
+      TML_ASSIGN_OR_RETURN(int64_t v, r->ReadVarintSigned());
+      return Datum{v};
+    }
+    case kDReal: {
+      TML_ASSIGN_OR_RETURN(std::string b, r->ReadBytes(8));
+      double d;
+      std::memcpy(&d, b.data(), 8);
+      return Datum{d};
+    }
+    case kDString: {
+      TML_ASSIGN_OR_RETURN(uint64_t len, r->ReadVarint());
+      TML_ASSIGN_OR_RETURN(std::string s, r->ReadBytes(len));
+      return Datum{std::move(s)};
+    }
+    default:
+      return Status::Corruption("relation: bad datum tag");
+  }
+}
+
+}  // namespace
+
+std::string EncodeRelation(const Relation& rel) {
+  std::string out = "REL1";
+  PutVarint(&out, rel.columns.size());
+  for (const std::string& c : rel.columns) {
+    PutVarint(&out, c.size());
+    out.append(c);
+  }
+  PutVarint(&out, rel.tuples.size());
+  for (const Tuple& t : rel.tuples) {
+    PutVarint(&out, t.size());
+    for (const Datum& d : t) PutDatum(&out, d);
+  }
+  return out;
+}
+
+Result<Relation> DecodeRelation(std::string_view bytes) {
+  VarintReader r(bytes.data(), bytes.size());
+  TML_ASSIGN_OR_RETURN(std::string magic, r.ReadBytes(4));
+  if (magic != "REL1") return Status::Corruption("relation: bad magic");
+  Relation rel;
+  TML_ASSIGN_OR_RETURN(uint64_t ncols, r.ReadVarint());
+  for (uint64_t i = 0; i < ncols; ++i) {
+    TML_ASSIGN_OR_RETURN(uint64_t len, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(std::string c, r.ReadBytes(len));
+    rel.columns.push_back(std::move(c));
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t nrows, r.ReadVarint());
+  rel.tuples.reserve(nrows);
+  for (uint64_t i = 0; i < nrows; ++i) {
+    TML_ASSIGN_OR_RETURN(uint64_t arity, r.ReadVarint());
+    Tuple t;
+    t.reserve(arity);
+    for (uint64_t j = 0; j < arity; ++j) {
+      TML_ASSIGN_OR_RETURN(Datum d, ReadDatum(&r));
+      t.push_back(std::move(d));
+    }
+    rel.tuples.push_back(std::move(t));
+  }
+  if (!r.AtEnd()) return Status::Corruption("relation: trailing bytes");
+  return rel;
+}
+
+vm::Value RelationValue(const Relation& rel, vm::Heap* heap) {
+  vm::ArrayObj* out = heap->New<vm::ArrayObj>();
+  out->immutable = true;
+  out->slots.reserve(rel.tuples.size());
+  for (const Tuple& t : rel.tuples) {
+    vm::ArrayObj* row = heap->New<vm::ArrayObj>();
+    row->immutable = true;
+    row->slots.reserve(t.size());
+    for (const Datum& d : t) {
+      if (std::holds_alternative<std::monostate>(d)) {
+        row->slots.push_back(vm::Value::Nil());
+      } else if (const bool* b = std::get_if<bool>(&d)) {
+        row->slots.push_back(vm::Value::Bool(*b));
+      } else if (const int64_t* i = std::get_if<int64_t>(&d)) {
+        row->slots.push_back(vm::Value::Int(*i));
+      } else if (const double* r = std::get_if<double>(&d)) {
+        row->slots.push_back(vm::Value::Real(*r));
+      } else {
+        vm::StringObj* s = heap->New<vm::StringObj>();
+        s->str = std::get<std::string>(d);
+        row->slots.push_back(vm::Value::ObjV(s));
+      }
+    }
+    out->slots.push_back(vm::Value::ObjV(row));
+  }
+  return vm::Value::ObjV(out);
+}
+
+Result<vm::Value> RelationToHeap(std::string_view bytes, vm::Heap* heap) {
+  TML_ASSIGN_OR_RETURN(Relation rel, DecodeRelation(bytes));
+  return RelationValue(rel, heap);
+}
+
+Result<Relation> RelationFromHeap(const vm::Value& v) {
+  const vm::ArrayObj* arr = vm::As<vm::ArrayObj>(v);
+  if (arr == nullptr) {
+    return Status::Invalid("value is not a heap relation");
+  }
+  Relation rel;
+  for (const vm::Value& row_v : arr->slots) {
+    const vm::ArrayObj* row = vm::As<vm::ArrayObj>(row_v);
+    if (row == nullptr) return Status::Invalid("tuple is not an array");
+    Tuple t;
+    for (const vm::Value& f : row->slots) {
+      switch (f.tag) {
+        case vm::Tag::kNil:
+          t.emplace_back();
+          break;
+        case vm::Tag::kBool:
+          t.emplace_back(f.b);
+          break;
+        case vm::Tag::kInt:
+          t.emplace_back(f.i);
+          break;
+        case vm::Tag::kReal:
+          t.emplace_back(f.r);
+          break;
+        case vm::Tag::kObj:
+          if (f.obj->kind == vm::ObjKind::kString) {
+            t.emplace_back(static_cast<vm::StringObj*>(f.obj)->str);
+            break;
+          }
+          return Status::Invalid("unsupported field type in tuple");
+        default:
+          return Status::Invalid("unsupported field type in tuple");
+      }
+    }
+    rel.tuples.push_back(std::move(t));
+  }
+  return rel;
+}
+
+}  // namespace tml::query

@@ -1,0 +1,50 @@
+// Relations over the persistent store (§4.2 substrate).
+//
+// A relation is a bag of tuples of scalar fields.  On disk it is a kRelation
+// object (schema + rows, varint-coded); at run time it is swizzled into the
+// TVM representation the query primitives operate on: an immutable array of
+// immutable tuple-arrays, so TML predicates access fields with the ordinary
+// `[]` primitive — programs and queries share one data model.
+
+#ifndef TML_QUERY_RELATION_H_
+#define TML_QUERY_RELATION_H_
+
+#include <cstdint>
+#include <string>
+#include <variant>
+#include <vector>
+
+#include "support/status.h"
+#include "vm/value.h"
+
+namespace tml::query {
+
+/// A scalar field value.
+using Datum = std::variant<std::monostate, bool, int64_t, double, std::string>;
+
+using Tuple = std::vector<Datum>;
+
+struct Relation {
+  std::vector<std::string> columns;
+  std::vector<Tuple> tuples;
+
+  size_t arity() const { return columns.size(); }
+  size_t cardinality() const { return tuples.size(); }
+};
+
+/// Serialize for the object store (ObjType::kRelation payload).
+std::string EncodeRelation(const Relation& rel);
+Result<Relation> DecodeRelation(std::string_view bytes);
+
+/// Swizzle a serialized relation into the VM heap representation.
+Result<vm::Value> RelationToHeap(std::string_view bytes, vm::Heap* heap);
+
+/// Build the heap representation directly (benchmarks, tests).
+vm::Value RelationValue(const Relation& rel, vm::Heap* heap);
+
+/// Read back a heap relation (array of tuple-arrays) into a Relation.
+Result<Relation> RelationFromHeap(const vm::Value& v);
+
+}  // namespace tml::query
+
+#endif  // TML_QUERY_RELATION_H_

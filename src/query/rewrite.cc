@@ -1,0 +1,281 @@
+#include "query/rewrite.h"
+
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/primitive.h"
+#include "prims/standard.h"
+
+namespace tml::query {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Cast;
+using ir::DynCast;
+using ir::Isa;
+using ir::Module;
+using ir::PrimOp;
+using ir::Variable;
+
+std::string QueryRewriteStats::ToString() const {
+  return "merge-select=" + std::to_string(merge_select) +
+         " merge-project=" + std::to_string(merge_project) +
+         " select-true=" + std::to_string(select_true) +
+         " select-false=" + std::to_string(select_false) +
+         " exists-const=" + std::to_string(exists_const) +
+         " trivial-exists=" + std::to_string(trivial_exists);
+}
+
+namespace {
+
+const ir::Primitive* PrimFor(PrimOp op) {
+  return prims::StandardRegistry().LookupOp(op);
+}
+
+bool IsPrimCall(const Application* app, PrimOp op) {
+  const ir::PrimRef* pr = DynCast<ir::PrimRef>(app->callee());
+  return pr != nullptr && pr->prim().op() == op;
+}
+
+/// Is `abs` a constant predicate proc(x ce cc)(cc <bool>)?
+bool IsConstPredicate(const ir::Value* v, bool* value) {
+  const Abstraction* abs = DynCast<Abstraction>(v);
+  if (abs == nullptr || abs->num_params() < 2) return false;
+  const Application* body = abs->body();
+  const Variable* cc = abs->param(abs->num_params() - 1);
+  if (body->callee() != cc || body->num_args() != 1) return false;
+  const ir::Literal* lit = DynCast<ir::Literal>(body->arg(0));
+  if (lit == nullptr || lit->lit_kind() != ir::LitKind::kBool) return false;
+  *value = lit->bool_value();
+  return true;
+}
+
+class QueryRewriter {
+ public:
+  QueryRewriter(Module* m, const QueryRewriteOptions& opts,
+                QueryRewriteStats* stats)
+      : m_(m), opts_(opts), stats_(stats) {}
+
+  const Application* Fixpoint(const Application* app) {
+    for (int i = 0; i < opts_.max_sweeps; ++i) {
+      changed_ = false;
+      app = RewriteApp(app);
+      if (!changed_) break;
+    }
+    return app;
+  }
+
+ private:
+  const ir::Value* RewriteValue(const ir::Value* v) {
+    const Abstraction* abs = DynCast<Abstraction>(v);
+    if (abs == nullptr) return v;
+    const Application* body = RewriteApp(abs->body());
+    if (body == abs->body()) return v;
+    return m_->Abs(abs->params(), body);
+  }
+
+  const Application* RewriteApp(const Application* app) {
+    bool rebuilt = false;
+    std::vector<const ir::Value*> elems;
+    elems.reserve(app->num_args() + 1);
+    const ir::Value* callee = RewriteValue(app->callee());
+    rebuilt |= callee != app->callee();
+    elems.push_back(callee);
+    for (const ir::Value* a : app->args()) {
+      const ir::Value* na = RewriteValue(a);
+      rebuilt |= na != a;
+      elems.push_back(na);
+    }
+    if (rebuilt) app = m_->AppWith(*app, std::move(elems));
+
+    if (IsPrimCall(app, PrimOp::kSelect) && app->num_args() == 4) {
+      if (const Application* r = TryConstSelect(app)) return r;
+      if (const Application* r = TryMergeSelect(app)) return r;
+    }
+    if (IsPrimCall(app, PrimOp::kProject) && app->num_args() == 4) {
+      if (const Application* r = TryMergeProject(app)) return r;
+    }
+    if (IsPrimCall(app, PrimOp::kExists) && app->num_args() == 4) {
+      if (const Application* r = TryConstExists(app)) return r;
+      if (const Application* r = TryTrivialExists(app)) return r;
+    }
+    return app;
+  }
+
+  // σtrue(R) => (cc R);  σfalse(R) => (vector cc)  [empty relation]
+  const Application* TryConstSelect(const Application* app) {
+    if (!opts_.const_select) return nullptr;
+    bool value;
+    if (!IsConstPredicate(app->arg(0), &value)) return nullptr;
+    changed_ = true;
+    if (value) {
+      ++stats_->select_true;
+      return m_->App(app->arg(3), {app->arg(1)});
+    }
+    ++stats_->select_false;
+    return m_->App(m_->Prim(PrimFor(PrimOp::kVector)), {app->arg(3)});
+  }
+
+  // (select q R ce (cont (t) (select p t ce2 cc2))), |..|_t = 1
+  //   => (select (λx. q(x) ∧ p(x)) R ce2' cc2)   [merge-select]
+  const Application* TryMergeSelect(const Application* app) {
+    if (!opts_.merge_select) return nullptr;
+    const Abstraction* k = DynCast<Abstraction>(app->arg(3));
+    if (k == nullptr || k->num_params() != 1 || !k->is_cont()) {
+      return nullptr;
+    }
+    const Variable* t = k->param(0);
+    const Application* inner = k->body();
+    if (!IsPrimCall(inner, PrimOp::kSelect) || inner->num_args() != 4) {
+      return nullptr;
+    }
+    if (inner->arg(1) != t) return nullptr;
+    if (ir::CountOccurrences(inner, t) != 1) return nullptr;
+    // Soundness: both selections must report exceptions to the same
+    // continuation (the usual passed-through ce, as in the paper's rule).
+    if (inner->arg(2) != app->arg(2)) return nullptr;
+    const ir::Value* q = app->arg(0);
+    const ir::Value* p = inner->arg(0);
+    // Fused predicate: proc(x fce fcc)
+    //   (q x fce (cont (b) (beq b true (cont()(p x fce fcc))
+    //                                  (cont()(fcc false)))))
+    Variable* x = m_->NewValueVar("x");
+    Variable* fce = m_->NewContVar("fce");
+    Variable* fcc = m_->NewContVar("fcc");
+    Variable* b = m_->NewValueVar("b");
+    const Application* p_call = m_->App(p, {x, fce, fcc});
+    const Application* false_app = m_->App(fcc, {m_->BoolLit(false)});
+    const Application* branch =
+        m_->App(m_->Prim(PrimFor(PrimOp::kEqB)),
+                {b, m_->BoolLit(true), m_->Abs({}, p_call),
+                 m_->Abs({}, false_app)});
+    const Application* q_call = m_->App(q, {x, fce, m_->Abs({b}, branch)});
+    const Abstraction* fused = m_->Abs({x, fce, fcc}, q_call);
+    changed_ = true;
+    ++stats_->merge_select;
+    return m_->App(app->callee(),
+                   {fused, app->arg(1), inner->arg(2), inner->arg(3)});
+  }
+
+  // πf(πg(R)) => π(f∘g)(R)
+  const Application* TryMergeProject(const Application* app) {
+    if (!opts_.merge_project) return nullptr;
+    const Abstraction* k = DynCast<Abstraction>(app->arg(3));
+    if (k == nullptr || k->num_params() != 1 || !k->is_cont()) {
+      return nullptr;
+    }
+    const Variable* t = k->param(0);
+    const Application* inner = k->body();
+    if (!IsPrimCall(inner, PrimOp::kProject) || inner->num_args() != 4) {
+      return nullptr;
+    }
+    if (inner->arg(1) != t || ir::CountOccurrences(inner, t) != 1) {
+      return nullptr;
+    }
+    if (inner->arg(2) != app->arg(2)) return nullptr;
+    const ir::Value* g = app->arg(0);
+    const ir::Value* f = inner->arg(0);
+    Variable* x = m_->NewValueVar("x");
+    Variable* fce = m_->NewContVar("fce");
+    Variable* fcc = m_->NewContVar("fcc");
+    Variable* mid = m_->NewValueVar("t");
+    const Application* f_call = m_->App(f, {mid, fce, fcc});
+    const Application* g_call =
+        m_->App(g, {x, fce, m_->Abs({mid}, f_call)});
+    const Abstraction* composed = m_->Abs({x, fce, fcc}, g_call);
+    changed_ = true;
+    ++stats_->merge_project;
+    return m_->App(app->callee(),
+                   {composed, app->arg(1), inner->arg(2), inner->arg(3)});
+  }
+
+  // ∃x∈R:true => not(empty R);  ∃x∈R:false => false
+  const Application* TryConstExists(const Application* app) {
+    if (!opts_.const_exists) return nullptr;
+    bool value;
+    if (!IsConstPredicate(app->arg(0), &value)) return nullptr;
+    changed_ = true;
+    ++stats_->exists_const;
+    if (!value) {
+      return m_->App(app->arg(3), {m_->BoolLit(false)});
+    }
+    Variable* e = m_->NewValueVar("e");
+    const Application* not_app =
+        m_->App(m_->Prim(PrimFor(PrimOp::kNot)), {e, app->arg(3)});
+    return m_->App(m_->Prim(PrimFor(PrimOp::kEmpty)),
+                   {app->arg(1), m_->Abs({e}, not_app)});
+  }
+
+  // x ∉ fv(p): (exists (λ(x ce cc) p) R ce cc)
+  //   => (pred nil ce (cont (pv)
+  //        (empty R (cont (em) (not em (cont (ne) (and pv ne cc)))))))
+  const Application* TryTrivialExists(const Application* app) {
+    if (!opts_.trivial_exists) return nullptr;
+    const Abstraction* pred = DynCast<Abstraction>(app->arg(0));
+    if (pred == nullptr || pred->num_params() != 3) return nullptr;
+    const Variable* x = pred->param(0);
+    if (ir::CountOccurrences(pred->body(), x) != 0) return nullptr;
+    bool ignored;
+    if (IsConstPredicate(pred, &ignored)) return nullptr;  // simpler rule
+    const ir::Value* rel = app->arg(1);
+    const ir::Value* ce = app->arg(2);
+    const ir::Value* cc = app->arg(3);
+    Variable* pv = m_->NewValueVar("pv");
+    Variable* em = m_->NewValueVar("em");
+    Variable* ne = m_->NewValueVar("ne");
+    const Application* and_app =
+        m_->App(m_->Prim(PrimFor(PrimOp::kAnd)), {pv, ne, cc});
+    const Application* not_app =
+        m_->App(m_->Prim(PrimFor(PrimOp::kNot)), {em, m_->Abs({ne}, and_app)});
+    const Application* empty_app = m_->App(
+        m_->Prim(PrimFor(PrimOp::kEmpty)), {rel, m_->Abs({em}, not_app)});
+    const Application* pred_call =
+        m_->App(pred, {m_->NilLit(), ce, m_->Abs({pv}, empty_app)});
+    changed_ = true;
+    ++stats_->trivial_exists;
+    return pred_call;
+  }
+
+  Module* m_;
+  const QueryRewriteOptions& opts_;
+  QueryRewriteStats* stats_;
+  bool changed_ = false;
+};
+
+}  // namespace
+
+const Application* RewriteQueries(Module* m, const Application* app,
+                                  const QueryRewriteOptions& opts,
+                                  QueryRewriteStats* stats) {
+  QueryRewriteStats local;
+  QueryRewriter r(m, opts, stats != nullptr ? stats : &local);
+  return r.Fixpoint(app);
+}
+
+const Abstraction* RewriteQueries(Module* m, const Abstraction* prog,
+                                  const QueryRewriteOptions& opts,
+                                  QueryRewriteStats* stats) {
+  const Application* body = RewriteQueries(m, prog->body(), opts, stats);
+  if (body == prog->body()) return prog;
+  return m->Abs(prog->params(), body);
+}
+
+const Abstraction* OptimizeWithQueries(Module* m, const Abstraction* prog,
+                                       const ir::OptimizerOptions& opt_opts,
+                                       const QueryRewriteOptions& q_opts,
+                                       ir::OptimizerStats* opt_stats,
+                                       QueryRewriteStats* q_stats) {
+  // Fig. 4: the two optimizers invoke each other until neither makes
+  // progress.
+  for (int round = 0; round < 8; ++round) {
+    const Abstraction* after_prog = ir::Optimize(m, prog, opt_opts, opt_stats);
+    const Abstraction* after_query =
+        RewriteQueries(m, after_prog, q_opts, q_stats);
+    bool stable = (after_prog == prog) && (after_query == after_prog);
+    prog = after_query;
+    if (stable) break;
+  }
+  return prog;
+}
+
+}  // namespace tml::query

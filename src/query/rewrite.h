@@ -1,0 +1,75 @@
+// Algebraic query rewriting on TML terms (paper §4.2).
+//
+// Queries are ordinary TML applications of the query primitives, so the
+// query optimizer is just another TML rewriter; scoping-sensitive rules
+// (trivial-exists) use the same |E|_v machinery as §3.  Rules:
+//
+//   merge-select     σp(σq(R)) => σ(q∧p)(R)          [paper's example]
+//   merge-project    πf(πg(R)) => π(f∘g)(R)
+//   select-true      σtrue(R)  => R
+//   select-false     σfalse(R) => ∅
+//   exists-const     ∃x∈R:true => R ≠ ∅ ;  ∃x∈R:false => false
+//   trivial-exists   x ∉ fv(p): (∃x∈R: p) => p ∧ R ≠ ∅   [paper's example]
+//
+// OptimizeWithQueries interleaves this pass with the general TML optimizer
+// (Fig. 4): program optimization exposes query patterns (e.g. by inlining a
+// view that builds the inner select) and query rewriting exposes new
+// program redexes (the fused predicate is a β-redex chain).
+
+#ifndef TML_QUERY_REWRITE_H_
+#define TML_QUERY_REWRITE_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "core/optimizer.h"
+
+namespace tml::query {
+
+struct QueryRewriteOptions {
+  bool merge_select = true;
+  bool merge_project = true;
+  bool const_select = true;
+  bool const_exists = true;
+  bool trivial_exists = true;
+  int max_sweeps = 16;
+};
+
+struct QueryRewriteStats {
+  uint64_t merge_select = 0;
+  uint64_t merge_project = 0;
+  uint64_t select_true = 0;
+  uint64_t select_false = 0;
+  uint64_t exists_const = 0;
+  uint64_t trivial_exists = 0;
+  uint64_t TotalApplications() const {
+    return merge_select + merge_project + select_true + select_false +
+           exists_const + trivial_exists;
+  }
+  std::string ToString() const;
+};
+
+/// One query-rewriting fixpoint over a term.
+const ir::Application* RewriteQueries(ir::Module* m,
+                                      const ir::Application* app,
+                                      const QueryRewriteOptions& opts = {},
+                                      QueryRewriteStats* stats = nullptr);
+const ir::Abstraction* RewriteQueries(ir::Module* m,
+                                      const ir::Abstraction* prog,
+                                      const QueryRewriteOptions& opts = {},
+                                      QueryRewriteStats* stats = nullptr);
+
+/// Integrated program + query optimization (Fig. 4): alternate the general
+/// TML optimizer and the query rewriter until neither changes the term.
+const ir::Abstraction* OptimizeWithQueries(
+    ir::Module* m, const ir::Abstraction* prog,
+    const ir::OptimizerOptions& opt_opts = {},
+    const QueryRewriteOptions& q_opts = {},
+    ir::OptimizerStats* opt_stats = nullptr,
+    QueryRewriteStats* q_stats = nullptr);
+
+}  // namespace tml::query
+
+#endif  // TML_QUERY_REWRITE_H_

@@ -1,0 +1,488 @@
+#include "runtime/universe.h"
+
+#include <unordered_set>
+
+#include "core/analysis.h"
+#include "core/parser.h"
+#include "core/subst.h"
+#include "core/validate.h"
+#include "prims/standard.h"
+#include "query/relation.h"
+#include "support/varint.h"
+
+namespace tml::rt {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Variable;
+
+Universe::Universe(store::ObjectStore* store) : store_(store) {
+  vm_ = std::make_unique<vm::VM>(this);
+}
+
+Universe::~Universe() = default;
+
+// ---- closure records -------------------------------------------------------
+
+std::string Universe::EncodeClosureRecord(const ClosureRecord& rec) const {
+  std::string out;
+  PutVarint(&out, rec.code_oid);
+  PutVarint(&out, rec.bindings.size());
+  for (const auto& [name, oid] : rec.bindings) {
+    PutVarint(&out, name.size());
+    out.append(name);
+    PutVarint(&out, oid);
+  }
+  return out;
+}
+
+Result<Universe::ClosureRecord> Universe::LoadClosureRecord(Oid oid) const {
+  TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(oid));
+  if (obj.type != store::ObjType::kClosure) {
+    return Status::Invalid("OID " + std::to_string(oid) +
+                           " is not a closure record");
+  }
+  VarintReader r(obj.bytes.data(), obj.bytes.size());
+  ClosureRecord rec;
+  TML_ASSIGN_OR_RETURN(rec.code_oid, r.ReadVarint());
+  TML_ASSIGN_OR_RETURN(uint64_t n, r.ReadVarint());
+  for (uint64_t i = 0; i < n; ++i) {
+    TML_ASSIGN_OR_RETURN(uint64_t len, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(std::string name, r.ReadBytes(len));
+    TML_ASSIGN_OR_RETURN(Oid boid, r.ReadVarint());
+    rec.bindings.emplace_back(std::move(name), boid);
+  }
+  return rec;
+}
+
+Result<const vm::Function*> Universe::LoadCode(Oid code_oid) {
+  auto it = code_cache_.find(code_oid);
+  if (it != code_cache_.end()) return it->second;
+  TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(code_oid));
+  if (obj.type != store::ObjType::kCode) {
+    return Status::Invalid("OID " + std::to_string(code_oid) +
+                           " is not a code object");
+  }
+  TML_ASSIGN_OR_RETURN(vm::Function * fn,
+                       vm::DeserializeFunction(&code_unit_, obj.bytes));
+  code_cache_[code_oid] = fn;
+  return fn;
+}
+
+// ---- linking ---------------------------------------------------------------
+
+Status Universe::InstallStdlib() {
+  if (modules_.count("stdlib") != 0) return Status::OK();
+  ir::Module m;
+  std::unordered_map<std::string, Oid> names;
+  for (const fe::LibraryEntry& entry : fe::StdlibEntries()) {
+    auto parsed =
+        ir::ParseValueText(&m, prims::StandardRegistry(), entry.tml);
+    TML_RETURN_NOT_OK(parsed.status());
+    const Abstraction* abs = ir::Cast<Abstraction>(parsed->value);
+    TML_RETURN_NOT_OK(ir::Validate(m, abs));
+    // Attach PTML: library functions must be reflectable (§4.1 inlines
+    // complex.x / sqrt bodies through exactly this path).
+    std::string ptml = store::EncodePtml(m, abs);
+    TML_ASSIGN_OR_RETURN(Oid ptml_oid,
+                         store_->Allocate(store::ObjType::kPtml, ptml));
+    TML_ASSIGN_OR_RETURN(
+        vm::Function * fn,
+        vm::CompileProc(&code_unit_, m, abs,
+                        std::string("stdlib.") + entry.name));
+    fn->ptml_oid = ptml_oid;
+    TML_ASSIGN_OR_RETURN(
+        Oid code_oid,
+        store_->Allocate(store::ObjType::kCode, vm::SerializeFunction(*fn)));
+    code_cache_[code_oid] = fn;
+    ClosureRecord rec;
+    rec.code_oid = code_oid;
+    TML_ASSIGN_OR_RETURN(
+        Oid clo_oid, store_->Allocate(store::ObjType::kClosure,
+                                      EncodeClosureRecord(rec)));
+    names[entry.name] = clo_oid;
+  }
+  modules_["stdlib"] = std::move(names);
+  return Status::OK();
+}
+
+Status Universe::LoadPersistedModules() {
+  for (const std::string& root : store_->RootNames()) {
+    if (root.rfind("module:", 0) != 0) continue;
+    std::string name = root.substr(7);
+    if (modules_.count(name) != 0) continue;
+    TML_ASSIGN_OR_RETURN(Oid mod_oid, store_->GetRoot(root));
+    TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(mod_oid));
+    if (obj.type != store::ObjType::kModule) {
+      return Status::Corruption("root " + root + " is not a module record");
+    }
+    std::unordered_map<std::string, Oid> names;
+    VarintReader r(obj.bytes.data(), obj.bytes.size());
+    while (!r.AtEnd()) {
+      TML_ASSIGN_OR_RETURN(uint64_t len, r.ReadVarint());
+      TML_ASSIGN_OR_RETURN(std::string fname, r.ReadBytes(len));
+      TML_ASSIGN_OR_RETURN(Oid oid, r.ReadVarint());
+      names[fname] = oid;
+    }
+    modules_[name] = std::move(names);
+  }
+  return Status::OK();
+}
+
+Result<Oid> Universe::ResolveName(
+    const std::string& name,
+    const std::unordered_map<std::string, Oid>& unit_names) const {
+  auto it = unit_names.find(name);
+  if (it != unit_names.end()) return it->second;
+  auto stdlib = modules_.find("stdlib");
+  if (stdlib != modules_.end()) {
+    auto sit = stdlib->second.find(name);
+    if (sit != stdlib->second.end()) return sit->second;
+  }
+  for (const auto& [mod, names] : modules_) {
+    auto mit = names.find(name);
+    if (mit != names.end()) return mit->second;
+  }
+  return Status::NotFound("unresolved free identifier: " + name);
+}
+
+Status Universe::InstallSource(const std::string& name,
+                               std::string_view source,
+                               fe::BindingMode binding,
+                               const InstallOptions& opts) {
+  fe::CompileOptions copts;
+  copts.binding = binding;
+  if (binding == fe::BindingMode::kLibrary) {
+    TML_RETURN_NOT_OK(InstallStdlib());
+  }
+  TML_ASSIGN_OR_RETURN(
+      fe::CompiledUnit unit,
+      fe::Compile(source, prims::StandardRegistry(), copts));
+  return InstallUnit(name, unit, opts);
+}
+
+Status Universe::InstallUnit(const std::string& name,
+                             const fe::CompiledUnit& unit,
+                             const InstallOptions& opts) {
+  if (modules_.count(name) != 0) {
+    return Status::AlreadyExists("module already installed: " + name);
+  }
+  ir::Module* m = unit.module.get();
+  // Pre-allocate closure OIDs so unit functions can refer to each other
+  // (including self-recursion) through the store.
+  std::unordered_map<std::string, Oid> unit_names;
+  for (const fe::CompiledFunction& fn : unit.functions) {
+    TML_ASSIGN_OR_RETURN(Oid oid,
+                         store_->Allocate(store::ObjType::kClosure, ""));
+    if (!unit_names.emplace(fn.name, oid).second) {
+      return Status::AlreadyExists("duplicate function: " + fn.name);
+    }
+  }
+  for (const fe::CompiledFunction& fn : unit.functions) {
+    const Abstraction* abs = fn.abs;
+    ir::ValidateOptions vopts;
+    std::vector<const Variable*> frees(fn.free_vars.begin(),
+                                       fn.free_vars.end());
+    vopts.free = frees;
+    TML_RETURN_NOT_OK(ir::Validate(*m, abs, vopts));
+    if (opts.static_optimize) {
+      // Local static optimization: free variables stay opaque, so this
+      // cannot see across module/library boundaries (§6).
+      abs = ir::Optimize(m, abs, opts.optimizer);
+      TML_RETURN_NOT_OK(ir::Validate(*m, abs, vopts));
+    }
+    Oid ptml_oid = kNullOid;
+    if (opts.attach_ptml) {
+      std::string ptml = store::EncodePtml(*m, abs);
+      TML_ASSIGN_OR_RETURN(ptml_oid,
+                           store_->Allocate(store::ObjType::kPtml, ptml));
+    }
+    TML_ASSIGN_OR_RETURN(
+        vm::Function * code,
+        vm::CompileProc(&code_unit_, *m, abs, name + "." + fn.name));
+    code->ptml_oid = ptml_oid;
+    TML_ASSIGN_OR_RETURN(Oid code_oid,
+                         store_->Allocate(store::ObjType::kCode,
+                                          vm::SerializeFunction(*code)));
+    code_cache_[code_oid] = code;
+    ClosureRecord rec;
+    rec.code_oid = code_oid;
+    for (const std::string& free_name : code->cap_names) {
+      TML_ASSIGN_OR_RETURN(Oid boid, ResolveName(free_name, unit_names));
+      rec.bindings.emplace_back(free_name, boid);
+    }
+    TML_RETURN_NOT_OK(store_->Put(unit_names[fn.name],
+                                  store::ObjType::kClosure,
+                                  EncodeClosureRecord(rec)));
+  }
+  // Persist the module record.
+  std::string mod_bytes;
+  for (const auto& [fname, oid] : unit_names) {
+    PutVarint(&mod_bytes, fname.size());
+    mod_bytes.append(fname);
+    PutVarint(&mod_bytes, oid);
+  }
+  TML_ASSIGN_OR_RETURN(Oid mod_oid, store_->Allocate(store::ObjType::kModule,
+                                                     mod_bytes));
+  TML_RETURN_NOT_OK(store_->SetRoot("module:" + name, mod_oid));
+  modules_[name] = std::move(unit_names);
+  return Status::OK();
+}
+
+Result<Oid> Universe::Lookup(const std::string& module,
+                             const std::string& function) const {
+  auto it = modules_.find(module);
+  if (it == modules_.end()) {
+    return Status::NotFound("no module named " + module);
+  }
+  auto fit = it->second.find(function);
+  if (fit == it->second.end()) {
+    return Status::NotFound(module + " has no function " + function);
+  }
+  return fit->second;
+}
+
+Result<vm::RunResult> Universe::Call(Oid closure_oid,
+                                     std::span<const vm::Value> args) {
+  return vm_->RunClosure(vm::Value::OidV(closure_oid), args);
+}
+
+Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {
+  return store_->Allocate(store::ObjType::kRelation, bytes);
+}
+
+// ---- OID swizzling ----------------------------------------------------------
+
+Result<vm::Value> Universe::ResolveOid(Oid oid, vm::VM* vm) {
+  TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(oid));
+  switch (obj.type) {
+    case store::ObjType::kClosure: {
+      TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(oid));
+      TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(rec.code_oid));
+      vm::ClosureObj* clo = vm->heap()->New<vm::ClosureObj>();
+      clo->fn = fn;
+      clo->caps.resize(fn->cap_names.size());
+      for (size_t i = 0; i < fn->cap_names.size(); ++i) {
+        Oid bound = kNullOid;
+        for (const auto& [name, boid] : rec.bindings) {
+          if (name == fn->cap_names[i]) {
+            bound = boid;
+            break;
+          }
+        }
+        if (bound == kNullOid) {
+          return Status::NotFound("closure record for " + fn->name +
+                                  " lacks binding " + fn->cap_names[i]);
+        }
+        clo->caps[i] = vm::Value::OidV(bound);
+      }
+      return vm::Value::ObjV(clo);
+    }
+    case store::ObjType::kRelation:
+      return query::RelationToHeap(obj.bytes, vm->heap());
+    default:
+      return Status::Invalid("OID " + std::to_string(oid) +
+                             " is not callable or swizzlable");
+  }
+}
+
+// ---- reflection (§4.1) -------------------------------------------------------
+
+Status Universe::CollectBindings(ir::Module* m, Oid root,
+                                 ReflectStats* stats,
+                                 std::vector<Collected>* order,
+                                 const Abstraction** root_abs) {
+  // Phase 1: discover all transitively reachable closures that carry PTML
+  // and assign each a canonical variable — the single mutually recursive
+  // scope of §4.1.  Non-PTML objects (relations, foreign code) stay opaque.
+  constexpr size_t kMaxCollected = 512;
+  struct Raw {
+    Oid oid;
+    const Abstraction* abs;
+    std::vector<Variable*> free_vars;
+    ClosureRecord rec;
+  };
+  std::vector<Raw> raws;
+  std::unordered_map<Oid, Variable*> canon;
+  std::unordered_set<Oid> seen;
+  std::vector<Oid> worklist{root};
+  while (!worklist.empty()) {
+    Oid oid = worklist.back();
+    worklist.pop_back();
+    if (!seen.insert(oid).second) continue;
+    auto obj = store_->Get(oid);
+    if (!obj.ok() || obj->type != store::ObjType::kClosure ||
+        raws.size() >= kMaxCollected) {
+      if (stats != nullptr) ++stats->opaque_bindings;
+      continue;
+    }
+    TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(oid));
+    TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(rec.code_oid));
+    if (fn->ptml_oid == kNullOid) {
+      if (stats != nullptr) ++stats->opaque_bindings;
+      continue;
+    }
+    TML_ASSIGN_OR_RETURN(store::StoredObject ptml,
+                         store_->Get(fn->ptml_oid));
+    auto decoded =
+        store::DecodePtml(m, prims::StandardRegistry(), ptml.bytes);
+    TML_RETURN_NOT_OK(decoded.status());
+    canon[oid] = m->NewValueVar(fn->name);
+    for (const auto& [bname, boid] : rec.bindings) worklist.push_back(boid);
+    raws.push_back(Raw{oid, decoded->abs, decoded->free_vars,
+                       std::move(rec)});
+  }
+  if (canon.count(root) == 0) {
+    return Status::Invalid(
+        "reflect.optimize: the target closure carries no PTML record");
+  }
+  // Phase 2: re-establish the R-value bindings — substitute each free
+  // variable by the canonical variable of a collected declaration, or by
+  // an opaque OID leaf (exactly the [identifier, OID] pairs of §4.1).
+  for (const Raw& raw : raws) {
+    const Application* body = raw.abs->body();
+    for (Variable* fv : raw.free_vars) {
+      std::string fname(m->NameOf(*fv));
+      Oid dep = kNullOid;
+      for (const auto& [bname, boid] : raw.rec.bindings) {
+        if (bname == fname) {
+          dep = boid;
+          break;
+        }
+      }
+      if (dep == kNullOid) {
+        return Status::NotFound("closure record lacks binding for " + fname);
+      }
+      const ir::Value* repl;
+      auto cit = canon.find(dep);
+      if (cit != canon.end()) {
+        repl = cit->second;
+        if (stats != nullptr) ++stats->bindings_resolved;
+      } else {
+        repl = m->OidVal(dep);
+      }
+      body = ir::Substitute(m, body, fv, repl);
+    }
+    Collected c;
+    c.oid = raw.oid;
+    c.var = canon.at(raw.oid);
+    c.abs = m->Abs(raw.abs->params(), body);
+    order->push_back(std::move(c));
+  }
+  *root_abs = nullptr;
+  for (const Collected& c : *order) {
+    if (c.oid == root) *root_abs = c.abs;
+  }
+  return Status::OK();
+}
+
+Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
+                                                 ir::Module* m,
+                                                 ReflectStats* stats) {
+  std::vector<Collected> order;
+  const Abstraction* root_abs = nullptr;
+  TML_RETURN_NOT_OK(
+      CollectBindings(m, closure_oid, stats, &order, &root_abs));
+
+  // Fresh top-level parameters mirroring the root's signature.
+  size_t num_value = root_abs->num_value_params();
+  std::vector<Variable*> params;
+  std::vector<const ir::Value*> call_args;
+  for (size_t i = 0; i < num_value; ++i) {
+    Variable* q = m->NewValueVar("q" + std::to_string(i));
+    params.push_back(q);
+    call_args.push_back(q);
+  }
+  Variable* ce = m->NewContVar("ce");
+  Variable* cc = m->NewContVar("cc");
+  params.push_back(ce);
+  params.push_back(cc);
+  call_args.push_back(ce);
+  call_args.push_back(cc);
+
+  // One mutually recursive scope through the Y combinator — "recursive
+  // declarations of functions, values, or queries are represented uniformly
+  // through applications of the fixpoint combinator Y" (§4.2).
+  Variable* root_var = nullptr;
+  for (const Collected& c : order) {
+    if (c.oid == closure_oid) root_var = c.var;
+  }
+  const Application* call =
+      m->App(root_var, std::span<const ir::Value* const>(call_args.data(),
+                                                         call_args.size()));
+  Variable* c0 = m->NewContVar("c0");
+  Variable* c = m->NewContVar("c");
+  std::vector<Variable*> gen_params;
+  gen_params.push_back(c0);
+  std::vector<const ir::Value*> rets;
+  rets.push_back(m->Abs({}, call));  // the entry continuation
+  for (const Collected& node : order) {
+    gen_params.push_back(node.var);
+    rets.push_back(node.abs);
+  }
+  gen_params.push_back(c);
+  const Application* ybody =
+      m->App(c, std::span<const ir::Value* const>(rets.data(), rets.size()));
+  const Abstraction* gen = m->Abs(
+      std::span<Variable* const>(gen_params.data(), gen_params.size()),
+      ybody);
+  const ir::Primitive* y = prims::StandardRegistry().LookupOp(ir::PrimOp::kY);
+  const Application* body = m->App(m->Prim(y), {gen});
+  return m->Abs(std::span<Variable* const>(params.data(), params.size()),
+                body);
+}
+
+Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
+                                      const ir::OptimizerOptions& opts,
+                                      ReflectStats* stats) {
+  auto module = std::make_unique<ir::Module>();
+  ir::Module* m = module.get();
+  TML_ASSIGN_OR_RETURN(const Abstraction* wrapped,
+                       ReflectTerm(closure_oid, m, stats));
+  if (stats != nullptr) {
+    stats->input_term_size = 1 + ir::TermSize(wrapped->body());
+  }
+  TML_RETURN_NOT_OK(ir::Validate(*m, wrapped));
+  const Abstraction* optimized =
+      ir::Optimize(m, wrapped, opts,
+                   stats != nullptr ? &stats->optimizer : nullptr);
+  TML_RETURN_NOT_OK(ir::Validate(*m, optimized));
+  if (stats != nullptr) {
+    stats->output_term_size = 1 + ir::TermSize(optimized->body());
+  }
+
+  std::string fname = "reflect$" + std::to_string(++reflect_counter_);
+  // Attach PTML to the regenerated code so the result is itself
+  // re-optimizable (the optimizer output is a persistent term too).
+  std::string ptml = store::EncodePtml(*m, optimized);
+  TML_ASSIGN_OR_RETURN(Oid ptml_oid,
+                       store_->Allocate(store::ObjType::kPtml, ptml));
+  TML_ASSIGN_OR_RETURN(vm::Function * code,
+                       vm::CompileProc(&code_unit_, *m, optimized, fname));
+  code->ptml_oid = ptml_oid;
+  TML_ASSIGN_OR_RETURN(Oid code_oid,
+                       store_->Allocate(store::ObjType::kCode,
+                                        vm::SerializeFunction(*code)));
+  code_cache_[code_oid] = code;
+  ClosureRecord rec;
+  rec.code_oid = code_oid;
+  if (!code->cap_names.empty()) {
+    return Status::Invalid(
+        "reflect.optimize: residual free variables after global binding");
+  }
+  TML_ASSIGN_OR_RETURN(Oid clo_oid,
+                       store_->Allocate(store::ObjType::kClosure,
+                                        EncodeClosureRecord(rec)));
+  reflected_modules_.push_back(std::move(module));
+  return clo_oid;
+}
+
+Universe::SizeReport Universe::Sizes() const {
+  SizeReport r;
+  r.code_bytes = store_->live_bytes(store::ObjType::kCode);
+  r.ptml_bytes = store_->live_bytes(store::ObjType::kPtml);
+  r.closure_bytes = store_->live_bytes(store::ObjType::kClosure);
+  return r;
+}
+
+}  // namespace tml::rt

@@ -1,0 +1,165 @@
+// The runtime system: persistent modules, linking, and the reflective
+// optimizer (paper §4.1, Fig. 3).
+//
+// A Universe ties together an object store and a TVM.  Compilation units
+// are installed as persistent modules: for every function the store holds
+//
+//   kCode     — serialized TVM bytecode (with nested subfunctions),
+//   kPtml     — the compact persistent TML tree the back end attaches,
+//   kClosure  — the closure record: code OID + the R-value bindings
+//               ([identifier, OID] pairs) of the function's free variables,
+//   kModule   — the module record mapping export names to closure OIDs.
+//
+// Cross-module references are OIDs; the VM swizzles them on first call, so
+// every library operation in kLibrary-mode code costs an indirect call —
+// the §6 situation that local static optimization cannot fix.
+//
+// ReflectOptimize implements `reflect.optimize(f)`: map PTML back to TML,
+// re-establish the R-value bindings of the closure record, collect (via
+// transitive reachability) all contributing declarations into one scope,
+// run the ordinary TML optimizer across the collapsed abstraction barriers,
+// regenerate code and link it into the running program.
+
+#ifndef TML_RUNTIME_UNIVERSE_H_
+#define TML_RUNTIME_UNIVERSE_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "core/module.h"
+#include "core/optimizer.h"
+#include "frontend/compile.h"
+#include "store/object_store.h"
+#include "store/ptml.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+namespace tml::rt {
+
+/// How a unit is installed.
+struct InstallOptions {
+  /// Attach PTML records to generated code (enables reflection; costs
+  /// space — the E2 trade-off).
+  bool attach_ptml = true;
+  /// Run the *local static* optimizer on each function before code
+  /// generation (free variables stay opaque — abstraction barriers hold).
+  bool static_optimize = false;
+  ir::OptimizerOptions optimizer;
+};
+
+struct ReflectStats {
+  ir::OptimizerStats optimizer;
+  size_t bindings_resolved = 0;  ///< PTML-bearing bindings collapsed
+  size_t opaque_bindings = 0;    ///< left as OID leaves
+  size_t input_term_size = 0;
+  size_t output_term_size = 0;
+};
+
+class Universe : public vm::RuntimeEnv {
+ public:
+  explicit Universe(store::ObjectStore* store);
+  ~Universe() override;
+
+  vm::VM* vm() { return vm_.get(); }
+  store::ObjectStore* object_store() { return store_; }
+
+  /// Install the standard library module ("stdlib") used by kLibrary-mode
+  /// code; idempotent.
+  Status InstallStdlib();
+
+  /// Re-attach the modules persisted in the store (roots named
+  /// "module:<name>") — the open-database restart path: code, PTML and
+  /// closure records all come back from disk.
+  Status LoadPersistedModules();
+
+  /// Compile-and-install TL source as module `name`.  Free names resolve
+  /// against earlier functions of the same unit (including self/mutual
+  /// recursion), previously installed modules, and stdlib.
+  Status InstallSource(const std::string& name, std::string_view source,
+                       fe::BindingMode binding,
+                       const InstallOptions& opts = {});
+
+  /// Install an already-compiled unit.
+  Status InstallUnit(const std::string& name, const fe::CompiledUnit& unit,
+                     const InstallOptions& opts = {});
+
+  /// Closure OID of `module.function`.
+  Result<Oid> Lookup(const std::string& module,
+                     const std::string& function) const;
+
+  /// Call a persistent function by closure OID.
+  Result<vm::RunResult> Call(Oid closure_oid,
+                             std::span<const vm::Value> args);
+
+  /// reflect.optimize: build a globally bound TML term for the closure,
+  /// optimize across abstraction barriers, regenerate code, and return a
+  /// runnable closure value (also persisted; the returned OID can be
+  /// Call()ed like any other function).
+  Result<Oid> ReflectOptimize(Oid closure_oid,
+                              const ir::OptimizerOptions& opts = {},
+                              ReflectStats* stats = nullptr);
+
+  /// The reflectively optimized TML term for a closure, before codegen
+  /// (used by examples/tests to show the §4.1 pipeline).
+  Result<const ir::Abstraction*> ReflectTerm(Oid closure_oid,
+                                             ir::Module* out_module,
+                                             ReflectStats* stats = nullptr);
+
+  /// Store a relation payload, returning its OID (see query/relation.h for
+  /// the payload format).
+  Result<Oid> StoreRelationBytes(std::string_view bytes);
+
+  // ---- E2 accounting ----
+  struct SizeReport {
+    size_t code_bytes = 0;
+    size_t ptml_bytes = 0;
+    size_t closure_bytes = 0;
+  };
+  SizeReport Sizes() const;
+
+  // vm::RuntimeEnv:
+  Result<vm::Value> ResolveOid(Oid oid, vm::VM* vm) override;
+
+ private:
+  struct ClosureRecord {
+    Oid code_oid = kNullOid;
+    std::vector<std::pair<std::string, Oid>> bindings;
+  };
+
+  Result<ClosureRecord> LoadClosureRecord(Oid oid) const;
+  std::string EncodeClosureRecord(const ClosureRecord& rec) const;
+  Result<const vm::Function*> LoadCode(Oid code_oid);
+  Result<Oid> ResolveName(const std::string& name,
+                          const std::unordered_map<std::string, Oid>&
+                              unit_names) const;
+
+  // Reflection helpers.
+  struct Collected {
+    Oid oid;
+    ir::Variable* var;                       // canonical variable
+    const ir::Abstraction* abs = nullptr;    // decoded body (if PTML)
+    std::vector<std::pair<ir::Variable*, Oid>> deps;
+  };
+  Status CollectBindings(ir::Module* m, Oid root, ReflectStats* stats,
+                         std::vector<Collected>* order,
+                         const ir::Abstraction** root_abs);
+
+  store::ObjectStore* store_;
+  std::unique_ptr<vm::VM> vm_;
+  vm::CodeUnit code_unit_;
+  std::unordered_map<Oid, const vm::Function*> code_cache_;
+  /// Keeps reflected IR modules alive (their terms back compiled code
+  /// metadata such as names).
+  std::vector<std::unique_ptr<ir::Module>> reflected_modules_;
+  /// module name -> (function name -> closure oid)
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, Oid>>
+      modules_;
+  int reflect_counter_ = 0;
+};
+
+}  // namespace tml::rt
+
+#endif  // TML_RUNTIME_UNIVERSE_H_

@@ -1,0 +1,322 @@
+#include "store/object_store.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/crc32.h"
+#include "support/varint.h"
+
+namespace tml::store {
+
+namespace {
+
+// Two fixed-size header slots at the front of the file.
+//   magic(8) epoch(8) durable_length(8) next_oid(8) crc(4) pad(4)
+constexpr char kMagic[8] = {'T', 'M', 'L', 'S', 'T', 'O', 'R', '1'};
+constexpr size_t kHeaderSlotSize = 40;
+constexpr size_t kDataStart = 2 * kHeaderSlotSize;
+
+void EncodeU64(char* p, uint64_t v) { std::memcpy(p, &v, 8); }
+uint64_t DecodeU64(const char* p) {
+  uint64_t v;
+  std::memcpy(&v, p, 8);
+  return v;
+}
+
+struct Header {
+  uint64_t epoch = 0;
+  uint64_t durable_length = 0;
+  uint64_t next_oid = 1;
+  bool valid = false;
+};
+
+Header ParseHeaderSlot(const char* buf) {
+  Header h;
+  if (std::memcmp(buf, kMagic, 8) != 0) return h;
+  uint32_t want_crc;
+  std::memcpy(&want_crc, buf + 32, 4);
+  if (Crc32(buf, 32) != want_crc) return h;
+  h.epoch = DecodeU64(buf + 8);
+  h.durable_length = DecodeU64(buf + 16);
+  h.next_oid = DecodeU64(buf + 24);
+  h.valid = true;
+  return h;
+}
+
+void BuildHeaderSlot(char* buf, const Header& h) {
+  std::memset(buf, 0, kHeaderSlotSize);
+  std::memcpy(buf, kMagic, 8);
+  EncodeU64(buf + 8, h.epoch);
+  EncodeU64(buf + 16, h.durable_length);
+  EncodeU64(buf + 24, h.next_oid);
+  uint32_t crc = Crc32(buf, 32);
+  std::memcpy(buf + 32, &crc, 4);
+}
+
+Status IOErr(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+Status WriteFully(int fd, const char* data, size_t size, uint64_t offset) {
+  while (size > 0) {
+    ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return IOErr("pwrite");
+    }
+    data += n;
+    size -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+constexpr Oid kRootsOid = kNullOid;  // reserved record id for the root map
+constexpr uint8_t kTombstoneType = 0xFF;
+
+}  // namespace
+
+ObjectStore::~ObjectStore() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
+    const std::string& path) {
+  std::unique_ptr<ObjectStore> s(new ObjectStore());
+  s->path_ = path;
+  if (path.empty()) return s;  // in-memory
+
+  s->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
+  if (s->fd_ < 0) return IOErr("open " + path);
+  off_t end = ::lseek(s->fd_, 0, SEEK_END);
+  if (end < 0) return IOErr("lseek");
+  if (end == 0) {
+    // Fresh file: write both header slots.
+    TML_RETURN_NOT_OK(s->WriteHeader());
+    TML_RETURN_NOT_OK(s->WriteHeader());
+  } else {
+    TML_RETURN_NOT_OK(s->LoadFromFile());
+  }
+  return s;
+}
+
+Status ObjectStore::LoadFromFile() {
+  char buf[kDataStart];
+  ssize_t n = ::pread(fd_, buf, kDataStart, 0);
+  if (n < 0) return IOErr("pread header");
+  if (static_cast<size_t>(n) < kDataStart) {
+    return Status::Corruption("store file shorter than headers");
+  }
+  Header a = ParseHeaderSlot(buf);
+  Header b = ParseHeaderSlot(buf + kHeaderSlotSize);
+  if (!a.valid && !b.valid) {
+    return Status::Corruption("no valid store header");
+  }
+  const Header& h = (!b.valid || (a.valid && a.epoch >= b.epoch)) ? a : b;
+  durable_length_ = h.durable_length;
+  appended_length_ = h.durable_length;
+  commit_epoch_ = h.epoch;
+  next_oid_ = h.next_oid;
+
+  // Replay committed records.
+  std::string data(durable_length_, '\0');
+  if (durable_length_ > 0) {
+    ssize_t got = ::pread(fd_, data.data(), durable_length_, kDataStart);
+    if (got < 0) return IOErr("pread data");
+    if (static_cast<uint64_t>(got) < durable_length_) {
+      return Status::Corruption("store data truncated below durable length");
+    }
+  }
+  VarintReader r(data.data(), data.size());
+  while (!r.AtEnd()) {
+    TML_ASSIGN_OR_RETURN(uint64_t oid, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(uint64_t type_raw, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(uint64_t len, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(std::string payload, r.ReadBytes(len));
+    TML_ASSIGN_OR_RETURN(uint64_t crc, r.ReadVarint());
+    uint32_t want = Crc32(payload);
+    want = Crc32(&oid, sizeof(oid), want);
+    if (crc != want) return Status::Corruption("record CRC mismatch");
+    if (type_raw == kTombstoneType) {
+      directory_.erase(oid);
+      continue;
+    }
+    if (oid == kRootsOid) {
+      // Root map record: sequence of (name, oid) pairs.
+      roots_.clear();
+      VarintReader rr(payload.data(), payload.size());
+      while (!rr.AtEnd()) {
+        TML_ASSIGN_OR_RETURN(uint64_t nlen, rr.ReadVarint());
+        TML_ASSIGN_OR_RETURN(std::string name, rr.ReadBytes(nlen));
+        TML_ASSIGN_OR_RETURN(uint64_t roid, rr.ReadVarint());
+        roots_[name] = roid;
+      }
+      continue;
+    }
+    StoredObject obj;
+    obj.type = static_cast<ObjType>(type_raw);
+    obj.bytes = std::move(payload);
+    directory_[oid] = std::move(obj);
+  }
+  return Status::OK();
+}
+
+Status ObjectStore::AppendRecord(Oid oid, ObjType type,
+                                 std::string_view bytes, bool tombstone) {
+  if (fd_ < 0) return Status::OK();  // in-memory
+  std::string rec;
+  PutVarint(&rec, oid);
+  PutVarint(&rec, tombstone ? kTombstoneType
+                            : static_cast<uint64_t>(type));
+  PutVarint(&rec, bytes.size());
+  rec.append(bytes);
+  uint32_t crc = Crc32(bytes);
+  crc = Crc32(&oid, sizeof(oid), crc);
+  PutVarint(&rec, crc);
+  TML_RETURN_NOT_OK(WriteFully(fd_, rec.data(), rec.size(),
+                               kDataStart + appended_length_));
+  appended_length_ += rec.size();
+  return Status::OK();
+}
+
+Result<Oid> ObjectStore::Allocate(ObjType type, std::string_view bytes) {
+  Oid oid = next_oid_++;
+  TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
+  directory_[oid] = StoredObject{type, std::string(bytes)};
+  return oid;
+}
+
+Status ObjectStore::Put(Oid oid, ObjType type, std::string_view bytes) {
+  if (oid == kRootsOid) return Status::Invalid("OID 0 is reserved");
+  TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
+  if (oid >= next_oid_) next_oid_ = oid + 1;
+  directory_[oid] = StoredObject{type, std::string(bytes)};
+  return Status::OK();
+}
+
+Result<StoredObject> ObjectStore::Get(Oid oid) const {
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) {
+    return Status::NotFound("no object with OID " + std::to_string(oid));
+  }
+  return it->second;
+}
+
+Status ObjectStore::Delete(Oid oid) {
+  auto it = directory_.find(oid);
+  if (it == directory_.end()) {
+    return Status::NotFound("delete: no object with OID " +
+                            std::to_string(oid));
+  }
+  TML_RETURN_NOT_OK(AppendRecord(oid, ObjType::kBlob, "", true));
+  directory_.erase(it);
+  return Status::OK();
+}
+
+Status ObjectStore::SetRoot(const std::string& name, Oid oid) {
+  roots_[name] = oid;
+  return RewriteRoots();
+}
+
+Result<Oid> ObjectStore::GetRoot(const std::string& name) const {
+  auto it = roots_.find(name);
+  if (it == roots_.end()) return Status::NotFound("no root named " + name);
+  return it->second;
+}
+
+Status ObjectStore::RewriteRoots() {
+  if (fd_ < 0) return Status::OK();
+  std::string payload;
+  for (const auto& [name, oid] : roots_) {
+    PutVarint(&payload, name.size());
+    payload.append(name);
+    PutVarint(&payload, oid);
+  }
+  return AppendRecord(kRootsOid, ObjType::kBlob, payload, false);
+}
+
+Status ObjectStore::WriteHeader() {
+  if (fd_ < 0) return Status::OK();
+  Header h;
+  h.epoch = ++commit_epoch_;
+  h.durable_length = durable_length_;
+  h.next_oid = next_oid_;
+  char buf[kHeaderSlotSize];
+  BuildHeaderSlot(buf, h);
+  // Alternate slots so the previous commit stays intact until this one is
+  // fully on disk.
+  uint64_t offset = (h.epoch % 2 == 0) ? kHeaderSlotSize : 0;
+  TML_RETURN_NOT_OK(WriteFully(fd_, buf, kHeaderSlotSize, offset));
+  if (::fsync(fd_) != 0) return IOErr("fsync header");
+  return Status::OK();
+}
+
+Status ObjectStore::Commit() {
+  if (fd_ < 0) return Status::OK();
+  if (::fsync(fd_) != 0) return IOErr("fsync data");
+  durable_length_ = appended_length_;
+  return WriteHeader();
+}
+
+Status ObjectStore::Compact() {
+  if (fd_ < 0) return Status::OK();
+  std::string tmp_path = path_ + ".compact";
+  int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) return IOErr("open " + tmp_path);
+  int old_fd = fd_;
+  fd_ = tmp;
+  appended_length_ = 0;
+  durable_length_ = 0;
+  Status st = Status::OK();
+  for (const auto& [oid, obj] : directory_) {
+    st = AppendRecord(oid, obj.type, obj.bytes, false);
+    if (!st.ok()) break;
+  }
+  if (st.ok()) st = RewriteRoots();
+  if (st.ok()) {
+    if (::fsync(tmp) != 0) st = IOErr("fsync compact");
+  }
+  if (st.ok()) {
+    durable_length_ = appended_length_;
+    commit_epoch_ = 0;
+    st = WriteHeader();
+    if (st.ok()) st = WriteHeader();  // both slots valid in the new file
+  }
+  if (!st.ok()) {
+    ::close(tmp);
+    ::unlink(tmp_path.c_str());
+    fd_ = old_fd;
+    return st;
+  }
+  ::close(old_fd);
+  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    return IOErr("rename compact file");
+  }
+  return Status::OK();
+}
+
+size_t ObjectStore::live_bytes() const {
+  size_t n = 0;
+  for (const auto& [oid, obj] : directory_) n += obj.bytes.size();
+  return n;
+}
+
+size_t ObjectStore::live_bytes(ObjType type) const {
+  size_t n = 0;
+  for (const auto& [oid, obj] : directory_) {
+    if (obj.type == type) n += obj.bytes.size();
+  }
+  return n;
+}
+
+Result<uint64_t> ObjectStore::FileSize() const {
+  if (fd_ < 0) return static_cast<uint64_t>(0);
+  off_t end = ::lseek(fd_, 0, SEEK_END);
+  if (end < 0) return IOErr("lseek");
+  return static_cast<uint64_t>(end);
+}
+
+}  // namespace tml::store

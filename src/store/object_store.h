@@ -1,0 +1,121 @@
+// The persistent object store (the Tycoon store of §2.1/§4.1).
+//
+// TML terms reference "arbitrarily complex objects (tables, indices, ADT
+// values)" through OIDs; compiled code carries its persistent TML encoding
+// (PTML) in the same store; closure records persist [identifier, OID]
+// binding pairs.  This store provides the durable OID -> typed-bytes map
+// all of that sits on.
+//
+// Design: a single append-only file.
+//
+//   [header A | header B | record record record ...]
+//
+// Each record is  (oid, type, payload-length, payload, crc32)  with varint
+// integers.  Updates append a new version (last-writer-wins on recovery);
+// deletes append a tombstone.  Commit() fsyncs the data then publishes the
+// new durable length + next-oid through whichever header slot is older —
+// a torn commit leaves the previous header valid, so commits are atomic.
+// Open() replays records up to the durable length, verifying CRCs.
+// Compact() rewrites live records and truncates.
+
+#ifndef TML_STORE_OBJECT_STORE_H_
+#define TML_STORE_OBJECT_STORE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/oid.h"
+#include "support/status.h"
+
+namespace tml::store {
+
+/// Type tag of a stored object; the store itself treats payloads as opaque.
+enum class ObjType : uint8_t {
+  kBlob = 0,      ///< untyped bytes
+  kPtml = 1,      ///< persistent TML encoding of a function (§4.1)
+  kCode = 2,      ///< serialized TVM code object
+  kClosure = 3,   ///< closure record: code OID + R-value bindings
+  kModule = 4,    ///< module record: export name -> OID
+  kRelation = 5,  ///< relation payload (schema + tuples)
+};
+
+struct StoredObject {
+  ObjType type = ObjType::kBlob;
+  std::string bytes;
+};
+
+class ObjectStore {
+ public:
+  /// Open (or create) a store file.  Pass the empty string for a purely
+  /// in-memory store (used heavily by tests and benchmarks).
+  static Result<std::unique_ptr<ObjectStore>> Open(const std::string& path);
+
+  ~ObjectStore();
+  ObjectStore(const ObjectStore&) = delete;
+  ObjectStore& operator=(const ObjectStore&) = delete;
+
+  /// Store a new object, returning its fresh OID.
+  Result<Oid> Allocate(ObjType type, std::string_view bytes);
+
+  /// Overwrite the object at `oid` (appends a new version).
+  Status Put(Oid oid, ObjType type, std::string_view bytes);
+
+  /// Fetch an object.
+  Result<StoredObject> Get(Oid oid) const;
+
+  bool Contains(Oid oid) const { return directory_.count(oid) != 0; }
+
+  /// Remove an object (appends a tombstone).
+  Status Delete(Oid oid);
+
+  /// Durably publish everything written so far (atomic w.r.t. crashes).
+  Status Commit();
+
+  /// Rewrite the file with only live objects; implies Commit().
+  Status Compact();
+
+  /// Named roots (e.g. the module table) survive restarts.
+  Status SetRoot(const std::string& name, Oid oid);
+  Result<Oid> GetRoot(const std::string& name) const;
+  std::vector<std::string> RootNames() const {
+    std::vector<std::string> names;
+    names.reserve(roots_.size());
+    for (const auto& [name, oid] : roots_) names.push_back(name);
+    return names;
+  }
+
+  // ---- accounting (E2 uses these) ----
+  size_t num_objects() const { return directory_.size(); }
+  /// Total payload bytes of live objects, optionally restricted to a type.
+  size_t live_bytes() const;
+  size_t live_bytes(ObjType type) const;
+  /// Current file size in bytes (0 for in-memory stores).
+  Result<uint64_t> FileSize() const;
+
+ private:
+  ObjectStore() = default;
+
+  Status AppendRecord(Oid oid, ObjType type, std::string_view bytes,
+                      bool tombstone);
+  Status LoadFromFile();
+  Status WriteHeader();
+  Status RewriteRoots();
+
+  std::string path_;  // empty => in-memory
+  int fd_ = -1;
+  uint64_t durable_length_ = 0;  // committed byte count past the headers
+  uint64_t appended_length_ = 0;
+  uint64_t commit_epoch_ = 0;
+  Oid next_oid_ = 1;
+
+  std::unordered_map<Oid, StoredObject> directory_;
+  std::unordered_map<std::string, Oid> roots_;
+};
+
+}  // namespace tml::store
+
+#endif  // TML_STORE_OBJECT_STORE_H_

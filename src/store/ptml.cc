@@ -1,0 +1,341 @@
+#include "store/ptml.h"
+
+#include <cstring>
+#include <unordered_map>
+
+#include "core/analysis.h"
+#include "core/primitive.h"
+#include "support/varint.h"
+
+namespace tml::store {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Cast;
+using ir::LitKind;
+using ir::Literal;
+using ir::Module;
+using ir::Variable;
+using ir::VarSort;
+
+namespace {
+
+enum : uint8_t {
+  kTagNil = 0,
+  kTagBool = 1,
+  kTagInt = 2,
+  kTagChar = 3,
+  kTagReal = 4,
+  kTagString = 5,
+  kTagOid = 6,
+  kTagVar = 7,
+  kTagPrim = 8,
+  kTagAbs = 9,
+  kTagApp = 10,
+};
+
+class Encoder {
+ public:
+  explicit Encoder(const Module& m) : m_(m) {}
+
+  std::string Encode(const Abstraction* abs) {
+    // Pass 1: collect strings and variable numbering.
+    for (const Variable* fv : ir::FreeVariables(abs)) {
+      var_index_.emplace(fv, var_index_.size());
+      free_.push_back(fv);
+      InternStr(std::string(m_.NameOf(*fv)));
+    }
+    CollectValue(abs);
+
+    std::string out;
+    out.push_back('P');
+    out.push_back('T');
+    out.push_back('1');
+    PutVarint(&out, strings_.size());
+    for (const std::string& s : strings_) {
+      PutVarint(&out, s.size());
+      out.append(s);
+    }
+    PutVarint(&out, free_.size());
+    for (const Variable* fv : free_) {
+      PutVarint(&out, StrIdx(std::string(m_.NameOf(*fv))));
+      out.push_back(fv->sort() == VarSort::kCont ? 1 : 0);
+    }
+    EmitValue(&out, abs);
+    return out;
+  }
+
+ private:
+  void InternStr(const std::string& s) {
+    if (str_index_.emplace(s, strings_.size()).second) strings_.push_back(s);
+  }
+  uint64_t StrIdx(const std::string& s) const { return str_index_.at(s); }
+
+  void CollectValue(const ir::Value* v) {
+    switch (v->kind()) {
+      case ir::NodeKind::kLiteral: {
+        const Literal* lit = Cast<Literal>(v);
+        if (lit->lit_kind() == LitKind::kString) {
+          InternStr(std::string(lit->string_value()));
+        }
+        return;
+      }
+      case ir::NodeKind::kPrimitive:
+        InternStr(std::string(Cast<ir::PrimRef>(v)->prim().name()));
+        return;
+      case ir::NodeKind::kAbstraction: {
+        const Abstraction* abs = Cast<Abstraction>(v);
+        for (const Variable* p : abs->params()) {
+          var_index_.emplace(p, var_index_.size());
+          InternStr(std::string(m_.NameOf(*p)));
+        }
+        CollectApp(abs->body());
+        return;
+      }
+      default:
+        return;
+    }
+  }
+
+  void CollectApp(const Application* app) {
+    CollectValue(app->callee());
+    for (const ir::Value* a : app->args()) CollectValue(a);
+  }
+
+  void EmitValue(std::string* out, const ir::Value* v) {
+    switch (v->kind()) {
+      case ir::NodeKind::kLiteral: {
+        const Literal* lit = Cast<Literal>(v);
+        switch (lit->lit_kind()) {
+          case LitKind::kNil:
+            out->push_back(kTagNil);
+            return;
+          case LitKind::kBool:
+            out->push_back(kTagBool);
+            out->push_back(lit->bool_value() ? 1 : 0);
+            return;
+          case LitKind::kInt:
+            out->push_back(kTagInt);
+            PutVarintSigned(out, lit->int_value());
+            return;
+          case LitKind::kChar:
+            out->push_back(kTagChar);
+            out->push_back(static_cast<char>(lit->char_value()));
+            return;
+          case LitKind::kReal: {
+            out->push_back(kTagReal);
+            double d = lit->real_value();
+            char buf[8];
+            std::memcpy(buf, &d, 8);
+            out->append(buf, 8);
+            return;
+          }
+          case LitKind::kString:
+            out->push_back(kTagString);
+            PutVarint(out, StrIdx(std::string(lit->string_value())));
+            return;
+        }
+        return;
+      }
+      case ir::NodeKind::kOid:
+        out->push_back(kTagOid);
+        PutVarint(out, Cast<ir::OidRef>(v)->oid());
+        return;
+      case ir::NodeKind::kVariable:
+        out->push_back(kTagVar);
+        PutVarint(out, var_index_.at(Cast<Variable>(v)));
+        return;
+      case ir::NodeKind::kPrimitive:
+        out->push_back(kTagPrim);
+        PutVarint(out,
+                  StrIdx(std::string(Cast<ir::PrimRef>(v)->prim().name())));
+        return;
+      case ir::NodeKind::kAbstraction: {
+        const Abstraction* abs = Cast<Abstraction>(v);
+        out->push_back(kTagAbs);
+        PutVarint(out, abs->num_params());
+        for (const Variable* p : abs->params()) {
+          PutVarint(out, StrIdx(std::string(m_.NameOf(*p))));
+          out->push_back(p->sort() == VarSort::kCont ? 1 : 0);
+        }
+        EmitApp(out, abs->body());
+        return;
+      }
+      case ir::NodeKind::kApplication:
+        return;  // unreachable: apps are emitted via EmitApp
+    }
+  }
+
+  void EmitApp(std::string* out, const Application* app) {
+    out->push_back(kTagApp);
+    PutVarint(out, app->num_args() + 1);
+    EmitValue(out, app->callee());
+    for (const ir::Value* a : app->args()) EmitValue(out, a);
+  }
+
+  const Module& m_;
+  std::vector<std::string> strings_;
+  std::unordered_map<std::string, uint64_t> str_index_;
+  std::unordered_map<const Variable*, uint64_t> var_index_;
+  std::vector<const Variable*> free_;
+};
+
+class Decoder {
+ public:
+  Decoder(Module* m, const ir::PrimitiveRegistry& prims,
+          std::string_view bytes)
+      : m_(m), prims_(prims), r_(bytes.data(), bytes.size()) {}
+
+  Result<PtmlDecoded> Decode() {
+    TML_ASSIGN_OR_RETURN(std::string magic, r_.ReadBytes(3));
+    if (magic != "PT1") return Status::Corruption("PTML: bad magic");
+    TML_ASSIGN_OR_RETURN(uint64_t nstr, r_.ReadVarint());
+    strings_.reserve(nstr);
+    for (uint64_t i = 0; i < nstr; ++i) {
+      TML_ASSIGN_OR_RETURN(uint64_t len, r_.ReadVarint());
+      TML_ASSIGN_OR_RETURN(std::string s, r_.ReadBytes(len));
+      strings_.push_back(std::move(s));
+    }
+    TML_ASSIGN_OR_RETURN(uint64_t nfree, r_.ReadVarint());
+    PtmlDecoded out;
+    for (uint64_t i = 0; i < nfree; ++i) {
+      TML_ASSIGN_OR_RETURN(Variable * fv, ReadVarDecl());
+      vars_.push_back(fv);
+      out.free_vars.push_back(fv);
+    }
+    TML_ASSIGN_OR_RETURN(const ir::Value* v, ReadValue());
+    const Abstraction* abs = ir::DynCast<Abstraction>(v);
+    if (abs == nullptr) {
+      return Status::Corruption("PTML: top-level value is not an abstraction");
+    }
+    out.abs = abs;
+    if (!r_.AtEnd()) return Status::Corruption("PTML: trailing bytes");
+    return out;
+  }
+
+ private:
+  Result<std::string> ReadStr() {
+    TML_ASSIGN_OR_RETURN(uint64_t idx, r_.ReadVarint());
+    if (idx >= strings_.size()) {
+      return Status::Corruption("PTML: string index out of range");
+    }
+    return strings_[idx];
+  }
+
+  Result<Variable*> ReadVarDecl() {
+    TML_ASSIGN_OR_RETURN(std::string name, ReadStr());
+    TML_ASSIGN_OR_RETURN(std::string sort, r_.ReadBytes(1));
+    return m_->NewVar(name, sort[0] == 1 ? VarSort::kCont : VarSort::kValue);
+  }
+
+  Result<const ir::Value*> ReadValue() {
+    TML_ASSIGN_OR_RETURN(std::string tag_s, r_.ReadBytes(1));
+    uint8_t tag = static_cast<uint8_t>(tag_s[0]);
+    switch (tag) {
+      case kTagNil:
+        return static_cast<const ir::Value*>(m_->NilLit());
+      case kTagBool: {
+        TML_ASSIGN_OR_RETURN(std::string b, r_.ReadBytes(1));
+        return static_cast<const ir::Value*>(m_->BoolLit(b[0] != 0));
+      }
+      case kTagInt: {
+        TML_ASSIGN_OR_RETURN(int64_t v, r_.ReadVarintSigned());
+        return static_cast<const ir::Value*>(m_->IntLit(v));
+      }
+      case kTagChar: {
+        TML_ASSIGN_OR_RETURN(std::string c, r_.ReadBytes(1));
+        return static_cast<const ir::Value*>(
+            m_->CharLit(static_cast<uint8_t>(c[0])));
+      }
+      case kTagReal: {
+        TML_ASSIGN_OR_RETURN(std::string b, r_.ReadBytes(8));
+        double d;
+        std::memcpy(&d, b.data(), 8);
+        return static_cast<const ir::Value*>(m_->RealLit(d));
+      }
+      case kTagString: {
+        TML_ASSIGN_OR_RETURN(std::string s, ReadStr());
+        return static_cast<const ir::Value*>(m_->StringLit(s));
+      }
+      case kTagOid: {
+        TML_ASSIGN_OR_RETURN(uint64_t oid, r_.ReadVarint());
+        return static_cast<const ir::Value*>(m_->OidVal(oid));
+      }
+      case kTagVar: {
+        TML_ASSIGN_OR_RETURN(uint64_t idx, r_.ReadVarint());
+        if (idx >= vars_.size()) {
+          return Status::Corruption("PTML: variable index out of range");
+        }
+        return static_cast<const ir::Value*>(vars_[idx]);
+      }
+      case kTagPrim: {
+        TML_ASSIGN_OR_RETURN(std::string name, ReadStr());
+        const ir::Primitive* p = prims_.LookupName(name);
+        if (p == nullptr) {
+          return Status::NotFound("PTML: unknown primitive " + name);
+        }
+        return static_cast<const ir::Value*>(m_->Prim(p));
+      }
+      case kTagAbs: {
+        TML_ASSIGN_OR_RETURN(uint64_t nparams, r_.ReadVarint());
+        if (nparams > 4096) return Status::Corruption("PTML: huge arity");
+        std::vector<Variable*> params;
+        params.reserve(nparams);
+        for (uint64_t i = 0; i < nparams; ++i) {
+          TML_ASSIGN_OR_RETURN(Variable * p, ReadVarDecl());
+          params.push_back(p);
+          vars_.push_back(p);
+        }
+        TML_ASSIGN_OR_RETURN(const Application* body, ReadApp());
+        return static_cast<const ir::Value*>(m_->Abs(
+            std::span<Variable* const>(params.data(), params.size()), body));
+      }
+      case kTagApp:
+        return Status::Corruption("PTML: application in value position");
+      default:
+        return Status::Corruption("PTML: unknown tag " + std::to_string(tag));
+    }
+  }
+
+  Result<const Application*> ReadApp() {
+    TML_ASSIGN_OR_RETURN(std::string tag_s, r_.ReadBytes(1));
+    if (static_cast<uint8_t>(tag_s[0]) != kTagApp) {
+      return Status::Corruption("PTML: expected application tag");
+    }
+    TML_ASSIGN_OR_RETURN(uint64_t nelems, r_.ReadVarint());
+    if (nelems == 0 || nelems > 1u << 20) {
+      return Status::Corruption("PTML: bad application size");
+    }
+    std::vector<const ir::Value*> elems;
+    elems.reserve(nelems);
+    for (uint64_t i = 0; i < nelems; ++i) {
+      TML_ASSIGN_OR_RETURN(const ir::Value* v, ReadValue());
+      elems.push_back(v);
+    }
+    const ir::Value* callee = elems[0];
+    elems.erase(elems.begin());
+    return m_->App(callee, std::span<const ir::Value* const>(elems.data(),
+                                                             elems.size()));
+  }
+
+  Module* m_;
+  const ir::PrimitiveRegistry& prims_;
+  VarintReader r_;
+  std::vector<std::string> strings_;
+  std::vector<Variable*> vars_;
+};
+
+}  // namespace
+
+std::string EncodePtml(const Module& m, const Abstraction* abs) {
+  Encoder enc(m);
+  return enc.Encode(abs);
+}
+
+Result<PtmlDecoded> DecodePtml(Module* m, const ir::PrimitiveRegistry& prims,
+                               std::string_view bytes) {
+  Decoder dec(m, prims, bytes);
+  return dec.Decode();
+}
+
+}  // namespace tml::store

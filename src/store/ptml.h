@@ -1,0 +1,56 @@
+// PTML — the compact persistent representation of TML trees (§4.1).
+//
+// For every exported function the compiler back end attaches a PTML record
+// to the generated code; at run time the system maps PTML back into TML,
+// re-invokes the optimizer, regenerates code and links it into the running
+// program.  Decoding also returns the function's free variables in first-
+// occurrence order: these are the identifiers whose R-values ([identifier,
+// OID] pairs) are re-established from the closure record before the
+// reflective optimizer runs.
+//
+// Wire format (all integers varint, reals 8-byte little-endian):
+//
+//   magic 'P','T','1'
+//   string-table:  count, (len bytes)*          -- names and prim names
+//   free-vars:     count, (name-idx, sort)*
+//   value tree, preorder:
+//     0 nil | 1 bool b | 2 int zigzag | 3 char b | 4 real f64
+//     5 string str-idx | 6 oid varint | 7 var index        (see below)
+//     8 prim name-idx
+//     9 abs nparams (name-idx sort)* body-app
+//     10 app nelems value*
+//
+// Variable occurrences refer to a single numbering: free variables first,
+// then binders in preorder order of appearance.
+
+#ifndef TML_STORE_PTML_H_
+#define TML_STORE_PTML_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "core/primitive_registry.h"
+#include "support/status.h"
+
+namespace tml::store {
+
+/// Encode an abstraction (free variables allowed) into PTML bytes.
+std::string EncodePtml(const ir::Module& m, const ir::Abstraction* abs);
+
+struct PtmlDecoded {
+  const ir::Abstraction* abs = nullptr;
+  /// Free variables in first-occurrence order (the §4.1 binding list).
+  std::vector<ir::Variable*> free_vars;
+};
+
+/// Decode PTML bytes into `m`, resolving primitive names against `prims`.
+Result<PtmlDecoded> DecodePtml(ir::Module* m,
+                               const ir::PrimitiveRegistry& prims,
+                               std::string_view bytes);
+
+}  // namespace tml::store
+
+#endif  // TML_STORE_PTML_H_

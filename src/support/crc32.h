@@ -1,0 +1,39 @@
+// CRC-32 (ISO-HDLC polynomial) for object-store record integrity checking.
+
+#ifndef TML_SUPPORT_CRC32_H_
+#define TML_SUPPORT_CRC32_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tml {
+
+/// Incremental CRC-32; pass the previous result as `seed` to chain.
+inline uint32_t Crc32(const void* data, size_t size, uint32_t seed = 0) {
+  static const uint32_t* table = [] {
+    static uint32_t t[256];
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t c = i;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+      }
+      t[i] = c;
+    }
+    return t;
+  }();
+  uint32_t crc = ~seed;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    crc = table[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+inline uint32_t Crc32(std::string_view s, uint32_t seed = 0) {
+  return Crc32(s.data(), s.size(), seed);
+}
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_CRC32_H_

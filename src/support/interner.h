@@ -1,0 +1,43 @@
+// String interner: maps identifier spellings to dense 32-bit symbols.
+// TML identifiers keep their source spelling for pretty printing (the paper
+// prints `complex_6`, `t_12`, ...) while comparisons are integer equality.
+
+#ifndef TML_SUPPORT_INTERNER_H_
+#define TML_SUPPORT_INTERNER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace tml {
+
+/// A dense identifier for an interned string.
+using Symbol = uint32_t;
+
+class Interner {
+ public:
+  /// Intern `s`, returning its stable Symbol.
+  Symbol Intern(std::string_view s) {
+    auto it = map_.find(std::string(s));
+    if (it != map_.end()) return it->second;
+    Symbol sym = static_cast<Symbol>(strings_.size());
+    strings_.emplace_back(s);
+    map_.emplace(strings_.back(), sym);
+    return sym;
+  }
+
+  /// Spelling of a previously interned symbol.
+  std::string_view Name(Symbol sym) const { return strings_[sym]; }
+
+  size_t size() const { return strings_.size(); }
+
+ private:
+  std::unordered_map<std::string, Symbol> map_;
+  std::vector<std::string> strings_;
+};
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_INTERNER_H_

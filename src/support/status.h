@@ -1,0 +1,152 @@
+// Status / Result<T> error-handling primitives in the Arrow/RocksDB idiom.
+//
+// Library code never throws; fallible operations return Status (no payload)
+// or Result<T> (payload or error).  The TML-level exception mechanism
+// (pushHandler/popHandler/raise, paper Fig. 2) is unrelated: those are
+// continuations inside the object language, not C++ control flow.
+
+#ifndef TML_SUPPORT_STATUS_H_
+#define TML_SUPPORT_STATUS_H_
+
+#include <cassert>
+#include <memory>
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace tml {
+
+/// Coarse error taxonomy shared by all subsystems.
+enum class StatusCode : int {
+  kOk = 0,
+  kInvalid,        ///< malformed input (parser, validator, decoder)
+  kNotFound,       ///< missing binding, OID, file, module member
+  kAlreadyExists,  ///< duplicate definition / OID
+  kOutOfRange,     ///< index or capacity violation
+  kIOError,        ///< object-store file I/O failure
+  kCorruption,     ///< store or PTML bytes fail integrity checks
+  kUnimplemented,  ///< feature hole (should not be reachable from tests)
+  kRuntimeError,   ///< VM-level failure that is not a TML exception
+};
+
+/// Human-readable name for a StatusCode ("Invalid", "IOError", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// An error code plus message; cheap to move, empty when OK.
+class Status {
+ public:
+  Status() = default;
+
+  static Status OK() { return Status(); }
+
+  static Status Invalid(std::string msg) {
+    return Status(StatusCode::kInvalid, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status RuntimeError(std::string msg) {
+    return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ ? rep_->code : StatusCode::kOk; }
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ ? rep_->message : kEmpty;
+  }
+
+  /// "OK" or "<CodeName>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    StatusCode code;
+    std::string message;
+  };
+
+  Status(StatusCode code, std::string msg)
+      : rep_(std::make_shared<Rep>(Rep{code, std::move(msg)})) {}
+
+  std::shared_ptr<Rep> rep_;  // null == OK; shared so Status copies are cheap
+};
+
+/// Either a value of type T or a non-OK Status.
+template <typename T>
+class Result {
+ public:
+  Result(T value) : var_(std::move(value)) {}  // NOLINT implicit
+  Result(Status status) : var_(std::move(status)) {  // NOLINT implicit
+    assert(!std::get<Status>(var_).ok() && "Result from OK status");
+  }
+
+  bool ok() const { return std::holds_alternative<T>(var_); }
+
+  const Status& status() const {
+    static const Status kOk;
+    return ok() ? kOk : std::get<Status>(var_);
+  }
+
+  T& value() & {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  const T& value() const& {
+    assert(ok());
+    return std::get<T>(var_);
+  }
+  T&& value() && {
+    assert(ok());
+    return std::move(std::get<T>(var_));
+  }
+
+  T& operator*() & { return value(); }
+  const T& operator*() const& { return value(); }
+  T* operator->() { return &value(); }
+  const T* operator->() const { return &value(); }
+
+ private:
+  std::variant<T, Status> var_;
+};
+
+// Propagate a non-OK Status to the caller.
+#define TML_RETURN_NOT_OK(expr)                \
+  do {                                         \
+    ::tml::Status _st = (expr);                \
+    if (!_st.ok()) return _st;                 \
+  } while (0)
+
+#define TML_CONCAT_IMPL(a, b) a##b
+#define TML_CONCAT(a, b) TML_CONCAT_IMPL(a, b)
+
+// Evaluate a Result<T> expression; on error propagate, else bind the value.
+#define TML_ASSIGN_OR_RETURN(lhs, rexpr)                      \
+  TML_ASSIGN_OR_RETURN_IMPL(TML_CONCAT(_res_, __LINE__), lhs, rexpr)
+
+#define TML_ASSIGN_OR_RETURN_IMPL(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                              \
+  if (!tmp.ok()) return tmp.status();              \
+  lhs = std::move(tmp).value();
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_STATUS_H_

@@ -1,0 +1,77 @@
+// LEB128-style variable-length integer coding used by the PTML persistent
+// encoding (paper §4.1) and the object-store record headers.
+
+#ifndef TML_SUPPORT_VARINT_H_
+#define TML_SUPPORT_VARINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace tml {
+
+/// Append an unsigned varint to `out`.
+inline void PutVarint(std::string* out, uint64_t v) {
+  while (v >= 0x80) {
+    out->push_back(static_cast<char>((v & 0x7F) | 0x80));
+    v >>= 7;
+  }
+  out->push_back(static_cast<char>(v));
+}
+
+/// ZigZag-encode a signed value and append it.
+inline void PutVarintSigned(std::string* out, int64_t v) {
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint(out, zz);
+}
+
+/// Cursor over an encoded byte span; all reads are bounds-checked.
+class VarintReader {
+ public:
+  VarintReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit VarintReader(const std::string& s)
+      : VarintReader(s.data(), s.size()) {}
+
+  Result<uint64_t> ReadVarint() {
+    uint64_t v = 0;
+    int shift = 0;
+    while (true) {
+      if (pos_ >= size_) {
+        return Status::Corruption("varint: truncated input");
+      }
+      uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
+      if (shift >= 64) return Status::Corruption("varint: overlong encoding");
+      v |= static_cast<uint64_t>(byte & 0x7F) << shift;
+      if ((byte & 0x80) == 0) return v;
+      shift += 7;
+    }
+  }
+
+  Result<int64_t> ReadVarintSigned() {
+    TML_ASSIGN_OR_RETURN(uint64_t zz, ReadVarint());
+    return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+  }
+
+  /// Read `n` raw bytes.
+  Result<std::string> ReadBytes(size_t n) {
+    if (pos_ + n > size_) return Status::Corruption("varint: truncated bytes");
+    std::string s(data_ + pos_, n);
+    pos_ += n;
+    return s;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_VARINT_H_

@@ -1,0 +1,250 @@
+#include "vm/code.h"
+
+#include <cstring>
+
+#include "support/varint.h"
+
+namespace tml::vm {
+
+const char* OpName(Op op) {
+  switch (op) {
+    case Op::kLoadK: return "loadk";
+    case Op::kMove: return "move";
+    case Op::kAddI: return "addi";
+    case Op::kSubI: return "subi";
+    case Op::kMulI: return "muli";
+    case Op::kDivI: return "divi";
+    case Op::kModI: return "modi";
+    case Op::kShl: return "shl";
+    case Op::kShr: return "shr";
+    case Op::kBitAnd: return "band";
+    case Op::kBitOr: return "bor";
+    case Op::kBitXor: return "bxor";
+    case Op::kAddR: return "addr";
+    case Op::kSubR: return "subr";
+    case Op::kMulR: return "mulr";
+    case Op::kDivR: return "divr";
+    case Op::kSqrt: return "sqrt";
+    case Op::kI2R: return "i2r";
+    case Op::kR2I: return "r2i";
+    case Op::kC2I: return "c2i";
+    case Op::kI2C: return "i2c";
+    case Op::kAndB: return "andb";
+    case Op::kOrB: return "orb";
+    case Op::kNotB: return "notb";
+    case Op::kBrLtI: return "brlti";
+    case Op::kBrLeI: return "brlei";
+    case Op::kBrLtR: return "brltr";
+    case Op::kBrLeR: return "brler";
+    case Op::kBrEq: return "breq";
+    case Op::kCaseEq: return "caseeq";
+    case Op::kJmp: return "jmp";
+    case Op::kNewArray: return "newarr";
+    case Op::kNewVector: return "newvec";
+    case Op::kNewArrN: return "newarrn";
+    case Op::kNewBytes: return "newbytes";
+    case Op::kALoad: return "aload";
+    case Op::kAStore: return "astore";
+    case Op::kBLoad: return "bload";
+    case Op::kBStore: return "bstore";
+    case Op::kSize: return "size";
+    case Op::kMoveN: return "moven";
+    case Op::kBMoveN: return "bmoven";
+    case Op::kClosure: return "closure";
+    case Op::kSetCap: return "setcap";
+    case Op::kGetCap: return "getcap";
+    case Op::kCall: return "call";
+    case Op::kTailCall: return "tailcall";
+    case Op::kRet: return "ret";
+    case Op::kRaise: return "raise";
+    case Op::kPushH: return "pushh";
+    case Op::kPopH: return "poph";
+    case Op::kCCall: return "ccall";
+    case Op::kSelect: return "select";
+    case Op::kProject: return "project";
+    case Op::kJoin: return "join";
+    case Op::kExists: return "exists";
+    case Op::kEmpty: return "empty";
+    case Op::kCount: return "count";
+  }
+  return "?";
+}
+
+size_t Function::ByteSize() const {
+  size_t n = code.size() * sizeof(Instr);
+  for (const Constant& c : pool) n += 16 + c.s.size();
+  n += fail_infos.size() * sizeof(FailInfo);
+  return n;
+}
+
+std::string Function::Disassemble() const {
+  std::string out = name + " (params=" + std::to_string(num_params) +
+                    " regs=" + std::to_string(num_regs) + ")\n";
+  for (size_t i = 0; i < code.size(); ++i) {
+    const Instr& in = code[i];
+    char buf[96];
+    std::snprintf(buf, sizeof(buf), "  %4zu  %-9s a=%u b=%u c=%u d=%d%s\n",
+                  i, OpName(in.op), in.a, in.b, in.c, in.d,
+                  in.fail >= 0 ? (" !" + std::to_string(in.fail)).c_str()
+                               : "");
+    out += buf;
+  }
+  return out;
+}
+
+namespace {
+
+void PutConstant(std::string* out, const Constant& c) {
+  out->push_back(static_cast<char>(c.kind));
+  switch (c.kind) {
+    case Constant::Kind::kNil:
+      break;
+    case Constant::Kind::kBool:
+    case Constant::Kind::kInt:
+    case Constant::Kind::kChar:
+    case Constant::Kind::kOid:
+      PutVarintSigned(out, c.i);
+      break;
+    case Constant::Kind::kReal: {
+      char buf[8];
+      std::memcpy(buf, &c.r, 8);
+      out->append(buf, 8);
+      break;
+    }
+    case Constant::Kind::kString:
+      PutVarint(out, c.s.size());
+      out->append(c.s);
+      break;
+  }
+}
+
+Result<Constant> ReadConstant(VarintReader* r) {
+  TML_ASSIGN_OR_RETURN(std::string kind_b, r->ReadBytes(1));
+  Constant c;
+  c.kind = static_cast<Constant::Kind>(kind_b[0]);
+  switch (c.kind) {
+    case Constant::Kind::kNil:
+      break;
+    case Constant::Kind::kBool:
+    case Constant::Kind::kInt:
+    case Constant::Kind::kChar:
+    case Constant::Kind::kOid: {
+      TML_ASSIGN_OR_RETURN(c.i, r->ReadVarintSigned());
+      break;
+    }
+    case Constant::Kind::kReal: {
+      TML_ASSIGN_OR_RETURN(std::string b, r->ReadBytes(8));
+      std::memcpy(&c.r, b.data(), 8);
+      break;
+    }
+    case Constant::Kind::kString: {
+      TML_ASSIGN_OR_RETURN(uint64_t len, r->ReadVarint());
+      TML_ASSIGN_OR_RETURN(c.s, r->ReadBytes(len));
+      break;
+    }
+    default:
+      return Status::Corruption("code: bad constant kind");
+  }
+  return c;
+}
+
+}  // namespace
+
+std::string SerializeFunction(const Function& fn) {
+  std::string out = "TVMC1";
+  PutVarint(&out, fn.name.size());
+  out.append(fn.name);
+  PutVarint(&out, fn.num_params);
+  PutVarint(&out, fn.num_regs);
+  PutVarint(&out, fn.pool.size());
+  for (const Constant& c : fn.pool) PutConstant(&out, c);
+  PutVarint(&out, fn.fail_infos.size());
+  for (const FailInfo& f : fn.fail_infos) {
+    PutVarintSigned(&out, f.target);
+    PutVarint(&out, f.exn_reg);
+  }
+  PutVarint(&out, fn.cap_names.size());
+  for (const std::string& s : fn.cap_names) {
+    PutVarint(&out, s.size());
+    out.append(s);
+  }
+  PutVarint(&out, fn.ptml_oid);
+  PutVarint(&out, fn.code.size());
+  for (const Instr& in : fn.code) {
+    out.push_back(static_cast<char>(in.op));
+    PutVarint(&out, in.a);
+    PutVarint(&out, in.b);
+    PutVarint(&out, in.c);
+    PutVarintSigned(&out, in.d);
+    PutVarintSigned(&out, in.fail);
+  }
+  // Subfunctions are serialized inline so a code record is self-contained.
+  PutVarint(&out, fn.subfns.size());
+  for (const Function* sub : fn.subfns) {
+    std::string inner = SerializeFunction(*sub);
+    PutVarint(&out, inner.size());
+    out.append(inner);
+  }
+  return out;
+}
+
+Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
+  VarintReader r(bytes.data(), bytes.size());
+  TML_ASSIGN_OR_RETURN(std::string magic, r.ReadBytes(5));
+  if (magic != "TVMC1") return Status::Corruption("code: bad magic");
+  Function* fn = unit->NewFunction();
+  TML_ASSIGN_OR_RETURN(uint64_t nlen, r.ReadVarint());
+  TML_ASSIGN_OR_RETURN(fn->name, r.ReadBytes(nlen));
+  TML_ASSIGN_OR_RETURN(uint64_t nparams, r.ReadVarint());
+  fn->num_params = static_cast<uint32_t>(nparams);
+  TML_ASSIGN_OR_RETURN(uint64_t nregs, r.ReadVarint());
+  fn->num_regs = static_cast<uint32_t>(nregs);
+  TML_ASSIGN_OR_RETURN(uint64_t npool, r.ReadVarint());
+  for (uint64_t i = 0; i < npool; ++i) {
+    TML_ASSIGN_OR_RETURN(Constant c, ReadConstant(&r));
+    fn->pool.push_back(std::move(c));
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t nfail, r.ReadVarint());
+  for (uint64_t i = 0; i < nfail; ++i) {
+    FailInfo f;
+    TML_ASSIGN_OR_RETURN(int64_t target, r.ReadVarintSigned());
+    f.target = static_cast<int32_t>(target);
+    TML_ASSIGN_OR_RETURN(uint64_t reg, r.ReadVarint());
+    f.exn_reg = static_cast<uint16_t>(reg);
+    fn->fail_infos.push_back(f);
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t ncaps, r.ReadVarint());
+  for (uint64_t i = 0; i < ncaps; ++i) {
+    TML_ASSIGN_OR_RETURN(uint64_t slen, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(std::string s, r.ReadBytes(slen));
+    fn->cap_names.push_back(std::move(s));
+  }
+  TML_ASSIGN_OR_RETURN(fn->ptml_oid, r.ReadVarint());
+  TML_ASSIGN_OR_RETURN(uint64_t ncode, r.ReadVarint());
+  for (uint64_t i = 0; i < ncode; ++i) {
+    Instr in;
+    TML_ASSIGN_OR_RETURN(std::string op_b, r.ReadBytes(1));
+    in.op = static_cast<Op>(op_b[0]);
+    TML_ASSIGN_OR_RETURN(uint64_t a, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(uint64_t b, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(uint64_t c, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(int64_t d, r.ReadVarintSigned());
+    TML_ASSIGN_OR_RETURN(int64_t fail, r.ReadVarintSigned());
+    in.a = static_cast<uint16_t>(a);
+    in.b = static_cast<uint16_t>(b);
+    in.c = static_cast<uint16_t>(c);
+    in.d = static_cast<int32_t>(d);
+    in.fail = static_cast<int32_t>(fail);
+    fn->code.push_back(in);
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t nsub, r.ReadVarint());
+  for (uint64_t i = 0; i < nsub; ++i) {
+    TML_ASSIGN_OR_RETURN(uint64_t ilen, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(std::string inner, r.ReadBytes(ilen));
+    TML_ASSIGN_OR_RETURN(Function * sub, DeserializeFunction(unit, inner));
+    fn->subfns.push_back(sub);
+  }
+  return fn;
+}
+
+}  // namespace tml::vm

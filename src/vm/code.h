@@ -1,0 +1,218 @@
+// TVM bytecode: instruction set, functions, code units, serialization.
+//
+// The code generator (codegen.h) compiles TML to this register machine,
+// exploiting the §2.2 guarantee that continuations are second class:
+// continuation abstractions become basic blocks, `(cc v)` becomes RET,
+// `(ce v)` becomes RAISE, and calls whose normal continuation is the
+// caller's own cc become tail calls.
+
+#ifndef TML_VM_CODE_H_
+#define TML_VM_CODE_H_
+
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oid.h"
+#include "support/status.h"
+
+namespace tml::vm {
+
+enum class Op : uint8_t {
+  kLoadK,     // regs[a] = pool[d]
+  kMove,      // regs[a] = regs[b]
+  // Integer arithmetic; d = fail-info index or -1 (unwind on fault).
+  kAddI,      // regs[a] = regs[b] + regs[c]
+  kSubI,
+  kMulI,
+  kDivI,
+  kModI,
+  // Bit operations (cannot fault).
+  kShl,
+  kShr,
+  kBitAnd,
+  kBitOr,
+  kBitXor,
+  // Real arithmetic.
+  kAddR,
+  kSubR,
+  kMulR,
+  kDivR,      // d = fail info (division by zero)
+  kSqrt,      // regs[a] = sqrt(regs[b]); d = fail info
+  kI2R,
+  kR2I,       // d = fail info (range)
+  kC2I,
+  kI2C,
+  kAndB,
+  kOrB,
+  kNotB,
+  // Branches: jump to d when the comparison holds, else fall through.
+  kBrLtI,
+  kBrLeI,
+  kBrLtR,
+  kBrLeR,
+  kBrEq,      // scalar identity regs[b] == regs[c]
+  kCaseEq,    // scalar identity regs[b] == pool[c]; jump d on match
+  kJmp,       // pc = d
+  // Aggregates; d = fail info where faults are possible.
+  kNewArray,  // regs[a] = array of regs[b..b+c)
+  kNewVector,
+  kNewArrN,   // regs[a] = array of size regs[b], init regs[c]; fail on n<0
+  kNewBytes,  // regs[a] = byte array, size regs[b], init regs[c]
+  kALoad,     // regs[a] = regs[b][regs[c]]
+  kAStore,    // regs[a][regs[b]] = regs[c]
+  kBLoad,
+  kBStore,
+  kSize,      // regs[a] = size(regs[b])
+  kMoveN,     // array copy; a = base of 5 regs (dst doff src soff n)
+  kBMoveN,
+  // Closures.
+  kClosure,   // regs[a] = closure over subfns[d] with c uninitialized caps
+  kSetCap,    // closure regs[a], cap index b, value regs[c]
+  kGetCap,    // regs[a] = current closure's cap b
+  // Calls.
+  kCall,      // regs[a] = call regs[b] with args regs[c..c+d)
+  kTailCall,  // tail call regs[b] with args regs[c..c+d)
+  kRet,       // return regs[a]
+  // Exceptions.
+  kRaise,     // raise regs[a]
+  kPushH,     // push handler (fail info d) onto the handler stack
+  kPopH,
+  // Host call-out: regs[a] = host[pool[c]](regs[b..b+?]); count in d's
+  // fail-info-free upper half — see Instr::d2.
+  kCCall,     // regs[a] = host fn pool[c] applied to regs[b..b+d2)
+  // Query primitives (§4.2); relations are arrays of tuple-arrays or OIDs.
+  kSelect,    // regs[a] = filter(regs[b] = pred, regs[c] = rel)
+  kProject,   // regs[a] = map(regs[b], regs[c])
+  kJoin,      // regs[a] = join(pred regs[b], rels regs[c], regs[c+1])
+  kExists,    // regs[a] = bool: any tuple of regs[c] satisfies regs[b]
+  kEmpty,     // regs[a] = (|regs[b]| == 0)
+  kCount,     // regs[a] = |regs[b]|
+};
+
+const char* OpName(Op op);
+
+/// One instruction.  `d` is a signed payload: jump target, pool index,
+/// subfunction index, argument count or fail-info index depending on op;
+/// `d2` carries a second payload for the rare ops needing both (kCCall,
+/// and fallible call-free ops keep fail info in `fail`).
+struct Instr {
+  Op op;
+  uint16_t a = 0;
+  uint16_t b = 0;
+  uint16_t c = 0;
+  int32_t d = 0;
+  int32_t fail = -1;  ///< fail-info index; -1 = unwind via handler stack
+};
+
+/// Scalar constants (heap-free) for the pool.
+struct Constant {
+  enum class Kind : uint8_t { kNil, kBool, kInt, kChar, kReal, kString, kOid };
+  Kind kind = Kind::kNil;
+  int64_t i = 0;
+  double r = 0;
+  std::string s;
+
+  static Constant Nil() { return {}; }
+  static Constant Bool(bool b) {
+    Constant c;
+    c.kind = Kind::kBool;
+    c.i = b;
+    return c;
+  }
+  static Constant Int(int64_t v) {
+    Constant c;
+    c.kind = Kind::kInt;
+    c.i = v;
+    return c;
+  }
+  static Constant Char(uint8_t v) {
+    Constant c;
+    c.kind = Kind::kChar;
+    c.i = v;
+    return c;
+  }
+  static Constant Real(double v) {
+    Constant c;
+    c.kind = Kind::kReal;
+    c.r = v;
+    return c;
+  }
+  static Constant Str(std::string v) {
+    Constant c;
+    c.kind = Kind::kString;
+    c.s = std::move(v);
+    return c;
+  }
+  static Constant OidC(Oid v) {
+    Constant c;
+    c.kind = Kind::kOid;
+    c.i = static_cast<int64_t>(v);
+    return c;
+  }
+  bool operator==(const Constant& o) const {
+    return kind == o.kind && i == o.i && r == o.r && s == o.s;
+  }
+};
+
+/// Where a fault transfers control: a pc within the same function plus the
+/// register receiving the exception value.
+struct FailInfo {
+  int32_t target = 0;
+  uint16_t exn_reg = 0;
+};
+
+class CodeUnit;
+
+/// A compiled TML procedure.
+class Function {
+ public:
+  std::string name;
+  uint32_t num_params = 0;  ///< value parameters, in regs [0, num_params)
+  uint32_t num_regs = 0;
+  std::vector<Instr> code;
+  std::vector<Constant> pool;
+  std::vector<FailInfo> fail_infos;
+  /// Functions created by kClosure (index space of Instr::d).
+  std::vector<const Function*> subfns;
+  /// Capture-variable names, parallel to closure caps: the R-value binding
+  /// identifiers of §4.1.
+  std::vector<std::string> cap_names;
+  /// OID of this function's PTML record, 0 if none attached.
+  Oid ptml_oid = kNullOid;
+
+  /// Bytecode footprint in bytes (code + pool), for the E2 accounting.
+  size_t ByteSize() const;
+  /// Human-readable disassembly.
+  std::string Disassemble() const;
+};
+
+/// Owns a set of functions produced by one compilation.
+class CodeUnit {
+ public:
+  Function* NewFunction() {
+    fns_.emplace_back(std::make_unique<Function>());
+    return fns_.back().get();
+  }
+  size_t num_functions() const { return fns_.size(); }
+  const Function* function(size_t i) const { return fns_[i].get(); }
+  size_t TotalByteSize() const {
+    size_t n = 0;
+    for (const auto& f : fns_) n += f->ByteSize();
+    return n;
+  }
+
+ private:
+  std::vector<std::unique_ptr<Function>> fns_;
+};
+
+/// Serialize a function together with its nested subfunctions (a code
+/// record in the object store is self-contained).
+std::string SerializeFunction(const Function& fn);
+Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes);
+
+}  // namespace tml::vm
+
+#endif  // TML_VM_CODE_H_

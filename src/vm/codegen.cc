@@ -1,0 +1,976 @@
+#include "vm/codegen.h"
+
+#include <deque>
+#include <unordered_map>
+#include <vector>
+
+#include "core/analysis.h"
+#include "core/primitive.h"
+
+namespace tml::vm {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Cast;
+using ir::DynCast;
+using ir::Isa;
+using ir::LitKind;
+using ir::Literal;
+using ir::PrimOp;
+using ir::Variable;
+
+namespace {
+
+/// How a continuation argument is realized in bytecode.
+struct ContTarget {
+  enum Kind {
+    kReturn,  ///< the function's own cc: RET
+    kRaise,   ///< the function's own ce: RAISE
+    kBlock,   ///< a basic block with fixed parameter registers
+    kInline,  ///< a cont abstraction compiled at the (single) use site
+  };
+  Kind kind = kReturn;
+  int label = -1;
+  std::vector<uint16_t> params;      // kBlock
+  const Abstraction* abs = nullptr;  // kInline
+};
+
+class FnCompiler {
+ public:
+  FnCompiler(CodeUnit* unit, const ir::Module& m, Function* fn)
+      : unit_(unit), m_(m), fn_(fn) {}
+
+  Status Compile(const Abstraction* proc) {
+    if (proc->num_cont_params() != 2) {
+      return Err("codegen: procedure must take (ce cc)");
+    }
+    size_t n = proc->num_params();
+    const Variable* ce = proc->param(n - 2);
+    const Variable* cc = proc->param(n - 1);
+    if (!ce->is_cont() || !cc->is_cont()) {
+      return Err("codegen: trailing parameters must be continuations");
+    }
+    fn_->num_params = static_cast<uint32_t>(n - 2);
+    for (size_t i = 0; i + 2 < n; ++i) {
+      if (proc->param(i)->is_cont()) {
+        return Err("codegen: continuation escapes into a value parameter");
+      }
+      var_reg_[proc->param(i)] = AllocReg();
+    }
+    cont_map_[ce] = ContTarget{ContTarget::kRaise, -1, {}, nullptr};
+    cont_map_[cc] = ContTarget{ContTarget::kReturn, -1, {}, nullptr};
+
+    // Prologue: load captures (free variables) into registers.
+    auto frees = ir::FreeVariables(proc);
+    for (size_t i = 0; i < frees.size(); ++i) {
+      const Variable* fv = frees[i];
+      if (fv->is_cont()) {
+        return Err("codegen: continuation escapes into a closure");
+      }
+      uint16_t r = AllocReg();
+      var_reg_[fv] = r;
+      Emit({Op::kGetCap, r, static_cast<uint16_t>(i), 0, 0, -1});
+      fn_->cap_names.emplace_back(m_.NameOf(*fv));
+    }
+
+    TML_RETURN_NOT_OK(CompileApp(proc->body()));
+    TML_RETURN_NOT_OK(DrainPending());
+    TML_RETURN_NOT_OK(ResolveLabels());
+    fn_->num_regs = next_reg_;
+    return Status::OK();
+  }
+
+ private:
+  // ---- low-level helpers -------------------------------------------------
+
+  uint16_t AllocReg() {
+    if (next_reg_ == UINT16_MAX) return UINT16_MAX;  // caught by num_regs cap
+    return next_reg_++;
+  }
+
+  void Emit(Instr in) { fn_->code.push_back(in); }
+
+  int NewLabel() {
+    labels_.push_back(-1);
+    return static_cast<int>(labels_.size()) - 1;
+  }
+  void Place(int label) {
+    labels_[label] = static_cast<int32_t>(fn_->code.size());
+  }
+  /// Emit an instruction whose `d` is a label (resolved later).
+  void EmitJump(Instr in, int label) {
+    in.d = label;
+    jump_fixups_.push_back(fn_->code.size());
+    fn_->code.push_back(in);
+  }
+  /// Allocate a fail-info slot whose target is a label.
+  int32_t NewFail(int label, uint16_t exn_reg) {
+    fn_->fail_infos.push_back(FailInfo{label, exn_reg});
+    fail_fixups_.push_back(fn_->fail_infos.size() - 1);
+    return static_cast<int32_t>(fn_->fail_infos.size()) - 1;
+  }
+
+  Status ResolveLabels() {
+    for (size_t idx : jump_fixups_) {
+      int label = fn_->code[idx].d;
+      if (label < 0 || labels_[label] < 0) {
+        return Err("codegen: unresolved label");
+      }
+      fn_->code[idx].d = labels_[label];
+    }
+    for (size_t idx : fail_fixups_) {
+      int label = fn_->fail_infos[idx].target;
+      if (label < 0 || labels_[label] < 0) {
+        return Err("codegen: unresolved fail label");
+      }
+      fn_->fail_infos[idx].target = labels_[label];
+    }
+    return Status::OK();
+  }
+
+  uint16_t PoolConst(Constant c) {
+    for (size_t i = 0; i < fn_->pool.size(); ++i) {
+      if (fn_->pool[i] == c) return static_cast<uint16_t>(i);
+    }
+    fn_->pool.push_back(std::move(c));
+    return static_cast<uint16_t>(fn_->pool.size() - 1);
+  }
+
+  Result<Constant> LitConst(const Literal* lit) {
+    switch (lit->lit_kind()) {
+      case LitKind::kNil:
+        return Constant::Nil();
+      case LitKind::kBool:
+        return Constant::Bool(lit->bool_value());
+      case LitKind::kInt:
+        return Constant::Int(lit->int_value());
+      case LitKind::kChar:
+        return Constant::Char(lit->char_value());
+      case LitKind::kReal:
+        return Constant::Real(lit->real_value());
+      case LitKind::kString:
+        return Constant::Str(std::string(lit->string_value()));
+    }
+    return Err("codegen: bad literal");
+  }
+
+  // Materialize a value into a register.
+  Result<uint16_t> ValueReg(const ir::Value* v) {
+    switch (v->kind()) {
+      case ir::NodeKind::kLiteral: {
+        TML_ASSIGN_OR_RETURN(Constant c, LitConst(Cast<Literal>(v)));
+        uint16_t r = AllocReg();
+        Emit({Op::kLoadK, r, 0, 0, PoolConst(std::move(c)), -1});
+        return r;
+      }
+      case ir::NodeKind::kOid: {
+        uint16_t r = AllocReg();
+        Emit({Op::kLoadK, r, 0, 0,
+              PoolConst(Constant::OidC(Cast<ir::OidRef>(v)->oid())), -1});
+        return r;
+      }
+      case ir::NodeKind::kVariable: {
+        const Variable* var = Cast<Variable>(v);
+        if (var->is_cont()) {
+          return Err("codegen: continuation escapes to value position: " +
+                     std::string(m_.NameOf(*var)));
+        }
+        auto it = var_reg_.find(var);
+        if (it == var_reg_.end()) {
+          return Err("codegen: unbound variable " +
+                     std::string(m_.NameOf(*var)));
+        }
+        return it->second;
+      }
+      case ir::NodeKind::kAbstraction: {
+        const Abstraction* abs = Cast<Abstraction>(v);
+        if (abs->is_cont()) {
+          return Err("codegen: continuation abstraction in value position");
+        }
+        uint16_t r = AllocReg();
+        TML_RETURN_NOT_OK(EmitClosure(abs, r));
+        return r;
+      }
+      case ir::NodeKind::kPrimitive:
+        return Err("codegen: primitive used as a first-class value");
+      case ir::NodeKind::kApplication:
+        return Err("codegen: application in value position");
+    }
+    return Err("codegen: bad value");
+  }
+
+  /// Compile `abs` as a subfunction and emit closure creation + capture
+  /// initialization into `dst`.
+  Status EmitClosure(const Abstraction* abs, uint16_t dst) {
+    Function* sub = unit_->NewFunction();
+    sub->name = fn_->name + "." + std::to_string(fn_->subfns.size());
+    FnCompiler inner(unit_, m_, sub);
+    TML_RETURN_NOT_OK(inner.Compile(abs));
+    fn_->subfns.push_back(sub);
+    uint16_t ncaps = static_cast<uint16_t>(sub->cap_names.size());
+    Emit({Op::kClosure, dst, 0, ncaps,
+          static_cast<int32_t>(fn_->subfns.size()) - 1, -1});
+    auto frees = ir::FreeVariables(abs);
+    for (size_t i = 0; i < frees.size(); ++i) {
+      TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(frees[i]));
+      Emit({Op::kSetCap, dst, static_cast<uint16_t>(i), r, 0, -1});
+    }
+    return Status::OK();
+  }
+
+  // Resolve a continuation argument.
+  Result<ContTarget> ContOf(const ir::Value* v) {
+    if (const Variable* var = DynCast<Variable>(v)) {
+      auto it = cont_map_.find(var);
+      if (it == cont_map_.end()) {
+        return Err("codegen: unbound continuation " +
+                   std::string(m_.NameOf(*var)));
+      }
+      return it->second;
+    }
+    if (const Abstraction* abs = DynCast<Abstraction>(v)) {
+      if (!abs->is_cont()) {
+        return Err("codegen: proc abstraction used as continuation");
+      }
+      ContTarget t;
+      t.kind = ContTarget::kInline;
+      t.abs = abs;
+      return t;
+    }
+    return Err("codegen: bad continuation operand");
+  }
+
+  /// Turn an inline cont into a pending block (used where a jump target is
+  /// required: branches, case dispatch, fail handlers).
+  Result<ContTarget> AsBlock(ContTarget t) {
+    if (t.kind != ContTarget::kInline) return t;
+    ContTarget b;
+    b.kind = ContTarget::kBlock;
+    b.label = NewLabel();
+    for (size_t i = 0; i < t.abs->num_params(); ++i) {
+      b.params.push_back(AllocReg());
+    }
+    pending_.push_back(PendingBlock{t.abs, b.label, b.params, false});
+    return b;
+  }
+
+  /// A fail-info for an exception continuation; -1 when it unwinds.
+  Result<int32_t> FailOf(const ir::Value* ce) {
+    TML_ASSIGN_OR_RETURN(ContTarget t, ContOf(ce));
+    switch (t.kind) {
+      case ContTarget::kRaise:
+        return -1;  // propagate: unwind through the handler stack
+      case ContTarget::kReturn: {
+        // Return the exception value: synthesize a `ret` stub block.
+        int label = NewLabel();
+        uint16_t r = AllocReg();
+        pending_.push_back(PendingBlock{nullptr, label, {r}, true});
+        return NewFail(label, r);
+      }
+      case ContTarget::kBlock: {
+        if (t.params.size() != 1) {
+          return Err("codegen: exception handler must take one value");
+        }
+        return NewFail(t.label, t.params[0]);
+      }
+      case ContTarget::kInline: {
+        TML_ASSIGN_OR_RETURN(ContTarget b, AsBlock(t));
+        if (b.params.size() != 1) {
+          return Err("codegen: exception handler must take one value");
+        }
+        return NewFail(b.label, b.params[0]);
+      }
+    }
+    return Err("codegen: bad exception continuation");
+  }
+
+  /// Move `args` into `params` without clobbering (two-phase when needed).
+  void ParallelMove(const std::vector<uint16_t>& params,
+                    const std::vector<uint16_t>& args) {
+    bool overlap = false;
+    for (size_t i = 0; i < params.size(); ++i) {
+      for (size_t j = 0; j < args.size(); ++j) {
+        if (i != j && params[i] == args[j]) overlap = true;
+      }
+    }
+    if (!overlap) {
+      for (size_t i = 0; i < params.size(); ++i) {
+        if (params[i] != args[i]) {
+          Emit({Op::kMove, params[i], args[i], 0, 0, -1});
+        }
+      }
+      return;
+    }
+    std::vector<uint16_t> temps;
+    for (size_t i = 0; i < args.size(); ++i) {
+      uint16_t t = AllocReg();
+      temps.push_back(t);
+      Emit({Op::kMove, t, args[i], 0, 0, -1});
+    }
+    for (size_t i = 0; i < params.size(); ++i) {
+      Emit({Op::kMove, params[i], temps[i], 0, 0, -1});
+    }
+  }
+
+  /// Transfer control to a continuation with the given argument registers.
+  Status ApplyCont(const ContTarget& t, const std::vector<uint16_t>& args) {
+    switch (t.kind) {
+      case ContTarget::kReturn:
+        if (args.size() != 1) {
+          return Err("codegen: cc applied to " + std::to_string(args.size()) +
+                     " values");
+        }
+        Emit({Op::kRet, args[0], 0, 0, 0, -1});
+        return Status::OK();
+      case ContTarget::kRaise:
+        if (args.size() != 1) return Err("codegen: ce needs one value");
+        Emit({Op::kRaise, args[0], 0, 0, 0, -1});
+        return Status::OK();
+      case ContTarget::kBlock: {
+        if (args.size() != t.params.size()) {
+          return Err("codegen: block arity mismatch");
+        }
+        ParallelMove(t.params, args);
+        EmitJump({Op::kJmp, 0, 0, 0, 0, -1}, t.label);
+        return Status::OK();
+      }
+      case ContTarget::kInline: {
+        if (args.size() != t.abs->num_params()) {
+          return Err("codegen: continuation arity mismatch");
+        }
+        for (size_t i = 0; i < args.size(); ++i) {
+          TML_RETURN_NOT_OK(BindParam(t.abs->param(i), args[i]));
+        }
+        return CompileApp(t.abs->body());
+      }
+    }
+    return Err("codegen: bad continuation target");
+  }
+
+  /// Where a value-producing instruction should put its result, given the
+  /// normal continuation; returns the dst register, and `Complete` finishes
+  /// control flow after the instruction was emitted.
+  struct Dest {
+    uint16_t reg;
+    ContTarget target;
+  };
+  Result<Dest> DestOf(const ir::Value* cc) {
+    TML_ASSIGN_OR_RETURN(ContTarget t, ContOf(cc));
+    Dest d;
+    d.target = t;
+    switch (t.kind) {
+      case ContTarget::kReturn:
+      case ContTarget::kRaise:
+        d.reg = AllocReg();
+        return d;
+      case ContTarget::kBlock:
+        if (t.params.size() != 1) {
+          return Err("codegen: result continuation must take one value");
+        }
+        d.reg = t.params[0];
+        return d;
+      case ContTarget::kInline:
+        if (t.abs->num_params() != 1) {
+          return Err("codegen: result continuation must take one value");
+        }
+        d.reg = AllocReg();
+        return d;
+    }
+    return Err("codegen: bad destination");
+  }
+  Status Complete(const Dest& d) {
+    switch (d.target.kind) {
+      case ContTarget::kReturn:
+        Emit({Op::kRet, d.reg, 0, 0, 0, -1});
+        return Status::OK();
+      case ContTarget::kRaise:
+        Emit({Op::kRaise, d.reg, 0, 0, 0, -1});
+        return Status::OK();
+      case ContTarget::kBlock:
+        EmitJump({Op::kJmp, 0, 0, 0, 0, -1}, d.target.label);
+        return Status::OK();
+      case ContTarget::kInline:
+        TML_RETURN_NOT_OK(BindParam(d.target.abs->param(0), d.reg));
+        return CompileApp(d.target.abs->body());
+    }
+    return Err("codegen: bad completion");
+  }
+
+  Status BindParam(const Variable* param, uint16_t reg) {
+    if (param->is_cont()) {
+      return Err("codegen: value bound to continuation parameter");
+    }
+    var_reg_[param] = reg;
+    return Status::OK();
+  }
+
+  // ---- application dispatch ----------------------------------------------
+
+  Status CompileApp(const Application* app) {
+    const ir::Value* callee = app->callee();
+    if (const ir::PrimRef* pr = DynCast<ir::PrimRef>(callee)) {
+      return CompilePrim(pr->prim(), app);
+    }
+    if (const Abstraction* abs = DynCast<Abstraction>(callee)) {
+      return CompileLet(abs, app);
+    }
+    if (const Variable* var = DynCast<Variable>(callee)) {
+      if (var->is_cont()) {
+        auto it = cont_map_.find(var);
+        if (it == cont_map_.end()) {
+          return Err("codegen: unbound continuation " +
+                     std::string(m_.NameOf(*var)));
+        }
+        std::vector<uint16_t> args;
+        for (const ir::Value* a : app->args()) {
+          TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(a));
+          args.push_back(r);
+        }
+        return ApplyCont(it->second, args);
+      }
+      return CompileCall(app);
+    }
+    if (Isa<ir::OidRef>(callee)) return CompileCall(app);
+    return Err("codegen: bad callee");
+  }
+
+  // ((λ(v1..vk) body) a1..ak): a residual let binding.
+  Status CompileLet(const Abstraction* abs, const Application* app) {
+    if (abs->num_params() != app->num_args()) {
+      return Err("codegen: let arity mismatch");
+    }
+    for (size_t i = 0; i < app->num_args(); ++i) {
+      const Variable* p = abs->param(i);
+      const ir::Value* a = app->arg(i);
+      if (p->is_cont()) {
+        TML_ASSIGN_OR_RETURN(ContTarget t, ContOf(a));
+        // A multiply-used continuation binding becomes a block.
+        TML_ASSIGN_OR_RETURN(t, AsBlock(t));
+        cont_map_[p] = t;
+      } else {
+        TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(a));
+        TML_RETURN_NOT_OK(BindParam(p, r));
+      }
+    }
+    return CompileApp(abs->body());
+  }
+
+  // (f a1..an ce cc) — a user-level procedure call.
+  Status CompileCall(const Application* app) {
+    if (app->num_args() < 2) return Err("codegen: call needs (ce cc)");
+    TML_ASSIGN_OR_RETURN(uint16_t fr, ValueReg(app->callee()));
+    size_t n = app->num_args() - 2;
+    // Argument window must be contiguous.
+    uint16_t base = next_reg_;
+    for (size_t i = 0; i < n; ++i) AllocReg();
+    for (size_t i = 0; i < n; ++i) {
+      TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(app->arg(i)));
+      Emit({Op::kMove, static_cast<uint16_t>(base + i), r, 0, 0, -1});
+    }
+    const ir::Value* ce = app->arg(app->num_args() - 2);
+    const ir::Value* cc = app->arg(app->num_args() - 1);
+    TML_ASSIGN_OR_RETURN(ContTarget ce_t, ContOf(ce));
+    bool local_handler = ce_t.kind != ContTarget::kRaise;
+    TML_ASSIGN_OR_RETURN(ContTarget cc_t, ContOf(cc));
+
+    if (!local_handler && cc_t.kind == ContTarget::kReturn) {
+      Emit({Op::kTailCall, 0, fr, base, static_cast<int32_t>(n), -1});
+      return Status::OK();
+    }
+    int32_t fail = -1;
+    if (local_handler) {
+      TML_ASSIGN_OR_RETURN(fail, FailOf(ce));
+      Emit({Op::kPushH, 0, 0, 0, fail, -1});
+    }
+    Dest d;
+    d.target = cc_t;
+    switch (cc_t.kind) {
+      case ContTarget::kBlock:
+        if (cc_t.params.size() != 1) {
+          return Err("codegen: call continuation must take one value");
+        }
+        d.reg = cc_t.params[0];
+        break;
+      case ContTarget::kInline:
+        if (cc_t.abs->num_params() != 1) {
+          return Err("codegen: call continuation must take one value");
+        }
+        d.reg = AllocReg();
+        break;
+      default:
+        d.reg = AllocReg();
+        break;
+    }
+    Emit({Op::kCall, d.reg, fr, base, static_cast<int32_t>(n), -1});
+    if (local_handler) Emit({Op::kPopH, 0, 0, 0, 0, -1});
+    return Complete(d);
+  }
+
+  // ---- primitives ----------------------------------------------------------
+
+  Status CompilePrim(const ir::Primitive& prim, const Application* app) {
+    switch (prim.op()) {
+      case PrimOp::kAddI: return Arith(Op::kAddI, app);
+      case PrimOp::kSubI: return Arith(Op::kSubI, app);
+      case PrimOp::kMulI: return Arith(Op::kMulI, app);
+      case PrimOp::kDivI: return Arith(Op::kDivI, app);
+      case PrimOp::kModI: return Arith(Op::kModI, app);
+      case PrimOp::kAddR: return Arith(Op::kAddR, app);
+      case PrimOp::kSubR: return Arith(Op::kSubR, app);
+      case PrimOp::kMulR: return Arith(Op::kMulR, app);
+      case PrimOp::kDivR: return Arith(Op::kDivR, app);
+      case PrimOp::kLtI: return Branch(Op::kBrLtI, app, false);
+      case PrimOp::kGtI: return Branch(Op::kBrLtI, app, true);
+      case PrimOp::kLeI: return Branch(Op::kBrLeI, app, false);
+      case PrimOp::kGeI: return Branch(Op::kBrLeI, app, true);
+      case PrimOp::kLtR: return Branch(Op::kBrLtR, app, false);
+      case PrimOp::kLeR: return Branch(Op::kBrLeR, app, false);
+      case PrimOp::kEqB: return Branch(Op::kBrEq, app, false);
+      case PrimOp::kShl: return Pure2(Op::kShl, app);
+      case PrimOp::kShr: return Pure2(Op::kShr, app);
+      case PrimOp::kBitAnd: return Pure2(Op::kBitAnd, app);
+      case PrimOp::kBitOr: return Pure2(Op::kBitOr, app);
+      case PrimOp::kBitXor: return Pure2(Op::kBitXor, app);
+      case PrimOp::kAnd: return Pure2(Op::kAndB, app);
+      case PrimOp::kOr: return Pure2(Op::kOrB, app);
+      case PrimOp::kNot: return Pure1(Op::kNotB, app);
+      case PrimOp::kChar2Int: return Pure1(Op::kC2I, app);
+      case PrimOp::kInt2Char: return Pure1(Op::kI2C, app);
+      case PrimOp::kIntToReal: return Pure1(Op::kI2R, app);
+      case PrimOp::kTruncR: return Pure1(Op::kR2I, app);
+      case PrimOp::kSqrt: return Fallible1(Op::kSqrt, app);
+      case PrimOp::kArray: return NewAgg(Op::kNewArray, app);
+      case PrimOp::kVector: return NewAgg(Op::kNewVector, app);
+      case PrimOp::kNewByteArray: return NewBytes(app);
+      case PrimOp::kMkArray: return MkArray(app);
+      case PrimOp::kALoad: return Load(Op::kALoad, app);
+      case PrimOp::kBLoad: return Load(Op::kBLoad, app);
+      case PrimOp::kAStore: return StoreOp(Op::kAStore, app);
+      case PrimOp::kBStore: return StoreOp(Op::kBStore, app);
+      case PrimOp::kSize: return Pure1(Op::kSize, app);
+      case PrimOp::kMove: return MoveN(Op::kMoveN, app);
+      case PrimOp::kBMove: return MoveN(Op::kBMoveN, app);
+      case PrimOp::kCase: return CaseOp(app);
+      case PrimOp::kY: return FixY(app);
+      case PrimOp::kPushHandler: return PushHandler(app);
+      case PrimOp::kPopHandler: return PopHandler(app);
+      case PrimOp::kRaise: return RaiseOp(app);
+      case PrimOp::kCCall: return CCallOp(app);
+      case PrimOp::kSelect: return Query2(Op::kSelect, app);
+      case PrimOp::kProject: return Query2(Op::kProject, app);
+      case PrimOp::kExists: return Query2(Op::kExists, app);
+      case PrimOp::kQJoin: return JoinOp(app);
+      case PrimOp::kEmpty: return QueryCard(Op::kEmpty, app);
+      case PrimOp::kQCount: return QueryCard(Op::kCount, app);
+      default:
+        return Err("codegen: unsupported primitive " +
+                   std::string(prim.name()));
+    }
+  }
+
+  // (p a b ce cc)
+  Status Arith(Op op, const Application* app) {
+    if (app->num_args() != 4) return Err("codegen: arith arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t rb, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(3)));
+    Emit({op, d.reg, ra, rb, 0, fail});
+    return Complete(d);
+  }
+
+  // (p a b c)
+  Status Pure2(Op op, const Application* app) {
+    if (app->num_args() != 3) return Err("codegen: binop arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t rb, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(2)));
+    Emit({op, d.reg, ra, rb, 0, -1});
+    return Complete(d);
+  }
+
+  // (p a c)
+  Status Pure1(Op op, const Application* app) {
+    if (app->num_args() != 2) return Err("codegen: unop arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(1)));
+    Emit({op, d.reg, ra, 0, 0, -1});
+    return Complete(d);
+  }
+
+  // (p a ce cc)
+  Status Fallible1(Op op, const Application* app) {
+    if (app->num_args() != 3) return Err("codegen: fallible unop arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(2)));
+    Emit({op, d.reg, ra, 0, 0, fail});
+    return Complete(d);
+  }
+
+  // (p a b c_then c_else): conditional transfer; `swap` for > and >=.
+  Status Branch(Op op, const Application* app, bool swap) {
+    if (app->num_args() != 4) return Err("codegen: branch arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(swap ? 1 : 0)));
+    TML_ASSIGN_OR_RETURN(uint16_t rb, ValueReg(app->arg(swap ? 0 : 1)));
+    TML_ASSIGN_OR_RETURN(ContTarget then_t, ContOf(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(ContTarget else_t, ContOf(app->arg(3)));
+    if (then_t.kind == ContTarget::kInline) {
+      TML_ASSIGN_OR_RETURN(then_t, AsBlock(then_t));
+    }
+    if (!then_t.params.empty() || then_t.kind != ContTarget::kBlock) {
+      return Err("codegen: branch continuation must be cont()");
+    }
+    EmitJump({op, 0, ra, rb, 0, -1}, then_t.label);
+    // Else path falls through.
+    switch (else_t.kind) {
+      case ContTarget::kInline:
+        if (else_t.abs->num_params() != 0) {
+          return Err("codegen: branch continuation must be cont()");
+        }
+        return CompileApp(else_t.abs->body());
+      case ContTarget::kBlock:
+        if (!else_t.params.empty()) {
+          return Err("codegen: branch continuation must be cont()");
+        }
+        EmitJump({Op::kJmp, 0, 0, 0, 0, -1}, else_t.label);
+        return Status::OK();
+      default:
+        return Err("codegen: branch continuation must be cont()");
+    }
+  }
+
+  // (array v1..vn c) / (vector v1..vn c)
+  Status NewAgg(Op op, const Application* app) {
+    if (app->num_args() < 1) return Err("codegen: array arity");
+    size_t n = app->num_args() - 1;
+    uint16_t base = next_reg_;
+    for (size_t i = 0; i < n; ++i) AllocReg();
+    for (size_t i = 0; i < n; ++i) {
+      TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(app->arg(i)));
+      Emit({Op::kMove, static_cast<uint16_t>(base + i), r, 0, 0, -1});
+    }
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(n)));
+    Emit({op, d.reg, base, static_cast<uint16_t>(n), 0, -1});
+    return Complete(d);
+  }
+
+  // (mkarray n init ce cc)
+  Status MkArray(const Application* app) {
+    if (app->num_args() != 4) return Err("codegen: mkarray arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rn, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t ri, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(3)));
+    Emit({Op::kNewArrN, d.reg, rn, ri, 0, fail});
+    return Complete(d);
+  }
+
+  // (new n init c)
+  Status NewBytes(const Application* app) {
+    if (app->num_args() != 3) return Err("codegen: new arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rn, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t ri, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(2)));
+    Emit({Op::kNewBytes, d.reg, rn, ri, 0, -1});
+    return Complete(d);
+  }
+
+  // ([] arr i ce cc)
+  Status Load(Op op, const Application* app) {
+    if (app->num_args() != 4) return Err("codegen: load arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t ri, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(3)));
+    Emit({op, d.reg, ra, ri, 0, fail});
+    return Complete(d);
+  }
+
+  // ([]:= arr i v ce cc) — the continuation receives nil.
+  Status StoreOp(Op op, const Application* app) {
+    if (app->num_args() != 5) return Err("codegen: store arity");
+    TML_ASSIGN_OR_RETURN(uint16_t ra, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t ri, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(uint16_t rv, ValueReg(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(3)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(4)));
+    Emit({op, ra, ri, rv, 0, fail});
+    Emit({Op::kLoadK, d.reg, 0, 0, PoolConst(Constant::Nil()), -1});
+    return Complete(d);
+  }
+
+  // (move dst doff src soff n c)
+  Status MoveN(Op op, const Application* app) {
+    if (app->num_args() != 6) return Err("codegen: move arity");
+    uint16_t base = next_reg_;
+    for (int i = 0; i < 5; ++i) AllocReg();
+    for (int i = 0; i < 5; ++i) {
+      TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(app->arg(i)));
+      Emit({Op::kMove, static_cast<uint16_t>(base + i), r, 0, 0, -1});
+    }
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(5)));
+    Emit({op, base, 0, 0, 0, -1});
+    Emit({Op::kLoadK, d.reg, 0, 0, PoolConst(Constant::Nil()), -1});
+    return Complete(d);
+  }
+
+  // (== v t1..tn c1..cn [celse])
+  Status CaseOp(const Application* app) {
+    if (app->num_args() < 3) return Err("codegen: case arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rv, ValueReg(app->arg(0)));
+    size_t num_tags = 0;
+    while (1 + num_tags < app->num_args() &&
+           Isa<Literal>(app->arg(1 + num_tags))) {
+      ++num_tags;
+    }
+    size_t num_conts = app->num_args() - 1 - num_tags;
+    if (num_tags == 0 ||
+        (num_conts != num_tags && num_conts != num_tags + 1)) {
+      return Err("codegen: malformed case");
+    }
+    bool has_else = num_conts == num_tags + 1;
+    std::vector<ContTarget> branches;
+    for (size_t i = 0; i < num_conts; ++i) {
+      TML_ASSIGN_OR_RETURN(ContTarget t,
+                           ContOf(app->arg(1 + num_tags + i)));
+      TML_ASSIGN_OR_RETURN(t, AsBlock(t));
+      if (t.kind != ContTarget::kBlock || !t.params.empty()) {
+        return Err("codegen: case branch must be cont()");
+      }
+      branches.push_back(t);
+    }
+    for (size_t i = 0; i < num_tags; ++i) {
+      TML_ASSIGN_OR_RETURN(Constant c,
+                           LitConst(Cast<Literal>(app->arg(1 + i))));
+      EmitJump({Op::kCaseEq, 0, rv, PoolConst(std::move(c)), 0, -1},
+               branches[i].label);
+    }
+    if (has_else) {
+      EmitJump({Op::kJmp, 0, 0, 0, 0, -1}, branches.back().label);
+    } else {
+      // No match and no else: raise the scrutinee.
+      Emit({Op::kRaise, rv, 0, 0, 0, -1});
+    }
+    return Status::OK();
+  }
+
+  // (Y λ(c0 v1..vn c)(c k0 abs1..absn))
+  Status FixY(const Application* app) {
+    const Abstraction* gen = app->num_args() == 1
+                                 ? DynCast<Abstraction>(app->arg(0))
+                                 : nullptr;
+    if (gen == nullptr || gen->num_params() < 2) {
+      return Err("codegen: malformed Y");
+    }
+    const Application* ybody = gen->body();
+    size_t n = gen->num_params() - 2;
+    if (ybody->num_args() != n + 1 ||
+        ybody->callee() != gen->param(gen->num_params() - 1)) {
+      return Err("codegen: malformed Y body");
+    }
+    // First pass: declare bindings (blocks for conts, registers for procs).
+    std::vector<uint16_t> proc_regs(n + 1, 0);
+    for (size_t i = 1; i <= n; ++i) {
+      const Variable* vi = gen->param(i);
+      const Abstraction* absi = DynCast<Abstraction>(ybody->arg(i));
+      if (absi == nullptr) return Err("codegen: Y binding not abstraction");
+      if (vi->is_cont()) {
+        if (!absi->is_cont()) return Err("codegen: Y sort mismatch");
+        ContTarget t;
+        t.kind = ContTarget::kBlock;
+        t.label = NewLabel();
+        for (size_t k = 0; k < absi->num_params(); ++k) {
+          t.params.push_back(AllocReg());
+        }
+        pending_.push_back(PendingBlock{absi, t.label, t.params, false});
+        cont_map_[vi] = t;
+      } else {
+        proc_regs[i] = AllocReg();
+        TML_RETURN_NOT_OK(BindParam(vi, proc_regs[i]));
+      }
+    }
+    // Second pass: create closures, then patch captures (the knot).
+    for (size_t i = 1; i <= n; ++i) {
+      const Variable* vi = gen->param(i);
+      if (vi->is_cont()) continue;
+      const Abstraction* absi = Cast<Abstraction>(ybody->arg(i));
+      Function* sub = unit_->NewFunction();
+      sub->name = fn_->name + "." + std::string(m_.NameOf(*vi));
+      FnCompiler inner(unit_, m_, sub);
+      TML_RETURN_NOT_OK(inner.Compile(absi));
+      fn_->subfns.push_back(sub);
+      Emit({Op::kClosure, proc_regs[i], 0,
+            static_cast<uint16_t>(sub->cap_names.size()),
+            static_cast<int32_t>(fn_->subfns.size()) - 1, -1});
+    }
+    for (size_t i = 1; i <= n; ++i) {
+      const Variable* vi = gen->param(i);
+      if (vi->is_cont()) continue;
+      const Abstraction* absi = Cast<Abstraction>(ybody->arg(i));
+      auto frees = ir::FreeVariables(absi);
+      for (size_t k = 0; k < frees.size(); ++k) {
+        TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(frees[k]));
+        Emit({Op::kSetCap, proc_regs[i], static_cast<uint16_t>(k), r, 0, -1});
+      }
+    }
+    // c0 is in scope inside the recursive bodies: give it a block too.
+    const Abstraction* entry = DynCast<Abstraction>(ybody->arg(0));
+    if (entry == nullptr || entry->num_params() != 0) {
+      return Err("codegen: Y entry must be cont()");
+    }
+    ContTarget t0;
+    t0.kind = ContTarget::kBlock;
+    t0.label = NewLabel();
+    pending_.push_back(PendingBlock{entry, t0.label, {}, false});
+    cont_map_[gen->param(0)] = t0;
+    EmitJump({Op::kJmp, 0, 0, 0, 0, -1}, t0.label);
+    return Status::OK();
+  }
+
+  // (pushHandler h c)
+  Status PushHandler(const Application* app) {
+    if (app->num_args() != 2) return Err("codegen: pushHandler arity");
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(0)));
+    if (fail < 0) return Err("codegen: pushHandler needs a local handler");
+    Emit({Op::kPushH, 0, 0, 0, fail, -1});
+    TML_ASSIGN_OR_RETURN(ContTarget t, ContOf(app->arg(1)));
+    return ApplyCont(t, {});
+  }
+
+  // (popHandler c)
+  Status PopHandler(const Application* app) {
+    if (app->num_args() != 1) return Err("codegen: popHandler arity");
+    Emit({Op::kPopH, 0, 0, 0, 0, -1});
+    TML_ASSIGN_OR_RETURN(ContTarget t, ContOf(app->arg(0)));
+    return ApplyCont(t, {});
+  }
+
+  // (raise v)
+  Status RaiseOp(const Application* app) {
+    if (app->num_args() != 1) return Err("codegen: raise arity");
+    TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(app->arg(0)));
+    Emit({Op::kRaise, r, 0, 0, 0, -1});
+    return Status::OK();
+  }
+
+  // (ccall "name" a1..an ce cc)
+  Status CCallOp(const Application* app) {
+    if (app->num_args() < 3) return Err("codegen: ccall arity");
+    const Literal* name = DynCast<Literal>(app->arg(0));
+    if (name == nullptr || name->lit_kind() != LitKind::kString) {
+      return Err("codegen: ccall needs a literal name");
+    }
+    size_t n = app->num_args() - 3;
+    uint16_t base = next_reg_;
+    for (size_t i = 0; i < n; ++i) AllocReg();
+    for (size_t i = 0; i < n; ++i) {
+      TML_ASSIGN_OR_RETURN(uint16_t r, ValueReg(app->arg(1 + i)));
+      Emit({Op::kMove, static_cast<uint16_t>(base + i), r, 0, 0, -1});
+    }
+    TML_ASSIGN_OR_RETURN(int32_t fail,
+                         FailOf(app->arg(app->num_args() - 2)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(app->num_args() - 1)));
+    uint16_t name_idx =
+        PoolConst(Constant::Str(std::string(name->string_value())));
+    Emit({Op::kCCall, d.reg, base, name_idx, static_cast<int32_t>(n), fail});
+    return Complete(d);
+  }
+
+  // (select pred rel ce cc) / (project fn rel ce cc) / (exists pred rel ..)
+  Status Query2(Op op, const Application* app) {
+    if (app->num_args() != 4) return Err("codegen: query arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rp, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(uint16_t rr, ValueReg(app->arg(1)));
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(2)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(3)));
+    Emit({op, d.reg, rp, rr, 0, fail});
+    return Complete(d);
+  }
+
+  // (join pred r1 r2 ce cc)
+  Status JoinOp(const Application* app) {
+    if (app->num_args() != 5) return Err("codegen: join arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rp, ValueReg(app->arg(0)));
+    uint16_t base = next_reg_;
+    AllocReg();
+    AllocReg();
+    TML_ASSIGN_OR_RETURN(uint16_t r1, ValueReg(app->arg(1)));
+    Emit({Op::kMove, base, r1, 0, 0, -1});
+    TML_ASSIGN_OR_RETURN(uint16_t r2, ValueReg(app->arg(2)));
+    Emit({Op::kMove, static_cast<uint16_t>(base + 1), r2, 0, 0, -1});
+    TML_ASSIGN_OR_RETURN(int32_t fail, FailOf(app->arg(3)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(4)));
+    Emit({Op::kJoin, d.reg, rp, base, 0, fail});
+    return Complete(d);
+  }
+
+  // (empty rel c) / (card rel c)
+  Status QueryCard(Op op, const Application* app) {
+    if (app->num_args() != 2) return Err("codegen: card arity");
+    TML_ASSIGN_OR_RETURN(uint16_t rr, ValueReg(app->arg(0)));
+    TML_ASSIGN_OR_RETURN(Dest d, DestOf(app->arg(1)));
+    Emit({op, d.reg, rr, 0, 0, -1});
+    return Complete(d);
+  }
+
+  // ---- pending blocks ------------------------------------------------------
+
+  struct PendingBlock {
+    const Abstraction* abs;  // nullptr for stubs
+    int label;
+    std::vector<uint16_t> params;
+    bool ret_stub;
+  };
+
+  Status DrainPending() {
+    while (!pending_.empty()) {
+      PendingBlock blk = pending_.front();
+      pending_.pop_front();
+      Place(blk.label);
+      if (blk.ret_stub) {
+        Emit({Op::kRet, blk.params[0], 0, 0, 0, -1});
+        continue;
+      }
+      if (blk.abs->num_params() != blk.params.size()) {
+        return Err("codegen: block arity mismatch");
+      }
+      for (size_t i = 0; i < blk.params.size(); ++i) {
+        TML_RETURN_NOT_OK(BindParam(blk.abs->param(i), blk.params[i]));
+      }
+      TML_RETURN_NOT_OK(CompileApp(blk.abs->body()));
+    }
+    return Status::OK();
+  }
+
+  Status Err(const std::string& msg) const {
+    return Status::Invalid(msg + " (in " + fn_->name + ")");
+  }
+
+  CodeUnit* unit_;
+  const ir::Module& m_;
+  Function* fn_;
+  std::unordered_map<const Variable*, uint16_t> var_reg_;
+  std::unordered_map<const Variable*, ContTarget> cont_map_;
+  std::vector<int32_t> labels_;
+  std::vector<size_t> jump_fixups_;
+  std::vector<size_t> fail_fixups_;
+  std::deque<PendingBlock> pending_;
+  uint16_t next_reg_ = 0;
+};
+
+}  // namespace
+
+Result<Function*> CompileProc(CodeUnit* unit, const ir::Module& m,
+                              const ir::Abstraction* proc, std::string name) {
+  Function* fn = unit->NewFunction();
+  fn->name = std::move(name);
+  FnCompiler compiler(unit, m, fn);
+  TML_RETURN_NOT_OK(compiler.Compile(proc));
+  if (fn->num_regs >= UINT16_MAX - 1) {
+    return Status::Invalid("codegen: register file overflow in " + fn->name);
+  }
+  return fn;
+}
+
+}  // namespace tml::vm

@@ -1,0 +1,42 @@
+// TML -> TVM code generation.
+//
+// The §2.2 restriction that continuations are second class is what makes
+// this translation possible on a stack machine (the paper's stated reason
+// for the restriction):
+//
+//   - continuation abstractions compile to basic blocks with fixed
+//     parameter registers,
+//   - applying the caller's own cc compiles to RET, its own ce to RAISE,
+//   - a call whose normal continuation is the caller's own cc (and whose
+//     exception continuation is passed through) compiles to a tail call,
+//   - a call with a *local* exception continuation brackets the call with
+//     PUSHH/POPH (a handler-stack entry pointing at the handler block),
+//   - the Y fixpoint compiles continuation bindings to loop-header blocks
+//     (jumps with argument passing — Steele's "generalized goto") and
+//     procedure bindings to mutually recursive closures patched with
+//     SETCAP.
+//
+// Free variables of the compiled procedure become closure captures, loaded
+// into registers by a GETCAP prologue; their spellings are recorded as
+// Function::cap_names — the identifiers of the §4.1 R-value bindings.
+
+#ifndef TML_VM_CODEGEN_H_
+#define TML_VM_CODEGEN_H_
+
+#include <string>
+
+#include "core/module.h"
+#include "core/node.h"
+#include "support/status.h"
+#include "vm/code.h"
+
+namespace tml::vm {
+
+/// Compile a proc abstraction (free variables allowed — they become closure
+/// captures).  The returned Function is owned by `unit`.
+Result<Function*> CompileProc(CodeUnit* unit, const ir::Module& m,
+                              const ir::Abstraction* proc, std::string name);
+
+}  // namespace tml::vm
+
+#endif  // TML_VM_CODEGEN_H_

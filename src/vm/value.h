@@ -1,0 +1,185 @@
+// TVM runtime values and heap.
+//
+// Values are 16-byte tagged scalars; aggregates (arrays, byte arrays,
+// strings, closures) live on a mark-sweep heap owned by the VM.  Relations
+// (§4.2) are represented as immutable arrays of immutable tuple-arrays, so
+// the query primitives need no dedicated object kind; persistent relations
+// enter the VM as OIDs and are swizzled by the runtime environment.
+
+#ifndef TML_VM_VALUE_H_
+#define TML_VM_VALUE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "core/oid.h"
+#include "support/status.h"
+
+namespace tml::vm {
+
+class Function;
+struct Obj;
+
+enum class Tag : uint8_t {
+  kNil,
+  kBool,
+  kInt,
+  kChar,
+  kReal,
+  kOid,
+  kObj,
+};
+
+struct Value {
+  Tag tag = Tag::kNil;
+  union {
+    bool b;
+    int64_t i;
+    uint8_t ch;
+    double r;
+    Oid oid;
+    Obj* obj;
+  };
+
+  Value() : i(0) {}
+
+  static Value Nil() { return Value(); }
+  static Value Bool(bool v) {
+    Value x;
+    x.tag = Tag::kBool;
+    x.b = v;
+    return x;
+  }
+  static Value Int(int64_t v) {
+    Value x;
+    x.tag = Tag::kInt;
+    x.i = v;
+    return x;
+  }
+  static Value Char(uint8_t v) {
+    Value x;
+    x.tag = Tag::kChar;
+    x.ch = v;
+    return x;
+  }
+  static Value Real(double v) {
+    Value x;
+    x.tag = Tag::kReal;
+    x.r = v;
+    return x;
+  }
+  static Value OidV(Oid v) {
+    Value x;
+    x.tag = Tag::kOid;
+    x.oid = v;
+    return x;
+  }
+  static Value ObjV(Obj* o) {
+    Value x;
+    x.tag = Tag::kObj;
+    x.obj = o;
+    return x;
+  }
+
+  bool is_nil() const { return tag == Tag::kNil; }
+  bool is_int() const { return tag == Tag::kInt; }
+  bool is_real() const { return tag == Tag::kReal; }
+  bool is_bool() const { return tag == Tag::kBool; }
+  bool is_obj() const { return tag == Tag::kObj; }
+};
+
+enum class ObjKind : uint8_t { kArray, kBytes, kString, kClosure };
+
+struct Obj {
+  ObjKind kind;
+  bool marked = false;
+  explicit Obj(ObjKind k) : kind(k) {}
+  virtual ~Obj() = default;
+};
+
+struct ArrayObj final : Obj {
+  ArrayObj() : Obj(ObjKind::kArray) {}
+  std::vector<Value> slots;
+  bool immutable = false;
+};
+
+struct BytesObj final : Obj {
+  BytesObj() : Obj(ObjKind::kBytes) {}
+  std::vector<uint8_t> bytes;
+};
+
+struct StringObj final : Obj {
+  StringObj() : Obj(ObjKind::kString) {}
+  std::string str;
+};
+
+struct ClosureObj final : Obj {
+  ClosureObj() : Obj(ObjKind::kClosure) {}
+  const Function* fn = nullptr;
+  std::vector<Value> caps;
+};
+
+template <typename T>
+T* As(const Value& v) {
+  if (!v.is_obj()) return nullptr;
+  return dynamic_cast<T*>(v.obj);
+}
+
+/// Mark-sweep heap.  Collection runs when allocated object count crosses a
+/// growing threshold; the VM supplies roots (frames, handler values,
+/// swizzle table) via the GC visitor in vm.cc.
+class Heap {
+ public:
+  template <typename T>
+  T* New() {
+    auto owned = std::make_unique<T>();
+    T* ptr = owned.get();
+    objects_.push_back(std::move(owned));
+    return ptr;
+  }
+
+  size_t num_objects() const { return objects_.size(); }
+  size_t gc_threshold() const { return gc_threshold_; }
+  bool ShouldCollect() const { return objects_.size() >= gc_threshold_; }
+
+  /// Sweep unmarked objects; callers must have marked all roots.
+  void Sweep() {
+    size_t w = 0;
+    for (size_t i = 0; i < objects_.size(); ++i) {
+      if (objects_[i]->marked) {
+        objects_[i]->marked = false;
+        objects_[w++] = std::move(objects_[i]);
+      }
+    }
+    objects_.resize(w);
+    gc_threshold_ = std::max<size_t>(kMinThreshold, objects_.size() * 2);
+  }
+
+  /// Recursively mark an object graph.
+  static void Mark(const Value& v) {
+    if (!v.is_obj() || v.obj->marked) return;
+    v.obj->marked = true;
+    if (v.obj->kind == ObjKind::kArray) {
+      for (const Value& s : static_cast<ArrayObj*>(v.obj)->slots) Mark(s);
+    } else if (v.obj->kind == ObjKind::kClosure) {
+      for (const Value& s : static_cast<ClosureObj*>(v.obj)->caps) Mark(s);
+    }
+  }
+
+ private:
+  static constexpr size_t kMinThreshold = 4096;
+  std::vector<std::unique_ptr<Obj>> objects_;
+  size_t gc_threshold_ = kMinThreshold;
+};
+
+/// Render a value for tests and the "print" host function.
+std::string ToString(const Value& v);
+
+/// Structural scalar equality (the `==` identity test on literals).
+bool ScalarEquals(const Value& a, const Value& b);
+
+}  // namespace tml::vm
+
+#endif  // TML_VM_VALUE_H_

@@ -1,0 +1,133 @@
+// The TVM interpreter.
+//
+// A register machine executing vm::Function bytecode.  Frames form a stack;
+// exception handlers form a parallel stack of (frame, fail-info) pairs;
+// RAISE unwinds frames to the nearest handler (or to the run boundary).
+// OID-valued callees and relations are swizzled on demand through the
+// RuntimeEnv, which is how "dynamically bound libraries" (§6) and persistent
+// relations (§4.2) enter a running program.
+//
+// The query instructions (select/project/join/exists) re-enter the
+// interpreter to evaluate TML predicate closures over each tuple — the
+// integrated query/program execution of §4.2.
+
+#ifndef TML_VM_VM_H_
+#define TML_VM_VM_H_
+
+#include <functional>
+#include <span>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "support/status.h"
+#include "vm/code.h"
+#include "vm/value.h"
+
+namespace tml::vm {
+
+class VM;
+
+/// Bridge to the runtime system: OID swizzling.
+class RuntimeEnv {
+ public:
+  virtual ~RuntimeEnv() = default;
+  /// Resolve an OID to a runtime value (closure, relation array, ...).
+  /// Returned heap values must be pinned by the implementation (VM::Pin)
+  /// or re-created on each call.
+  virtual Result<Value> ResolveOid(Oid oid, VM* vm) = 0;
+};
+
+/// A host function callable via the `ccall` primitive.
+using HostFn =
+    std::function<Result<Value>(VM* vm, std::span<const Value> args)>;
+
+struct VMOptions {
+  uint64_t max_steps = 4'000'000'000ull;
+};
+
+struct RunResult {
+  Value value;
+  bool raised = false;
+  uint64_t steps = 0;  ///< instructions executed (the E1 cost proxy)
+};
+
+class VM {
+ public:
+  explicit VM(RuntimeEnv* env = nullptr, VMOptions opts = {});
+
+  Heap* heap() { return &heap_; }
+
+  /// Register a `ccall` host function (\"print\" is pre-registered).
+  void RegisterHost(const std::string& name, HostFn fn);
+
+  /// Make a closure for a function with no captures.
+  Value MakeClosure(const Function* fn);
+
+  /// Run a closure (or bare function) to completion.
+  Result<RunResult> Run(const Function* fn, std::span<const Value> args);
+  Result<RunResult> RunClosure(Value closure, std::span<const Value> args);
+
+  /// Synchronous nested call used by the query instructions; `raised`
+  /// reports a TML-level exception escaping the callee.
+  struct CallOut {
+    Value value;
+    bool raised = false;
+  };
+  Result<CallOut> CallSync(Value callee, std::span<const Value> args);
+
+  /// Pin a value as a permanent GC root (swizzled module closures).
+  void Pin(Value v) { pins_.push_back(v); }
+
+  /// Text written by the \"print\" host function; cleared by TakeOutput.
+  std::string TakeOutput() { return std::move(output_); }
+  std::string* mutable_output() { return &output_; }
+
+  uint64_t total_steps() const { return total_steps_; }
+
+ private:
+  struct Frame {
+    const ClosureObj* clo = nullptr;
+    uint32_t pc = 0;
+    uint16_t dst_reg = 0;     // caller register receiving RET value
+    bool ret_through = false;  // demoted tail call: propagate RET upward
+    std::vector<Value> regs;
+  };
+  struct Handler {
+    size_t frame_index;
+    int32_t fail_idx;
+  };
+
+  Status PushFrame(Value callee, std::span<const Value> args,
+                   uint16_t dst_reg, bool ret_through);
+  Result<Value> ResolveCallee(Value callee);
+
+  /// Run until the frame stack drops back to `base`; out-params tell raise
+  /// from return.
+  Result<Value> Execute(size_t base, bool* raised);
+
+  /// Route a fault: local fail-info, else unwind (bounded by `base`).
+  /// Returns false when the fault escapes the run boundary.
+  bool Fault(const Instr& in, Value exn, size_t base, Value* escaped);
+  bool Unwind(Value exn, size_t base, Value* escaped);
+
+  void MaybeCollect();
+  void CollectGarbage();
+
+  Value StringValue(const char* msg);
+
+  RuntimeEnv* env_;
+  VMOptions opts_;
+  Heap heap_;
+  std::vector<Frame> frames_;
+  std::vector<Handler> handlers_;
+  std::vector<Value> pins_;
+  std::unordered_map<std::string, HostFn> hosts_;
+  std::unordered_map<Oid, Value> swizzle_cache_;
+  std::string output_;
+  uint64_t total_steps_ = 0;
+};
+
+}  // namespace tml::vm
+
+#endif  // TML_VM_VM_H_

@@ -1,0 +1,139 @@
+// Expansion pass (§3): inlining decisions, cost model, penalty behaviour.
+
+#include <gtest/gtest.h>
+
+#include "core/expand.h"
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::ExpandOptions;
+using ir::ExpandStats;
+using ir::Module;
+using test::MustParseProgram;
+
+// f called twice with a small body: both sites inline.
+const char* kTwoSites =
+    "(proc (x ce cc)"
+    " ((lambda (f)"
+    "    (f x ce (cont (t1) (f t1 ce cc))))"
+    "  (proc (a ce2 cc2) (+ a 1 ce2 cc2))))";
+
+TEST(Expand, SmallBodiesAlwaysInline) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kTwoSites);
+  ExpandStats stats;
+  const Abstraction* out = ir::Expand(&m, prog, {}, 0, &stats);
+  EXPECT_EQ(stats.inlined, 2u);
+  EXPECT_NE(out, prog);
+  EXPECT_OK(ir::Validate(m, out));
+}
+
+TEST(Expand, PenaltyShrinksBudget) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kTwoSites);
+  ExpandOptions opts;
+  opts.always_inline_cost = 0;
+  opts.budget = 4;
+  opts.savings_per_static_arg = 0;
+  // body cost ~2-4; with a huge penalty nothing may inline.
+  ExpandStats stats;
+  const Abstraction* out = ir::Expand(&m, prog, opts, /*penalty=*/1000,
+                                      &stats);
+  EXPECT_EQ(stats.inlined, 0u);
+  EXPECT_EQ(out, prog);
+  EXPECT_GT(stats.rejected_cost, 0u);
+}
+
+TEST(Expand, StaticArgumentsEarnSavings) {
+  // A call with literal arguments gets extra budget (Appel's heuristic:
+  // known arguments enable downstream folding).
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " ((lambda (f)"
+      "    (f 3 ce (cont (t1) (f t1 ce cc))))"
+      "  (proc (a ce2 cc2)"
+      "    (* a a ce2 (cont (u) (+ u a ce2 (cont (v) (* v 2 ce2 cc2))))))))");
+  ExpandOptions opts;
+  opts.always_inline_cost = 0;
+  opts.budget = 2;  // too small on its own
+  opts.savings_per_static_arg = 16;
+  ExpandStats stats;
+  (void)ir::Expand(&m, prog, opts, 0, &stats);
+  // The literal-argument site inlines; the variable-argument site may not.
+  EXPECT_GE(stats.inlined, 1u);
+  EXPECT_GE(stats.rejected_cost, 1u);
+}
+
+TEST(Expand, InlinedCopyIsAlphaRenamed) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kTwoSites);
+  const Abstraction* out = ir::Expand(&m, prog, {}, 0);
+  // Unique binding must survive double inlining of the same body.
+  EXPECT_OK(ir::Validate(m, out));
+  // And a subsequent reduction collapses everything.
+  const Abstraction* red = ir::Reduce(&m, out);
+  EXPECT_OK(ir::Validate(m, red));
+}
+
+TEST(Expand, RecursiveInliningIsBoundedByDriver) {
+  // Self-recursive function with unknown bound: the driver's penalty stops
+  // runaway unrolling while keeping the term valid and executable.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 f ^c)"
+      "      (c (cont () (f n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (<= i 0 (cont () (cc1 0))"
+      "                   (cont () (- i 1 ce1 (cont (t) (f t ce1 cc1))))))))))");
+  ir::OptimizerOptions opts;
+  opts.expand.always_inline_cost = 100;
+  opts.max_rounds = 50;  // far beyond the penalty limit
+  ir::OptimizerStats stats;
+  const Abstraction* out = ir::Optimize(&m, prog, opts, &stats);
+  EXPECT_OK(ir::Validate(m, out));
+  EXPECT_LT(stats.rounds, 50);  // stopped by penalty, not round budget
+}
+
+TEST(Expand, CostEstimateUsesPrimCosts) {
+  Module m;
+  // A division (cost 4) must estimate above an addition (cost 1).
+  const Abstraction* add =
+      MustParseProgram(&m, "(proc (a b ce cc) (+ a b ce cc))");
+  const Abstraction* div =
+      MustParseProgram(&m, "(proc (a b ce cc) (/ a b ce cc))");
+  EXPECT_LT(ir::EstimateAbsCost(add), ir::EstimateAbsCost(div));
+}
+
+TEST(Expand, OptimizeResultIsReductionFixpoint) {
+  // Even when rounds are exhausted mid-expansion, the driver cleans up.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 f ^c)"
+      "      (c (cont () (f n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (<= i 0 (cont () (cc1 0))"
+      "                   (cont () (- i 1 ce1 (cont (t) (f t ce1 cc1))))))))))");
+  ir::OptimizerOptions opts;
+  opts.expand.always_inline_cost = 100;
+  opts.max_rounds = 2;  // stop while expansion still wants to go
+  const Abstraction* out = ir::Optimize(&m, prog, opts);
+  ir::RewriteStats stats;
+  (void)ir::Reduce(&m, out, {}, &stats);
+  EXPECT_EQ(stats.TotalApplications(), 0u) << stats.ToString();
+}
+
+}  // namespace
+}  // namespace tml

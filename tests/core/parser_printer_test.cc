@@ -1,0 +1,234 @@
+// Parser / pretty-printer round trips over the paper's notation (§2.2).
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/module.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Cast;
+using ir::DynCast;
+using ir::Isa;
+using ir::LitKind;
+using ir::Literal;
+using ir::Module;
+using test::Compact;
+using test::MustParseApp;
+using test::MustParseProgram;
+
+TEST(Parser, LiteralKinds) {
+  Module m;
+  const Application* app =
+      MustParseApp(&m, "(k 13 -5 'a' 3.25 true false nil \"hi\")", true);
+  ASSERT_NE(app, nullptr);
+  ASSERT_EQ(app->num_args(), 8u);
+  EXPECT_EQ(Cast<Literal>(app->arg(0))->int_value(), 13);
+  EXPECT_EQ(Cast<Literal>(app->arg(1))->int_value(), -5);
+  EXPECT_EQ(Cast<Literal>(app->arg(2))->char_value(), 'a');
+  EXPECT_DOUBLE_EQ(Cast<Literal>(app->arg(3))->real_value(), 3.25);
+  EXPECT_TRUE(Cast<Literal>(app->arg(4))->bool_value());
+  EXPECT_FALSE(Cast<Literal>(app->arg(5))->bool_value());
+  EXPECT_EQ(Cast<Literal>(app->arg(6))->lit_kind(), LitKind::kNil);
+  EXPECT_EQ(Cast<Literal>(app->arg(7))->string_value(), "hi");
+}
+
+TEST(Parser, OidLiteral) {
+  Module m;
+  const Application* app = MustParseApp(&m, "(k <oid 0x005b4780>)", true);
+  ASSERT_NE(app, nullptr);
+  const ir::OidRef* oid = DynCast<ir::OidRef>(app->arg(0));
+  ASSERT_NE(oid, nullptr);
+  EXPECT_EQ(oid->oid(), 0x005b4780u);
+}
+
+TEST(Parser, PaperExampleBindingLiterals) {
+  // Paper §2.2: (λ(i ch oid) app 13 'a' <oid ..>).
+  Module m;
+  const Application* app = MustParseApp(
+      &m, "((lambda (i ch oid) (k i ch oid)) 13 'a' <oid 0x005b4780>)",
+      true);
+  ASSERT_NE(app, nullptr);
+  const Abstraction* abs = DynCast<Abstraction>(app->callee());
+  ASSERT_NE(abs, nullptr);
+  EXPECT_EQ(abs->num_params(), 3u);
+  EXPECT_TRUE(abs->is_cont());
+  EXPECT_EQ(app->num_args(), 3u);
+}
+
+TEST(Parser, PaperExampleHigherOrder) {
+  // Paper §2.2: (λ(fn) (fn 13) λ(t)app).
+  Module m;
+  const Application* app =
+      MustParseApp(&m, "((lambda (fn) (fn 13)) (lambda (t) (k t)))", true);
+  ASSERT_NE(app, nullptr);
+  const Abstraction* outer = DynCast<Abstraction>(app->callee());
+  ASSERT_NE(outer, nullptr);
+  EXPECT_TRUE(Isa<Abstraction>(app->arg(0)));
+}
+
+TEST(Parser, ProcDefaultsLastTwoParamsToConts) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (a b ce cc) (cc a))");
+  ASSERT_NE(prog, nullptr);
+  EXPECT_EQ(prog->num_params(), 4u);
+  EXPECT_EQ(prog->num_cont_params(), 2u);
+  EXPECT_FALSE(prog->param(0)->is_cont());
+  EXPECT_FALSE(prog->param(1)->is_cont());
+  EXPECT_TRUE(prog->param(2)->is_cont());
+  EXPECT_TRUE(prog->param(3)->is_cont());
+}
+
+TEST(Parser, ExplicitSlashSplitsSorts) {
+  Module m;
+  const auto res = ir::ParseValueText(&m, prims::StandardRegistry(),
+                                      "(proc (/ c0 for c) (c0))");
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  const Abstraction* abs = Cast<Abstraction>(res->value);
+  EXPECT_EQ(abs->num_cont_params(), 3u);
+}
+
+TEST(Parser, ResolvesPrimitiveNames) {
+  Module m;
+  const Application* app = MustParseApp(&m, "(+ 1 2 ce cc)", true);
+  ASSERT_NE(app, nullptr);
+  const ir::PrimRef* pr = DynCast<ir::PrimRef>(app->callee());
+  ASSERT_NE(pr, nullptr);
+  EXPECT_EQ(pr->prim().name(), "+");
+}
+
+TEST(Parser, BoundVariableShadowsPrimitive) {
+  Module m;
+  // A parameter named `+` must win over the primitive.
+  const Abstraction* prog = MustParseProgram(&m, "(proc (+ ce cc) (cc +))");
+  ASSERT_NE(prog, nullptr);
+  const Application* body = prog->body();
+  EXPECT_TRUE(Isa<ir::Variable>(body->arg(0)));
+}
+
+TEST(Parser, RejectsUnboundWithoutFreeVarOption) {
+  Module m;
+  auto res = ir::ParseAppText(&m, prims::StandardRegistry(), "(k 1)");
+  EXPECT_FALSE(res.ok());
+  EXPECT_EQ(res.status().code(), StatusCode::kNotFound);
+}
+
+TEST(Parser, CollectsFreeVariablesInOrder) {
+  Module m;
+  ir::ParseOptions opts;
+  opts.allow_free_vars = true;
+  auto res = ir::ParseAppText(&m, prims::StandardRegistry(),
+                              "(f x (cont (t) (g t x)))", opts);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_EQ(res->free_vars.size(), 3u);
+  EXPECT_EQ(m.NameOf(*res->free_vars[0]), "f");
+  EXPECT_EQ(m.NameOf(*res->free_vars[1]), "x");
+  EXPECT_EQ(m.NameOf(*res->free_vars[2]), "g");
+}
+
+TEST(Parser, RejectsNestedApplication) {
+  Module m;
+  ir::ParseOptions opts;
+  opts.allow_free_vars = true;
+  auto res =
+      ir::ParseAppText(&m, prims::StandardRegistry(), "(f (g 1))", opts);
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(Parser, RejectsEmptyApplication) {
+  Module m;
+  auto res = ir::ParseAppText(&m, prims::StandardRegistry(), "()");
+  EXPECT_FALSE(res.ok());
+}
+
+TEST(Parser, CommentsAreSkipped) {
+  Module m;
+  const Application* app = MustParseApp(
+      &m, "; loop entry\n(k 1 ; inline comment\n 2)", true);
+  ASSERT_NE(app, nullptr);
+  EXPECT_EQ(app->num_args(), 2u);
+}
+
+TEST(Printer, ContVersusProcKeyword) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) ((cont (t) (cc t)) x))");
+  ASSERT_NE(prog, nullptr);
+  std::string s = ir::PrintValue(m, prog);
+  EXPECT_NE(s.find("proc("), std::string::npos);
+  EXPECT_NE(s.find("cont("), std::string::npos);
+}
+
+TEST(Printer, RoundTripPreservesStructure) {
+  Module m;
+  const char* kText =
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 for c)"
+      "      (c (cont () (for 1))"
+      "         (cont (i)"
+      "           (> i n"
+      "              (cont () (cc i))"
+      "              (cont () (+ i 1 ce (cont (t2) (for t2))))))))))";
+  const Abstraction* prog = MustParseProgram(&m, kText);
+  ASSERT_NE(prog, nullptr);
+  // Print with uid suffixes, re-parse (suffixed names are fresh idents),
+  // and require α-equivalence with the original.
+  std::string printed = ir::PrintValue(m, prog);
+  Module m2;
+  auto res = ir::ParseValueText(&m2, prims::StandardRegistry(), printed);
+  ASSERT_TRUE(res.ok()) << res.status().ToString() << "\n" << printed;
+  EXPECT_TRUE(ir::AlphaEquivalent(m, prog, m2, res->value))
+      << printed << "\nvs\n" << ir::PrintValue(m2, res->value);
+}
+
+TEST(Printer, OidPrintsInPaperNotation) {
+  Module m;
+  std::string s = ir::PrintValue(m, m.OidVal(0x5b4780));
+  EXPECT_EQ(s, "<oid 0x005b4780>");
+}
+
+TEST(ModuleFactory, AlphaCloneCreatesFreshBinders) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) (+ x 1 ce cc))");
+  ASSERT_NE(prog, nullptr);
+  const Abstraction* clone = m.AlphaClone(*prog);
+  EXPECT_NE(clone->param(0), prog->param(0));
+  EXPECT_EQ(m.NameOf(*clone->param(0)), m.NameOf(*prog->param(0)));
+  EXPECT_EQ(test::Compact(m, clone), test::Compact(m, prog));
+}
+
+TEST(ModuleFactory, AlphaCloneSharesFreeVariables) {
+  Module m;
+  ir::ParseOptions opts;
+  opts.allow_free_vars = true;
+  auto res = ir::ParseValueText(&m, prims::StandardRegistry(),
+                                "(proc (x ce cc) (g x ce cc))", opts);
+  ASSERT_TRUE(res.ok());
+  const Abstraction* abs = Cast<Abstraction>(res->value);
+  const Abstraction* clone = m.AlphaClone(*abs);
+  auto free_orig = ir::FreeVariables(abs);
+  auto free_clone = ir::FreeVariables(clone);
+  ASSERT_EQ(free_orig.size(), 1u);
+  ASSERT_EQ(free_clone.size(), 1u);
+  EXPECT_EQ(free_orig[0], free_clone[0]);  // shared, not renamed
+}
+
+TEST(ModuleFactory, TermSizeCountsPositions) {
+  Module m;
+  const Application* app = MustParseApp(&m, "(k 1 2)", true);
+  // app + callee + two literals.
+  EXPECT_EQ(ir::TermSize(app), 4u);
+}
+
+}  // namespace
+}  // namespace tml

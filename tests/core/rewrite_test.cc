@@ -1,0 +1,370 @@
+// Tests for the §3 reduction rules, each exercised in isolation and in
+// combination, including the paper's worked examples.
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/module.h"
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Application;
+using ir::Module;
+using ir::Reduce;
+using ir::ReduceApp;
+using ir::RewriteOptions;
+using ir::RewriteStats;
+using test::Compact;
+using test::MustParseProgram;
+
+// Reduce a program and validate the result.
+const Abstraction* ReduceOk(Module* m, const Abstraction* prog,
+                            RewriteStats* stats = nullptr,
+                            RewriteOptions opts = {}) {
+  const Abstraction* out = Reduce(m, prog, opts, stats);
+  Status st = ir::Validate(*m, out);
+  EXPECT_TRUE(st.ok()) << st.ToString() << "\n" << ir::PrintValue(*m, out);
+  return out;
+}
+
+TEST(Fold, PaperExampleAddFolds) {
+  // (+ 1 2 ce cc) --fold--> (cc 3)   [paper §2.3 / §3]
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (ce cc) (+ 1 2 ce cc))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 3)");
+  EXPECT_EQ(stats.fold, 1u);
+}
+
+TEST(Fold, CaseOnLiteralScrutineeTakesMatchingBranch) {
+  // (== 2 1 2 3 c1 c2 c3) --fold--> (c2)   [paper §3 example]
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (/ c1 c2 c3) (== 2 1 2 3 c1 c2 c3))"
+      "  (cont () (cc 10)) (cont () (cc 20)) (cont () (cc 30))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 20)");
+}
+
+TEST(Fold, CaseFallsToElseBranch) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (/ c1 celse) (== 9 1 c1 celse))"
+      "  (cont () (cc 10)) (cont () (cc 99))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 99)");
+}
+
+TEST(Fold, DivisionByZeroLiteralIsNotFolded) {
+  // (/ 1 0 ce cc) must keep its exception path.
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, "(proc (ce cc) (/ 1 0 ce cc))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(stats.fold, 0u);
+  EXPECT_EQ(Compact(m, out->body()), "(/ 1 0 ce cc)");
+}
+
+TEST(Fold, ComparisonBranchesStatically) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " (< 1 2 (cont () (cc 111)) (cont () (cc 222))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 111)");
+}
+
+TEST(Fold, ReflexiveComparisonOnSameVariable) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " (<= x x (cont () (cc 1)) (cont () (cc 0))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 1)");
+}
+
+TEST(Fold, AlgebraicIdentityAddZero) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) (+ x 0 ce cc))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+}
+
+TEST(Fold, ConstantChainsPropagate) {
+  // Constant folding cascades through continuation bindings.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " (+ 1 2 ce (cont (a)"
+      "   (* a 4 ce (cont (b)"
+      "     (- b 2 ce cc))))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 10)");
+}
+
+TEST(Subst, CopyPropagationThroughBinding) {
+  // ((λ(t) (cc t)) x) reduces to (cc x) — via η on the callee or via
+  // subst/remove/reduce; either route is a legal derivation.
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) ((lambda (t) (cc t)) x))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+  EXPECT_GE(stats.TotalApplications(), 1u);
+}
+
+TEST(Subst, CopyPropagationWithoutEta) {
+  // With η disabled the derivation must go subst -> remove -> reduce.
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) ((lambda (t) (cc t)) x))");
+  RewriteStats stats;
+  RewriteOptions opts;
+  opts.enable_eta = false;
+  const Abstraction* out = ReduceOk(&m, prog, &stats, opts);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+  EXPECT_EQ(stats.subst, 1u);
+  EXPECT_EQ(stats.remove, 1u);
+  EXPECT_EQ(stats.reduce, 1u);
+}
+
+TEST(Subst, AbstractionUsedOnceIsInlined) {
+  // A once-referenced proc is substituted and β-reduced away.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (f) (f x ce cc))"
+      "  (proc (a ce2 cc2) (+ a 1 ce2 cc2))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(+ x 1 ce cc)");
+}
+
+TEST(Subst, AbstractionUsedTwiceIsNotSubstituted) {
+  // |app|_f = 2: the subst precondition forbids duplication.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (f) (f x ce (cont (t) (f t ce cc))))"
+      "  (proc (a ce2 cc2) (+ a 1 ce2 cc2))))");
+  RewriteStats stats;
+  RewriteOptions opts;
+  const Abstraction* out = ReduceOk(&m, prog, &stats, opts);
+  EXPECT_EQ(stats.subst, 0u);
+  // The binding must still be present.
+  const Application* body = out->body();
+  EXPECT_TRUE(ir::Isa<Abstraction>(body->callee()));
+}
+
+TEST(Remove, DeadBindingIsStruck) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (unused t) (cc t)) 42 x))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+  EXPECT_GE(stats.remove, 2u);  // `unused` and `t` (after subst)
+}
+
+TEST(Remove, DeadAbstractionValueIsStruck) {
+  // Dead code elimination of an entire unused procedure.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (dead) (cc x))"
+      "  (proc (a ce2 cc2) (* a a ce2 cc2))))");
+  const Abstraction* out = ReduceOk(&m, prog);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+}
+
+TEST(Eta, UnnecessaryAbstractionIsRemoved) {
+  // λ(t)(cc t) --η--> cc
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " (+ x 1 ce (cont (t) (cc t))))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(Compact(m, out->body()), "(+ x 1 ce cc)");
+  EXPECT_EQ(stats.eta, 1u);
+}
+
+TEST(Eta, DoesNotFireWhenArgOrderDiffers) {
+  // λ(a b)(k b a) is not an η-redex.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (k2 x y ce cc)"
+      " ((lambda (/ k) (k x y)) (cont (a b) (cc b))))");
+  RewriteStats stats;
+  ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(stats.eta, 0u);
+}
+
+TEST(CaseSubst, BranchSeesTagValue) {
+  // In the branch for tag 5, occurrences of the scrutinee variable are
+  // replaced by 5, enabling a downstream fold.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (v ce cc)"
+      " (== v 5"
+      "     (cont () (+ v 1 ce cc))"
+      "     (cont () (cc 0))))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_GE(stats.case_subst, 1u);
+  EXPECT_GE(stats.fold, 1u);  // (+ 5 1 ..) folded inside the branch
+  EXPECT_NE(Compact(m, out->body()).find("(cc 6)"), std::string::npos);
+}
+
+TEST(YRules, DeadRecursiveBindingIsRemoved) {
+  // A recursive function referenced only by itself is struck (Y-remove),
+  // after which the empty fixpoint collapses (Y-reduce).
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (cc x))"
+      "         (cont (i) (loop i))))))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(stats.y_remove, 1u);
+  EXPECT_EQ(stats.y_reduce, 1u);
+  EXPECT_EQ(Compact(m, out->body()), "(cc x)");
+}
+
+TEST(YRules, LiveLoopIsPreserved) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 for c)"
+      "      (c (cont () (for 1))"
+      "         (cont (i)"
+      "           (> i n"
+      "              (cont () (cc i))"
+      "              (cont () (+ i 1 ce (cont (t2) (for t2))))))))))");
+  RewriteStats stats;
+  const Abstraction* out = ReduceOk(&m, prog, &stats);
+  EXPECT_EQ(stats.y_remove, 0u);
+  EXPECT_EQ(stats.y_reduce, 0u);
+  EXPECT_NE(Compact(m, out->body()).find("Y"), std::string::npos);
+}
+
+TEST(Reduction, TerminatesAndShrinksMonotonically) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " ((lambda (a) ((lambda (b) ((lambda (d) (+ a d ce cc)) b)) a)) 7))");
+  size_t before = ir::TermSize(prog->body());
+  const Abstraction* out = ReduceOk(&m, prog);
+  size_t after = ir::TermSize(out->body());
+  EXPECT_LT(after, before);
+  EXPECT_EQ(Compact(m, out->body()), "(cc 14)");
+}
+
+TEST(Reduction, DisabledRulesDoNotFire) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (ce cc) (+ 1 2 ce cc))");
+  RewriteOptions opts;
+  opts.enable_fold = false;
+  RewriteStats stats;
+  const Abstraction* out = Reduce(&m, prog, opts, &stats);
+  EXPECT_EQ(stats.fold, 0u);
+  EXPECT_EQ(Compact(m, out->body()), "(+ 1 2 ce cc)");
+}
+
+TEST(Optimizer, ExpansionInlinesMultiplyReferencedProc) {
+  // f is called twice; the reduction pass must keep it, the expansion pass
+  // inlines both sites (procedure inlining / view expansion), and folding
+  // then collapses everything to a constant.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " ((lambda (f)"
+      "    (f 1 ce (cont (t1)"
+      "      (f t1 ce (cont (t2) (cc t2))))))"
+      "  (proc (a ce2 cc2) (+ a 10 ce2 cc2))))");
+  ir::OptimizerStats stats;
+  const Abstraction* out = ir::Optimize(&m, prog, {}, &stats);
+  EXPECT_OK(ir::Validate(m, out));
+  EXPECT_EQ(Compact(m, out->body()), "(cc 21)");
+  EXPECT_GE(stats.expand.inlined, 1u);
+}
+
+TEST(Optimizer, LoopUnrollingThroughYExpansion) {
+  // A counted loop with constant bounds fully evaluates at compile time —
+  // loop unrolling as a special case of the general rules (§3).
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " (Y (proc (/ c0 for c)"
+      "      (c (cont () (for 1 0))"
+      "         (cont (i acc)"
+      "           (> i 3"
+      "              (cont () (cc acc))"
+      "              (cont ()"
+      "                (+ acc i ce (cont (a2)"
+      "                  (+ i 1 ce (cont (t2) (for t2 a2))))))))))))");
+  ir::OptimizerOptions opts;
+  opts.expand.budget = 64;
+  opts.expand.always_inline_cost = 100;
+  opts.penalty_limit = 512;
+  opts.max_rounds = 32;
+  const Abstraction* out = ir::Optimize(&m, prog, opts);
+  EXPECT_OK(ir::Validate(m, out));
+  // 0+1+2+3 = 6.
+  EXPECT_EQ(Compact(m, out->body()), "(cc 6)");
+}
+
+TEST(Optimizer, PenaltyBoundsRecursiveInlining) {
+  // An unbounded recursion must not make the optimizer diverge: the
+  // accumulated penalty (§3) stops expansion.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (loop n))"
+      "         (cont (i)"
+      "           (> i 0"
+      "              (cont () (- i 1 ce (cont (t) (loop t))))"
+      "              (cont () (cc i))))))))");
+  ir::OptimizerOptions opts;
+  opts.expand.budget = 128;
+  opts.expand.always_inline_cost = 64;
+  const Abstraction* out = ir::Optimize(&m, prog, opts);
+  EXPECT_OK(ir::Validate(m, out));  // terminated and still well-formed
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,153 @@
+// Well-formedness constraints 1–5 of §2.2.
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "core/validate.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using ir::Validate;
+using test::MustParseProgram;
+
+Status ValidateText(const char* text) {
+  Module m;
+  auto res = ir::ParseValueText(&m, prims::StandardRegistry(), text);
+  if (!res.ok()) return res.status();
+  return Validate(m, ir::Cast<Abstraction>(res->value));
+}
+
+TEST(Validate, AcceptsWellFormedProgram) {
+  EXPECT_OK(ValidateText("(proc (x ce cc) (+ x 1 ce cc))"));
+}
+
+TEST(Validate, Constraint1ArityMismatch) {
+  Status st = ValidateText("(proc (x ce cc) ((lambda (a b) (cc a)) x))");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("arity"), std::string::npos);
+}
+
+TEST(Validate, Constraint2PrimitiveConvention) {
+  // '+' requires 2 values + 2 continuations.
+  Status st = ValidateText("(proc (x ce cc) (+ x ce cc))");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Validate, Constraint2PrimitiveContPosition) {
+  // A literal where '+' expects a continuation.
+  Status st = ValidateText("(proc (x ce cc) (+ x 1 2 cc))");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Validate, Constraint3ContinuationMayNotEscape) {
+  // cc passed in a value position of a proc call.
+  Status st =
+      ValidateText("(proc (f x ce cc) (f cc ce cc))");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("escape"), std::string::npos);
+}
+
+TEST(Validate, Constraint3ContAbstractionInValuePosition) {
+  Status st = ValidateText(
+      "(proc (f x ce cc) (f (cont (t) (cc t)) ce cc))");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Validate, Constraint4UniqueBinding) {
+  // Construct λ(x)(λ(x)app val) manually — the same Variable object bound
+  // twice (the paper's forbidden example).
+  Module m;
+  ir::Variable* x = m.NewValueVar("x");
+  ir::Variable* ce = m.NewContVar("ce");
+  ir::Variable* cc = m.NewContVar("cc");
+  const ir::Application* inner_app = m.App(cc, {x});
+  const ir::Abstraction* inner = m.Abs({x}, inner_app);
+  const ir::Application* outer_app = m.App(inner, {m.IntLit(1)});
+  const ir::Abstraction* outer = m.Abs({x, ce, cc}, outer_app);
+  Status st = Validate(m, outer);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unique-binding"), std::string::npos);
+}
+
+TEST(Validate, Constraint4OccurrenceOutsideScope) {
+  Module m;
+  ir::Variable* x = m.NewValueVar("x");
+  ir::Variable* ce = m.NewContVar("ce");
+  ir::Variable* cc = m.NewContVar("cc");
+  // x occurs but is never bound.
+  const ir::Abstraction* prog = m.Abs({ce, cc}, m.App(cc, {x}));
+  Status st = Validate(m, prog);
+  EXPECT_FALSE(st.ok());
+  // ... unless declared free (the §4.1 runtime-binding scenario).
+  const ir::Variable* free[] = {x};
+  ir::ValidateOptions opts;
+  opts.free = free;
+  EXPECT_OK(Validate(m, prog, opts));
+}
+
+TEST(Validate, Constraint5ProcShape) {
+  // An abstraction used as a value with only one continuation parameter.
+  Module m;
+  ir::Variable* f = m.NewValueVar("f");
+  ir::Variable* ce = m.NewContVar("ce");
+  ir::Variable* cc = m.NewContVar("cc");
+  ir::Variable* a = m.NewValueVar("a");
+  ir::Variable* k = m.NewContVar("k");
+  const ir::Abstraction* bad = m.Abs({a, k}, m.App(k, {a}));
+  const ir::Abstraction* prog =
+      m.Abs({f, ce, cc}, m.App(f, {bad, ce, cc}));
+  Status st = Validate(m, prog);
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("two trailing"), std::string::npos);
+}
+
+TEST(Validate, AcceptsYLoop) {
+  EXPECT_OK(ValidateText(
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 for c)"
+      "      (c (cont () (for 1))"
+      "         (cont (i)"
+      "           (> i n"
+      "              (cont () (cc i))"
+      "              (cont () (+ i 1 ce (cont (t2) (for t2))))))))))"));
+}
+
+TEST(Validate, RejectsMalformedYBody) {
+  // Y body must apply the final continuation parameter.
+  Status st = ValidateText(
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 c) (c0))))");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Validate, RejectsLiteralCallee) {
+  Module m;
+  ir::Variable* ce = m.NewContVar("ce");
+  ir::Variable* cc = m.NewContVar("cc");
+  const ir::Abstraction* prog =
+      m.Abs({ce, cc}, m.App(m.IntLit(3), {}));
+  EXPECT_FALSE(Validate(m, prog).ok());
+}
+
+TEST(Validate, CaseNeedsLiteralTags) {
+  EXPECT_OK(ValidateText(
+      "(proc (v ce cc)"
+      " (== v 1 2 (cont () (cc 1)) (cont () (cc 2)) (cont () (cc 0))))"));
+  Status st = ValidateText(
+      "(proc (v ce cc) (== v (cont () (cc 1))))");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(Validate, CCallShape) {
+  EXPECT_OK(ValidateText(
+      "(proc (x ce cc) (ccall \"print\" x ce cc))"));
+  Status st = ValidateText("(proc (x ce cc) (ccall x ce cc))");
+  EXPECT_FALSE(st.ok());
+}
+
+}  // namespace
+}  // namespace tml

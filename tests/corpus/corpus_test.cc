@@ -1,0 +1,81 @@
+// The Stanford suite must compute identical checksums in every
+// configuration: direct binding, library binding (unoptimized), library +
+// local static optimization, and library + reflective dynamic optimization.
+// This is the correctness backbone under the E1 experiment, and it pins
+// mathematically known results (Towers, Queens).
+
+#include <gtest/gtest.h>
+
+#include "corpus/stanford.h"
+#include "runtime/universe.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using corpus::StanfordProgram;
+using rt::InstallOptions;
+using rt::Universe;
+using vm::Value;
+
+struct Run {
+  int64_t checksum = 0;
+  uint64_t steps = 0;
+};
+
+Result<Run> RunConfig(const StanfordProgram& prog, fe::BindingMode mode,
+                      bool static_opt, bool reflect, int64_t n) {
+  auto s = store::ObjectStore::Open("");
+  TML_RETURN_NOT_OK(s.status());
+  Universe u(s->get());
+  InstallOptions opts;
+  opts.static_optimize = static_opt;
+  TML_RETURN_NOT_OK(u.InstallSource("bench", prog.source, mode, opts));
+  TML_ASSIGN_OR_RETURN(Oid f, u.Lookup("bench", "bench"));
+  if (reflect) {
+    TML_ASSIGN_OR_RETURN(f, u.ReflectOptimize(f));
+  }
+  Value args[] = {Value::Int(n)};
+  TML_ASSIGN_OR_RETURN(vm::RunResult r, u.Call(f, args));
+  if (r.raised) return Status::RuntimeError("benchmark raised an exception");
+  if (!r.value.is_int()) {
+    return Status::RuntimeError("benchmark returned a non-integer");
+  }
+  return Run{r.value.i, r.steps};
+}
+
+class StanfordTest : public ::testing::TestWithParam<StanfordProgram> {};
+
+TEST_P(StanfordTest, AllConfigurationsAgree) {
+  const StanfordProgram& prog = GetParam();
+  auto direct =
+      RunConfig(prog, fe::BindingMode::kDirect, false, false, prog.small_n);
+  ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+  auto lib =
+      RunConfig(prog, fe::BindingMode::kLibrary, false, false, prog.small_n);
+  ASSERT_TRUE(lib.ok()) << lib.status().ToString();
+  auto lib_static =
+      RunConfig(prog, fe::BindingMode::kLibrary, true, false, prog.small_n);
+  ASSERT_TRUE(lib_static.ok()) << lib_static.status().ToString();
+  auto lib_reflect =
+      RunConfig(prog, fe::BindingMode::kLibrary, false, true, prog.small_n);
+  ASSERT_TRUE(lib_reflect.ok()) << lib_reflect.status().ToString();
+
+  EXPECT_EQ(direct->checksum, lib->checksum);
+  EXPECT_EQ(direct->checksum, lib_static->checksum);
+  EXPECT_EQ(direct->checksum, lib_reflect->checksum);
+  if (prog.small_checksum != -1) {
+    EXPECT_EQ(direct->checksum, prog.small_checksum);
+  }
+  // Dynamic optimization must strictly reduce executed instructions.
+  EXPECT_LT(lib_reflect->steps, lib->steps) << prog.name;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Suite, StanfordTest, ::testing::ValuesIn(corpus::StanfordSuite()),
+    [](const ::testing::TestParamInfo<StanfordProgram>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tml

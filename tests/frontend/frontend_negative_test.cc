@@ -1,0 +1,83 @@
+// TL front end: rejection paths and diagnostics.
+
+#include <gtest/gtest.h>
+
+#include "frontend/compile.h"
+#include "frontend/parser.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+Status CompileStatus(const char* src) {
+  fe::CompileOptions opts;
+  auto r = fe::Compile(src, prims::StandardRegistry(), opts);
+  return r.status();
+}
+
+TEST(TlNegative, AssignmentToForLoopVariableIsRejected) {
+  Status st = CompileStatus(
+      "fun f(n) = begin for i = 1 upto n do i := 0 end; 0 end end");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("unassignable"), std::string::npos);
+}
+
+TEST(TlNegative, AssignmentToUnknownNameIsRejected) {
+  Status st = CompileStatus("fun f(n) = begin ghost := 1; 0 end end");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TlNegative, CallingAMutableVariableIsRejected) {
+  Status st = CompileStatus(
+      "fun f(n) = var g := 1 in begin g := 2; g(3) end end");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TlNegative, ErrorsCarryLineNumbers) {
+  Status st = CompileStatus("fun f(n) =\n\n  ghost := 1\nend");
+  EXPECT_FALSE(st.ok());
+  EXPECT_NE(st.message().find("line 3"), std::string::npos)
+      << st.ToString();
+}
+
+TEST(TlNegative, LexRejectsStrayCharacters) {
+  auto r = fe::ParseUnit("fun f() = 1 @ 2 end");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TlNegative, UnterminatedStringIsRejected) {
+  auto r = fe::ParseUnit("fun f() = \"oops end");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TlNegative, KeywordAsOperandIsRejected) {
+  auto r = fe::ParseUnit("fun f() = 1 + upto end");
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(TlNegative, NewArrayArityIsChecked) {
+  Status st = CompileStatus("fun f(n) = newarray(n) end");
+  EXPECT_FALSE(st.ok());
+}
+
+TEST(TlNegative, HashCommentsAreSkipped) {
+  fe::CompileOptions opts;
+  auto r = fe::Compile(
+      "# leading comment\n"
+      "fun f(n) = n # trailing comment\n"
+      "end\n",
+      prims::StandardRegistry(), opts);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+}
+
+TEST(TlNegative, ShadowingIntrinsicNamesIsAllowed) {
+  // A parameter named `size` wins over the intrinsic.
+  fe::CompileOptions opts;
+  auto r = fe::Compile("fun f(size) = size + 1 end",
+                       prims::StandardRegistry(), opts);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->functions[0].free_names.empty());
+}
+
+}  // namespace
+}  // namespace tml

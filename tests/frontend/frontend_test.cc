@@ -1,0 +1,291 @@
+// TL front end: parsing, CPS conversion, both binding modes; compiled
+// programs are validated and executed on the reference interpreter.
+
+#include <gtest/gtest.h>
+
+#include "core/printer.h"
+#include "core/validate.h"
+#include "frontend/compile.h"
+#include "frontend/parser.h"
+#include "interp/interp.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using fe::BindingMode;
+using fe::CompiledUnit;
+using interp::IValue;
+
+Result<CompiledUnit> CompileTl(const char* src,
+                               BindingMode mode = BindingMode::kDirect) {
+  fe::CompileOptions opts;
+  opts.binding = mode;
+  return fe::Compile(src, prims::StandardRegistry(), opts);
+}
+
+// Compile (direct mode), validate, and run `fname` on the interpreter.
+interp::InterpResult RunTl(const char* src, const char* fname,
+                           std::vector<IValue> args) {
+  auto unit = CompileTl(src);
+  EXPECT_TRUE(unit.ok()) << unit.status().ToString();
+  if (!unit.ok()) return {};
+  for (const auto& fn : unit->functions) {
+    ir::ValidateOptions vopts;
+    std::vector<const ir::Variable*> frees(fn.free_vars.begin(),
+                                           fn.free_vars.end());
+    vopts.free = frees;
+    Status st = ir::Validate(*unit->module, fn.abs, vopts);
+    EXPECT_TRUE(st.ok()) << fn.name << ": " << st.ToString() << "\n"
+                         << ir::PrintValue(*unit->module, fn.abs);
+  }
+  for (const auto& fn : unit->functions) {
+    if (fn.name != fname) continue;
+    EXPECT_TRUE(fn.free_names.empty())
+        << "direct-mode single-function program should be closed; frees: "
+        << fn.free_names[0];
+    auto res = interp::Run(*unit->module, fn.abs, args);
+    EXPECT_TRUE(res.ok()) << res.status().ToString();
+    return res.ok() ? *res : interp::InterpResult{};
+  }
+  ADD_FAILURE() << "no function named " << fname;
+  return {};
+}
+
+IValue I(int64_t v) { return IValue{v}; }
+
+TEST(TlParser, ParsesFunctions) {
+  auto unit = fe::ParseUnit(
+      "fun add(a, b) = a + b end\n"
+      "fun main(x) = add(x, 1) end\n");
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  ASSERT_EQ(unit->functions.size(), 2u);
+  EXPECT_EQ(unit->functions[0].name, "add");
+  EXPECT_EQ(unit->functions[0].params.size(), 2u);
+}
+
+TEST(TlParser, RejectsBadSyntax) {
+  EXPECT_FALSE(fe::ParseUnit("fun f( = 1 end").ok());
+  EXPECT_FALSE(fe::ParseUnit("fun f() = 1").ok());          // missing end
+  EXPECT_FALSE(fe::ParseUnit("fun f() = (1 ; end").ok());
+  EXPECT_FALSE(fe::ParseUnit("fun f() = x := end").ok());
+}
+
+TEST(TlParser, PrecedenceMulOverAdd) {
+  interp::InterpResult r =
+      RunTl("fun f(x) = 2 + 3 * x end", "f", {I(10)});
+  EXPECT_EQ(r.value.as_int(), 32);
+}
+
+TEST(TlCompile, SimpleArith) {
+  interp::InterpResult r =
+      RunTl("fun f(x) = (x * 6 + 2) % 10 end", "f", {I(7)});
+  EXPECT_EQ(r.value.as_int(), 4);
+}
+
+TEST(TlCompile, IfElse) {
+  const char* src =
+      "fun f(x) = if x < 10 then 1 else 2 end end";
+  EXPECT_EQ(RunTl(src, "f", {I(5)}).value.as_int(), 1);
+  EXPECT_EQ(RunTl(src, "f", {I(15)}).value.as_int(), 2);
+}
+
+TEST(TlCompile, IfWithoutElseYieldsNil) {
+  const char* src = "fun f(x) = if x < 0 then 1 end end";
+  EXPECT_TRUE(RunTl(src, "f", {I(5)}).value.is_nil());
+}
+
+TEST(TlCompile, LetBinding) {
+  interp::InterpResult r = RunTl(
+      "fun f(x) = let y = x + 1 in let z = y * y in z - x end",
+      "f", {I(3)});
+  EXPECT_EQ(r.value.as_int(), 13);
+}
+
+TEST(TlCompile, MutableVarAndWhile) {
+  interp::InterpResult r = RunTl(
+      "fun f(n) ="
+      "  var s := 0 in"
+      "  var i := 1 in"
+      "  begin"
+      "    while i <= n do"
+      "      s := s + i;"
+      "      i := i + 1"
+      "    end;"
+      "    s"
+      "  end "
+      "end",
+      "f", {I(100)});
+  EXPECT_EQ(r.value.as_int(), 5050);
+}
+
+TEST(TlCompile, ForLoopUptoAndDownto) {
+  const char* src =
+      "fun up(n) ="
+      "  var s := 0 in"
+      "  begin for i = 1 upto n do s := s + i end; s end "
+      "end\n"
+      "fun down(n) ="
+      "  var s := 0 in"
+      "  begin for i = n downto 1 do s := s + i end; s end "
+      "end";
+  EXPECT_EQ(RunTl(src, "up", {I(10)}).value.as_int(), 55);
+  EXPECT_EQ(RunTl(src, "down", {I(10)}).value.as_int(), 55);
+}
+
+TEST(TlCompile, AssignedParameterIsBoxed) {
+  interp::InterpResult r = RunTl(
+      "fun f(x) = begin x := x + 1; x * 2 end end", "f", {I(10)});
+  EXPECT_EQ(r.value.as_int(), 22);
+}
+
+TEST(TlCompile, ArraysIndexingAndSize) {
+  interp::InterpResult r = RunTl(
+      "fun f(n) ="
+      "  let a = newarray(n, 0) in"
+      "  begin"
+      "    for i = 0 upto n - 1 do a[i] := i * i end;"
+      "    a[3] + size(a)"
+      "  end "
+      "end",
+      "f", {I(10)});
+  EXPECT_EQ(r.value.as_int(), 19);
+}
+
+TEST(TlCompile, ArrayLiteralAndBytes) {
+  interp::InterpResult r = RunTl(
+      "fun f(x) ="
+      "  let a = array(10, 20, 30) in"
+      "  let b = newbytes(4, 7) in"
+      "  a[1] + b[2] + x "
+      "end",
+      "f", {I(1)});
+  EXPECT_EQ(r.value.as_int(), 28);
+}
+
+TEST(TlCompile, BooleansAndShortCircuit) {
+  const char* src =
+      "fun f(x) ="
+      "  let a = newarray(2, 0) in"
+      // the right operand of `and` must not evaluate when the left is
+      // false: a[5] would fault.
+      "  if x > 0 and x < 2 then 1 else 0 end "
+      "end";
+  EXPECT_EQ(RunTl(src, "f", {I(1)}).value.as_int(), 1);
+  EXPECT_EQ(RunTl(src, "f", {I(5)}).value.as_int(), 0);
+}
+
+TEST(TlCompile, ShortCircuitSkipsEffects) {
+  const char* src =
+      "fun f(x) ="
+      "  let a = array(9) in"
+      "  if x < 0 and a[5] == 0 then 1 else 0 end "
+      "end";
+  // x >= 0: the faulting a[5] must not run.
+  EXPECT_EQ(RunTl(src, "f", {I(3)}).value.as_int(), 0);
+}
+
+TEST(TlCompile, RecursionAcrossFreeName) {
+  // Recursion goes through a free variable (linked at install time); for a
+  // closed interpreter run we emulate the binding via a self-contained
+  // variant: compile in direct mode and check the free name is reported.
+  auto unit = CompileTl("fun fact(n) = if n <= 1 then 1 else n * fact(n - 1) end end");
+  ASSERT_TRUE(unit.ok());
+  ASSERT_EQ(unit->functions.size(), 1u);
+  ASSERT_EQ(unit->functions[0].free_names.size(), 1u);
+  EXPECT_EQ(unit->functions[0].free_names[0], "fact");
+}
+
+TEST(TlCompile, TryCatchThrow) {
+  const char* src =
+      "fun f(x) ="
+      "  try"
+      "    if x == 0 then throw 42 end;"
+      "    x * 2"
+      "  catch e -> e + 100 end "
+      "end";
+  EXPECT_EQ(RunTl(src, "f", {I(0)}).value.as_int(), 142);
+  EXPECT_EQ(RunTl(src, "f", {I(5)}).value.as_int(), 10);
+}
+
+TEST(TlCompile, DivisionFaultIsCatchable) {
+  const char* src =
+      "fun f(x) = try 100 / x catch e -> -1 end end";
+  EXPECT_EQ(RunTl(src, "f", {I(0)}).value.as_int(), -1);
+  EXPECT_EQ(RunTl(src, "f", {I(4)}).value.as_int(), 25);
+}
+
+TEST(TlCompile, NestedTryRestoresOuterHandler) {
+  const char* src =
+      "fun f(x) ="
+      "  try"
+      "    (try 10 / x catch inner -> throw 7 end)"
+      "  catch outer -> outer * 2 end "
+      "end";
+  EXPECT_EQ(RunTl(src, "f", {I(0)}).value.as_int(), 14);
+  EXPECT_EQ(RunTl(src, "f", {I(2)}).value.as_int(), 5);
+}
+
+TEST(TlCompile, RealArithmetic) {
+  interp::InterpResult r = RunTl(
+      "fun f(x) = trunc(sqrt(real(x) *. 4.0)) end", "f", {I(25)});
+  EXPECT_EQ(r.value.as_int(), 10);
+}
+
+TEST(TlCompile, CharsAndConversions) {
+  interp::InterpResult r =
+      RunTl("fun f(x) = ord(chr(x + 1)) end", "f", {I(65)});
+  EXPECT_EQ(r.value.as_int(), 66);
+}
+
+TEST(TlCompile, PrintProducesOutput) {
+  interp::InterpResult r =
+      RunTl("fun f(x) = begin print(x); x end end", "f", {I(9)});
+  EXPECT_EQ(r.output, "9\n");
+}
+
+TEST(TlCompile, NotEqualOperator) {
+  const char* src = "fun f(x) = if x != 3 then 1 else 0 end end";
+  EXPECT_EQ(RunTl(src, "f", {I(3)}).value.as_int(), 0);
+  EXPECT_EQ(RunTl(src, "f", {I(4)}).value.as_int(), 1);
+}
+
+TEST(TlCompile, LibraryModeEmitsFreeLibraryCalls) {
+  auto unit = CompileTl("fun f(x) = x + 1 end", BindingMode::kLibrary);
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const auto& fn = unit->functions[0];
+  ASSERT_EQ(fn.free_names.size(), 1u);
+  EXPECT_EQ(fn.free_names[0], "int_add");
+  // No `+` primitive appears in the term.
+  std::string printed = ir::PrintValue(*unit->module, fn.abs);
+  EXPECT_EQ(printed.find("(+ "), std::string::npos);
+}
+
+TEST(TlCompile, LibraryModeCoversArraysAndComparisons) {
+  auto unit = CompileTl(
+      "fun f(a, i) = if a[i] < 10 then size(a) else 0 end end",
+      BindingMode::kLibrary);
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  const auto& names = unit->functions[0].free_names;
+  auto has = [&](const char* n) {
+    return std::find(names.begin(), names.end(), n) != names.end();
+  };
+  EXPECT_TRUE(has("arr_get"));
+  EXPECT_TRUE(has("int_lt"));
+  EXPECT_TRUE(has("arr_size"));
+}
+
+TEST(TlCompile, StdlibEntriesAllParseAndValidate) {
+  for (const fe::LibraryEntry& entry : fe::StdlibEntries()) {
+    ir::Module m;
+    auto parsed =
+        ir::ParseValueText(&m, prims::StandardRegistry(), entry.tml);
+    ASSERT_TRUE(parsed.ok()) << entry.name << ": "
+                             << parsed.status().ToString();
+    Status st = ir::Validate(m, ir::Cast<ir::Abstraction>(parsed->value));
+    EXPECT_TRUE(st.ok()) << entry.name << ": " << st.ToString();
+  }
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,177 @@
+// Cross-layer differential testing: TL source -> CPS -> {reference
+// interpreter, TVM} at several optimization levels must agree on results —
+// this closes the loop between the front end, the optimizer and both
+// execution engines for realistic imperative programs.
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/validate.h"
+#include "frontend/compile.h"
+#include "interp/interp.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+namespace tml {
+namespace {
+
+struct TlCase {
+  const char* name;
+  const char* source;  // single closed function `bench(n)`
+  std::vector<int64_t> args;
+};
+
+const TlCase kCases[] = {
+    {"bubble",
+     "fun bench(n) ="
+     "  let a = newarray(n, 0) in"
+     "  var seed := 4321 in"
+     "  begin"
+     "    for i = 0 upto n - 1 do"
+     "      seed := (seed * 1309 + 13849) % 65536;"
+     "      a[i] := seed"
+     "    end;"
+     "    for i = n - 1 downto 1 do"
+     "      for j = 0 upto i - 1 do"
+     "        if a[j + 1] < a[j] then"
+     "          let t = a[j] in"
+     "          begin a[j] := a[j + 1]; a[j + 1] := t end"
+     "        end"
+     "      end"
+     "    end;"
+     "    a[0] + a[n / 2] + a[n - 1]"
+     "  end "
+     "end",
+     {2, 16, 33}},
+    {"collatz",
+     "fun bench(n) ="
+     "  var steps := 0 in"
+     "  var x := n in"
+     "  begin"
+     "    while x != 1 do"
+     "      if x % 2 == 0 then x := x / 2"
+     "      else x := 3 * x + 1 end;"
+     "      steps := steps + 1"
+     "    end;"
+     "    steps"
+     "  end "
+     "end",
+     {1, 6, 27}},
+    {"gcd_iterative",
+     "fun bench(n) ="
+     "  var a := n in"
+     "  var b := 252 in"
+     "  begin"
+     "    while b != 0 do"
+     "      let t = a % b in"
+     "      begin a := b; b := t end"
+     "    end;"
+     "    a"
+     "  end "
+     "end",
+     {1071, 17, 252}},
+    {"try_in_loop",
+     "fun bench(n) ="
+     "  var hits := 0 in"
+     "  begin"
+     "    for i = 0 upto n do"
+     "      try"
+     "        if 100 / i > 20 then hits := hits + 1 end"
+     "      catch e -> hits := hits + 100 end"
+     "    end;"
+     "    hits"
+     "  end "
+     "end",
+     {0, 3, 10}},
+    {"newton_sqrt",
+     "fun bench(n) ="
+     "  var x := real(n) in"
+     "  begin"
+     "    for i = 1 upto 20 do"
+     "      x := (x +. real(n) /. x) /. 2.0"
+     "    end;"
+     "    trunc(x *. 1000.0)"
+     "  end "
+     "end",
+     {4, 2, 10}},
+    {"string_and_chars",
+     "fun bench(n) ="
+     "  let c = chr(n) in"
+     "  begin print(\"value:\", n); ord(c) * 2 end "
+     "end",
+     {65, 90}},
+};
+
+class TlDifferential : public ::testing::TestWithParam<TlCase> {};
+
+TEST_P(TlDifferential, EnginesAgreeAtAllLevels) {
+  const TlCase& c = GetParam();
+  fe::CompileOptions copts;  // direct mode => closed single function
+  auto unit = fe::Compile(c.source, prims::StandardRegistry(), copts);
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  ASSERT_EQ(unit->functions.size(), 1u);
+  const auto& fn = unit->functions[0];
+  ASSERT_TRUE(fn.free_names.empty())
+      << "case must be closed; free: " << fn.free_names[0];
+  ir::Module* m = unit->module.get();
+  ASSERT_OK(ir::Validate(*m, fn.abs));
+
+  const ir::Abstraction* levels[3];
+  levels[0] = fn.abs;
+  levels[1] = ir::Reduce(m, fn.abs);
+  levels[2] = ir::Optimize(m, fn.abs);
+  for (const ir::Abstraction* prog : levels) {
+    ASSERT_OK(ir::Validate(*m, prog));
+  }
+
+  for (int64_t arg : c.args) {
+    std::string expected_value;
+    std::string expected_output;
+    bool expected_raised = false;
+    bool have_expected = false;
+    for (int level = 0; level < 3; ++level) {
+      const ir::Abstraction* prog = levels[level];
+      // Reference interpreter.
+      auto ires = interp::Run(*m, prog, {interp::IValue{arg}});
+      ASSERT_TRUE(ires.ok()) << c.name << " L" << level << ": "
+                             << ires.status().ToString();
+      // TVM.
+      vm::CodeUnit cu;
+      auto code = vm::CompileProc(&cu, *m, prog, c.name);
+      ASSERT_TRUE(code.ok()) << c.name << " L" << level << ": "
+                             << code.status().ToString();
+      vm::VM vm;
+      vm::Value args[] = {vm::Value::Int(arg)};
+      auto vres = vm.Run(*code, args);
+      ASSERT_TRUE(vres.ok()) << c.name << " L" << level << ": "
+                             << vres.status().ToString();
+
+      std::string iv = interp::ToString(ires->value);
+      std::string vv = vm::ToString(vres->value);
+      EXPECT_EQ(iv, vv) << c.name << " L" << level << " arg=" << arg;
+      EXPECT_EQ(ires->raised, vres->raised) << c.name << " L" << level;
+      EXPECT_EQ(ires->output, vm.TakeOutput()) << c.name << " L" << level;
+      if (!have_expected) {
+        expected_value = iv;
+        expected_output = ires->output;
+        expected_raised = ires->raised;
+        have_expected = true;
+      } else {
+        EXPECT_EQ(iv, expected_value)
+            << c.name << ": level " << level << " diverged, arg=" << arg;
+        EXPECT_EQ(ires->output, expected_output) << c.name;
+        EXPECT_EQ(ires->raised, expected_raised) << c.name;
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Cases, TlDifferential, ::testing::ValuesIn(kCases),
+                         [](const ::testing::TestParamInfo<TlCase>& info) {
+                           return std::string(info.param.name);
+                         });
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,250 @@
+// Reference interpreter tests — the executable semantics of §2, including
+// the paper's for-loop example and the exception machinery of Fig. 2.
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "interp/interp.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using interp::InterpResult;
+using interp::IValue;
+using ir::Abstraction;
+using ir::Module;
+using test::MustParseProgram;
+
+InterpResult RunText(const char* text, std::vector<IValue> args = {}) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, text);
+  EXPECT_NE(prog, nullptr);
+  auto res = interp::Run(m, prog, args);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? *res : InterpResult{};
+}
+
+IValue I(int64_t v) { return IValue{v}; }
+
+TEST(Interp, ReturnsArgument) {
+  InterpResult r = RunText("(proc (x ce cc) (cc x))", {I(42)});
+  EXPECT_EQ(r.value.as_int(), 42);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Interp, Arithmetic) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (* x 6 ce (cont (t) (+ t 2 ce cc))))",
+      {I(7)});
+  EXPECT_EQ(r.value.as_int(), 44);
+}
+
+TEST(Interp, DivisionByZeroInvokesExceptionContinuation) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (/ x 0 (cont (e) (cc -1)) cc))",
+      {I(5)});
+  EXPECT_EQ(r.value.as_int(), -1);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Interp, UncaughtArithmeticFaultReachesTopLevel) {
+  InterpResult r = RunText("(proc (x ce cc) (/ x 0 ce cc))", {I(5)});
+  EXPECT_TRUE(r.raised);
+}
+
+TEST(Interp, OverflowRoutesToExceptionContinuation) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (+ x 1 (cont (e) (cc 0)) cc))",
+      {I(std::numeric_limits<int64_t>::max())});
+  EXPECT_EQ(r.value.as_int(), 0);
+}
+
+TEST(Interp, ComparisonBranches) {
+  const char* text =
+      "(proc (x ce cc)"
+      " (< x 10 (cont () (cc 1)) (cont () (cc 2))))";
+  EXPECT_EQ(RunText(text, {I(5)}).value.as_int(), 1);
+  EXPECT_EQ(RunText(text, {I(15)}).value.as_int(), 2);
+}
+
+TEST(Interp, PaperForLoopExample) {
+  // §2.3: for i = 1 upto 10 do f(i) end — here f accumulates into an array
+  // cell so the loop is observable.
+  InterpResult r = RunText(
+      "(proc (n ce cc)"
+      " (array 0 (cont (acc)"
+      "  (Y (proc (/ c0 for c)"
+      "       (c (cont () (for 1))"
+      "          (cont (i)"
+      "            (> i n"
+      "               (cont () ([] acc 0 ce cc))"
+      "               (cont ()"
+      "                 ([] acc 0 ce (cont (old)"
+      "                  (+ old i ce (cont (sum)"
+      "                   ([]:= acc 0 sum ce (cont (ig)"
+      "                    (+ i 1 ce (cont (t2) (for t2))))))))))))))))))",
+      {I(10)});
+  EXPECT_EQ(r.value.as_int(), 55);
+}
+
+TEST(Interp, MutualRecursionThroughY) {
+  // even/odd via the fixpoint combinator.
+  InterpResult r = RunText(
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 even odd ^c)"
+      "      (c (cont () (even n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (== i 0 (cont () (cc1 true))"
+      "                   (cont () (- i 1 ce1 (cont (t) (odd t ce1 cc1))))))"
+      "         (proc (i ce2 cc2)"
+      "           (== i 0 (cont () (cc2 false))"
+      "                   (cont () (- i 1 ce2 (cont (t) (even t ce2 cc2))))))))))",
+      {I(10)});
+  EXPECT_TRUE(r.value.as_bool());
+}
+
+TEST(Interp, HigherOrderProcedureValues) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " ((lambda (twice f)"
+      "    (twice f x ce cc))"
+      "  (proc (g a ce1 cc1) (g a ce1 (cont (t) (g t ce1 cc1))))"
+      "  (proc (a ce2 cc2) (* a 3 ce2 cc2))))",
+      {I(2)});
+  EXPECT_EQ(r.value.as_int(), 18);
+}
+
+TEST(Interp, ArraysAndSize) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (array 10 20 30 (cont (a)"
+      "  ([] a 1 ce (cont (x)"
+      "   (size a (cont (n)"
+      "    (+ x n ce cc))))))))");
+  EXPECT_EQ(r.value.as_int(), 23);
+}
+
+TEST(Interp, VectorIsImmutable) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (vector 1 2 (cont (v)"
+      "  ([]:= v 0 9 (cont (e) (cc -7)) cc))))");
+  EXPECT_EQ(r.value.as_int(), -7);
+}
+
+TEST(Interp, ArrayBoundsFaultRoutesToCe) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (array 1 2 (cont (a)"
+      "  ([] a 5 (cont (e) (cc -1)) cc))))");
+  EXPECT_EQ(r.value.as_int(), -1);
+}
+
+TEST(Interp, ByteArrays) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (new 4 0 (cont (b)"
+      "  ($[]:= b 2 77 ce (cont (ig)"
+      "   ($[] b 2 ce cc))))))");
+  EXPECT_EQ(r.value.as_int(), 77);
+}
+
+TEST(Interp, MoveCopiesSlots) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (array 1 2 3 (cont (src)"
+      "  (array 0 0 0 (cont (dst)"
+      "   (move dst 0 src 1 2 (cont (ig)"
+      "    ([] dst 1 ce cc))))))))");
+  EXPECT_EQ(r.value.as_int(), 3);
+}
+
+TEST(Interp, HandlerStackRaise) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (pushHandler (cont (e) (cc 100))"
+      "              (cont () (raise 5))))",
+      {I(0)});
+  EXPECT_EQ(r.value.as_int(), 100);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Interp, RaiseWithoutHandlerReachesTop) {
+  InterpResult r = RunText("(proc (x ce cc) (raise x))", {I(13)});
+  EXPECT_TRUE(r.raised);
+  EXPECT_EQ(r.value.as_int(), 13);
+}
+
+TEST(Interp, PopHandlerRestoresOuter) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (pushHandler (cont (e) (cc 1))"
+      "  (cont ()"
+      "   (pushHandler (cont (e2) (cc 2))"
+      "    (cont ()"
+      "     (popHandler (cont () (raise 0))))))))",
+      {I(0)});
+  EXPECT_EQ(r.value.as_int(), 1);
+}
+
+TEST(Interp, CaseDispatch) {
+  const char* text =
+      "(proc (v ce cc)"
+      " (== v 1 2 3"
+      "     (cont () (cc 10))"
+      "     (cont () (cc 20))"
+      "     (cont () (cc 30))"
+      "     (cont () (cc -1))))";
+  EXPECT_EQ(RunText(text, {I(1)}).value.as_int(), 10);
+  EXPECT_EQ(RunText(text, {I(2)}).value.as_int(), 20);
+  EXPECT_EQ(RunText(text, {I(3)}).value.as_int(), 30);
+  EXPECT_EQ(RunText(text, {I(9)}).value.as_int(), -1);
+}
+
+TEST(Interp, CharConversions) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (char2int 'a' (cont (i)"
+      "  (+ i 1 ce (cont (j)"
+      "   (int2char j cc))))))");
+  EXPECT_EQ(std::get<uint8_t>(r.value.v), 'b');
+}
+
+TEST(Interp, RealArithmeticAndSqrt) {
+  InterpResult r = RunText(
+      "(proc (ce cc)"
+      " (*. 3.0 3.0 ce (cont (a)"
+      "  (*. 4.0 4.0 ce (cont (b)"
+      "   (+. a b ce (cont (s)"
+      "    (sqrt s ce cc))))))))");
+  EXPECT_DOUBLE_EQ(r.value.as_real(), 5.0);
+}
+
+TEST(Interp, CCallPrintCapturesOutput) {
+  InterpResult r = RunText(
+      "(proc (x ce cc)"
+      " (ccall \"print\" x ce (cont (ig) (cc x))))",
+      {I(7)});
+  EXPECT_EQ(r.output, "7\n");
+}
+
+TEST(Interp, StepLimitGuardsDivergence) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (loop))"
+      "         (cont () (loop))))))");
+  interp::InterpOptions opts;
+  opts.max_steps = 1000;
+  auto res = interp::Run(m, prog, {}, opts);
+  EXPECT_FALSE(res.ok());
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,211 @@
+// Property-based sweeps over the whole Stanford corpus: invariants that
+// must hold for *every* program, not just hand-picked cases.
+//
+//   P1  compilation produces well-formed TML (validator, both modes)
+//   P2  PTML round-trips to an α-equivalent term for every function
+//   P3  bytecode serialization round-trips and the result still runs
+//   P4  the optimizer preserves well-formedness and never grows the term
+//       during the reduction pass
+//   P5  the optimizer is idempotent at its fixpoint (second run: no rules)
+//   P6  reduction output size is monotonically non-increasing per sweep
+//       proxy: reduced term is never larger than the input
+
+#include <gtest/gtest.h>
+
+#include "core/analysis.h"
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "core/validate.h"
+#include "corpus/stanford.h"
+#include "frontend/compile.h"
+#include "store/ptml.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+namespace tml {
+namespace {
+
+using corpus::StanfordProgram;
+
+struct ModeParam {
+  StanfordProgram prog;
+  fe::BindingMode mode;
+};
+
+std::vector<ModeParam> AllParams() {
+  std::vector<ModeParam> out;
+  for (const auto& p : corpus::StanfordSuite()) {
+    out.push_back({p, fe::BindingMode::kDirect});
+    out.push_back({p, fe::BindingMode::kLibrary});
+  }
+  return out;
+}
+
+std::string ParamName(const ::testing::TestParamInfo<ModeParam>& info) {
+  return std::string(info.param.prog.name) +
+         (info.param.mode == fe::BindingMode::kDirect ? "Direct" : "Library");
+}
+
+class CorpusProperty : public ::testing::TestWithParam<ModeParam> {
+ protected:
+  Result<fe::CompiledUnit> CompileIt() {
+    fe::CompileOptions opts;
+    opts.binding = GetParam().mode;
+    return fe::Compile(GetParam().prog.source, prims::StandardRegistry(),
+                       opts);
+  }
+};
+
+TEST_P(CorpusProperty, P1_CompilationIsWellFormed) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok()) << unit.status().ToString();
+  EXPECT_FALSE(unit->functions.empty());
+  for (const auto& fn : unit->functions) {
+    ir::ValidateOptions vopts;
+    std::vector<const ir::Variable*> frees(fn.free_vars.begin(),
+                                           fn.free_vars.end());
+    vopts.free = frees;
+    Status st = ir::Validate(*unit->module, fn.abs, vopts);
+    EXPECT_TRUE(st.ok()) << fn.name << ": " << st.ToString();
+  }
+}
+
+TEST_P(CorpusProperty, P2_PtmlRoundTripsAlphaEquivalent) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok());
+  for (const auto& fn : unit->functions) {
+    std::string bytes = store::EncodePtml(*unit->module, fn.abs);
+    ir::Module m2;
+    auto decoded = store::DecodePtml(&m2, prims::StandardRegistry(), bytes);
+    ASSERT_TRUE(decoded.ok()) << fn.name << ": "
+                              << decoded.status().ToString();
+    EXPECT_TRUE(
+        ir::AlphaEquivalent(*unit->module, fn.abs, m2, decoded->abs))
+        << fn.name;
+    EXPECT_EQ(decoded->free_vars.size(), fn.free_vars.size()) << fn.name;
+  }
+}
+
+TEST_P(CorpusProperty, P3_BytecodeSerializationRoundTrips) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok());
+  for (const auto& fn : unit->functions) {
+    vm::CodeUnit cu;
+    auto code = vm::CompileProc(&cu, *unit->module, fn.abs, fn.name);
+    ASSERT_TRUE(code.ok()) << fn.name << ": " << code.status().ToString();
+    std::string bytes = vm::SerializeFunction(**code);
+    vm::CodeUnit cu2;
+    auto back = vm::DeserializeFunction(&cu2, bytes);
+    ASSERT_TRUE(back.ok()) << fn.name << ": " << back.status().ToString();
+    EXPECT_EQ((*back)->num_params, (*code)->num_params);
+    EXPECT_EQ((*back)->num_regs, (*code)->num_regs);
+    EXPECT_EQ((*back)->code.size(), (*code)->code.size());
+    EXPECT_EQ((*back)->cap_names, (*code)->cap_names);
+    EXPECT_EQ((*back)->ByteSize(), (*code)->ByteSize());
+    for (size_t i = 0; i < (*code)->code.size(); ++i) {
+      EXPECT_EQ((*back)->code[i].op, (*code)->code[i].op) << fn.name;
+    }
+  }
+}
+
+TEST_P(CorpusProperty, P4_OptimizerPreservesWellFormedness) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok());
+  for (const auto& fn : unit->functions) {
+    ir::ValidateOptions vopts;
+    std::vector<const ir::Variable*> frees(fn.free_vars.begin(),
+                                           fn.free_vars.end());
+    vopts.free = frees;
+    const ir::Abstraction* opt = ir::Optimize(unit->module.get(), fn.abs);
+    Status st = ir::Validate(*unit->module, opt, vopts);
+    EXPECT_TRUE(st.ok()) << fn.name << ": " << st.ToString() << "\n"
+                         << ir::PrintValue(*unit->module, opt);
+  }
+}
+
+TEST_P(CorpusProperty, P5_OptimizerIsIdempotentAtFixpoint) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok());
+  for (const auto& fn : unit->functions) {
+    ir::OptimizerOptions oopts;
+    oopts.expand.budget = 0;  // pure reduction: the paper's fixpoint claim
+    oopts.expand.always_inline_cost = 0;
+    oopts.expand.savings_per_static_arg = 0;
+    const ir::Abstraction* once =
+        ir::Optimize(unit->module.get(), fn.abs, oopts);
+    ir::OptimizerStats stats;
+    const ir::Abstraction* twice =
+        ir::Optimize(unit->module.get(), once, oopts, &stats);
+    EXPECT_EQ(stats.rewrite.TotalApplications(), 0u)
+        << fn.name << ": " << stats.rewrite.ToString();
+    EXPECT_EQ(ir::TermSize(twice->body()), ir::TermSize(once->body()))
+        << fn.name;
+  }
+}
+
+TEST_P(CorpusProperty, P6_ReductionNeverGrowsTerms) {
+  auto unit = CompileIt();
+  ASSERT_TRUE(unit.ok());
+  for (const auto& fn : unit->functions) {
+    size_t before = ir::TermSize(fn.abs->body());
+    const ir::Abstraction* red = ir::Reduce(unit->module.get(), fn.abs);
+    EXPECT_LE(ir::TermSize(red->body()), before) << fn.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Corpus, CorpusProperty,
+                         ::testing::ValuesIn(AllParams()), ParamName);
+
+// ---- rule-option sweep: every subset of disabled rule classes must keep
+// the differential result intact on a fixed program -----------------------
+
+class RuleSubsetProperty : public ::testing::TestWithParam<int> {};
+
+TEST_P(RuleSubsetProperty, DisablingRuleClassesNeverChangesBehaviour) {
+  int mask = GetParam();
+  ir::RewriteOptions ropts;
+  ropts.enable_subst = (mask & 1) == 0;
+  ropts.enable_remove = (mask & 2) == 0;
+  ropts.enable_fold = (mask & 4) == 0;
+  ropts.enable_eta = (mask & 8) == 0;
+  ropts.enable_case_subst = (mask & 16) == 0;
+  ropts.enable_y_rules = (mask & 32) == 0;
+
+  ir::Module m;
+  const ir::Abstraction* prog = test::MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " ((lambda (f)"
+      "    (Y (proc (/ c0 loop c)"
+      "         (c (cont () (loop n 0))"
+      "            (cont (i acc)"
+      "              (== i 0"
+      "                  (cont () (cc acc))"
+      "                  (cont ()"
+      "                    (f i ce (cont (t)"
+      "                      (+ acc t ce (cont (a2)"
+      "                        (- i 1 ce (cont (i2) (loop i2 a2))))))))))))))"
+      "  (proc (a ce2 cc2) (* a 2 ce2 cc2))))");
+  ASSERT_NE(prog, nullptr);
+  const ir::Abstraction* red = ir::Reduce(&m, prog, ropts);
+  Status st = ir::Validate(m, red);
+  ASSERT_TRUE(st.ok()) << "mask=" << mask << ": " << st.ToString();
+
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, red, "sweep");
+  ASSERT_TRUE(fn.ok()) << "mask=" << mask << ": "
+                       << fn.status().ToString();
+  vm::VM vm;
+  vm::Value args[] = {vm::Value::Int(10)};
+  auto r = vm.Run(*fn, args);
+  ASSERT_TRUE(r.ok()) << "mask=" << mask;
+  EXPECT_EQ(r->value.i, 110) << "mask=" << mask;  // 2*(1+..+10)
+}
+
+INSTANTIATE_TEST_SUITE_P(AllSubsets, RuleSubsetProperty,
+                         ::testing::Range(0, 64));
+
+}  // namespace
+}  // namespace tml

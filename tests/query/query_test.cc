@@ -1,0 +1,317 @@
+// Query rewriting (§4.2): rule-by-rule unit tests plus execution-equality
+// checks (rewritten plans must return the same relations).
+
+#include <gtest/gtest.h>
+
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/validate.h"
+#include "query/relation.h"
+#include "query/rewrite.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using query::QueryRewriteStats;
+using query::Relation;
+using query::RewriteQueries;
+using test::MustParseProgram;
+
+const char* kChained =
+    "(proc (r ce cc)"
+    " (select (proc (t pce pcc)"
+    "           ([] t 0 pce (cont (v)"
+    "            (< v 50 (cont () (pcc true)) (cont () (pcc false))))))"
+    "   r ce"
+    "   (cont (tmp)"
+    "     (select (proc (t2 qce qcc)"
+    "               ([] t2 1 qce (cont (w)"
+    "                (> w 3 (cont () (qcc true)) (cont () (qcc false))))))"
+    "       tmp ce"
+    "       (cont (out) (card out cc))))))";
+
+Relation TestRelation(int n) {
+  Relation rel;
+  rel.columns = {"a", "b"};
+  for (int i = 0; i < n; ++i) {
+    rel.tuples.push_back({int64_t{(i * 7) % 100}, int64_t{i}});
+  }
+  return rel;
+}
+
+int64_t Execute(const Module& m, const Abstraction* prog,
+                const Relation& rel) {
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, const_cast<Module&>(m), prog, "q");
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  if (!fn.ok()) return -999;
+  vm::VM vm;
+  vm::Value args[] = {query::RelationValue(rel, vm.heap())};
+  vm.Pin(args[0]);
+  auto r = vm.Run(*fn, args);
+  EXPECT_TRUE(r.ok()) << r.status().ToString();
+  if (!r.ok()) return -999;
+  if (r->value.tag == vm::Tag::kBool) return r->value.b ? 1 : 0;
+  return r->value.i;
+}
+
+TEST(QueryRewrite, MergeSelectFires) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kChained);
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.merge_select, 1u);
+  ASSERT_OK(ir::Validate(m, out));
+  // Only one `select` remains.
+  std::string printed = ir::PrintValue(m, out);
+  size_t first = printed.find("(select");
+  ASSERT_NE(first, std::string::npos);
+  EXPECT_EQ(printed.find("(select", first + 1), std::string::npos);
+}
+
+TEST(QueryRewrite, MergeSelectPreservesResults) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kChained);
+  const Abstraction* out = query::OptimizeWithQueries(&m, prog);
+  ASSERT_OK(ir::Validate(m, out));
+  Relation rel = TestRelation(200);
+  EXPECT_EQ(Execute(m, prog, rel), Execute(m, out, rel));
+  EXPECT_GT(Execute(m, prog, rel), 0);
+}
+
+TEST(QueryRewrite, MergeSelectRequiresSingleUse) {
+  // tempRel is also passed to `card`: must NOT merge.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (select (proc (t pce pcc) (pcc true))"
+      "   r ce"
+      "   (cont (tmp)"
+      "     (select (proc (t2 qce qcc) (qcc true))"
+      "       tmp ce"
+      "       (cont (out) (card tmp cc))))))");
+  QueryRewriteStats stats;
+  query::QueryRewriteOptions opts;
+  opts.const_select = false;  // isolate merge-select
+  RewriteQueries(&m, prog, opts, &stats);
+  EXPECT_EQ(stats.merge_select, 0u);
+}
+
+TEST(QueryRewrite, MergeSelectRequiresSameExceptionCont) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (select (proc (t pce pcc) (pcc true))"
+      "   r ce"
+      "   (cont (tmp)"
+      "     (select (proc (t2 qce qcc) (qcc false))"
+      "       tmp (cont (e) (cc 0))"
+      "       (cont (out) (card out cc))))))");
+  QueryRewriteStats stats;
+  query::QueryRewriteOptions opts;
+  opts.const_select = false;
+  RewriteQueries(&m, prog, opts, &stats);
+  EXPECT_EQ(stats.merge_select, 0u);
+}
+
+TEST(QueryRewrite, SelectTrueBecomesIdentity) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (select (proc (t pce pcc) (pcc true)) r ce"
+      "   (cont (out) (card out cc))))");
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.select_true, 1u);
+  std::string printed = ir::PrintValue(m, out);
+  EXPECT_EQ(printed.find("select"), std::string::npos);
+  Relation rel = TestRelation(10);
+  EXPECT_EQ(Execute(m, out, rel), 10);
+}
+
+TEST(QueryRewrite, SelectFalseBecomesEmpty) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (select (proc (t pce pcc) (pcc false)) r ce"
+      "   (cont (out) (card out cc))))");
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.select_false, 1u);
+  Relation rel = TestRelation(10);
+  EXPECT_EQ(Execute(m, out, rel), 0);
+}
+
+TEST(QueryRewrite, TrivialExistsFires) {
+  // The paper's rule: x ∉ fv(p) ⇒ (∃x∈R: p) ≡ p ∧ R ≠ ∅.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r h ce cc)"
+      " (exists (proc (x pce pcc)"
+      "           (> h 10 (cont () (pcc true)) (cont () (pcc false))))"
+      "   r ce cc))");
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.trivial_exists, 1u);
+  ASSERT_OK(ir::Validate(m, out));
+  std::string printed = ir::PrintValue(m, out);
+  EXPECT_EQ(printed.find("exists"), std::string::npos);
+  EXPECT_NE(printed.find("empty"), std::string::npos);
+}
+
+TEST(QueryRewrite, TrivialExistsPreservesSemantics) {
+  for (int64_t h : {5, 50}) {
+    for (int n : {0, 7}) {
+      Module m;
+      std::string text =
+          "(proc (r ce cc)"
+          " ((lambda (h)"
+          "   (exists (proc (x pce pcc)"
+          "             (> h 10 (cont () (pcc true)) (cont () (pcc false))))"
+          "     r ce cc))"
+          "  " + std::to_string(h) + "))";
+      const Abstraction* prog = MustParseProgram(&m, text.c_str());
+      const Abstraction* naive = prog;
+      const Abstraction* opt = query::OptimizeWithQueries(&m, prog);
+      ASSERT_OK(ir::Validate(m, opt));
+      Relation rel = TestRelation(n);
+      EXPECT_EQ(Execute(m, naive, rel), Execute(m, opt, rel))
+          << "h=" << h << " n=" << n;
+    }
+  }
+}
+
+TEST(QueryRewrite, TrivialExistsDoesNotFireWhenXOccurs) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (exists (proc (x pce pcc)"
+      "           ([] x 0 pce (cont (v)"
+      "            (> v 10 (cont () (pcc true)) (cont () (pcc false))))))"
+      "   r ce cc))");
+  QueryRewriteStats stats;
+  RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.trivial_exists, 0u);
+}
+
+TEST(QueryRewrite, ExistsConstTrue) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (exists (proc (x pce pcc) (pcc true)) r ce cc))");
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.exists_const, 1u);
+  EXPECT_EQ(Execute(m, out, TestRelation(3)), 1);
+  EXPECT_EQ(Execute(m, out, TestRelation(0)), 0);
+}
+
+TEST(QueryRewrite, ProjectProjectFuses) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (project (proc (t pce pcc)"
+      "            ([] t 1 pce (cont (v) (array v pcc))))"
+      "   r ce"
+      "   (cont (tmp)"
+      "     (project (proc (t2 qce qcc)"
+      "                ([] t2 0 qce (cont (w)"
+      "                 (* w 2 qce (cont (d) (array d qcc))))))"
+      "       tmp ce"
+      "       (cont (out) (card out cc))))))");
+  QueryRewriteStats stats;
+  const Abstraction* out = RewriteQueries(&m, prog, {}, &stats);
+  EXPECT_EQ(stats.merge_project, 1u);
+  ASSERT_OK(ir::Validate(m, out));
+  Relation rel = TestRelation(17);
+  EXPECT_EQ(Execute(m, prog, rel), Execute(m, out, rel));
+}
+
+TEST(QueryRewrite, IntegratedOptimizerReachesJointFixpoint) {
+  // A view (constant-true select) exposed only after program optimization
+  // inlines the predicate binding — Fig. 4's interplay.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " ((lambda (p)"
+      "    (select p r ce (cont (out) (card out cc))))"
+      "  (proc (t pce pcc) (pcc true))))");
+  QueryRewriteStats qs;
+  ir::OptimizerStats os;
+  const Abstraction* out =
+      query::OptimizeWithQueries(&m, prog, {}, {}, &os, &qs);
+  EXPECT_EQ(qs.select_true, 1u);
+  std::string printed = ir::PrintValue(m, out);
+  EXPECT_EQ(printed.find("select"), std::string::npos);
+  EXPECT_EQ(Execute(m, out, TestRelation(9)), 9);
+}
+
+TEST(RelationCodec, RoundTrip) {
+  Relation rel;
+  rel.columns = {"id", "name", "score", "flag"};
+  rel.tuples.push_back({int64_t{1}, std::string("ada"), 3.5, true});
+  rel.tuples.push_back({int64_t{2}, std::string("bob"), -1.25, false});
+  rel.tuples.push_back({});  // empty tuple allowed
+  std::string bytes = query::EncodeRelation(rel);
+  auto back = query::DecodeRelation(bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  EXPECT_EQ(back->columns, rel.columns);
+  ASSERT_EQ(back->tuples.size(), 3u);
+  EXPECT_EQ(back->tuples[0], rel.tuples[0]);
+  EXPECT_EQ(back->tuples[1], rel.tuples[1]);
+}
+
+TEST(RelationCodec, RejectsCorruption) {
+  Relation rel;
+  rel.columns = {"x"};
+  rel.tuples.push_back({int64_t{42}});
+  std::string bytes = query::EncodeRelation(rel);
+  EXPECT_FALSE(query::DecodeRelation(bytes.substr(0, bytes.size() - 1)).ok());
+  EXPECT_FALSE(query::DecodeRelation("garbage").ok());
+}
+
+TEST(RelationCodec, HeapRoundTrip) {
+  Relation rel;
+  rel.columns = {"a", "b"};
+  rel.tuples.push_back({int64_t{1}, 2.5});
+  rel.tuples.push_back({std::string("s"), false});
+  vm::Heap heap;
+  vm::Value v = query::RelationValue(rel, &heap);
+  auto back = query::RelationFromHeap(v);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->tuples.size(), 2u);
+  EXPECT_EQ(back->tuples[0], rel.tuples[0]);
+  EXPECT_EQ(back->tuples[1], rel.tuples[1]);
+}
+
+TEST(QueryExec, JoinProducesConcatenatedTuples) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (join (proc (t1 t2 pce pcc)"
+      "         ([] t1 1 pce (cont (x)"
+      "          ([] t2 1 pce (cont (y)"
+      "           (beq x y (cont () (pcc true)) (cont () (pcc false))))))))"
+      "   r r ce (cont (out) (card out cc))))");
+  // Self-join on column b (unique) => |R| matches.
+  Relation rel = TestRelation(12);
+  EXPECT_EQ(Execute(m, prog, rel), 12);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,136 @@
+// The open-database restart path: modules installed in one process
+// (Universe) are called — and reflectively re-optimized — in another,
+// with code, PTML and closure records all loaded back from the store file.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/universe.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using rt::Universe;
+using vm::Value;
+
+class PersistenceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tml_universe_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(PersistenceTest, ModulesSurviveRestart) {
+  {
+    auto s = store::ObjectStore::Open(path_);
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource(
+        "m",
+        "fun fact(n) = if n <= 1 then 1 else n * fact(n - 1) end end",
+        fe::BindingMode::kLibrary));
+    ASSERT_OK((*s)->Commit());
+  }
+  // "Restart": fresh store handle, fresh Universe, fresh VM.
+  auto s = store::ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  auto f = u.Lookup("m", "fact");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  Value args[] = {Value::Int(10)};
+  auto r = u.Call(*f, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 3628800);
+}
+
+TEST_F(PersistenceTest, ReflectionWorksAfterRestart) {
+  {
+    auto s = store::ObjectStore::Open(path_);
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource(
+        "m",
+        "fun f(n) ="
+        "  var sum := 0 in"
+        "  begin for i = 1 upto n do sum := sum + i end; sum end "
+        "end",
+        fe::BindingMode::kLibrary));
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = store::ObjectStore::Open(path_);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  Oid f = *u.Lookup("m", "f");
+  Value args[] = {Value::Int(100)};
+  auto slow = u.Call(f, args);
+  ASSERT_TRUE(slow.ok()) << slow.status().ToString();
+  // PTML came from disk; reflect must still collapse the barriers.
+  auto fast_oid = u.ReflectOptimize(f);
+  ASSERT_TRUE(fast_oid.ok()) << fast_oid.status().ToString();
+  auto fast = u.Call(*fast_oid, args);
+  ASSERT_TRUE(fast.ok());
+  EXPECT_EQ(slow->value.i, 5050);
+  EXPECT_EQ(fast->value.i, 5050);
+  EXPECT_LT(fast->steps, slow->steps);
+}
+
+TEST_F(PersistenceTest, CrossModuleLinksSurviveRestart) {
+  {
+    auto s = store::ObjectStore::Open(path_);
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource("lib", "fun sq(x) = x * x end",
+                              fe::BindingMode::kDirect));
+    ASSERT_OK(u.InstallSource("app", "fun g(x) = sq(x) + 1 end",
+                              fe::BindingMode::kDirect));
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = store::ObjectStore::Open(path_);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  Value args[] = {Value::Int(9)};
+  auto r = u.Call(*u.Lookup("app", "g"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 82);
+}
+
+TEST_F(PersistenceTest, UncommittedModuleDoesNotSurvive) {
+  {
+    auto s = store::ObjectStore::Open(path_);
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource("m", "fun f(x) = x end",
+                              fe::BindingMode::kDirect));
+    // no Commit()
+  }
+  auto s = store::ObjectStore::Open(path_);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  EXPECT_FALSE(u.Lookup("m", "f").ok());
+}
+
+TEST_F(PersistenceTest, CompactionPreservesUniverse) {
+  {
+    auto s = store::ObjectStore::Open(path_);
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource("m", "fun f(x) = x * 3 end",
+                              fe::BindingMode::kLibrary));
+    ASSERT_OK((*s)->Commit());
+    ASSERT_OK((*s)->Compact());
+  }
+  auto s = store::ObjectStore::Open(path_);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  Value args[] = {Value::Int(14)};
+  auto r = u.Call(*u.Lookup("m", "f"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 42);
+}
+
+}  // namespace
+}  // namespace tml

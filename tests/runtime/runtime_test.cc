@@ -1,0 +1,294 @@
+// End-to-end runtime tests: installing persistent modules, linking through
+// the object store, dynamic binding, and the reflective optimizer (§4.1).
+
+#include <gtest/gtest.h>
+
+#include "core/printer.h"
+#include "query/relation.h"
+#include "runtime/universe.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using rt::InstallOptions;
+using rt::Universe;
+using vm::Value;
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+TEST(Runtime, InstallAndCallDirectMode) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x * 2 + 1 end",
+                            fe::BindingMode::kDirect));
+  auto oid = u.Lookup("m", "f");
+  ASSERT_TRUE(oid.ok());
+  Value args[] = {Value::Int(20)};
+  auto r = u.Call(*oid, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 41);
+}
+
+TEST(Runtime, LibraryModeCallsThroughStore) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x * 2 + 1 end",
+                            fe::BindingMode::kLibrary));
+  Value args[] = {Value::Int(20)};
+  auto r = u.Call(*u.Lookup("m", "f"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 41);
+}
+
+TEST(Runtime, CrossFunctionCallsAndRecursion) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "m",
+      "fun fact(n) = if n <= 1 then 1 else n * fact(n - 1) end end\n"
+      "fun twice_fact(n) = fact(n) + fact(n) end",
+      fe::BindingMode::kDirect));
+  Value args[] = {Value::Int(5)};
+  auto r = u.Call(*u.Lookup("m", "twice_fact"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 240);
+}
+
+TEST(Runtime, CrossModuleLinking) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("lib", "fun square(x) = x * x end",
+                            fe::BindingMode::kDirect));
+  ASSERT_OK(u.InstallSource("app", "fun g(x) = square(x) + 1 end",
+                            fe::BindingMode::kDirect));
+  Value args[] = {Value::Int(6)};
+  auto r = u.Call(*u.Lookup("app", "g"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 37);
+}
+
+TEST(Runtime, UnresolvedNameFailsInstall) {
+  auto s = MemStore();
+  Universe u(s.get());
+  Status st = u.InstallSource("m", "fun f(x) = mystery(x) end",
+                              fe::BindingMode::kDirect);
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+}
+
+TEST(Runtime, DuplicateModuleRejected) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x end",
+                            fe::BindingMode::kDirect));
+  EXPECT_FALSE(u.InstallSource("m", "fun f(x) = x end",
+                               fe::BindingMode::kDirect)
+                   .ok());
+}
+
+TEST(Runtime, StaticOptimizationPreservesBehaviour) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallOptions opts;
+  opts.static_optimize = true;
+  ASSERT_OK(u.InstallSource(
+      "m",
+      "fun f(x) = let a = 2 * 3 in x * a + (10 - 4) end",
+      fe::BindingMode::kLibrary, opts));
+  Value args[] = {Value::Int(5)};
+  auto r = u.Call(*u.Lookup("m", "f"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 36);
+}
+
+TEST(Reflect, OptimizedClosureComputesSameResult) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "m",
+      "fun f(x) ="
+      "  var sum := 0 in"
+      "  begin for i = 1 upto x do sum := sum + i * i end; sum end "
+      "end",
+      fe::BindingMode::kLibrary));
+  Oid f = *u.Lookup("m", "f");
+  Value args[] = {Value::Int(50)};
+  auto before = u.Call(f, args);
+  ASSERT_TRUE(before.ok()) << before.status().ToString();
+
+  rt::ReflectStats stats;
+  auto opt = u.ReflectOptimize(f, {}, &stats);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  auto after = u.Call(*opt, args);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(before->value.i, after->value.i);
+  EXPECT_FALSE(after->raised);
+  EXPECT_GT(stats.bindings_resolved, 0u);
+}
+
+TEST(Reflect, DynamicOptimizationBeatsStatic) {
+  // The E1/E3 mechanism in miniature: library-mode code speeds up by more
+  // than 1.5x once the reflective optimizer collapses the library
+  // abstraction barrier (the paper reports > 2x for full programs).
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "m",
+      "fun f(n) ="
+      "  var sum := 0 in"
+      "  begin for i = 1 upto n do sum := sum + i end; sum end "
+      "end",
+      fe::BindingMode::kLibrary));
+  Oid f = *u.Lookup("m", "f");
+  Value args[] = {Value::Int(2000)};
+  auto slow = u.Call(f, args);
+  ASSERT_TRUE(slow.ok());
+  auto opt = u.ReflectOptimize(f);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  auto fast = u.Call(*opt, args);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(slow->value.i, fast->value.i);
+  EXPECT_EQ(fast->value.i, 2001000);
+  EXPECT_LT(fast->steps * 3, slow->steps * 2)
+      << "dynamic optimization should cut >= 1/3 of executed instructions: "
+      << slow->steps << " -> " << fast->steps;
+}
+
+TEST(Reflect, RecursiveFunctionStaysRecursiveAndCorrect) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "m", "fun fib(n) = if n < 2 then n else fib(n-1) + fib(n-2) end end",
+      fe::BindingMode::kLibrary));
+  Oid fib = *u.Lookup("m", "fib");
+  auto opt = u.ReflectOptimize(fib);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  Value args[] = {Value::Int(15)};
+  auto slow = u.Call(fib, args);
+  auto fast = u.Call(*opt, args);
+  ASSERT_TRUE(slow.ok());
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(slow->value.i, 610);
+  EXPECT_EQ(fast->value.i, 610);
+  EXPECT_LT(fast->steps, slow->steps);
+}
+
+TEST(Reflect, PaperComplexAbsExample) {
+  // §4.1: abs(c) = sqrt(x(c)*x(c) + y(c)*y(c)) with complex numbers as
+  // 2-element arrays behind accessor functions in another module.
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "complex",
+      "fun make(x, y) = array(x, y) end\n"
+      "fun getx(c) = c[0] end\n"
+      "fun gety(c) = c[1] end",
+      fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource(
+      "app",
+      "fun cabs(c) ="
+      "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+      "end",
+      fe::BindingMode::kLibrary));
+  Oid make = *u.Lookup("complex", "make");
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u.Call(make, margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  auto plain = u.Call(cabs, cargs);
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_DOUBLE_EQ(plain->value.r, 5.0);
+
+  // let optimizedAbs = reflect.optimize(abs)
+  rt::ReflectStats stats;
+  auto optimized = u.ReflectOptimize(cabs, {}, &stats);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  auto fast = u.Call(*optimized, cargs);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_DOUBLE_EQ(fast->value.r, 5.0);
+  // The accessor bodies (getx/gety) and library ops were inlined.
+  EXPECT_GE(stats.bindings_resolved, 3u);
+  EXPECT_LT(fast->steps, plain->steps);
+}
+
+TEST(Reflect, ReflectTermMentionsCollectedBindings) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x + 1 end",
+                            fe::BindingMode::kLibrary));
+  ir::Module m;
+  auto term = u.ReflectTerm(*u.Lookup("m", "f"), &m);
+  ASSERT_TRUE(term.ok()) << term.status().ToString();
+  std::string printed = ir::PrintValue(m, *term);
+  EXPECT_NE(printed.find("Y"), std::string::npos);
+  EXPECT_NE(printed.find("int_add"), std::string::npos);
+}
+
+TEST(Reflect, FailsWithoutPtml) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallOptions opts;
+  opts.attach_ptml = false;
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x end",
+                            fe::BindingMode::kDirect, opts));
+  auto r = u.ReflectOptimize(*u.Lookup("m", "f"));
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(Reflect, OptimizedClosureIsItselfReflectable) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x * 2 end",
+                            fe::BindingMode::kLibrary));
+  auto once = u.ReflectOptimize(*u.Lookup("m", "f"));
+  ASSERT_TRUE(once.ok()) << once.status().ToString();
+  auto twice = u.ReflectOptimize(*once);
+  ASSERT_TRUE(twice.ok()) << twice.status().ToString();
+  Value args[] = {Value::Int(21)};
+  auto r = u.Call(*twice, args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.i, 42);
+}
+
+TEST(Runtime, SizeReportAccountsPtml) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallOptions with;
+  with.attach_ptml = true;
+  ASSERT_OK(u.InstallSource("m", "fun f(x) = x * 2 + x / 3 end",
+                            fe::BindingMode::kDirect, with));
+  auto sizes = u.Sizes();
+  EXPECT_GT(sizes.code_bytes, 0u);
+  EXPECT_GT(sizes.ptml_bytes, 0u);
+}
+
+TEST(Runtime, PersistentRelationSwizzles) {
+  auto s = MemStore();
+  Universe u(s.get());
+  query::Relation rel;
+  rel.columns = {"id", "score"};
+  for (int i = 0; i < 10; ++i) {
+    rel.tuples.push_back({int64_t{i}, int64_t{i * 10}});
+  }
+  auto rel_oid = u.StoreRelationBytes(query::EncodeRelation(rel));
+  ASSERT_TRUE(rel_oid.ok());
+  // A TL function that scans the relation OID like an array.
+  ASSERT_OK(u.InstallSource(
+      "q",
+      "fun second_score(r) = let t = r[1] in t[1] end",
+      fe::BindingMode::kDirect));
+  Value args[] = {Value::OidV(*rel_oid)};
+  auto r = u.Call(*u.Lookup("q", "second_score"), args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 10);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,205 @@
+// Object store: CRUD, durability, atomic commit, compaction, roots.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "store/object_store.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using store::ObjectStore;
+using store::ObjType;
+
+class StoreFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tmlstore_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST(StoreMemory, AllocateGetRoundTrip) {
+  auto s = ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  auto oid = (*s)->Allocate(ObjType::kBlob, "hello");
+  ASSERT_TRUE(oid.ok());
+  auto obj = (*s)->Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->bytes, "hello");
+  EXPECT_EQ(obj->type, ObjType::kBlob);
+}
+
+TEST(StoreMemory, DistinctOids) {
+  auto s = ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  auto a = (*s)->Allocate(ObjType::kBlob, "a");
+  auto b = (*s)->Allocate(ObjType::kBlob, "b");
+  EXPECT_NE(*a, *b);
+  EXPECT_EQ((*s)->num_objects(), 2u);
+}
+
+TEST(StoreMemory, GetMissingIsNotFound) {
+  auto s = ObjectStore::Open("");
+  auto obj = (*s)->Get(999);
+  EXPECT_FALSE(obj.ok());
+  EXPECT_EQ(obj.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StoreMemory, PutOverwrites) {
+  auto s = ObjectStore::Open("");
+  auto oid = (*s)->Allocate(ObjType::kBlob, "v1");
+  ASSERT_OK((*s)->Put(*oid, ObjType::kPtml, "v2"));
+  auto obj = (*s)->Get(*oid);
+  EXPECT_EQ(obj->bytes, "v2");
+  EXPECT_EQ(obj->type, ObjType::kPtml);
+}
+
+TEST(StoreMemory, DeleteRemoves) {
+  auto s = ObjectStore::Open("");
+  auto oid = (*s)->Allocate(ObjType::kBlob, "x");
+  ASSERT_OK((*s)->Delete(*oid));
+  EXPECT_FALSE((*s)->Get(*oid).ok());
+  EXPECT_FALSE((*s)->Delete(*oid).ok());
+}
+
+TEST(StoreMemory, LiveBytesByType) {
+  auto s = ObjectStore::Open("");
+  (void)(*s)->Allocate(ObjType::kCode, "1234");
+  (void)(*s)->Allocate(ObjType::kPtml, "123456");
+  (void)(*s)->Allocate(ObjType::kPtml, "12");
+  EXPECT_EQ((*s)->live_bytes(ObjType::kCode), 4u);
+  EXPECT_EQ((*s)->live_bytes(ObjType::kPtml), 8u);
+  EXPECT_EQ((*s)->live_bytes(), 12u);
+}
+
+TEST_F(StoreFileTest, CommittedDataSurvivesReopen) {
+  Oid oid;
+  {
+    auto s = ObjectStore::Open(path_);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    auto r = (*s)->Allocate(ObjType::kPtml, "persistent bytes");
+    ASSERT_TRUE(r.ok());
+    oid = *r;
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  auto obj = (*s)->Get(oid);
+  ASSERT_TRUE(obj.ok()) << obj.status().ToString();
+  EXPECT_EQ(obj->bytes, "persistent bytes");
+  EXPECT_EQ(obj->type, ObjType::kPtml);
+}
+
+TEST_F(StoreFileTest, UncommittedDataIsDiscardedOnReopen) {
+  Oid committed, uncommitted;
+  {
+    auto s = ObjectStore::Open(path_);
+    committed = *(*s)->Allocate(ObjType::kBlob, "yes");
+    ASSERT_OK((*s)->Commit());
+    uncommitted = *(*s)->Allocate(ObjType::kBlob, "no");
+  }
+  auto s = ObjectStore::Open(path_);
+  EXPECT_TRUE((*s)->Get(committed).ok());
+  EXPECT_FALSE((*s)->Get(uncommitted).ok());
+}
+
+TEST_F(StoreFileTest, UpdatesAndDeletesReplayInOrder) {
+  Oid a, b;
+  {
+    auto s = ObjectStore::Open(path_);
+    a = *(*s)->Allocate(ObjType::kBlob, "a1");
+    b = *(*s)->Allocate(ObjType::kBlob, "b1");
+    ASSERT_OK((*s)->Put(a, ObjType::kBlob, "a2"));
+    ASSERT_OK((*s)->Delete(b));
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = ObjectStore::Open(path_);
+  EXPECT_EQ((*s)->Get(a)->bytes, "a2");
+  EXPECT_FALSE((*s)->Get(b).ok());
+}
+
+TEST_F(StoreFileTest, OidsDoNotRecycleAcrossReopen) {
+  Oid first;
+  {
+    auto s = ObjectStore::Open(path_);
+    first = *(*s)->Allocate(ObjType::kBlob, "x");
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = ObjectStore::Open(path_);
+  Oid second = *(*s)->Allocate(ObjType::kBlob, "y");
+  EXPECT_GT(second, first);
+}
+
+TEST_F(StoreFileTest, RootsSurviveReopen) {
+  Oid oid;
+  {
+    auto s = ObjectStore::Open(path_);
+    oid = *(*s)->Allocate(ObjType::kModule, "mod");
+    ASSERT_OK((*s)->SetRoot("modules", oid));
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s = ObjectStore::Open(path_);
+  auto root = (*s)->GetRoot("modules");
+  ASSERT_TRUE(root.ok());
+  EXPECT_EQ(*root, oid);
+  EXPECT_FALSE((*s)->GetRoot("nope").ok());
+}
+
+TEST_F(StoreFileTest, TornTailDoesNotCorruptCommittedState) {
+  Oid oid;
+  {
+    auto s = ObjectStore::Open(path_);
+    oid = *(*s)->Allocate(ObjType::kBlob, "good");
+    ASSERT_OK((*s)->Commit());
+    // Simulate a crash mid-append: garbage past the durable length.
+    (void)(*s)->Allocate(ObjType::kBlob, "half-written garbage");
+    // no Commit
+  }
+  auto s = ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ((*s)->Get(oid)->bytes, "good");
+  EXPECT_EQ((*s)->num_objects(), 1u);
+}
+
+TEST_F(StoreFileTest, CompactShrinksFileAndPreservesData) {
+  Oid keep;
+  {
+    auto s = ObjectStore::Open(path_);
+    keep = *(*s)->Allocate(ObjType::kBlob, std::string(1000, 'k'));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_OK((*s)->Put(keep, ObjType::kBlob, std::string(1000, 'k')));
+    }
+    Oid dead = *(*s)->Allocate(ObjType::kBlob, std::string(5000, 'd'));
+    ASSERT_OK((*s)->Delete(dead));
+    ASSERT_OK((*s)->SetRoot("r", keep));
+    ASSERT_OK((*s)->Commit());
+    uint64_t before = *(*s)->FileSize();
+    ASSERT_OK((*s)->Compact());
+    uint64_t after = *(*s)->FileSize();
+    EXPECT_LT(after, before);
+  }
+  auto s = ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_EQ((*s)->Get(keep)->bytes, std::string(1000, 'k'));
+  EXPECT_EQ(*(*s)->GetRoot("r"), keep);
+}
+
+TEST_F(StoreFileTest, CommitIsRepeatable) {
+  auto s = ObjectStore::Open(path_);
+  for (int i = 0; i < 10; ++i) {
+    (void)(*s)->Allocate(ObjType::kBlob, "v" + std::to_string(i));
+    ASSERT_OK((*s)->Commit());
+  }
+  auto s2 = ObjectStore::Open(path_);
+  EXPECT_EQ((*s2)->num_objects(), 10u);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,150 @@
+// Support library: Status/Result, Arena, varint coding, interner.
+
+#include <gtest/gtest.h>
+
+#include "support/arena.h"
+#include "support/interner.h"
+#include "support/status.h"
+#include "support/varint.h"
+
+namespace tml {
+namespace {
+
+TEST(Status, DefaultIsOk) {
+  Status st;
+  EXPECT_TRUE(st.ok());
+  EXPECT_EQ(st.ToString(), "OK");
+}
+
+TEST(Status, CarriesCodeAndMessage) {
+  Status st = Status::NotFound("no such oid");
+  EXPECT_FALSE(st.ok());
+  EXPECT_EQ(st.code(), StatusCode::kNotFound);
+  EXPECT_EQ(st.ToString(), "NotFound: no such oid");
+}
+
+TEST(Status, CopiesShareRep) {
+  Status a = Status::Invalid("x");
+  Status b = a;
+  EXPECT_EQ(a, b);
+}
+
+Result<int> ParsePositive(int v) {
+  if (v <= 0) return Status::Invalid("not positive");
+  return v;
+}
+
+TEST(ResultTest, ValueAndError) {
+  auto ok = ParsePositive(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, 3);
+  auto err = ParsePositive(-1);
+  EXPECT_FALSE(err.ok());
+  EXPECT_EQ(err.status().code(), StatusCode::kInvalid);
+}
+
+Status UseAssignOrReturn(int v, int* out) {
+  TML_ASSIGN_OR_RETURN(int x, ParsePositive(v));
+  *out = x + 1;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UseAssignOrReturn(4, &out).ok());
+  EXPECT_EQ(out, 5);
+  EXPECT_FALSE(UseAssignOrReturn(-4, &out).ok());
+}
+
+TEST(ArenaTest, AllocatesAligned) {
+  Arena arena;
+  for (size_t align : {1u, 2u, 4u, 8u, 16u, 32u}) {
+    void* p = arena.Allocate(3, align);
+    EXPECT_EQ(reinterpret_cast<uintptr_t>(p) % align, 0u);
+  }
+}
+
+TEST(ArenaTest, GrowsAcrossBlocks) {
+  Arena arena(/*block_size=*/128);
+  for (int i = 0; i < 100; ++i) {
+    void* p = arena.Allocate(64);
+    ASSERT_NE(p, nullptr);
+    std::memset(p, 0xAB, 64);  // must be writable
+  }
+  EXPECT_GT(arena.num_blocks(), 1u);
+  EXPECT_GE(arena.bytes_used(), 6400u);
+}
+
+TEST(ArenaTest, LargeAllocationGetsOwnBlock) {
+  Arena arena(/*block_size=*/64);
+  void* p = arena.Allocate(10'000);
+  ASSERT_NE(p, nullptr);
+  std::memset(p, 1, 10'000);
+}
+
+TEST(ArenaTest, StrDupNulTerminates) {
+  Arena arena;
+  const char* s = arena.StrDup("hello", 5);
+  EXPECT_STREQ(s, "hello");
+}
+
+TEST(Varint, RoundTripUnsigned) {
+  std::string buf;
+  const uint64_t values[] = {0,    1,    127,        128,
+                             300,  1u << 20,  (1ull << 35) + 17,
+                             ~0ull};
+  for (uint64_t v : values) PutVarint(&buf, v);
+  VarintReader r(buf);
+  for (uint64_t v : values) {
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(Varint, RoundTripSigned) {
+  std::string buf;
+  const int64_t values[] = {0, -1, 1, -64, 64, -12345678, INT64_MIN,
+                            INT64_MAX};
+  for (int64_t v : values) PutVarintSigned(&buf, v);
+  VarintReader r(buf);
+  for (int64_t v : values) {
+    auto got = r.ReadVarintSigned();
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, v);
+  }
+}
+
+TEST(Varint, TruncatedInputIsCorruption) {
+  std::string buf;
+  PutVarint(&buf, 1u << 30);
+  buf.resize(buf.size() - 1);
+  VarintReader r(buf);
+  auto got = r.ReadVarint();
+  EXPECT_FALSE(got.ok());
+  EXPECT_EQ(got.status().code(), StatusCode::kCorruption);
+}
+
+TEST(Varint, ReadBytesBoundsChecked) {
+  VarintReader r("abc", 3);
+  auto ok = r.ReadBytes(3);
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(*ok, "abc");
+  VarintReader r2("abc", 3);
+  EXPECT_FALSE(r2.ReadBytes(4).ok());
+}
+
+TEST(InternerTest, StableSymbols) {
+  Interner in;
+  Symbol a = in.Intern("alpha");
+  Symbol b = in.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(in.Intern("alpha"), a);
+  EXPECT_EQ(in.Name(a), "alpha");
+  EXPECT_EQ(in.Name(b), "beta");
+  EXPECT_EQ(in.size(), 2u);
+}
+
+}  // namespace
+}  // namespace tml

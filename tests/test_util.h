@@ -1,0 +1,93 @@
+// Shared helpers for the TML test suite.
+
+#ifndef TML_TESTS_TEST_UTIL_H_
+#define TML_TESTS_TEST_UTIL_H_
+
+#include <string>
+#include <string_view>
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "core/parser.h"
+#include "core/printer.h"
+#include "core/validate.h"
+#include "prims/standard.h"
+#include "support/status.h"
+
+namespace tml::test {
+
+#define ASSERT_OK(expr)                                         \
+  do {                                                          \
+    ::tml::Status _st = (expr);                                 \
+    ASSERT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+#define EXPECT_OK(expr)                                         \
+  do {                                                          \
+    ::tml::Status _st = (expr);                                 \
+    EXPECT_TRUE(_st.ok()) << _st.ToString();                    \
+  } while (0)
+
+/// Parse a program (proc abstraction) or abort the test.
+inline const ir::Abstraction* MustParseProgram(ir::Module* m,
+                                               std::string_view text) {
+  auto res = ir::ParseValueText(m, prims::StandardRegistry(), text);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  if (!res.ok()) return nullptr;
+  const ir::Abstraction* abs = ir::DynCast<ir::Abstraction>(res->value);
+  EXPECT_NE(abs, nullptr) << "program text is not an abstraction";
+  return abs;
+}
+
+/// Parse a bare application or abort the test.
+inline const ir::Application* MustParseApp(ir::Module* m,
+                                           std::string_view text,
+                                           bool allow_free = false) {
+  ir::ParseOptions opts;
+  opts.allow_free_vars = allow_free;
+  auto res = ir::ParseAppText(m, prims::StandardRegistry(), text, opts);
+  EXPECT_TRUE(res.ok()) << res.status().ToString();
+  return res.ok() ? res->app : nullptr;
+}
+
+/// Compact single-line print (no uid suffixes) for structural assertions.
+inline std::string Compact(const ir::Module& m, const ir::Application* app) {
+  ir::PrintOptions opts;
+  opts.uid_suffix = false;
+  std::string s = ir::PrintApp(m, app, opts);
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (c == '\n' || c == ' ') {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty() && out.back() != '(' && c != ')') out += ' ';
+    ws = false;
+    out += c;
+  }
+  return out;
+}
+
+inline std::string Compact(const ir::Module& m, const ir::Value* v) {
+  ir::PrintOptions opts;
+  opts.uid_suffix = false;
+  std::string s = ir::PrintValue(m, v, opts);
+  std::string out;
+  bool ws = false;
+  for (char c : s) {
+    if (c == '\n' || c == ' ') {
+      ws = true;
+      continue;
+    }
+    if (ws && !out.empty() && out.back() != '(' && c != ')') out += ' ';
+    ws = false;
+    out += c;
+  }
+  return out;
+}
+
+}  // namespace tml::test
+
+#endif  // TML_TESTS_TEST_UTIL_H_

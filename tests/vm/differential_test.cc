@@ -1,0 +1,233 @@
+// The master soundness property (DESIGN.md §5): every program must produce
+// identical observable results on the reference CPS interpreter and on the
+// TVM, before optimization, after the reduction pass, and after the full
+// optimizer — over a corpus of programs and a sweep of inputs.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "core/optimizer.h"
+#include "core/printer.h"
+#include "core/rewrite.h"
+#include "core/validate.h"
+#include "interp/interp.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using test::MustParseProgram;
+
+struct Observed {
+  std::string value;
+  bool raised = false;
+  std::string output;
+};
+
+Observed ObserveInterp(const Module& m, const Abstraction* prog,
+                       int64_t arg) {
+  auto res = interp::Run(m, prog, {interp::IValue{arg}});
+  EXPECT_TRUE(res.ok()) << "interp: " << res.status().ToString();
+  if (!res.ok()) return {};
+  return {interp::ToString(res->value), res->raised, res->output};
+}
+
+Observed ObserveVm(const Module& m, const Abstraction* prog, int64_t arg) {
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "diff");
+  EXPECT_TRUE(fn.ok()) << "codegen: " << fn.status().ToString() << "\n"
+                       << ir::PrintValue(m, prog);
+  if (!fn.ok()) return {};
+  vm::VM vm;
+  vm::Value args[] = {vm::Value::Int(arg)};
+  auto res = vm.Run(*fn, args);
+  EXPECT_TRUE(res.ok()) << "vm: " << res.status().ToString() << "\n"
+                        << (*fn)->Disassemble();
+  if (!res.ok()) return {};
+  return {vm::ToString(res->value), res->raised, vm.TakeOutput()};
+}
+
+struct Corpus {
+  const char* name;
+  const char* text;  // a proc taking one integer argument
+  std::vector<int64_t> args;
+};
+
+const Corpus kCorpus[] = {
+    {"identity", "(proc (x ce cc) (cc x))", {0, -3, 99}},
+    {"arith",
+     "(proc (x ce cc)"
+     " (* x 6 ce (cont (t) (+ t 2 ce (cont (u) (% u 7 ce cc))))))",
+     {0, 1, 7, 100, -13}},
+    {"branch",
+     "(proc (x ce cc)"
+     " (< x 10 (cont () (cc 1)) (cont () (cc 2))))",
+     {9, 10, 11}},
+    {"div_fault_caught",
+     "(proc (x ce cc) (/ 100 x (cont (e) (cc -1)) cc))",
+     {0, 1, 7}},
+    {"div_fault_uncaught", "(proc (x ce cc) (/ 100 x ce cc))", {0, 5}},
+    {"loop_sum",
+     "(proc (n ce cc)"
+     " (Y (proc (/ c0 for c)"
+     "      (c (cont () (for 1 0))"
+     "         (cont (i acc)"
+     "           (> i n"
+     "              (cont () (cc acc))"
+     "              (cont ()"
+     "                (+ acc i ce (cont (a2)"
+     "                  (+ i 1 ce (cont (t2) (for t2 a2))))))))))))",
+     {0, 1, 10, 50}},
+    {"recursion_factorial",
+     "(proc (n ce cc)"
+     " (Y (proc (^c0 fact ^c)"
+     "      (c (cont () (fact n ce cc))"
+     "         (proc (i ce1 cc1)"
+     "           (<= i 1 (cont () (cc1 1))"
+     "                   (cont ()"
+     "                     (- i 1 ce1 (cont (t)"
+     "                       (fact t ce1 (cont (r)"
+     "                         (* i r ce1 cc1))))))))))))",
+     {0, 1, 5, 12}},
+    {"mutual_even_odd",
+     "(proc (n ce cc)"
+     " (Y (proc (^c0 even odd ^c)"
+     "      (c (cont () (even n ce cc))"
+     "         (proc (i ce1 cc1)"
+     "           (== i 0 (cont () (cc1 true))"
+     "                   (cont () (- i 1 ce1 (cont (t) (odd t ce1 cc1))))))"
+     "         (proc (i ce2 cc2)"
+     "           (== i 0 (cont () (cc2 false))"
+     "                   (cont () (- i 1 ce2 (cont (t) (even t ce2 cc2))))))))))",
+     {0, 1, 9, 10}},
+    {"arrays",
+     "(proc (n ce cc)"
+     " (array 0 0 0 0 (cont (a)"
+     "  ([]:= a 1 n ce (cont (g1)"
+     "   ([] a 1 ce (cont (v)"
+     "    (size a (cont (s)"
+     "     (+ v s ce cc))))))))))",
+     {5, -5}},
+    {"array_bounds_fault",
+     "(proc (n ce cc)"
+     " (array 1 2 (cont (a)"
+     "  ([] a n (cont (e) (cc -1)) cc))))",
+     {0, 1, 2, -1}},
+    {"bytes",
+     "(proc (n ce cc)"
+     " (new 8 0 (cont (b)"
+     "  ($[]:= b 3 n ce (cont (g)"
+     "   ($[] b 3 ce cc))))))",
+     {0, 255, 256}},
+    {"case_dispatch",
+     "(proc (v ce cc)"
+     " (== v 1 2 3"
+     "     (cont () (cc 10)) (cont () (cc 20)) (cont () (cc 30))"
+     "     (cont () (cc -1))))",
+     {1, 2, 3, 4}},
+    {"handlers",
+     "(proc (x ce cc)"
+     " (pushHandler (cont (e) (+ e 1000 ce cc))"
+     "  (cont ()"
+     "   (== x 0 (cont () (raise 5))"
+     "           (cont () (popHandler (cont () (cc x))))))))",
+     {0, 3}},
+    {"exceptions_across_calls",
+     "(proc (x ce cc)"
+     " ((lambda (f)"
+     "    (pushHandler (cont (e) (cc e))"
+     "     (cont () (f x ce (cont (t) (cc t))))))"
+     "  (proc (a ce2 cc2)"
+     "    (== a 0 (cont () (raise 42))"
+     "            (cont () (* a 2 ce2 cc2))))))",
+     {0, 4}},
+    {"higher_order",
+     "(proc (x ce cc)"
+     " ((lambda (twice f)"
+     "    (twice f x ce cc))"
+     "  (proc (g a ce1 cc1) (g a ce1 (cont (t) (g t ce1 cc1))))"
+     "  (proc (a ce2 cc2) (* a 3 ce2 cc2))))",
+     {1, 7}},
+    {"shadowed_copy_prop",
+     "(proc (x ce cc)"
+     " ((lambda (a) ((lambda (b) ((lambda (d) (+ a d ce cc)) b)) a)) x))",
+     {3, -9}},
+    {"overflow_caught",
+     "(proc (x ce cc)"
+     " (+ x 9223372036854775807 (cont (e) (cc -1)) cc))",
+     {0, 1, -1}},
+    {"bitops",
+     "(proc (x ce cc)"
+     " (<< x 3 (cont (a)"
+     "  (>> a 1 (cont (b)"
+     "   (& b 255 (cont (andv)"
+     "    (| andv 16 (cont (orv)"
+     "     (^ orv 3 cc))))))))))",
+     {0, 5, 1023}},
+    {"print_effect",
+     "(proc (x ce cc)"
+     " (ccall \"print\" x ce (cont (g)"
+     "  (+ x 1 ce (cont (y)"
+     "   (ccall \"print\" y ce (cont (g2) (cc y))))))))",
+     {7}},
+};
+
+class DifferentialTest : public ::testing::TestWithParam<Corpus> {};
+
+TEST_P(DifferentialTest, InterpAndVmAgreeAtEveryOptLevel) {
+  const Corpus& c = GetParam();
+  for (int64_t arg : c.args) {
+    Module m;
+    const Abstraction* prog = MustParseProgram(&m, c.text);
+    ASSERT_NE(prog, nullptr);
+    ASSERT_OK(ir::Validate(m, prog));
+
+    Observed base_i = ObserveInterp(m, prog, arg);
+
+    // Level 0: unoptimized.
+    Observed vm0 = ObserveVm(m, prog, arg);
+    EXPECT_EQ(base_i.value, vm0.value) << c.name << " arg=" << arg;
+    EXPECT_EQ(base_i.raised, vm0.raised) << c.name << " arg=" << arg;
+    EXPECT_EQ(base_i.output, vm0.output) << c.name << " arg=" << arg;
+
+    // Level 1: reduction pass only.
+    const Abstraction* reduced = ir::Reduce(&m, prog);
+    ASSERT_OK(ir::Validate(m, reduced));
+    Observed i1 = ObserveInterp(m, reduced, arg);
+    Observed v1 = ObserveVm(m, reduced, arg);
+    EXPECT_EQ(base_i.value, i1.value) << c.name << " (reduce/interp)";
+    EXPECT_EQ(base_i.raised, i1.raised) << c.name;
+    EXPECT_EQ(base_i.value, v1.value) << c.name << " (reduce/vm)";
+    EXPECT_EQ(base_i.raised, v1.raised) << c.name;
+    EXPECT_EQ(base_i.output, v1.output) << c.name;
+
+    // Level 2: full optimizer (reduction + expansion rounds).
+    const Abstraction* optimized = ir::Optimize(&m, prog);
+    ASSERT_OK(ir::Validate(m, optimized));
+    Observed i2 = ObserveInterp(m, optimized, arg);
+    Observed v2 = ObserveVm(m, optimized, arg);
+    EXPECT_EQ(base_i.value, i2.value)
+        << c.name << " (optimize/interp)\n"
+        << ir::PrintValue(m, optimized);
+    EXPECT_EQ(base_i.raised, i2.raised) << c.name;
+    EXPECT_EQ(base_i.value, v2.value) << c.name << " (optimize/vm)";
+    EXPECT_EQ(base_i.raised, v2.raised) << c.name;
+    EXPECT_EQ(base_i.output, v2.output) << c.name;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpus, DifferentialTest, ::testing::ValuesIn(kCorpus),
+    [](const ::testing::TestParamInfo<Corpus>& info) {
+      return info.param.name;
+    });
+
+}  // namespace
+}  // namespace tml

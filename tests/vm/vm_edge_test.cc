@@ -1,0 +1,187 @@
+// TVM edge cases: runtime error paths, stack limits, host functions, GC
+// behaviour under query re-entrancy, and Oid calls without a runtime env.
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using test::MustParseProgram;
+using vm::CodeUnit;
+using vm::Value;
+using vm::VM;
+
+Result<vm::RunResult> TryRun(const char* text, std::vector<Value> args,
+                             VM* vm) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, text);
+  if (prog == nullptr) return Status::Invalid("parse failed");
+  CodeUnit unit;
+  TML_ASSIGN_OR_RETURN(vm::Function * fn,
+                       vm::CompileProc(&unit, m, prog, "edge"));
+  return vm->Run(fn, args);
+}
+
+TEST(VmEdge, CallingNonProcedureIsRuntimeError) {
+  VM vm;
+  auto r = TryRun("(proc (x ce cc) (x 1 ce cc))", {Value::Int(5)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kRuntimeError);
+}
+
+TEST(VmEdge, ArityMismatchIsRuntimeError) {
+  VM vm;
+  auto r = TryRun(
+      "(proc (x ce cc)"
+      " ((lambda (f) (f x x ce cc))"  // f expects one value arg
+      "  (proc (a ce2 cc2) (cc2 a))))",
+      {Value::Int(1)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("arity"), std::string::npos);
+}
+
+TEST(VmEdge, NonTailRecursionOverflowsGracefully) {
+  // Deep non-tail recursion must surface a Status, not crash.
+  VM vm;
+  auto r = TryRun(
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 down ^c)"
+      "      (c (cont () (down n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (== i 0 (cont () (cc1 0))"
+      "              (cont ()"
+      "                (- i 1 ce1 (cont (t)"
+      "                  (down t ce1 (cont (r) (+ r 1 ce1 cc1))))))))))))",
+      {Value::Int(5'000'000)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("overflow"), std::string::npos);
+}
+
+TEST(VmEdge, StepLimitIsEnforced) {
+  vm::VMOptions opts;
+  opts.max_steps = 500;
+  VM vm(nullptr, opts);
+  auto r = TryRun(
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (loop))"
+      "         (cont () (loop))))))",
+      {Value::Int(0)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("step limit"), std::string::npos);
+}
+
+TEST(VmEdge, OidCallWithoutRuntimeEnvFails) {
+  VM vm;  // no RuntimeEnv
+  auto r = TryRun("(proc (f ce cc) (f 1 ce cc))", {Value::OidV(99)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("runtime env"), std::string::npos);
+}
+
+TEST(VmEdge, UnknownHostFunctionFails) {
+  VM vm;
+  auto r = TryRun(
+      "(proc (x ce cc) (ccall \"no_such_host\" x ce cc))",
+      {Value::Int(1)}, &vm);
+  EXPECT_FALSE(r.ok());
+  EXPECT_NE(r.status().message().find("host"), std::string::npos);
+}
+
+TEST(VmEdge, CustomHostFunctionWorks) {
+  VM vm;
+  vm.RegisterHost("triple",
+                  [](VM*, std::span<const Value> args) -> Result<Value> {
+                    return Value::Int(args[0].i * 3);
+                  });
+  auto r = TryRun(
+      "(proc (x ce cc) (ccall \"triple\" x ce cc))",
+      {Value::Int(14)}, &vm);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 42);
+}
+
+TEST(VmEdge, GcCollectsGarbageCreatedByQueryPredicates) {
+  // Each predicate invocation allocates; the GC must run mid-query without
+  // sweeping the relation, the output, or active frames.
+  VM vm;
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (r ce cc)"
+      " (select (proc (t pce pcc)"
+      "           (array 1 2 3 (cont (junk)"  // garbage per tuple
+      "            ([] t 0 pce (cont (v)"
+      "             (< v 500 (cont () (pcc true)) (cont () (pcc false))))))))"
+      "   r ce (cont (out) (card out cc))))");
+  CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "gcq");
+  ASSERT_TRUE(fn.ok());
+  // Relation with 20000 tuples: enough allocations to trigger collection.
+  vm::ArrayObj* rel = vm.heap()->New<vm::ArrayObj>();
+  rel->immutable = true;
+  for (int i = 0; i < 20000; ++i) {
+    vm::ArrayObj* row = vm.heap()->New<vm::ArrayObj>();
+    row->slots.push_back(Value::Int(i % 1000));
+    rel->slots.push_back(Value::ObjV(row));
+  }
+  Value args[] = {Value::ObjV(rel)};
+  vm.Pin(args[0]);
+  size_t before = vm.heap()->num_objects();
+  auto r = vm.Run(*fn, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 20 * 500);
+  // The per-tuple junk must not have accumulated unboundedly.
+  EXPECT_LT(vm.heap()->num_objects(), before + 30000u);
+}
+
+TEST(VmEdge, HandlerInsideLoopFiresEveryIteration) {
+  VM vm;
+  auto r = TryRun(
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (loop 1 0))"
+      "         (cont (i acc)"
+      "           (> i n"
+      "              (cont () (cc acc))"
+      "              (cont ()"
+      "                (/ 100 0"
+      "                   (cont (e)"
+      "                     (+ acc 1 ce (cont (a2)"
+      "                       (+ i 1 ce (cont (i2) (loop i2 a2))))))"
+      "                   (cont (q) (cc -1))))))))))",
+      {Value::Int(50)}, &vm);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r->value.i, 50);  // every iteration caught its own fault
+}
+
+TEST(VmEdge, ScalarEqualsDistinguishesTypes) {
+  EXPECT_FALSE(vm::ScalarEquals(Value::Int(1), Value::Bool(true)));
+  EXPECT_FALSE(vm::ScalarEquals(Value::Int(0), Value::Nil()));
+  EXPECT_TRUE(vm::ScalarEquals(Value::Nil(), Value::Nil()));
+  EXPECT_TRUE(vm::ScalarEquals(Value::Real(2.5), Value::Real(2.5)));
+  EXPECT_FALSE(vm::ScalarEquals(Value::Real(2.5), Value::Int(2)));
+  EXPECT_TRUE(vm::ScalarEquals(Value::OidV(9), Value::OidV(9)));
+}
+
+TEST(VmEdge, ToStringRendersAllTags) {
+  VM vm;
+  EXPECT_EQ(vm::ToString(Value::Nil()), "nil");
+  EXPECT_EQ(vm::ToString(Value::Bool(true)), "true");
+  EXPECT_EQ(vm::ToString(Value::Int(-3)), "-3");
+  EXPECT_EQ(vm::ToString(Value::Char('q')), "'q'");
+  EXPECT_EQ(vm::ToString(Value::OidV(5)), "<oid 5>");
+  vm::ArrayObj* a = vm.heap()->New<vm::ArrayObj>();
+  a->slots.push_back(Value::Int(1));
+  a->slots.push_back(Value::Int(2));
+  EXPECT_EQ(vm::ToString(Value::ObjV(a)), "[1 2]");
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,362 @@
+// TVM: code generation + execution of compiled TML.
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "core/optimizer.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using test::MustParseProgram;
+using vm::CodeUnit;
+using vm::CompileProc;
+using vm::RunResult;
+using vm::Value;
+using vm::VM;
+
+RunResult RunText(const char* text, std::vector<Value> args = {}) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, text);
+  EXPECT_NE(prog, nullptr);
+  if (prog == nullptr) return {};
+  CodeUnit unit;
+  auto fn = CompileProc(&unit, m, prog, "test");
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  if (!fn.ok()) return {};
+  VM vm;
+  auto res = vm.Run(*fn, args);
+  EXPECT_TRUE(res.ok()) << res.status().ToString() << "\n"
+                        << (*fn)->Disassemble();
+  return res.ok() ? *res : RunResult{};
+}
+
+TEST(Vm, ReturnsArgument) {
+  RunResult r = RunText("(proc (x ce cc) (cc x))", {Value::Int(42)});
+  EXPECT_EQ(r.value.i, 42);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Vm, ArithmeticChain) {
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " (* x 6 ce (cont (t) (+ t 2 ce cc))))",
+      {Value::Int(7)});
+  EXPECT_EQ(r.value.i, 44);
+}
+
+TEST(Vm, ComparisonBranches) {
+  const char* text =
+      "(proc (x ce cc)"
+      " (< x 10 (cont () (cc 1)) (cont () (cc 2))))";
+  EXPECT_EQ(RunText(text, {Value::Int(5)}).value.i, 1);
+  EXPECT_EQ(RunText(text, {Value::Int(15)}).value.i, 2);
+}
+
+TEST(Vm, GreaterThanSwapsOperands) {
+  const char* text =
+      "(proc (x ce cc)"
+      " (> x 10 (cont () (cc 1)) (cont () (cc 2))))";
+  EXPECT_EQ(RunText(text, {Value::Int(50)}).value.i, 1);
+  EXPECT_EQ(RunText(text, {Value::Int(5)}).value.i, 2);
+  EXPECT_EQ(RunText(text, {Value::Int(10)}).value.i, 2);
+}
+
+TEST(Vm, DivisionByZeroRoutesToLocalHandler) {
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " (/ x 0 (cont (e) (cc -1)) cc))",
+      {Value::Int(5)});
+  EXPECT_EQ(r.value.i, -1);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Vm, UncaughtFaultRaisesToTop) {
+  RunResult r = RunText("(proc (x ce cc) (/ x 0 ce cc))", {Value::Int(5)});
+  EXPECT_TRUE(r.raised);
+}
+
+TEST(Vm, YLoopAccumulates) {
+  RunResult r = RunText(
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 for c)"
+      "      (c (cont () (for 1 0))"
+      "         (cont (i acc)"
+      "           (> i n"
+      "              (cont () (cc acc))"
+      "              (cont ()"
+      "                (+ acc i ce (cont (a2)"
+      "                  (+ i 1 ce (cont (t2) (for t2 a2))))))))))))",
+      {Value::Int(100)});
+  EXPECT_EQ(r.value.i, 5050);
+}
+
+TEST(Vm, NestedProcedureCalls) {
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " ((lambda (f)"
+      "    (f x ce (cont (t1) (f t1 ce cc))))"
+      "  (proc (a ce2 cc2) (* a a ce2 cc2))))",
+      {Value::Int(3)});
+  EXPECT_EQ(r.value.i, 81);
+}
+
+TEST(Vm, TailRecursionDoesNotOverflow) {
+  // A deep tail-recursive countdown: must run in constant frame space.
+  RunResult r = RunText(
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 down ^c)"
+      "      (c (cont () (down n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (== i 0 (cont () (cc1 0))"
+      "                   (cont () (- i 1 ce1 (cont (t) (down t ce1 cc1))))))))))",
+      {Value::Int(200000)});
+  EXPECT_EQ(r.value.i, 0);
+}
+
+TEST(Vm, MutualRecursionClosures) {
+  RunResult r = RunText(
+      "(proc (n ce cc)"
+      " (Y (proc (^c0 even odd ^c)"
+      "      (c (cont () (even n ce cc))"
+      "         (proc (i ce1 cc1)"
+      "           (== i 0 (cont () (cc1 true))"
+      "                   (cont () (- i 1 ce1 (cont (t) (odd t ce1 cc1))))))"
+      "         (proc (i ce2 cc2)"
+      "           (== i 0 (cont () (cc2 false))"
+      "                   (cont () (- i 1 ce2 (cont (t) (even t ce2 cc2))))))))))",
+      {Value::Int(41)});
+  EXPECT_FALSE(r.value.b);
+}
+
+TEST(Vm, ArraysVectorsBytes) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (array 10 20 30 (cont (a)"
+      "  ([]:= a 2 40 ce (cont (ig)"
+      "   ([] a 2 ce (cont (x)"
+      "    (size a (cont (n)"
+      "     (+ x n ce cc))))))))))");
+  EXPECT_EQ(r.value.i, 43);
+}
+
+TEST(Vm, VectorWriteFaults) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (vector 1 2 (cont (v)"
+      "  ([]:= v 0 9 (cont (e) (cc -7)) cc))))");
+  EXPECT_EQ(r.value.i, -7);
+}
+
+TEST(Vm, HandlerStackAcrossCalls) {
+  // raise inside a callee lands in the caller's pushHandler block.
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " ((lambda (f)"
+      "    (pushHandler (cont (e) (cc e))"
+      "     (cont () (f x ce (cont (t) (cc 0))))))"
+      "  (proc (a ce2 cc2) (raise a))))",
+      {Value::Int(77)});
+  EXPECT_EQ(r.value.i, 77);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Vm, TailCallUnderHandlerIsDemotedNotLost) {
+  // The tail call sits under an active handler; the handler must survive
+  // the callee and the value must come back out.
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " ((lambda (f)"
+      "    (pushHandler (cont (e) (cc -1))"
+      "     (cont () (f x ce cc))))"
+      "  (proc (a ce2 cc2) (+ a 1 ce2 cc2))))",
+      {Value::Int(10)});
+  EXPECT_EQ(r.value.i, 11);
+}
+
+TEST(Vm, CaseDispatchWithElse) {
+  const char* text =
+      "(proc (v ce cc)"
+      " (== v 1 2 3"
+      "     (cont () (cc 10))"
+      "     (cont () (cc 20))"
+      "     (cont () (cc 30))"
+      "     (cont () (cc -1))))";
+  EXPECT_EQ(RunText(text, {Value::Int(2)}).value.i, 20);
+  EXPECT_EQ(RunText(text, {Value::Int(9)}).value.i, -1);
+}
+
+TEST(Vm, CaseWithoutElseRaisesOnMiss) {
+  RunResult r = RunText(
+      "(proc (v ce cc)"
+      " (== v 1 (cont () (cc 10))))",
+      {Value::Int(9)});
+  EXPECT_TRUE(r.raised);
+}
+
+TEST(Vm, RealArithmetic) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (*. 3.0 3.0 ce (cont (a)"
+      "  (*. 4.0 4.0 ce (cont (b)"
+      "   (+. a b ce (cont (s)"
+      "    (sqrt s ce cc))))))))");
+  EXPECT_DOUBLE_EQ(r.value.r, 5.0);
+}
+
+TEST(Vm, PrintHostFunction) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " (ccall \"print\" x ce (cont (ig) (cc x))))");
+  CodeUnit unit;
+  auto fn = CompileProc(&unit, m, prog, "test");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  VM vm;
+  Value args[] = {Value::Int(7)};
+  auto res = vm.Run(*fn, args);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(vm.TakeOutput(), "7\n");
+}
+
+TEST(Vm, ClosureCapturesEnvironment) {
+  // Inner proc captures outer binding `k` and argument `x`.
+  RunResult r = RunText(
+      "(proc (x ce cc)"
+      " ((lambda (k)"
+      "    ((lambda (f) (f 5 ce cc))"
+      "     (proc (a ce2 cc2) (+ a k ce2 (cont (t) (+ t x ce2 cc2))))))"
+      "  100))",
+      {Value::Int(3)});
+  EXPECT_EQ(r.value.i, 108);
+}
+
+TEST(Vm, GcSurvivesHeavyAllocation) {
+  // Allocate far more arrays than the GC threshold while keeping one live.
+  RunResult r = RunText(
+      "(proc (n ce cc)"
+      " (array 7 (cont (keep)"
+      "  (Y (proc (/ c0 loop c)"
+      "       (c (cont () (loop 0))"
+      "          (cont (i)"
+      "            (> i n"
+      "               (cont () ([] keep 0 ce cc))"
+      "               (cont ()"
+      "                 (array 1 2 3 (cont (junk)"
+      "                  (+ i 1 ce (cont (t) (loop t))))))))))))))",
+      {Value::Int(20000)});
+  EXPECT_EQ(r.value.i, 7);
+}
+
+TEST(Vm, QuerySelectWithTmlPredicate) {
+  // Relation built as an array of tuple-arrays; select tuples with
+  // field0 > 10.
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (array 5 (cont (t1) (array 15 (cont (t2) (array 25 (cont (t3)"
+      "  (vector t1 t2 t3 (cont (rel)"
+      "   (select (proc (t pce pcc)"
+      "             ([] t 0 pce (cont (v)"
+      "              (> v 10 (cont () (pcc true))"
+      "                      (cont () (pcc false))))))"
+      "           rel ce (cont (out)"
+      "    (card out cc))))))))))))");
+  EXPECT_EQ(r.value.i, 2);
+}
+
+TEST(Vm, QueryExistsShortCircuits) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (array 1 (cont (t1) (array 2 (cont (t2)"
+      "  (vector t1 t2 (cont (rel)"
+      "   (exists (proc (t pce pcc)"
+      "             ([] t 0 pce (cont (v)"
+      "              (== v 2 (cont () (pcc true)) (cont () (pcc false))))))"
+      "           rel ce cc))))))))");
+  EXPECT_TRUE(r.value.b);
+}
+
+TEST(Vm, QueryPredicateExceptionRoutesToCe) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (array 1 (cont (t1)"
+      "  (vector t1 (cont (rel)"
+      "   (select (proc (t pce pcc) (raise 99))"
+      "           rel (cont (e) (cc e)) cc))))))");
+  EXPECT_EQ(r.value.i, 99);
+  EXPECT_FALSE(r.raised);
+}
+
+TEST(Vm, EmptyAndCount) {
+  RunResult r = RunText(
+      "(proc (ce cc)"
+      " (vector (cont (rel)"
+      "  (empty rel (cont (e)"
+      "   (== e true (cont () (cc 1)) (cont () (cc 0))))))))");
+  EXPECT_EQ(r.value.i, 1);
+}
+
+TEST(VmCode, SerializeRoundTrip) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (f) (f x ce cc))"
+      "  (proc (a ce2 cc2) (+ a 1 ce2 cc2))))");
+  CodeUnit unit;
+  auto fn = CompileProc(&unit, m, prog, "ser");
+  ASSERT_TRUE(fn.ok());
+  std::string bytes = vm::SerializeFunction(**fn);
+  CodeUnit unit2;
+  auto fn2 = vm::DeserializeFunction(&unit2, bytes);
+  ASSERT_TRUE(fn2.ok()) << fn2.status().ToString();
+  EXPECT_EQ((*fn2)->name, (*fn)->name);
+  EXPECT_EQ((*fn2)->code.size(), (*fn)->code.size());
+  EXPECT_EQ((*fn2)->subfns.size(), (*fn)->subfns.size());
+  // The deserialized code must actually run.
+  VM vm;
+  Value args[] = {Value::Int(9)};
+  auto res = vm.Run(*fn2, args);
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  EXPECT_EQ(res->value.i, 10);
+}
+
+TEST(VmCode, DisassembleMentionsOps) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) (+ x 1 ce cc))");
+  CodeUnit unit;
+  auto fn = CompileProc(&unit, m, prog, "dis");
+  ASSERT_TRUE(fn.ok());
+  std::string d = (*fn)->Disassemble();
+  EXPECT_NE(d.find("addi"), std::string::npos);
+  EXPECT_NE(d.find("ret"), std::string::npos);
+}
+
+TEST(VmCode, OptimizedProgramStillRuns) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (f)"
+      "    (f 1 ce (cont (t1) (f t1 ce (cont (t2) (+ t2 x ce cc))))))"
+      "  (proc (a ce2 cc2) (+ a 10 ce2 cc2))))");
+  const Abstraction* opt = ir::Optimize(&m, prog);
+  CodeUnit unit;
+  auto fn = CompileProc(&unit, m, opt, "opt");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  VM vm;
+  Value args[] = {Value::Int(5)};
+  auto res = vm.Run(*fn, args);
+  ASSERT_TRUE(res.ok());
+  EXPECT_EQ(res->value.i, 26);
+}
+
+}  // namespace
+}  // namespace tml
