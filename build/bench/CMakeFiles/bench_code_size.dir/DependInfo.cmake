@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_code_size.cc" "bench/CMakeFiles/bench_code_size.dir/bench_code_size.cc.o" "gcc" "bench/CMakeFiles/bench_code_size.dir/bench_code_size.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/runtime/CMakeFiles/tml_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/corpus/CMakeFiles/tml_corpus.dir/DependInfo.cmake"
+  "/root/repo/build/src/store/CMakeFiles/tml_store.dir/DependInfo.cmake"
+  "/root/repo/build/src/frontend/CMakeFiles/tml_frontend.dir/DependInfo.cmake"
+  "/root/repo/build/src/prims/CMakeFiles/tml_prims.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/tml_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/vm/CMakeFiles/tml_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tml_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

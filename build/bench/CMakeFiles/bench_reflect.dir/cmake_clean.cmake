@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_reflect.dir/bench_reflect.cc.o"
+  "CMakeFiles/bench_reflect.dir/bench_reflect.cc.o.d"
+  "bench_reflect"
+  "bench_reflect.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_reflect.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

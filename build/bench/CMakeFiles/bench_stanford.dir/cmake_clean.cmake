@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_stanford.dir/bench_stanford.cc.o"
+  "CMakeFiles/bench_stanford.dir/bench_stanford.cc.o.d"
+  "bench_stanford"
+  "bench_stanford.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_stanford.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/code_shipping.dir/code_shipping.cpp.o"
+  "CMakeFiles/code_shipping.dir/code_shipping.cpp.o.d"
+  "code_shipping"
+  "code_shipping.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/code_shipping.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

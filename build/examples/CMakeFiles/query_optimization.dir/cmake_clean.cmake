@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/query_optimization.dir/query_optimization.cpp.o"
+  "CMakeFiles/query_optimization.dir/query_optimization.cpp.o.d"
+  "query_optimization"
+  "query_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/query_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

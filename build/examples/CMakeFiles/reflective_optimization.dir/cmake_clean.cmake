@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reflective_optimization.dir/reflective_optimization.cpp.o"
+  "CMakeFiles/reflective_optimization.dir/reflective_optimization.cpp.o.d"
+  "reflective_optimization"
+  "reflective_optimization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reflective_optimization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

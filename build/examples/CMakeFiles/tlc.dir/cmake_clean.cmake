@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tlc.dir/tlc.cpp.o"
+  "CMakeFiles/tlc.dir/tlc.cpp.o.d"
+  "tlc"
+  "tlc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tlc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

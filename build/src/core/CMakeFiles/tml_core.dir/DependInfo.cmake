@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/analysis.cc" "src/core/CMakeFiles/tml_core.dir/analysis.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/analysis.cc.o.d"
+  "/root/repo/src/core/expand.cc" "src/core/CMakeFiles/tml_core.dir/expand.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/expand.cc.o.d"
+  "/root/repo/src/core/module.cc" "src/core/CMakeFiles/tml_core.dir/module.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/module.cc.o.d"
+  "/root/repo/src/core/optimizer.cc" "src/core/CMakeFiles/tml_core.dir/optimizer.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/optimizer.cc.o.d"
+  "/root/repo/src/core/parser.cc" "src/core/CMakeFiles/tml_core.dir/parser.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/parser.cc.o.d"
+  "/root/repo/src/core/primitive.cc" "src/core/CMakeFiles/tml_core.dir/primitive.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/primitive.cc.o.d"
+  "/root/repo/src/core/printer.cc" "src/core/CMakeFiles/tml_core.dir/printer.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/printer.cc.o.d"
+  "/root/repo/src/core/rewrite.cc" "src/core/CMakeFiles/tml_core.dir/rewrite.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/rewrite.cc.o.d"
+  "/root/repo/src/core/subst.cc" "src/core/CMakeFiles/tml_core.dir/subst.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/subst.cc.o.d"
+  "/root/repo/src/core/validate.cc" "src/core/CMakeFiles/tml_core.dir/validate.cc.o" "gcc" "src/core/CMakeFiles/tml_core.dir/validate.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/support/CMakeFiles/tml_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

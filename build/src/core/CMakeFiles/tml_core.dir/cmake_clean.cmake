@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_core.dir/analysis.cc.o"
+  "CMakeFiles/tml_core.dir/analysis.cc.o.d"
+  "CMakeFiles/tml_core.dir/expand.cc.o"
+  "CMakeFiles/tml_core.dir/expand.cc.o.d"
+  "CMakeFiles/tml_core.dir/module.cc.o"
+  "CMakeFiles/tml_core.dir/module.cc.o.d"
+  "CMakeFiles/tml_core.dir/optimizer.cc.o"
+  "CMakeFiles/tml_core.dir/optimizer.cc.o.d"
+  "CMakeFiles/tml_core.dir/parser.cc.o"
+  "CMakeFiles/tml_core.dir/parser.cc.o.d"
+  "CMakeFiles/tml_core.dir/primitive.cc.o"
+  "CMakeFiles/tml_core.dir/primitive.cc.o.d"
+  "CMakeFiles/tml_core.dir/printer.cc.o"
+  "CMakeFiles/tml_core.dir/printer.cc.o.d"
+  "CMakeFiles/tml_core.dir/rewrite.cc.o"
+  "CMakeFiles/tml_core.dir/rewrite.cc.o.d"
+  "CMakeFiles/tml_core.dir/subst.cc.o"
+  "CMakeFiles/tml_core.dir/subst.cc.o.d"
+  "CMakeFiles/tml_core.dir/validate.cc.o"
+  "CMakeFiles/tml_core.dir/validate.cc.o.d"
+  "libtml_core.a"
+  "libtml_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_corpus.dir/stanford.cc.o"
+  "CMakeFiles/tml_corpus.dir/stanford.cc.o.d"
+  "libtml_corpus.a"
+  "libtml_corpus.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_corpus.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_frontend.dir/compile.cc.o"
+  "CMakeFiles/tml_frontend.dir/compile.cc.o.d"
+  "CMakeFiles/tml_frontend.dir/parser.cc.o"
+  "CMakeFiles/tml_frontend.dir/parser.cc.o.d"
+  "libtml_frontend.a"
+  "libtml_frontend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_frontend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

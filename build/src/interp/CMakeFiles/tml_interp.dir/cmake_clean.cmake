@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_interp.dir/interp.cc.o"
+  "CMakeFiles/tml_interp.dir/interp.cc.o.d"
+  "libtml_interp.a"
+  "libtml_interp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_interp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

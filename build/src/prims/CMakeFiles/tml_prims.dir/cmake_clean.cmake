@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_prims.dir/standard.cc.o"
+  "CMakeFiles/tml_prims.dir/standard.cc.o.d"
+  "libtml_prims.a"
+  "libtml_prims.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_prims.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

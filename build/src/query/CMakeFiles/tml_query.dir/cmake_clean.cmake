@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_query.dir/relation.cc.o"
+  "CMakeFiles/tml_query.dir/relation.cc.o.d"
+  "CMakeFiles/tml_query.dir/rewrite.cc.o"
+  "CMakeFiles/tml_query.dir/rewrite.cc.o.d"
+  "libtml_query.a"
+  "libtml_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libtml_query.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_runtime.dir/universe.cc.o"
+  "CMakeFiles/tml_runtime.dir/universe.cc.o.d"
+  "libtml_runtime.a"
+  "libtml_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

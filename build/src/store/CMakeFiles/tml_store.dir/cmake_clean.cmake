@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_store.dir/object_store.cc.o"
+  "CMakeFiles/tml_store.dir/object_store.cc.o.d"
+  "CMakeFiles/tml_store.dir/ptml.cc.o"
+  "CMakeFiles/tml_store.dir/ptml.cc.o.d"
+  "libtml_store.a"
+  "libtml_store.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_store.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

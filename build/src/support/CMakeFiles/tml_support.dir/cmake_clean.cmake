@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_support.dir/status.cc.o"
+  "CMakeFiles/tml_support.dir/status.cc.o.d"
+  "libtml_support.a"
+  "libtml_support.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_support.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

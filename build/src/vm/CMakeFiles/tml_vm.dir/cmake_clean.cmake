@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tml_vm.dir/code.cc.o"
+  "CMakeFiles/tml_vm.dir/code.cc.o.d"
+  "CMakeFiles/tml_vm.dir/codegen.cc.o"
+  "CMakeFiles/tml_vm.dir/codegen.cc.o.d"
+  "CMakeFiles/tml_vm.dir/vm.cc.o"
+  "CMakeFiles/tml_vm.dir/vm.cc.o.d"
+  "libtml_vm.a"
+  "libtml_vm.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tml_vm.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/expand_test.dir/core/expand_test.cc.o"
+  "CMakeFiles/expand_test.dir/core/expand_test.cc.o.d"
+  "expand_test"
+  "expand_test.pdb"
+  "expand_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/expand_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/frontend_negative_test.dir/frontend/frontend_negative_test.cc.o"
+  "CMakeFiles/frontend_negative_test.dir/frontend/frontend_negative_test.cc.o.d"
+  "frontend_negative_test"
+  "frontend_negative_test.pdb"
+  "frontend_negative_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/frontend_negative_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parser_printer_test.dir/core/parser_printer_test.cc.o"
+  "CMakeFiles/parser_printer_test.dir/core/parser_printer_test.cc.o.d"
+  "parser_printer_test"
+  "parser_printer_test.pdb"
+  "parser_printer_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parser_printer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

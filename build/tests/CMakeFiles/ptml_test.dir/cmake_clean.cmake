@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ptml_test.dir/store/ptml_test.cc.o"
+  "CMakeFiles/ptml_test.dir/store/ptml_test.cc.o.d"
+  "ptml_test"
+  "ptml_test.pdb"
+  "ptml_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ptml_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_fuzz_test.dir/store/store_fuzz_test.cc.o"
+  "CMakeFiles/store_fuzz_test.dir/store/store_fuzz_test.cc.o.d"
+  "store_fuzz_test"
+  "store_fuzz_test.pdb"
+  "store_fuzz_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

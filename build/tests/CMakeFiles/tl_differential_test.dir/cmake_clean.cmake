@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tl_differential_test.dir/frontend/tl_differential_test.cc.o"
+  "CMakeFiles/tl_differential_test.dir/frontend/tl_differential_test.cc.o.d"
+  "tl_differential_test"
+  "tl_differential_test.pdb"
+  "tl_differential_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tl_differential_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

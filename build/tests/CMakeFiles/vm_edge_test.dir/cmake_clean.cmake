@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/vm_edge_test.dir/vm/vm_edge_test.cc.o"
+  "CMakeFiles/vm_edge_test.dir/vm/vm_edge_test.cc.o.d"
+  "vm_edge_test"
+  "vm_edge_test.pdb"
+  "vm_edge_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/vm_edge_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/vm/vm_test.cc" "tests/CMakeFiles/vm_test.dir/vm/vm_test.cc.o" "gcc" "tests/CMakeFiles/vm_test.dir/vm/vm_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/vm/CMakeFiles/tml_vm.dir/DependInfo.cmake"
+  "/root/repo/build/src/prims/CMakeFiles/tml_prims.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/tml_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/support/CMakeFiles/tml_support.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,27 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/support_test[1]_include.cmake")
+include("/root/repo/build/tests/parser_printer_test[1]_include.cmake")
+include("/root/repo/build/tests/analysis_test[1]_include.cmake")
+include("/root/repo/build/tests/validate_test[1]_include.cmake")
+include("/root/repo/build/tests/rewrite_test[1]_include.cmake")
+include("/root/repo/build/tests/interp_test[1]_include.cmake")
+include("/root/repo/build/tests/object_store_test[1]_include.cmake")
+include("/root/repo/build/tests/ptml_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_test[1]_include.cmake")
+include("/root/repo/build/tests/differential_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_test[1]_include.cmake")
+include("/root/repo/build/tests/runtime_test[1]_include.cmake")
+include("/root/repo/build/tests/corpus_test[1]_include.cmake")
+include("/root/repo/build/tests/query_test[1]_include.cmake")
+include("/root/repo/build/tests/persistence_test[1]_include.cmake")
+include("/root/repo/build/tests/property_test[1]_include.cmake")
+include("/root/repo/build/tests/store_fuzz_test[1]_include.cmake")
+include("/root/repo/build/tests/expand_test[1]_include.cmake")
+include("/root/repo/build/tests/vm_edge_test[1]_include.cmake")
+include("/root/repo/build/tests/frontend_negative_test[1]_include.cmake")
+include("/root/repo/build/tests/tl_differential_test[1]_include.cmake")
