@@ -8,6 +8,7 @@
 #include "core/validate.h"
 #include "prims/standard.h"
 #include "query/relation.h"
+#include "support/fnv.h"
 #include "support/varint.h"
 
 namespace tml::rt {
@@ -288,22 +289,39 @@ Result<vm::Value> Universe::ResolveOid(Oid oid, vm::VM* vm) {
 
 // ---- reflection (§4.1) -------------------------------------------------------
 
-Status Universe::CollectBindings(ir::Module* m, Oid root,
-                                 ReflectStats* stats,
-                                 std::vector<Collected>* order,
-                                 const Abstraction** root_abs) {
-  // Phase 1: discover all transitively reachable closures that carry PTML
-  // and assign each a canonical variable — the single mutually recursive
-  // scope of §4.1.  Non-PTML objects (relations, foreign code) stay opaque.
+namespace {
+
+// Every field participates in the cache fingerprint: two runs agree only
+// when the optimizer would make identical decisions.
+uint64_t HashOptimizerOptions(const ir::OptimizerOptions& o, uint64_t h) {
+  auto mix = [&h](uint64_t v) { h = Fnv1a64U64(v, h); };
+  mix(o.rewrite.enable_subst);
+  mix(o.rewrite.enable_remove);
+  mix(o.rewrite.enable_reduce);
+  mix(o.rewrite.enable_eta);
+  mix(o.rewrite.enable_fold);
+  mix(o.rewrite.enable_case_subst);
+  mix(o.rewrite.enable_y_rules);
+  mix(static_cast<uint64_t>(o.rewrite.max_sweeps));
+  mix(static_cast<uint64_t>(o.expand.always_inline_cost));
+  mix(static_cast<uint64_t>(o.expand.budget));
+  mix(static_cast<uint64_t>(o.expand.savings_per_static_arg));
+  mix(static_cast<uint64_t>(o.expand.round_penalty));
+  mix(static_cast<uint64_t>(o.expand.max_expansions_per_pass));
+  mix(static_cast<uint64_t>(o.penalty_limit));
+  mix(static_cast<uint64_t>(o.max_rounds));
+  return h;
+}
+
+}  // namespace
+
+Status Universe::DiscoverReflectClosures(Oid root, ReflectStats* stats,
+                                         std::vector<Discovered>* out) {
+  // Discover all transitively reachable closures that carry PTML — the
+  // single mutually recursive scope of §4.1.  Non-PTML objects (relations,
+  // foreign code) stay opaque.  PTML stays undecoded here: the raw bytes
+  // plus the binding lists are exactly what the cache fingerprint covers.
   constexpr size_t kMaxCollected = 512;
-  struct Raw {
-    Oid oid;
-    const Abstraction* abs;
-    std::vector<Variable*> free_vars;
-    ClosureRecord rec;
-  };
-  std::vector<Raw> raws;
-  std::unordered_map<Oid, Variable*> canon;
   std::unordered_set<Oid> seen;
   std::vector<Oid> worklist{root};
   while (!worklist.empty()) {
@@ -312,7 +330,7 @@ Status Universe::CollectBindings(ir::Module* m, Oid root,
     if (!seen.insert(oid).second) continue;
     auto obj = store_->Get(oid);
     if (!obj.ok() || obj->type != store::ObjType::kClosure ||
-        raws.size() >= kMaxCollected) {
+        out->size() >= kMaxCollected) {
       if (stats != nullptr) ++stats->opaque_bindings;
       continue;
     }
@@ -324,27 +342,69 @@ Status Universe::CollectBindings(ir::Module* m, Oid root,
     }
     TML_ASSIGN_OR_RETURN(store::StoredObject ptml,
                          store_->Get(fn->ptml_oid));
-    auto decoded =
-        store::DecodePtml(m, prims::StandardRegistry(), ptml.bytes);
-    TML_RETURN_NOT_OK(decoded.status());
-    canon[oid] = m->NewValueVar(fn->name);
     for (const auto& [bname, boid] : rec.bindings) worklist.push_back(boid);
-    raws.push_back(Raw{oid, decoded->abs, decoded->free_vars,
-                       std::move(rec)});
+    out->push_back(
+        Discovered{oid, std::move(rec), fn, std::move(ptml.bytes)});
   }
-  if (canon.count(root) == 0) {
+  if (out->empty() || out->front().oid != root) {
     return Status::Invalid(
         "reflect.optimize: the target closure carries no PTML record");
   }
-  // Phase 2: re-establish the R-value bindings — substitute each free
-  // variable by the canonical variable of a collected declaration, or by
-  // an opaque OID leaf (exactly the [identifier, OID] pairs of §4.1).
-  for (const Raw& raw : raws) {
-    const Application* body = raw.abs->body();
-    for (Variable* fv : raw.free_vars) {
+  return Status::OK();
+}
+
+uint64_t Universe::FingerprintReflect(
+    const std::vector<Discovered>& discovered,
+    const ir::OptimizerOptions& opts) const {
+  // First-occurrence order of the discovery walk is deterministic, so the
+  // fingerprint is stable across processes.  Binding OIDs of opaque
+  // dependencies appear in the collected closures' binding lists, so a
+  // rebound dependency — collapsed or opaque — changes the fingerprint.
+  uint64_t h = Fnv1a64("tml-reflect-cache-v1");
+  for (const Discovered& d : discovered) {
+    h = Fnv1a64U64(d.ptml_bytes.size(), h);
+    h = Fnv1a64(d.ptml_bytes, h);
+    h = Fnv1a64U64(d.rec.bindings.size(), h);
+    for (const auto& [name, oid] : d.rec.bindings) {
+      h = Fnv1a64U64(name.size(), h);
+      h = Fnv1a64(name, h);
+      h = Fnv1a64U64(oid, h);
+    }
+  }
+  return HashOptimizerOptions(opts, h);
+}
+
+Result<const Abstraction*> Universe::BuildReflectTerm(
+    ir::Module* m, Oid root, const std::vector<Discovered>& discovered,
+    ReflectStats* stats) {
+  // Decode each discovered PTML record and assign its closure a canonical
+  // variable.
+  std::unordered_map<Oid, Variable*> canon;
+  std::vector<store::PtmlDecoded> decoded;
+  decoded.reserve(discovered.size());
+  for (const Discovered& d : discovered) {
+    auto dec = store::DecodePtml(m, prims::StandardRegistry(), d.ptml_bytes);
+    TML_RETURN_NOT_OK(dec.status());
+    canon[d.oid] = m->NewValueVar(d.fn->name);
+    decoded.push_back(std::move(*dec));
+  }
+  // Re-establish the R-value bindings — substitute each free variable by
+  // the canonical variable of a collected declaration, or by an opaque OID
+  // leaf (exactly the [identifier, OID] pairs of §4.1).
+  struct Collected {
+    Oid oid;
+    Variable* var;
+    const Abstraction* abs;
+  };
+  std::vector<Collected> order;
+  order.reserve(discovered.size());
+  for (size_t i = 0; i < discovered.size(); ++i) {
+    const Discovered& d = discovered[i];
+    const Application* body = decoded[i].abs->body();
+    for (Variable* fv : decoded[i].free_vars) {
       std::string fname(m->NameOf(*fv));
       Oid dep = kNullOid;
-      for (const auto& [bname, boid] : raw.rec.bindings) {
+      for (const auto& [bname, boid] : d.rec.bindings) {
         if (bname == fname) {
           dep = boid;
           break;
@@ -363,26 +423,14 @@ Status Universe::CollectBindings(ir::Module* m, Oid root,
       }
       body = ir::Substitute(m, body, fv, repl);
     }
-    Collected c;
-    c.oid = raw.oid;
-    c.var = canon.at(raw.oid);
-    c.abs = m->Abs(raw.abs->params(), body);
-    order->push_back(std::move(c));
+    order.push_back(
+        Collected{d.oid, canon.at(d.oid), m->Abs(decoded[i].abs->params(),
+                                                 body)});
   }
-  *root_abs = nullptr;
-  for (const Collected& c : *order) {
-    if (c.oid == root) *root_abs = c.abs;
-  }
-  return Status::OK();
-}
-
-Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
-                                                 ir::Module* m,
-                                                 ReflectStats* stats) {
-  std::vector<Collected> order;
   const Abstraction* root_abs = nullptr;
-  TML_RETURN_NOT_OK(
-      CollectBindings(m, closure_oid, stats, &order, &root_abs));
+  for (const Collected& c : order) {
+    if (c.oid == root) root_abs = c.abs;
+  }
 
   // Fresh top-level parameters mirroring the root's signature.
   size_t num_value = root_abs->num_value_params();
@@ -405,7 +453,7 @@ Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
   // through applications of the fixpoint combinator Y" (§4.2).
   Variable* root_var = nullptr;
   for (const Collected& c : order) {
-    if (c.oid == closure_oid) root_var = c.var;
+    if (c.oid == root) root_var = c.var;
   }
   const Application* call =
       m->App(root_var, std::span<const ir::Value* const>(call_args.data(),
@@ -432,13 +480,78 @@ Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
                 body);
 }
 
+Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
+                                                 ir::Module* m,
+                                                 ReflectStats* stats) {
+  std::vector<Discovered> discovered;
+  TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
+  return BuildReflectTerm(m, closure_oid, discovered, stats);
+}
+
+Status Universe::EnsureReflectCacheLoaded() {
+  if (reflect_cache_loaded_) return Status::OK();
+  reflect_cache_loaded_ = true;
+  auto root = store_->GetRoot(store::kReflectCacheRoot);
+  if (!root.ok()) return Status::OK();  // nothing persisted yet
+  reflect_cache_oid_ = *root;
+  // The cache is advisory: a missing, retyped, or undecodable index record
+  // degrades to an empty cache (the next miss rewrites it) rather than
+  // making reflection unavailable.
+  auto obj = store_->Get(reflect_cache_oid_);
+  if (!obj.ok() || obj->type != store::ObjType::kReflectCache) {
+    return Status::OK();
+  }
+  auto entries = store::DecodeReflectCache(obj->bytes);
+  if (!entries.ok()) return Status::OK();
+  for (const store::ReflectCacheEntry& e : *entries) {
+    reflect_cache_[e.fingerprint] = e;
+  }
+  return Status::OK();
+}
+
+Status Universe::PersistReflectCache() {
+  std::vector<store::ReflectCacheEntry> entries;
+  entries.reserve(reflect_cache_.size());
+  for (const auto& [fp, e] : reflect_cache_) entries.push_back(e);
+  std::string bytes = store::EncodeReflectCache(std::move(entries));
+  if (reflect_cache_oid_ == kNullOid) {
+    TML_ASSIGN_OR_RETURN(reflect_cache_oid_,
+                         store_->Allocate(store::ObjType::kReflectCache,
+                                          bytes));
+    return store_->SetRoot(store::kReflectCacheRoot, reflect_cache_oid_);
+  }
+  return store_->Put(reflect_cache_oid_, store::ObjType::kReflectCache,
+                     bytes);
+}
+
 Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
                                       const ir::OptimizerOptions& opts,
                                       ReflectStats* stats) {
+  TML_RETURN_NOT_OK(EnsureReflectCacheLoaded());
+  std::vector<Discovered> discovered;
+  TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
+  uint64_t fp = FingerprintReflect(discovered, opts);
+  auto hit = reflect_cache_.find(fp);
+  if (hit != reflect_cache_.end()) {
+    const store::ReflectCacheEntry& e = hit->second;
+    if (store_->Contains(e.closure_oid) && store_->Contains(e.code_oid)) {
+      if (stats != nullptr) {
+        ++stats->cache_hits;
+        stats->cache_bytes =
+            store_->live_bytes(store::ObjType::kReflectCache);
+      }
+      return e.closure_oid;
+    }
+    // The regenerated records were deleted out from under the index; drop
+    // the stale entry and fall through to a full re-optimization.
+    reflect_cache_.erase(hit);
+  }
+  if (stats != nullptr) ++stats->cache_misses;
+
   auto module = std::make_unique<ir::Module>();
   ir::Module* m = module.get();
   TML_ASSIGN_OR_RETURN(const Abstraction* wrapped,
-                       ReflectTerm(closure_oid, m, stats));
+                       BuildReflectTerm(m, closure_oid, discovered, stats));
   if (stats != nullptr) {
     stats->input_term_size = 1 + ir::TermSize(wrapped->body());
   }
@@ -473,6 +586,12 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
   TML_ASSIGN_OR_RETURN(Oid clo_oid,
                        store_->Allocate(store::ObjType::kClosure,
                                         EncodeClosureRecord(rec)));
+  reflect_cache_[fp] =
+      store::ReflectCacheEntry{fp, clo_oid, code_oid, ptml_oid};
+  TML_RETURN_NOT_OK(PersistReflectCache());
+  if (stats != nullptr) {
+    stats->cache_bytes = store_->live_bytes(store::ObjType::kReflectCache);
+  }
   reflected_modules_.push_back(std::move(module));
   return clo_oid;
 }

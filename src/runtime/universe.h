@@ -33,6 +33,7 @@
 #include "frontend/compile.h"
 #include "store/object_store.h"
 #include "store/ptml.h"
+#include "store/reflect_cache.h"
 #include "vm/codegen.h"
 #include "vm/vm.h"
 
@@ -55,6 +56,12 @@ struct ReflectStats {
   size_t opaque_bindings = 0;    ///< left as OID leaves
   size_t input_term_size = 0;
   size_t output_term_size = 0;
+  // Persistent reflect-cache accounting.  On a hit only the discovery
+  // traversal runs: decode, optimize and codegen are skipped, so the
+  // optimizer/term-size fields above stay untouched.
+  size_t cache_hits = 0;
+  size_t cache_misses = 0;
+  size_t cache_bytes = 0;  ///< live bytes of the kReflectCache index
 };
 
 class Universe : public vm::RuntimeEnv {
@@ -97,6 +104,14 @@ class Universe : public vm::RuntimeEnv {
   /// optimize across abstraction barriers, regenerate code, and return a
   /// runnable closure value (also persisted; the returned OID can be
   /// Call()ed like any other function).
+  ///
+  /// Results are memoized in a persistent cache keyed by a fingerprint of
+  /// (PTML bytes, resolved R-value binding OIDs in first-occurrence order,
+  /// optimizer options): a repeated call — including one in a fresh
+  /// Universe after the store is reopened — links the previously
+  /// regenerated code instead of re-decoding, re-optimizing and
+  /// re-generating.  Changing any binding OID, any PTML record, or the
+  /// options changes the fingerprint, so stale entries are never served.
   Result<Oid> ReflectOptimize(Oid closure_oid,
                               const ir::OptimizerOptions& opts = {},
                               ReflectStats* stats = nullptr);
@@ -136,15 +151,26 @@ class Universe : public vm::RuntimeEnv {
                               unit_names) const;
 
   // Reflection helpers.
-  struct Collected {
-    Oid oid;
-    ir::Variable* var;                       // canonical variable
-    const ir::Abstraction* abs = nullptr;    // decoded body (if PTML)
-    std::vector<std::pair<ir::Variable*, Oid>> deps;
+  //
+  // Discovery (the §4.1 transitive-reachability walk) is separated from
+  // term building so that ReflectOptimize can fingerprint the raw inputs —
+  // PTML bytes plus closure-record bindings — and serve a cache hit
+  // without ever decoding PTML or running the optimizer.
+  struct Discovered {
+    Oid oid = kNullOid;
+    ClosureRecord rec;
+    const vm::Function* fn = nullptr;  // deserialized code (ptml_oid != 0)
+    std::string ptml_bytes;            // raw PTML record, not yet decoded
   };
-  Status CollectBindings(ir::Module* m, Oid root, ReflectStats* stats,
-                         std::vector<Collected>* order,
-                         const ir::Abstraction** root_abs);
+  Status DiscoverReflectClosures(Oid root, ReflectStats* stats,
+                                 std::vector<Discovered>* out);
+  uint64_t FingerprintReflect(const std::vector<Discovered>& discovered,
+                              const ir::OptimizerOptions& opts) const;
+  Result<const ir::Abstraction*> BuildReflectTerm(
+      ir::Module* m, Oid root, const std::vector<Discovered>& discovered,
+      ReflectStats* stats);
+  Status EnsureReflectCacheLoaded();
+  Status PersistReflectCache();
 
   store::ObjectStore* store_;
   std::unique_ptr<vm::VM> vm_;
@@ -158,6 +184,12 @@ class Universe : public vm::RuntimeEnv {
                      std::unordered_map<std::string, Oid>>
       modules_;
   int reflect_counter_ = 0;
+  /// fingerprint -> regenerated result; mirrored in the store as a single
+  /// kReflectCache index record under the "reflect-cache" root (loaded
+  /// lazily on the first ReflectOptimize).
+  std::unordered_map<uint64_t, store::ReflectCacheEntry> reflect_cache_;
+  Oid reflect_cache_oid_ = kNullOid;
+  bool reflect_cache_loaded_ = false;
 };
 
 }  // namespace tml::rt

@@ -39,8 +39,9 @@ enum class ObjType : uint8_t {
   kPtml = 1,      ///< persistent TML encoding of a function (§4.1)
   kCode = 2,      ///< serialized TVM code object
   kClosure = 3,   ///< closure record: code OID + R-value bindings
-  kModule = 4,    ///< module record: export name -> OID
-  kRelation = 5,  ///< relation payload (schema + tuples)
+  kModule = 4,       ///< module record: export name -> OID
+  kRelation = 5,     ///< relation payload (schema + tuples)
+  kReflectCache = 6, ///< reflect-optimize cache index (see reflect_cache.h)
 };
 
 struct StoredObject {

@@ -190,6 +190,12 @@ class Decoder {
     TML_ASSIGN_OR_RETURN(std::string magic, r_.ReadBytes(3));
     if (magic != "PT1") return Status::Corruption("PTML: bad magic");
     TML_ASSIGN_OR_RETURN(uint64_t nstr, r_.ReadVarint());
+    // Each table entry consumes at least one byte (its length varint), so
+    // a count beyond the remaining input is corrupt; checking before the
+    // reserve keeps a 5-byte record from provoking a multi-GB allocation.
+    if (nstr > r_.Remaining()) {
+      return Status::Corruption("PTML: string table count exceeds input");
+    }
     strings_.reserve(nstr);
     for (uint64_t i = 0; i < nstr; ++i) {
       TML_ASSIGN_OR_RETURN(uint64_t len, r_.ReadVarint());
@@ -197,6 +203,10 @@ class Decoder {
       strings_.push_back(std::move(s));
     }
     TML_ASSIGN_OR_RETURN(uint64_t nfree, r_.ReadVarint());
+    // A free-variable declaration is a name index plus a sort byte.
+    if (nfree > r_.Remaining() / 2) {
+      return Status::Corruption("PTML: free-variable count exceeds input");
+    }
     PtmlDecoded out;
     for (uint64_t i = 0; i < nfree; ++i) {
       TML_ASSIGN_OR_RETURN(Variable * fv, ReadVarDecl());
@@ -279,6 +289,10 @@ class Decoder {
       case kTagAbs: {
         TML_ASSIGN_OR_RETURN(uint64_t nparams, r_.ReadVarint());
         if (nparams > 4096) return Status::Corruption("PTML: huge arity");
+        // Each parameter declaration is a name index plus a sort byte.
+        if (nparams > r_.Remaining() / 2) {
+          return Status::Corruption("PTML: parameter count exceeds input");
+        }
         std::vector<Variable*> params;
         params.reserve(nparams);
         for (uint64_t i = 0; i < nparams; ++i) {
@@ -305,6 +319,10 @@ class Decoder {
     TML_ASSIGN_OR_RETURN(uint64_t nelems, r_.ReadVarint());
     if (nelems == 0 || nelems > 1u << 20) {
       return Status::Corruption("PTML: bad application size");
+    }
+    // Every element occupies at least its one tag byte.
+    if (nelems > r_.Remaining()) {
+      return Status::Corruption("PTML: application size exceeds input");
     }
     std::vector<const ir::Value*> elems;
     elems.reserve(nelems);

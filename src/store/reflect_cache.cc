@@ -1,0 +1,56 @@
+#include "store/reflect_cache.h"
+
+#include <algorithm>
+
+#include "support/varint.h"
+
+namespace tml::store {
+
+std::string EncodeReflectCache(std::vector<ReflectCacheEntry> entries) {
+  std::sort(entries.begin(), entries.end(),
+            [](const ReflectCacheEntry& a, const ReflectCacheEntry& b) {
+              return a.fingerprint < b.fingerprint;
+            });
+  std::string out;
+  out.push_back('R');
+  out.push_back('C');
+  out.push_back('1');
+  PutVarint(&out, entries.size());
+  for (const ReflectCacheEntry& e : entries) {
+    PutVarint(&out, e.fingerprint);
+    PutVarint(&out, e.closure_oid);
+    PutVarint(&out, e.code_oid);
+    PutVarint(&out, e.ptml_oid);
+  }
+  return out;
+}
+
+Result<std::vector<ReflectCacheEntry>> DecodeReflectCache(
+    std::string_view bytes) {
+  VarintReader r(bytes.data(), bytes.size());
+  TML_ASSIGN_OR_RETURN(std::string magic, r.ReadBytes(3));
+  if (magic != "RC1") {
+    return Status::Corruption("reflect cache: bad magic");
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+  // Four varints per entry, one byte each at minimum.
+  if (count > r.Remaining() / 4) {
+    return Status::Corruption("reflect cache: entry count exceeds input");
+  }
+  std::vector<ReflectCacheEntry> entries;
+  entries.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    ReflectCacheEntry e;
+    TML_ASSIGN_OR_RETURN(e.fingerprint, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.closure_oid, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.code_oid, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.ptml_oid, r.ReadVarint());
+    entries.push_back(e);
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("reflect cache: trailing bytes");
+  }
+  return entries;
+}
+
+}  // namespace tml::store

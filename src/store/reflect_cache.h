@@ -1,0 +1,58 @@
+// Persistent reflect-optimize cache records.
+//
+// Every `reflect.optimize` run is keyed by an FNV-1a fingerprint of its
+// inputs: the PTML bytes and closure-record bindings of all transitively
+// collected declarations (in first-occurrence order) plus the optimizer
+// options.  The regenerated kCode/kClosure/kPtml records are ordinary
+// store objects; this module defines the durable index that maps a
+// fingerprint to them, stored as a single kReflectCache record reachable
+// from the "reflect-cache" root.  A binding OID change, PTML change, or
+// option change alters the fingerprint, so stale entries are simply never
+// looked up again; Compact() retains the index and its targets because
+// both live in the store directory.
+//
+// Wire format (all integers varint):
+//
+//   magic 'R','C','1'
+//   count, (fingerprint, closure-oid, code-oid, ptml-oid)*
+
+#ifndef TML_STORE_REFLECT_CACHE_H_
+#define TML_STORE_REFLECT_CACHE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "core/oid.h"
+#include "support/status.h"
+
+namespace tml::store {
+
+/// Name of the store root that anchors the cache index record.
+inline constexpr char kReflectCacheRoot[] = "reflect-cache";
+
+struct ReflectCacheEntry {
+  uint64_t fingerprint = 0;
+  Oid closure_oid = kNullOid;  ///< regenerated closure record (kClosure)
+  Oid code_oid = kNullOid;     ///< regenerated code object (kCode)
+  Oid ptml_oid = kNullOid;     ///< PTML attached to the regenerated code
+
+  bool operator==(const ReflectCacheEntry& o) const {
+    return fingerprint == o.fingerprint && closure_oid == o.closure_oid &&
+           code_oid == o.code_oid && ptml_oid == o.ptml_oid;
+  }
+};
+
+/// Encode the index; entries are sorted by fingerprint so the record bytes
+/// are deterministic for a given cache state.
+std::string EncodeReflectCache(std::vector<ReflectCacheEntry> entries);
+
+/// Decode an index record (bounds-checked; corrupt counts are rejected
+/// before any allocation is sized from them).
+Result<std::vector<ReflectCacheEntry>> DecodeReflectCache(
+    std::string_view bytes);
+
+}  // namespace tml::store
+
+#endif  // TML_STORE_REFLECT_CACHE_H_

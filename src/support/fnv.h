@@ -1,0 +1,47 @@
+// FNV-1a 64-bit hashing, used to fingerprint reflective-optimization
+// inputs (PTML bytes + binding OIDs + optimizer options) for the
+// persistent reflect cache.  Chain calls by passing the previous result
+// as `seed`; variable-length fields should be length-prefixed by the
+// caller (hash the length first) so concatenations are unambiguous.
+
+#ifndef TML_SUPPORT_FNV_H_
+#define TML_SUPPORT_FNV_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace tml {
+
+inline constexpr uint64_t kFnvOffsetBasis = 1469598103934665603ull;
+inline constexpr uint64_t kFnvPrime = 1099511628211ull;
+
+inline uint64_t Fnv1a64(const void* data, size_t size,
+                        uint64_t seed = kFnvOffsetBasis) {
+  uint64_t h = seed;
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  for (size_t i = 0; i < size; ++i) {
+    h ^= p[i];
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+inline uint64_t Fnv1a64(std::string_view s,
+                        uint64_t seed = kFnvOffsetBasis) {
+  return Fnv1a64(s.data(), s.size(), seed);
+}
+
+/// Hash a fixed-width integer (as 8 little-endian bytes).
+inline uint64_t Fnv1a64U64(uint64_t v, uint64_t seed) {
+  uint64_t h = seed;
+  for (int i = 0; i < 8; ++i) {
+    h ^= (v >> (8 * i)) & 0xFF;
+    h *= kFnvPrime;
+  }
+  return h;
+}
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_FNV_H_

@@ -44,6 +44,11 @@ class VarintReader {
       }
       uint8_t byte = static_cast<uint8_t>(data_[pos_++]);
       if (shift >= 64) return Status::Corruption("varint: overlong encoding");
+      // The 10th byte holds only bit 63: any higher data bit would be
+      // silently truncated, giving the byte string a second decoding.
+      if (shift == 63 && (byte & 0x7E) != 0) {
+        return Status::Corruption("varint: non-canonical encoding");
+      }
       v |= static_cast<uint64_t>(byte & 0x7F) << shift;
       if ((byte & 0x80) == 0) return v;
       shift += 7;
@@ -57,7 +62,9 @@ class VarintReader {
 
   /// Read `n` raw bytes.
   Result<std::string> ReadBytes(size_t n) {
-    if (pos_ + n > size_) return Status::Corruption("varint: truncated bytes");
+    // Not `pos_ + n > size_`: that wraps for huge `n` decoded from corrupt
+    // input (pos_ <= size_ always holds, so the subtraction is safe).
+    if (n > size_ - pos_) return Status::Corruption("varint: truncated bytes");
     std::string s(data_ + pos_, n);
     pos_ += n;
     return s;
@@ -65,6 +72,9 @@ class VarintReader {
 
   bool AtEnd() const { return pos_ == size_; }
   size_t position() const { return pos_; }
+  /// Bytes left to read; decoders bound element counts by this before
+  /// reserving so corrupt input cannot trigger huge allocations.
+  size_t Remaining() const { return size_ - pos_; }
 
  private:
   const char* data_;

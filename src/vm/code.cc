@@ -188,7 +188,19 @@ std::string SerializeFunction(const Function& fn) {
   return out;
 }
 
-Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
+namespace {
+
+// Depth bound for nested subfunction payloads: compiled code nests a few
+// levels at most, while a crafted record could otherwise recurse until the
+// C++ stack overflows.
+constexpr int kMaxSubfnDepth = 64;
+
+Result<Function*> DeserializeFunctionImpl(CodeUnit* unit,
+                                          std::string_view bytes,
+                                          int depth) {
+  if (depth > kMaxSubfnDepth) {
+    return Status::Corruption("code: subfunction nesting too deep");
+  }
   VarintReader r(bytes.data(), bytes.size());
   TML_ASSIGN_OR_RETURN(std::string magic, r.ReadBytes(5));
   if (magic != "TVMC1") return Status::Corruption("code: bad magic");
@@ -200,11 +212,21 @@ Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
   TML_ASSIGN_OR_RETURN(uint64_t nregs, r.ReadVarint());
   fn->num_regs = static_cast<uint32_t>(nregs);
   TML_ASSIGN_OR_RETURN(uint64_t npool, r.ReadVarint());
+  // Element counts are bounded by the remaining input (every element
+  // consumes at least one byte) before any allocation is sized from them.
+  if (npool > r.Remaining()) {
+    return Status::Corruption("code: pool count exceeds input");
+  }
+  fn->pool.reserve(npool);
   for (uint64_t i = 0; i < npool; ++i) {
     TML_ASSIGN_OR_RETURN(Constant c, ReadConstant(&r));
     fn->pool.push_back(std::move(c));
   }
   TML_ASSIGN_OR_RETURN(uint64_t nfail, r.ReadVarint());
+  if (nfail > r.Remaining() / 2) {
+    return Status::Corruption("code: fail-info count exceeds input");
+  }
+  fn->fail_infos.reserve(nfail);
   for (uint64_t i = 0; i < nfail; ++i) {
     FailInfo f;
     TML_ASSIGN_OR_RETURN(int64_t target, r.ReadVarintSigned());
@@ -214,6 +236,10 @@ Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
     fn->fail_infos.push_back(f);
   }
   TML_ASSIGN_OR_RETURN(uint64_t ncaps, r.ReadVarint());
+  if (ncaps > r.Remaining()) {
+    return Status::Corruption("code: capture count exceeds input");
+  }
+  fn->cap_names.reserve(ncaps);
   for (uint64_t i = 0; i < ncaps; ++i) {
     TML_ASSIGN_OR_RETURN(uint64_t slen, r.ReadVarint());
     TML_ASSIGN_OR_RETURN(std::string s, r.ReadBytes(slen));
@@ -221,10 +247,20 @@ Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
   }
   TML_ASSIGN_OR_RETURN(fn->ptml_oid, r.ReadVarint());
   TML_ASSIGN_OR_RETURN(uint64_t ncode, r.ReadVarint());
+  // An instruction is an op byte plus five varints.
+  if (ncode > r.Remaining() / 6) {
+    return Status::Corruption("code: instruction count exceeds input");
+  }
+  fn->code.reserve(ncode);
   for (uint64_t i = 0; i < ncode; ++i) {
     Instr in;
     TML_ASSIGN_OR_RETURN(std::string op_b, r.ReadBytes(1));
-    in.op = static_cast<Op>(op_b[0]);
+    uint8_t op_raw = static_cast<uint8_t>(op_b[0]);
+    if (op_raw > static_cast<uint8_t>(Op::kCount)) {
+      return Status::Corruption("code: unknown opcode " +
+                                std::to_string(op_raw));
+    }
+    in.op = static_cast<Op>(op_raw);
     TML_ASSIGN_OR_RETURN(uint64_t a, r.ReadVarint());
     TML_ASSIGN_OR_RETURN(uint64_t b, r.ReadVarint());
     TML_ASSIGN_OR_RETURN(uint64_t c, r.ReadVarint());
@@ -238,13 +274,24 @@ Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
     fn->code.push_back(in);
   }
   TML_ASSIGN_OR_RETURN(uint64_t nsub, r.ReadVarint());
+  if (nsub > r.Remaining()) {
+    return Status::Corruption("code: subfunction count exceeds input");
+  }
+  fn->subfns.reserve(nsub);
   for (uint64_t i = 0; i < nsub; ++i) {
     TML_ASSIGN_OR_RETURN(uint64_t ilen, r.ReadVarint());
     TML_ASSIGN_OR_RETURN(std::string inner, r.ReadBytes(ilen));
-    TML_ASSIGN_OR_RETURN(Function * sub, DeserializeFunction(unit, inner));
+    TML_ASSIGN_OR_RETURN(Function * sub,
+                         DeserializeFunctionImpl(unit, inner, depth + 1));
     fn->subfns.push_back(sub);
   }
   return fn;
+}
+
+}  // namespace
+
+Result<Function*> DeserializeFunction(CodeUnit* unit, std::string_view bytes) {
+  return DeserializeFunctionImpl(unit, bytes, 0);
 }
 
 }  // namespace tml::vm

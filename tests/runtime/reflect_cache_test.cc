@@ -1,0 +1,257 @@
+// The persistent reflect-optimize cache: repeated `reflect.optimize`
+// calls — and calls in a fresh Universe after the store is reopened —
+// link the previously regenerated code instead of re-running the §4.1
+// pipeline, while any change to a binding OID or the optimizer options
+// changes the fingerprint and forces a fresh run.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "runtime/universe.h"
+#include "support/varint.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using rt::ReflectStats;
+using rt::Universe;
+using vm::Value;
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+// The kCode OID inside a closure record is its leading varint.
+Oid CodeOidOfClosure(store::ObjectStore* s, Oid closure_oid) {
+  auto obj = s->Get(closure_oid);
+  if (!obj.ok()) return kNullOid;
+  VarintReader r(obj->bytes.data(), obj->bytes.size());
+  auto code_oid = r.ReadVarint();
+  return code_oid.ok() ? *code_oid : kNullOid;
+}
+
+// Re-encode a closure record with the binding for `name` pointing at
+// `new_oid` (test-side surgery to simulate a rebound dependency).
+std::string RebindClosure(const std::string& bytes, const std::string& name,
+                          Oid new_oid) {
+  VarintReader r(bytes.data(), bytes.size());
+  uint64_t code_oid = *r.ReadVarint();
+  uint64_t n = *r.ReadVarint();
+  std::string out;
+  PutVarint(&out, code_oid);
+  PutVarint(&out, n);
+  for (uint64_t i = 0; i < n; ++i) {
+    uint64_t len = *r.ReadVarint();
+    std::string bname = *r.ReadBytes(len);
+    uint64_t boid = *r.ReadVarint();
+    PutVarint(&out, bname.size());
+    out.append(bname);
+    PutVarint(&out, bname == name ? new_oid : boid);
+  }
+  return out;
+}
+
+class ReflectCacheTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = ::testing::TempDir() + "/tml_reflect_cache_" +
+            std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    std::remove(path_.c_str());
+  }
+  void TearDown() override { std::remove(path_.c_str()); }
+  std::string path_;
+};
+
+TEST_F(ReflectCacheTest, RepeatedReflectHitsCache) {
+  auto s = store::ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  ReflectStats first;
+  auto r1 = u.ReflectOptimize(cabs, {}, &first);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(first.cache_misses, 1u);
+  EXPECT_EQ(first.cache_hits, 0u);
+  EXPECT_GT(first.cache_bytes, 0u);
+
+  ReflectStats second;
+  auto r2 = u.ReflectOptimize(cabs, {}, &second);
+  ASSERT_TRUE(r2.ok());
+  EXPECT_EQ(second.cache_hits, 1u);
+  EXPECT_EQ(second.cache_misses, 0u);
+  EXPECT_EQ(*r1, *r2) << "a hit must return the cached closure";
+
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u.Call(*u.Lookup("complex", "make"), margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  auto v1 = u.Call(*r1, cargs);
+  auto v2 = u.Call(*r2, cargs);
+  ASSERT_TRUE(v1.ok() && v2.ok());
+  EXPECT_EQ(v1->value.r, 5.0);
+  EXPECT_EQ(v2->value.r, 5.0);
+}
+
+TEST_F(ReflectCacheTest, DifferentOptionsMiss) {
+  auto s = store::ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  ReflectStats stats;
+  ASSERT_TRUE(u.ReflectOptimize(cabs, {}, &stats).ok());
+  EXPECT_EQ(stats.cache_misses, 1u);
+
+  // The options participate in the fingerprint: a different optimizer
+  // configuration must not be served the old result.
+  ir::OptimizerOptions other;
+  other.expand.budget = 1000;
+  ReflectStats stats2;
+  ASSERT_TRUE(u.ReflectOptimize(cabs, other, &stats2).ok());
+  EXPECT_EQ(stats2.cache_misses, 1u);
+  EXPECT_EQ(stats2.cache_hits, 0u);
+
+  // Each configuration now hits its own entry.
+  ReflectStats stats3;
+  ASSERT_TRUE(u.ReflectOptimize(cabs, other, &stats3).ok());
+  EXPECT_EQ(stats3.cache_hits, 1u);
+}
+
+TEST_F(ReflectCacheTest, RestartHitsCacheWithIdenticalCode) {
+  Oid cabs = kNullOid;
+  Oid cached = kNullOid;
+  std::string code_bytes;
+  double result = 0;
+  {
+    auto s = store::ObjectStore::Open(path_);
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                              fe::BindingMode::kLibrary));
+    ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+    cabs = *u.Lookup("app", "cabs");
+    ReflectStats stats;
+    auto r = u.ReflectOptimize(cabs, {}, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(stats.cache_misses, 1u);
+    cached = *r;
+    code_bytes = (*s)->Get(CodeOidOfClosure(s->get(), cached))->bytes;
+    Value margs[] = {Value::Int(3), Value::Int(4)};
+    auto c = u.Call(*u.Lookup("complex", "make"), margs);
+    ASSERT_TRUE(c.ok());
+    Value cargs[] = {c->value};
+    auto v = u.Call(cached, cargs);
+    ASSERT_TRUE(v.ok());
+    result = v->value.r;
+    ASSERT_OK((*s)->Commit());
+  }
+  // "Restart": fresh store handle, fresh Universe, fresh VM.
+  auto s = store::ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  ReflectStats stats;
+  auto r = u.ReflectOptimize(cabs, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.cache_hits, 1u) << "post-restart call must hit the cache";
+  EXPECT_EQ(stats.cache_misses, 0u);
+  EXPECT_EQ(*r, cached);
+  EXPECT_EQ((*s)->Get(CodeOidOfClosure(s->get(), *r))->bytes, code_bytes)
+      << "cache hit must link byte-identical code";
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u.Call(*u.Lookup("complex", "make"), margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  auto v = u.Call(*r, cargs);
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(v->value.r, result);
+}
+
+TEST_F(ReflectCacheTest, CompactRetainsCacheRecords) {
+  Oid cabs = kNullOid;
+  {
+    auto s = store::ObjectStore::Open(path_);
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                              fe::BindingMode::kLibrary));
+    ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+    cabs = *u.Lookup("app", "cabs");
+    ASSERT_TRUE(u.ReflectOptimize(cabs).ok());
+    ASSERT_OK((*s)->Commit());
+    ASSERT_OK((*s)->Compact());
+  }
+  auto s = store::ObjectStore::Open(path_);
+  ASSERT_TRUE(s.ok());
+  EXPECT_GT((*s)->live_bytes(store::ObjType::kReflectCache), 0u);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  ReflectStats stats;
+  auto r = u.ReflectOptimize(cabs, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.cache_hits, 1u);
+}
+
+TEST_F(ReflectCacheTest, RebindingADependencyInvalidates) {
+  auto s = store::ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(u.InstallSource("lib",
+                            "fun sq(x) = x * x end\n"
+                            "fun cube(x) = x * x * x end",
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", "fun g(x) = sq(x) + 1 end",
+                            fe::BindingMode::kLibrary));
+  Oid g = *u.Lookup("app", "g");
+  Oid cube = *u.Lookup("lib", "cube");
+
+  Value args[] = {Value::Int(3)};
+  ReflectStats stats;
+  auto r1 = u.ReflectOptimize(g, {}, &stats);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  auto v1 = u.Call(*r1, args);
+  ASSERT_TRUE(v1.ok());
+  EXPECT_EQ(v1->value.i, 10);  // sq(3) + 1
+
+  // Rebind g's free identifier "sq" to cube's closure: the binding OID in
+  // the fingerprint changes, so the stale optimized code is not served.
+  auto rec = (*s)->Get(g);
+  ASSERT_TRUE(rec.ok());
+  ASSERT_OK((*s)->Put(g, store::ObjType::kClosure,
+                      RebindClosure(rec->bytes, "sq", cube)));
+
+  ReflectStats stats2;
+  auto r2 = u.ReflectOptimize(g, {}, &stats2);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_EQ(stats2.cache_misses, 1u) << "rebound dependency must miss";
+  EXPECT_EQ(stats2.cache_hits, 0u);
+  auto v2 = u.Call(*r2, args);
+  ASSERT_TRUE(v2.ok());
+  EXPECT_EQ(v2->value.i, 28);  // cube(3) + 1
+
+  // The rebound configuration is itself cached now.
+  ReflectStats stats3;
+  auto r3 = u.ReflectOptimize(g, {}, &stats3);
+  ASSERT_TRUE(r3.ok());
+  EXPECT_EQ(stats3.cache_hits, 1u);
+  EXPECT_EQ(*r2, *r3);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,78 @@
+// Reflect-cache index records: round trips, deterministic encoding, and
+// corruption handling of the decode path.
+
+#include <gtest/gtest.h>
+
+#include "store/reflect_cache.h"
+#include "support/varint.h"
+
+namespace tml {
+namespace {
+
+using store::DecodeReflectCache;
+using store::EncodeReflectCache;
+using store::ReflectCacheEntry;
+
+TEST(ReflectCacheRecord, RoundTrip) {
+  std::vector<ReflectCacheEntry> entries = {
+      {0xDEADBEEFCAFEull, 12, 11, 10},
+      {0x1ull, 42, 41, 0},
+      {0xFFFFFFFFFFFFFFFFull, 7, 6, 5},
+  };
+  std::string bytes = EncodeReflectCache(entries);
+  auto decoded = DecodeReflectCache(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 3u);
+  // Encoding sorts by fingerprint, so the decode order is canonical.
+  EXPECT_EQ((*decoded)[0], entries[1]);
+  EXPECT_EQ((*decoded)[1], entries[0]);
+  EXPECT_EQ((*decoded)[2], entries[2]);
+}
+
+TEST(ReflectCacheRecord, EmptyIndex) {
+  std::string bytes = EncodeReflectCache({});
+  auto decoded = DecodeReflectCache(bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->empty());
+}
+
+TEST(ReflectCacheRecord, EncodingIsDeterministic) {
+  std::vector<ReflectCacheEntry> a = {{2, 20, 21, 22}, {1, 10, 11, 12}};
+  std::vector<ReflectCacheEntry> b = {{1, 10, 11, 12}, {2, 20, 21, 22}};
+  EXPECT_EQ(EncodeReflectCache(a), EncodeReflectCache(b));
+}
+
+TEST(ReflectCacheRecord, RejectsBadMagic) {
+  std::string bytes = EncodeReflectCache({{1, 2, 3, 4}});
+  bytes[0] = 'X';
+  auto decoded = DecodeReflectCache(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+TEST(ReflectCacheRecord, RejectsTruncation) {
+  std::string bytes = EncodeReflectCache({{1, 2, 3, 4}, {5, 6, 7, 8}});
+  for (size_t cut = 0; cut < bytes.size(); ++cut) {
+    auto decoded = DecodeReflectCache(bytes.substr(0, cut));
+    EXPECT_FALSE(decoded.ok()) << "cut at " << cut;
+  }
+}
+
+TEST(ReflectCacheRecord, RejectsTrailingBytes) {
+  std::string bytes = EncodeReflectCache({{1, 2, 3, 4}});
+  bytes.push_back('\0');
+  EXPECT_FALSE(DecodeReflectCache(bytes).ok());
+}
+
+TEST(ReflectCacheRecord, HugeCountDoesNotAllocate) {
+  // A tiny record claiming 2^60 entries must be rejected by the bound on
+  // remaining input, not attempted as a 2^60-element reserve.
+  std::string bytes = "RC1";
+  PutVarint(&bytes, uint64_t{1} << 60);
+  auto decoded = DecodeReflectCache(bytes);
+  ASSERT_FALSE(decoded.ok());
+  EXPECT_EQ(decoded.status().code(), StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,6 +1,10 @@
 // Model-based randomized testing of the object store: a long random
 // sequence of allocate/put/delete/root/commit/reopen operations must keep
 // the store consistent with a trivial in-memory model, across restarts.
+//
+// Also the decode-path fuzzers: 100k+ iterations of corrupt varint, PTML
+// and code-record input must produce clean Corruption errors — no crash,
+// no wild allocation (run tools/check.sh --asan for the sanitized run).
 
 #include <cstdio>
 #include <map>
@@ -9,8 +13,13 @@
 
 #include <gtest/gtest.h>
 
+#include "prims/standard.h"
 #include "store/object_store.h"
+#include "store/ptml.h"
+#include "support/varint.h"
 #include "tests/test_util.h"
+#include "vm/code.h"
+#include "vm/codegen.h"
 
 namespace tml {
 namespace {
@@ -130,6 +139,199 @@ TEST_P(StoreFuzz, RandomOpsMatchModel) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, StoreFuzz,
                          ::testing::Values(1u, 7u, 42u, 1337u, 99991u));
+
+// ---- decode-path hardening ---------------------------------------------------
+
+TEST(VarintHardening, HugeReadBytesLengthIsCorruptionNotWrap) {
+  // Regression: `pos_ + n > size_` wrapped for n near SIZE_MAX, letting a
+  // corrupt length pass the bounds check and read out of bounds.
+  std::string bytes;
+  PutVarint(&bytes, ~uint64_t{0});  // record claims ~2^64 payload bytes
+  bytes += "abc";
+  VarintReader r(bytes.data(), bytes.size());
+  auto n = r.ReadVarint();
+  ASSERT_TRUE(n.ok());
+  auto payload = r.ReadBytes(static_cast<size_t>(*n));
+  ASSERT_FALSE(payload.ok());
+  EXPECT_EQ(payload.status().code(), StatusCode::kCorruption);
+}
+
+TEST(VarintHardening, NonCanonicalTenthByteRejected) {
+  // 9 continuation bytes then a 10th whose high data bits cannot fit in 64
+  // bits: previously truncated silently, so two byte strings decoded to
+  // the same value.
+  std::string bytes(9, '\xFF');
+  bytes.push_back('\x02');
+  VarintReader r(bytes.data(), bytes.size());
+  auto v = r.ReadVarint();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kCorruption);
+}
+
+TEST(VarintHardening, CanonicalMaxValueStillDecodes) {
+  std::string bytes;
+  PutVarint(&bytes, ~uint64_t{0});
+  VarintReader r(bytes.data(), bytes.size());
+  auto v = r.ReadVarint();
+  ASSERT_TRUE(v.ok()) << v.status().ToString();
+  EXPECT_EQ(*v, ~uint64_t{0});
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(VarintHardening, RoundTripIsUniqueDecoding) {
+  std::mt19937_64 rng(7);
+  for (int i = 0; i < 100000; ++i) {
+    uint64_t v = rng() >> (rng() % 64);
+    std::string bytes;
+    PutVarint(&bytes, v);
+    VarintReader r(bytes.data(), bytes.size());
+    auto got = r.ReadVarint();
+    ASSERT_TRUE(got.ok());
+    ASSERT_EQ(*got, v);
+    ASSERT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(DecodeFuzz, RandomVarintStreams) {
+  // 100k random byte windows driven through the reader: every outcome must
+  // be a value or a clean Corruption, with positions staying in bounds.
+  std::mt19937 rng(0xC0FFEE);
+  std::string buf(64, '\0');
+  for (int iter = 0; iter < 100000; ++iter) {
+    for (char& c : buf) c = static_cast<char>(rng());
+    size_t len = rng() % (buf.size() + 1);
+    VarintReader r(buf.data(), len);
+    while (!r.AtEnd()) {
+      size_t before = r.position();
+      if (rng() % 2 == 0) {
+        if (!r.ReadVarint().ok()) break;
+        ASSERT_GT(r.position(), before);
+      } else {
+        size_t n = rng() % 16;
+        if (!r.ReadBytes(n).ok()) break;
+        ASSERT_EQ(r.position(), before + n);
+        if (n == 0) break;  // a zero-length read makes no progress
+      }
+      ASSERT_LE(r.position(), len);
+    }
+  }
+}
+
+TEST(DecodeFuzz, MutatedPtmlNeverCrashes) {
+  // Encode a real program, then hammer the decoder with bit-flipped,
+  // truncated and extended copies: any outcome must be a decoded term or a
+  // clean error — never a crash or a multi-GB reserve from a corrupt count.
+  ir::Module m;
+  const ir::Abstraction* abs = test::MustParseProgram(
+      &m,
+      "(proc (n ce cc)"
+      " (Y (proc (/ c0 loop c)"
+      "      (c (cont () (loop 1 \"acc\"))"
+      "         (cont (i s)"
+      "           (> i n"
+      "              (cont () (cc s))"
+      "              (cont () (+ i 1 ce (cont (t) (loop t s))))))))))");
+  ASSERT_NE(abs, nullptr);
+  const std::string good = store::EncodePtml(m, abs);
+  {
+    ir::Module m2;
+    ASSERT_TRUE(
+        store::DecodePtml(&m2, prims::StandardRegistry(), good).ok());
+  }
+  std::mt19937 rng(0xBEEF);
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::string bytes = good;
+    switch (rng() % 3) {
+      case 0:  // flip 1-4 bytes
+        for (unsigned k = 0, n = 1 + rng() % 4; k < n; ++k) {
+          bytes[rng() % bytes.size()] =
+              static_cast<char>(rng());
+        }
+        break;
+      case 1:  // truncate
+        bytes.resize(rng() % bytes.size());
+        break;
+      default:  // extend with garbage
+        for (unsigned k = 0, n = 1 + rng() % 8; k < n; ++k) {
+          bytes.push_back(static_cast<char>(rng()));
+        }
+        break;
+    }
+    ir::Module scratch;
+    auto decoded =
+        store::DecodePtml(&scratch, prims::StandardRegistry(), bytes);
+    (void)decoded;  // ok or error are both fine; crashing is not
+  }
+}
+
+TEST(DecodeFuzz, MutatedCodeRecordsNeverCrash) {
+  // Same treatment for serialized TVM code records (the other persistent
+  // decode path a cache hit relinks through).
+  ir::Module m;
+  const ir::Abstraction* abs = test::MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((lambda (f) (f 3 ce cc))"
+      "  (proc (y ce2 cc2) (* y x ce2 cc2))))");
+  ASSERT_NE(abs, nullptr);
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, abs, "fuzz");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  const std::string good = vm::SerializeFunction(**fn);
+  std::mt19937 rng(0xF00D);
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::string bytes = good;
+    if (rng() % 2 == 0) {
+      for (unsigned k = 0, n = 1 + rng() % 4; k < n; ++k) {
+        bytes[rng() % bytes.size()] = static_cast<char>(rng());
+      }
+    } else {
+      bytes.resize(rng() % bytes.size());
+    }
+    vm::CodeUnit scratch;
+    auto decoded = vm::DeserializeFunction(&scratch, bytes);
+    (void)decoded;
+  }
+}
+
+TEST(DecodeFuzz, CorruptStoreFilesNeverCrashOnOpen) {
+  // Write a real committed store, then flip a byte anywhere in the file:
+  // Open must either succeed or fail with a clean error.
+  std::string path = ::testing::TempDir() + "/tml_fuzz_corrupt.db";
+  std::remove(path.c_str());
+  {
+    auto s = store::ObjectStore::Open(path);
+    ASSERT_TRUE(s.ok());
+    for (int i = 0; i < 16; ++i) {
+      ASSERT_TRUE(
+          (*s)->Allocate(ObjType::kBlob, std::string(i * 7, 'x')).ok());
+    }
+    ASSERT_OK((*s)->SetRoot("r", 1));
+    ASSERT_OK((*s)->Commit());
+  }
+  std::string original;
+  {
+    FILE* f = fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    char buf[4096];
+    size_t n;
+    while ((n = fread(buf, 1, sizeof(buf), f)) > 0) original.append(buf, n);
+    fclose(f);
+  }
+  std::mt19937 rng(0xDB);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string corrupt = original;
+    corrupt[rng() % corrupt.size()] ^= static_cast<char>(1 + rng() % 255);
+    if (rng() % 4 == 0) corrupt.resize(rng() % corrupt.size());
+    FILE* f = fopen(path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    fwrite(corrupt.data(), 1, corrupt.size(), f);
+    fclose(f);
+    auto s = store::ObjectStore::Open(path);
+    (void)s;  // ok or error; never a crash
+  }
+  std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace tml

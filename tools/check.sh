@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# Tier-1 check: configure, build, run the full test suite.
+#
+#   tools/check.sh          # RelWithDebInfo (the tier-1 gate)
+#   tools/check.sh --asan   # ASan+UBSan build of the same suite; use this
+#                           # for the store fuzz/decode-hardening tests
+#
+# Extra arguments after the mode are forwarded to ctest, e.g.
+#   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+build_dir=build
+cmake_args=()
+if [[ "${1:-}" == "--asan" ]]; then
+  shift
+  build_dir=build-asan
+  cmake_args+=(-DCMAKE_BUILD_TYPE=Asan)
+fi
+
+cmake -B "$build_dir" -S . "${cmake_args[@]}"
+cmake --build "$build_dir" -j
+cd "$build_dir" && ctest --output-on-failure -j "$@"
