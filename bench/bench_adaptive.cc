@@ -1,0 +1,275 @@
+// E6 — adaptive optimization: profile-guided reflect.optimize with atomic
+// code swap (no manual `reflect.optimize` calls anywhere in the workload).
+//
+// Four phases:
+//
+//   0. Baselines in a throwaway universe: steps/call of the unoptimized
+//      closure and of a *manually* reflect-optimized one.
+//   1. Adaptive run (background worker): the mutator just calls `cabs`;
+//      the manager notices the heat, optimizes in the background, and
+//      swaps the code under the live OID.  Steady-state steps/call must
+//      land within 10% of the manual baseline.
+//   2. Store close/reopen: the swap is durable — the first call after
+//      restart already runs optimized code.
+//   3. Rollback/redeploy: the original closure record is restored
+//      (byte-identical bindings).  Re-adaptation is driven by the
+//      *persisted* hotness profile (the closure is already known hot) and
+//      served by the *persistent* reflect cache (same fingerprint, zero
+//      re-optimization) — both must hit.
+
+#include <chrono>
+#include <cstdio>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "adaptive/manager.h"
+#include "bench/bench_util.h"
+#include "runtime/universe.h"
+
+namespace {
+
+using tml::Oid;
+using tml::adaptive::AdaptiveManager;
+using tml::adaptive::AdaptiveOptions;
+using tml::rt::Universe;
+using tml::vm::Value;
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+AdaptiveOptions BenchOptions() {
+  AdaptiveOptions opts;
+  opts.policy.hot_steps = 5000;
+  opts.policy.min_calls = 8;
+  opts.poll_interval = std::chrono::milliseconds(5);
+  return opts;
+}
+
+bool Install(Universe* u) {
+  return u->InstallSource("complex", kComplexSrc,
+                          tml::fe::BindingMode::kLibrary)
+             .ok() &&
+         u->InstallSource("app", kAppSrc, tml::fe::BindingMode::kLibrary)
+             .ok();
+}
+
+// One cabs(3+4i) call; returns its step count (0 on failure).
+uint64_t CallOnce(Universe* u, Oid cabs, Value arg) {
+  Value args[] = {arg};
+  auto r = u->Call(cabs, args);
+  if (!r.ok() || r->value.r != 5.0) return 0;
+  return r->steps;
+}
+
+tml::Result<Value> MakeArg(Universe* u) {
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u->Call(*u->Lookup("complex", "make"), margs);
+  if (!c.ok()) return c.status();
+  return c->value;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
+  std::printf(
+      "== E6: adaptive optimization -- hotness profile, background "
+      "reflect.optimize, atomic swap ==\n\n");
+
+  // ---- phase 0: baselines (separate universe; the adaptive store below
+  // never sees a manual reflect.optimize call) ----
+  uint64_t unopt_steps = 0, manual_steps = 0;
+  {
+    auto s = tml::store::ObjectStore::Open("");
+    if (!s.ok() ) return 1;
+    Universe u(s->get());
+    if (!Install(&u)) return 1;
+    Oid cabs = *u.Lookup("app", "cabs");
+    auto arg = MakeArg(&u);
+    if (!arg.ok()) return 1;
+    unopt_steps = CallOnce(&u, cabs, *arg);
+    auto manual = u.ReflectOptimize(cabs);
+    if (!manual.ok()) {
+      std::printf("manual reflect: %s\n", manual.status().ToString().c_str());
+      return 1;
+    }
+    manual_steps = CallOnce(&u, *manual, *arg);
+  }
+  std::printf("baseline steps/call          unoptimized=%llu manual=%llu\n",
+              static_cast<unsigned long long>(unopt_steps),
+              static_cast<unsigned long long>(manual_steps));
+
+  // ---- phase 1: adaptive run with the background worker ----
+  const std::string path = "/tmp/tml_bench_adaptive.db";
+  std::remove(path.c_str());
+  auto s = tml::store::ObjectStore::Open(path);
+  if (!s.ok()) return 1;
+  Oid cabs = tml::kNullOid;
+  // Original closure records of EVERY installed function (stdlib included:
+  // the adaptive manager promotes hot library callees too), for the
+  // phase-3 rollback.
+  std::vector<std::pair<Oid, std::string>> orig_records;
+  uint64_t adaptive_steps = 0;
+  uint64_t calls_until_optimized = 0;
+  {
+    Universe u(s->get());
+    if (!Install(&u)) return 1;
+    cabs = *u.Lookup("app", "cabs");
+    size_t seen = 0, live = (*s)->num_objects();
+    for (Oid oid = 1; seen < live; ++oid) {
+      if (!(*s)->Contains(oid)) continue;
+      ++seen;
+      auto obj = (*s)->Get(oid);
+      if (obj.ok() && obj->type == tml::store::ObjType::kClosure) {
+        orig_records.emplace_back(oid, obj->bytes);
+      }
+    }
+    auto arg = MakeArg(&u);
+    if (!arg.ok()) return 1;
+
+    AdaptiveManager* mgr = tml::adaptive::EnableAdaptive(&u, BenchOptions());
+    (void)mgr;
+    auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    uint64_t calls = 0;
+    uint64_t steps = 0;
+    // Plain workload loop: call cabs until the manager has swapped in
+    // optimized code under the same OID.
+    do {
+      steps = CallOnce(&u, cabs, *arg);
+      if (steps == 0) return 1;
+      ++calls;
+    } while (steps > manual_steps * 1.1 &&
+             std::chrono::steady_clock::now() < deadline);
+    calls_until_optimized = calls;
+    // Steady state: the next calls stay optimized.
+    adaptive_steps = steps;
+    for (int i = 0; i < 100; ++i) {
+      uint64_t st = CallOnce(&u, cabs, *arg);
+      if (st > adaptive_steps) adaptive_steps = st;
+    }
+    tml::rt::AdaptiveCounters c = u.adaptive_counters();
+    std::printf(
+        "\nadaptive run:                %llu calls until optimized\n"
+        "  steady-state steps/call    %llu (manual: %llu)\n"
+        "  manager counters           polls=%llu promotions=%llu "
+        "backoffs=%llu stale=%llu failures=%llu persists=%llu\n",
+        static_cast<unsigned long long>(calls_until_optimized),
+        static_cast<unsigned long long>(adaptive_steps),
+        static_cast<unsigned long long>(manual_steps),
+        static_cast<unsigned long long>(c.polls),
+        static_cast<unsigned long long>(c.promotions),
+        static_cast<unsigned long long>(c.backoffs),
+        static_cast<unsigned long long>(c.stale_rejections),
+        static_cast<unsigned long long>(c.reflect_failures),
+        static_cast<unsigned long long>(c.profile_persists));
+    if (c.promotions == 0) {
+      std::printf("FAIL: no automatic promotion happened\n");
+      return 1;
+    }
+    // ~Universe stops the worker before the store closes.
+  }
+  if (!(*s)->Commit().ok()) return 1;
+  s->reset();
+
+  double vs_manual =
+      static_cast<double>(adaptive_steps) / static_cast<double>(manual_steps);
+  bool within_10pct = vs_manual <= 1.10;
+  std::printf("  adaptive vs manual         %.3fx (%s)\n", vs_manual,
+              within_10pct ? "within 10%" : "FAIL: outside 10%");
+
+  // ---- phase 2: restart — the swap is durable ----
+  auto s2 = tml::store::ObjectStore::Open(path);
+  if (!s2.ok()) return 1;
+  uint64_t restart_steps = 0;
+  {
+    Universe u(s2->get());
+    if (!u.LoadPersistedModules().ok()) return 1;
+    auto arg = MakeArg(&u);
+    if (!arg.ok()) return 1;
+    restart_steps = CallOnce(&u, cabs, *arg);
+    std::printf(
+        "\nafter close/reopen:          first call steps/call = %llu (%s)\n",
+        static_cast<unsigned long long>(restart_steps),
+        restart_steps == adaptive_steps ? "optimized steady state"
+                                        : "FAIL: lost the swap");
+  }
+
+  // ---- phase 3: rollback to the original code (byte-identical records —
+  // a redeploy of the unoptimized modules), then re-adapt from the
+  // persisted profile + reflect cache ----
+  for (const auto& [oid, bytes] : orig_records) {
+    if (!(*s2)->Put(oid, tml::store::ObjType::kClosure, bytes).ok()) return 1;
+  }
+  if (!(*s2)->Commit().ok()) return 1;
+  uint64_t repromote_polls = 0;
+  uint64_t reoptimize_cache_hits = 0;
+  uint64_t rollback_steps = 0, readapted_steps = 0;
+  uint64_t profile_heat_loaded = 0;
+  {
+    Universe u(s2->get());
+    if (!u.LoadPersistedModules().ok()) return 1;
+    auto arg = MakeArg(&u);
+    if (!arg.ok()) return 1;
+    rollback_steps = CallOnce(&u, cabs, *arg);
+
+    AdaptiveOptions opts = BenchOptions();
+    AdaptiveManager mgr(&u, opts);
+    if (!mgr.LoadPersistedProfile().ok()) return 1;
+    tml::adaptive::HotnessProfile loaded = mgr.ProfileSnapshot();
+    const tml::adaptive::ProfileEntry* e = loaded.Find(cabs);
+    profile_heat_loaded = e != nullptr ? e->steps : 0;
+
+    // Deterministic re-adaptation: polls only; the persisted heat makes
+    // the closure a candidate without re-warming the counters.
+    for (int i = 0; i < 50 && u.adaptive_counters().promotions == 0; ++i) {
+      if (!mgr.PollOnce().ok()) return 1;
+      ++repromote_polls;
+      CallOnce(&u, cabs, *arg);  // keep a trickle of fresh heat flowing
+    }
+    reoptimize_cache_hits = mgr.stats().reflect_cache_hits;
+    readapted_steps = CallOnce(&u, cabs, *arg);
+    std::printf(
+        "\nrollback + re-adaptation:    rolled-back steps/call = %llu\n"
+        "  persisted profile heat     %llu steps (loaded from kProfile)\n"
+        "  polls to re-promote        %llu\n"
+        "  reflect cache hits         %llu (re-optimization skipped)\n"
+        "  re-adapted steps/call      %llu\n",
+        static_cast<unsigned long long>(rollback_steps),
+        static_cast<unsigned long long>(profile_heat_loaded),
+        static_cast<unsigned long long>(repromote_polls),
+        static_cast<unsigned long long>(reoptimize_cache_hits),
+        static_cast<unsigned long long>(readapted_steps));
+  }
+
+  metrics.Add("steps_per_call_unopt", static_cast<double>(unopt_steps));
+  metrics.Add("steps_per_call_manual", static_cast<double>(manual_steps));
+  metrics.Add("steps_per_call_adaptive", static_cast<double>(adaptive_steps));
+  metrics.Add("adaptive_vs_manual_ratio", vs_manual);
+  metrics.Add("calls_until_optimized",
+              static_cast<double>(calls_until_optimized));
+  metrics.Add("restart_steps_per_call", static_cast<double>(restart_steps));
+  metrics.Add("profile_heat_loaded", static_cast<double>(profile_heat_loaded));
+  metrics.Add("repromote_polls", static_cast<double>(repromote_polls));
+  metrics.Add("reoptimize_reflect_cache_hits",
+              static_cast<double>(reoptimize_cache_hits));
+  metrics.Add("readapted_steps_per_call",
+              static_cast<double>(readapted_steps));
+
+  bool ok = within_10pct && restart_steps == adaptive_steps &&
+            rollback_steps == unopt_steps && readapted_steps == adaptive_steps &&
+            reoptimize_cache_hits >= 1 && profile_heat_loaded > 0;
+  std::printf("\n%s\n", ok ? "PASS: automatic online optimization, durable "
+                             "across restart, re-adapts from persisted "
+                             "profile + reflect cache"
+                           : "FAIL");
+  std::remove(path.c_str());
+  return ok ? 0 : 1;
+}

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "corpus/stanford.h"
 #include "runtime/universe.h"
 
@@ -27,7 +28,8 @@ struct Sizes {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
   std::printf("== E2: persistent TML (PTML) space overhead (paper Sec. 6) ==\n\n");
   std::printf("%-10s %12s %12s %12s %8s\n", "module", "code(B)", "ptml(B)",
               "code+ptml", "ratio");
@@ -72,5 +74,10 @@ int main() {
   std::printf(
       "\n(paper: whole-system code size doubles with PTML attached —\n"
       " 1.2MB vs 600kB; compare the TOTAL ratio above)\n");
+  metrics.Add("code_bytes", static_cast<double>(sz.code_bytes));
+  metrics.Add("ptml_bytes", static_cast<double>(sz.ptml_bytes));
+  metrics.Add("closure_bytes", static_cast<double>(sz.closure_bytes));
+  metrics.Add("ptml_overhead_ratio",
+              static_cast<double>(total) / sz.code_bytes);
   return 0;
 }

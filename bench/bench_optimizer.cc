@@ -13,6 +13,7 @@
 #include <cstdio>
 
 #include "core/optimizer.h"
+#include "bench/bench_util.h"
 #include "corpus/stanford.h"
 #include "runtime/universe.h"
 
@@ -62,7 +63,8 @@ uint64_t StepsWith(const StanfordProgram& prog, const OptimizerOptions* opt,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
   std::printf("== E5: optimizer mechanics and rule ablation (paper Sec. 3) ==\n");
 
   OptimizerOptions base;
@@ -125,6 +127,11 @@ int main() {
     std::printf("%-22s %14llu %9.2fx\n", row.label,
                 static_cast<unsigned long long>(steps),
                 static_cast<double>(unopt_steps) / steps);
+    if (std::string(row.label) == "full optimizer") {
+      metrics.Add("bubble_unopt_steps", static_cast<double>(unopt_steps));
+      metrics.Add("bubble_full_optimizer_speedup",
+                  static_cast<double>(unopt_steps) / steps);
+    }
   }
 
   std::printf("\n-- rewrite-rule application profile (full optimizer, per "

@@ -15,6 +15,7 @@
 #include <chrono>
 #include <cstdio>
 
+#include "bench/bench_util.h"
 #include "core/parser.h"
 #include "core/printer.h"
 #include "core/validate.h"
@@ -152,7 +153,8 @@ const char* kTrivialExists = R"TML(
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
   std::printf(
       "== E4: integrated query + program optimization (paper Sec. 4.2) "
       "==\n");
@@ -171,6 +173,10 @@ int main() {
                 static_cast<unsigned long long>(merged.steps),
                 static_cast<double>(naive.steps) / merged.steps,
                 naive.result == merged.result ? "" : "  !! MISMATCH");
+    if (n == 100000) {
+      metrics.Add("merge_select_step_speedup",
+                  static_cast<double>(naive.steps) / merged.steps);
+    }
     if (n == 1000) {
       std::printf("           (query rewrites fired: %s)\n",
                   qs.ToString().c_str());
@@ -191,6 +197,10 @@ int main() {
                 static_cast<unsigned long long>(rewr.steps),
                 naive.ms / rewr.ms,
                 naive.result == rewr.result ? "" : "  !! MISMATCH");
+    if (n == 100000) {
+      metrics.Add("trivial_exists_step_speedup",
+                  static_cast<double>(naive.steps) / rewr.steps);
+    }
   }
   std::printf("           (the rewritten query is O(1): the predicate is "
               "evaluated once)\n");
@@ -268,6 +278,10 @@ int main() {
                   static_cast<unsigned long long>(fast->steps),
                   static_cast<double>(naive->steps) / fast->steps,
                   naive->value.i == fast->value.i ? "" : "  !! MISMATCH");
+      if (n == 100000) {
+        metrics.Add("predicate_inline_step_speedup",
+                    static_cast<double>(naive->steps) / fast->steps);
+      }
     }
   }
   return 0;

@@ -17,6 +17,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "core/printer.h"
 #include "runtime/universe.h"
 #include "support/varint.h"
@@ -55,7 +56,8 @@ double MsPerCall(Universe* u, Oid f, const Value* args, size_t nargs,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
   std::printf(
       "== E3: reflect.optimize across abstraction barriers "
       "(paper Sec. 4.1) ==\n\n");
@@ -211,6 +213,18 @@ int main() {
   std::printf("  abs(3+4i)                %s\n",
               r_after->value.r == r_before->value.r ? "identical result"
                                                     : "MISMATCH");
+  metrics.Add("ms_per_call_before", ms_before);
+  metrics.Add("ms_per_call_after", ms_after);
+  metrics.Add("steps_per_call_before", static_cast<double>(steps_before));
+  metrics.Add("steps_per_call_after", static_cast<double>(steps_after));
+  metrics.Add("step_speedup",
+              static_cast<double>(steps_before) / steps_after);
+  metrics.Add("reflect_cold_ms", reflect_ms);
+  metrics.Add("reflect_warm_ms", warm_ms);
+  metrics.Add("reflect_restart_ms", restart_ms);
+  metrics.Add("restart_cache_hits",
+              static_cast<double>(restart_stats.cache_hits));
+
   std::remove(path.c_str());
   return (code_bytes_after == code_bytes_before &&
           restart_stats.cache_hits == 1)

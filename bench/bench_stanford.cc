@@ -22,6 +22,7 @@
 #include <cstdio>
 #include <string>
 
+#include "bench/bench_util.h"
 #include "corpus/stanford.h"
 #include "runtime/universe.h"
 
@@ -97,7 +98,8 @@ Measurement RunConfig(const StanfordProgram& prog, tml::fe::BindingMode mode,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
   std::printf(
       "== E1: Stanford suite -- local (static) vs dynamic optimization "
       "(paper Sec. 6) ==\n");
@@ -149,6 +151,9 @@ int main() {
         "\n(speedups computed from executed TVM instructions; the paper "
         "reports\n local static ~ no speedup, dynamic > 2x -- compare the "
         "'static' and\n 'dynamic' columns)\n");
+    metrics.Add("geomean_static_speedup", std::exp(geo_static / count));
+    metrics.Add("geomean_dynamic_speedup", std::exp(geo_dyn / count));
+    metrics.Add("geomean_direct_speedup", std::exp(geo_direct / count));
   }
   return 0;
 }

@@ -1,0 +1,75 @@
+// Shared benchmark utilities: the --json metric emitter.
+//
+// Every bench_*.cc binary accepts `--json <path>`; when given, the named
+// metrics collected during the run are written to <path> as a flat JSON
+// object (metric name -> number).  tools/check.sh --bench uses this to
+// drop a BENCH_<name>.json per binary so runs can be diffed or tracked
+// without scraping stdout.
+
+#ifndef TML_BENCH_BENCH_UTIL_H_
+#define TML_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace tml::bench {
+
+class Metrics {
+ public:
+  Metrics(int argc, char** argv) {
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::strcmp(argv[i], "--json") == 0) path_ = argv[i + 1];
+    }
+  }
+
+  ~Metrics() { Flush(); }
+  Metrics(const Metrics&) = delete;
+  Metrics& operator=(const Metrics&) = delete;
+
+  void Add(const std::string& name, double value) {
+    metrics_.emplace_back(name, value);
+  }
+
+  /// Write the collected metrics if --json was given; safe to call twice.
+  void Flush() {
+    if (path_.empty() || metrics_.empty()) return;
+    std::FILE* f = std::fopen(path_.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "bench: cannot write %s\n", path_.c_str());
+      return;
+    }
+    std::fprintf(f, "{\n");
+    for (size_t i = 0; i < metrics_.size(); ++i) {
+      double v = metrics_[i].second;
+      std::fprintf(f, "  \"%s\": %s%s\n", metrics_[i].first.c_str(),
+                   std::isfinite(v) ? FormatNumber(v).c_str() : "null",
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "}\n");
+    std::fclose(f);
+    metrics_.clear();
+  }
+
+ private:
+  static std::string FormatNumber(double v) {
+    char buf[64];
+    if (v == static_cast<double>(static_cast<long long>(v)) &&
+        std::fabs(v) < 1e15) {
+      std::snprintf(buf, sizeof buf, "%lld", static_cast<long long>(v));
+    } else {
+      std::snprintf(buf, sizeof buf, "%.6g", v);
+    }
+    return buf;
+  }
+
+  std::string path_;
+  std::vector<std::pair<std::string, double>> metrics_;
+};
+
+}  // namespace tml::bench
+
+#endif  // TML_BENCH_BENCH_UTIL_H_

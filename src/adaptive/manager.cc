@@ -1,0 +1,186 @@
+#include "adaptive/manager.h"
+
+#include <utility>
+
+namespace tml::adaptive {
+
+AdaptiveManager::AdaptiveManager(rt::Universe* universe,
+                                 const AdaptiveOptions& opts)
+    : universe_(universe),
+      opts_(opts),
+      policy_(opts.policy),
+      counters_(universe->adaptive_counters_raw()) {}
+
+AdaptiveManager::~AdaptiveManager() { Stop(); }
+
+Status AdaptiveManager::LoadPersistedProfile() {
+  Result<store::StoredObject> rec = universe_->GetRootRecord(kProfileRoot);
+  if (!rec.ok()) {
+    if (rec.status().code() == StatusCode::kNotFound) return Status::OK();
+    return rec.status();
+  }
+  if (rec->type != store::ObjType::kProfile) {
+    return Status::Corruption("hotness profile root has wrong record type");
+  }
+  TML_ASSIGN_OR_RETURN(HotnessProfile loaded,
+                       HotnessProfile::Decode(rec->bytes));
+  std::lock_guard<std::mutex> lock(mu_);
+  profile_ = std::move(loaded);
+  return Status::OK();
+}
+
+void AdaptiveManager::Start() {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (worker_.joinable()) return;
+  stop_requested_ = false;
+  worker_ = std::thread(&AdaptiveManager::WorkerLoop, this);
+}
+
+void AdaptiveManager::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    stop_requested_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+}
+
+void AdaptiveManager::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (!stop_requested_) {
+    worker_cv_.wait_for(lock, opts_.poll_interval,
+                        [this] { return stop_requested_; });
+    if (stop_requested_) break;
+    lock.unlock();
+    (void)PollOnce();  // failures are counted, never fatal to the worker
+    lock.lock();
+  }
+}
+
+Status AdaptiveManager::PollOnce() {
+  std::lock_guard<std::mutex> lock(mu_);
+  counters_->polls.fetch_add(1, std::memory_order_relaxed);
+
+  // 1. Age existing heat, then fold in the delta since the last snapshot,
+  //    attributed back to persistent closure OIDs.
+  profile_.Decay(policy_.options().decay);
+  std::vector<vm::FnSample> samples = universe_->vm()->SnapshotProfile();
+  std::unordered_map<const vm::Function*, Oid> index =
+      universe_->FunctionClosureIndex();
+  for (const vm::FnSample& s : samples) {
+    LastSample& last = last_samples_[s.fn];
+    uint64_t dcalls = s.calls - last.calls;
+    uint64_t dsteps = s.steps - last.steps;
+    last.calls = s.calls;
+    last.steps = s.steps;
+    if (dcalls == 0 && dsteps == 0) continue;
+    auto it = index.find(s.fn);
+    if (it == index.end()) continue;  // anonymous / unpersisted code
+    profile_.Accumulate(it->second, dcalls, dsteps);
+    profile_dirty_ = true;
+  }
+
+  // 2. Refresh each entry's view of its closure's stored code.  A changed
+  //    code OID means the closure was reinstalled or rolled back: the §3
+  //    penalty account starts over for what is effectively new code.
+  for (auto& [oid, e] : profile_.entries_mut()) {
+    Result<Oid> code = universe_->ClosureCodeOid(oid);
+    if (!code.ok()) continue;  // closure gone; decay will reap the entry
+    if (e.code_oid != *code) {
+      e.code_oid = *code;
+      e.attempts = 0;
+      profile_dirty_ = true;
+    }
+  }
+
+  // 3. Policy pass: promote the hottest eligible closures.
+  uint64_t backoffs = 0;
+  std::vector<Oid> candidates = policy_.PickCandidates(
+      profile_, opts_.max_promotions_per_poll, &backoffs);
+  counters_->backoffs.fetch_add(backoffs, std::memory_order_relaxed);
+  for (Oid oid : candidates) TryPromote(oid);
+
+  // 4. Persist the profile so heat survives restarts.
+  if (opts_.persist_profile && profile_dirty_) {
+    TML_RETURN_NOT_OK(PersistProfile());
+    profile_dirty_ = false;
+  }
+  return Status::OK();
+}
+
+void AdaptiveManager::TryPromote(Oid closure_oid) {
+  ProfileEntry* e = profile_.Entry(closure_oid);
+  // Snapshot the binding generation *before* optimizing: if a module is
+  // (re)installed while the optimizer runs, the result was computed against
+  // stale bindings and SwapCode below must reject it.
+  uint64_t gen = universe_->binding_generation();
+  e->attempts += 1;
+  profile_dirty_ = true;
+
+  rt::ReflectStats rs;
+  Result<Oid> optimized =
+      universe_->ReflectOptimize(closure_oid, opts_.optimizer, &rs);
+  stats_.reflect_cache_hits += rs.cache_hits;
+  stats_.reflect_cache_misses += rs.cache_misses;
+  if (!optimized.ok()) {
+    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+
+  Result<Oid> opt_code = universe_->ClosureCodeOid(*optimized);
+  if (!opt_code.ok()) {
+    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (*opt_code == e->code_oid) {
+    // Optimization was a no-op (or the optimized code is already
+    // installed); record it as promoted so the policy lets it rest.
+    e->promoted_code_oid = *opt_code;
+    return;
+  }
+
+  Result<bool> swapped = universe_->SwapCode(closure_oid, *optimized, gen);
+  if (!swapped.ok()) {
+    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  if (!*swapped) {
+    counters_->stale_rejections.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  counters_->promotions.fetch_add(1, std::memory_order_relaxed);
+  e->code_oid = *opt_code;
+  e->promoted_code_oid = *opt_code;
+}
+
+Status AdaptiveManager::PersistProfile() {
+  TML_ASSIGN_OR_RETURN(
+      Oid oid, universe_->PutRootRecord(kProfileRoot, store::ObjType::kProfile,
+                                        profile_.Encode()));
+  (void)oid;
+  TML_RETURN_NOT_OK(universe_->CommitStore());
+  counters_->profile_persists.fetch_add(1, std::memory_order_relaxed);
+  return Status::OK();
+}
+
+HotnessProfile AdaptiveManager::ProfileSnapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return profile_;
+}
+
+ManagerStats AdaptiveManager::stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return stats_;
+}
+
+AdaptiveManager* EnableAdaptive(rt::Universe* universe,
+                                const AdaptiveOptions& opts) {
+  auto manager = std::make_unique<AdaptiveManager>(universe, opts);
+  AdaptiveManager* raw = manager.get();
+  (void)raw->LoadPersistedProfile();  // a damaged record starts cold, not fatal
+  raw->Start();
+  universe->AdoptService(std::move(manager));
+  return raw;
+}
+
+}  // namespace tml::adaptive

@@ -1,0 +1,129 @@
+// The adaptive optimization manager: the control loop that ties the VM's
+// hotness profile to `reflect.optimize` and the atomic code swap.
+//
+// Pipeline (one poll):
+//
+//   VM profile snapshot ──delta──▶ HotnessProfile (per-closure, decayed)
+//        │                              │ AdaptivePolicy: hot? exhausted?
+//        │                              ▼
+//        │                  ReflectOptimize(closure)      [universe lock]
+//        │                              │ generation check
+//        │                              ▼
+//        └──────────────── SwapCode + swizzle invalidation ──▶ running code
+//
+// Thread model: the manager owns one background worker thread that wakes
+// every `poll_interval` and runs PollOnce().  PollOnce only touches the
+// Universe through its locked public surface (ReflectOptimize, SwapCode,
+// FunctionClosureIndex, PutRootRecord, ...) and the VM through the two
+// thread-safe profile entry points (SnapshotProfile, InvalidateSwizzle via
+// SwapCode), so it is safe against a concurrently executing mutator.  The
+// stale-install guard is the Universe binding generation: the worker
+// snapshots it before optimizing, and SwapCode refuses the install if any
+// module was (re)installed in between.
+//
+// The profile is persisted as a kProfile record under the
+// "hotness-profile" root after each poll that changed it, so a restarted
+// database resumes with its heat intact; combined with the persistent
+// reflect cache, re-promotion after a restart is a cache hit, not a
+// re-optimization.
+
+#ifndef TML_ADAPTIVE_MANAGER_H_
+#define TML_ADAPTIVE_MANAGER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <unordered_map>
+
+#include "adaptive/policy.h"
+#include "adaptive/profile.h"
+#include "runtime/universe.h"
+
+namespace tml::adaptive {
+
+struct AdaptiveOptions {
+  PolicyOptions policy;
+  /// Optimizer configuration handed to ReflectOptimize (also part of the
+  /// reflect-cache fingerprint, so it must stay stable across restarts for
+  /// the cache to hit).
+  ir::OptimizerOptions optimizer;
+  /// Worker wake interval.
+  std::chrono::milliseconds poll_interval{50};
+  /// Cap on promotions per poll, to bound the store/optimizer work a
+  /// single cycle can inject.
+  size_t max_promotions_per_poll = 4;
+  /// Persist the profile (kProfile record + store commit) after polls
+  /// that changed it.
+  bool persist_profile = true;
+};
+
+/// Manager-side statistics (universe-wide promote/backoff/reject counters
+/// live in Universe::adaptive_counters()).
+struct ManagerStats {
+  uint64_t reflect_cache_hits = 0;
+  uint64_t reflect_cache_misses = 0;
+};
+
+class AdaptiveManager final : public rt::BackgroundService {
+ public:
+  AdaptiveManager(rt::Universe* universe, const AdaptiveOptions& opts);
+  ~AdaptiveManager() override;
+
+  /// Load the persisted kProfile record, if any (call before Start()).
+  Status LoadPersistedProfile();
+
+  /// Launch the background worker; idempotent.
+  void Start();
+  /// Stop and join the worker; idempotent (also called by ~Universe).
+  void Stop() override;
+
+  /// One synchronous profiling/promotion cycle.  Public so tests and
+  /// benchmarks can drive the loop deterministically without the thread.
+  Status PollOnce();
+
+  /// Snapshot of the per-closure profile (copies under the manager lock).
+  HotnessProfile ProfileSnapshot() const;
+  ManagerStats stats() const;
+
+ private:
+  void WorkerLoop();
+  /// Promote one hot closure; bumps universe counters as it goes.
+  void TryPromote(Oid closure_oid);
+  Status PersistProfile();
+
+  rt::Universe* universe_;
+  AdaptiveOptions opts_;
+  AdaptivePolicy policy_;
+  rt::AtomicAdaptiveCounters* counters_;
+
+  /// Serializes PollOnce (worker vs. tests) and guards profile_/stats_.
+  mutable std::mutex mu_;
+  HotnessProfile profile_;
+  ManagerStats stats_;
+  /// Last VM snapshot per function, so each poll folds only the delta.
+  struct LastSample {
+    uint64_t calls = 0;
+    uint64_t steps = 0;
+  };
+  std::unordered_map<const vm::Function*, LastSample> last_samples_;
+  bool profile_dirty_ = false;
+
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  std::thread worker_;
+};
+
+/// Create an AdaptiveManager for `universe`, load any persisted profile,
+/// start its worker thread, and hand ownership to the universe (which
+/// stops it on destruction).  Returns the manager for stats/PollOnce
+/// access; the pointer stays valid for the universe's lifetime.
+AdaptiveManager* EnableAdaptive(rt::Universe* universe,
+                                const AdaptiveOptions& opts = {});
+
+}  // namespace tml::adaptive
+
+#endif  // TML_ADAPTIVE_MANAGER_H_

@@ -1,0 +1,31 @@
+#include "adaptive/policy.h"
+
+#include <algorithm>
+
+namespace tml::adaptive {
+
+std::vector<Oid> AdaptivePolicy::PickCandidates(const HotnessProfile& profile,
+                                                size_t max_n,
+                                                uint64_t* backoffs) const {
+  std::vector<const ProfileEntry*> hot;
+  for (const auto& [oid, e] : profile.entries()) {
+    if (!IsHot(e) || AlreadyPromoted(e)) continue;
+    if (Exhausted(e)) {
+      if (backoffs != nullptr) ++*backoffs;
+      continue;
+    }
+    hot.push_back(&e);
+  }
+  std::sort(hot.begin(), hot.end(),
+            [](const ProfileEntry* a, const ProfileEntry* b) {
+              if (a->steps != b->steps) return a->steps > b->steps;
+              return a->closure_oid < b->closure_oid;
+            });
+  if (hot.size() > max_n) hot.resize(max_n);
+  std::vector<Oid> out;
+  out.reserve(hot.size());
+  for (const ProfileEntry* e : hot) out.push_back(e->closure_oid);
+  return out;
+}
+
+}  // namespace tml::adaptive

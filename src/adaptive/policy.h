@@ -1,0 +1,72 @@
+// Promotion policy of the adaptive optimizer: which profiled closures are
+// worth a reflect-optimize pass, and when to stop trying.
+//
+// The policy is deliberately simple and fully deterministic given a
+// profile snapshot: a closure is *hot* once its decayed step count crosses
+// `hot_steps` (with a `min_calls` floor so one long-running call does not
+// trigger optimization of code that never runs again), and promotion stops
+// after `max_attempts` optimization attempts — the §3 penalty-counter
+// rule that keeps the adaptive loop from burning cycles on functions the
+// optimizer cannot improve.  Exponential decay (`decay` per poll) ages
+// heat away so a function that was hot yesterday does not stay promoted
+// forever on stale evidence.
+
+#ifndef TML_ADAPTIVE_POLICY_H_
+#define TML_ADAPTIVE_POLICY_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "adaptive/profile.h"
+
+namespace tml::adaptive {
+
+struct PolicyOptions {
+  /// Decayed step count at which a closure becomes a promotion candidate.
+  uint64_t hot_steps = 20000;
+  /// Minimum decayed call count — heat from a single call is not a trend.
+  uint64_t min_calls = 4;
+  /// Multiplier applied to every entry's heat once per poll, in [0,1].
+  double decay = 0.5;
+  /// Optimization attempts per closure before backing off for good
+  /// (§3 penalty counter analog); attempts reset if the closure's stored
+  /// code changes, since that makes it a different function.
+  uint32_t max_attempts = 3;
+};
+
+class AdaptivePolicy {
+ public:
+  explicit AdaptivePolicy(const PolicyOptions& opts = {}) : opts_(opts) {}
+
+  const PolicyOptions& options() const { return opts_; }
+
+  /// Heat crossed the promotion threshold?
+  bool IsHot(const ProfileEntry& e) const {
+    return e.steps >= opts_.hot_steps && e.calls >= opts_.min_calls;
+  }
+
+  /// Penalty cap reached — stop spending optimizer time on this closure.
+  bool Exhausted(const ProfileEntry& e) const {
+    return e.attempts >= opts_.max_attempts;
+  }
+
+  /// The closure already runs the code our last promotion installed;
+  /// nothing left to do until it changes or cools down.
+  bool AlreadyPromoted(const ProfileEntry& e) const {
+    return e.promoted_code_oid != kNullOid &&
+           e.code_oid == e.promoted_code_oid;
+  }
+
+  /// Closures worth optimizing this poll, hottest first, at most `max_n`.
+  /// Hot-but-exhausted entries are reported through `backoffs` (the caller
+  /// counts them); already-promoted entries are silently at rest.
+  std::vector<Oid> PickCandidates(const HotnessProfile& profile, size_t max_n,
+                                  uint64_t* backoffs) const;
+
+ private:
+  PolicyOptions opts_;
+};
+
+}  // namespace tml::adaptive
+
+#endif  // TML_ADAPTIVE_POLICY_H_

@@ -1,0 +1,96 @@
+#include "adaptive/profile.h"
+
+#include <algorithm>
+
+#include "support/varint.h"
+
+namespace tml::adaptive {
+
+ProfileEntry* HotnessProfile::Entry(Oid closure_oid) {
+  ProfileEntry& e = entries_[closure_oid];
+  e.closure_oid = closure_oid;
+  return &e;
+}
+
+const ProfileEntry* HotnessProfile::Find(Oid closure_oid) const& {
+  auto it = entries_.find(closure_oid);
+  return it == entries_.end() ? nullptr : &it->second;
+}
+
+void HotnessProfile::Accumulate(Oid closure_oid, uint64_t dcalls,
+                                uint64_t dsteps) {
+  ProfileEntry* e = Entry(closure_oid);
+  e->calls += dcalls;
+  e->steps += dsteps;
+}
+
+void HotnessProfile::Decay(double factor) {
+  if (factor < 0) factor = 0;
+  if (factor > 1) factor = 1;
+  for (auto it = entries_.begin(); it != entries_.end();) {
+    ProfileEntry& e = it->second;
+    e.calls = static_cast<uint64_t>(static_cast<double>(e.calls) * factor);
+    e.steps = static_cast<uint64_t>(static_cast<double>(e.steps) * factor);
+    bool dead = e.calls == 0 && e.steps == 0 && e.attempts == 0 &&
+                e.promoted_code_oid == kNullOid;
+    it = dead ? entries_.erase(it) : std::next(it);
+  }
+}
+
+std::string HotnessProfile::Encode() const {
+  std::vector<const ProfileEntry*> sorted;
+  sorted.reserve(entries_.size());
+  for (const auto& [oid, e] : entries_) sorted.push_back(&e);
+  std::sort(sorted.begin(), sorted.end(),
+            [](const ProfileEntry* a, const ProfileEntry* b) {
+              return a->closure_oid < b->closure_oid;
+            });
+  std::string out;
+  out.push_back('H');
+  out.push_back('P');
+  out.push_back('1');
+  PutVarint(&out, sorted.size());
+  for (const ProfileEntry* e : sorted) {
+    PutVarint(&out, e->closure_oid);
+    PutVarint(&out, e->calls);
+    PutVarint(&out, e->steps);
+    PutVarint(&out, e->attempts);
+    PutVarint(&out, e->code_oid);
+    PutVarint(&out, e->promoted_code_oid);
+  }
+  return out;
+}
+
+Result<HotnessProfile> HotnessProfile::Decode(std::string_view bytes) {
+  VarintReader r(bytes.data(), bytes.size());
+  TML_ASSIGN_OR_RETURN(std::string magic, r.ReadBytes(3));
+  if (magic != "HP1") {
+    return Status::Corruption("hotness profile: bad magic");
+  }
+  TML_ASSIGN_OR_RETURN(uint64_t count, r.ReadVarint());
+  // Six varints per entry, one byte each at minimum.
+  if (count > r.Remaining() / 6) {
+    return Status::Corruption("hotness profile: entry count exceeds input");
+  }
+  HotnessProfile p;
+  for (uint64_t i = 0; i < count; ++i) {
+    ProfileEntry e;
+    TML_ASSIGN_OR_RETURN(e.closure_oid, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.calls, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.steps, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(uint64_t attempts, r.ReadVarint());
+    if (attempts > UINT32_MAX) {
+      return Status::Corruption("hotness profile: attempts out of range");
+    }
+    e.attempts = static_cast<uint32_t>(attempts);
+    TML_ASSIGN_OR_RETURN(e.code_oid, r.ReadVarint());
+    TML_ASSIGN_OR_RETURN(e.promoted_code_oid, r.ReadVarint());
+    p.entries_[e.closure_oid] = e;
+  }
+  if (!r.AtEnd()) {
+    return Status::Corruption("hotness profile: trailing bytes");
+  }
+  return p;
+}
+
+}  // namespace tml::adaptive

@@ -1,0 +1,91 @@
+// Persistent hotness profile (the profiling layer of the adaptive
+// optimization subsystem).
+//
+// The TVM attributes executed instructions and call counts to each
+// vm::Function (vm.h: FnCounters); the AdaptiveManager folds those samples
+// into per-closure entries keyed by the persistent closure OID — the
+// identity that survives restarts and code swaps.  The profile is stored as
+// a single kProfile record under the "hotness-profile" root, so a reopened
+// database already knows which functions are worth optimizing: together
+// with the persistent reflect cache, a restart re-reaches its optimized
+// steady state without re-discovering heat or re-running the optimizer.
+//
+// Wire format (all integers varint):
+//
+//   magic 'H','P','1'
+//   count, (closure-oid, calls, steps, attempts, code-oid, promoted-oid)*
+//
+// Entries are sorted by closure OID so record bytes are deterministic for
+// a given profile state.  Decoding is bounds-checked the same way as the
+// reflect-cache index: corrupt counts are rejected before any allocation
+// is sized from them, and a damaged record degrades to an empty profile.
+
+#ifndef TML_ADAPTIVE_PROFILE_H_
+#define TML_ADAPTIVE_PROFILE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/oid.h"
+#include "support/status.h"
+
+namespace tml::adaptive {
+
+/// Name of the store root that anchors the kProfile record.
+inline constexpr char kProfileRoot[] = "hotness-profile";
+
+/// Accumulated heat and optimization history of one persistent closure.
+struct ProfileEntry {
+  Oid closure_oid = kNullOid;
+  uint64_t calls = 0;  ///< decayed accumulated call count
+  uint64_t steps = 0;  ///< decayed accumulated step count (the hotness score)
+  /// Optimization attempts spent on this closure — the §3 penalty counter
+  /// analog: the policy stops promoting once the cap is reached, so the
+  /// adaptive loop terminates even when optimization never helps.
+  uint32_t attempts = 0;
+  /// Code OID observed at the last poll; when the stored closure's code
+  /// changes under us (reinstall, rollback), attempts reset — it is a new
+  /// function as far as the §3 penalty accounting is concerned.
+  Oid code_oid = kNullOid;
+  /// Code OID installed by the last successful promotion (kNullOid: none).
+  /// While the closure still carries this code there is nothing to do.
+  Oid promoted_code_oid = kNullOid;
+};
+
+/// The profile: closure OID -> entry, plus the codec for kProfile records.
+class HotnessProfile {
+ public:
+  /// Find-or-create the entry for a closure.
+  ProfileEntry* Entry(Oid closure_oid);
+  /// Lookup without creating (nullptr when absent).  Lvalue-only: the
+  /// pointer aims into this profile, so calling it on a temporary (e.g.
+  /// `mgr.ProfileSnapshot().Find(oid)`) would dangle immediately.
+  const ProfileEntry* Find(Oid closure_oid) const&;
+  const ProfileEntry* Find(Oid closure_oid) const&& = delete;
+
+  const std::unordered_map<Oid, ProfileEntry>& entries() const {
+    return entries_;
+  }
+  std::unordered_map<Oid, ProfileEntry>& entries_mut() { return entries_; }
+  size_t size() const { return entries_.size(); }
+
+  /// Fold a delta sample into a closure's heat.
+  void Accumulate(Oid closure_oid, uint64_t dcalls, uint64_t dsteps);
+
+  /// Exponential decay of every entry's heat (factor in [0,1]); entries
+  /// whose heat reaches zero and carry no history are dropped.
+  void Decay(double factor);
+
+  std::string Encode() const;
+  static Result<HotnessProfile> Decode(std::string_view bytes);
+
+ private:
+  std::unordered_map<Oid, ProfileEntry> entries_;
+};
+
+}  // namespace tml::adaptive
+
+#endif  // TML_ADAPTIVE_PROFILE_H_

@@ -21,7 +21,31 @@ Universe::Universe(store::ObjectStore* store) : store_(store) {
   vm_ = std::make_unique<vm::VM>(this);
 }
 
-Universe::~Universe() = default;
+Universe::~Universe() {
+  // Stop background workers (adaptive manager) while the store and VM are
+  // still alive; only then let members tear down.
+  for (auto& s : services_) s->Stop();
+  services_.clear();
+}
+
+void Universe::AdoptService(std::unique_ptr<BackgroundService> service) {
+  services_.push_back(std::move(service));
+}
+
+AdaptiveCounters Universe::adaptive_counters() const {
+  AdaptiveCounters out;
+  out.polls = adaptive_counters_.polls.load(std::memory_order_relaxed);
+  out.promotions =
+      adaptive_counters_.promotions.load(std::memory_order_relaxed);
+  out.backoffs = adaptive_counters_.backoffs.load(std::memory_order_relaxed);
+  out.stale_rejections =
+      adaptive_counters_.stale_rejections.load(std::memory_order_relaxed);
+  out.reflect_failures =
+      adaptive_counters_.reflect_failures.load(std::memory_order_relaxed);
+  out.profile_persists =
+      adaptive_counters_.profile_persists.load(std::memory_order_relaxed);
+  return out;
+}
 
 // ---- closure records -------------------------------------------------------
 
@@ -73,6 +97,7 @@ Result<const vm::Function*> Universe::LoadCode(Oid code_oid) {
 // ---- linking ---------------------------------------------------------------
 
 Status Universe::InstallStdlib() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (modules_.count("stdlib") != 0) return Status::OK();
   ir::Module m;
   std::unordered_map<std::string, Oid> names;
@@ -101,13 +126,16 @@ Status Universe::InstallStdlib() {
     TML_ASSIGN_OR_RETURN(
         Oid clo_oid, store_->Allocate(store::ObjType::kClosure,
                                       EncodeClosureRecord(rec)));
+    fn_closures_[fn] = clo_oid;
     names[entry.name] = clo_oid;
   }
   modules_["stdlib"] = std::move(names);
+  binding_gen_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Status Universe::LoadPersistedModules() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   for (const std::string& root : store_->RootNames()) {
     if (root.rfind("module:", 0) != 0) continue;
     std::string name = root.substr(7);
@@ -151,6 +179,7 @@ Status Universe::InstallSource(const std::string& name,
                                std::string_view source,
                                fe::BindingMode binding,
                                const InstallOptions& opts) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   fe::CompileOptions copts;
   copts.binding = binding;
   if (binding == fe::BindingMode::kLibrary) {
@@ -165,6 +194,7 @@ Status Universe::InstallSource(const std::string& name,
 Status Universe::InstallUnit(const std::string& name,
                              const fe::CompiledUnit& unit,
                              const InstallOptions& opts) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (modules_.count(name) != 0) {
     return Status::AlreadyExists("module already installed: " + name);
   }
@@ -215,6 +245,7 @@ Status Universe::InstallUnit(const std::string& name,
     TML_RETURN_NOT_OK(store_->Put(unit_names[fn.name],
                                   store::ObjType::kClosure,
                                   EncodeClosureRecord(rec)));
+    fn_closures_[code] = unit_names[fn.name];
   }
   // Persist the module record.
   std::string mod_bytes;
@@ -227,11 +258,13 @@ Status Universe::InstallUnit(const std::string& name,
                                                      mod_bytes));
   TML_RETURN_NOT_OK(store_->SetRoot("module:" + name, mod_oid));
   modules_[name] = std::move(unit_names);
+  binding_gen_.fetch_add(1, std::memory_order_acq_rel);
   return Status::OK();
 }
 
 Result<Oid> Universe::Lookup(const std::string& module,
                              const std::string& function) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   auto it = modules_.find(module);
   if (it == modules_.end()) {
     return Status::NotFound("no module named " + module);
@@ -249,17 +282,83 @@ Result<vm::RunResult> Universe::Call(Oid closure_oid,
 }
 
 Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   return store_->Allocate(store::ObjType::kRelation, bytes);
+}
+
+// ---- adaptive optimization support ------------------------------------------
+
+Result<bool> Universe::SwapCode(Oid target_closure, Oid optimized_closure,
+                                uint64_t expected_generation) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  if (binding_gen_.load(std::memory_order_acquire) != expected_generation) {
+    return false;  // bindings moved since the optimization was computed
+  }
+  TML_ASSIGN_OR_RETURN(ClosureRecord opt_rec,
+                       LoadClosureRecord(optimized_closure));
+  TML_ASSIGN_OR_RETURN(ClosureRecord target_rec,
+                       LoadClosureRecord(target_closure));
+  (void)target_rec;  // target must exist and be a closure record
+  TML_RETURN_NOT_OK(store_->Put(target_closure, store::ObjType::kClosure,
+                                EncodeClosureRecord(opt_rec)));
+  TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(opt_rec.code_oid));
+  fn_closures_[fn] = target_closure;
+  binding_gen_.fetch_add(1, std::memory_order_acq_rel);
+  // Drop the stale swizzle so in-flight programs re-resolve the OID to the
+  // regenerated code at their next call; frames already executing the old
+  // code finish on it safely (code objects are never freed).
+  vm_->InvalidateSwizzle(target_closure);
+  return true;
+}
+
+Result<Oid> Universe::PutRootRecord(const std::string& root,
+                                    store::ObjType type,
+                                    std::string_view bytes) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  auto existing = store_->GetRoot(root);
+  if (existing.ok() && store_->Contains(*existing)) {
+    TML_RETURN_NOT_OK(store_->Put(*existing, type, bytes));
+    return *existing;
+  }
+  TML_ASSIGN_OR_RETURN(Oid oid, store_->Allocate(type, bytes));
+  TML_RETURN_NOT_OK(store_->SetRoot(root, oid));
+  return oid;
+}
+
+Result<store::StoredObject> Universe::GetRootRecord(
+    const std::string& root) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TML_ASSIGN_OR_RETURN(Oid oid, store_->GetRoot(root));
+  return store_->Get(oid);
+}
+
+Status Universe::CommitStore() {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return store_->Commit();
+}
+
+std::unordered_map<const vm::Function*, Oid>
+Universe::FunctionClosureIndex() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  return fn_closures_;
+}
+
+Result<Oid> Universe::ClosureCodeOid(Oid closure_oid) const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
+  TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(closure_oid));
+  return rec.code_oid;
 }
 
 // ---- OID swizzling ----------------------------------------------------------
 
 Result<vm::Value> Universe::ResolveOid(Oid oid, vm::VM* vm) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(oid));
   switch (obj.type) {
     case store::ObjType::kClosure: {
       TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(oid));
       TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(rec.code_oid));
+      fn_closures_[fn] = oid;
       vm::ClosureObj* clo = vm->heap()->New<vm::ClosureObj>();
       clo->fn = fn;
       clo->caps.resize(fn->cap_names.size());
@@ -483,6 +582,7 @@ Result<const Abstraction*> Universe::BuildReflectTerm(
 Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
                                                  ir::Module* m,
                                                  ReflectStats* stats) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   std::vector<Discovered> discovered;
   TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
   return BuildReflectTerm(m, closure_oid, discovered, stats);
@@ -527,6 +627,7 @@ Status Universe::PersistReflectCache() {
 Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
                                       const ir::OptimizerOptions& opts,
                                       ReflectStats* stats) {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   TML_RETURN_NOT_OK(EnsureReflectCacheLoaded());
   std::vector<Discovered> discovered;
   TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
@@ -586,6 +687,7 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
   TML_ASSIGN_OR_RETURN(Oid clo_oid,
                        store_->Allocate(store::ObjType::kClosure,
                                         EncodeClosureRecord(rec)));
+  fn_closures_[code] = clo_oid;
   reflect_cache_[fp] =
       store::ReflectCacheEntry{fp, clo_oid, code_oid, ptml_oid};
   TML_RETURN_NOT_OK(PersistReflectCache());
@@ -597,6 +699,7 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
 }
 
 Universe::SizeReport Universe::Sizes() const {
+  std::lock_guard<std::recursive_mutex> lock(mu_);
   SizeReport r;
   r.code_bytes = store_->live_bytes(store::ObjType::kCode);
   r.ptml_bytes = store_->live_bytes(store::ObjType::kPtml);

@@ -23,7 +23,9 @@
 #ifndef TML_RUNTIME_UNIVERSE_H_
 #define TML_RUNTIME_UNIVERSE_H_
 
+#include <atomic>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <unordered_map>
 #include <vector>
@@ -62,6 +64,39 @@ struct ReflectStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_bytes = 0;  ///< live bytes of the kReflectCache index
+};
+
+/// A background worker attached to a Universe (the adaptive optimization
+/// manager lives behind this interface so the runtime library does not
+/// depend on src/adaptive).  The Universe stops and destroys adopted
+/// services before tearing down the VM and its store references.
+class BackgroundService {
+ public:
+  virtual ~BackgroundService() = default;
+  virtual void Stop() = 0;
+};
+
+/// Counters published by the adaptive optimization subsystem, surfaced
+/// through the Universe so operators see the promote/backoff/reject flow
+/// without holding a manager handle.
+struct AdaptiveCounters {
+  uint64_t polls = 0;             ///< profiling cycles run
+  uint64_t promotions = 0;        ///< hot closures swapped to optimized code
+  uint64_t backoffs = 0;          ///< hot candidates skipped (penalty cap)
+  uint64_t stale_rejections = 0;  ///< installs dropped: bindings moved on
+  uint64_t reflect_failures = 0;  ///< ReflectOptimize errors on candidates
+  uint64_t profile_persists = 0;  ///< kProfile records written
+};
+
+/// The live (cross-thread) counter cells behind AdaptiveCounters: the
+/// manager's worker thread bumps these while observers snapshot them.
+struct AtomicAdaptiveCounters {
+  std::atomic<uint64_t> polls{0};
+  std::atomic<uint64_t> promotions{0};
+  std::atomic<uint64_t> backoffs{0};
+  std::atomic<uint64_t> stale_rejections{0};
+  std::atomic<uint64_t> reflect_failures{0};
+  std::atomic<uint64_t> profile_persists{0};
 };
 
 class Universe : public vm::RuntimeEnv {
@@ -126,6 +161,59 @@ class Universe : public vm::RuntimeEnv {
   /// the payload format).
   Result<Oid> StoreRelationBytes(std::string_view bytes);
 
+  // ---- adaptive optimization support ----
+  //
+  // The pieces the AdaptiveManager (src/adaptive) builds on: a generation
+  // counter over closure bindings, an atomic code swap, thread-safe store
+  // access for background workers, and the Function* -> closure-OID index
+  // that maps VM profile samples back to persistent identities.
+
+  /// Monotone counter bumped whenever closure bindings change (module
+  /// installation, code swap).  A worker snapshots it before optimizing and
+  /// passes it to SwapCode, which rejects the install if bindings moved in
+  /// between — the guard against installing results computed against stale
+  /// bindings.
+  uint64_t binding_generation() const {
+    return binding_gen_.load(std::memory_order_acquire);
+  }
+
+  /// Atomically install the code of `optimized_closure` as the code of
+  /// `target_closure`: the target's closure record is rewritten to point at
+  /// the regenerated code record and the VM's swizzle cache entry for the
+  /// target is invalidated, so in-flight programs pick up the optimized
+  /// version at their next call through the OID — no restart.  Returns
+  /// false (and installs nothing) when binding_generation() no longer
+  /// equals `expected_generation`.
+  Result<bool> SwapCode(Oid target_closure, Oid optimized_closure,
+                        uint64_t expected_generation);
+
+  /// Thread-safe root-anchored record access for background services
+  /// (e.g. the kProfile hotness record).  PutRootRecord allocates on first
+  /// use and overwrites thereafter, returning the record OID.
+  Result<Oid> PutRootRecord(const std::string& root, store::ObjType type,
+                            std::string_view bytes);
+  Result<store::StoredObject> GetRootRecord(const std::string& root) const;
+  /// Commit the store under the universe lock.
+  Status CommitStore();
+
+  /// Snapshot of the Function* -> closure OID mapping for every function
+  /// this universe has linked or installed (profile attribution).
+  std::unordered_map<const vm::Function*, Oid> FunctionClosureIndex() const;
+
+  /// Current code OID of a closure record.
+  Result<Oid> ClosureCodeOid(Oid closure_oid) const;
+
+  /// Adopt a background worker; it is stopped and destroyed first in
+  /// ~Universe, while the store and VM are still alive.
+  void AdoptService(std::unique_ptr<BackgroundService> service);
+
+  /// Live counter cells for the manager; consistent-enough snapshot for
+  /// everyone else.
+  AtomicAdaptiveCounters* adaptive_counters_raw() {
+    return &adaptive_counters_;
+  }
+  AdaptiveCounters adaptive_counters() const;
+
   // ---- E2 accounting ----
   struct SizeReport {
     size_t code_bytes = 0;
@@ -172,10 +260,22 @@ class Universe : public vm::RuntimeEnv {
   Status EnsureReflectCacheLoaded();
   Status PersistReflectCache();
 
+  // Serializes every store_/code_cache_/module-table access so a
+  // background optimization worker and the mutator thread (whose VM
+  // re-enters through ResolveOid while executing) can share the universe.
+  // Recursive because the public entry points compose (InstallSource ->
+  // InstallStdlib -> InstallUnit, ReflectOptimize -> LoadCode, ...).
+  // Call() deliberately does NOT hold it: the VM runs unlocked and only
+  // its swizzle faults re-enter the lock.
+  mutable std::recursive_mutex mu_;
+
   store::ObjectStore* store_;
   std::unique_ptr<vm::VM> vm_;
   vm::CodeUnit code_unit_;
   std::unordered_map<Oid, const vm::Function*> code_cache_;
+  /// Function* -> closure OID, for mapping VM profile samples back to
+  /// persistent identities (filled wherever code is linked to a closure).
+  std::unordered_map<const vm::Function*, Oid> fn_closures_;
   /// Keeps reflected IR modules alive (their terms back compiled code
   /// metadata such as names).
   std::vector<std::unique_ptr<ir::Module>> reflected_modules_;
@@ -190,6 +290,10 @@ class Universe : public vm::RuntimeEnv {
   std::unordered_map<uint64_t, store::ReflectCacheEntry> reflect_cache_;
   Oid reflect_cache_oid_ = kNullOid;
   bool reflect_cache_loaded_ = false;
+
+  std::atomic<uint64_t> binding_gen_{0};
+  AtomicAdaptiveCounters adaptive_counters_;
+  std::vector<std::unique_ptr<BackgroundService>> services_;
 };
 
 }  // namespace tml::rt

@@ -42,6 +42,9 @@ enum class ObjType : uint8_t {
   kModule = 4,       ///< module record: export name -> OID
   kRelation = 5,     ///< relation payload (schema + tuples)
   kReflectCache = 6, ///< reflect-optimize cache index (see reflect_cache.h)
+  kProfile = 7,      ///< hotness profile of the adaptive optimizer
+                     ///< (see adaptive/profile.h); survives restarts so
+                     ///< re-opened databases keep their heat
 };
 
 struct StoredObject {

@@ -131,8 +131,55 @@ Value VM::StringValue(const char* msg) {
   return Value::ObjV(s);
 }
 
+FnCounters* VM::ProfileFor(const Function* fn) {
+  // The mutator is the only writer, so its own lookups need no lock; the
+  // insert locks because SnapshotProfile may be iterating concurrently.
+  auto it = profile_.find(fn);
+  if (it != profile_.end()) return &it->second;
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  return &profile_[fn];
+}
+
+std::vector<FnSample> VM::SnapshotProfile() {
+  std::lock_guard<std::mutex> lock(profile_mu_);
+  std::vector<FnSample> out;
+  out.reserve(profile_.size());
+  for (auto& [fn, c] : profile_) {
+    out.push_back(FnSample{fn, c.calls.load(std::memory_order_relaxed),
+                           c.steps.load(std::memory_order_relaxed)});
+  }
+  return out;
+}
+
+void VM::FlushFramesFrom(size_t from) {
+  for (size_t i = from; i < frames_.size(); ++i) {
+    FlushFrameProfile(frames_[i]);
+  }
+}
+
+void VM::InvalidateSwizzle(Oid oid) {
+  {
+    std::lock_guard<std::mutex> lock(inval_mu_);
+    inval_queue_.push_back(oid);
+  }
+  inval_epoch_.fetch_add(1, std::memory_order_release);
+}
+
+void VM::DrainInvalidations() {
+  std::lock_guard<std::mutex> lock(inval_mu_);
+  for (Oid oid : inval_queue_) swizzle_cache_.erase(oid);
+  inval_queue_.clear();
+  // Old swizzled values stay pinned; their Function* are owned by code
+  // units that outlive the VM, so in-flight frames keep running old code
+  // safely while new calls re-resolve.
+  seen_inval_epoch_ = inval_epoch_.load(std::memory_order_acquire);
+}
+
 Result<Value> VM::ResolveCallee(Value callee) {
   if (callee.tag == Tag::kOid) {
+    if (inval_epoch_.load(std::memory_order_acquire) != seen_inval_epoch_) {
+      DrainInvalidations();
+    }
     auto it = swizzle_cache_.find(callee.oid);
     if (it != swizzle_cache_.end()) return it->second;
     if (env_ == nullptr) {
@@ -167,6 +214,10 @@ Status VM::PushFrame(Value callee, std::span<const Value> args,
   fr.clo = clo;
   fr.dst_reg = dst_reg;
   fr.ret_through = ret_through;
+  if (opts_.profile) {
+    fr.prof = ProfileFor(clo->fn);
+    fr.prof->calls.fetch_add(1, std::memory_order_relaxed);
+  }
   fr.regs.resize(clo->fn->num_regs);
   std::copy(args.begin(), args.end(), fr.regs.begin());
   frames_.push_back(std::move(fr));
@@ -184,6 +235,7 @@ Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
   bool raised = false;
   auto v = Execute(base, &raised);
   if (!v.ok()) {
+    FlushFramesFrom(base);
     frames_.resize(base);
     return v.status();
   }
@@ -200,6 +252,7 @@ Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
   bool raised = false;
   auto v = Execute(base, &raised);
   if (!v.ok()) {
+    FlushFramesFrom(base);
     frames_.resize(base);
     return v.status();
   }
@@ -210,6 +263,7 @@ bool VM::Unwind(Value exn, size_t base, Value* escaped) {
   if (!handlers_.empty() && handlers_.back().frame_index >= base) {
     Handler h = handlers_.back();
     handlers_.pop_back();
+    FlushFramesFrom(h.frame_index + 1);
     frames_.resize(h.frame_index + 1);
     Frame& f = frames_.back();
     const FailInfo& fi = f.clo->fn->fail_infos[h.fail_idx];
@@ -218,6 +272,7 @@ bool VM::Unwind(Value exn, size_t base, Value* escaped) {
     return true;
   }
   *escaped = exn;
+  FlushFramesFrom(base);
   frames_.resize(base);
   return false;
 }
@@ -272,6 +327,9 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
     if (++total_steps_ > opts_.max_steps) {
       return Status::RuntimeError("vm: step limit exceeded");
     }
+    // Attribute the step to the function on top of the stack: frame-local
+    // now, published to the shared profile when the frame pops.
+    ++f.local_steps;
     const Instr& in = fn->code[f.pc++];
     std::vector<Value>& R = f.regs;
 
@@ -678,6 +736,7 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
         } else {
           Frame popped = std::move(frames_.back());
           frames_.pop_back();
+          FlushFrameProfile(popped);
           Status st =
               PushFrame(callee, args, popped.dst_reg, popped.ret_through);
           if (!st.ok()) return st;
@@ -689,6 +748,7 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
         while (true) {
           Frame popped = std::move(frames_.back());
           frames_.pop_back();
+          FlushFrameProfile(popped);
           size_t idx = frames_.size();
           while (!handlers_.empty() &&
                  handlers_.back().frame_index >= idx) {

@@ -14,7 +14,9 @@
 #ifndef TML_VM_VM_H_
 #define TML_VM_VM_H_
 
+#include <atomic>
 #include <functional>
+#include <mutex>
 #include <span>
 #include <string>
 #include <unordered_map>
@@ -44,12 +46,34 @@ using HostFn =
 
 struct VMOptions {
   uint64_t max_steps = 4'000'000'000ull;
+  /// Maintain per-function execution counters (calls + steps attributed to
+  /// the currently executing Function).  One frame-local increment per
+  /// instruction plus one relaxed atomic add per call/return, so it is
+  /// cheap enough to leave on; the adaptive optimizer feeds on it.
+  bool profile = true;
 };
 
 struct RunResult {
   Value value;
   bool raised = false;
   uint64_t steps = 0;  ///< instructions executed (the E1 cost proxy)
+};
+
+/// Shared per-function execution counters.  The mutator thread publishes
+/// with relaxed atomic adds; a profiling thread reads via
+/// VM::SnapshotProfile().  Steps are attributed to the function whose frame
+/// executed them, so nested CallSync work (query predicate closures) lands
+/// on the callee, not the enclosing Run.
+struct FnCounters {
+  std::atomic<uint64_t> calls{0};
+  std::atomic<uint64_t> steps{0};
+};
+
+/// One row of a profile snapshot.
+struct FnSample {
+  const Function* fn = nullptr;
+  uint64_t calls = 0;
+  uint64_t steps = 0;
 };
 
 class VM {
@@ -85,12 +109,27 @@ class VM {
 
   uint64_t total_steps() const { return total_steps_; }
 
+  /// Consistent copy of the per-function profile.  Thread-safe: may be
+  /// called from a background thread while the VM is executing.  Steps
+  /// accumulated by frames still on the stack are not yet flushed (they
+  /// publish on frame pop), so this is a sample, not an exact cut.
+  std::vector<FnSample> SnapshotProfile();
+
+  /// Drop the cached swizzle for `oid` so the next resolution reloads it
+  /// from the runtime environment — the installation hook of the adaptive
+  /// optimizer (regenerated code replaces a closure's code record, then the
+  /// stale cache entry is invalidated).  Safe to call from any thread; the
+  /// VM drains pending invalidations before its next swizzle-cache lookup.
+  void InvalidateSwizzle(Oid oid);
+
  private:
   struct Frame {
     const ClosureObj* clo = nullptr;
     uint32_t pc = 0;
     uint16_t dst_reg = 0;     // caller register receiving RET value
     bool ret_through = false;  // demoted tail call: propagate RET upward
+    FnCounters* prof = nullptr;  // counters of clo->fn (null: profiling off)
+    uint64_t local_steps = 0;    // steps not yet flushed to prof->steps
     std::vector<Value> regs;
   };
   struct Handler {
@@ -116,6 +155,20 @@ class VM {
 
   Value StringValue(const char* msg);
 
+  /// Counter cell for `fn`, creating it on first use (mutator thread only).
+  FnCounters* ProfileFor(const Function* fn);
+  /// Publish a popped (or abandoned) frame's local step count.
+  static void FlushFrameProfile(Frame& f) {
+    if (f.prof != nullptr && f.local_steps != 0) {
+      f.prof->steps.fetch_add(f.local_steps, std::memory_order_relaxed);
+      f.local_steps = 0;
+    }
+  }
+  /// Flush every frame at index >= `from` (before a stack truncation).
+  void FlushFramesFrom(size_t from);
+  /// Apply queued cross-thread swizzle invalidations (mutator thread).
+  void DrainInvalidations();
+
   RuntimeEnv* env_;
   VMOptions opts_;
   Heap heap_;
@@ -126,6 +179,21 @@ class VM {
   std::unordered_map<Oid, Value> swizzle_cache_;
   std::string output_;
   uint64_t total_steps_ = 0;
+
+  // Per-function profile.  The map structure is written only by the
+  // mutator thread (under profile_mu_, because a background thread may be
+  // iterating in SnapshotProfile); counter values are relaxed atomics.
+  // unordered_map nodes are pointer-stable, so frames cache FnCounters*.
+  std::mutex profile_mu_;
+  std::unordered_map<const Function*, FnCounters> profile_;
+
+  // Cross-thread swizzle invalidation: writers queue OIDs and bump the
+  // epoch; the mutator drains the queue when it notices the epoch moved,
+  // always before the next swizzle_cache_ lookup.
+  std::mutex inval_mu_;
+  std::vector<Oid> inval_queue_;
+  std::atomic<uint64_t> inval_epoch_{0};
+  uint64_t seen_inval_epoch_ = 0;
 };
 
 }  // namespace tml::vm

@@ -1,0 +1,274 @@
+// The adaptive optimization subsystem end to end: hotness accounting,
+// policy decisions (promotion, backoff, rest), the atomic swap through the
+// manager, persistence of the profile across restarts, and the
+// background-worker thread against a running mutator.
+
+#include <chrono>
+#include <cstdio>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "adaptive/policy.h"
+#include "adaptive/profile.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using adaptive::HotnessProfile;
+using adaptive::ProfileEntry;
+using rt::Universe;
+using vm::Value;
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+/// A policy that triggers quickly and deterministically in tests: no decay,
+/// low thresholds.
+AdaptiveOptions TestOptions() {
+  AdaptiveOptions opts;
+  opts.policy.hot_steps = 200;
+  opts.policy.min_calls = 2;
+  opts.policy.decay = 1.0;
+  opts.policy.max_attempts = 3;
+  opts.persist_profile = false;
+  return opts;
+}
+
+Status InstallComplexApp(Universe* u, bool attach_ptml = true) {
+  rt::InstallOptions io;
+  io.attach_ptml = attach_ptml;
+  TML_RETURN_NOT_OK(u->InstallSource("complex", kComplexSrc,
+                                     fe::BindingMode::kLibrary, io));
+  return u->InstallSource("app", kAppSrc, fe::BindingMode::kLibrary, io);
+}
+
+uint64_t CallCabs(Universe* u, Oid cabs, int times) {
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u->Call(*u->Lookup("complex", "make"), margs);
+  EXPECT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  uint64_t last_steps = 0;
+  for (int i = 0; i < times; ++i) {
+    auto r = u->Call(cabs, cargs);
+    EXPECT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(r->value.r, 5.0);
+    last_steps = r->steps;
+  }
+  return last_steps;
+}
+
+TEST(HotnessProfileCodec, RoundTripAndCorruptRejection) {
+  HotnessProfile p;
+  ProfileEntry* a = p.Entry(7);
+  a->calls = 100;
+  a->steps = 123456;
+  a->attempts = 2;
+  a->code_oid = 9;
+  a->promoted_code_oid = 11;
+  p.Accumulate(42, 5, 500);
+
+  std::string bytes = p.Encode();
+  auto decoded = HotnessProfile::Decode(bytes);
+  ASSERT_TRUE(decoded.ok()) << decoded.status().ToString();
+  ASSERT_EQ(decoded->size(), 2u);
+  const ProfileEntry* da = decoded->Find(7);
+  ASSERT_NE(da, nullptr);
+  EXPECT_EQ(da->calls, 100u);
+  EXPECT_EQ(da->steps, 123456u);
+  EXPECT_EQ(da->attempts, 2u);
+  EXPECT_EQ(da->code_oid, 9u);
+  EXPECT_EQ(da->promoted_code_oid, 11u);
+  EXPECT_NE(decoded->Find(42), nullptr);
+
+  // Deterministic bytes for a given state.
+  EXPECT_EQ(decoded->Encode(), bytes);
+
+  // Corruption is rejected, not crashed on.
+  EXPECT_FALSE(HotnessProfile::Decode("XX1").ok());
+  EXPECT_FALSE(HotnessProfile::Decode(bytes.substr(0, bytes.size() - 1)).ok());
+  std::string huge = "HP1";
+  huge.push_back(static_cast<char>(0xff));
+  huge.push_back(static_cast<char>(0x7f));  // claims ~16k entries, no payload
+  EXPECT_FALSE(HotnessProfile::Decode(huge).ok());
+}
+
+TEST(HotnessProfileCodec, DecayAgesAndReaps) {
+  HotnessProfile p;
+  p.Accumulate(1, 10, 1000);
+  ProfileEntry* promoted = p.Entry(2);
+  promoted->promoted_code_oid = 5;  // history: survives cooling
+  p.Accumulate(3, 1, 1);            // no history: reaped at zero heat
+
+  p.Decay(0.5);
+  EXPECT_EQ(p.Find(1)->steps, 500u);
+  p.Decay(0.0);
+  EXPECT_EQ(p.Find(1), nullptr) << "cold entry without history is dropped";
+  EXPECT_NE(p.Find(2), nullptr) << "promotion history is retained";
+  EXPECT_EQ(p.Find(3), nullptr);
+}
+
+TEST(Adaptive, PollPromotesHotClosureAutomatically) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+  AdaptiveManager mgr(&u, TestOptions());
+
+  uint64_t before = CallCabs(&u, cabs, 20);
+  ASSERT_OK(mgr.PollOnce());
+
+  rt::AdaptiveCounters c = u.adaptive_counters();
+  EXPECT_EQ(c.polls, 1u);
+  EXPECT_GE(c.promotions, 1u) << "hot closure must be promoted";
+  EXPECT_EQ(c.stale_rejections, 0u);
+
+  uint64_t after = CallCabs(&u, cabs, 1);
+  EXPECT_LT(after, before)
+      << "the same OID must now run reflect-optimized code";
+
+  HotnessProfile prof = mgr.ProfileSnapshot();
+  const ProfileEntry* e = prof.Find(cabs);
+  ASSERT_NE(e, nullptr);
+  EXPECT_NE(e->promoted_code_oid, kNullOid);
+  EXPECT_EQ(e->code_oid, e->promoted_code_oid);
+
+  // Further polls let the promoted closure rest: no re-optimization churn.
+  ASSERT_OK(mgr.PollOnce());
+  EXPECT_EQ(u.adaptive_counters().promotions, c.promotions);
+}
+
+TEST(Adaptive, ColdClosureIsLeftAlone) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+  AdaptiveOptions opts = TestOptions();
+  opts.policy.hot_steps = 1'000'000;  // unreachably high
+  AdaptiveManager mgr(&u, opts);
+
+  CallCabs(&u, cabs, 20);
+  ASSERT_OK(mgr.PollOnce());
+  rt::AdaptiveCounters c = u.adaptive_counters();
+  EXPECT_EQ(c.promotions, 0u);
+  EXPECT_EQ(c.backoffs, 0u);
+
+  // The heat was still recorded — it just sits below the threshold.
+  HotnessProfile prof = mgr.ProfileSnapshot();
+  const ProfileEntry* e = prof.Find(cabs);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->steps, 0u);
+}
+
+TEST(Adaptive, FailingOptimizationBacksOffAfterPenaltyCap) {
+  auto s = MemStore();
+  Universe u(s.get());
+  // Without PTML records reflect.optimize cannot rebuild the term: every
+  // promotion attempt fails, and the §3 penalty counter must stop the
+  // loop from retrying forever.
+  ASSERT_OK(InstallComplexApp(&u, /*attach_ptml=*/false));
+  Oid cabs = *u.Lookup("app", "cabs");
+  AdaptiveOptions opts = TestOptions();
+  AdaptiveManager mgr(&u, opts);
+
+  CallCabs(&u, cabs, 20);
+  for (int i = 0; i < 8; ++i) ASSERT_OK(mgr.PollOnce());
+
+  rt::AdaptiveCounters c = u.adaptive_counters();
+  EXPECT_EQ(c.promotions, 0u);
+  EXPECT_GE(c.reflect_failures, opts.policy.max_attempts);
+  EXPECT_GE(c.backoffs, 1u) << "exhausted candidates count as backoffs";
+  HotnessProfile prof = mgr.ProfileSnapshot();
+  EXPECT_EQ(prof.Find(cabs)->attempts, opts.policy.max_attempts);
+
+  // The loop has terminated: more polls spend no further optimizer time
+  // on any candidate (cabs and its hot callees are all at the cap).
+  for (int i = 0; i < 2; ++i) ASSERT_OK(mgr.PollOnce());
+  EXPECT_EQ(u.adaptive_counters().reflect_failures, c.reflect_failures)
+      << "exhausted closures must not be retried";
+}
+
+TEST(Adaptive, ProfileAndPromotionSurviveRestart) {
+  std::string path = ::testing::TempDir() + "/tml_adaptive_restart.db";
+  std::remove(path.c_str());
+  Oid cabs = kNullOid;
+  uint64_t optimized_steps = 0;
+  {
+    auto s = store::ObjectStore::Open(path);
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(InstallComplexApp(&u));
+    cabs = *u.Lookup("app", "cabs");
+    AdaptiveOptions opts = TestOptions();
+    opts.persist_profile = true;
+    AdaptiveManager mgr(&u, opts);
+    CallCabs(&u, cabs, 20);
+    ASSERT_OK(mgr.PollOnce());
+    ASSERT_GE(u.adaptive_counters().promotions, 1u);
+    EXPECT_GE(u.adaptive_counters().profile_persists, 1u);
+    EXPECT_GT((*s)->live_bytes(store::ObjType::kProfile), 0u);
+    optimized_steps = CallCabs(&u, cabs, 1);
+    ASSERT_OK((*s)->Commit());
+  }
+  // Restart: the swap is durable (the closure record itself was
+  // rewritten), and the profile comes back with its heat and history.
+  auto s = store::ObjectStore::Open(path);
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  AdaptiveManager mgr(&u, TestOptions());
+  ASSERT_OK(mgr.LoadPersistedProfile());
+  HotnessProfile prof = mgr.ProfileSnapshot();
+  const ProfileEntry* e = prof.Find(cabs);
+  ASSERT_NE(e, nullptr);
+  EXPECT_GT(e->steps, 0u);
+  EXPECT_NE(e->promoted_code_oid, kNullOid);
+
+  EXPECT_EQ(CallCabs(&u, cabs, 1), optimized_steps)
+      << "reopened database starts at the optimized steady state";
+  std::remove(path.c_str());
+}
+
+TEST(Adaptive, BackgroundWorkerPromotesWhileMutatorRuns) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  AdaptiveOptions opts = TestOptions();
+  opts.poll_interval = std::chrono::milliseconds(2);
+  AdaptiveManager* mgr = adaptive::EnableAdaptive(&u, opts);
+  ASSERT_NE(mgr, nullptr);
+
+  // Mutator loop on this thread; the worker profiles, optimizes and swaps
+  // concurrently.  Every call must keep returning the right answer.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (u.adaptive_counters().promotions == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    CallCabs(&u, cabs, 5);
+  }
+  EXPECT_GE(u.adaptive_counters().promotions, 1u)
+      << "background worker never promoted the hot closure";
+  uint64_t after = CallCabs(&u, cabs, 1);
+  EXPECT_GT(after, 0u);
+  // ~Universe stops the adopted worker before tearing down the VM.
+}
+
+}  // namespace
+}  // namespace tml

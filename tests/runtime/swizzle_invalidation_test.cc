@@ -1,0 +1,196 @@
+// VM swizzle-cache invalidation: after a closure's stored code record
+// changes (SwapCode, or raw store surgery plus InvalidateSwizzle), the VM
+// re-resolves the OID on its next call — in-flight programs pick up the
+// new code without a restart.  Includes the raised-exception path: an OID
+// predicate that throws inside a query's CallSync, then is swapped for a
+// non-throwing version.
+
+#include <gtest/gtest.h>
+
+#include "query/relation.h"
+#include "runtime/universe.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using query::Relation;
+using rt::Universe;
+using test::MustParseProgram;
+using vm::Value;
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+TEST(SwizzleInvalidation, SwapCodeTakesEffectOnNextCall) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u.Call(*u.Lookup("complex", "make"), margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+
+  // First call swizzles the unoptimized closure.
+  auto before = u.Call(cabs, cargs);
+  ASSERT_TRUE(before.ok());
+  EXPECT_EQ(before->value.r, 5.0);
+
+  auto optimized = u.ReflectOptimize(cabs);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  Oid old_code = *u.ClosureCodeOid(cabs);
+  auto swapped = u.SwapCode(cabs, *optimized, u.binding_generation());
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(*swapped);
+  EXPECT_NE(*u.ClosureCodeOid(cabs), old_code);
+
+  // Same OID, same value, fewer steps: the stale swizzle was dropped and
+  // the optimized code picked up without touching the caller.
+  auto after = u.Call(cabs, cargs);
+  ASSERT_TRUE(after.ok()) << after.status().ToString();
+  EXPECT_EQ(after->value.r, 5.0);
+  EXPECT_LT(after->steps, before->steps)
+      << "post-swap call must run the optimized code";
+}
+
+TEST(SwizzleInvalidation, StaleGenerationRefusesInstall) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid cabs = *u.Lookup("app", "cabs");
+  auto optimized = u.ReflectOptimize(cabs);
+  ASSERT_TRUE(optimized.ok());
+
+  uint64_t gen = u.binding_generation();
+  Oid code_before = *u.ClosureCodeOid(cabs);
+  // A module installation moves the bindings: the snapshot is stale now.
+  ASSERT_OK(u.InstallSource("late", "fun one() = 1 end",
+                            fe::BindingMode::kLibrary));
+  auto swapped = u.SwapCode(cabs, *optimized, gen);
+  ASSERT_TRUE(swapped.ok());
+  EXPECT_FALSE(*swapped) << "stale generation must reject the install";
+  EXPECT_EQ(*u.ClosureCodeOid(cabs), code_before) << "nothing installed";
+
+  // With a fresh snapshot the same swap goes through.
+  auto retry = u.SwapCode(cabs, *optimized, u.binding_generation());
+  ASSERT_TRUE(retry.ok());
+  EXPECT_TRUE(*retry);
+}
+
+TEST(SwizzleInvalidation, RaisedPredicateThenSwapRecovers) {
+  // A select whose predicate arrives as an OID value: the VM swizzles it
+  // inside CallSync.  The first version throws; after swapping the OID's
+  // code for a well-behaved predicate, the same query succeeds — the
+  // exception unwind must not leave a stale swizzle behind.
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "preds",
+      "fun bad(t) = throw 13 end\n"
+      "fun good(t) = t[0] < 50 end",
+      fe::BindingMode::kLibrary));
+  Oid bad = *u.Lookup("preds", "bad");
+  Oid good = *u.Lookup("preds", "good");
+
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (p r ce cc)"
+      " (select p r ce (cont (out) (card out cc))))");
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "q");
+  ASSERT_TRUE(fn.ok());
+
+  Relation rel;
+  rel.columns = {"a"};
+  for (int i = 0; i < 20; ++i) rel.tuples.push_back({int64_t{i * 10}});
+
+  vm::VM* vm = u.vm();
+  Value args[] = {Value::OidV(bad), query::RelationValue(rel, vm->heap())};
+  vm->Pin(args[1]);
+  auto r1 = vm->Run(*fn, args);
+  ASSERT_TRUE(r1.ok()) << r1.status().ToString();
+  EXPECT_TRUE(r1->raised) << "throwing predicate must raise out of select";
+
+  // Swap bad's code for good's through the public path, then re-run the
+  // *same* program with the *same* predicate OID.
+  auto swapped = u.SwapCode(bad, good, u.binding_generation());
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(*swapped);
+
+  auto r2 = vm->Run(*fn, args);
+  ASSERT_TRUE(r2.ok()) << r2.status().ToString();
+  EXPECT_FALSE(r2->raised);
+  EXPECT_EQ(r2->value.i, 5) << "0,10,20,30,40 pass the swapped predicate";
+}
+
+TEST(SwizzleInvalidation, RawRecordChangePlusExplicitInvalidate) {
+  // The lower-level contract: rewriting the closure record in the store
+  // does nothing to a hot swizzle until InvalidateSwizzle is called.
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource(
+      "preds",
+      "fun bad(t) = throw 13 end\n"
+      "fun good(t) = t[0] < 50 end",
+      fe::BindingMode::kLibrary));
+  Oid bad = *u.Lookup("preds", "bad");
+  Oid good = *u.Lookup("preds", "good");
+
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (p r ce cc)"
+      " (select p r ce (cont (out) (card out cc))))");
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "q");
+  ASSERT_TRUE(fn.ok());
+
+  Relation rel;
+  rel.columns = {"a"};
+  for (int i = 0; i < 4; ++i) rel.tuples.push_back({int64_t{i}});
+
+  vm::VM* vm = u.vm();
+  Value args[] = {Value::OidV(bad), query::RelationValue(rel, vm->heap())};
+  vm->Pin(args[1]);
+  ASSERT_TRUE(vm->Run(*fn, args)->raised);
+
+  // Store surgery: point bad's record at good's bytes.
+  auto good_rec = s->Get(good);
+  ASSERT_TRUE(good_rec.ok());
+  ASSERT_OK(s->Put(bad, store::ObjType::kClosure, good_rec->bytes));
+
+  // The swizzle cache still holds the old closure.
+  EXPECT_TRUE(vm->Run(*fn, args)->raised)
+      << "without invalidation the cached swizzle keeps the old code";
+
+  vm->InvalidateSwizzle(bad);
+  auto r = vm->Run(*fn, args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_FALSE(r->raised) << "invalidation forces re-resolution";
+  EXPECT_EQ(r->value.i, 4);
+}
+
+}  // namespace
+}  // namespace tml

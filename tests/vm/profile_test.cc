@@ -1,0 +1,151 @@
+// Per-function execution profiling in the TVM: calls and steps are
+// attributed to the Function whose frame executed them, so nested CallSync
+// work (query predicate closures, §4.2) lands on the callee — the signal
+// the adaptive optimizer promotes on.
+
+#include <gtest/gtest.h>
+
+#include "query/relation.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using query::Relation;
+using test::MustParseProgram;
+using vm::FnSample;
+using vm::Value;
+
+// select over `r` with an inline predicate: the predicate compiles to its
+// own Function, called once per tuple through CallSync.
+const char* kSelectProg =
+    "(proc (r ce cc)"
+    " (select (proc (t pce pcc)"
+    "           ([] t 0 pce (cont (v)"
+    "            (< v 50 (cont () (pcc true)) (cont () (pcc false))))))"
+    "   r ce"
+    "   (cont (out) (card out cc))))";
+
+Relation TestRelation(int n) {
+  Relation rel;
+  rel.columns = {"a", "b"};
+  for (int i = 0; i < n; ++i) {
+    rel.tuples.push_back({int64_t{(i * 7) % 100}, int64_t{i}});
+  }
+  return rel;
+}
+
+uint64_t TotalSampledSteps(const std::vector<FnSample>& samples) {
+  uint64_t total = 0;
+  for (const FnSample& s : samples) total += s.steps;
+  return total;
+}
+
+const FnSample* SampleFor(const std::vector<FnSample>& samples,
+                          const vm::Function* fn) {
+  for (const FnSample& s : samples) {
+    if (s.fn == fn) return &s;
+  }
+  return nullptr;
+}
+
+TEST(Profile, StepsAndCallsAttributedToFunction) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(
+          &m, "(proc (x ce cc) (+ x 1 ce (cont (y) (* y 2 ce cc))))");
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "f");
+  ASSERT_TRUE(fn.ok());
+  vm::VM vm;
+  Value args[] = {Value::Int(5)};
+  auto r1 = vm.Run(*fn, args);
+  ASSERT_TRUE(r1.ok());
+  auto r2 = vm.Run(*fn, args);
+  ASSERT_TRUE(r2.ok());
+
+  auto samples = vm.SnapshotProfile();
+  const FnSample* s = SampleFor(samples, *fn);
+  ASSERT_NE(s, nullptr);
+  EXPECT_EQ(s->calls, 2u);
+  EXPECT_EQ(s->steps, r1->steps + r2->steps)
+      << "all steps of a single-function run belong to that function";
+}
+
+TEST(Profile, NestedCallSyncStepsLandOnCallee) {
+  Module m;
+  const Abstraction* prog = MustParseProgram(&m, kSelectProg);
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "q");
+  ASSERT_TRUE(fn.ok());
+
+  constexpr int kTuples = 64;
+  vm::VM vm;
+  Value args[] = {query::RelationValue(TestRelation(kTuples), vm.heap())};
+  vm.Pin(args[0]);
+  auto r = vm.Run(*fn, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_GT(r->value.i, 0);
+
+  auto samples = vm.SnapshotProfile();
+  ASSERT_EQ(samples.size(), 2u) << "outer proc + predicate subfunction";
+  const FnSample* outer = SampleFor(samples, *fn);
+  ASSERT_NE(outer, nullptr);
+  const FnSample* pred =
+      samples[0].fn == *fn ? &samples[1] : &samples[0];
+
+  // The predicate ran once per tuple via CallSync, and its instruction
+  // costs are attributed to it — not to the enclosing query function.
+  EXPECT_EQ(outer->calls, 1u);
+  EXPECT_EQ(pred->calls, static_cast<uint64_t>(kTuples));
+  EXPECT_GT(pred->steps, 0u);
+  EXPECT_LT(outer->steps, r->steps)
+      << "predicate work must not be billed to the outer function";
+
+  // Conservation: every step of the run is attributed to exactly one
+  // function once all frames have been popped.
+  EXPECT_EQ(TotalSampledSteps(samples), r->steps);
+}
+
+TEST(Profile, RaisedRunStillFlushesFrameSteps) {
+  // A program whose nested call raises: the unwound frames' local step
+  // counts must still be published to the profile.
+  Module m;
+  const Abstraction* prog = MustParseProgram(
+      &m,
+      "(proc (x ce cc)"
+      " ((proc (y ice icc) (raise y)) x ce cc))");
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "f");
+  ASSERT_TRUE(fn.ok());
+  vm::VM vm;
+  Value args[] = {Value::Int(7)};
+  auto r = vm.Run(*fn, args);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->raised);
+  auto samples = vm.SnapshotProfile();
+  EXPECT_EQ(TotalSampledSteps(samples), r->steps)
+      << "unwinding must flush frame-local step counters";
+}
+
+TEST(Profile, DisabledProfilingKeepsMapEmpty) {
+  Module m;
+  const Abstraction* prog =
+      MustParseProgram(&m, "(proc (x ce cc) (cc x))");
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "id");
+  ASSERT_TRUE(fn.ok());
+  vm::VMOptions opts;
+  opts.profile = false;
+  vm::VM vm(nullptr, opts);
+  Value args[] = {Value::Int(1)};
+  ASSERT_TRUE(vm.Run(*fn, args).ok());
+  EXPECT_TRUE(vm.SnapshotProfile().empty());
+}
+
+}  // namespace
+}  // namespace tml

@@ -4,6 +4,10 @@
 #   tools/check.sh          # RelWithDebInfo (the tier-1 gate)
 #   tools/check.sh --asan   # ASan+UBSan build of the same suite; use this
 #                           # for the store fuzz/decode-hardening tests
+#   tools/check.sh --tsan   # TSan build; runs the concurrency-sensitive
+#                           # tests (adaptive background worker, VM, runtime)
+#   tools/check.sh --bench  # build + run every bench_* binary, writing
+#                           # machine-readable BENCH_<name>.json next to it
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -12,12 +16,46 @@ cd "$(dirname "$0")/.."
 
 build_dir=build
 cmake_args=()
-if [[ "${1:-}" == "--asan" ]]; then
-  shift
-  build_dir=build-asan
-  cmake_args+=(-DCMAKE_BUILD_TYPE=Asan)
-fi
+mode=test
+case "${1:-}" in
+  --asan)
+    shift
+    build_dir=build-asan
+    cmake_args+=(-DCMAKE_BUILD_TYPE=Asan)
+    ;;
+  --tsan)
+    shift
+    build_dir=build-tsan
+    cmake_args+=(-DCMAKE_BUILD_TYPE=Tsan)
+    mode=tsan
+    ;;
+  --bench)
+    shift
+    mode=bench
+    ;;
+esac
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
 cmake --build "$build_dir" -j
-cd "$build_dir" && ctest --output-on-failure -j "$@"
+
+case "$mode" in
+  test)
+    cd "$build_dir" && ctest --output-on-failure -j "$@"
+    ;;
+  tsan)
+    # The suites that exercise threads (the adaptive worker) plus the VM
+    # and runtime paths it races against.
+    cd "$build_dir" && ctest --output-on-failure -j \
+      -R 'adaptive|profile|swizzle|runtime|vm' "$@"
+    ;;
+  bench)
+    for bench in "$build_dir"/bench/bench_*; do
+      [[ -x "$bench" && ! -d "$bench" ]] || continue
+      name=$(basename "$bench")
+      echo "== $name =="
+      "$bench" --json "$build_dir/BENCH_${name#bench_}.json"
+      echo
+    done
+    echo "bench JSON written to $build_dir/BENCH_*.json"
+    ;;
+esac
