@@ -45,13 +45,40 @@ class Metrics {
     std::fprintf(f, "{\n");
     for (size_t i = 0; i < metrics_.size(); ++i) {
       double v = metrics_[i].second;
-      std::fprintf(f, "  \"%s\": %s%s\n", metrics_[i].first.c_str(),
+      std::fprintf(f, "  \"%s\": %s%s\n",
+                   JsonEscape(metrics_[i].first).c_str(),
                    std::isfinite(v) ? FormatNumber(v).c_str() : "null",
                    i + 1 < metrics_.size() ? "," : "");
     }
     std::fprintf(f, "}\n");
     std::fclose(f);
     metrics_.clear();
+  }
+
+  /// Escape a metric name for use inside a JSON string literal.  Names are
+  /// caller-controlled and have contained `"`/`\` (ablation labels), which
+  /// used to produce unparseable BENCH_*.json files.
+  static std::string JsonEscape(const std::string& s) {
+    std::string out;
+    out.reserve(s.size());
+    for (unsigned char c : s) {
+      switch (c) {
+        case '"': out += "\\\""; break;
+        case '\\': out += "\\\\"; break;
+        case '\n': out += "\\n"; break;
+        case '\r': out += "\\r"; break;
+        case '\t': out += "\\t"; break;
+        default:
+          if (c < 0x20) {
+            char buf[8];
+            std::snprintf(buf, sizeof buf, "\\u%04x", c);
+            out += buf;
+          } else {
+            out += static_cast<char>(c);
+          }
+      }
+    }
+    return out;
   }
 
  private:

@@ -2,6 +2,8 @@
 
 #include <utility>
 
+#include "telemetry/trace.h"
+
 namespace tml::adaptive {
 
 AdaptiveManager::AdaptiveManager(rt::Universe* universe,
@@ -58,8 +60,9 @@ void AdaptiveManager::WorkerLoop() {
 }
 
 Status AdaptiveManager::PollOnce() {
+  TML_TELEMETRY_SPAN("adaptive", "adaptive.poll");
   std::lock_guard<std::mutex> lock(mu_);
-  counters_->polls.fetch_add(1, std::memory_order_relaxed);
+  counters_->polls.Add(1);
 
   // 1. Age existing heat, then fold in the delta since the last snapshot,
   //    attributed back to persistent closure OIDs.
@@ -97,7 +100,7 @@ Status AdaptiveManager::PollOnce() {
   uint64_t backoffs = 0;
   std::vector<Oid> candidates = policy_.PickCandidates(
       profile_, opts_.max_promotions_per_poll, &backoffs);
-  counters_->backoffs.fetch_add(backoffs, std::memory_order_relaxed);
+  counters_->backoffs.Add(backoffs);
   for (Oid oid : candidates) TryPromote(oid);
 
   // 4. Persist the profile so heat survives restarts.
@@ -109,6 +112,7 @@ Status AdaptiveManager::PollOnce() {
 }
 
 void AdaptiveManager::TryPromote(Oid closure_oid) {
+  TML_TELEMETRY_SPAN("adaptive", "adaptive.promote");
   ProfileEntry* e = profile_.Entry(closure_oid);
   // Snapshot the binding generation *before* optimizing: if a module is
   // (re)installed while the optimizer runs, the result was computed against
@@ -123,13 +127,13 @@ void AdaptiveManager::TryPromote(Oid closure_oid) {
   stats_.reflect_cache_hits += rs.cache_hits;
   stats_.reflect_cache_misses += rs.cache_misses;
   if (!optimized.ok()) {
-    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    counters_->reflect_failures.Add(1);
     return;
   }
 
   Result<Oid> opt_code = universe_->ClosureCodeOid(*optimized);
   if (!opt_code.ok()) {
-    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    counters_->reflect_failures.Add(1);
     return;
   }
   if (*opt_code == e->code_oid) {
@@ -141,14 +145,14 @@ void AdaptiveManager::TryPromote(Oid closure_oid) {
 
   Result<bool> swapped = universe_->SwapCode(closure_oid, *optimized, gen);
   if (!swapped.ok()) {
-    counters_->reflect_failures.fetch_add(1, std::memory_order_relaxed);
+    counters_->reflect_failures.Add(1);
     return;
   }
   if (!*swapped) {
-    counters_->stale_rejections.fetch_add(1, std::memory_order_relaxed);
+    counters_->stale_rejections.Add(1);
     return;
   }
-  counters_->promotions.fetch_add(1, std::memory_order_relaxed);
+  counters_->promotions.Add(1);
   e->code_oid = *opt_code;
   e->promoted_code_oid = *opt_code;
 }
@@ -159,7 +163,7 @@ Status AdaptiveManager::PersistProfile() {
                                         profile_.Encode()));
   (void)oid;
   TML_RETURN_NOT_OK(universe_->CommitStore());
-  counters_->profile_persists.fetch_add(1, std::memory_order_relaxed);
+  counters_->profile_persists.Add(1);
   return Status::OK();
 }
 

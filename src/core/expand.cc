@@ -5,6 +5,8 @@
 
 #include "core/analysis.h"
 #include "core/primitive.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::ir {
 
@@ -187,9 +189,25 @@ class Expander {
 const Abstraction* Expand(Module* m, const Abstraction* prog,
                           const ExpandOptions& opts, int penalty,
                           ExpandStats* stats) {
+  TML_TELEMETRY_SPAN("optimizer", "expand");
   ExpandStats local;
-  Expander e(m, opts, penalty, stats != nullptr ? stats : &local);
+  ExpandStats* used = stats != nullptr ? stats : &local;
+  const ExpandStats before = *used;
+  Expander e(m, opts, penalty, used);
   const Application* body = e.Run(prog->body());
+  static telemetry::Counter* inlined =
+      telemetry::Registry::Global().GetCounter("tml.expand.inlined");
+  static telemetry::Counter* considered =
+      telemetry::Registry::Global().GetCounter("tml.expand.considered");
+  static telemetry::Counter* rejected =
+      telemetry::Registry::Global().GetCounter("tml.expand.rejected_cost");
+  if (used->inlined != before.inlined) inlined->Add(used->inlined - before.inlined);
+  if (used->considered != before.considered) {
+    considered->Add(used->considered - before.considered);
+  }
+  if (used->rejected_cost != before.rejected_cost) {
+    rejected->Add(used->rejected_cost - before.rejected_cost);
+  }
   if (!e.changed()) return prog;
   return m->Abs(prog->params(), body);
 }

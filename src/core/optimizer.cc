@@ -1,5 +1,8 @@
 #include "core/optimizer.h"
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace tml::ir {
 
 std::string OptimizerStats::ToString() const {
@@ -11,8 +14,11 @@ std::string OptimizerStats::ToString() const {
 const Abstraction* Optimize(Module* m, const Abstraction* prog,
                             const OptimizerOptions& opts,
                             OptimizerStats* stats) {
+  TML_TELEMETRY_SPAN("optimizer", "optimize");
+  const uint64_t start_ns = telemetry::Tracer::NowNs();
   OptimizerStats local;
   OptimizerStats* s = stats != nullptr ? stats : &local;
+  const uint64_t local_rounds_before = s->rounds;
   s->input_size = 1 + TermSize(prog->body());
 
   int penalty = 0;
@@ -41,6 +47,16 @@ const Abstraction* Optimize(Module* m, const Abstraction* prog,
     prog = Reduce(m, prog, opts.rewrite, &s->rewrite);
   }
   s->output_size = 1 + TermSize(prog->body());
+
+  static telemetry::Counter* runs =
+      telemetry::Registry::Global().GetCounter("tml.optimizer.runs");
+  static telemetry::Counter* rounds =
+      telemetry::Registry::Global().GetCounter("tml.optimizer.rounds");
+  static telemetry::Histogram* latency =
+      telemetry::Registry::Global().GetHistogram("tml.optimizer.latency_us");
+  runs->Increment();
+  rounds->Add(s->rounds - local_rounds_before);
+  latency->Observe((telemetry::Tracer::NowNs() - start_ns) / 1000);
   return prog;
 }
 

@@ -6,8 +6,70 @@
 #include "core/analysis.h"
 #include "core/primitive.h"
 #include "core/subst.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::ir {
+
+namespace {
+
+// Flush one reduction run's rule firings to the global registry as deltas.
+// The per-rule Counter* are resolved once and cached: the steady-state cost
+// per Reduce/ReduceApp call is nine relaxed adds, independent of how many
+// rules fired.
+void PublishRewriteStats(const RewriteStats& s) {
+  using telemetry::Counter;
+  using telemetry::Registry;
+  static Counter* subst =
+      Registry::Global().GetCounter("tml.rewrite.fired", {{"rule", "subst"}});
+  static Counter* remove =
+      Registry::Global().GetCounter("tml.rewrite.fired", {{"rule", "remove"}});
+  static Counter* reduce =
+      Registry::Global().GetCounter("tml.rewrite.fired", {{"rule", "reduce"}});
+  static Counter* eta =
+      Registry::Global().GetCounter("tml.rewrite.fired", {{"rule", "eta"}});
+  static Counter* fold =
+      Registry::Global().GetCounter("tml.rewrite.fired", {{"rule", "fold"}});
+  static Counter* case_subst = Registry::Global().GetCounter(
+      "tml.rewrite.fired", {{"rule", "case-subst"}});
+  static Counter* y_remove = Registry::Global().GetCounter(
+      "tml.rewrite.fired", {{"rule", "y-remove"}});
+  static Counter* y_reduce = Registry::Global().GetCounter(
+      "tml.rewrite.fired", {{"rule", "y-reduce"}});
+  static Counter* y_subst = Registry::Global().GetCounter(
+      "tml.rewrite.fired", {{"rule", "y-subst"}});
+  static Counter* sweeps =
+      Registry::Global().GetCounter("tml.rewrite.sweeps");
+  if (s.subst != 0) subst->Add(s.subst);
+  if (s.remove != 0) remove->Add(s.remove);
+  if (s.reduce != 0) reduce->Add(s.reduce);
+  if (s.eta != 0) eta->Add(s.eta);
+  if (s.fold != 0) fold->Add(s.fold);
+  if (s.case_subst != 0) case_subst->Add(s.case_subst);
+  if (s.y_remove != 0) y_remove->Add(s.y_remove);
+  if (s.y_reduce != 0) y_reduce->Add(s.y_reduce);
+  if (s.y_subst != 0) y_subst->Add(s.y_subst);
+  if (s.sweeps != 0) sweeps->Add(s.sweeps);
+}
+
+// Field-wise after - before, for publishing only what this run fired when
+// the caller reuses an accumulating stats struct.
+RewriteStats StatsDelta(const RewriteStats& after, const RewriteStats& before) {
+  RewriteStats d;
+  d.subst = after.subst - before.subst;
+  d.remove = after.remove - before.remove;
+  d.reduce = after.reduce - before.reduce;
+  d.eta = after.eta - before.eta;
+  d.fold = after.fold - before.fold;
+  d.case_subst = after.case_subst - before.case_subst;
+  d.y_remove = after.y_remove - before.y_remove;
+  d.y_reduce = after.y_reduce - before.y_reduce;
+  d.y_subst = after.y_subst - before.y_subst;
+  d.sweeps = after.sweeps - before.sweeps;
+  return d;
+}
+
+}  // namespace
 
 std::string RewriteStats::ToString() const {
   std::string s;
@@ -360,9 +422,13 @@ class Reducer {
 
 const Abstraction* Reduce(Module* m, const Abstraction* prog,
                           const RewriteOptions& opts, RewriteStats* stats) {
+  TML_TELEMETRY_SPAN("optimizer", "reduce");
   RewriteStats local;
-  Reducer r(m, opts, stats != nullptr ? stats : &local);
+  RewriteStats* used = stats != nullptr ? stats : &local;
+  const RewriteStats before = *used;
+  Reducer r(m, opts, used);
   const Application* body = r.Fixpoint(prog->body());
+  PublishRewriteStats(StatsDelta(*used, before));
   if (body == prog->body()) return prog;
   return m->Abs(prog->params(), body);
 }
@@ -370,9 +436,14 @@ const Abstraction* Reduce(Module* m, const Abstraction* prog,
 const Application* ReduceApp(Module* m, const Application* app,
                              const RewriteOptions& opts,
                              RewriteStats* stats) {
+  TML_TELEMETRY_SPAN("optimizer", "reduce");
   RewriteStats local;
-  Reducer r(m, opts, stats != nullptr ? stats : &local);
-  return r.Fixpoint(app);
+  RewriteStats* used = stats != nullptr ? stats : &local;
+  const RewriteStats before = *used;
+  Reducer r(m, opts, used);
+  const Application* out = r.Fixpoint(app);
+  PublishRewriteStats(StatsDelta(*used, before));
+  return out;
 }
 
 }  // namespace tml::ir

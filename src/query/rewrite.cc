@@ -5,6 +5,8 @@
 #include "core/analysis.h"
 #include "core/primitive.h"
 #include "prims/standard.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::query {
 
@@ -244,12 +246,59 @@ class QueryRewriter {
 
 }  // namespace
 
+namespace {
+
+/// Flush one query-rewrite run's rule firings to the registry as deltas
+/// (same scheme as the §3 rewriter: labeled counters, resolved once).
+void PublishQueryStats(const QueryRewriteStats& after,
+                       const QueryRewriteStats& before) {
+  using telemetry::Counter;
+  using telemetry::Registry;
+  static Counter* merge_select = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "merge-select"}});
+  static Counter* merge_project = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "merge-project"}});
+  static Counter* select_true = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "select-true"}});
+  static Counter* select_false = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "select-false"}});
+  static Counter* exists_const = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "exists-const"}});
+  static Counter* trivial_exists = Registry::Global().GetCounter(
+      "tml.query.rewrite_fired", {{"rule", "trivial-exists"}});
+  if (after.merge_select != before.merge_select) {
+    merge_select->Add(after.merge_select - before.merge_select);
+  }
+  if (after.merge_project != before.merge_project) {
+    merge_project->Add(after.merge_project - before.merge_project);
+  }
+  if (after.select_true != before.select_true) {
+    select_true->Add(after.select_true - before.select_true);
+  }
+  if (after.select_false != before.select_false) {
+    select_false->Add(after.select_false - before.select_false);
+  }
+  if (after.exists_const != before.exists_const) {
+    exists_const->Add(after.exists_const - before.exists_const);
+  }
+  if (after.trivial_exists != before.trivial_exists) {
+    trivial_exists->Add(after.trivial_exists - before.trivial_exists);
+  }
+}
+
+}  // namespace
+
 const Application* RewriteQueries(Module* m, const Application* app,
                                   const QueryRewriteOptions& opts,
                                   QueryRewriteStats* stats) {
+  TML_TELEMETRY_SPAN("query", "query.rewrite");
   QueryRewriteStats local;
-  QueryRewriter r(m, opts, stats != nullptr ? stats : &local);
-  return r.Fixpoint(app);
+  QueryRewriteStats* used = stats != nullptr ? stats : &local;
+  const QueryRewriteStats before = *used;
+  QueryRewriter r(m, opts, used);
+  const Application* out = r.Fixpoint(app);
+  PublishQueryStats(*used, before);
+  return out;
 }
 
 const Abstraction* RewriteQueries(Module* m, const Abstraction* prog,

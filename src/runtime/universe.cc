@@ -10,6 +10,7 @@
 #include "query/relation.h"
 #include "support/fnv.h"
 #include "support/varint.h"
+#include "telemetry/trace.h"
 
 namespace tml::rt {
 
@@ -17,8 +18,37 @@ using ir::Abstraction;
 using ir::Application;
 using ir::Variable;
 
+AtomicAdaptiveCounters::AtomicAdaptiveCounters() {
+  auto& reg = telemetry::Registry::Global();
+  polls.global = reg.GetCounter("tml.adaptive.polls");
+  promotions.global = reg.GetCounter("tml.adaptive.promotions");
+  backoffs.global = reg.GetCounter("tml.adaptive.backoffs");
+  stale_rejections.global = reg.GetCounter("tml.adaptive.stale_rejections");
+  reflect_failures.global = reg.GetCounter("tml.adaptive.reflect_failures");
+  profile_persists.global = reg.GetCounter("tml.adaptive.profile_persists");
+}
+
 Universe::Universe(store::ObjectStore* store) : store_(store) {
+  // Honor TYCOON_TRACE / TYCOON_METRICS_DUMP in every process that builds a
+  // runtime, so benches and tools capture traces without extra plumbing.
+  telemetry::InitFromEnv();
   vm_ = std::make_unique<vm::VM>(this);
+  // `(ccall "reflect.stats" ...)`: the telemetry dump as a TML string.
+  // Pass "json" as the first argument for the JSON rendering.
+  vm_->RegisterHost(
+      "reflect.stats",
+      [this](vm::VM* vm,
+             std::span<const vm::Value> args) -> Result<vm::Value> {
+        bool json = false;
+        if (!args.empty() && args[0].is_obj() &&
+            args[0].obj->kind == vm::ObjKind::kString) {
+          json = static_cast<vm::StringObj*>(args[0].obj)->str == "json";
+        }
+        TelemetryReport rep = TelemetrySnapshot();
+        vm::StringObj* s = vm->heap()->New<vm::StringObj>();
+        s->str = json ? rep.ToJson() : rep.ToText();
+        return vm::Value::ObjV(s);
+      });
 }
 
 Universe::~Universe() {
@@ -34,16 +64,12 @@ void Universe::AdoptService(std::unique_ptr<BackgroundService> service) {
 
 AdaptiveCounters Universe::adaptive_counters() const {
   AdaptiveCounters out;
-  out.polls = adaptive_counters_.polls.load(std::memory_order_relaxed);
-  out.promotions =
-      adaptive_counters_.promotions.load(std::memory_order_relaxed);
-  out.backoffs = adaptive_counters_.backoffs.load(std::memory_order_relaxed);
-  out.stale_rejections =
-      adaptive_counters_.stale_rejections.load(std::memory_order_relaxed);
-  out.reflect_failures =
-      adaptive_counters_.reflect_failures.load(std::memory_order_relaxed);
-  out.profile_persists =
-      adaptive_counters_.profile_persists.load(std::memory_order_relaxed);
+  out.polls = adaptive_counters_.polls.value();
+  out.promotions = adaptive_counters_.promotions.value();
+  out.backoffs = adaptive_counters_.backoffs.value();
+  out.stale_rejections = adaptive_counters_.stale_rejections.value();
+  out.reflect_failures = adaptive_counters_.reflect_failures.value();
+  out.profile_persists = adaptive_counters_.profile_persists.value();
   return out;
 }
 
@@ -194,6 +220,7 @@ Status Universe::InstallSource(const std::string& name,
 Status Universe::InstallUnit(const std::string& name,
                              const fe::CompiledUnit& unit,
                              const InstallOptions& opts) {
+  TML_TELEMETRY_SPAN("runtime", "runtime.install");
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (modules_.count(name) != 0) {
     return Status::AlreadyExists("module already installed: " + name);
@@ -290,6 +317,7 @@ Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {
 
 Result<bool> Universe::SwapCode(Oid target_closure, Oid optimized_closure,
                                 uint64_t expected_generation) {
+  TML_TELEMETRY_SPAN("adaptive", "adaptive.swap");
   std::lock_guard<std::recursive_mutex> lock(mu_);
   if (binding_gen_.load(std::memory_order_acquire) != expected_generation) {
     return false;  // bindings moved since the optimization was computed
@@ -416,6 +444,7 @@ uint64_t HashOptimizerOptions(const ir::OptimizerOptions& o, uint64_t h) {
 
 Status Universe::DiscoverReflectClosures(Oid root, ReflectStats* stats,
                                          std::vector<Discovered>* out) {
+  TML_TELEMETRY_SPAN("reflect", "reflect.discover");
   // Discover all transitively reachable closures that carry PTML — the
   // single mutually recursive scope of §4.1.  Non-PTML objects (relations,
   // foreign code) stay opaque.  PTML stays undecoded here: the raw bytes
@@ -476,6 +505,7 @@ uint64_t Universe::FingerprintReflect(
 Result<const Abstraction*> Universe::BuildReflectTerm(
     ir::Module* m, Oid root, const std::vector<Discovered>& discovered,
     ReflectStats* stats) {
+  TML_TELEMETRY_SPAN("reflect", "reflect.build");
   // Decode each discovered PTML record and assign its closure a canonical
   // variable.
   std::unordered_map<Oid, Variable*> canon;
@@ -627,6 +657,17 @@ Status Universe::PersistReflectCache() {
 Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
                                       const ir::OptimizerOptions& opts,
                                       ReflectStats* stats) {
+  TML_TELEMETRY_SPAN("reflect", "reflect.optimize");
+  static telemetry::Counter* runs =
+      telemetry::Registry::Global().GetCounter("tml.reflect.runs");
+  static telemetry::Counter* g_hits =
+      telemetry::Registry::Global().GetCounter("tml.reflect.cache_hits");
+  static telemetry::Counter* g_misses =
+      telemetry::Registry::Global().GetCounter("tml.reflect.cache_misses");
+  static telemetry::Histogram* latency =
+      telemetry::Registry::Global().GetHistogram("tml.reflect.latency_us");
+  const uint64_t start_ns = telemetry::Tracer::NowNs();
+  runs->Increment();
   std::lock_guard<std::recursive_mutex> lock(mu_);
   TML_RETURN_NOT_OK(EnsureReflectCacheLoaded());
   std::vector<Discovered> discovered;
@@ -641,6 +682,8 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
         stats->cache_bytes =
             store_->live_bytes(store::ObjType::kReflectCache);
       }
+      g_hits->Increment();
+      latency->Observe((telemetry::Tracer::NowNs() - start_ns) / 1000);
       return e.closure_oid;
     }
     // The regenerated records were deleted out from under the index; drop
@@ -648,6 +691,7 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
     reflect_cache_.erase(hit);
   }
   if (stats != nullptr) ++stats->cache_misses;
+  g_misses->Increment();
 
   auto module = std::make_unique<ir::Module>();
   ir::Module* m = module.get();
@@ -660,10 +704,14 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
   const Abstraction* optimized =
       ir::Optimize(m, wrapped, opts,
                    stats != nullptr ? &stats->optimizer : nullptr);
-  TML_RETURN_NOT_OK(ir::Validate(*m, optimized));
+  // Record what the optimizer produced BEFORE validating it: when the
+  // post-optimize Validate rejects the term, the caller still sees which
+  // passes ran and what they yielded (out-params stay truthful on the
+  // error path).
   if (stats != nullptr) {
     stats->output_term_size = 1 + ir::TermSize(optimized->body());
   }
+  TML_RETURN_NOT_OK(ir::Validate(*m, optimized));
 
   std::string fname = "reflect$" + std::to_string(++reflect_counter_);
   // Attach PTML to the regenerated code so the result is itself
@@ -695,6 +743,7 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
     stats->cache_bytes = store_->live_bytes(store::ObjType::kReflectCache);
   }
   reflected_modules_.push_back(std::move(module));
+  latency->Observe((telemetry::Tracer::NowNs() - start_ns) / 1000);
   return clo_oid;
 }
 
@@ -705,6 +754,59 @@ Universe::SizeReport Universe::Sizes() const {
   r.ptml_bytes = store_->live_bytes(store::ObjType::kPtml);
   r.closure_bytes = store_->live_bytes(store::ObjType::kClosure);
   return r;
+}
+
+// ---- telemetry export ------------------------------------------------------
+
+Universe::TelemetryReport Universe::TelemetrySnapshot() const {
+  TelemetryReport rep;
+  rep.metrics = telemetry::Registry::Global().Snapshot();
+  rep.adaptive = adaptive_counters();
+  rep.sizes = Sizes();
+  rep.trace_events_dropped = telemetry::Tracer::Global().dropped();
+  return rep;
+}
+
+std::string Universe::TelemetryReport::ToText() const {
+  std::string out = telemetry::FormatText(metrics);
+  out += "adaptive: polls=" + std::to_string(adaptive.polls) +
+         " promotions=" + std::to_string(adaptive.promotions) +
+         " backoffs=" + std::to_string(adaptive.backoffs) +
+         " stale_rejections=" + std::to_string(adaptive.stale_rejections) +
+         " reflect_failures=" + std::to_string(adaptive.reflect_failures) +
+         " profile_persists=" + std::to_string(adaptive.profile_persists) +
+         "\n";
+  out += "store: code_bytes=" + std::to_string(sizes.code_bytes) +
+         " ptml_bytes=" + std::to_string(sizes.ptml_bytes) +
+         " closure_bytes=" + std::to_string(sizes.closure_bytes) + "\n";
+  if (trace_events_dropped != 0) {
+    out += "trace: dropped=" + std::to_string(trace_events_dropped) + "\n";
+  }
+  return out;
+}
+
+std::string Universe::TelemetryReport::ToJson() const {
+  std::string metrics_json = telemetry::FormatJson(metrics);
+  while (!metrics_json.empty() && metrics_json.back() == '\n') {
+    metrics_json.pop_back();
+  }
+  std::string out = "{\n\"metrics\": " + metrics_json + ",\n";
+  out += "\"adaptive\": {\"polls\": " + std::to_string(adaptive.polls) +
+         ", \"promotions\": " + std::to_string(adaptive.promotions) +
+         ", \"backoffs\": " + std::to_string(adaptive.backoffs) +
+         ", \"stale_rejections\": " +
+         std::to_string(adaptive.stale_rejections) +
+         ", \"reflect_failures\": " +
+         std::to_string(adaptive.reflect_failures) +
+         ", \"profile_persists\": " +
+         std::to_string(adaptive.profile_persists) + "},\n";
+  out += "\"sizes\": {\"code_bytes\": " + std::to_string(sizes.code_bytes) +
+         ", \"ptml_bytes\": " + std::to_string(sizes.ptml_bytes) +
+         ", \"closure_bytes\": " + std::to_string(sizes.closure_bytes) +
+         "},\n";
+  out += "\"trace_events_dropped\": " +
+         std::to_string(trace_events_dropped) + "\n}\n";
+  return out;
 }
 
 }  // namespace tml::rt

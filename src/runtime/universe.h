@@ -36,6 +36,7 @@
 #include "store/object_store.h"
 #include "store/ptml.h"
 #include "store/reflect_cache.h"
+#include "telemetry/metrics.h"
 #include "vm/codegen.h"
 #include "vm/vm.h"
 
@@ -88,15 +89,32 @@ struct AdaptiveCounters {
   uint64_t profile_persists = 0;  ///< kProfile records written
 };
 
+/// One live adaptive counter: a per-universe atomic (tests and the public
+/// AdaptiveCounters snapshot read this) that also forwards every bump to a
+/// process-wide registry counter, so `tyctop` and TelemetrySnapshot() see
+/// adaptive activity without a universe handle.
+struct AdaptiveCell {
+  std::atomic<uint64_t> local{0};
+  telemetry::Counter* global = nullptr;  // wired once at Universe creation
+
+  void Add(uint64_t n) {
+    local.fetch_add(n, std::memory_order_relaxed);
+    if (global != nullptr) global->Add(n);
+  }
+  uint64_t value() const { return local.load(std::memory_order_relaxed); }
+};
+
 /// The live (cross-thread) counter cells behind AdaptiveCounters: the
 /// manager's worker thread bumps these while observers snapshot them.
 struct AtomicAdaptiveCounters {
-  std::atomic<uint64_t> polls{0};
-  std::atomic<uint64_t> promotions{0};
-  std::atomic<uint64_t> backoffs{0};
-  std::atomic<uint64_t> stale_rejections{0};
-  std::atomic<uint64_t> reflect_failures{0};
-  std::atomic<uint64_t> profile_persists{0};
+  AtomicAdaptiveCounters();  // wires the cells to the "tml.adaptive.*" metrics
+
+  AdaptiveCell polls;
+  AdaptiveCell promotions;
+  AdaptiveCell backoffs;
+  AdaptiveCell stale_rejections;
+  AdaptiveCell reflect_failures;
+  AdaptiveCell profile_persists;
 };
 
 class Universe : public vm::RuntimeEnv {
@@ -221,6 +239,23 @@ class Universe : public vm::RuntimeEnv {
     size_t closure_bytes = 0;
   };
   SizeReport Sizes() const;
+
+  // ---- telemetry export ----
+
+  /// One coherent view of the whole observability surface: the global
+  /// metrics registry plus this universe's adaptive counters and store
+  /// footprint.  Safe to call from any thread while the mutator and the
+  /// adaptive worker run.
+  struct TelemetryReport {
+    std::vector<telemetry::MetricSample> metrics;
+    AdaptiveCounters adaptive;
+    SizeReport sizes;
+    uint64_t trace_events_dropped = 0;
+
+    std::string ToText() const;
+    std::string ToJson() const;
+  };
+  TelemetryReport TelemetrySnapshot() const;
 
   // vm::RuntimeEnv:
   Result<vm::Value> ResolveOid(Oid oid, vm::VM* vm) override;

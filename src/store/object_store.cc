@@ -8,10 +8,72 @@
 
 #include "support/crc32.h"
 #include "support/varint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::store {
 
+const char* ObjTypeName(ObjType type) {
+  switch (type) {
+    case ObjType::kBlob: return "blob";
+    case ObjType::kPtml: return "ptml";
+    case ObjType::kCode: return "code";
+    case ObjType::kClosure: return "closure";
+    case ObjType::kModule: return "module";
+    case ObjType::kRelation: return "relation";
+    case ObjType::kReflectCache: return "reflect-cache";
+    case ObjType::kProfile: return "profile";
+  }
+  return "unknown";
+}
+
 namespace {
+
+/// Per-ObjType read/write counters, resolved once.  Index is the raw
+/// ObjType value; out-of-range types (corrupt input) fall back to slot 0.
+struct StoreCounters {
+  static constexpr int kTypes = 8;
+  telemetry::Counter* read_ops[kTypes];
+  telemetry::Counter* read_bytes[kTypes];
+  telemetry::Counter* write_ops[kTypes];
+  telemetry::Counter* write_bytes[kTypes];
+
+  static const StoreCounters& Get() {
+    static const StoreCounters* c = [] {
+      auto* sc = new StoreCounters();
+      auto& reg = telemetry::Registry::Global();
+      for (int t = 0; t < kTypes; ++t) {
+        telemetry::Labels labels{
+            {"type", ObjTypeName(static_cast<ObjType>(t))}};
+        sc->read_ops[t] = reg.GetCounter("tml.store.read_ops", labels);
+        sc->read_bytes[t] = reg.GetCounter("tml.store.read_bytes", labels);
+        sc->write_ops[t] = reg.GetCounter("tml.store.write_ops", labels);
+        sc->write_bytes[t] = reg.GetCounter("tml.store.write_bytes", labels);
+      }
+      return sc;
+    }();
+    return *c;
+  }
+
+  static int Slot(ObjType type) {
+    int t = static_cast<int>(type);
+    return (t >= 0 && t < kTypes) ? t : 0;
+  }
+};
+
+void CountWrite(ObjType type, size_t bytes) {
+  const StoreCounters& c = StoreCounters::Get();
+  int t = StoreCounters::Slot(type);
+  c.write_ops[t]->Increment();
+  c.write_bytes[t]->Add(bytes);
+}
+
+void CountRead(ObjType type, size_t bytes) {
+  const StoreCounters& c = StoreCounters::Get();
+  int t = StoreCounters::Slot(type);
+  c.read_ops[t]->Increment();
+  c.read_bytes[t]->Add(bytes);
+}
 
 // Two fixed-size header slots at the front of the file.
 //   magic(8) epoch(8) durable_length(8) next_oid(8) crc(4) pad(4)
@@ -85,6 +147,7 @@ ObjectStore::~ObjectStore() {
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
     const std::string& path) {
+  TML_TELEMETRY_SPAN("store", "store.open");
   std::unique_ptr<ObjectStore> s(new ObjectStore());
   s->path_ = path;
   if (path.empty()) return s;  // in-memory
@@ -100,6 +163,24 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
   } else {
     TML_RETURN_NOT_OK(s->LoadFromFile());
   }
+  return s;
+}
+
+Result<std::unique_ptr<ObjectStore>> ObjectStore::OpenReadOnly(
+    const std::string& path) {
+  TML_TELEMETRY_SPAN("store", "store.open");
+  if (path.empty()) {
+    return Status::Invalid("read-only open needs a store file path");
+  }
+  std::unique_ptr<ObjectStore> s(new ObjectStore());
+  s->path_ = path;
+  s->read_only_ = true;
+  s->fd_ = ::open(path.c_str(), O_RDONLY);
+  if (s->fd_ < 0) {
+    if (errno == ENOENT) return Status::NotFound("no store file " + path);
+    return IOErr("open " + path);
+  }
+  TML_RETURN_NOT_OK(s->LoadFromFile());
   return s;
 }
 
@@ -183,17 +264,21 @@ Status ObjectStore::AppendRecord(Oid oid, ObjType type,
 }
 
 Result<Oid> ObjectStore::Allocate(ObjType type, std::string_view bytes) {
+  if (read_only_) return Status::Invalid("store opened read-only");
   Oid oid = next_oid_++;
   TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
   directory_[oid] = StoredObject{type, std::string(bytes)};
+  CountWrite(type, bytes.size());
   return oid;
 }
 
 Status ObjectStore::Put(Oid oid, ObjType type, std::string_view bytes) {
+  if (read_only_) return Status::Invalid("store opened read-only");
   if (oid == kRootsOid) return Status::Invalid("OID 0 is reserved");
   TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
   if (oid >= next_oid_) next_oid_ = oid + 1;
   directory_[oid] = StoredObject{type, std::string(bytes)};
+  CountWrite(type, bytes.size());
   return Status::OK();
 }
 
@@ -202,10 +287,12 @@ Result<StoredObject> ObjectStore::Get(Oid oid) const {
   if (it == directory_.end()) {
     return Status::NotFound("no object with OID " + std::to_string(oid));
   }
+  CountRead(it->second.type, it->second.bytes.size());
   return it->second;
 }
 
 Status ObjectStore::Delete(Oid oid) {
+  if (read_only_) return Status::Invalid("store opened read-only");
   auto it = directory_.find(oid);
   if (it == directory_.end()) {
     return Status::NotFound("delete: no object with OID " +
@@ -217,6 +304,7 @@ Status ObjectStore::Delete(Oid oid) {
 }
 
 Status ObjectStore::SetRoot(const std::string& name, Oid oid) {
+  if (read_only_) return Status::Invalid("store opened read-only");
   roots_[name] = oid;
   return RewriteRoots();
 }
@@ -255,14 +343,21 @@ Status ObjectStore::WriteHeader() {
 }
 
 Status ObjectStore::Commit() {
+  if (read_only_) return Status::Invalid("store opened read-only");
   if (fd_ < 0) return Status::OK();
+  TML_TELEMETRY_SPAN("store", "store.commit");
+  static telemetry::Counter* commits =
+      telemetry::Registry::Global().GetCounter("tml.store.commits");
+  commits->Increment();
   if (::fsync(fd_) != 0) return IOErr("fsync data");
   durable_length_ = appended_length_;
   return WriteHeader();
 }
 
 Status ObjectStore::Compact() {
+  if (read_only_) return Status::Invalid("store opened read-only");
   if (fd_ < 0) return Status::OK();
+  TML_TELEMETRY_SPAN("store", "store.compact");
   std::string tmp_path = path_ + ".compact";
   int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
   if (tmp < 0) return IOErr("open " + tmp_path);

@@ -47,6 +47,10 @@ enum class ObjType : uint8_t {
                      ///< re-opened databases keep their heat
 };
 
+/// Lowercase human-readable name of an ObjType ("ptml", "closure", ...);
+/// also the `type=` label value on the store's telemetry counters.
+const char* ObjTypeName(ObjType type);
+
 struct StoredObject {
   ObjType type = ObjType::kBlob;
   std::string bytes;
@@ -57,6 +61,12 @@ class ObjectStore {
   /// Open (or create) a store file.  Pass the empty string for a purely
   /// in-memory store (used heavily by tests and benchmarks).
   static Result<std::unique_ptr<ObjectStore>> Open(const std::string& path);
+
+  /// Open an existing store file without write access (inspection tools).
+  /// Fails with NotFound/IOError when the file does not exist; every
+  /// mutating operation on the returned store fails with Invalid.
+  static Result<std::unique_ptr<ObjectStore>> OpenReadOnly(
+      const std::string& path);
 
   ~ObjectStore();
   ObjectStore(const ObjectStore&) = delete;
@@ -110,6 +120,7 @@ class ObjectStore {
   Status RewriteRoots();
 
   std::string path_;  // empty => in-memory
+  bool read_only_ = false;
   int fd_ = -1;
   uint64_t durable_length_ = 0;  // committed byte count past the headers
   uint64_t appended_length_ = 0;

@@ -6,6 +6,8 @@
 #include "core/analysis.h"
 #include "core/primitive.h"
 #include "support/varint.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::store {
 
@@ -346,14 +348,33 @@ class Decoder {
 }  // namespace
 
 std::string EncodePtml(const Module& m, const Abstraction* abs) {
+  TML_TELEMETRY_SPAN("ptml", "ptml.encode");
   Encoder enc(m);
-  return enc.Encode(abs);
+  std::string bytes = enc.Encode(abs);
+  static telemetry::Counter* ops =
+      telemetry::Registry::Global().GetCounter("tml.ptml.encode_ops");
+  static telemetry::Counter* out_bytes =
+      telemetry::Registry::Global().GetCounter("tml.ptml.encode_bytes");
+  ops->Increment();
+  out_bytes->Add(bytes.size());
+  return bytes;
 }
 
 Result<PtmlDecoded> DecodePtml(Module* m, const ir::PrimitiveRegistry& prims,
                                std::string_view bytes) {
+  TML_TELEMETRY_SPAN("ptml", "ptml.decode");
+  static telemetry::Counter* ops =
+      telemetry::Registry::Global().GetCounter("tml.ptml.decode_ops");
+  static telemetry::Counter* in_bytes =
+      telemetry::Registry::Global().GetCounter("tml.ptml.decode_bytes");
+  static telemetry::Counter* errors =
+      telemetry::Registry::Global().GetCounter("tml.ptml.decode_errors");
+  ops->Increment();
+  in_bytes->Add(bytes.size());
   Decoder dec(m, prims, bytes);
-  return dec.Decode();
+  Result<PtmlDecoded> out = dec.Decode();
+  if (!out.ok()) errors->Increment();
+  return out;
 }
 
 }  // namespace tml::store

@@ -1,0 +1,221 @@
+#include "telemetry/metrics.h"
+
+#include <algorithm>
+#include <bit>
+#include <cstdio>
+
+namespace tml::telemetry {
+
+void Histogram::Observe(uint64_t v) {
+  int b = std::bit_width(v);  // 0 for v == 0, else floor(log2(v)) + 1
+  buckets_[b].fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(v, std::memory_order_relaxed);
+}
+
+uint64_t Histogram::count() const {
+  uint64_t n = 0;
+  for (const auto& b : buckets_) n += b.load(std::memory_order_relaxed);
+  return n;
+}
+
+namespace {
+
+/// Canonical full name: name{k1=v1,k2=v2} with labels sorted by key, so the
+/// same metric always maps to the same registry cell regardless of the
+/// label order at the call site.
+std::string FullName(std::string_view name, const Labels& labels) {
+  std::string out(name);
+  if (labels.empty()) return out;
+  Labels sorted = labels;
+  std::sort(sorted.begin(), sorted.end());
+  out += '{';
+  for (size_t i = 0; i < sorted.size(); ++i) {
+    if (i > 0) out += ',';
+    out += sorted[i].first;
+    out += '=';
+    out += sorted[i].second;
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+Registry& Registry::Global() {
+  static Registry* r = new Registry();  // leaked: outlives static dtors
+  return *r;
+}
+
+Registry::Cell* Registry::FindOrCreate(std::string_view name,
+                                       const Labels& labels,
+                                       MetricKind kind) {
+  std::string key = FullName(name, labels);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(key);
+  if (it == cells_.end()) {
+    Cell cell;
+    cell.kind = kind;
+    switch (kind) {
+      case MetricKind::kCounter:
+        cell.counter = std::make_unique<Counter>();
+        break;
+      case MetricKind::kGauge:
+        cell.gauge = std::make_unique<Gauge>();
+        break;
+      case MetricKind::kHistogram:
+        cell.histogram = std::make_unique<Histogram>();
+        break;
+    }
+    it = cells_.emplace(std::move(key), std::move(cell)).first;
+  }
+  return &it->second;
+}
+
+Counter* Registry::GetCounter(std::string_view name, const Labels& labels) {
+  return FindOrCreate(name, labels, MetricKind::kCounter)->counter.get();
+}
+
+Gauge* Registry::GetGauge(std::string_view name, const Labels& labels) {
+  return FindOrCreate(name, labels, MetricKind::kGauge)->gauge.get();
+}
+
+Histogram* Registry::GetHistogram(std::string_view name,
+                                  const Labels& labels) {
+  return FindOrCreate(name, labels, MetricKind::kHistogram)->histogram.get();
+}
+
+std::vector<MetricSample> Registry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<MetricSample> out;
+  out.reserve(cells_.size());
+  for (const auto& [key, cell] : cells_) {
+    MetricSample s;
+    s.name = key;
+    s.kind = cell.kind;
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        s.count = cell.counter->value();
+        break;
+      case MetricKind::kGauge:
+        s.gauge = cell.gauge->value();
+        break;
+      case MetricKind::kHistogram:
+        s.sum = cell.histogram->sum();
+        for (int b = 0; b < Histogram::kBuckets; ++b) {
+          uint64_t n = cell.histogram->bucket(b);
+          if (n != 0) {
+            s.buckets.emplace_back(b, n);
+            s.count += n;
+          }
+        }
+        break;
+    }
+    out.push_back(std::move(s));
+  }
+  return out;
+}
+
+uint64_t Registry::CounterValue(std::string_view full_name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = cells_.find(full_name);
+  if (it == cells_.end() || it->second.kind != MetricKind::kCounter) {
+    return 0;
+  }
+  return it->second.counter->value();
+}
+
+std::string FormatText(const std::vector<MetricSample>& samples) {
+  std::string out;
+  char buf[160];
+  for (const MetricSample& s : samples) {
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        std::snprintf(buf, sizeof buf, "%-52s %20llu\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.count));
+        out += buf;
+        break;
+      case MetricKind::kGauge:
+        std::snprintf(buf, sizeof buf, "%-52s %20lld\n", s.name.c_str(),
+                      static_cast<long long>(s.gauge));
+        out += buf;
+        break;
+      case MetricKind::kHistogram: {
+        double mean =
+            s.count == 0 ? 0.0
+                         : static_cast<double>(s.sum) /
+                               static_cast<double>(s.count);
+        std::snprintf(buf, sizeof buf,
+                      "%-52s count=%llu sum=%llu mean=%.1f\n", s.name.c_str(),
+                      static_cast<unsigned long long>(s.count),
+                      static_cast<unsigned long long>(s.sum), mean);
+        out += buf;
+        for (const auto& [b, n] : s.buckets) {
+          // Bucket b covers [2^(b-1), 2^b); bucket 0 is exactly zero.
+          unsigned long long lo = b == 0 ? 0 : 1ull << (b - 1);
+          unsigned long long hi = b == 0 ? 0 : (1ull << b) - 1;
+          std::snprintf(buf, sizeof buf, "    [%llu..%llu] %llu\n", lo, hi,
+                        static_cast<unsigned long long>(n));
+          out += buf;
+        }
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::string JsonEscape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string FormatJson(const std::vector<MetricSample>& samples) {
+  std::string out = "{\n";
+  char buf[96];
+  for (size_t i = 0; i < samples.size(); ++i) {
+    const MetricSample& s = samples[i];
+    out += "  \"" + JsonEscape(s.name) + "\": ";
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        out += std::to_string(s.count);
+        break;
+      case MetricKind::kGauge:
+        out += std::to_string(s.gauge);
+        break;
+      case MetricKind::kHistogram:
+        out += "{\"count\": " + std::to_string(s.count) +
+               ", \"sum\": " + std::to_string(s.sum) + ", \"buckets\": {";
+        for (size_t j = 0; j < s.buckets.size(); ++j) {
+          std::snprintf(buf, sizeof buf, "%s\"%d\": %llu",
+                        j > 0 ? ", " : "", s.buckets[j].first,
+                        static_cast<unsigned long long>(s.buckets[j].second));
+          out += buf;
+        }
+        out += "}}";
+        break;
+    }
+    out += i + 1 < samples.size() ? ",\n" : "\n";
+  }
+  out += "}\n";
+  return out;
+}
+
+}  // namespace tml::telemetry

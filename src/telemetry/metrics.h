@@ -1,0 +1,145 @@
+// The process-wide metrics registry (observability layer).
+//
+// Every subsystem publishes its operational counters through one registry
+// so operators (and the reflective system itself, via the `reflect.stats`
+// host primitive) see the whole §4.1 loop — rewrite-rule firings, PTML
+// codec traffic, store I/O per record kind, VM execution, reflect-cache
+// effectiveness, adaptive promotions — in a single snapshot instead of
+// five unrelated ad-hoc structs.
+//
+// Three metric kinds:
+//
+//   Counter    monotone uint64 (relaxed atomic add)
+//   Gauge      int64 last-writer-wins level
+//   Histogram  log2-bucketed distribution (65 buckets: bit_width of the
+//              observed value) plus a running sum — enough to recover
+//              p50/p99 within a factor of 2 and the mean exactly, which is
+//              what Appel-style cost-model tuning needs from latency data
+//
+// Metrics are registered by (name, labels) and live forever: the returned
+// pointer is stable, so call sites cache it in a function-local static and
+// pay one relaxed atomic RMW per update.  Registration is mutex-protected;
+// updates and snapshots are lock-free, so a reader thread can snapshot
+// while mutator and adaptive-worker threads bump counters.
+
+#ifndef TML_TELEMETRY_METRICS_H_
+#define TML_TELEMETRY_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+namespace tml::telemetry {
+
+class Counter {
+ public:
+  void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
+  void Increment() { Add(1); }
+  uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> v_{0};
+};
+
+class Gauge {
+ public:
+  void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
+  void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
+  int64_t value() const { return v_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> v_{0};
+};
+
+/// Log2-bucketed histogram: Observe(v) lands in bucket bit_width(v), i.e.
+/// bucket b counts values in [2^(b-1), 2^b).  Bucket 0 counts zeros.
+class Histogram {
+ public:
+  static constexpr int kBuckets = 65;  // bit_width of a uint64 is 0..64
+
+  void Observe(uint64_t v);
+  uint64_t count() const;
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  uint64_t bucket(int i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> buckets_[kBuckets] = {};
+  std::atomic<uint64_t> sum_{0};
+};
+
+/// Label set attached at registration; (name, labels) is the identity.
+using Labels = std::vector<std::pair<std::string, std::string>>;
+
+enum class MetricKind { kCounter, kGauge, kHistogram };
+
+/// One metric's state at snapshot time.
+struct MetricSample {
+  std::string name;  ///< full key: name{k=v,...} (labels sorted by key)
+  MetricKind kind = MetricKind::kCounter;
+  uint64_t count = 0;  ///< counter value / histogram observation count
+  int64_t gauge = 0;
+  uint64_t sum = 0;  ///< histogram sum of observed values
+  /// Non-empty histogram buckets as (bucket index, count) pairs; bucket b
+  /// holds values in [2^(b-1), 2^b).
+  std::vector<std::pair<int, uint64_t>> buckets;
+};
+
+/// The process-wide registry.  Metric naming scheme (see DESIGN.md §7):
+/// dotted lowercase path "tml.<layer>.<what>", unit suffix for non-counts
+/// (_bytes, _us), labels for the dimension that would otherwise explode
+/// the name (rule=, type=).
+class Registry {
+ public:
+  /// The singleton every instrumentation site uses.
+  static Registry& Global();
+
+  /// Find-or-create; the pointer is stable for the process lifetime.
+  Counter* GetCounter(std::string_view name, const Labels& labels = {});
+  Gauge* GetGauge(std::string_view name, const Labels& labels = {});
+  Histogram* GetHistogram(std::string_view name, const Labels& labels = {});
+
+  /// Consistent-enough copy of every registered metric (values are read
+  /// with relaxed loads while writers keep running), sorted by full name.
+  std::vector<MetricSample> Snapshot() const;
+
+  /// Value of a counter by its full snapshot name ("tml.x.y{k=v}"); 0 when
+  /// absent (tests and the tyctop tool use this).
+  uint64_t CounterValue(std::string_view full_name) const;
+
+ private:
+  struct Cell {
+    MetricKind kind;
+    std::unique_ptr<Counter> counter;
+    std::unique_ptr<Gauge> gauge;
+    std::unique_ptr<Histogram> histogram;
+  };
+  Cell* FindOrCreate(std::string_view name, const Labels& labels,
+                     MetricKind kind);
+
+  mutable std::mutex mu_;
+  /// std::map keeps snapshots sorted and node pointers stable.
+  std::map<std::string, Cell, std::less<>> cells_;
+};
+
+/// Render samples as aligned text (one metric per line; histograms show
+/// count/sum/mean and their occupied log2 buckets).
+std::string FormatText(const std::vector<MetricSample>& samples);
+
+/// Render samples as a JSON object keyed by full metric name.  Counters
+/// and gauges map to numbers; histograms to {"count","sum","buckets"}.
+std::string FormatJson(const std::vector<MetricSample>& samples);
+
+/// Escape `"`, `\` and control characters for embedding in JSON strings.
+std::string JsonEscape(std::string_view s);
+
+}  // namespace tml::telemetry
+
+#endif  // TML_TELEMETRY_METRICS_H_

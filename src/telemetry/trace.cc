@@ -1,0 +1,213 @@
+#include "telemetry/trace.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "telemetry/metrics.h"
+
+namespace tml::telemetry {
+
+namespace {
+
+uint64_t SteadyNowNs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+uint64_t TraceEpochNs() {
+  static const uint64_t epoch = SteadyNowNs();
+  return epoch;
+}
+
+std::atomic<uint32_t> g_next_tid{0};
+
+thread_local uint32_t t_tid = 0;
+thread_local size_t t_span_depth = 0;
+
+}  // namespace
+
+Tracer& Tracer::Global() {
+  static Tracer* t = new Tracer();  // leaked: usable from atexit handlers
+  return *t;
+}
+
+uint64_t Tracer::NowNs() { return SteadyNowNs() - TraceEpochNs(); }
+
+uint32_t Tracer::ThreadId() {
+  if (t_tid == 0) {
+    t_tid = g_next_tid.fetch_add(1, std::memory_order_relaxed) + 1;
+  }
+  return t_tid;
+}
+
+size_t Tracer::ThreadSpanDepth() { return t_span_depth; }
+
+void Tracer::Enable(size_t capacity) {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  if (enabled_.load(std::memory_order_relaxed)) return;
+  if (capacity < 1024) capacity = 1024;
+  if (capacity > (1u << 22)) capacity = 1u << 22;
+  if (capacity_.load(std::memory_order_relaxed) != capacity) {
+    // The old buffer (if any) leaks deliberately: a span that straddled a
+    // Disable may still Record into it from another thread.  Publish the
+    // buffer before the capacity so a recorder that sees the new bound
+    // also sees the new slots (acquire pairs in Record).
+    slots_.store(new Slot[capacity], std::memory_order_release);
+    capacity_.store(capacity, std::memory_order_release);
+    cursor_.store(0, std::memory_order_relaxed);
+    drained_ = 0;
+  }
+  (void)TraceEpochNs();  // pin the epoch before the first span
+  enabled_.store(true, std::memory_order_release);
+}
+
+void Tracer::Disable() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  enabled_.store(false, std::memory_order_release);
+}
+
+void Tracer::Record(const char* cat, const char* name, uint64_t ts_ns,
+                    uint64_t dur_ns) {
+  // Load capacity before the buffer (pairs with the store order in
+  // Enable): seeing the new capacity guarantees seeing the new slots.
+  size_t cap = capacity_.load(std::memory_order_acquire);
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  if (slots == nullptr) return;
+  // Claim a monotone slot; slots past the ring capacity are dropped rather
+  // than overwritten, so a drain never observes a torn event.
+  uint64_t slot = cursor_.fetch_add(1, std::memory_order_relaxed);
+  if (slot >= cap) {
+    dropped_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  Slot& s = slots[slot];
+  s.cat = cat;
+  s.ts_ns = ts_ns;
+  s.dur_ns = dur_ns;
+  s.tid = ThreadId();
+  // Commit: everything above happens-before a Drain that sees this name.
+  s.name.store(name, std::memory_order_release);
+}
+
+std::vector<TraceEvent> Tracer::Drain() {
+  std::lock_guard<std::mutex> lock(control_mu_);
+  Slot* slots = slots_.load(std::memory_order_acquire);
+  size_t cap = capacity_.load(std::memory_order_acquire);
+  uint64_t end = cursor_.load(std::memory_order_acquire);
+  if (end > cap) end = cap;
+  std::vector<TraceEvent> out;
+  for (uint64_t i = drained_; i < end; ++i) {
+    const Slot& s = slots[i];
+    // Skip slots claimed but not yet committed by a racing thread.
+    const char* name = s.name.load(std::memory_order_acquire);
+    if (name != nullptr) {
+      out.push_back(TraceEvent{s.cat, name, s.ts_ns, s.dur_ns, s.tid});
+    }
+  }
+  drained_ = end;
+  return out;
+}
+
+std::string Tracer::ToChromeJson(const std::vector<TraceEvent>& events,
+                                 uint64_t dropped) {
+  // Chrome trace_event JSON object format; ts/dur are in microseconds.
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    std::snprintf(
+        buf, sizeof buf,
+        "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+        "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+        JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(),
+        static_cast<double>(e.ts_ns) / 1000.0,
+        static_cast<double>(e.dur_ns) / 1000.0, e.tid,
+        i + 1 < events.size() ? "," : "");
+    out += buf;
+  }
+  out += "], \"displayTimeUnit\": \"ms\", \"otherData\": {\"dropped\": " +
+         std::to_string(dropped) + "}}\n";
+  return out;
+}
+
+Status Tracer::WriteChromeJson(const std::string& path) {
+  std::string json =
+      ToChromeJson(Drain(), dropped_.load(std::memory_order_relaxed));
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write trace file " + path);
+  }
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return Status::IOError("short write to trace file " + path);
+  }
+  return Status::OK();
+}
+
+SpanGuard::SpanGuard(const char* cat, const char* name)
+    : cat_(cat), name_(name) {
+  if (!Tracer::Global().enabled()) return;
+  active_ = true;
+  ++t_span_depth;
+  start_ns_ = Tracer::NowNs();
+}
+
+SpanGuard::~SpanGuard() {
+  if (!active_) return;
+  --t_span_depth;
+  uint64_t end = Tracer::NowNs();
+  Tracer::Global().Record(cat_, name_, start_ns_, end - start_ns_);
+}
+
+namespace {
+
+std::string g_trace_path;  // set once by InitFromEnv
+bool g_metrics_dump = false;
+
+void AtExitDump() {
+  if (!g_trace_path.empty()) {
+    Status st = Tracer::Global().WriteChromeJson(g_trace_path);
+    if (!st.ok()) {
+      std::fprintf(stderr, "telemetry: %s\n", st.ToString().c_str());
+    } else {
+      std::fprintf(stderr, "telemetry: trace written to %s\n",
+                   g_trace_path.c_str());
+    }
+  }
+  if (g_metrics_dump) {
+    std::string text = FormatText(Registry::Global().Snapshot());
+    std::fprintf(stderr, "== telemetry metrics ==\n%s", text.c_str());
+  }
+}
+
+}  // namespace
+
+void InitFromEnv() {
+  static std::once_flag once;
+  std::call_once(once, [] {
+    const char* trace = std::getenv("TYCOON_TRACE");
+    const char* dump = std::getenv("TYCOON_METRICS_DUMP");
+    g_metrics_dump = dump != nullptr && dump[0] != '\0' &&
+                     std::strcmp(dump, "0") != 0;
+    if (trace != nullptr && trace[0] != '\0') {
+      g_trace_path = trace;
+      size_t capacity = 1 << 16;
+      if (const char* cap = std::getenv("TYCOON_TRACE_BUF")) {
+        char* endp = nullptr;
+        unsigned long long v = std::strtoull(cap, &endp, 10);
+        if (endp != cap && v > 0) capacity = static_cast<size_t>(v);
+      }
+      Tracer::Global().Enable(capacity);
+    }
+    if (!g_trace_path.empty() || g_metrics_dump) {
+      std::atexit(AtExitDump);
+    }
+  });
+}
+
+}  // namespace tml::telemetry

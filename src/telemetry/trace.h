@@ -1,0 +1,152 @@
+// Span tracing for the §4.1 loop (observability layer).
+//
+// A span is one timed region — a reflect.optimize run, one optimizer
+// reduction sweep, a PTML decode, a store commit, an adaptive poll.  Spans
+// are recorded as Chrome trace_event "complete" events (ph "X") so a
+// capture loads directly into chrome://tracing or https://ui.perfetto.dev
+// and nested calls on one thread render as a flame graph.
+//
+// Design constraints, in order:
+//   1. Disabled cost ~0: TML_TELEMETRY_SPAN compiles to one relaxed atomic
+//      load when tracing is off (the ≤3% overhead budget of the tier-1
+//      benches).
+//   2. Thread-safe recording without locks: events go into a bounded
+//      ring buffer via a fetch_add cursor; when the buffer is full new
+//      events are dropped and counted (never blocking the mutator or the
+//      adaptive worker).
+//   3. Thread-local span stacks: each thread tracks its open spans so
+//      nesting depth is available to instrumentation (and a guard that
+//      outlives an enabled->disabled flip still closes cleanly).
+//
+// Capture is env-var driven (see InitFromEnv): TYCOON_TRACE=<path> enables
+// tracing and writes the JSON at process exit; TYCOON_TRACE_BUF=<n> sizes
+// the ring; TYCOON_METRICS_DUMP=1 dumps the metrics registry to stderr at
+// exit.
+
+#ifndef TML_TELEMETRY_TRACE_H_
+#define TML_TELEMETRY_TRACE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace tml::telemetry {
+
+/// One recorded span.  `cat` and `name` must be string literals (or
+/// otherwise outlive the tracer): the ring stores pointers, not copies.
+struct TraceEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  uint64_t ts_ns = 0;   ///< start, nanoseconds since process trace epoch
+  uint64_t dur_ns = 0;  ///< duration in nanoseconds
+  uint32_t tid = 0;     ///< small dense thread id (1, 2, ...)
+};
+
+class Tracer {
+ public:
+  static Tracer& Global();
+
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+
+  /// Allocate the ring (idempotent while already enabled) and start
+  /// recording.  Capacity is clamped to [1024, 1<<22].
+  void Enable(size_t capacity = 1 << 16);
+  /// Stop recording; already-buffered events stay until Drain().
+  void Disable();
+
+  /// Record one complete span (called by SpanGuard; public so tests and
+  /// non-RAII call sites can emit events directly).
+  void Record(const char* cat, const char* name, uint64_t ts_ns,
+              uint64_t dur_ns);
+
+  /// Monotonic nanoseconds since the trace epoch (first use).
+  static uint64_t NowNs();
+
+  /// Small dense id of the calling thread (1-based).
+  static uint32_t ThreadId();
+
+  /// Open-span depth of the calling thread (0 outside any span).
+  static size_t ThreadSpanDepth();
+
+  /// Events recorded so far (and not yet drained), oldest first.
+  std::vector<TraceEvent> Drain();
+  /// Events dropped because the ring was full.
+  uint64_t dropped() const {
+    return dropped_.load(std::memory_order_relaxed);
+  }
+
+  /// Serialize `events` as a Chrome trace_event JSON document.
+  static std::string ToChromeJson(const std::vector<TraceEvent>& events,
+                                  uint64_t dropped);
+  /// Drain and write everything to `path` as Chrome trace JSON.
+  Status WriteChromeJson(const std::string& path);
+
+ private:
+  Tracer() = default;
+
+  /// One ring slot.  `name` doubles as the commit flag: Record writes the
+  /// plain fields first and release-stores `name` last, so a Drain that
+  /// acquire-loads a non-null name is guaranteed to see the whole event
+  /// (and skips slots a racing thread has claimed but not yet committed).
+  struct Slot {
+    std::atomic<const char*> name{nullptr};
+    const char* cat = nullptr;
+    uint64_t ts_ns = 0;
+    uint64_t dur_ns = 0;
+    uint32_t tid = 0;
+  };
+
+  std::atomic<bool> enabled_{false};
+  std::atomic<uint64_t> cursor_{0};  ///< next write slot (monotone)
+  std::atomic<uint64_t> dropped_{0};
+  uint64_t drained_ = 0;  ///< slots already consumed by Drain
+  /// The ring.  Published via release-stores (slots_ before capacity_) and
+  /// read with acquire loads (capacity_ before slots_), so a recorder that
+  /// observes the new capacity also observes the new buffer.  Replaced
+  /// buffers are intentionally leaked: an in-flight Record on another
+  /// thread may still hold the old pointer.
+  std::atomic<Slot*> slots_{nullptr};
+  std::atomic<size_t> capacity_{0};
+  /// Serializes Enable/Disable/Drain (never taken on the record path).
+  std::mutex control_mu_;
+};
+
+/// RAII span: records a complete event over its own lifetime.  The
+/// enabled() check is captured at construction so a mid-span Disable still
+/// pairs begin/end consistently.
+class SpanGuard {
+ public:
+  SpanGuard(const char* cat, const char* name);
+  ~SpanGuard();
+  SpanGuard(const SpanGuard&) = delete;
+  SpanGuard& operator=(const SpanGuard&) = delete;
+
+ private:
+  const char* cat_;
+  const char* name_;
+  uint64_t start_ns_ = 0;
+  bool active_ = false;
+};
+
+/// Read TYCOON_TRACE / TYCOON_TRACE_BUF / TYCOON_METRICS_DUMP once and
+/// arrange the corresponding at-exit capture.  Idempotent and thread-safe;
+/// called from Universe construction and the tools, so any process that
+/// touches the runtime honors the env contract automatically.
+void InitFromEnv();
+
+}  // namespace tml::telemetry
+
+// Spans want distinct variable names when two live in one scope.
+#define TML_TELEMETRY_CONCAT2(a, b) a##b
+#define TML_TELEMETRY_CONCAT(a, b) TML_TELEMETRY_CONCAT2(a, b)
+
+/// Trace the enclosing scope as a span.  `cat`/`name` must be literals.
+#define TML_TELEMETRY_SPAN(cat, name)              \
+  ::tml::telemetry::SpanGuard TML_TELEMETRY_CONCAT( \
+      tml_telemetry_span_, __COUNTER__)(cat, name)
+
+#endif  // TML_TELEMETRY_TRACE_H_

@@ -6,6 +6,8 @@
 
 #include "core/analysis.h"
 #include "core/primitive.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
 
 namespace tml::vm {
 
@@ -963,6 +965,8 @@ class FnCompiler {
 
 Result<Function*> CompileProc(CodeUnit* unit, const ir::Module& m,
                               const ir::Abstraction* proc, std::string name) {
+  TML_TELEMETRY_SPAN("vm", "codegen");
+  size_t funcs_before = unit->num_functions();
   Function* fn = unit->NewFunction();
   fn->name = std::move(name);
   FnCompiler compiler(unit, m, fn);
@@ -970,6 +974,21 @@ Result<Function*> CompileProc(CodeUnit* unit, const ir::Module& m,
   if (fn->num_regs >= UINT16_MAX - 1) {
     return Status::Invalid("codegen: register file overflow in " + fn->name);
   }
+  static telemetry::Counter* procs =
+      telemetry::Registry::Global().GetCounter("tml.codegen.procs");
+  static telemetry::Counter* functions =
+      telemetry::Registry::Global().GetCounter("tml.codegen.functions");
+  static telemetry::Counter* instrs =
+      telemetry::Registry::Global().GetCounter("tml.codegen.instrs");
+  procs->Increment();
+  // Nested abstractions compile through NewFunction on the same unit, so
+  // everything appended past funcs_before belongs to this proc.
+  uint64_t emitted = 0;
+  for (size_t i = funcs_before; i < unit->num_functions(); ++i) {
+    emitted += unit->function(i)->code.size();
+  }
+  functions->Add(unit->num_functions() - funcs_before);
+  instrs->Add(emitted);
   return fn;
 }
 

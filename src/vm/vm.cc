@@ -5,6 +5,9 @@
 #include <cstring>
 #include <limits>
 
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
 namespace tml::vm {
 
 std::string ToString(const Value& v) {
@@ -185,6 +188,8 @@ Result<Value> VM::ResolveCallee(Value callee) {
     if (env_ == nullptr) {
       return Status::RuntimeError("vm: OID call without a runtime env");
     }
+    TML_TELEMETRY_SPAN("vm", "swizzle.resolve");
+    ++swizzle_faults_;
     TML_ASSIGN_OR_RETURN(Value v, env_->ResolveOid(callee.oid, this));
     Pin(v);
     swizzle_cache_[callee.oid] = v;
@@ -218,6 +223,7 @@ Status VM::PushFrame(Value callee, std::span<const Value> args,
     fr.prof = ProfileFor(clo->fn);
     fr.prof->calls.fetch_add(1, std::memory_order_relaxed);
   }
+  ++calls_;
   fr.regs.resize(clo->fn->num_regs);
   std::copy(args.begin(), args.end(), fr.regs.begin());
   frames_.push_back(std::move(fr));
@@ -228,12 +234,42 @@ Result<RunResult> VM::Run(const Function* fn, std::span<const Value> args) {
   return RunClosure(MakeClosure(fn), args);
 }
 
+void VM::PublishTelemetry() {
+  static telemetry::Counter* steps =
+      telemetry::Registry::Global().GetCounter("tml.vm.steps");
+  static telemetry::Counter* calls =
+      telemetry::Registry::Global().GetCounter("tml.vm.calls");
+  static telemetry::Counter* raises =
+      telemetry::Registry::Global().GetCounter("tml.vm.raises");
+  static telemetry::Counter* swizzle_faults =
+      telemetry::Registry::Global().GetCounter("tml.vm.swizzle_faults");
+  if (total_steps_ != published_steps_) {
+    steps->Add(total_steps_ - published_steps_);
+    published_steps_ = total_steps_;
+  }
+  if (calls_ != published_calls_) {
+    calls->Add(calls_ - published_calls_);
+    published_calls_ = calls_;
+  }
+  if (raises_ != published_raises_) {
+    raises->Add(raises_ - published_raises_);
+    published_raises_ = raises_;
+  }
+  if (swizzle_faults_ != published_swizzle_faults_) {
+    swizzle_faults->Add(swizzle_faults_ - published_swizzle_faults_);
+    published_swizzle_faults_ = swizzle_faults_;
+  }
+}
+
 Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
   size_t base = frames_.size();
   uint64_t steps_before = total_steps_;
   TML_RETURN_NOT_OK(PushFrame(closure, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
+  // Publish telemetry deltas only at the outermost run boundary, so nested
+  // RunClosure calls (query predicates) cost nothing extra.
+  if (base == 0) PublishTelemetry();
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);
@@ -251,6 +287,7 @@ Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
   TML_RETURN_NOT_OK(PushFrame(callee, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
+  if (base == 0) PublishTelemetry();
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);
@@ -278,6 +315,7 @@ bool VM::Unwind(Value exn, size_t base, Value* escaped) {
 }
 
 bool VM::Fault(const Instr& in, Value exn, size_t base, Value* escaped) {
+  ++raises_;
   if (in.fail >= 0) {
     Frame& f = frames_.back();
     const FailInfo& fi = f.clo->fn->fail_infos[in.fail];
@@ -763,6 +801,7 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
       }
 
       case Op::kRaise: {
+        ++raises_;
         Value exn = R[in.a];
         Value escaped;
         if (!Unwind(exn, base, &escaped)) {

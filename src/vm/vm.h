@@ -169,6 +169,12 @@ class VM {
   /// Apply queued cross-thread swizzle invalidations (mutator thread).
   void DrainInvalidations();
 
+  /// Flush the mutator-local telemetry tallies (steps, calls, raises,
+  /// swizzle faults) to the global metrics registry as deltas.  Called at
+  /// run boundaries so the hot interpreter loop never touches an atomic
+  /// beyond the existing profile counters.
+  void PublishTelemetry();
+
   RuntimeEnv* env_;
   VMOptions opts_;
   Heap heap_;
@@ -179,6 +185,16 @@ class VM {
   std::unordered_map<Oid, Value> swizzle_cache_;
   std::string output_;
   uint64_t total_steps_ = 0;
+
+  // Mutator-local telemetry tallies and their published watermarks (see
+  // PublishTelemetry).
+  uint64_t calls_ = 0;
+  uint64_t raises_ = 0;
+  uint64_t swizzle_faults_ = 0;
+  uint64_t published_steps_ = 0;
+  uint64_t published_calls_ = 0;
+  uint64_t published_raises_ = 0;
+  uint64_t published_swizzle_faults_ = 0;
 
   // Per-function profile.  The map structure is written only by the
   // mutator thread (under profile_mu_, because a background thread may be

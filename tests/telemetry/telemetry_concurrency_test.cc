@@ -1,0 +1,100 @@
+// Telemetry under concurrency (run under tools/check.sh --tsan): a
+// reader thread hammers Universe::TelemetrySnapshot() and the trace
+// drain while the mutator executes calls and the adaptive background
+// worker profiles, reflect-optimizes and swaps code.  Snapshots must
+// never tear, block the mutator, or race the worker.
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "runtime/universe.h"
+#include "telemetry/trace.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using rt::Universe;
+using vm::Value;
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+TEST(TelemetryConcurrency, SnapshotWhileAdaptiveWorkerPromotes) {
+  auto s = store::ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc,
+                            fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  // Tracing on: the worker, the mutator and the snapshot reader all hit
+  // the ring concurrently.
+  telemetry::Tracer::Global().Enable(1 << 14);
+
+  AdaptiveOptions opts;
+  opts.policy.hot_steps = 200;
+  opts.policy.min_calls = 2;
+  opts.policy.decay = 1.0;
+  opts.persist_profile = false;
+  opts.poll_interval = std::chrono::milliseconds(1);
+  AdaptiveManager* mgr = adaptive::EnableAdaptive(&u, opts);
+  ASSERT_NE(mgr, nullptr);
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> snapshots{0};
+  std::thread reader([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      Universe::TelemetryReport rep = u.TelemetrySnapshot();
+      // Touch the data so the loads are real.
+      if (!rep.metrics.empty()) snapshots.fetch_add(1);
+      (void)rep.ToText();
+    }
+  });
+
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u.Call(*u.Lookup("complex", "make"), margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+  while (u.adaptive_counters().promotions == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    for (int i = 0; i < 5; ++i) {
+      auto r = u.Call(cabs, cargs);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      ASSERT_EQ(r->value.r, 5.0);
+    }
+  }
+  stop.store(true);
+  reader.join();
+  telemetry::Tracer::Global().Disable();
+  (void)telemetry::Tracer::Global().Drain();
+
+  EXPECT_GE(u.adaptive_counters().promotions, 1u)
+      << "worker never promoted under snapshot load";
+  EXPECT_GT(snapshots.load(), 0u);
+  // The registry agrees with the universe-local counters: the dual-bump
+  // cells feed both.
+  Universe::TelemetryReport rep = u.TelemetrySnapshot();
+  uint64_t reg_promotions = 0;
+  for (const telemetry::MetricSample& m : rep.metrics) {
+    if (m.name == "tml.adaptive.promotions") reg_promotions = m.count;
+  }
+  EXPECT_GE(reg_promotions, u.adaptive_counters().promotions);
+}
+
+}  // namespace
+}  // namespace tml

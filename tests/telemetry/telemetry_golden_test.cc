@@ -1,0 +1,108 @@
+// Golden per-rule firing counts.  Reflect-optimizing a known corpus
+// program is deterministic, so the exact number of times each §3 rewrite
+// rule fires in one reduce+expand cycle is a stable fingerprint of the
+// optimizer.  A drift in these counts means the rule set, the traversal
+// order, or the inlining policy changed — which is exactly what this
+// test exists to surface (update the goldens deliberately when it does).
+//
+// The same run must leave identical deltas in the telemetry registry
+// (`tml.rewrite.fired{rule=...}`): the counters are flushed from the same
+// stats structs the optimizer fills, and this pins that plumbing.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "corpus/stanford.h"
+#include "runtime/universe.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using corpus::StanfordProgram;
+using rt::ReflectStats;
+using rt::Universe;
+using telemetry::Registry;
+
+const StanfordProgram* FindProgram(const char* name) {
+  for (const StanfordProgram& p : corpus::StanfordSuite()) {
+    if (std::string(p.name) == name) return &p;
+  }
+  return nullptr;
+}
+
+struct RuleCounts {
+  uint64_t subst, remove, reduce, eta, fold, case_subst;
+  uint64_t y_remove, y_reduce, y_subst;
+};
+
+// One reduce+expand cycle (max_rounds = 1) over the reflected term of
+// `bench` in the named corpus program; returns the per-rule counts and
+// checks the registry deltas match them.
+RuleCounts ReflectOneCycle(const char* prog_name) {
+  Registry& reg = Registry::Global();
+  auto before = [&reg](const char* rule) {
+    return reg.CounterValue(std::string("tml.rewrite.fired{rule=") + rule +
+                            "}");
+  };
+  const uint64_t subst0 = before("subst");
+  const uint64_t remove0 = before("remove");
+  const uint64_t reduce0 = before("reduce");
+
+  const StanfordProgram* prog = FindProgram(prog_name);
+  EXPECT_NE(prog, nullptr);
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  Universe u(s->get());
+  EXPECT_TRUE(
+      u.InstallSource("bench", prog->source, fe::BindingMode::kLibrary).ok());
+  auto f = u.Lookup("bench", "bench");
+  EXPECT_TRUE(f.ok());
+
+  ir::OptimizerOptions opts;
+  opts.max_rounds = 1;
+  ReflectStats rs;
+  auto opt = u.ReflectOptimize(*f, opts, &rs);
+  EXPECT_TRUE(opt.ok()) << opt.status().ToString();
+  EXPECT_EQ(rs.optimizer.rounds, 1);
+
+  const ir::RewriteStats& rw = rs.optimizer.rewrite;
+  EXPECT_EQ(before("subst") - subst0, rw.subst);
+  EXPECT_EQ(before("remove") - remove0, rw.remove);
+  EXPECT_EQ(before("reduce") - reduce0, rw.reduce);
+  return RuleCounts{rw.subst,      rw.remove,   rw.reduce,
+                    rw.eta,        rw.fold,     rw.case_subst,
+                    rw.y_remove,   rw.y_reduce, rw.y_subst};
+}
+
+TEST(TelemetryGolden, BubbleOneCycleRuleCounts) {
+  RuleCounts c = ReflectOneCycle("Bubble");
+  EXPECT_EQ(c.subst, 11u);
+  EXPECT_EQ(c.remove, 21u);
+  EXPECT_EQ(c.reduce, 9u);
+  EXPECT_EQ(c.eta, 10u);
+  EXPECT_EQ(c.fold, 0u);
+  EXPECT_EQ(c.case_subst, 0u);
+  EXPECT_EQ(c.y_remove, 2u);
+  EXPECT_EQ(c.y_reduce, 0u);
+  EXPECT_EQ(c.y_subst, 7u);
+}
+
+TEST(TelemetryGolden, QueensOneCycleRuleCounts) {
+  RuleCounts c = ReflectOneCycle("Queens");
+  EXPECT_EQ(c.subst, 15u);
+  EXPECT_EQ(c.remove, 25u);
+  EXPECT_EQ(c.reduce, 7u);
+  EXPECT_EQ(c.eta, 6u);
+  EXPECT_EQ(c.fold, 0u);
+  EXPECT_EQ(c.case_subst, 0u);
+  EXPECT_EQ(c.y_remove, 2u);
+  EXPECT_EQ(c.y_reduce, 0u);
+  EXPECT_EQ(c.y_subst, 4u);
+}
+
+}  // namespace
+}  // namespace tml

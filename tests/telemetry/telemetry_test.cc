@@ -1,0 +1,234 @@
+// The telemetry library itself: registry identity and snapshots, the
+// log2 histogram, the bounded trace ring (drop-on-full, drain order),
+// Chrome trace_event serialization, and the JSON escaping helpers (both
+// the registry's and the benchmark --json writer's, which used to emit
+// unparseable files for names containing quotes or backslashes).
+
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "bench/bench_util.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace tml::telemetry {
+namespace {
+
+TEST(TelemetryRegistry, CounterIdentityAndValue) {
+  Registry& r = Registry::Global();
+  Counter* a = r.GetCounter("tml.test.counter_identity");
+  Counter* b = r.GetCounter("tml.test.counter_identity");
+  EXPECT_EQ(a, b) << "same (name, labels) must yield the same cell";
+  a->Add(3);
+  b->Increment();
+  EXPECT_EQ(r.CounterValue("tml.test.counter_identity"), 4u);
+  EXPECT_EQ(r.CounterValue("tml.test.never_registered"), 0u);
+}
+
+TEST(TelemetryRegistry, LabelsAreSortedIntoTheFullName) {
+  Registry& r = Registry::Global();
+  // Registration order of the label pairs must not matter.
+  Counter* a = r.GetCounter("tml.test.labeled",
+                            {{"zeta", "1"}, {"alpha", "2"}});
+  Counter* b = r.GetCounter("tml.test.labeled",
+                            {{"alpha", "2"}, {"zeta", "1"}});
+  EXPECT_EQ(a, b);
+  a->Increment();
+  EXPECT_EQ(r.CounterValue("tml.test.labeled{alpha=2,zeta=1}"), 1u);
+  // A different label value is a different metric.
+  Counter* c = r.GetCounter("tml.test.labeled",
+                            {{"alpha", "3"}, {"zeta", "1"}});
+  EXPECT_NE(a, c);
+}
+
+TEST(TelemetryRegistry, GaugeSetAndAdd) {
+  Gauge* g = Registry::Global().GetGauge("tml.test.gauge");
+  g->Set(10);
+  g->Add(-3);
+  EXPECT_EQ(g->value(), 7);
+}
+
+TEST(TelemetryRegistry, HistogramLog2Buckets) {
+  Histogram* h = Registry::Global().GetHistogram("tml.test.histo");
+  h->Observe(0);  // bucket 0
+  h->Observe(1);  // bucket 1: [1, 2)
+  h->Observe(2);  // bucket 2: [2, 4)
+  h->Observe(3);  // bucket 2
+  h->Observe(1000);  // bucket 10: [512, 1024)
+  EXPECT_EQ(h->count(), 5u);
+  EXPECT_EQ(h->sum(), 1006u);
+  EXPECT_EQ(h->bucket(0), 1u);
+  EXPECT_EQ(h->bucket(1), 1u);
+  EXPECT_EQ(h->bucket(2), 2u);
+  EXPECT_EQ(h->bucket(10), 1u);
+}
+
+TEST(TelemetryRegistry, SnapshotIsSortedAndComplete) {
+  Registry& r = Registry::Global();
+  r.GetCounter("tml.test.snap_b")->Add(2);
+  r.GetCounter("tml.test.snap_a")->Add(1);
+  r.GetHistogram("tml.test.snap_h")->Observe(7);
+  std::vector<MetricSample> snap = r.Snapshot();
+  ASSERT_FALSE(snap.empty());
+  for (size_t i = 1; i < snap.size(); ++i) {
+    EXPECT_LT(snap[i - 1].name, snap[i].name) << "snapshot must be sorted";
+  }
+  bool saw_a = false, saw_h = false;
+  for (const MetricSample& s : snap) {
+    if (s.name == "tml.test.snap_a") {
+      saw_a = true;
+      EXPECT_EQ(s.kind, MetricKind::kCounter);
+      EXPECT_EQ(s.count, 1u);
+    }
+    if (s.name == "tml.test.snap_h") {
+      saw_h = true;
+      EXPECT_EQ(s.kind, MetricKind::kHistogram);
+      EXPECT_EQ(s.count, 1u);
+      EXPECT_EQ(s.sum, 7u);
+      ASSERT_EQ(s.buckets.size(), 1u);
+      EXPECT_EQ(s.buckets[0].first, 3);  // 7 is in [4, 8)
+      EXPECT_EQ(s.buckets[0].second, 1u);
+    }
+  }
+  EXPECT_TRUE(saw_a);
+  EXPECT_TRUE(saw_h);
+}
+
+TEST(TelemetryRegistry, ConcurrentRegistrationAndSnapshot) {
+  Registry& r = Registry::Global();
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&r, t] {
+      for (int i = 0; i < 200; ++i) {
+        r.GetCounter("tml.test.race",
+                     {{"t", std::to_string(t % 2)}})->Increment();
+        if (i % 16 == 0) (void)r.Snapshot();
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(r.CounterValue("tml.test.race{t=0}") +
+                r.CounterValue("tml.test.race{t=1}"),
+            800u);
+}
+
+TEST(TelemetryJson, EscapesQuotesBackslashesAndControls) {
+  EXPECT_EQ(JsonEscape("plain"), "plain");
+  EXPECT_EQ(JsonEscape("a\"b"), "a\\\"b");
+  EXPECT_EQ(JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(JsonEscape("a\nb\tc"), "a\\nb\\tc");
+  EXPECT_EQ(JsonEscape(std::string("\x01", 1)), "\\u0001");
+}
+
+// Satellite regression: the bench --json writer emits metric names
+// verbatim; ablation labels like `- remove "dead" args` broke the file.
+TEST(TelemetryBenchJson, MetricNamesAreEscaped) {
+  using tml::bench::Metrics;
+  EXPECT_EQ(Metrics::JsonEscape("steps/call"), "steps/call");
+  EXPECT_EQ(Metrics::JsonEscape("opt \"quoted\""), "opt \\\"quoted\\\"");
+  EXPECT_EQ(Metrics::JsonEscape("a\\b"), "a\\\\b");
+  EXPECT_EQ(Metrics::JsonEscape("line\nbreak"), "line\\nbreak");
+}
+
+TEST(TelemetryTracer, RecordAndDrain) {
+  Tracer& t = Tracer::Global();
+  t.Enable(4096);
+  (void)t.Drain();  // discard anything earlier tests left behind
+  t.Record("test", "alpha", 100, 10);
+  t.Record("test", "beta", 200, 20);
+  std::vector<TraceEvent> ev = t.Drain();
+  ASSERT_EQ(ev.size(), 2u);
+  EXPECT_STREQ(ev[0].name, "alpha");
+  EXPECT_STREQ(ev[1].name, "beta");
+  EXPECT_EQ(ev[0].ts_ns, 100u);
+  EXPECT_EQ(ev[1].dur_ns, 20u);
+  EXPECT_GT(ev[0].tid, 0u);
+  t.Disable();
+}
+
+TEST(TelemetryTracer, SpanGuardRecordsOnlyWhenEnabled) {
+  Tracer& t = Tracer::Global();
+  t.Disable();
+  (void)t.Drain();
+  { TML_TELEMETRY_SPAN("test", "disabled_span"); }
+  EXPECT_TRUE(t.Drain().empty());
+
+  t.Enable(4096);
+  (void)t.Drain();
+  {
+    TML_TELEMETRY_SPAN("test", "outer");
+    EXPECT_EQ(Tracer::ThreadSpanDepth(), 1u);
+    {
+      TML_TELEMETRY_SPAN("test", "inner");
+      EXPECT_EQ(Tracer::ThreadSpanDepth(), 2u);
+    }
+  }
+  EXPECT_EQ(Tracer::ThreadSpanDepth(), 0u);
+  std::vector<TraceEvent> ev = t.Drain();
+  ASSERT_EQ(ev.size(), 2u);
+  // Spans close innermost-first.
+  EXPECT_STREQ(ev[0].name, "inner");
+  EXPECT_STREQ(ev[1].name, "outer");
+  // The outer span brackets the inner one.
+  EXPECT_LE(ev[1].ts_ns, ev[0].ts_ns);
+  EXPECT_GE(ev[1].ts_ns + ev[1].dur_ns, ev[0].ts_ns + ev[0].dur_ns);
+  t.Disable();
+}
+
+TEST(TelemetryTracer, FullRingDropsInsteadOfBlocking) {
+  Tracer& t = Tracer::Global();
+  t.Enable(1024);  // minimum capacity
+  (void)t.Drain();
+  const uint64_t dropped_before = t.dropped();
+  for (int i = 0; i < 1500; ++i) t.Record("test", "spam", i, 1);
+  std::vector<TraceEvent> ev = t.Drain();
+  EXPECT_EQ(ev.size(), 1024u);
+  EXPECT_EQ(t.dropped() - dropped_before, 1500u - 1024u);
+  t.Disable();
+}
+
+TEST(TelemetryTracer, ChromeJsonShape) {
+  std::vector<TraceEvent> ev;
+  ev.push_back(TraceEvent{"reflect", "reflect.optimize", 1000, 500, 1});
+  ev.push_back(TraceEvent{"optimizer", "reduce", 1100, 100, 1});
+  std::string json = Tracer::ToChromeJson(ev, 3);
+  // Structural spot checks (the full parse is covered by the bench smoke
+  // in tools/check.sh, which loads the file with python -m json.tool).
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\": \"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\": \"reflect.optimize\""), std::string::npos);
+  EXPECT_NE(json.find("\"cat\": \"optimizer\""), std::string::npos);
+  EXPECT_NE(json.find("\"dropped\": 3"), std::string::npos);
+  // ts/dur are microseconds in trace_event; 1000ns -> 1us.
+  EXPECT_NE(json.find("\"ts\": 1"), std::string::npos);
+  // Balanced braces/brackets (cheap well-formedness check).
+  int depth = 0;
+  for (char c : json) {
+    if (c == '{' || c == '[') ++depth;
+    if (c == '}' || c == ']') --depth;
+    ASSERT_GE(depth, 0);
+  }
+  EXPECT_EQ(depth, 0);
+}
+
+TEST(TelemetryFormat, TextAndJsonRenderAllKinds) {
+  Registry& r = Registry::Global();
+  r.GetCounter("tml.test.fmt_c")->Add(5);
+  r.GetGauge("tml.test.fmt_g")->Set(-2);
+  r.GetHistogram("tml.test.fmt_h")->Observe(9);
+  std::vector<MetricSample> snap = r.Snapshot();
+  std::string text = FormatText(snap);
+  EXPECT_NE(text.find("tml.test.fmt_c"), std::string::npos);
+  EXPECT_NE(text.find("tml.test.fmt_g"), std::string::npos);
+  std::string json = FormatJson(snap);
+  EXPECT_NE(json.find("\"tml.test.fmt_c\": 5"), std::string::npos);
+  EXPECT_NE(json.find("\"tml.test.fmt_g\": -2"), std::string::npos);
+  EXPECT_NE(json.find("\"tml.test.fmt_h\""), std::string::npos);
+  EXPECT_NE(json.find("\"count\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tml::telemetry

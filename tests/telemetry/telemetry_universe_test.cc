@@ -1,0 +1,200 @@
+// Runtime-level telemetry: the registry counters the §4.1 loop publishes
+// (rewrite-rule firings, reflect cache traffic, VM execution), the
+// Universe::TelemetrySnapshot() export, the `reflect.stats` host
+// primitive, and the partial-stats contract of ReflectOptimize error
+// paths (out-params report what ran before the failure).
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/parser.h"
+#include "runtime/universe.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+
+namespace tml {
+namespace {
+
+using rt::ReflectStats;
+using rt::Universe;
+using telemetry::Registry;
+using vm::Value;
+
+constexpr const char* kAppSrc =
+    "fun sq(x) = x * x end\n"
+    "fun hyp(a, b) = sqrt(real(sq(a) + sq(b))) end";
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+TEST(TelemetryUniverse, SnapshotReportsRuleFiringsAfterReflect) {
+  Registry& reg = Registry::Global();
+  const uint64_t subst0 = reg.CounterValue("tml.rewrite.fired{rule=subst}");
+  const uint64_t remove0 = reg.CounterValue("tml.rewrite.fired{rule=remove}");
+  const uint64_t reduce0 = reg.CounterValue("tml.rewrite.fired{rule=reduce}");
+  const uint64_t runs0 = reg.CounterValue("tml.reflect.runs");
+
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid hyp = *u.Lookup("app", "hyp");
+  ReflectStats rs;
+  auto opt = u.ReflectOptimize(hyp, {}, &rs);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  // The acceptance bar: collapsing the library abstraction fires at least
+  // the three §3 workhorse rules, and the registry deltas agree with the
+  // per-run stats struct.
+  EXPECT_GT(rs.optimizer.rewrite.subst, 0u);
+  EXPECT_GT(rs.optimizer.rewrite.remove, 0u);
+  EXPECT_GT(rs.optimizer.rewrite.reduce, 0u);
+  EXPECT_EQ(reg.CounterValue("tml.rewrite.fired{rule=subst}") - subst0,
+            rs.optimizer.rewrite.subst);
+  EXPECT_EQ(reg.CounterValue("tml.rewrite.fired{rule=remove}") - remove0,
+            rs.optimizer.rewrite.remove);
+  EXPECT_EQ(reg.CounterValue("tml.rewrite.fired{rule=reduce}") - reduce0,
+            rs.optimizer.rewrite.reduce);
+  EXPECT_EQ(reg.CounterValue("tml.reflect.runs") - runs0, 1u);
+
+  // TelemetrySnapshot carries the same samples plus the universe-local
+  // adaptive counters and store sizes.
+  Universe::TelemetryReport rep = u.TelemetrySnapshot();
+  bool saw_subst = false;
+  for (const telemetry::MetricSample& m : rep.metrics) {
+    if (m.name == "tml.rewrite.fired{rule=subst}") {
+      saw_subst = true;
+      EXPECT_GE(m.count, rs.optimizer.rewrite.subst);
+    }
+  }
+  EXPECT_TRUE(saw_subst);
+  EXPECT_GT(rep.sizes.code_bytes, 0u);
+  std::string text = rep.ToText();
+  EXPECT_NE(text.find("tml.rewrite.fired{rule=subst}"), std::string::npos);
+  EXPECT_NE(text.find("adaptive: polls=0"), std::string::npos);
+  std::string json = rep.ToJson();
+  EXPECT_NE(json.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(json.find("\"adaptive\""), std::string::npos);
+}
+
+TEST(TelemetryUniverse, VmCountersAdvanceAcrossCalls) {
+  Registry& reg = Registry::Global();
+  const uint64_t steps0 = reg.CounterValue("tml.vm.steps");
+  const uint64_t calls0 = reg.CounterValue("tml.vm.calls");
+
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  Oid hyp = *u.Lookup("app", "hyp");
+  Value args[] = {Value::Int(3), Value::Int(4)};
+  auto r = u.Call(hyp, args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.r, 5.0);
+
+  // The VM publishes its tallies when the outermost frame returns, so one
+  // completed Call() must already be visible.
+  EXPECT_GE(reg.CounterValue("tml.vm.steps") - steps0, r->steps);
+  EXPECT_GT(reg.CounterValue("tml.vm.calls") - calls0, 0u);
+}
+
+TEST(TelemetryUniverse, ReflectStatsHostPrimitive) {
+  auto s = MemStore();
+  Universe u(s.get());
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+  // One completed call so the VM counters exist in the registry (they are
+  // registered lazily, on the first publish).
+  Value hargs[] = {Value::Int(3), Value::Int(4)};
+  ASSERT_TRUE(u.Call(*u.Lookup("app", "hyp"), hargs).ok());
+
+  // `reflect.stats` is a ccall host — the reflective system can read its
+  // own operational state.  Compile a raw TML stub that invokes it.
+  ir::Module m;
+  const ir::Abstraction* prog = test::MustParseProgram(
+      &m, "(proc (ce cc) (ccall \"reflect.stats\" ce cc))");
+  ASSERT_NE(prog, nullptr);
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "stats_stub");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto res = u.vm()->Run(*fn, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_TRUE(res->value.is_obj());
+  auto* str = static_cast<vm::StringObj*>(res->value.obj);
+  ASSERT_EQ(str->kind, vm::ObjKind::kString);
+  EXPECT_NE(str->str.find("tml.vm.steps"), std::string::npos);
+  EXPECT_NE(str->str.find("adaptive:"), std::string::npos);
+
+  // Passing "json" selects the JSON rendering.
+  ir::Module m2;
+  const ir::Abstraction* prog2 = test::MustParseProgram(
+      &m2, "(proc (x ce cc) (ccall \"reflect.stats\" x ce cc))");
+  ASSERT_NE(prog2, nullptr);
+  vm::CodeUnit unit2;
+  auto fn2 = vm::CompileProc(&unit2, m2, prog2, "stats_stub_json");
+  ASSERT_TRUE(fn2.ok()) << fn2.status().ToString();
+  vm::StringObj* mode = u.vm()->heap()->New<vm::StringObj>();
+  mode->str = "json";
+  Value args[] = {Value::ObjV(mode)};
+  auto res2 = u.vm()->Run(*fn2, args);
+  ASSERT_TRUE(res2.ok()) << res2.status().ToString();
+  auto* str2 = static_cast<vm::StringObj*>(res2->value.obj);
+  ASSERT_EQ(str2->kind, vm::ObjKind::kString);
+  EXPECT_NE(str2->str.find("\"metrics\""), std::string::npos);
+  EXPECT_NE(str2->str.find("\"adaptive\""), std::string::npos);
+}
+
+// Satellite regression: a failing ReflectOptimize must still populate the
+// stats fields for the phases that DID run — silently zeroed out-params
+// made failures indistinguishable from "nothing happened".
+TEST(TelemetryUniverse, PartialStatsSurviveReflectErrors) {
+  // Case 1: the target closure carries no PTML.  Discovery runs, counts
+  // the root as opaque, then errors out.
+  {
+    auto s = MemStore();
+    Universe u(s.get());
+    rt::InstallOptions io;
+    io.attach_ptml = false;
+    ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary, io));
+    Oid hyp = *u.Lookup("app", "hyp");
+    ReflectStats rs;
+    auto opt = u.ReflectOptimize(hyp, {}, &rs);
+    EXPECT_FALSE(opt.ok());
+    EXPECT_GE(rs.opaque_bindings, 1u)
+        << "discovery ran before the error; its tally must be visible";
+    EXPECT_EQ(rs.cache_misses, 0u) << "never reached the cache probe";
+  }
+  // Case 2: a dependency's PTML record is corrupt.  Discovery and the
+  // cache probe run (miss), then the decode inside term building fails.
+  {
+    auto s = MemStore();
+    Universe u(s.get());
+    ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+    Oid hyp = *u.Lookup("app", "hyp");
+    // Corrupt every PTML record; the walk fetches them raw, the builder
+    // decodes them.
+    size_t seen = 0, live = s->num_objects(), corrupted = 0;
+    for (Oid oid = 1; seen < live; ++oid) {
+      if (!s->Contains(oid)) continue;
+      ++seen;
+      auto obj = s->Get(oid);
+      if (obj.ok() && obj->type == store::ObjType::kPtml) {
+        ASSERT_OK(s->Put(oid, store::ObjType::kPtml, "\xff\xff garbage"));
+        ++corrupted;
+      }
+    }
+    ASSERT_GT(corrupted, 0u);
+    ReflectStats rs;
+    auto opt = u.ReflectOptimize(hyp, {}, &rs);
+    ASSERT_FALSE(opt.ok());
+    EXPECT_EQ(rs.cache_misses, 1u)
+        << "the cache probe ran and missed before the decode failed";
+    EXPECT_EQ(rs.input_term_size, 0u) << "term building never finished";
+  }
+}
+
+}  // namespace
+}  // namespace tml

@@ -7,7 +7,10 @@
 #   tools/check.sh --tsan   # TSan build; runs the concurrency-sensitive
 #                           # tests (adaptive background worker, VM, runtime)
 #   tools/check.sh --bench  # build + run every bench_* binary, writing
-#                           # machine-readable BENCH_<name>.json next to it
+#                           # machine-readable BENCH_<name>.json and a
+#                           # Chrome trace TRACE_<name>.json next to it
+#   tools/check.sh --telemetry  # just the telemetry suites (incl. the
+#                           # golden per-rule firing counts)
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -33,6 +36,10 @@ case "${1:-}" in
     shift
     mode=bench
     ;;
+  --telemetry)
+    shift
+    mode=telemetry
+    ;;
 esac
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
@@ -40,22 +47,29 @@ cmake --build "$build_dir" -j
 
 case "$mode" in
   test)
-    cd "$build_dir" && ctest --output-on-failure -j "$@"
+    cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" "$@"
     ;;
   tsan)
-    # The suites that exercise threads (the adaptive worker) plus the VM
-    # and runtime paths it races against.
-    cd "$build_dir" && ctest --output-on-failure -j \
-      -R 'adaptive|profile|swizzle|runtime|vm' "$@"
+    # The suites that exercise threads (the adaptive worker, the telemetry
+    # snapshot reader) plus the VM and runtime paths they race against.
+    # gtest-derived ctest names are CamelCase.  NB: ctest's bare `-j` eats
+    # the next argument as a job count, which used to swallow `-R` and run
+    # the whole suite unfiltered — always give -j an explicit value.
+    cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
+      -R 'Adaptive|Profile|Swizzle|Runtime|Vm|Telemetry' "$@"
     ;;
   bench)
     for bench in "$build_dir"/bench/bench_*; do
       [[ -x "$bench" && ! -d "$bench" ]] || continue
       name=$(basename "$bench")
       echo "== $name =="
-      "$bench" --json "$build_dir/BENCH_${name#bench_}.json"
+      TYCOON_TRACE="$build_dir/TRACE_${name#bench_}.json" \
+        "$bench" --json "$build_dir/BENCH_${name#bench_}.json"
       echo
     done
-    echo "bench JSON written to $build_dir/BENCH_*.json"
+    echo "bench JSON written to $build_dir/BENCH_*.json, traces to TRACE_*.json"
+    ;;
+  telemetry)
+    cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" -R 'Telemetry' "$@"
     ;;
 esac

@@ -1,0 +1,204 @@
+// tyctop — inspect a persistent Tycoon store.
+//
+// Opens a store file read-only (the running system can keep it open: no
+// locks are taken, no bytes are written) and prints the observability
+// summary an operator wants before reaching for a full trace:
+//
+//   * object and byte counts per record kind (code/PTML/closure/...),
+//   * the named roots,
+//   * the hottest closures from the persisted hotness profile, with their
+//     promotion state (the adaptive optimizer's working set),
+//   * reflect-cache size and how many entries still point at live records.
+//
+// Usage: tyctop <store-file> [--top N] [--json]
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "adaptive/profile.h"
+#include "store/object_store.h"
+#include "store/reflect_cache.h"
+#include "telemetry/metrics.h"
+
+namespace {
+
+using tml::Oid;
+using tml::adaptive::HotnessProfile;
+using tml::adaptive::ProfileEntry;
+using tml::store::ObjectStore;
+using tml::store::ObjType;
+using tml::store::ObjTypeName;
+
+int Run(const std::string& path, int top_n, bool json) {
+  auto store = ObjectStore::OpenReadOnly(path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "tyctop: %s\n", store.status().ToString().c_str());
+    return 1;
+  }
+  ObjectStore* s = store->get();
+
+  // Live payload bytes per record kind (the E2 trade-off at a glance).
+  std::map<std::string, size_t> tallies;
+  constexpr ObjType kAllTypes[] = {
+      ObjType::kBlob,      ObjType::kPtml,         ObjType::kCode,
+      ObjType::kClosure,   ObjType::kModule,       ObjType::kRelation,
+      ObjType::kReflectCache, ObjType::kProfile,
+  };
+  for (ObjType t : kAllTypes) {
+    size_t b = s->live_bytes(t);
+    if (b != 0) tallies[ObjTypeName(t)] = b;
+  }
+
+  std::vector<std::string> roots = s->RootNames();
+  std::sort(roots.begin(), roots.end());
+
+  // Hotness profile: top-N closures by steps.
+  std::vector<ProfileEntry> hot;
+  uint64_t attempts_total = 0;
+  uint64_t promoted_total = 0;
+  auto prof_root = s->GetRoot(tml::adaptive::kProfileRoot);
+  if (prof_root.ok()) {
+    auto rec = s->Get(*prof_root);
+    if (rec.ok() && rec->type == ObjType::kProfile) {
+      auto prof = HotnessProfile::Decode(rec->bytes);
+      if (prof.ok()) {
+        for (const auto& [oid, e] : prof->entries()) {
+          hot.push_back(e);
+          attempts_total += e.attempts;
+          if (e.promoted_code_oid != tml::kNullOid) ++promoted_total;
+        }
+        std::sort(hot.begin(), hot.end(),
+                  [](const ProfileEntry& a, const ProfileEntry& b) {
+                    return a.steps > b.steps;
+                  });
+        if (hot.size() > static_cast<size_t>(top_n)) hot.resize(top_n);
+      }
+    }
+  }
+
+  // Reflect cache: entry count and how many still resolve.
+  size_t cache_entries = 0;
+  size_t cache_live = 0;
+  size_t cache_bytes = s->live_bytes(ObjType::kReflectCache);
+  auto cache_root = s->GetRoot(tml::store::kReflectCacheRoot);
+  if (cache_root.ok()) {
+    auto rec = s->Get(*cache_root);
+    if (rec.ok() && rec->type == ObjType::kReflectCache) {
+      auto entries = tml::store::DecodeReflectCache(rec->bytes);
+      if (entries.ok()) {
+        cache_entries = entries->size();
+        for (const auto& e : *entries) {
+          if (s->Contains(e.closure_oid) && s->Contains(e.code_oid)) {
+            ++cache_live;
+          }
+        }
+      }
+    }
+  }
+
+  uint64_t file_size = 0;
+  if (auto fs = s->FileSize(); fs.ok()) file_size = *fs;
+
+  if (json) {
+    std::string out = "{\n";
+    out += "  \"store\": \"" + tml::telemetry::JsonEscape(path) + "\",\n";
+    out += "  \"file_bytes\": " + std::to_string(file_size) + ",\n";
+    out += "  \"objects\": " + std::to_string(s->num_objects()) + ",\n";
+    out += "  \"live_bytes\": " + std::to_string(s->live_bytes()) + ",\n";
+    out += "  \"bytes_by_type\": {";
+    bool first = true;
+    for (const auto& [name, bytes] : tallies) {
+      if (!first) out += ", ";
+      first = false;
+      out += "\"" + name + "\": " + std::to_string(bytes);
+    }
+    out += "},\n  \"roots\": [";
+    for (size_t i = 0; i < roots.size(); ++i) {
+      if (i > 0) out += ", ";
+      out += "\"" + tml::telemetry::JsonEscape(roots[i]) + "\"";
+    }
+    out += "],\n  \"hot_closures\": [\n";
+    for (size_t i = 0; i < hot.size(); ++i) {
+      const ProfileEntry& e = hot[i];
+      out += "    {\"closure_oid\": " + std::to_string(e.closure_oid) +
+             ", \"steps\": " + std::to_string(e.steps) +
+             ", \"calls\": " + std::to_string(e.calls) +
+             ", \"attempts\": " + std::to_string(e.attempts) +
+             ", \"promoted\": " +
+             (e.promoted_code_oid != tml::kNullOid ? "true" : "false") + "}";
+      out += i + 1 < hot.size() ? ",\n" : "\n";
+    }
+    out += "  ],\n";
+    out += "  \"promotions\": " + std::to_string(promoted_total) + ",\n";
+    out += "  \"optimize_attempts\": " + std::to_string(attempts_total) +
+           ",\n";
+    out += "  \"reflect_cache\": {\"entries\": " +
+           std::to_string(cache_entries) +
+           ", \"live_entries\": " + std::to_string(cache_live) +
+           ", \"bytes\": " + std::to_string(cache_bytes) + "}\n";
+    out += "}\n";
+    std::fputs(out.c_str(), stdout);
+    return 0;
+  }
+
+  std::printf("store    %s\n", path.c_str());
+  std::printf("file     %llu bytes, %zu live objects, %zu live bytes\n",
+              static_cast<unsigned long long>(file_size), s->num_objects(),
+              s->live_bytes());
+  std::printf("\nbytes by record kind:\n");
+  for (const auto& [name, bytes] : tallies) {
+    std::printf("  %-14s %10zu\n", name.c_str(), bytes);
+  }
+  std::printf("\nroots:\n");
+  for (const std::string& r : roots) std::printf("  %s\n", r.c_str());
+  if (!hot.empty()) {
+    std::printf("\nhot closures (by profiled steps):\n");
+    std::printf("  %-12s %12s %10s %9s %s\n", "closure", "steps", "calls",
+                "attempts", "state");
+    for (const ProfileEntry& e : hot) {
+      std::printf("  %-12llu %12llu %10llu %9u %s\n",
+                  static_cast<unsigned long long>(e.closure_oid),
+                  static_cast<unsigned long long>(e.steps),
+                  static_cast<unsigned long long>(e.calls), e.attempts,
+                  e.promoted_code_oid != tml::kNullOid ? "promoted" : "-");
+    }
+    std::printf("  %llu promoted, %llu optimize attempts total\n",
+                static_cast<unsigned long long>(promoted_total),
+                static_cast<unsigned long long>(attempts_total));
+  } else {
+    std::printf("\nhot closures: no hotness profile persisted\n");
+  }
+  std::printf("\nreflect cache: %zu entries (%zu still live), %zu bytes\n",
+              cache_entries, cache_live, cache_bytes);
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string path;
+  int top_n = 10;
+  bool json = false;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
+      top_n = std::atoi(argv[++i]);
+      if (top_n <= 0) top_n = 10;
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      json = true;
+    } else if (path.empty()) {
+      path = argv[i];
+    } else {
+      std::fprintf(stderr, "usage: tyctop <store-file> [--top N] [--json]\n");
+      return 2;
+    }
+  }
+  if (path.empty()) {
+    std::fprintf(stderr, "usage: tyctop <store-file> [--top N] [--json]\n");
+    return 2;
+  }
+  return Run(path, top_n, json);
+}
