@@ -12,7 +12,13 @@
 // This example installs the paper's complex-number module plus a client,
 // runs the client in a plain loop, and prints the moment the swap lands.
 //
-// Build & run:  ./build/examples/adaptive_optimization
+// Build & run:  ./build/examples/adaptive_optimization [store-file]
+//
+// With a store-file argument the universe runs on that persistent store,
+// opened in salvage mode: a store damaged by a crash or bit-rot degrades
+// (quarantined records, cold caches) instead of refusing to start, which
+// is exactly what tests/runtime/salvage_e2e_test.cc exercises by flipping
+// bytes in a live store and re-running this flow.
 
 #include <chrono>
 #include <cstdio>
@@ -20,12 +26,24 @@
 #include "adaptive/manager.h"
 #include "runtime/universe.h"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tml;
   using vm::Value;
 
-  auto s = store::ObjectStore::Open("");
-  if (!s.ok()) return 1;
+  store::OpenOptions open_opts;
+  open_opts.recovery = store::RecoveryPolicy::kSalvage;
+  auto s = store::ObjectStore::Open(argc > 1 ? argv[1] : "", open_opts);
+  if (!s.ok()) {
+    std::fprintf(stderr, "open failed: %s\n", s.status().ToString().c_str());
+    return 1;
+  }
+  if (s->get()->salvage_report().salvaged) {
+    const store::SalvageReport& sr = s->get()->salvage_report();
+    std::printf("store salvaged: %llu record(s) quarantined, %llu byte(s) "
+                "truncated\n",
+                static_cast<unsigned long long>(sr.quarantined_records),
+                static_cast<unsigned long long>(sr.truncated_bytes));
+  }
   rt::Universe u(s->get());
 
   // The §4.1 running example: an ADT behind a module barrier.

@@ -1,7 +1,9 @@
 #include "adaptive/manager.h"
 
+#include <algorithm>
 #include <utility>
 
+#include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
 namespace tml::adaptive {
@@ -21,13 +23,22 @@ Status AdaptiveManager::LoadPersistedProfile() {
     if (rec.status().code() == StatusCode::kNotFound) return Status::OK();
     return rec.status();
   }
+  // The profile is rebuildable heat, not data: a retyped, quarantined or
+  // undecodable record means a cold start (re-profile), never a refusal.
+  static telemetry::Counter* resets =
+      telemetry::Registry::Global().GetCounter(
+          "tml.adaptive.profile_corrupt_resets");
   if (rec->type != store::ObjType::kProfile) {
-    return Status::Corruption("hotness profile root has wrong record type");
+    resets->Increment();
+    return Status::OK();
   }
-  TML_ASSIGN_OR_RETURN(HotnessProfile loaded,
-                       HotnessProfile::Decode(rec->bytes));
+  Result<HotnessProfile> loaded = HotnessProfile::Decode(rec->bytes);
+  if (!loaded.ok()) {
+    resets->Increment();
+    return Status::OK();
+  }
   std::lock_guard<std::mutex> lock(mu_);
-  profile_ = std::move(loaded);
+  profile_ = std::move(*loaded);
   return Status::OK();
 }
 
@@ -35,6 +46,7 @@ void AdaptiveManager::Start() {
   std::lock_guard<std::mutex> lock(worker_mu_);
   if (worker_.joinable()) return;
   stop_requested_ = false;
+  parked_.store(false, std::memory_order_release);
   worker_ = std::thread(&AdaptiveManager::WorkerLoop, this);
 }
 
@@ -48,14 +60,35 @@ void AdaptiveManager::Stop() {
 }
 
 void AdaptiveManager::WorkerLoop() {
+  // Transient store failures (ENOSPC, a poisoned store, a dying disk) are
+  // retried with bounded exponential backoff; after park_after_failures
+  // consecutive failures the worker parks instead of spinning — adaptive
+  // optimization pauses, the database keeps serving.
+  static telemetry::Counter* io_retries =
+      telemetry::Registry::Global().GetCounter("tml.adaptive.io_retries");
+  static telemetry::Counter* parks =
+      telemetry::Registry::Global().GetCounter("tml.adaptive.parks");
+  std::chrono::milliseconds wait = opts_.poll_interval;
+  uint32_t consecutive_failures = 0;
   std::unique_lock<std::mutex> lock(worker_mu_);
   while (!stop_requested_) {
-    worker_cv_.wait_for(lock, opts_.poll_interval,
-                        [this] { return stop_requested_; });
+    worker_cv_.wait_for(lock, wait, [this] { return stop_requested_; });
     if (stop_requested_) break;
     lock.unlock();
-    (void)PollOnce();  // failures are counted, never fatal to the worker
+    Status st = PollOnce();  // failures are counted, never fatal
     lock.lock();
+    if (st.ok()) {
+      consecutive_failures = 0;
+      wait = opts_.poll_interval;
+      continue;
+    }
+    io_retries->Increment();
+    if (++consecutive_failures >= opts_.park_after_failures) {
+      parks->Increment();
+      parked_.store(true, std::memory_order_release);
+      break;
+    }
+    wait = std::min(wait * 2, opts_.max_poll_backoff);
   }
 }
 

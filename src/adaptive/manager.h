@@ -30,6 +30,7 @@
 #ifndef TML_ADAPTIVE_MANAGER_H_
 #define TML_ADAPTIVE_MANAGER_H_
 
+#include <atomic>
 #include <chrono>
 #include <condition_variable>
 #include <cstdint>
@@ -58,6 +59,13 @@ struct AdaptiveOptions {
   /// Persist the profile (kProfile record + store commit) after polls
   /// that changed it.
   bool persist_profile = true;
+  /// Transient-IO-failure handling for the worker: each consecutive
+  /// failed poll doubles the wake interval (bounded by max_poll_backoff);
+  /// after `park_after_failures` consecutive failures the worker parks —
+  /// it stops polling entirely (profiling/promotion pause, the process
+  /// stays up) instead of hammering a dead or poisoned store.
+  uint32_t park_after_failures = 6;
+  std::chrono::milliseconds max_poll_backoff{2000};
 };
 
 /// Manager-side statistics (universe-wide promote/backoff/reject counters
@@ -88,6 +96,11 @@ class AdaptiveManager final : public rt::BackgroundService {
   HotnessProfile ProfileSnapshot() const;
   ManagerStats stats() const;
 
+  /// True once the worker gave up after `park_after_failures` consecutive
+  /// failed polls (e.g. a poisoned store).  A parked worker never polls
+  /// again; Start() after Stop() re-arms it.
+  bool parked() const { return parked_.load(std::memory_order_acquire); }
+
  private:
   void WorkerLoop();
   /// Promote one hot closure; bumps universe counters as it goes.
@@ -114,6 +127,7 @@ class AdaptiveManager final : public rt::BackgroundService {
   std::mutex worker_mu_;
   std::condition_variable worker_cv_;
   bool stop_requested_ = false;
+  std::atomic<bool> parked_{false};
   std::thread worker_;
 };
 

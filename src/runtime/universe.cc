@@ -624,15 +624,22 @@ Status Universe::EnsureReflectCacheLoaded() {
   auto root = store_->GetRoot(store::kReflectCacheRoot);
   if (!root.ok()) return Status::OK();  // nothing persisted yet
   reflect_cache_oid_ = *root;
-  // The cache is advisory: a missing, retyped, or undecodable index record
-  // degrades to an empty cache (the next miss rewrites it) rather than
-  // making reflection unavailable.
+  // The cache is advisory: a missing, retyped, quarantined-by-salvage, or
+  // undecodable index record degrades to an empty cache (the next miss
+  // rewrites it) rather than making reflection unavailable.
+  static telemetry::Counter* degraded =
+      telemetry::Registry::Global().GetCounter(
+          "tml.reflect.cache_corrupt_degrades");
   auto obj = store_->Get(reflect_cache_oid_);
   if (!obj.ok() || obj->type != store::ObjType::kReflectCache) {
+    degraded->Increment();
     return Status::OK();
   }
   auto entries = store::DecodeReflectCache(obj->bytes);
-  if (!entries.ok()) return Status::OK();
+  if (!entries.ok()) {
+    degraded->Increment();
+    return Status::OK();
+  }
   for (const store::ReflectCacheEntry& e : *entries) {
     reflect_cache_[e.fingerprint] = e;
   }
@@ -644,14 +651,30 @@ Status Universe::PersistReflectCache() {
   entries.reserve(reflect_cache_.size());
   for (const auto& [fp, e] : reflect_cache_) entries.push_back(e);
   std::string bytes = store::EncodeReflectCache(std::move(entries));
+  Status st;
   if (reflect_cache_oid_ == kNullOid) {
-    TML_ASSIGN_OR_RETURN(reflect_cache_oid_,
-                         store_->Allocate(store::ObjType::kReflectCache,
-                                          bytes));
-    return store_->SetRoot(store::kReflectCacheRoot, reflect_cache_oid_);
-  }
-  return store_->Put(reflect_cache_oid_, store::ObjType::kReflectCache,
+    auto oid = store_->Allocate(store::ObjType::kReflectCache, bytes);
+    if (oid.ok()) {
+      reflect_cache_oid_ = *oid;
+      st = store_->SetRoot(store::kReflectCacheRoot, reflect_cache_oid_);
+    } else {
+      st = oid.status();
+    }
+  } else {
+    st = store_->Put(reflect_cache_oid_, store::ObjType::kReflectCache,
                      bytes);
+  }
+  if (!st.ok() && st.code() == StatusCode::kIOError) {
+    // The index is a rebuildable acceleration structure: on a full or
+    // poisoned disk, keep serving from the in-memory cache and let a
+    // later persist (or the next cold start) repopulate it.
+    static telemetry::Counter* persist_failures =
+        telemetry::Registry::Global().GetCounter(
+            "tml.reflect.cache_persist_failures");
+    persist_failures->Increment();
+    return Status::OK();
+  }
+  return st;
 }
 
 Result<Oid> Universe::ReflectOptimize(Oid closure_oid,

@@ -1,9 +1,5 @@
 #include "store/object_store.h"
 
-#include <fcntl.h>
-#include <unistd.h>
-
-#include <cerrno>
 #include <cstring>
 
 #include "support/crc32.h"
@@ -75,9 +71,38 @@ void CountRead(ObjType type, size_t bytes) {
   c.read_bytes[t]->Add(bytes);
 }
 
+/// Fault/recovery counters (DESIGN.md §8), resolved once.
+struct RecoveryCounters {
+  telemetry::Counter* salvage_opens;
+  telemetry::Counter* quarantined;
+  telemetry::Counter* truncated_bytes;
+  telemetry::Counter* fsync_failures;
+  telemetry::Counter* poisoned_rejects;
+
+  static const RecoveryCounters& Get() {
+    static const RecoveryCounters* c = [] {
+      auto* rc = new RecoveryCounters();
+      auto& reg = telemetry::Registry::Global();
+      rc->salvage_opens = reg.GetCounter("tml.store.salvage.opens");
+      rc->quarantined =
+          reg.GetCounter("tml.store.salvage.quarantined_records");
+      rc->truncated_bytes =
+          reg.GetCounter("tml.store.salvage.truncated_bytes");
+      rc->fsync_failures = reg.GetCounter("tml.store.fsync_failures");
+      rc->poisoned_rejects = reg.GetCounter("tml.store.poisoned_rejects");
+      return rc;
+    }();
+    return *c;
+  }
+};
+
 // Two fixed-size header slots at the front of the file.
 //   magic(8) epoch(8) durable_length(8) next_oid(8) crc(4) pad(4)
-constexpr char kMagic[8] = {'T', 'M', 'L', 'S', 'T', 'O', 'R', '1'};
+//
+// The last magic byte is the format version: '1' CRCs payload+oid only
+// (legacy), '2' also covers the record header varints.
+constexpr char kMagicV1[8] = {'T', 'M', 'L', 'S', 'T', 'O', 'R', '1'};
+constexpr char kMagicV2[8] = {'T', 'M', 'L', 'S', 'T', 'O', 'R', '2'};
 constexpr size_t kHeaderSlotSize = 40;
 constexpr size_t kDataStart = 2 * kHeaderSlotSize;
 
@@ -92,12 +117,19 @@ struct Header {
   uint64_t epoch = 0;
   uint64_t durable_length = 0;
   uint64_t next_oid = 1;
+  uint32_t format = 0;
   bool valid = false;
 };
 
 Header ParseHeaderSlot(const char* buf) {
   Header h;
-  if (std::memcmp(buf, kMagic, 8) != 0) return h;
+  if (std::memcmp(buf, kMagicV1, 8) == 0) {
+    h.format = 1;
+  } else if (std::memcmp(buf, kMagicV2, 8) == 0) {
+    h.format = 2;
+  } else {
+    return h;
+  }
   uint32_t want_crc;
   std::memcpy(&want_crc, buf + 32, 4);
   if (Crc32(buf, 32) != want_crc) return h;
@@ -108,9 +140,9 @@ Header ParseHeaderSlot(const char* buf) {
   return h;
 }
 
-void BuildHeaderSlot(char* buf, const Header& h) {
+void BuildHeaderSlot(char* buf, const Header& h, uint32_t format) {
   std::memset(buf, 0, kHeaderSlotSize);
-  std::memcpy(buf, kMagic, 8);
+  std::memcpy(buf, format >= 2 ? kMagicV2 : kMagicV1, 8);
   EncodeU64(buf + 8, h.epoch);
   EncodeU64(buf + 16, h.durable_length);
   EncodeU64(buf + 24, h.next_oid);
@@ -118,46 +150,43 @@ void BuildHeaderSlot(char* buf, const Header& h) {
   std::memcpy(buf + 32, &crc, 4);
 }
 
-Status IOErr(const std::string& what) {
-  return Status::IOError(what + ": " + std::strerror(errno));
-}
-
-Status WriteFully(int fd, const char* data, size_t size, uint64_t offset) {
-  while (size > 0) {
-    ssize_t n = ::pwrite(fd, data, size, static_cast<off_t>(offset));
-    if (n < 0) {
-      if (errno == EINTR) continue;
-      return IOErr("pwrite");
-    }
-    data += n;
-    size -= static_cast<size_t>(n);
-    offset += static_cast<uint64_t>(n);
-  }
-  return Status::OK();
-}
-
 constexpr Oid kRootsOid = kNullOid;  // reserved record id for the root map
 constexpr uint8_t kTombstoneType = 0xFF;
 
 }  // namespace
 
-ObjectStore::~ObjectStore() {
-  if (fd_ >= 0) ::close(fd_);
-}
+ObjectStore::~ObjectStore() = default;
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
-    const std::string& path) {
+    const std::string& path, const OpenOptions& opts) {
   TML_TELEMETRY_SPAN("store", "store.open");
   std::unique_ptr<ObjectStore> s(new ObjectStore());
   s->path_ = path;
-  if (path.empty()) return s;  // in-memory
+  s->vfs_ = opts.vfs != nullptr ? opts.vfs : Vfs::Default();
+  s->recovery_ = opts.recovery;
+  s->read_only_ = opts.read_only;
+  if (path.empty()) {
+    if (opts.read_only) {
+      return Status::Invalid("read-only open needs a store file path");
+    }
+    return s;  // in-memory
+  }
 
-  s->fd_ = ::open(path.c_str(), O_RDWR | O_CREAT, 0644);
-  if (s->fd_ < 0) return IOErr("open " + path);
-  off_t end = ::lseek(s->fd_, 0, SEEK_END);
-  if (end < 0) return IOErr("lseek");
-  if (end == 0) {
-    // Fresh file: write both header slots.
+  if (!opts.read_only) {
+    // A crash between writing and renaming <path>.compact leaves the temp
+    // file behind; it was never the live store, so remove it.
+    std::string leftover = path + ".compact";
+    if (s->vfs_->Exists(leftover)) (void)s->vfs_->Unlink(leftover);
+  }
+
+  VfsOpenOptions fopts;
+  fopts.read_only = opts.read_only;
+  bool existed = s->vfs_->Exists(path);
+  TML_ASSIGN_OR_RETURN(s->file_, s->vfs_->Open(path, fopts));
+  if (!existed) {
+    // Fresh file: write both header slots.  The directory entry becomes
+    // durable with the first Commit().
+    s->dir_sync_pending_ = true;
     TML_RETURN_NOT_OK(s->WriteHeader());
     TML_RETURN_NOT_OK(s->WriteHeader());
   } else {
@@ -167,104 +196,243 @@ Result<std::unique_ptr<ObjectStore>> ObjectStore::Open(
 }
 
 Result<std::unique_ptr<ObjectStore>> ObjectStore::OpenReadOnly(
-    const std::string& path) {
-  TML_TELEMETRY_SPAN("store", "store.open");
+    const std::string& path, const OpenOptions& opts) {
+  OpenOptions ro = opts;
+  ro.read_only = true;
   if (path.empty()) {
     return Status::Invalid("read-only open needs a store file path");
   }
-  std::unique_ptr<ObjectStore> s(new ObjectStore());
-  s->path_ = path;
-  s->read_only_ = true;
-  s->fd_ = ::open(path.c_str(), O_RDONLY);
-  if (s->fd_ < 0) {
-    if (errno == ENOENT) return Status::NotFound("no store file " + path);
-    return IOErr("open " + path);
-  }
-  TML_RETURN_NOT_OK(s->LoadFromFile());
-  return s;
+  Vfs* vfs = ro.vfs != nullptr ? ro.vfs : Vfs::Default();
+  if (!vfs->Exists(path)) return Status::NotFound("no store file " + path);
+  return Open(path, ro);
 }
 
 Status ObjectStore::LoadFromFile() {
+  const bool salvage = recovery_ == RecoveryPolicy::kSalvage;
   char buf[kDataStart];
-  ssize_t n = ::pread(fd_, buf, kDataStart, 0);
-  if (n < 0) return IOErr("pread header");
-  if (static_cast<size_t>(n) < kDataStart) {
-    return Status::Corruption("store file shorter than headers");
+  TML_ASSIGN_OR_RETURN(size_t n, file_->Read(buf, kDataStart, 0));
+  TML_ASSIGN_OR_RETURN(uint64_t file_size, file_->Size());
+  Header a, b;
+  if (n < kDataStart) {
+    if (!salvage) return Status::Corruption("store file shorter than headers");
+  } else {
+    a = ParseHeaderSlot(buf);
+    b = ParseHeaderSlot(buf + kHeaderSlotSize);
   }
-  Header a = ParseHeaderSlot(buf);
-  Header b = ParseHeaderSlot(buf + kHeaderSlotSize);
-  if (!a.valid && !b.valid) {
-    return Status::Corruption("no valid store header");
-  }
-  const Header& h = (!b.valid || (a.valid && a.epoch >= b.epoch)) ? a : b;
-  durable_length_ = h.durable_length;
-  appended_length_ = h.durable_length;
-  commit_epoch_ = h.epoch;
-  next_oid_ = h.next_oid;
 
-  // Replay committed records.
-  std::string data(durable_length_, '\0');
-  if (durable_length_ > 0) {
-    ssize_t got = ::pread(fd_, data.data(), durable_length_, kDataStart);
-    if (got < 0) return IOErr("pread data");
-    if (static_cast<uint64_t>(got) < durable_length_) {
-      return Status::Corruption("store data truncated below durable length");
+  uint64_t scan_length;  // committed region length to replay
+  if (!a.valid && !b.valid) {
+    if (!salvage) return Status::Corruption("no valid store header");
+    // No trustworthy header: rebuild from the records themselves.  Every
+    // record is CRC-framed, so the longest valid prefix of the data region
+    // is exactly what a lost header committed at most.
+    salvage_.salvaged = true;
+    salvage_.header_rebuilt = true;
+    format_ = 2;
+    commit_epoch_ = 0;
+    next_oid_ = 1;
+    scan_length = file_size > kDataStart ? file_size - kDataStart : 0;
+  } else {
+    const Header& h = (!b.valid || (a.valid && a.epoch >= b.epoch)) ? a : b;
+    format_ = h.format;
+    commit_epoch_ = h.epoch;
+    next_oid_ = h.next_oid;
+    scan_length = h.durable_length;
+    if (kDataStart + scan_length > file_size) {
+      // Header promises more than the file holds (lost tail).
+      if (!salvage) {
+        return Status::Corruption("store data truncated below durable length");
+      }
+      salvage_.salvaged = true;
+      salvage_.truncated_bytes += kDataStart + scan_length - file_size;
+      scan_length = file_size - std::min<uint64_t>(file_size, kDataStart);
     }
   }
-  VarintReader r(data.data(), data.size());
-  while (!r.AtEnd()) {
-    TML_ASSIGN_OR_RETURN(uint64_t oid, r.ReadVarint());
-    TML_ASSIGN_OR_RETURN(uint64_t type_raw, r.ReadVarint());
-    TML_ASSIGN_OR_RETURN(uint64_t len, r.ReadVarint());
-    TML_ASSIGN_OR_RETURN(std::string payload, r.ReadBytes(len));
-    TML_ASSIGN_OR_RETURN(uint64_t crc, r.ReadVarint());
-    uint32_t want = Crc32(payload);
-    want = Crc32(&oid, sizeof(oid), want);
-    if (crc != want) return Status::Corruption("record CRC mismatch");
-    if (type_raw == kTombstoneType) {
-      directory_.erase(oid);
-      continue;
+
+  std::string data(scan_length, '\0');
+  if (scan_length > 0) {
+    TML_ASSIGN_OR_RETURN(size_t got,
+                         file_->Read(data.data(), scan_length, kDataStart));
+    if (got < scan_length) {
+      // Size changed under us (should not happen single-threaded).
+      return Status::Corruption("store data shorter than just stat()ed");
     }
-    if (oid == kRootsOid) {
-      // Root map record: sequence of (name, oid) pairs.
-      roots_.clear();
-      VarintReader rr(payload.data(), payload.size());
-      while (!rr.AtEnd()) {
-        TML_ASSIGN_OR_RETURN(uint64_t nlen, rr.ReadVarint());
-        TML_ASSIGN_OR_RETURN(std::string name, rr.ReadBytes(nlen));
-        TML_ASSIGN_OR_RETURN(uint64_t roid, rr.ReadVarint());
-        roots_[name] = roid;
-      }
-      continue;
+  }
+
+  uint64_t valid_prefix = 0;
+  TML_RETURN_NOT_OK(ReplayRecords(data, salvage, &valid_prefix));
+  if (valid_prefix < scan_length) {
+    salvage_.salvaged = true;
+    salvage_.truncated_bytes += scan_length - valid_prefix;
+  }
+  // Mid-stream quarantines don't shorten the prefix (replay continues at
+  // the next record boundary) but they are still a salvage event.
+  if (salvage_.quarantined_records > 0) salvage_.salvaged = true;
+  durable_length_ = valid_prefix;
+  appended_length_ = valid_prefix;
+
+  if (salvage_.salvaged) {
+    const RecoveryCounters& rc = RecoveryCounters::Get();
+    rc.salvage_opens->Increment();
+    rc.quarantined->Add(salvage_.quarantined_records);
+    rc.truncated_bytes->Add(salvage_.truncated_bytes);
+    if (!read_only_) {
+      // Publish the salvaged extent so the next crash replays the same
+      // state, and drop the untrusted tail.  Both slots when the header
+      // was rebuilt (neither was valid).
+      TML_RETURN_NOT_OK(WriteHeader());
+      if (salvage_.header_rebuilt) TML_RETURN_NOT_OK(WriteHeader());
+      (void)file_->Truncate(kDataStart + durable_length_);  // best effort
     }
-    StoredObject obj;
-    obj.type = static_cast<ObjType>(type_raw);
-    obj.bytes = std::move(payload);
-    directory_[oid] = std::move(obj);
   }
   return Status::OK();
 }
 
+Status ObjectStore::ReplayRecords(const std::string& data, bool salvage,
+                                  uint64_t* valid_prefix) {
+  VarintReader r(data.data(), data.size());
+  *valid_prefix = 0;
+  uint64_t max_oid = 0;
+  while (!r.AtEnd()) {
+    const size_t rec_start = r.position();
+    // Decode one record; on structural damage (bad varint, length past the
+    // end) the stream is unrecoverable from here: keep the prefix.
+    auto oid_res = r.ReadVarint();
+    auto type_res = oid_res.ok() ? r.ReadVarint() : oid_res;
+    auto len_res = type_res.ok() ? r.ReadVarint() : type_res;
+    if (!len_res.ok()) {
+      if (salvage) return Status::OK();
+      return len_res.status();
+    }
+    const uint64_t oid = *oid_res;
+    const uint64_t type_raw = *type_res;
+    const uint64_t len = *len_res;
+    const size_t header_len = r.position() - rec_start;
+    auto payload_res = r.ReadBytes(len);
+    auto crc_res = payload_res.ok() ? r.ReadVarint()
+                                    : Result<uint64_t>(payload_res.status());
+    if (!crc_res.ok()) {
+      if (salvage) return Status::OK();
+      return crc_res.status();
+    }
+    const std::string& payload = *payload_res;
+
+    uint32_t want;
+    if (format_ >= 2) {
+      want = Crc32(data.data() + rec_start, header_len);
+      want = Crc32(payload, want);
+    } else {
+      want = Crc32(payload);
+      want = Crc32(&oid, sizeof(oid), want);
+    }
+    bool good = *crc_res == want;
+    // A type tag outside the enum means the record was written by nothing
+    // we know — a flipped bit (v1, where the CRC does not cover the tag)
+    // or a foreign format.  Never let it decode as a bogus ObjType.
+    if (good && type_raw != kTombstoneType && type_raw > kMaxObjType) {
+      good = false;
+    }
+    if (!good) {
+      if (!salvage) {
+        return Status::Corruption(
+            type_raw != kTombstoneType && type_raw > kMaxObjType
+                ? "record type tag out of range"
+                : "record CRC mismatch");
+      }
+      // The framing parsed but the content is damaged: quarantine just
+      // this record (an older version of the OID, if any, stays live) and
+      // keep replaying at the next boundary.
+      ++salvage_.quarantined_records;
+      *valid_prefix = r.position();
+      continue;
+    }
+
+    if (oid != kRootsOid && oid > max_oid) max_oid = oid;
+    if (type_raw == kTombstoneType) {
+      directory_.erase(oid);
+      *valid_prefix = r.position();
+      continue;
+    }
+    if (oid == kRootsOid) {
+      // Root map record: sequence of (name, oid) pairs.
+      std::unordered_map<std::string, Oid> new_roots;
+      VarintReader rr(payload.data(), payload.size());
+      bool roots_ok = true;
+      while (!rr.AtEnd()) {
+        auto nlen = rr.ReadVarint();
+        auto name = nlen.ok() ? rr.ReadBytes(*nlen)
+                              : Result<std::string>(nlen.status());
+        auto roid = name.ok() ? rr.ReadVarint()
+                              : Result<uint64_t>(name.status());
+        if (!roid.ok()) {
+          if (!salvage) return roid.status();
+          roots_ok = false;
+          break;
+        }
+        new_roots[*name] = *roid;
+      }
+      if (roots_ok) {
+        roots_ = std::move(new_roots);
+      } else {
+        ++salvage_.quarantined_records;  // keep the previous root map
+      }
+      *valid_prefix = r.position();
+      continue;
+    }
+    StoredObject obj;
+    obj.type = static_cast<ObjType>(type_raw);
+    obj.bytes = std::move(*payload_res);
+    directory_[oid] = std::move(obj);
+    *valid_prefix = r.position();
+  }
+  // A rebuilt header has no next-oid: never re-issue a replayed OID.
+  if (next_oid_ <= max_oid) next_oid_ = max_oid + 1;
+  return Status::OK();
+}
+
+Status ObjectStore::CheckWritable() {
+  if (read_only_) return Status::Invalid("store opened read-only");
+  if (!poison_.ok()) {
+    RecoveryCounters::Get().poisoned_rejects->Increment();
+    return poison_;
+  }
+  return Status::OK();
+}
+
+void ObjectStore::Poison(const Status& cause) {
+  RecoveryCounters::Get().fsync_failures->Increment();
+  if (poison_.ok()) {
+    poison_ = Status::IOError(
+        "store poisoned (failed fsync is never retried): " + cause.message());
+  }
+}
+
 Status ObjectStore::AppendRecord(Oid oid, ObjType type,
                                  std::string_view bytes, bool tombstone) {
-  if (fd_ < 0) return Status::OK();  // in-memory
+  if (file_ == nullptr) return Status::OK();  // in-memory
   std::string rec;
   PutVarint(&rec, oid);
   PutVarint(&rec, tombstone ? kTombstoneType
                             : static_cast<uint64_t>(type));
   PutVarint(&rec, bytes.size());
+  uint32_t crc;
+  if (format_ >= 2) {
+    crc = Crc32(rec);  // covers the oid/type/length varints
+    crc = Crc32(bytes, crc);
+  } else {
+    crc = Crc32(bytes);
+    crc = Crc32(&oid, sizeof(oid), crc);
+  }
   rec.append(bytes);
-  uint32_t crc = Crc32(bytes);
-  crc = Crc32(&oid, sizeof(oid), crc);
   PutVarint(&rec, crc);
-  TML_RETURN_NOT_OK(WriteFully(fd_, rec.data(), rec.size(),
-                               kDataStart + appended_length_));
+  TML_RETURN_NOT_OK(file_->Write(rec.data(), rec.size(),
+                                 kDataStart + appended_length_));
   appended_length_ += rec.size();
   return Status::OK();
 }
 
 Result<Oid> ObjectStore::Allocate(ObjType type, std::string_view bytes) {
-  if (read_only_) return Status::Invalid("store opened read-only");
+  TML_RETURN_NOT_OK(CheckWritable());
   Oid oid = next_oid_++;
   TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
   directory_[oid] = StoredObject{type, std::string(bytes)};
@@ -273,7 +441,7 @@ Result<Oid> ObjectStore::Allocate(ObjType type, std::string_view bytes) {
 }
 
 Status ObjectStore::Put(Oid oid, ObjType type, std::string_view bytes) {
-  if (read_only_) return Status::Invalid("store opened read-only");
+  TML_RETURN_NOT_OK(CheckWritable());
   if (oid == kRootsOid) return Status::Invalid("OID 0 is reserved");
   TML_RETURN_NOT_OK(AppendRecord(oid, type, bytes, false));
   if (oid >= next_oid_) next_oid_ = oid + 1;
@@ -292,7 +460,7 @@ Result<StoredObject> ObjectStore::Get(Oid oid) const {
 }
 
 Status ObjectStore::Delete(Oid oid) {
-  if (read_only_) return Status::Invalid("store opened read-only");
+  TML_RETURN_NOT_OK(CheckWritable());
   auto it = directory_.find(oid);
   if (it == directory_.end()) {
     return Status::NotFound("delete: no object with OID " +
@@ -304,7 +472,7 @@ Status ObjectStore::Delete(Oid oid) {
 }
 
 Status ObjectStore::SetRoot(const std::string& name, Oid oid) {
-  if (read_only_) return Status::Invalid("store opened read-only");
+  TML_RETURN_NOT_OK(CheckWritable());
   roots_[name] = oid;
   return RewriteRoots();
 }
@@ -316,7 +484,7 @@ Result<Oid> ObjectStore::GetRoot(const std::string& name) const {
 }
 
 Status ObjectStore::RewriteRoots() {
-  if (fd_ < 0) return Status::OK();
+  if (file_ == nullptr) return Status::OK();
   std::string payload;
   for (const auto& [name, oid] : roots_) {
     PutVarint(&payload, name.size());
@@ -327,44 +495,84 @@ Status ObjectStore::RewriteRoots() {
 }
 
 Status ObjectStore::WriteHeader() {
-  if (fd_ < 0) return Status::OK();
+  if (file_ == nullptr) return Status::OK();
   Header h;
   h.epoch = ++commit_epoch_;
   h.durable_length = durable_length_;
   h.next_oid = next_oid_;
   char buf[kHeaderSlotSize];
-  BuildHeaderSlot(buf, h);
+  BuildHeaderSlot(buf, h, format_);
   // Alternate slots so the previous commit stays intact until this one is
   // fully on disk.
   uint64_t offset = (h.epoch % 2 == 0) ? kHeaderSlotSize : 0;
-  TML_RETURN_NOT_OK(WriteFully(fd_, buf, kHeaderSlotSize, offset));
-  if (::fsync(fd_) != 0) return IOErr("fsync header");
+  TML_RETURN_NOT_OK(file_->Write(buf, kHeaderSlotSize, offset));
+  Status st = file_->Sync();
+  if (!st.ok()) {
+    Poison(st);
+    return poison_;
+  }
   return Status::OK();
 }
 
 Status ObjectStore::Commit() {
-  if (read_only_) return Status::Invalid("store opened read-only");
-  if (fd_ < 0) return Status::OK();
+  TML_RETURN_NOT_OK(CheckWritable());
+  if (file_ == nullptr) return Status::OK();
   TML_TELEMETRY_SPAN("store", "store.commit");
   static telemetry::Counter* commits =
       telemetry::Registry::Global().GetCounter("tml.store.commits");
   commits->Increment();
-  if (::fsync(fd_) != 0) return IOErr("fsync data");
+  Status st = file_->Sync();
+  if (!st.ok()) {
+    Poison(st);
+    return poison_;
+  }
+  if (dir_sync_pending_) {
+    // First commit of a freshly created file: the data is durable but the
+    // directory entry may not be — a crash could drop the whole file.
+    st = vfs_->SyncParentDir(path_);
+    if (!st.ok()) {
+      Poison(st);
+      return poison_;
+    }
+    dir_sync_pending_ = false;
+  }
   durable_length_ = appended_length_;
   return WriteHeader();
 }
 
 Status ObjectStore::Compact() {
-  if (read_only_) return Status::Invalid("store opened read-only");
-  if (fd_ < 0) return Status::OK();
+  TML_RETURN_NOT_OK(CheckWritable());
+  if (file_ == nullptr) return Status::OK();
   TML_TELEMETRY_SPAN("store", "store.compact");
   std::string tmp_path = path_ + ".compact";
-  int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
-  if (tmp < 0) return IOErr("open " + tmp_path);
-  int old_fd = fd_;
-  fd_ = tmp;
+
+  // Snapshot rewind state: until the rename lands, the original file stays
+  // authoritative and any failure must leave the store exactly as it was.
+  std::unique_ptr<VfsFile> old_file = std::move(file_);
+  const uint64_t old_appended = appended_length_;
+  const uint64_t old_durable = durable_length_;
+  const uint64_t old_epoch = commit_epoch_;
+  const uint32_t old_format = format_;
+
+  auto restore = [&](std::unique_ptr<VfsFile> back) {
+    file_ = std::move(back);
+    appended_length_ = old_appended;
+    durable_length_ = old_durable;
+    commit_epoch_ = old_epoch;
+    format_ = old_format;
+  };
+
+  VfsOpenOptions topts;
+  topts.truncate = true;
+  auto tmp = vfs_->Open(tmp_path, topts);
+  if (!tmp.ok()) {
+    file_ = std::move(old_file);
+    return tmp.status();
+  }
+  file_ = std::move(*tmp);
   appended_length_ = 0;
   durable_length_ = 0;
+  format_ = 2;  // compaction rewrites every record: upgrade legacy stores
   Status st = Status::OK();
   for (const auto& [oid, obj] : directory_) {
     st = AppendRecord(oid, obj.type, obj.bytes, false);
@@ -372,24 +580,44 @@ Status ObjectStore::Compact() {
   }
   if (st.ok()) st = RewriteRoots();
   if (st.ok()) {
-    if (::fsync(tmp) != 0) st = IOErr("fsync compact");
+    st = file_->Sync();
+    // The temp file is scratch until renamed: a failed sync poisons
+    // nothing, the original store is still fully intact.
   }
   if (st.ok()) {
     durable_length_ = appended_length_;
     commit_epoch_ = 0;
     st = WriteHeader();
     if (st.ok()) st = WriteHeader();  // both slots valid in the new file
+    if (!st.ok()) poison_ = Status::OK();  // tmp-file fsync: not our store
   }
   if (!st.ok()) {
-    ::close(tmp);
-    ::unlink(tmp_path.c_str());
-    fd_ = old_fd;
+    restore(std::move(old_file));
+    (void)vfs_->Unlink(tmp_path);
     return st;
   }
-  ::close(old_fd);
-  if (::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    return IOErr("rename compact file");
+  old_file.reset();  // close the original before replacing its name
+  st = vfs_->Rename(tmp_path, path_);
+  if (!st.ok()) {
+    // The store file is untouched on disk; re-point fd_/path_ state at it
+    // instead of leaving the store writing to the orphaned temp file.
+    auto back = vfs_->Open(path_, VfsOpenOptions{});
+    (void)vfs_->Unlink(tmp_path);
+    if (!back.ok()) {
+      Poison(back.status());
+      return st;
+    }
+    restore(std::move(*back));
+    return st;
   }
+  // Make the replacement durable; to an observer the swap only "happened"
+  // once the directory entry is synced (fsyncgate applies here too).
+  st = vfs_->SyncParentDir(path_);
+  if (!st.ok()) {
+    Poison(st);
+    return poison_;
+  }
+  dir_sync_pending_ = false;
   return Status::OK();
 }
 
@@ -408,10 +636,8 @@ size_t ObjectStore::live_bytes(ObjType type) const {
 }
 
 Result<uint64_t> ObjectStore::FileSize() const {
-  if (fd_ < 0) return static_cast<uint64_t>(0);
-  off_t end = ::lseek(fd_, 0, SEEK_END);
-  if (end < 0) return IOErr("lseek");
-  return static_cast<uint64_t>(end);
+  if (file_ == nullptr) return static_cast<uint64_t>(0);
+  return file_->Size();
 }
 
 }  // namespace tml::store

@@ -17,6 +17,22 @@
 // a torn commit leaves the previous header valid, so commits are atomic.
 // Open() replays records up to the durable length, verifying CRCs.
 // Compact() rewrites live records and truncates.
+//
+// Durability rules (see DESIGN.md §8):
+//   * All file I/O goes through a Vfs (support/vfs.h), so fault-injection
+//     tests exercise the exact production code paths.
+//   * Format v2 ("TMLSTOR2") CRCs cover the record header varints
+//     (oid/type/length) as well as the payload, and replay rejects
+//     out-of-range type tags; v1 stores still open (and are upgraded to
+//     v2 by Compact()).
+//   * A failed fsync POISONS the store: every later mutation fails with
+//     the sticky cause until the store is reopened.  A retried fsync that
+//     "succeeds" proves nothing about the pages that failed the first
+//     time (fsyncgate), so we never trust one.
+//   * Open(..., kSalvage) never refuses a damaged store: it keeps the
+//     longest valid record prefix, quarantines individually CRC-corrupt
+//     records, and truncates the durable length — the salvage_report()
+//     says what was lost.
 
 #ifndef TML_STORE_OBJECT_STORE_H_
 #define TML_STORE_OBJECT_STORE_H_
@@ -30,6 +46,7 @@
 
 #include "core/oid.h"
 #include "support/status.h"
+#include "support/vfs.h"
 
 namespace tml::store {
 
@@ -47,6 +64,9 @@ enum class ObjType : uint8_t {
                      ///< re-opened databases keep their heat
 };
 
+/// Highest valid ObjType value; replay rejects raw tags beyond this.
+inline constexpr uint64_t kMaxObjType = static_cast<uint64_t>(ObjType::kProfile);
+
 /// Lowercase human-readable name of an ObjType ("ptml", "closure", ...);
 /// also the `type=` label value on the store's telemetry counters.
 const char* ObjTypeName(ObjType type);
@@ -56,17 +76,46 @@ struct StoredObject {
   std::string bytes;
 };
 
+/// What Open() does with a store that fails integrity checks.
+enum class RecoveryPolicy {
+  kStrict,   ///< refuse to open (the pre-existing behavior)
+  kSalvage,  ///< open what can be proven good; see ObjectStore docs
+};
+
+/// What salvage recovery had to do to open the store; all zero/false for
+/// a clean open.
+struct SalvageReport {
+  bool salvaged = false;            ///< any recovery action was taken
+  bool header_rebuilt = false;      ///< no valid header slot; records scanned
+  uint64_t quarantined_records = 0; ///< CRC-corrupt records skipped
+  uint64_t truncated_bytes = 0;     ///< committed bytes dropped from the tail
+};
+
+struct OpenOptions {
+  Vfs* vfs = nullptr;  ///< null => Vfs::Default() (posix)
+  RecoveryPolicy recovery = RecoveryPolicy::kStrict;
+  bool read_only = false;
+};
+
 class ObjectStore {
  public:
   /// Open (or create) a store file.  Pass the empty string for a purely
   /// in-memory store (used heavily by tests and benchmarks).
-  static Result<std::unique_ptr<ObjectStore>> Open(const std::string& path);
+  static Result<std::unique_ptr<ObjectStore>> Open(const std::string& path,
+                                                   const OpenOptions& opts);
+  static Result<std::unique_ptr<ObjectStore>> Open(const std::string& path) {
+    return Open(path, OpenOptions{});
+  }
 
   /// Open an existing store file without write access (inspection tools).
   /// Fails with NotFound/IOError when the file does not exist; every
   /// mutating operation on the returned store fails with Invalid.
   static Result<std::unique_ptr<ObjectStore>> OpenReadOnly(
-      const std::string& path);
+      const std::string& path, const OpenOptions& opts);
+  static Result<std::unique_ptr<ObjectStore>> OpenReadOnly(
+      const std::string& path) {
+    return OpenReadOnly(path, OpenOptions{});
+  }
 
   ~ObjectStore();
   ObjectStore(const ObjectStore&) = delete;
@@ -102,6 +151,18 @@ class ObjectStore {
     return names;
   }
 
+  /// Non-OK after a failed fsync: the durable state of recent writes is
+  /// unknown, so every further mutation returns this sticky status until
+  /// the store is reopened (which replays only proven-durable state).
+  const Status& poisoned() const { return poison_; }
+
+  /// What salvage recovery did at Open (all-zero for clean opens).
+  const SalvageReport& salvage_report() const { return salvage_; }
+
+  /// On-disk format version (2 for new stores; 1 for legacy files until
+  /// their next Compact).
+  uint32_t format_version() const { return format_; }
+
   // ---- accounting (E2 uses these) ----
   size_t num_objects() const { return directory_.size(); }
   /// Total payload bytes of live objects, optionally restricted to a type.
@@ -113,15 +174,27 @@ class ObjectStore {
  private:
   ObjectStore() = default;
 
+  Status CheckWritable();
+  void Poison(const Status& cause);
   Status AppendRecord(Oid oid, ObjType type, std::string_view bytes,
                       bool tombstone);
   Status LoadFromFile();
+  /// Replay `data` (the committed region); returns the byte length of the
+  /// longest valid record prefix via `valid_prefix`.
+  Status ReplayRecords(const std::string& data, bool salvage,
+                       uint64_t* valid_prefix);
   Status WriteHeader();
   Status RewriteRoots();
 
   std::string path_;  // empty => in-memory
+  Vfs* vfs_ = nullptr;
+  std::unique_ptr<VfsFile> file_;  // null => in-memory
   bool read_only_ = false;
-  int fd_ = -1;
+  RecoveryPolicy recovery_ = RecoveryPolicy::kStrict;
+  uint32_t format_ = 2;
+  Status poison_;                 // OK unless an fsync failed
+  SalvageReport salvage_;
+  bool dir_sync_pending_ = false;  // fresh file: entry not yet durable
   uint64_t durable_length_ = 0;  // committed byte count past the headers
   uint64_t appended_length_ = 0;
   uint64_t commit_epoch_ = 0;

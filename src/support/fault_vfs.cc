@@ -1,0 +1,303 @@
+#include "support/fault_vfs.h"
+
+#include <cerrno>
+#include <cstring>
+
+#include "support/fnv.h"
+
+namespace tml {
+
+/// Handle over a shared FileState; all calls route back through the owning
+/// FaultVfs so fault scheduling and locking live in one place.
+class FaultFile final : public VfsFile {
+ public:
+  FaultFile(FaultVfs* vfs, std::shared_ptr<FaultVfs::FileState> state)
+      : vfs_(vfs), state_(std::move(state)) {}
+
+  Result<size_t> Read(void* buf, size_t n, uint64_t offset) override;
+  Status Write(const void* buf, size_t n, uint64_t offset) override;
+  Status Sync() override;
+  Result<uint64_t> Size() override;
+  Status Truncate(uint64_t size) override;
+
+ private:
+  FaultVfs* vfs_;
+  std::shared_ptr<FaultVfs::FileState> state_;
+};
+
+void FaultVfs::FileState::MarkDirty(uint64_t first_byte, uint64_t last_byte) {
+  for (uint64_t p = first_byte / kPageSize; p <= last_byte / kPageSize; ++p) {
+    bool seen = false;
+    for (uint64_t q : dirty_pages) {
+      if (q == p) {
+        seen = true;
+        break;
+      }
+    }
+    if (!seen) dirty_pages.push_back(p);
+  }
+}
+
+FaultVfs::FaultVfs() : FaultVfs(Options()) {}
+FaultVfs::FaultVfs(Options opts) : opts_(opts) {}
+FaultVfs::~FaultVfs() = default;
+
+uint64_t FaultVfs::Mix(uint64_t a, uint64_t b) const {
+  uint64_t h = Fnv1a64U64(opts_.seed, kFnvOffsetBasis);
+  h = Fnv1a64U64(crashes_, h);
+  h = Fnv1a64U64(a, h);
+  return Fnv1a64U64(b, h);
+}
+
+Status FaultVfs::ErrnoStatus(const char* what) const {
+  return Status::IOError(std::string(what) + ": injected fault: " +
+                         std::strerror(opts_.fault_errno));
+}
+
+Status FaultVfs::MaybeFault(const char* what) {
+  ++ops_;
+  if (opts_.fail_after_ops == kNoFault) return Status::OK();
+  uint64_t in_schedule = ops_ - op_base_;
+  bool fail = opts_.sticky ? in_schedule > opts_.fail_after_ops
+                           : in_schedule == opts_.fail_after_ops + 1;
+  if (!fail) return Status::OK();
+  ++faults_;
+  return ErrnoStatus(what);
+}
+
+Result<std::unique_ptr<VfsFile>> FaultVfs::Open(const std::string& path,
+                                                const VfsOpenOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dir_current_.find(path);
+  if (it == dir_current_.end()) {
+    if (opts.read_only || !opts.create) {
+      return Status::NotFound("no such file: " + path);
+    }
+    TML_RETURN_NOT_OK(MaybeFault("open-create"));
+    auto state = std::make_shared<FileState>();
+    dir_current_[path] = state;
+    pending_dir_ops_.push_back(
+        DirOp{DirOpKind::kCreate, path, std::string(), state});
+    return std::unique_ptr<VfsFile>(new FaultFile(this, std::move(state)));
+  }
+  if (opts.truncate && !opts.read_only) {
+    TML_RETURN_NOT_OK(MaybeFault("open-truncate"));
+    it->second->MarkDirty(0, it->second->current.empty()
+                                 ? 0
+                                 : it->second->current.size() - 1);
+    it->second->current.clear();
+    it->second->pending_truncate = 0;
+  }
+  return std::unique_ptr<VfsFile>(new FaultFile(this, it->second));
+}
+
+Status FaultVfs::Rename(const std::string& from, const std::string& to) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TML_RETURN_NOT_OK(MaybeFault("rename"));
+  auto it = dir_current_.find(from);
+  if (it == dir_current_.end()) {
+    return Status::IOError("rename: no such file: " + from);
+  }
+  dir_current_[to] = it->second;
+  dir_current_.erase(it);
+  pending_dir_ops_.push_back(DirOp{DirOpKind::kRename, from, to, nullptr});
+  return Status::OK();
+}
+
+Status FaultVfs::Unlink(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  TML_RETURN_NOT_OK(MaybeFault("unlink"));
+  dir_current_.erase(path);  // posix unlink of a missing file is tolerated
+  pending_dir_ops_.push_back(DirOp{DirOpKind::kUnlink, path, "", nullptr});
+  return Status::OK();
+}
+
+Status FaultVfs::SyncParentDir(const std::string& path) {
+  (void)path;  // one flat in-memory directory
+  std::lock_guard<std::mutex> lock(mu_);
+  TML_RETURN_NOT_OK(MaybeFault("fsync-dir"));
+  dir_durable_ = dir_current_;
+  pending_dir_ops_.clear();
+  return Status::OK();
+}
+
+bool FaultVfs::Exists(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dir_current_.count(path) != 0;
+}
+
+void FaultVfs::LosePower() {
+  std::lock_guard<std::mutex> lock(mu_);
+  ++crashes_;
+  // 1. Directory entries: un-synced ops survive as a prefix (journal model).
+  size_t survive =
+      pending_dir_ops_.empty()
+          ? 0
+          : static_cast<size_t>(Mix(0x0D1E, pending_dir_ops_.size()) %
+                                (pending_dir_ops_.size() + 1));
+  for (size_t i = 0; i < survive; ++i) {
+    const DirOp& op = pending_dir_ops_[i];
+    switch (op.kind) {
+      case DirOpKind::kCreate:
+        dir_durable_[op.from] = op.file;
+        break;
+      case DirOpKind::kRename: {
+        auto it = dir_durable_.find(op.from);
+        if (it != dir_durable_.end()) {
+          dir_durable_[op.to] = it->second;
+          dir_durable_.erase(op.from);
+        }
+        break;
+      }
+      case DirOpKind::kUnlink:
+        dir_durable_.erase(op.from);
+        break;
+    }
+  }
+  pending_dir_ops_.clear();
+  dir_current_ = dir_durable_;
+
+  // 2. File contents: start from the durable image; each dirty shadow page
+  //    independently survives by seeded coin flip; an un-synced truncation
+  //    survives by its own flip.
+  uint64_t file_idx = 0;
+  for (auto& [path, state] : dir_current_) {
+    ++file_idx;
+    std::string after = state->durable;
+    if (state->pending_truncate != kNoFault &&
+        (Mix(file_idx, 0x7123) & 1) != 0 &&
+        after.size() > state->pending_truncate) {
+      after.resize(state->pending_truncate);
+    }
+    for (uint64_t p : state->dirty_pages) {
+      if ((Mix(file_idx * 1000003 + p, 0xBEEF) & 1) == 0) continue;
+      uint64_t start = p * kPageSize;
+      if (start >= state->current.size()) continue;
+      uint64_t end = std::min<uint64_t>(start + kPageSize,
+                                        state->current.size());
+      if (after.size() < end) after.resize(end, '\0');
+      after.replace(start, end - start, state->current, start, end - start);
+    }
+    state->current = after;
+    state->durable = after;
+    state->dirty_pages.clear();
+    state->pending_truncate = kNoFault;
+  }
+}
+
+uint64_t FaultVfs::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultVfs::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+void FaultVfs::SetFailAfterOps(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_base_ = ops_;
+  opts_.fail_after_ops = k;
+}
+
+void FaultVfs::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.fail_after_ops = kNoFault;
+}
+
+Result<std::string> FaultVfs::SnapshotFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dir_current_.find(path);
+  if (it == dir_current_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  return it->second->current;
+}
+
+Status FaultVfs::CorruptFile(const std::string& path, uint64_t offset,
+                             uint8_t mask) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = dir_current_.find(path);
+  if (it == dir_current_.end()) {
+    return Status::NotFound("no such file: " + path);
+  }
+  FileState* st = it->second.get();
+  if (offset >= st->current.size()) {
+    return Status::OutOfRange("corrupt offset past end of " + path);
+  }
+  st->current[offset] = static_cast<char>(
+      static_cast<uint8_t>(st->current[offset]) ^ mask);
+  if (offset < st->durable.size()) {
+    st->durable[offset] = static_cast<char>(
+        static_cast<uint8_t>(st->durable[offset]) ^ mask);
+  }
+  return Status::OK();
+}
+
+Result<size_t> FaultFile::Read(void* buf, size_t n, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  const std::string& data = state_->current;
+  if (offset >= data.size()) return static_cast<size_t>(0);
+  size_t got = std::min<size_t>(n, data.size() - offset);
+  std::memcpy(buf, data.data() + offset, got);
+  return got;
+}
+
+Status FaultFile::Write(const void* buf, size_t n, uint64_t offset) {
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  Status fault = vfs_->MaybeFault("pwrite");
+  size_t apply = n;
+  if (!fault.ok()) {
+    // Torn write: the failing syscall may still land a prefix on disk.
+    if (!vfs_->opts_.torn_writes || n == 0) return fault;
+    apply = static_cast<size_t>(vfs_->Mix(vfs_->ops_, n) % n);  // < n
+    if (apply == 0) return fault;
+  }
+  std::string& data = state_->current;
+  if (data.size() < offset + apply) data.resize(offset + apply, '\0');
+  data.replace(offset, apply, static_cast<const char*>(buf), apply);
+  if (apply > 0) state_->MarkDirty(offset, offset + apply - 1);
+  return fault;
+}
+
+Status FaultFile::Sync() {
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  uint64_t sync_idx = ++vfs_->syncs_;
+  Status fault = vfs_->MaybeFault("fsync");
+  if (fault.ok() && vfs_->opts_.fsync_fail_at != 0 &&
+      sync_idx == vfs_->opts_.fsync_fail_at) {
+    // fsyncgate: this sync fails and durability is NOT established, but
+    // later syncs act as if nothing happened.
+    ++vfs_->faults_;
+    fault = vfs_->ErrnoStatus("fsync");
+  }
+  if (!fault.ok()) return fault;
+  state_->durable = state_->current;
+  state_->dirty_pages.clear();
+  state_->pending_truncate = FaultVfs::kNoFault;
+  return Status::OK();
+}
+
+Result<uint64_t> FaultFile::Size() {
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  return static_cast<uint64_t>(state_->current.size());
+}
+
+Status FaultFile::Truncate(uint64_t size) {
+  std::lock_guard<std::mutex> lock(vfs_->mu_);
+  TML_RETURN_NOT_OK(vfs_->MaybeFault("ftruncate"));
+  std::string& data = state_->current;
+  size_t old_size = data.size();
+  if (size < old_size) {
+    state_->MarkDirty(size, old_size - 1);
+    data.resize(size);
+    state_->pending_truncate = std::min(state_->pending_truncate, size);
+  } else if (size > old_size) {
+    data.resize(size, '\0');
+    state_->MarkDirty(old_size, size - 1);
+  }
+  return Status::OK();
+}
+
+}  // namespace tml

@@ -1,0 +1,141 @@
+// FaultVfs: a deterministic, in-memory Vfs for crash and fault testing.
+//
+// Three orthogonal failure models, all seeded and reproducible:
+//
+//   * syscall faults — the first `fail_after_ops` fallible syscalls
+//     (write/sync/truncate/create/rename/unlink/dir-sync) succeed; later
+//     ones fail with `fault_errno` (sticky by default, modelling a dying
+//     disk or a process about to be killed).  A failing write optionally
+//     applies a *torn* prefix of the data first.
+//
+//   * power loss — LosePower() rolls every file back to its durable
+//     image, except that each un-synced 512-byte shadow page
+//     independently survives or reverts (seeded hash), and un-synced
+//     directory operations (create/rename/unlink) survive only as a
+//     prefix — the journal model.  Reopening through the same FaultVfs
+//     then behaves exactly like a post-crash reboot.
+//
+//   * fsyncgate — `fsync_fail_at` makes the Nth Sync() call fail
+//     WITHOUT making the data durable, while later Sync() calls
+//     "succeed" again.  Correct store code must treat the first failure
+//     as poison; trusting the retry loses data at the next power cut.
+//
+// Nothing touches the real file system: paths are keys in an in-memory
+// directory, so crash sweeps run at memory speed and leave no litter.
+
+#ifndef TML_SUPPORT_FAULT_VFS_H_
+#define TML_SUPPORT_FAULT_VFS_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/vfs.h"
+
+namespace tml {
+
+class FaultVfs final : public Vfs {
+ public:
+  static constexpr uint64_t kNoFault = ~0ull;
+  static constexpr size_t kPageSize = 512;  ///< shadow-page granularity
+
+  struct Options {
+    /// 1-based: ops 1..fail_after_ops succeed, later ones fault.
+    uint64_t fail_after_ops = kNoFault;
+    int fault_errno = 5;  // EIO
+    /// Keep failing after the first fault (crash/dying-disk model); when
+    /// false only the single op at the boundary fails (transient error).
+    bool sticky = true;
+    /// A faulting write first applies a seeded prefix of its data.
+    bool torn_writes = true;
+    /// Drives torn-write lengths and shadow-page / dir-op survival.
+    uint64_t seed = 0;
+    /// 1-based index of the Sync() call to fail once (fsyncgate); 0 = off.
+    uint64_t fsync_fail_at = 0;
+  };
+
+  FaultVfs();
+  explicit FaultVfs(Options opts);
+  ~FaultVfs() override;
+
+  // ---- Vfs ----
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        const VfsOpenOptions& opts) override;
+  Status Rename(const std::string& from, const std::string& to) override;
+  Status Unlink(const std::string& path) override;
+  Status SyncParentDir(const std::string& path) override;
+  bool Exists(const std::string& path) override;
+
+  // ---- fault control ----
+
+  /// Simulate a power cut: un-synced pages survive per-page by seeded coin
+  /// flip, un-synced directory ops survive as a seeded prefix, everything
+  /// else reverts to the last durable image.  Live handles keep working
+  /// (they see the post-crash content) but real code reopens instead.
+  void LosePower();
+
+  /// Total fallible syscalls issued so far (the sweep's boundary count).
+  uint64_t ops() const;
+  /// Number of faults injected so far.
+  uint64_t faults_injected() const;
+
+  /// Re-arm: the next `k` ops (counted from now) succeed, later ones fail.
+  void SetFailAfterOps(uint64_t k);
+  /// Disable syscall faulting (power-loss and fsyncgate stay armed).
+  void ClearFaults();
+
+  // ---- out-of-band inspection (not counted as syscalls) ----
+
+  /// Current (possibly un-synced) content of a file.
+  Result<std::string> SnapshotFile(const std::string& path);
+  /// XOR `mask` into the byte at `offset` of both the current and durable
+  /// images — deterministic bit-rot for salvage tests.
+  Status CorruptFile(const std::string& path, uint64_t offset, uint8_t mask);
+
+ private:
+  friend class FaultFile;
+
+  struct FileState {
+    std::string current;
+    std::string durable;
+    std::vector<uint64_t> dirty_pages;  // pages touched since last Sync
+    /// Smallest un-synced truncation point, or kNoFault when none: on
+    /// power loss the size metadata update survives by coin flip.
+    uint64_t pending_truncate = kNoFault;
+
+    void MarkDirty(uint64_t first_byte, uint64_t last_byte);
+  };
+
+  enum class DirOpKind { kCreate, kRename, kUnlink };
+  struct DirOp {
+    DirOpKind kind;
+    std::string from;
+    std::string to;
+    std::shared_ptr<FileState> file;  // the created file (kCreate)
+  };
+
+  /// Count one fallible syscall; non-OK when the schedule says to fail.
+  Status MaybeFault(const char* what);
+  uint64_t Mix(uint64_t a, uint64_t b) const;
+  Status ErrnoStatus(const char* what) const;
+
+  mutable std::mutex mu_;
+  Options opts_;
+  uint64_t op_base_ = 0;  ///< ops consumed before the current schedule
+  uint64_t ops_ = 0;
+  uint64_t faults_ = 0;
+  uint64_t syncs_ = 0;
+  uint64_t crashes_ = 0;  ///< LosePower count, varies the survival hash
+  /// The in-memory directory: what a reader sees now, and what survives
+  /// power loss.  FileState objects are shared between the two maps.
+  std::map<std::string, std::shared_ptr<FileState>> dir_current_;
+  std::map<std::string, std::shared_ptr<FileState>> dir_durable_;
+  std::vector<DirOp> pending_dir_ops_;
+};
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_FAULT_VFS_H_

@@ -1,0 +1,200 @@
+#include "support/vfs.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace tml {
+
+namespace {
+
+Status Errno(const std::string& what) {
+  return Status::IOError(what + ": " + std::strerror(errno));
+}
+
+// ---- TYCOON_FAULT_* env knobs ----------------------------------------------
+//
+// A single process-wide schedule: fallible syscalls are numbered from 1 in
+// issue order across all files; syscall FAIL_AT (and, when sticky, every
+// later one) fails with the configured errno before touching the kernel.
+
+struct EnvFaultPlan {
+  uint64_t fail_at = 0;  // 0 => disabled
+  int fault_errno = EIO;
+  bool sticky = true;
+
+  static const EnvFaultPlan& Get() {
+    static const EnvFaultPlan plan = [] {
+      EnvFaultPlan p;
+      if (const char* at = std::getenv("TYCOON_FAULT_FAIL_AT")) {
+        p.fail_at = std::strtoull(at, nullptr, 10);
+      }
+      if (const char* en = std::getenv("TYCOON_FAULT_ERRNO")) {
+        if (std::strcmp(en, "enospc") == 0 || std::strcmp(en, "ENOSPC") == 0) {
+          p.fault_errno = ENOSPC;
+        }
+      }
+      if (const char* st = std::getenv("TYCOON_FAULT_STICKY")) {
+        p.sticky = std::strcmp(st, "0") != 0;
+      }
+      return p;
+    }();
+    return plan;
+  }
+};
+
+/// Returns non-OK when the env-configured fault schedule says this syscall
+/// should fail.  Counts only when a schedule is active, so the common case
+/// is one branch on a constant.
+Status MaybeEnvFault(const char* what) {
+  const EnvFaultPlan& plan = EnvFaultPlan::Get();
+  if (plan.fail_at == 0) return Status::OK();
+  static std::atomic<uint64_t> ops{0};
+  uint64_t n = ops.fetch_add(1, std::memory_order_relaxed) + 1;
+  if (n == plan.fail_at || (plan.sticky && n > plan.fail_at)) {
+    return Status::IOError(std::string(what) + ": injected fault (op " +
+                           std::to_string(n) + "): " +
+                           std::strerror(plan.fault_errno));
+  }
+  return Status::OK();
+}
+
+// ---- posix implementation --------------------------------------------------
+
+class PosixFile final : public VfsFile {
+ public:
+  explicit PosixFile(int fd) : fd_(fd) {}
+  ~PosixFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  Result<size_t> Read(void* buf, size_t n, uint64_t offset) override {
+    size_t done = 0;
+    char* p = static_cast<char*>(buf);
+    while (done < n) {
+      ssize_t got = ::pread(fd_, p + done, n - done,
+                            static_cast<off_t>(offset + done));
+      if (got < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pread");
+      }
+      if (got == 0) break;  // EOF
+      done += static_cast<size_t>(got);
+    }
+    return done;
+  }
+
+  Status Write(const void* buf, size_t n, uint64_t offset) override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("pwrite"));
+    const char* p = static_cast<const char*>(buf);
+    while (n > 0) {
+      ssize_t wrote = ::pwrite(fd_, p, n, static_cast<off_t>(offset));
+      if (wrote < 0) {
+        if (errno == EINTR) continue;
+        return Errno("pwrite");
+      }
+      p += wrote;
+      n -= static_cast<size_t>(wrote);
+      offset += static_cast<uint64_t>(wrote);
+    }
+    return Status::OK();
+  }
+
+  Status Sync() override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("fsync"));
+    if (::fsync(fd_) != 0) return Errno("fsync");
+    return Status::OK();
+  }
+
+  Result<uint64_t> Size() override {
+    struct stat st;
+    if (::fstat(fd_, &st) != 0) return Errno("fstat");
+    return static_cast<uint64_t>(st.st_size);
+  }
+
+  Status Truncate(uint64_t size) override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("ftruncate"));
+    if (::ftruncate(fd_, static_cast<off_t>(size)) != 0) {
+      return Errno("ftruncate");
+    }
+    return Status::OK();
+  }
+
+ private:
+  int fd_;
+};
+
+class PosixVfs final : public Vfs {
+ public:
+  Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                        const VfsOpenOptions& opts) override {
+    int flags;
+    if (opts.read_only) {
+      flags = O_RDONLY;
+    } else {
+      flags = O_RDWR;
+      if (opts.create) flags |= O_CREAT;
+      if (opts.truncate) flags |= O_TRUNC;
+      TML_RETURN_NOT_OK(MaybeEnvFault("open"));
+    }
+    int fd = ::open(path.c_str(), flags, 0644);
+    if (fd < 0) {
+      if (errno == ENOENT) return Status::NotFound("no such file: " + path);
+      return Errno("open " + path);
+    }
+    return std::unique_ptr<VfsFile>(new PosixFile(fd));
+  }
+
+  Status Rename(const std::string& from, const std::string& to) override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("rename"));
+    if (::rename(from.c_str(), to.c_str()) != 0) {
+      return Errno("rename " + from + " -> " + to);
+    }
+    return Status::OK();
+  }
+
+  Status Unlink(const std::string& path) override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("unlink"));
+    if (::unlink(path.c_str()) != 0 && errno != ENOENT) {
+      return Errno("unlink " + path);
+    }
+    return Status::OK();
+  }
+
+  Status SyncParentDir(const std::string& path) override {
+    TML_RETURN_NOT_OK(MaybeEnvFault("fsync-dir"));
+    std::string dir;
+    size_t slash = path.find_last_of('/');
+    dir = (slash == std::string::npos) ? "." : path.substr(0, slash);
+    if (dir.empty()) dir = "/";
+    int fd = ::open(dir.c_str(), O_RDONLY | O_DIRECTORY);
+    if (fd < 0) return Errno("open dir " + dir);
+    int rc = ::fsync(fd);
+    int saved = errno;
+    ::close(fd);
+    if (rc != 0) {
+      errno = saved;
+      return Errno("fsync dir " + dir);
+    }
+    return Status::OK();
+  }
+
+  bool Exists(const std::string& path) override {
+    struct stat st;
+    return ::stat(path.c_str(), &st) == 0;
+  }
+};
+
+}  // namespace
+
+Vfs* Vfs::Default() {
+  static PosixVfs vfs;
+  return &vfs;
+}
+
+}  // namespace tml

@@ -1,0 +1,86 @@
+// Virtual file system: the narrow syscall surface the object store talks
+// through (open/pread/pwrite/fsync/rename/unlink/dir-fsync).
+//
+// Production code uses the posix implementation behind Vfs::Default();
+// tests swap in FaultVfs (fault_vfs.h) to fail the Nth syscall, deliver
+// torn writes, or simulate power loss — the store code is identical in
+// both worlds, so every durability decision it makes is testable.
+//
+// Vfs::Default() also honors the TYCOON_FAULT_* environment knobs (see
+// DESIGN.md §8) so a fault schedule found by the crash-recovery sweep can
+// be replayed against a real binary:
+//
+//   TYCOON_FAULT_FAIL_AT=<n>   fail the n-th fallible syscall (1-based)
+//   TYCOON_FAULT_ERRNO=eio|enospc   errno delivered (default eio)
+//   TYCOON_FAULT_STICKY=0|1    keep failing after the first fault
+//                              (default 1: simulates a dying disk)
+
+#ifndef TML_SUPPORT_VFS_H_
+#define TML_SUPPORT_VFS_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "support/status.h"
+
+namespace tml {
+
+/// An open file handle.  All offsets are absolute (pread/pwrite style);
+/// implementations are not required to be thread-safe.
+class VfsFile {
+ public:
+  virtual ~VfsFile() = default;
+
+  /// Read up to `n` bytes at `offset`; returns the count actually read
+  /// (short only at end-of-file).
+  virtual Result<size_t> Read(void* buf, size_t n, uint64_t offset) = 0;
+
+  /// Write all `n` bytes at `offset` (retrying short writes internally).
+  /// On error the file may hold any prefix of the data — callers must not
+  /// assume all-or-nothing.
+  virtual Status Write(const void* buf, size_t n, uint64_t offset) = 0;
+
+  /// Flush written data to stable storage.  A failed sync leaves the
+  /// durable state of everything written since the last successful sync
+  /// UNKNOWN (fsyncgate): callers must never retry-and-trust; the store
+  /// poisons itself instead.
+  virtual Status Sync() = 0;
+
+  virtual Result<uint64_t> Size() = 0;
+
+  virtual Status Truncate(uint64_t size) = 0;
+};
+
+struct VfsOpenOptions {
+  bool read_only = false;
+  bool create = true;      ///< create if missing (ignored when read_only)
+  bool truncate = false;   ///< start empty
+};
+
+class Vfs {
+ public:
+  virtual ~Vfs() = default;
+
+  /// The process-wide posix implementation (with TYCOON_FAULT_* applied).
+  static Vfs* Default();
+
+  virtual Result<std::unique_ptr<VfsFile>> Open(const std::string& path,
+                                                const VfsOpenOptions& opts) = 0;
+
+  /// Atomically replace `to` with `from`.  NOT durable until the parent
+  /// directory is synced (SyncParentDir).
+  virtual Status Rename(const std::string& from, const std::string& to) = 0;
+
+  virtual Status Unlink(const std::string& path) = 0;
+
+  /// fsync the directory containing `path`, making prior creates/renames/
+  /// unlinks of entries in it durable.
+  virtual Status SyncParentDir(const std::string& path) = 0;
+
+  virtual bool Exists(const std::string& path) = 0;
+};
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_VFS_H_

@@ -1,0 +1,189 @@
+// Adaptive subsystem under storage faults: corrupt or retyped kProfile
+// records cold-start instead of failing, transient IO errors on profile
+// persistence are retried, and a dead (poisoned) store parks the worker
+// after bounded exponential backoff while the database keeps serving.
+
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "adaptive/profile.h"
+#include "support/fault_vfs.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using rt::Universe;
+using store::ObjectStore;
+using store::ObjType;
+using vm::Value;
+
+constexpr const char* kPath = "adaptive.db";
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+store::OpenOptions Salvage(FaultVfs* vfs) {
+  store::OpenOptions o;
+  o.vfs = vfs;
+  o.recovery = store::RecoveryPolicy::kSalvage;
+  return o;
+}
+
+AdaptiveOptions TestOptions() {
+  AdaptiveOptions opts;
+  opts.policy.hot_steps = 200;
+  opts.policy.min_calls = 2;
+  opts.policy.decay = 1.0;
+  opts.persist_profile = true;
+  return opts;
+}
+
+Status InstallComplexApp(Universe* u) {
+  TML_RETURN_NOT_OK(
+      u->InstallSource("complex", kComplexSrc, fe::BindingMode::kLibrary));
+  return u->InstallSource("app", kAppSrc, fe::BindingMode::kLibrary);
+}
+
+void DriveCalls(Universe* u, Oid cabs, int n) {
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u->Call(*u->Lookup("complex", "make"), margs);
+  ASSERT_TRUE(c.ok());
+  Value cargs[] = {c->value};
+  for (int i = 0; i < n; ++i) {
+    auto v = u->Call(cabs, cargs);
+    ASSERT_TRUE(v.ok());
+    ASSERT_EQ(v->value.r, 5.0);
+  }
+}
+
+TEST(AdaptiveFaults, RetypedProfileRecordColdStarts) {
+  auto s = ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  // A record exists under the profile root but with the wrong type tag.
+  auto oid = u.PutRootRecord(adaptive::kProfileRoot, ObjType::kBlob,
+                             "not a profile");
+  ASSERT_TRUE(oid.ok());
+  telemetry::Counter* resets = telemetry::Registry::Global().GetCounter(
+      "tml.adaptive.profile_corrupt_resets");
+  uint64_t before = resets->value();
+  AdaptiveManager m(&u, TestOptions());
+  ASSERT_OK(m.LoadPersistedProfile());
+  EXPECT_EQ(resets->value(), before + 1);
+  EXPECT_TRUE(m.ProfileSnapshot().entries().empty());
+}
+
+TEST(AdaptiveFaults, UndecodableProfileRecordColdStarts) {
+  auto s = ObjectStore::Open("");
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  // Right type, garbage payload: Decode must fail, the manager must not.
+  auto oid = u.PutRootRecord(adaptive::kProfileRoot, ObjType::kProfile,
+                             std::string(13, '\xFF'));
+  ASSERT_TRUE(oid.ok());
+  telemetry::Counter* resets = telemetry::Registry::Global().GetCounter(
+      "tml.adaptive.profile_corrupt_resets");
+  uint64_t before = resets->value();
+  AdaptiveManager m(&u, TestOptions());
+  ASSERT_OK(m.LoadPersistedProfile());
+  EXPECT_EQ(resets->value(), before + 1);
+  EXPECT_TRUE(m.ProfileSnapshot().entries().empty());
+}
+
+TEST(AdaptiveFaults, TransientEnospcOnPersistRetriesClean) {
+  FaultVfs::Options vopts;
+  vopts.sticky = false;
+  vopts.fault_errno = 28;  // ENOSPC
+  FaultVfs vfs(vopts);
+  auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+  // Keep the promotion policy quiet (nothing gets hot enough) so the
+  // profile persist is the ONLY write the poll issues — otherwise the
+  // single transient fault gets absorbed by ReflectOptimize, which is
+  // non-fatal by design.
+  AdaptiveOptions opts = TestOptions();
+  opts.policy.hot_steps = 1u << 30;
+  opts.policy.min_calls = 1u << 30;
+  AdaptiveManager m(&u, opts);
+
+  DriveCalls(&u, cabs, 20);
+  vfs.SetFailAfterOps(0);  // the profile-record pwrite hits a full disk
+  Status st = m.PollOnce();
+  EXPECT_FALSE(st.ok()) << "the failed persist must surface";
+  EXPECT_EQ(st.code(), StatusCode::kIOError);
+
+  // The disk recovered (non-sticky): the next poll persists the still-
+  // dirty profile and the heat survives a restart.
+  ASSERT_OK(m.PollOnce());
+  auto rec = u.GetRootRecord(adaptive::kProfileRoot);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->type, ObjType::kProfile);
+  auto decoded = adaptive::HotnessProfile::Decode(rec->bytes);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_FALSE(decoded->entries().empty());
+}
+
+TEST(AdaptiveFaults, PoisonedStoreParksWorkerProcessKeepsServing) {
+  FaultVfs vfs;
+  auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+  ASSERT_OK((*s)->Commit());
+
+  AdaptiveOptions opts = TestOptions();
+  opts.poll_interval = std::chrono::milliseconds(1);
+  opts.max_poll_backoff = std::chrono::milliseconds(8);
+  opts.park_after_failures = 3;
+  AdaptiveManager m(&u, opts);
+
+  telemetry::Counter* parks =
+      telemetry::Registry::Global().GetCounter("tml.adaptive.parks");
+  telemetry::Counter* retries =
+      telemetry::Registry::Global().GetCounter("tml.adaptive.io_retries");
+  uint64_t parks_before = parks->value();
+  uint64_t retries_before = retries->value();
+
+  // Kill the disk: every further syscall fails, so every profile persist
+  // attempt errors out and the worker has nothing left to do but park.
+  DriveCalls(&u, cabs, 50);
+  vfs.SetFailAfterOps(0);
+  m.Start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!m.parked() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_TRUE(m.parked()) << "worker must park, not spin";
+  m.Stop();
+  EXPECT_EQ(parks->value(), parks_before + 1);
+  EXPECT_GE(retries->value(), retries_before + opts.park_after_failures);
+
+  // The database is degraded, not down: calls still answer.
+  vfs.ClearFaults();
+  DriveCalls(&u, cabs, 10);
+
+  // Start() after Stop() re-arms a parked worker.
+  m.Start();
+  EXPECT_FALSE(m.parked());
+  m.Stop();
+}
+
+}  // namespace
+}  // namespace tml

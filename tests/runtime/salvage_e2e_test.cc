@@ -1,0 +1,246 @@
+// End-to-end salvage: flip bytes in a live store file and re-run the
+// examples/adaptive_optimization flow.  Corruption of rebuildable records
+// (the kReflectCache index, the kProfile hotness record) must degrade to
+// a recompile / re-profile with the process up — never a refusal to open
+// or a crash.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "adaptive/profile.h"
+#include "runtime/universe.h"
+#include "store/reflect_cache.h"
+#include "support/fault_vfs.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using rt::ReflectStats;
+using rt::Universe;
+using store::ObjectStore;
+using store::ObjType;
+using vm::Value;
+
+constexpr const char* kPath = "universe.db";
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+store::OpenOptions Salvage(FaultVfs* vfs) {
+  store::OpenOptions o;
+  o.vfs = vfs;
+  o.recovery = store::RecoveryPolicy::kSalvage;
+  return o;
+}
+
+Status InstallComplexApp(Universe* u) {
+  TML_RETURN_NOT_OK(
+      u->InstallSource("complex", kComplexSrc, fe::BindingMode::kLibrary));
+  return u->InstallSource("app", kAppSrc, fe::BindingMode::kLibrary);
+}
+
+double CallCabs(Universe* u, Oid cabs) {
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = u->Call(*u->Lookup("complex", "make"), margs);
+  if (!c.ok()) return -1.0;
+  Value cargs[] = {c->value};
+  auto v = u->Call(cabs, cargs);
+  return v.ok() ? v->value.r : -1.0;
+}
+
+/// XOR one byte inside the payload of the record anchored at `root` so its
+/// CRC no longer verifies; returns false if the record cannot be found.
+bool CorruptRootRecord(FaultVfs* vfs, const std::string& root) {
+  auto s = ObjectStore::Open(kPath, Salvage(vfs));
+  if (!s.ok()) return false;
+  auto oid = (*s)->GetRoot(root);
+  if (!oid.ok()) return false;
+  auto rec = (*s)->Get(*oid);
+  if (!rec.ok() || rec->bytes.size() < 4) return false;
+  auto snap = vfs->SnapshotFile(kPath);
+  if (!snap.ok()) return false;
+  size_t pos = snap->rfind(rec->bytes);  // latest version wins on replay
+  if (pos == std::string::npos) return false;
+  return vfs->CorruptFile(kPath, pos + rec->bytes.size() / 2, 0x55).ok();
+}
+
+TEST(SalvageE2E, CorruptReflectCacheDegradesToRecompile) {
+  FaultVfs vfs;
+  Oid cabs = kNullOid;
+  Oid optimized = kNullOid;
+  {
+    auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(InstallComplexApp(&u));
+    cabs = *u.Lookup("app", "cabs");
+    ReflectStats stats;
+    auto r = u.ReflectOptimize(cabs, {}, &stats);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    EXPECT_EQ(stats.cache_misses, 1u);
+    optimized = *r;
+    EXPECT_EQ(CallCabs(&u, optimized), 5.0);
+    ASSERT_OK((*s)->Commit());
+  }
+
+  ASSERT_TRUE(CorruptRootRecord(&vfs, store::kReflectCacheRoot));
+
+  telemetry::Counter* degrades = telemetry::Registry::Global().GetCounter(
+      "tml.reflect.cache_corrupt_degrades");
+  uint64_t degrades_before = degrades->value();
+
+  auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_TRUE((*s)->salvage_report().salvaged);
+  EXPECT_GE((*s)->salvage_report().quarantined_records, 1u);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  // The cache index is gone, so this is a miss — a recompile, not an
+  // error — and the database keeps answering.
+  ReflectStats stats;
+  auto r = u.ReflectOptimize(cabs, {}, &stats);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(stats.cache_misses, 1u);
+  EXPECT_EQ(stats.cache_hits, 0u);
+  EXPECT_EQ(degrades->value(), degrades_before + 1);
+  EXPECT_EQ(CallCabs(&u, *r), 5.0);
+  // The rebuilt index serves hits again.
+  ReflectStats again;
+  ASSERT_TRUE(u.ReflectOptimize(cabs, {}, &again).ok());
+  EXPECT_EQ(again.cache_hits, 1u);
+}
+
+// The reflect-cache index is a rebuildable acceleration structure: a
+// write fault while persisting it (ENOSPC on the index append) must not
+// fail the ReflectOptimize that produced a perfectly good result.  Sweep
+// a single transient fault across every syscall of one ReflectOptimize:
+// faults on required writes surface as errors, a fault on the index
+// persist is absorbed — and at least one such op must exist.
+TEST(SalvageE2E, ReflectCachePersistFaultIsNonFatal) {
+  telemetry::Counter* persist_failures =
+      telemetry::Registry::Global().GetCounter(
+          "tml.reflect.cache_persist_failures");
+
+  // One run of the install + reflect flow with a transient fault armed to
+  // hit the (k+1)th syscall of ReflectOptimize; k == kNoFault is clean.
+  auto run = [&](uint64_t k, uint64_t* reflect_ops, bool* faulted,
+                 bool* reflect_ok) {
+    FaultVfs::Options vopts;
+    vopts.sticky = false;
+    vopts.fault_errno = 28;  // ENOSPC
+    FaultVfs vfs(vopts);
+    auto s = ObjectStore::Open("reflect.db", Salvage(&vfs));
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(InstallComplexApp(&u));
+    Oid cabs = *u.Lookup("app", "cabs");
+    if (k != FaultVfs::kNoFault) vfs.SetFailAfterOps(k);
+    uint64_t ops_before = vfs.ops();
+    uint64_t faults_before = vfs.faults_injected();
+    ReflectStats stats;
+    auto r = u.ReflectOptimize(cabs, {}, &stats);
+    *reflect_ops = vfs.ops() - ops_before;
+    *faulted = vfs.faults_injected() > faults_before;
+    *reflect_ok = r.ok();
+    if (r.ok() && *faulted) {
+      // Tolerated persist failure: the result is served from memory.
+      EXPECT_EQ(CallCabs(&u, *r), 5.0);
+      ReflectStats again;
+      auto r2 = u.ReflectOptimize(cabs, {}, &again);
+      ASSERT_TRUE(r2.ok());
+      EXPECT_EQ(again.cache_hits, 1u);
+      EXPECT_EQ(*r2, *r);
+    }
+  };
+
+  uint64_t reflect_ops = 0;
+  bool faulted = false, reflect_ok = false;
+  run(FaultVfs::kNoFault, &reflect_ops, &faulted, &reflect_ok);
+  ASSERT_TRUE(reflect_ok);
+  ASSERT_FALSE(faulted);
+  ASSERT_GT(reflect_ops, 2u);
+
+  uint64_t tolerated = 0;
+  for (uint64_t k = 0; k < reflect_ops; ++k) {
+    SCOPED_TRACE("fault at reflect syscall " + std::to_string(k + 1));
+    uint64_t persist_before = persist_failures->value();
+    uint64_t ops = 0;
+    run(k, &ops, &faulted, &reflect_ok);
+    EXPECT_TRUE(faulted);
+    if (reflect_ok) {
+      ++tolerated;
+      EXPECT_EQ(persist_failures->value(), persist_before + 1)
+          << "a survived fault must be the tolerated index persist";
+    }
+  }
+  EXPECT_GE(tolerated, 1u)
+      << "the index persist ops must absorb their faults";
+}
+
+// The acceptance flow: run the adaptive_optimization example loop against
+// a file store until the optimizer promotes, flip bytes in the live store
+// (both rebuildable record kinds), then re-run the whole flow on the
+// salvaged store.
+TEST(SalvageE2E, ByteFlippedStoreRerunsAdaptiveFlow) {
+  FaultVfs vfs;
+  AdaptiveOptions opts;
+  opts.policy.hot_steps = 200;
+  opts.policy.min_calls = 2;
+  opts.policy.decay = 1.0;
+  opts.persist_profile = true;
+
+  auto run_flow = [&](Universe* u, Oid cabs) -> uint64_t {
+    AdaptiveManager m(u, opts);
+    EXPECT_OK(m.LoadPersistedProfile());
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_EQ(CallCabs(u, cabs), 5.0);
+      if (i % 10 == 9) EXPECT_OK(m.PollOnce());
+      if (u->adaptive_counters().promotions > 0) break;
+    }
+    return u->adaptive_counters().promotions;
+  };
+
+  Oid cabs = kNullOid;
+  {
+    auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+    ASSERT_TRUE(s.ok());
+    Universe u(s->get());
+    ASSERT_OK(InstallComplexApp(&u));
+    cabs = *u.Lookup("app", "cabs");
+    ASSERT_GT(run_flow(&u, cabs), 0u) << "flow must promote before crash";
+    ASSERT_OK((*s)->Commit());
+  }
+
+  // Bit-rot both rebuildable records in the live file.
+  ASSERT_TRUE(CorruptRootRecord(&vfs, store::kReflectCacheRoot));
+  ASSERT_TRUE(CorruptRootRecord(&vfs, adaptive::kProfileRoot));
+
+  auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+  ASSERT_TRUE(s.ok()) << s.status().ToString();
+  EXPECT_GE((*s)->salvage_report().quarantined_records, 2u);
+  Universe u(s->get());
+  ASSERT_OK(u.LoadPersistedModules());
+  // Both damaged records were quarantined: the profile reads as never
+  // persisted (a cold start), and the flow re-profiles and re-optimizes
+  // to a promotion again, with the process up the whole time.
+  EXPECT_EQ(u.GetRootRecord(adaptive::kProfileRoot).status().code(),
+            StatusCode::kNotFound);
+  EXPECT_GT(run_flow(&u, cabs), 0u)
+      << "salvaged store must reach promotion again";
+  EXPECT_EQ(CallCabs(&u, cabs), 5.0);
+  ASSERT_OK((*s)->Commit());
+}
+
+}  // namespace
+}  // namespace tml

@@ -11,6 +11,11 @@
 #                           # Chrome trace TRACE_<name>.json next to it
 #   tools/check.sh --telemetry  # just the telemetry suites (incl. the
 #                           # golden per-rule firing counts)
+#   tools/check.sh --faults # ASan+UBSan build of the fault-injection and
+#                           # crash-recovery suites: the FaultVfs semantics
+#                           # tests, the every-syscall-boundary sweep, the
+#                           # salvage end-to-end flow, and the adaptive
+#                           # park/backoff behavior
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -39,6 +44,12 @@ case "${1:-}" in
   --telemetry)
     shift
     mode=telemetry
+    ;;
+  --faults)
+    shift
+    build_dir=build-asan
+    cmake_args+=(-DCMAKE_BUILD_TYPE=Asan)
+    mode=faults
     ;;
 esac
 
@@ -71,5 +82,9 @@ case "$mode" in
     ;;
   telemetry)
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" -R 'Telemetry' "$@"
+    ;;
+  faults)
+    cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
+      -R 'FaultVfs|StoreFaults|StoreFormats|StoreCompact|CrashRecovery|Salvage|AdaptiveFaults' "$@"
     ;;
 esac

@@ -10,6 +10,10 @@
 //     promotion state (the adaptive optimizer's working set),
 //   * reflect-cache size and how many entries still point at live records.
 //
+// Damaged stores are opened in salvage mode, so tyctop is also the
+// post-incident inspector: it reports what recovery had to quarantine or
+// truncate instead of refusing to open.
+//
 // Usage: tyctop <store-file> [--top N] [--json]
 
 #include <algorithm>
@@ -34,12 +38,15 @@ using tml::store::ObjType;
 using tml::store::ObjTypeName;
 
 int Run(const std::string& path, int top_n, bool json) {
-  auto store = ObjectStore::OpenReadOnly(path);
+  tml::store::OpenOptions open_opts;
+  open_opts.recovery = tml::store::RecoveryPolicy::kSalvage;
+  auto store = ObjectStore::OpenReadOnly(path, open_opts);
   if (!store.ok()) {
     std::fprintf(stderr, "tyctop: %s\n", store.status().ToString().c_str());
     return 1;
   }
   ObjectStore* s = store->get();
+  const tml::store::SalvageReport& salvage = s->salvage_report();
 
   // Live payload bytes per record kind (the E2 trade-off at a glance).
   std::map<std::string, size_t> tallies;
@@ -106,6 +113,16 @@ int Run(const std::string& path, int top_n, bool json) {
   if (json) {
     std::string out = "{\n";
     out += "  \"store\": \"" + tml::telemetry::JsonEscape(path) + "\",\n";
+    out += "  \"format_version\": " + std::to_string(s->format_version()) +
+           ",\n";
+    out += "  \"salvage\": {\"salvaged\": " +
+           std::string(salvage.salvaged ? "true" : "false") +
+           ", \"header_rebuilt\": " +
+           (salvage.header_rebuilt ? "true" : "false") +
+           ", \"quarantined_records\": " +
+           std::to_string(salvage.quarantined_records) +
+           ", \"truncated_bytes\": " +
+           std::to_string(salvage.truncated_bytes) + "},\n";
     out += "  \"file_bytes\": " + std::to_string(file_size) + ",\n";
     out += "  \"objects\": " + std::to_string(s->num_objects()) + ",\n";
     out += "  \"live_bytes\": " + std::to_string(s->live_bytes()) + ",\n";
@@ -145,10 +162,19 @@ int Run(const std::string& path, int top_n, bool json) {
     return 0;
   }
 
-  std::printf("store    %s\n", path.c_str());
+  std::printf("store    %s (format v%u)\n", path.c_str(),
+              s->format_version());
   std::printf("file     %llu bytes, %zu live objects, %zu live bytes\n",
               static_cast<unsigned long long>(file_size), s->num_objects(),
               s->live_bytes());
+  if (salvage.salvaged) {
+    std::printf(
+        "salvage  RECOVERED:%s %llu quarantined record(s), "
+        "%llu byte(s) truncated from the tail\n",
+        salvage.header_rebuilt ? " header rebuilt from record scan," : "",
+        static_cast<unsigned long long>(salvage.quarantined_records),
+        static_cast<unsigned long long>(salvage.truncated_bytes));
+  }
   std::printf("\nbytes by record kind:\n");
   for (const auto& [name, bytes] : tallies) {
     std::printf("  %-14s %10zu\n", name.c_str(), bytes);
