@@ -13,7 +13,13 @@ AdaptiveManager::AdaptiveManager(rt::Universe* universe,
     : universe_(universe),
       opts_(opts),
       policy_(opts.policy),
-      counters_(universe->adaptive_counters_raw()) {}
+      counters_(universe->adaptive_counters_raw()),
+      io_retries_counter_(telemetry::Registry::Global().GetCounter(
+          "tml.adaptive.io_retries")),
+      parks_counter_(
+          telemetry::Registry::Global().GetCounter("tml.adaptive.parks")),
+      profile_corrupt_resets_counter_(telemetry::Registry::Global().GetCounter(
+          "tml.adaptive.profile_corrupt_resets")) {}
 
 AdaptiveManager::~AdaptiveManager() { Stop(); }
 
@@ -25,16 +31,13 @@ Status AdaptiveManager::LoadPersistedProfile() {
   }
   // The profile is rebuildable heat, not data: a retyped, quarantined or
   // undecodable record means a cold start (re-profile), never a refusal.
-  static telemetry::Counter* resets =
-      telemetry::Registry::Global().GetCounter(
-          "tml.adaptive.profile_corrupt_resets");
   if (rec->type != store::ObjType::kProfile) {
-    resets->Increment();
+    profile_corrupt_resets_counter_->Increment();
     return Status::OK();
   }
   Result<HotnessProfile> loaded = HotnessProfile::Decode(rec->bytes);
   if (!loaded.ok()) {
-    resets->Increment();
+    profile_corrupt_resets_counter_->Increment();
     return Status::OK();
   }
   std::lock_guard<std::mutex> lock(mu_);
@@ -63,11 +66,8 @@ void AdaptiveManager::WorkerLoop() {
   // Transient store failures (ENOSPC, a poisoned store, a dying disk) are
   // retried with bounded exponential backoff; after park_after_failures
   // consecutive failures the worker parks instead of spinning — adaptive
-  // optimization pauses, the database keeps serving.
-  static telemetry::Counter* io_retries =
-      telemetry::Registry::Global().GetCounter("tml.adaptive.io_retries");
-  static telemetry::Counter* parks =
-      telemetry::Registry::Global().GetCounter("tml.adaptive.parks");
+  // optimization pauses, the database keeps serving.  A parked worker's
+  // thread exits; Unpark() (or Stop()+Start()) re-arms it.
   std::chrono::milliseconds wait = opts_.poll_interval;
   uint32_t consecutive_failures = 0;
   std::unique_lock<std::mutex> lock(worker_mu_);
@@ -82,9 +82,9 @@ void AdaptiveManager::WorkerLoop() {
       wait = opts_.poll_interval;
       continue;
     }
-    io_retries->Increment();
+    io_retries_counter_->Increment();
     if (++consecutive_failures >= opts_.park_after_failures) {
-      parks->Increment();
+      parks_counter_->Increment();
       parked_.store(true, std::memory_order_release);
       break;
     }
@@ -92,15 +92,40 @@ void AdaptiveManager::WorkerLoop() {
   }
 }
 
+void AdaptiveManager::Unpark() {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (stop_requested_) return;
+  if (!parked_.load(std::memory_order_acquire)) return;
+  // The parked thread has exited (parking is the loop's last act before
+  // returning), so the join is immediate.
+  if (worker_.joinable()) worker_.join();
+  parked_.store(false, std::memory_order_release);
+  worker_ = std::thread(&AdaptiveManager::WorkerLoop, this);
+}
+
 Status AdaptiveManager::PollOnce() {
+  Status st;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    st = PollOnceLocked();
+  }
+  // A successful poll proves the store answers again: re-arm a parked
+  // worker.  (The worker thread itself never reaches here parked — parking
+  // is how its loop exits — so Unpark never self-joins.)
+  if (st.ok() && parked_.load(std::memory_order_acquire)) Unpark();
+  return st;
+}
+
+Status AdaptiveManager::PollOnceLocked() {
   TML_TELEMETRY_SPAN("adaptive", "adaptive.poll");
-  std::lock_guard<std::mutex> lock(mu_);
   counters_->polls.Add(1);
 
   // 1. Age existing heat, then fold in the delta since the last snapshot,
-  //    attributed back to persistent closure OIDs.
+  //    attributed back to persistent closure OIDs.  The universe merges
+  //    the primary VM's profile with every worker VM's, so heat from
+  //    concurrent mutator threads is all attributed.
   profile_.Decay(policy_.options().decay);
-  std::vector<vm::FnSample> samples = universe_->vm()->SnapshotProfile();
+  std::vector<vm::FnSample> samples = universe_->SnapshotProfile();
   std::unordered_map<const vm::Function*, Oid> index =
       universe_->FunctionClosureIndex();
   for (const vm::FnSample& s : samples) {

@@ -90,7 +90,17 @@ class AdaptiveManager final : public rt::BackgroundService {
 
   /// One synchronous profiling/promotion cycle.  Public so tests and
   /// benchmarks can drive the loop deterministically without the thread.
+  /// A successful explicit poll also un-parks a parked worker: the store
+  /// evidently recovered, so background polling may resume.
   Status PollOnce();
+
+  /// Re-arm a parked worker without a Stop()/Start() cycle — the recovery
+  /// hook for "the store came back" (a successful explicit PollOnce, a
+  /// store reopen).  Joins the exited worker thread and spawns a fresh
+  /// one.  No-op if the worker is not parked, was never started, or Stop()
+  /// was requested.  Never called from the worker thread itself: parked_
+  /// only latches as that thread exits its loop.
+  void Unpark();
 
   /// Snapshot of the per-closure profile (copies under the manager lock).
   HotnessProfile ProfileSnapshot() const;
@@ -103,6 +113,8 @@ class AdaptiveManager final : public rt::BackgroundService {
 
  private:
   void WorkerLoop();
+  /// The body of PollOnce, with mu_ held.
+  Status PollOnceLocked();
   /// Promote one hot closure; bumps universe counters as it goes.
   void TryPromote(Oid closure_oid);
   Status PersistProfile();
@@ -111,6 +123,14 @@ class AdaptiveManager final : public rt::BackgroundService {
   AdaptiveOptions opts_;
   AdaptivePolicy policy_;
   rt::AtomicAdaptiveCounters* counters_;
+  // Registry cells resolved once at construction.  The registry is a
+  // leaked singleton whose cells are never erased (Reset() zeroes them in
+  // place), so these pointers stay valid for the process lifetime — no
+  // function-local static caches racing a registry teardown from the
+  // worker thread.
+  telemetry::Counter* io_retries_counter_;
+  telemetry::Counter* parks_counter_;
+  telemetry::Counter* profile_corrupt_resets_counter_;
 
   /// Serializes PollOnce (worker vs. tests) and guards profile_/stats_.
   mutable std::mutex mu_;

@@ -32,12 +32,25 @@ Universe::Universe(store::ObjectStore* store) : store_(store) {
   // Honor TYCOON_TRACE / TYCOON_METRICS_DUMP in every process that builds a
   // runtime, so benches and tools capture traces without extra plumbing.
   telemetry::InitFromEnv();
+  published_.store(std::make_shared<const BindingSnapshot>(),
+                   std::memory_order_release);
   vm_ = std::make_unique<vm::VM>(this);
+  RegisterHostsOn(vm_.get());
+}
+
+Universe::~Universe() {
+  // Stop background workers (adaptive manager) while the store and VMs are
+  // still alive; only then let members tear down.
+  for (auto& s : services_) s->Stop();
+  services_.clear();
+}
+
+void Universe::RegisterHostsOn(vm::VM* vm) {
   // `(ccall "reflect.stats" ...)`: the telemetry dump as a TML string.
   // Pass "json" as the first argument for the JSON rendering.
-  vm_->RegisterHost(
+  vm->RegisterHost(
       "reflect.stats",
-      [this](vm::VM* vm,
+      [this](vm::VM* host_vm,
              std::span<const vm::Value> args) -> Result<vm::Value> {
         bool json = false;
         if (!args.empty() && args[0].is_obj() &&
@@ -45,17 +58,53 @@ Universe::Universe(store::ObjectStore* store) : store_(store) {
           json = static_cast<vm::StringObj*>(args[0].obj)->str == "json";
         }
         TelemetryReport rep = TelemetrySnapshot();
-        vm::StringObj* s = vm->heap()->New<vm::StringObj>();
+        vm::StringObj* s = host_vm->heap()->New<vm::StringObj>();
         s->str = json ? rep.ToJson() : rep.ToText();
         return vm::Value::ObjV(s);
       });
 }
 
-Universe::~Universe() {
-  // Stop background workers (adaptive manager) while the store and VM are
-  // still alive; only then let members tear down.
-  for (auto& s : services_) s->Stop();
-  services_.clear();
+vm::VM* Universe::AddWorkerVm() {
+  vm::VMOptions opts;
+  // Worker VMs batch their telemetry publication: N threads eagerly
+  // flushing per-call deltas into the four shared registry counters is
+  // exactly the kind of cross-core traffic the published-snapshot design
+  // removes from the execution path.
+  opts.telemetry_batch_steps = 1u << 20;
+  return AddWorkerVm(opts);
+}
+
+vm::VM* Universe::AddWorkerVm(const vm::VMOptions& opts) {
+  auto vm = std::make_unique<vm::VM>(this, opts);
+  RegisterHostsOn(vm.get());
+  vm::VM* raw = vm.get();
+  std::lock_guard<std::mutex> lock(vms_mu_);
+  worker_vms_.push_back(std::move(vm));
+  return raw;
+}
+
+std::vector<vm::FnSample> Universe::SnapshotProfile() const {
+  // Merge per-VM profiles by Function*: each VM's counters are monotone,
+  // so the merged (calls, steps) per function are monotone too — the
+  // delta logic in the adaptive manager stays valid.
+  std::unordered_map<const vm::Function*, vm::FnSample> merged;
+  auto fold = [&merged](vm::VM* vm) {
+    for (const vm::FnSample& s : vm->SnapshotProfile()) {
+      vm::FnSample& m = merged[s.fn];
+      m.fn = s.fn;
+      m.calls += s.calls;
+      m.steps += s.steps;
+    }
+  };
+  fold(vm_.get());
+  {
+    std::lock_guard<std::mutex> lock(vms_mu_);
+    for (const auto& w : worker_vms_) fold(w.get());
+  }
+  std::vector<vm::FnSample> out;
+  out.reserve(merged.size());
+  for (auto& [fn, s] : merged) out.push_back(s);
+  return out;
 }
 
 void Universe::AdoptService(std::unique_ptr<BackgroundService> service) {
@@ -73,6 +122,59 @@ AdaptiveCounters Universe::adaptive_counters() const {
   return out;
 }
 
+// ---- the published binding table -------------------------------------------
+
+std::shared_ptr<BindingSnapshot> Universe::CloneSnapshotLocked() const {
+  return std::make_shared<BindingSnapshot>(
+      *published_.load(std::memory_order_acquire));
+}
+
+void Universe::PublishLocked(std::shared_ptr<BindingSnapshot> next) {
+  next->generation = binding_gen_.load(std::memory_order_acquire);
+  published_.store(std::shared_ptr<const BindingSnapshot>(std::move(next)),
+                   std::memory_order_release);
+}
+
+Result<BindingSnapshot::Closure> Universe::LinkClosureLocked(
+    Oid oid, const ClosureRecord& rec) {
+  BindingSnapshot::Closure c;
+  TML_ASSIGN_OR_RETURN(c.fn, LoadCodeLocked(rec.code_oid));
+  fn_closures_[c.fn] = oid;
+  c.cap_oids.reserve(c.fn->cap_names.size());
+  for (const std::string& cap : c.fn->cap_names) {
+    Oid bound = kNullOid;
+    for (const auto& [name, boid] : rec.bindings) {
+      if (name == cap) {
+        bound = boid;
+        break;
+      }
+    }
+    if (bound == kNullOid) {
+      return Status::NotFound("closure record for " + c.fn->name +
+                              " lacks binding " + cap);
+    }
+    c.cap_oids.push_back(bound);
+  }
+  return c;
+}
+
+vm::Value Universe::MakeClosureValue(const BindingSnapshot::Closure& c,
+                                     vm::VM* vm) {
+  vm::ClosureObj* clo = vm->heap()->New<vm::ClosureObj>();
+  clo->fn = c.fn;
+  clo->caps.resize(c.cap_oids.size());
+  for (size_t i = 0; i < c.cap_oids.size(); ++i) {
+    clo->caps[i] = vm::Value::OidV(c.cap_oids[i]);
+  }
+  return vm::Value::ObjV(clo);
+}
+
+void Universe::InvalidateSwizzleAll(Oid oid) {
+  vm_->InvalidateSwizzle(oid);
+  std::lock_guard<std::mutex> lock(vms_mu_);
+  for (const auto& w : worker_vms_) w->InvalidateSwizzle(oid);
+}
+
 // ---- closure records -------------------------------------------------------
 
 std::string Universe::EncodeClosureRecord(const ClosureRecord& rec) const {
@@ -87,7 +189,8 @@ std::string Universe::EncodeClosureRecord(const ClosureRecord& rec) const {
   return out;
 }
 
-Result<Universe::ClosureRecord> Universe::LoadClosureRecord(Oid oid) const {
+Result<Universe::ClosureRecord> Universe::LoadClosureRecordLocked(
+    Oid oid) const {
   TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(oid));
   if (obj.type != store::ObjType::kClosure) {
     return Status::Invalid("OID " + std::to_string(oid) +
@@ -106,7 +209,7 @@ Result<Universe::ClosureRecord> Universe::LoadClosureRecord(Oid oid) const {
   return rec;
 }
 
-Result<const vm::Function*> Universe::LoadCode(Oid code_oid) {
+Result<const vm::Function*> Universe::LoadCodeLocked(Oid code_oid) {
   auto it = code_cache_.find(code_oid);
   if (it != code_cache_.end()) return it->second;
   TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(code_oid));
@@ -123,10 +226,15 @@ Result<const vm::Function*> Universe::LoadCode(Oid code_oid) {
 // ---- linking ---------------------------------------------------------------
 
 Status Universe::InstallStdlib() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  return InstallStdlibLocked();
+}
+
+Status Universe::InstallStdlibLocked() {
   if (modules_.count("stdlib") != 0) return Status::OK();
   ir::Module m;
   std::unordered_map<std::string, Oid> names;
+  auto next = CloneSnapshotLocked();
   for (const fe::LibraryEntry& entry : fe::StdlibEntries()) {
     auto parsed =
         ir::ParseValueText(&m, prims::StandardRegistry(), entry.tml);
@@ -154,14 +262,21 @@ Status Universe::InstallStdlib() {
                                       EncodeClosureRecord(rec)));
     fn_closures_[fn] = clo_oid;
     names[entry.name] = clo_oid;
+    TML_ASSIGN_OR_RETURN(BindingSnapshot::Closure snap_clo,
+                         LinkClosureLocked(clo_oid, rec));
+    next->closures[clo_oid] = std::move(snap_clo);
   }
+  next->modules["stdlib"] = names;
   modules_["stdlib"] = std::move(names);
   binding_gen_.fetch_add(1, std::memory_order_acq_rel);
+  PublishLocked(std::move(next));
   return Status::OK();
 }
 
 Status Universe::LoadPersistedModules() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = CloneSnapshotLocked();
+  bool changed = false;
   for (const std::string& root : store_->RootNames()) {
     if (root.rfind("module:", 0) != 0) continue;
     std::string name = root.substr(7);
@@ -179,12 +294,22 @@ Status Universe::LoadPersistedModules() {
       TML_ASSIGN_OR_RETURN(Oid oid, r.ReadVarint());
       names[fname] = oid;
     }
+    // The export table is published now; the closures behind it fault in
+    // lazily on first resolution (ResolveOidLocked republishes them).
+    next->modules[name] = names;
     modules_[name] = std::move(names);
+    changed = true;
+  }
+  // Re-attaching persisted modules rebinds names, so the generation moves —
+  // but only when something was actually loaded (idempotent reopen).
+  if (changed) {
+    binding_gen_.fetch_add(1, std::memory_order_acq_rel);
+    PublishLocked(std::move(next));
   }
   return Status::OK();
 }
 
-Result<Oid> Universe::ResolveName(
+Result<Oid> Universe::ResolveNameLocked(
     const std::string& name,
     const std::unordered_map<std::string, Oid>& unit_names) const {
   auto it = unit_names.find(name);
@@ -205,23 +330,29 @@ Status Universe::InstallSource(const std::string& name,
                                std::string_view source,
                                fe::BindingMode binding,
                                const InstallOptions& opts) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   fe::CompileOptions copts;
   copts.binding = binding;
   if (binding == fe::BindingMode::kLibrary) {
-    TML_RETURN_NOT_OK(InstallStdlib());
+    TML_RETURN_NOT_OK(InstallStdlibLocked());
   }
   TML_ASSIGN_OR_RETURN(
       fe::CompiledUnit unit,
       fe::Compile(source, prims::StandardRegistry(), copts));
-  return InstallUnit(name, unit, opts);
+  return InstallUnitLocked(name, unit, opts);
 }
 
 Status Universe::InstallUnit(const std::string& name,
                              const fe::CompiledUnit& unit,
                              const InstallOptions& opts) {
+  std::lock_guard<std::mutex> lock(mu_);
+  return InstallUnitLocked(name, unit, opts);
+}
+
+Status Universe::InstallUnitLocked(const std::string& name,
+                                   const fe::CompiledUnit& unit,
+                                   const InstallOptions& opts) {
   TML_TELEMETRY_SPAN("runtime", "runtime.install");
-  std::lock_guard<std::recursive_mutex> lock(mu_);
   if (modules_.count(name) != 0) {
     return Status::AlreadyExists("module already installed: " + name);
   }
@@ -236,6 +367,7 @@ Status Universe::InstallUnit(const std::string& name,
       return Status::AlreadyExists("duplicate function: " + fn.name);
     }
   }
+  auto next = CloneSnapshotLocked();
   for (const fe::CompiledFunction& fn : unit.functions) {
     const Abstraction* abs = fn.abs;
     ir::ValidateOptions vopts;
@@ -266,13 +398,17 @@ Status Universe::InstallUnit(const std::string& name,
     ClosureRecord rec;
     rec.code_oid = code_oid;
     for (const std::string& free_name : code->cap_names) {
-      TML_ASSIGN_OR_RETURN(Oid boid, ResolveName(free_name, unit_names));
+      TML_ASSIGN_OR_RETURN(Oid boid,
+                           ResolveNameLocked(free_name, unit_names));
       rec.bindings.emplace_back(free_name, boid);
     }
     TML_RETURN_NOT_OK(store_->Put(unit_names[fn.name],
                                   store::ObjType::kClosure,
                                   EncodeClosureRecord(rec)));
     fn_closures_[code] = unit_names[fn.name];
+    TML_ASSIGN_OR_RETURN(BindingSnapshot::Closure snap_clo,
+                         LinkClosureLocked(unit_names[fn.name], rec));
+    next->closures[unit_names[fn.name]] = std::move(snap_clo);
   }
   // Persist the module record.
   std::string mod_bytes;
@@ -284,16 +420,20 @@ Status Universe::InstallUnit(const std::string& name,
   TML_ASSIGN_OR_RETURN(Oid mod_oid, store_->Allocate(store::ObjType::kModule,
                                                      mod_bytes));
   TML_RETURN_NOT_OK(store_->SetRoot("module:" + name, mod_oid));
+  next->modules[name] = unit_names;
   modules_[name] = std::move(unit_names);
   binding_gen_.fetch_add(1, std::memory_order_acq_rel);
+  PublishLocked(std::move(next));
   return Status::OK();
 }
 
 Result<Oid> Universe::Lookup(const std::string& module,
                              const std::string& function) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  auto it = modules_.find(module);
-  if (it == modules_.end()) {
+  // Lock-free: name lookup reads the published snapshot, so worker threads
+  // resolve entry points while installs run.
+  std::shared_ptr<const BindingSnapshot> snap = CurrentSnapshot();
+  auto it = snap->modules.find(module);
+  if (it == snap->modules.end()) {
     return Status::NotFound("no module named " + module);
   }
   auto fit = it->second.find(function);
@@ -309,7 +449,7 @@ Result<vm::RunResult> Universe::Call(Oid closure_oid,
 }
 
 Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return store_->Allocate(store::ObjType::kRelation, bytes);
 }
 
@@ -318,31 +458,45 @@ Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {
 Result<bool> Universe::SwapCode(Oid target_closure, Oid optimized_closure,
                                 uint64_t expected_generation) {
   TML_TELEMETRY_SPAN("adaptive", "adaptive.swap");
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   if (binding_gen_.load(std::memory_order_acquire) != expected_generation) {
     return false;  // bindings moved since the optimization was computed
   }
   TML_ASSIGN_OR_RETURN(ClosureRecord opt_rec,
-                       LoadClosureRecord(optimized_closure));
+                       LoadClosureRecordLocked(optimized_closure));
   TML_ASSIGN_OR_RETURN(ClosureRecord target_rec,
-                       LoadClosureRecord(target_closure));
+                       LoadClosureRecordLocked(target_closure));
   (void)target_rec;  // target must exist and be a closure record
   TML_RETURN_NOT_OK(store_->Put(target_closure, store::ObjType::kClosure,
                                 EncodeClosureRecord(opt_rec)));
-  TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(opt_rec.code_oid));
-  fn_closures_[fn] = target_closure;
+  TML_ASSIGN_OR_RETURN(BindingSnapshot::Closure snap_clo,
+                       LinkClosureLocked(target_closure, opt_rec));
+  auto next = CloneSnapshotLocked();
+  next->closures[target_closure] = std::move(snap_clo);
   binding_gen_.fetch_add(1, std::memory_order_acq_rel);
-  // Drop the stale swizzle so in-flight programs re-resolve the OID to the
-  // regenerated code at their next call; frames already executing the old
-  // code finish on it safely (code objects are never freed).
-  vm_->InvalidateSwizzle(target_closure);
+  // Publish the new table BEFORE invalidating: a mutator that drains the
+  // invalidation is then guaranteed to re-resolve against a snapshot at
+  // least as new as this one (release/acquire through the epoch), so a
+  // swap is never lost.  Frames already executing the old code finish on
+  // it safely (code objects are never freed).
+  PublishLocked(std::move(next));
+  InvalidateSwizzleAll(target_closure);
   return true;
+}
+
+void Universe::InvalidateBinding(Oid oid) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto next = CloneSnapshotLocked();
+  next->closures.erase(oid);
+  binding_gen_.fetch_add(1, std::memory_order_acq_rel);
+  PublishLocked(std::move(next));
+  InvalidateSwizzleAll(oid);
 }
 
 Result<Oid> Universe::PutRootRecord(const std::string& root,
                                     store::ObjType type,
                                     std::string_view bytes) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   auto existing = store_->GetRoot(root);
   if (existing.ok() && store_->Contains(*existing)) {
     TML_RETURN_NOT_OK(store_->Put(*existing, type, bytes));
@@ -355,58 +509,76 @@ Result<Oid> Universe::PutRootRecord(const std::string& root,
 
 Result<store::StoredObject> Universe::GetRootRecord(
     const std::string& root) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   TML_ASSIGN_OR_RETURN(Oid oid, store_->GetRoot(root));
   return store_->Get(oid);
 }
 
 Status Universe::CommitStore() {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return store_->Commit();
 }
 
 std::unordered_map<const vm::Function*, Oid>
 Universe::FunctionClosureIndex() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   return fn_closures_;
 }
 
 Result<Oid> Universe::ClosureCodeOid(Oid closure_oid) const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(closure_oid));
+  std::lock_guard<std::mutex> lock(mu_);
+  TML_ASSIGN_OR_RETURN(ClosureRecord rec,
+                       LoadClosureRecordLocked(closure_oid));
   return rec.code_oid;
 }
 
 // ---- OID swizzling ----------------------------------------------------------
 
 Result<vm::Value> Universe::ResolveOid(Oid oid, vm::VM* vm) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  // Fast path — the execution path.  A published closure resolves from the
+  // immutable snapshot: one atomic shared_ptr load, no lock, no store
+  // access.  This is what lets N worker threads fault and re-swizzle
+  // concurrently while an install or code swap runs.
+  {
+    std::shared_ptr<const BindingSnapshot> snap = CurrentSnapshot();
+    auto it = snap->closures.find(oid);
+    if (it != snap->closures.end()) {
+      return MakeClosureValue(it->second, vm);
+    }
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  return ResolveOidLocked(oid, vm);
+}
+
+Result<vm::Value> Universe::ResolveOidLocked(Oid oid, vm::VM* vm) {
+  // Re-check under the lock: another thread may have faulted the closure
+  // in (and republished) while we waited.
+  {
+    std::shared_ptr<const BindingSnapshot> snap = CurrentSnapshot();
+    auto it = snap->closures.find(oid);
+    if (it != snap->closures.end()) {
+      return MakeClosureValue(it->second, vm);
+    }
+  }
   TML_ASSIGN_OR_RETURN(store::StoredObject obj, store_->Get(oid));
   switch (obj.type) {
     case store::ObjType::kClosure: {
-      TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(oid));
-      TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(rec.code_oid));
-      fn_closures_[fn] = oid;
-      vm::ClosureObj* clo = vm->heap()->New<vm::ClosureObj>();
-      clo->fn = fn;
-      clo->caps.resize(fn->cap_names.size());
-      for (size_t i = 0; i < fn->cap_names.size(); ++i) {
-        Oid bound = kNullOid;
-        for (const auto& [name, boid] : rec.bindings) {
-          if (name == fn->cap_names[i]) {
-            bound = boid;
-            break;
-          }
-        }
-        if (bound == kNullOid) {
-          return Status::NotFound("closure record for " + fn->name +
-                                  " lacks binding " + fn->cap_names[i]);
-        }
-        clo->caps[i] = vm::Value::OidV(bound);
-      }
-      return vm::Value::ObjV(clo);
+      TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecordLocked(oid));
+      TML_ASSIGN_OR_RETURN(BindingSnapshot::Closure snap_clo,
+                           LinkClosureLocked(oid, rec));
+      // Publish the faulted-in closure so every later resolution — from
+      // any VM — takes the lock-free path.  No generation bump: loading a
+      // persisted closure does not change what names are bound to.
+      auto next = CloneSnapshotLocked();
+      auto [it, inserted] = next->closures.emplace(oid, std::move(snap_clo));
+      (void)inserted;
+      vm::Value v = MakeClosureValue(it->second, vm);
+      PublishLocked(std::move(next));
+      return v;
     }
     case store::ObjType::kRelation:
+      // Relations materialize onto the calling VM's private heap — a
+      // per-VM value, nothing to publish.
       return query::RelationToHeap(obj.bytes, vm->heap());
     default:
       return Status::Invalid("OID " + std::to_string(oid) +
@@ -442,8 +614,8 @@ uint64_t HashOptimizerOptions(const ir::OptimizerOptions& o, uint64_t h) {
 
 }  // namespace
 
-Status Universe::DiscoverReflectClosures(Oid root, ReflectStats* stats,
-                                         std::vector<Discovered>* out) {
+Status Universe::DiscoverReflectClosuresLocked(Oid root, ReflectStats* stats,
+                                               std::vector<Discovered>* out) {
   TML_TELEMETRY_SPAN("reflect", "reflect.discover");
   // Discover all transitively reachable closures that carry PTML — the
   // single mutually recursive scope of §4.1.  Non-PTML objects (relations,
@@ -462,8 +634,9 @@ Status Universe::DiscoverReflectClosures(Oid root, ReflectStats* stats,
       if (stats != nullptr) ++stats->opaque_bindings;
       continue;
     }
-    TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecord(oid));
-    TML_ASSIGN_OR_RETURN(const vm::Function* fn, LoadCode(rec.code_oid));
+    TML_ASSIGN_OR_RETURN(ClosureRecord rec, LoadClosureRecordLocked(oid));
+    TML_ASSIGN_OR_RETURN(const vm::Function* fn,
+                         LoadCodeLocked(rec.code_oid));
     if (fn->ptml_oid == kNullOid) {
       if (stats != nullptr) ++stats->opaque_bindings;
       continue;
@@ -502,7 +675,7 @@ uint64_t Universe::FingerprintReflect(
   return HashOptimizerOptions(opts, h);
 }
 
-Result<const Abstraction*> Universe::BuildReflectTerm(
+Result<const Abstraction*> Universe::BuildReflectTermLocked(
     ir::Module* m, Oid root, const std::vector<Discovered>& discovered,
     ReflectStats* stats) {
   TML_TELEMETRY_SPAN("reflect", "reflect.build");
@@ -612,13 +785,14 @@ Result<const Abstraction*> Universe::BuildReflectTerm(
 Result<const Abstraction*> Universe::ReflectTerm(Oid closure_oid,
                                                  ir::Module* m,
                                                  ReflectStats* stats) {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   std::vector<Discovered> discovered;
-  TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
-  return BuildReflectTerm(m, closure_oid, discovered, stats);
+  TML_RETURN_NOT_OK(
+      DiscoverReflectClosuresLocked(closure_oid, stats, &discovered));
+  return BuildReflectTermLocked(m, closure_oid, discovered, stats);
 }
 
-Status Universe::EnsureReflectCacheLoaded() {
+Status Universe::EnsureReflectCacheLoadedLocked() {
   if (reflect_cache_loaded_) return Status::OK();
   reflect_cache_loaded_ = true;
   auto root = store_->GetRoot(store::kReflectCacheRoot);
@@ -627,6 +801,10 @@ Status Universe::EnsureReflectCacheLoaded() {
   // The cache is advisory: a missing, retyped, quarantined-by-salvage, or
   // undecodable index record degrades to an empty cache (the next miss
   // rewrites it) rather than making reflection unavailable.
+  //
+  // Registry cells are pinned for the process lifetime (the registry is a
+  // leaked singleton and Reset() zeroes in place), so caching the pointer
+  // is safe even across telemetry resets.
   static telemetry::Counter* degraded =
       telemetry::Registry::Global().GetCounter(
           "tml.reflect.cache_corrupt_degrades");
@@ -646,7 +824,7 @@ Status Universe::EnsureReflectCacheLoaded() {
   return Status::OK();
 }
 
-Status Universe::PersistReflectCache() {
+Status Universe::PersistReflectCacheLocked() {
   std::vector<store::ReflectCacheEntry> entries;
   entries.reserve(reflect_cache_.size());
   for (const auto& [fp, e] : reflect_cache_) entries.push_back(e);
@@ -691,10 +869,11 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
       telemetry::Registry::Global().GetHistogram("tml.reflect.latency_us");
   const uint64_t start_ns = telemetry::Tracer::NowNs();
   runs->Increment();
-  std::lock_guard<std::recursive_mutex> lock(mu_);
-  TML_RETURN_NOT_OK(EnsureReflectCacheLoaded());
+  std::lock_guard<std::mutex> lock(mu_);
+  TML_RETURN_NOT_OK(EnsureReflectCacheLoadedLocked());
   std::vector<Discovered> discovered;
-  TML_RETURN_NOT_OK(DiscoverReflectClosures(closure_oid, stats, &discovered));
+  TML_RETURN_NOT_OK(
+      DiscoverReflectClosuresLocked(closure_oid, stats, &discovered));
   uint64_t fp = FingerprintReflect(discovered, opts);
   auto hit = reflect_cache_.find(fp);
   if (hit != reflect_cache_.end()) {
@@ -718,8 +897,9 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
 
   auto module = std::make_unique<ir::Module>();
   ir::Module* m = module.get();
-  TML_ASSIGN_OR_RETURN(const Abstraction* wrapped,
-                       BuildReflectTerm(m, closure_oid, discovered, stats));
+  TML_ASSIGN_OR_RETURN(
+      const Abstraction* wrapped,
+      BuildReflectTermLocked(m, closure_oid, discovered, stats));
   if (stats != nullptr) {
     stats->input_term_size = 1 + ir::TermSize(wrapped->body());
   }
@@ -759,9 +939,18 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
                        store_->Allocate(store::ObjType::kClosure,
                                         EncodeClosureRecord(rec)));
   fn_closures_[code] = clo_oid;
+  // Publish the regenerated closure (no caps, no generation change — it
+  // binds no new names) so calls to it take the lock-free path.
+  {
+    BindingSnapshot::Closure snap_clo;
+    snap_clo.fn = code;
+    auto next = CloneSnapshotLocked();
+    next->closures[clo_oid] = std::move(snap_clo);
+    PublishLocked(std::move(next));
+  }
   reflect_cache_[fp] =
       store::ReflectCacheEntry{fp, clo_oid, code_oid, ptml_oid};
-  TML_RETURN_NOT_OK(PersistReflectCache());
+  TML_RETURN_NOT_OK(PersistReflectCacheLocked());
   if (stats != nullptr) {
     stats->cache_bytes = store_->live_bytes(store::ObjType::kReflectCache);
   }
@@ -771,7 +960,7 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
 }
 
 Universe::SizeReport Universe::Sizes() const {
-  std::lock_guard<std::recursive_mutex> lock(mu_);
+  std::lock_guard<std::mutex> lock(mu_);
   SizeReport r;
   r.code_bytes = store_->live_bytes(store::ObjType::kCode);
   r.ptml_bytes = store_->live_bytes(store::ObjType::kPtml);

@@ -1,8 +1,9 @@
 // The runtime system: persistent modules, linking, and the reflective
 // optimizer (paper §4.1, Fig. 3).
 //
-// A Universe ties together an object store and a TVM.  Compilation units
-// are installed as persistent modules: for every function the store holds
+// A Universe ties together an object store and one or more TVMs.
+// Compilation units are installed as persistent modules: for every function
+// the store holds
 //
 //   kCode     — serialized TVM bytecode (with nested subfunctions),
 //   kPtml     — the compact persistent TML tree the back end attaches,
@@ -19,6 +20,16 @@
 // transitive reachability) all contributing declarations into one scope,
 // run the ordinary TML optimizer across the collapsed abstraction barriers,
 // regenerate code and link it into the running program.
+//
+// Concurrency model (DESIGN.md §9): the universe is read-mostly.  All
+// execution-path reads — Lookup, OID resolution, code fetch — go through an
+// immutable BindingSnapshot published with an atomic shared_ptr swap
+// (RCU-style), so N worker VMs call through the shared binding table
+// without taking any lock.  Mutations (module installs, ReflectOptimize,
+// SwapCode, store commits, snapshot fault-ins) serialize on one small
+// non-recursive writer mutex `mu_`, mutate a private copy of the snapshot,
+// and publish it; `binding_gen_` names each semantic binding state so the
+// adaptive optimizer can reject installs computed against stale bindings.
 
 #ifndef TML_RUNTIME_UNIVERSE_H_
 #define TML_RUNTIME_UNIVERSE_H_
@@ -70,7 +81,7 @@ struct ReflectStats {
 /// A background worker attached to a Universe (the adaptive optimization
 /// manager lives behind this interface so the runtime library does not
 /// depend on src/adaptive).  The Universe stops and destroys adopted
-/// services before tearing down the VM and its store references.
+/// services before tearing down the VMs and their store references.
 class BackgroundService {
  public:
   virtual ~BackgroundService() = default;
@@ -117,6 +128,32 @@ struct AtomicAdaptiveCounters {
   AdaptiveCell profile_persists;
 };
 
+/// The read-mostly published code/binding table: one immutable snapshot of
+/// everything the execution path needs — module export tables plus, per
+/// published closure OID, the linked code and its capture bindings in
+/// `fn->cap_names` order.  Readers load the current snapshot with one
+/// atomic shared_ptr load and never take the writer lock; writers copy,
+/// mutate and republish under `mu_`.  A snapshot is never mutated after
+/// publication.
+struct BindingSnapshot {
+  /// binding_generation() at publish time (fault-ins republish without a
+  /// bump; installs/swaps bump first, then publish).
+  uint64_t generation = 0;
+
+  struct Closure {
+    const vm::Function* fn = nullptr;
+    /// Capture OIDs ordered like fn->cap_names (pre-resolved at publish so
+    /// the reader builds a ClosureObj without a by-name search).
+    std::vector<Oid> cap_oids;
+  };
+
+  /// module name -> (function name -> closure oid)
+  std::unordered_map<std::string, std::unordered_map<std::string, Oid>>
+      modules;
+  /// closure OID -> linked code + captures, for lock-free OID resolution.
+  std::unordered_map<Oid, Closure> closures;
+};
+
 class Universe : public vm::RuntimeEnv {
  public:
   explicit Universe(store::ObjectStore* store);
@@ -124,6 +161,23 @@ class Universe : public vm::RuntimeEnv {
 
   vm::VM* vm() { return vm_.get(); }
   store::ObjectStore* object_store() { return store_; }
+
+  /// Create an additional worker VM bound to this universe.  Worker VMs
+  /// share the published binding table and the store, but own a private
+  /// heap, swizzle cache and per-function profile, so each worker thread
+  /// executes without touching another worker's state.  The returned VM is
+  /// owned by the universe (destroyed in ~Universe) and must only be used
+  /// from one thread at a time.  Thread-safe.
+  ///
+  /// Worker VMs default to batched telemetry publication
+  /// (VMOptions::telemetry_batch_steps) so the registry's shared counters
+  /// stay off the multi-thread hot path.
+  vm::VM* AddWorkerVm();
+  vm::VM* AddWorkerVm(const vm::VMOptions& opts);
+
+  /// Merged per-function execution profile across the primary VM and every
+  /// worker VM (the adaptive optimizer feeds on this).  Thread-safe.
+  std::vector<vm::FnSample> SnapshotProfile() const;
 
   /// Install the standard library module ("stdlib") used by kLibrary-mode
   /// code; idempotent.
@@ -145,11 +199,14 @@ class Universe : public vm::RuntimeEnv {
   Status InstallUnit(const std::string& name, const fe::CompiledUnit& unit,
                      const InstallOptions& opts = {});
 
-  /// Closure OID of `module.function`.
+  /// Closure OID of `module.function`.  Lock-free: reads the published
+  /// snapshot, so it is safe (and cheap) to call from any worker thread
+  /// while installs run.
   Result<Oid> Lookup(const std::string& module,
                      const std::string& function) const;
 
-  /// Call a persistent function by closure OID.
+  /// Call a persistent function by closure OID (on the primary VM; worker
+  /// threads call their own AddWorkerVm() instance directly).
   Result<vm::RunResult> Call(Oid closure_oid,
                              std::span<const vm::Value> args);
 
@@ -197,13 +254,20 @@ class Universe : public vm::RuntimeEnv {
 
   /// Atomically install the code of `optimized_closure` as the code of
   /// `target_closure`: the target's closure record is rewritten to point at
-  /// the regenerated code record and the VM's swizzle cache entry for the
-  /// target is invalidated, so in-flight programs pick up the optimized
-  /// version at their next call through the OID — no restart.  Returns
-  /// false (and installs nothing) when binding_generation() no longer
-  /// equals `expected_generation`.
+  /// the regenerated code record, the published snapshot entry is replaced,
+  /// and every VM's swizzle cache entry for the target is invalidated, so
+  /// in-flight programs pick up the optimized version at their next call
+  /// through the OID — no restart.  Returns false (and installs nothing)
+  /// when binding_generation() no longer equals `expected_generation`.
   Result<bool> SwapCode(Oid target_closure, Oid optimized_closure,
                         uint64_t expected_generation);
+
+  /// Drop the published snapshot entry and every VM's cached swizzle for
+  /// `oid` after out-of-band surgery on its closure record (store tools,
+  /// salvage, tests): the next resolution re-reads the record from the
+  /// store and republishes it.  Bumps the binding generation — the
+  /// binding's meaning changed, so in-flight optimizations are stale.
+  void InvalidateBinding(Oid oid);
 
   /// Thread-safe root-anchored record access for background services
   /// (e.g. the kProfile hotness record).  PutRootRecord allocates on first
@@ -211,7 +275,7 @@ class Universe : public vm::RuntimeEnv {
   Result<Oid> PutRootRecord(const std::string& root, store::ObjType type,
                             std::string_view bytes);
   Result<store::StoredObject> GetRootRecord(const std::string& root) const;
-  /// Commit the store under the universe lock.
+  /// Commit the store under the writer lock.
   Status CommitStore();
 
   /// Snapshot of the Function* -> closure OID mapping for every function
@@ -222,7 +286,7 @@ class Universe : public vm::RuntimeEnv {
   Result<Oid> ClosureCodeOid(Oid closure_oid) const;
 
   /// Adopt a background worker; it is stopped and destroyed first in
-  /// ~Universe, while the store and VM are still alive.
+  /// ~Universe, while the store and VMs are still alive.
   void AdoptService(std::unique_ptr<BackgroundService> service);
 
   /// Live counter cells for the manager; consistent-enough snapshot for
@@ -244,7 +308,7 @@ class Universe : public vm::RuntimeEnv {
 
   /// One coherent view of the whole observability surface: the global
   /// metrics registry plus this universe's adaptive counters and store
-  /// footprint.  Safe to call from any thread while the mutator and the
+  /// footprint.  Safe to call from any thread while the mutators and the
   /// adaptive worker run.
   struct TelemetryReport {
     std::vector<telemetry::MetricSample> metrics;
@@ -258,6 +322,11 @@ class Universe : public vm::RuntimeEnv {
   TelemetryReport TelemetrySnapshot() const;
 
   // vm::RuntimeEnv:
+  //
+  // The hot path: a published closure OID resolves from the snapshot with
+  // no lock.  Unpublished OIDs (persisted closures not yet faulted in,
+  // relations) fall back to the writer lock; faulted-in closures are
+  // republished so every later resolution — from any VM — is lock-free.
   Result<vm::Value> ResolveOid(Oid oid, vm::VM* vm) override;
 
  private:
@@ -266,12 +335,48 @@ class Universe : public vm::RuntimeEnv {
     std::vector<std::pair<std::string, Oid>> bindings;
   };
 
-  Result<ClosureRecord> LoadClosureRecord(Oid oid) const;
+  // ---- writer-side helpers (call with mu_ held; `mu_` is NOT recursive,
+  // so none of these may call a locking public entry point) ----
+
+  Status InstallStdlibLocked();
+  Status InstallUnitLocked(const std::string& name,
+                           const fe::CompiledUnit& unit,
+                           const InstallOptions& opts);
+  Result<ClosureRecord> LoadClosureRecordLocked(Oid oid) const;
   std::string EncodeClosureRecord(const ClosureRecord& rec) const;
-  Result<const vm::Function*> LoadCode(Oid code_oid);
-  Result<Oid> ResolveName(const std::string& name,
-                          const std::unordered_map<std::string, Oid>&
-                              unit_names) const;
+  Result<const vm::Function*> LoadCodeLocked(Oid code_oid);
+  Result<Oid> ResolveNameLocked(const std::string& name,
+                                const std::unordered_map<std::string, Oid>&
+                                    unit_names) const;
+  Result<vm::Value> ResolveOidLocked(Oid oid, vm::VM* vm);
+
+  /// Link `rec` into a snapshot closure entry: load its code and resolve
+  /// the capture bindings into fn->cap_names order (also records the
+  /// Function* -> OID attribution).
+  Result<BindingSnapshot::Closure> LinkClosureLocked(Oid oid,
+                                                     const ClosureRecord& rec);
+
+  /// Copy-on-write of the published snapshot: mutate the returned copy,
+  /// then PublishLocked() it.  Bump binding_gen_ BEFORE publishing when the
+  /// change is semantic (install/swap); fault-ins publish without a bump.
+  std::shared_ptr<BindingSnapshot> CloneSnapshotLocked() const;
+  void PublishLocked(std::shared_ptr<BindingSnapshot> next);
+
+  /// Current snapshot (readers; one atomic load, never null).
+  std::shared_ptr<const BindingSnapshot> CurrentSnapshot() const {
+    return published_.load(std::memory_order_acquire);
+  }
+
+  /// Build a heap closure value on `vm` from a published snapshot entry.
+  static vm::Value MakeClosureValue(const BindingSnapshot::Closure& c,
+                                    vm::VM* vm);
+
+  /// Register the universe's host functions (`reflect.stats`, ...) on a VM.
+  void RegisterHostsOn(vm::VM* vm);
+
+  /// Drop the swizzle-cache entry for `oid` on the primary and every
+  /// worker VM (call after a publish so re-resolution sees the new table).
+  void InvalidateSwizzleAll(Oid oid);
 
   // Reflection helpers.
   //
@@ -285,27 +390,33 @@ class Universe : public vm::RuntimeEnv {
     const vm::Function* fn = nullptr;  // deserialized code (ptml_oid != 0)
     std::string ptml_bytes;            // raw PTML record, not yet decoded
   };
-  Status DiscoverReflectClosures(Oid root, ReflectStats* stats,
-                                 std::vector<Discovered>* out);
+  Status DiscoverReflectClosuresLocked(Oid root, ReflectStats* stats,
+                                       std::vector<Discovered>* out);
   uint64_t FingerprintReflect(const std::vector<Discovered>& discovered,
                               const ir::OptimizerOptions& opts) const;
-  Result<const ir::Abstraction*> BuildReflectTerm(
+  Result<const ir::Abstraction*> BuildReflectTermLocked(
       ir::Module* m, Oid root, const std::vector<Discovered>& discovered,
       ReflectStats* stats);
-  Status EnsureReflectCacheLoaded();
-  Status PersistReflectCache();
+  Status EnsureReflectCacheLoadedLocked();
+  Status PersistReflectCacheLocked();
 
-  // Serializes every store_/code_cache_/module-table access so a
-  // background optimization worker and the mutator thread (whose VM
-  // re-enters through ResolveOid while executing) can share the universe.
-  // Recursive because the public entry points compose (InstallSource ->
-  // InstallStdlib -> InstallUnit, ReflectOptimize -> LoadCode, ...).
-  // Call() deliberately does NOT hold it: the VM runs unlocked and only
-  // its swizzle faults re-enter the lock.
-  mutable std::recursive_mutex mu_;
+  // The writer-side mutex.  Serializes every store_/code_cache_/module-
+  // table MUTATION (installs, reflect-optimize, code swaps, store commits,
+  // root records) and the snapshot fault-in slow path.  Deliberately
+  // non-recursive: public entry points lock exactly once and compose
+  // through the *Locked helpers, so no re-entrancy path can hide here.
+  // The execution path (Lookup / published-OID resolution / Call) never
+  // takes it — readers go through the published BindingSnapshot.
+  mutable std::mutex mu_;
 
   store::ObjectStore* store_;
   std::unique_ptr<vm::VM> vm_;
+  /// Additional per-worker VMs (AddWorkerVm); guarded by vms_mu_, which
+  /// nests inside mu_ (SwapCode broadcasts invalidations) and is also
+  /// taken alone by SnapshotProfile/AddWorkerVm.
+  mutable std::mutex vms_mu_;
+  std::vector<std::unique_ptr<vm::VM>> worker_vms_;
+
   vm::CodeUnit code_unit_;
   std::unordered_map<Oid, const vm::Function*> code_cache_;
   /// Function* -> closure OID, for mapping VM profile samples back to
@@ -314,7 +425,8 @@ class Universe : public vm::RuntimeEnv {
   /// Keeps reflected IR modules alive (their terms back compiled code
   /// metadata such as names).
   std::vector<std::unique_ptr<ir::Module>> reflected_modules_;
-  /// module name -> (function name -> closure oid)
+  /// module name -> (function name -> closure oid); the writer-side master
+  /// copy mirrored into every published snapshot.
   std::unordered_map<std::string,
                      std::unordered_map<std::string, Oid>>
       modules_;
@@ -325,6 +437,10 @@ class Universe : public vm::RuntimeEnv {
   std::unordered_map<uint64_t, store::ReflectCacheEntry> reflect_cache_;
   Oid reflect_cache_oid_ = kNullOid;
   bool reflect_cache_loaded_ = false;
+
+  /// The published read-mostly table.  Writers store under mu_; readers
+  /// load without any lock.  Never null after construction.
+  std::atomic<std::shared_ptr<const BindingSnapshot>> published_;
 
   std::atomic<uint64_t> binding_gen_{0};
   AtomicAdaptiveCounters adaptive_counters_;

@@ -18,6 +18,11 @@ uint64_t Histogram::count() const {
   return n;
 }
 
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
 namespace {
 
 /// Canonical full name: name{k1=v1,k2=v2} with labels sorted by key, so the
@@ -44,6 +49,23 @@ std::string FullName(std::string_view name, const Labels& labels) {
 Registry& Registry::Global() {
   static Registry* r = new Registry();  // leaked: outlives static dtors
   return *r;
+}
+
+void Registry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [key, cell] : cells_) {
+    switch (cell.kind) {
+      case MetricKind::kCounter:
+        cell.counter->Reset();
+        break;
+      case MetricKind::kGauge:
+        cell.gauge->Reset();
+        break;
+      case MetricKind::kHistogram:
+        cell.histogram->Reset();
+        break;
+    }
+  }
 }
 
 Registry::Cell* Registry::FindOrCreate(std::string_view name,

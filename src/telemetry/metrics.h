@@ -42,6 +42,8 @@ class Counter {
   void Add(uint64_t n) { v_.fetch_add(n, std::memory_order_relaxed); }
   void Increment() { Add(1); }
   uint64_t value() const { return v_.load(std::memory_order_relaxed); }
+  /// Zero in place (Registry::Reset); the cell itself stays alive.
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<uint64_t> v_{0};
@@ -52,6 +54,7 @@ class Gauge {
   void Set(int64_t v) { v_.store(v, std::memory_order_relaxed); }
   void Add(int64_t d) { v_.fetch_add(d, std::memory_order_relaxed); }
   int64_t value() const { return v_.load(std::memory_order_relaxed); }
+  void Reset() { v_.store(0, std::memory_order_relaxed); }
 
  private:
   std::atomic<int64_t> v_{0};
@@ -69,6 +72,7 @@ class Histogram {
   uint64_t bucket(int i) const {
     return buckets_[i].load(std::memory_order_relaxed);
   }
+  void Reset();
 
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
@@ -96,10 +100,24 @@ struct MetricSample {
 /// dotted lowercase path "tml.<layer>.<what>", unit suffix for non-counts
 /// (_bytes, _us), labels for the dimension that would otherwise explode
 /// the name (rule=, type=).
+///
+/// Lifetime contract: the global registry is a deliberately leaked
+/// singleton, and registered cells are NEVER destroyed or erased — Reset()
+/// zeroes values in place.  Call sites (including background threads: the
+/// adaptive worker, VM telemetry publication) may therefore cache a
+/// Counter*/Gauge*/Histogram* forever; a reset between a cache fill and a
+/// later bump cannot dangle the pointer.
 class Registry {
  public:
   /// The singleton every instrumentation site uses.
   static Registry& Global();
+
+  /// Zero every registered metric IN PLACE.  Cells stay alive at the same
+  /// addresses, so pointers cached by concurrent threads remain valid and
+  /// their next update simply lands in the zeroed cell — safe to call
+  /// while background workers are still bumping counters (tests use this
+  /// to isolate suites).
+  void Reset();
 
   /// Find-or-create; the pointer is stable for the process lifetime.
   Counter* GetCounter(std::string_view name, const Labels& labels = {});

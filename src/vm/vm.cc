@@ -117,6 +117,12 @@ VM::VM(RuntimeEnv* env, VMOptions opts) : env_(env), opts_(opts) {
                });
 }
 
+VM::~VM() {
+  // A batching VM (telemetry_batch_steps > 0) may hold unpublished tallies;
+  // flush them so the registry totals stay exact across worker teardown.
+  PublishTelemetry();
+}
+
 void VM::RegisterHost(const std::string& name, HostFn fn) {
   hosts_[name] = std::move(fn);
 }
@@ -269,7 +275,7 @@ Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
   auto v = Execute(base, &raised);
   // Publish telemetry deltas only at the outermost run boundary, so nested
   // RunClosure calls (query predicates) cost nothing extra.
-  if (base == 0) PublishTelemetry();
+  if (base == 0) MaybePublishTelemetry();
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);
@@ -287,7 +293,7 @@ Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
   TML_RETURN_NOT_OK(PushFrame(callee, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
-  if (base == 0) PublishTelemetry();
+  if (base == 0) MaybePublishTelemetry();
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);

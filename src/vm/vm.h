@@ -51,6 +51,13 @@ struct VMOptions {
   /// instruction plus one relaxed atomic add per call/return, so it is
   /// cheap enough to leave on; the adaptive optimizer feeds on it.
   bool profile = true;
+  /// Batch the publication of mutator-local telemetry tallies to the
+  /// shared registry counters.  0 (the default) publishes at every
+  /// outermost run boundary — the single-threaded semantics tests rely on
+  /// ("one completed Call() is already visible").  Worker VMs set a large
+  /// batch so N threads don't contend on the same four atomic counters at
+  /// every call; the remainder is flushed by ~VM().
+  uint64_t telemetry_batch_steps = 0;
 };
 
 struct RunResult {
@@ -79,6 +86,8 @@ struct FnSample {
 class VM {
  public:
   explicit VM(RuntimeEnv* env = nullptr, VMOptions opts = {});
+  /// Flushes any batched telemetry remainder (see telemetry_batch_steps).
+  ~VM();
 
   Heap* heap() { return &heap_; }
 
@@ -174,6 +183,13 @@ class VM {
   /// run boundaries so the hot interpreter loop never touches an atomic
   /// beyond the existing profile counters.
   void PublishTelemetry();
+  /// Publish at an outermost run boundary, honoring the batch threshold.
+  void MaybePublishTelemetry() {
+    if (opts_.telemetry_batch_steps == 0 ||
+        total_steps_ - published_steps_ >= opts_.telemetry_batch_steps) {
+      PublishTelemetry();
+    }
+  }
 
   RuntimeEnv* env_;
   VMOptions opts_;

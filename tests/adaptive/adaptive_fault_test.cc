@@ -185,5 +185,72 @@ TEST(AdaptiveFaults, PoisonedStoreParksWorkerProcessKeepsServing) {
   m.Stop();
 }
 
+// Satellite regression: a parked worker used to be stuck forever — nothing
+// ever cleared parked_, and Start() without a Stop() refused to re-arm the
+// still-joinable exited thread.  Now a successful explicit PollOnce (the
+// "store recovered" signal) un-parks and relaunches the background worker.
+TEST(AdaptiveFaults, SuccessfulPollUnparksRecoveredWorker) {
+  // Sticky *write* faults, not a poisoned store: PersistProfile fails at
+  // the record Put and returns before CommitStore, so no fsync ever runs
+  // while the disk is down and the store never poisons.  That is exactly
+  // the recoverable-in-process scenario Unpark exists for.
+  FaultVfs::Options vopts;
+  vopts.sticky = true;
+  vopts.fault_errno = 28;  // ENOSPC
+  FaultVfs vfs(vopts);
+  auto s = ObjectStore::Open(kPath, Salvage(&vfs));
+  ASSERT_TRUE(s.ok());
+  Universe u(s->get());
+  ASSERT_OK(InstallComplexApp(&u));
+  Oid cabs = *u.Lookup("app", "cabs");
+  ASSERT_OK((*s)->Commit());
+
+  AdaptiveOptions opts = TestOptions();
+  opts.poll_interval = std::chrono::milliseconds(1);
+  opts.max_poll_backoff = std::chrono::milliseconds(8);
+  opts.park_after_failures = 3;
+  // Keep the promotion policy quiet so the profile persist is the only
+  // write each poll issues (promotion work absorbs faults non-fatally).
+  opts.policy.hot_steps = 1u << 30;
+  opts.policy.min_calls = 1u << 30;
+  AdaptiveManager m(&u, opts);
+
+  DriveCalls(&u, cabs, 50);
+  vfs.SetFailAfterOps(0);
+  m.Start();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (!m.parked() && std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  ASSERT_TRUE(m.parked()) << "worker must park on a persistently bad disk";
+
+  // The disk recovers.  Nothing un-parks by itself...
+  vfs.ClearFaults();
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  EXPECT_TRUE(m.parked()) << "recovery alone must not silently resume";
+
+  // ...but a successful explicit poll proves the store answers and
+  // re-arms the background worker.
+  DriveCalls(&u, cabs, 10);
+  ASSERT_OK(m.PollOnce());
+  EXPECT_FALSE(m.parked()) << "a good poll must un-park the worker";
+
+  // The revived worker really polls again on its own.
+  uint64_t polls_before = u.adaptive_counters().polls;
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (u.adaptive_counters().polls <= polls_before &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  EXPECT_GT(u.adaptive_counters().polls, polls_before)
+      << "the background thread must be live again";
+  m.Stop();
+
+  // And the heat finally reached the disk.
+  auto rec = u.GetRootRecord(adaptive::kProfileRoot);
+  ASSERT_TRUE(rec.ok()) << rec.status().ToString();
+  EXPECT_EQ(rec->type, ObjType::kProfile);
+}
+
 }  // namespace
 }  // namespace tml

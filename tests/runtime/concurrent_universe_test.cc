@@ -1,0 +1,267 @@
+// The new concurrency surface of the un-serialized Universe: N mutator
+// threads call through the published binding table (each on its own
+// AddWorkerVm instance, lock-free snapshot reads) while writers install
+// modules and swap code.  Invariants under test:
+//
+//   * calls never fail, raise, or compute a wrong answer during installs
+//     and swaps (the snapshot a reader holds is always complete);
+//   * swaps are never lost — after SwapCode returns true every worker
+//     observes the optimized code within at most one further call;
+//   * binding_generation() is monotone under concurrent installs/swaps;
+//   * a live AdaptiveManager promoting in the background coexists with
+//     the mutators (the end-to-end shape of bench_concurrent).
+//
+// Run under tools/check.sh --tsan (the suite name matches the Concurrent
+// regex) as well as in the tier-1 build.
+
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "runtime/universe.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using rt::Universe;
+using vm::Value;
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end";
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+void InstallComplexApp(Universe* u) {
+  ASSERT_OK(
+      u->InstallSource("complex", kComplexSrc, fe::BindingMode::kLibrary));
+  ASSERT_OK(u->InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+}
+
+// One worker thread's call loop: make a 3-4-5 argument on the worker's own
+// heap, then hammer cabs.  Any failure/raise/wrong answer is counted, and
+// the steps of the most recent call are exported so the main thread can
+// watch a code swap propagate.
+void MutatorLoop(vm::VM* w, Oid make, Oid cabs,
+                 const std::atomic<bool>* stop, std::atomic<int>* failures,
+                 std::atomic<uint64_t>* last_steps,
+                 std::atomic<uint64_t>* calls_done) {
+  Value margs[] = {Value::Int(3), Value::Int(4)};
+  auto c = w->RunClosure(Value::OidV(make), margs);
+  if (!c.ok() || c->raised) {
+    failures->fetch_add(1);
+    return;
+  }
+  w->Pin(c->value);  // root the argument against the worker's private GC
+  Value cargs[] = {c->value};
+  while (!stop->load(std::memory_order_acquire)) {
+    auto r = w->RunClosure(Value::OidV(cabs), cargs);
+    if (!r.ok() || r->raised || r->value.r != 5.0) {
+      failures->fetch_add(1);
+      return;
+    }
+    last_steps->store(r->steps, std::memory_order_release);
+    calls_done->fetch_add(1, std::memory_order_acq_rel);
+  }
+}
+
+TEST(ConcurrentUniverse, LookupsAndCallsSurviveConcurrentInstalls) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallComplexApp(&u);
+  Oid make = *u.Lookup("complex", "make");
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> last_steps[kThreads] = {};
+  std::atomic<uint64_t> calls_done[kThreads] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    vm::VM* w = u.AddWorkerVm();
+    threads.emplace_back(MutatorLoop, w, make, cabs, &stop, &failures,
+                         &last_steps[t], &calls_done[t]);
+  }
+
+  // Writer side: keep installing fresh modules (each bumps the binding
+  // generation and republishes the snapshot) while lookups run hot.
+  uint64_t gen0 = u.binding_generation();
+  for (int i = 0; i < 20; ++i) {
+    std::string name = "late" + std::to_string(i);
+    ASSERT_OK(u.InstallSource(name,
+                              "fun one() = " + std::to_string(i) + " end",
+                              fe::BindingMode::kLibrary));
+    ASSERT_TRUE(u.Lookup(name, "one").ok());
+    ASSERT_TRUE(u.Lookup("app", "cabs").ok())
+        << "existing bindings stay visible mid-install";
+  }
+  EXPECT_EQ(u.binding_generation(), gen0 + 20);
+
+  // Let every worker prove it made progress after the last install.
+  uint64_t marks[kThreads];
+  for (int t = 0; t < kThreads; ++t) marks[t] = calls_done[t].load();
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int t = 0; t < kThreads; ++t) {
+    while (failures.load() == 0 && calls_done[t].load() <= marks[t] &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0) << "no call may fail during installs";
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_GT(calls_done[t].load(), marks[t]);
+  }
+}
+
+TEST(ConcurrentUniverse, SwapIsNeverLostAcrossWorkers) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallComplexApp(&u);
+  Oid make = *u.Lookup("complex", "make");
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> last_steps[kThreads] = {};
+  std::atomic<uint64_t> calls_done[kThreads] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    vm::VM* w = u.AddWorkerVm();
+    threads.emplace_back(MutatorLoop, w, make, cabs, &stop, &failures,
+                         &last_steps[t], &calls_done[t]);
+  }
+
+  // Baseline: wait until every worker has published an unoptimized step
+  // count.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  for (int t = 0; t < kThreads; ++t) {
+    while (last_steps[t].load(std::memory_order_acquire) == 0 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    ASSERT_GT(last_steps[t].load(), 0u) << "worker " << t << " never ran";
+  }
+  uint64_t unopt_steps = last_steps[0].load(std::memory_order_acquire);
+
+  auto optimized = u.ReflectOptimize(cabs);
+  ASSERT_TRUE(optimized.ok()) << optimized.status().ToString();
+  uint64_t gen = u.binding_generation();
+  auto swapped = u.SwapCode(cabs, *optimized, gen);
+  ASSERT_TRUE(swapped.ok()) << swapped.status().ToString();
+  ASSERT_TRUE(*swapped);
+  EXPECT_GT(u.binding_generation(), gen) << "a swap moves the generation";
+
+  // The no-lost-swap guarantee: every worker's calls drop below the
+  // unoptimized step count (at most one in-flight stale call, then the
+  // drained invalidation forces re-resolution against the new snapshot).
+  deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  bool all_optimized = false;
+  while (!all_optimized && failures.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    all_optimized = true;
+    for (int t = 0; t < kThreads; ++t) {
+      uint64_t steps = last_steps[t].load(std::memory_order_acquire);
+      if (steps == 0 || steps >= unopt_steps) all_optimized = false;
+    }
+    if (!all_optimized) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_TRUE(all_optimized)
+      << "every worker must pick up the swapped code — a swap was lost";
+}
+
+TEST(ConcurrentUniverse, GenerationMonotoneUnderAdaptiveWriter) {
+  auto s = MemStore();
+  Universe u(s.get());
+  InstallComplexApp(&u);
+  Oid make = *u.Lookup("complex", "make");
+  Oid cabs = *u.Lookup("app", "cabs");
+
+  // An aggressive real adaptive manager as the background writer.
+  AdaptiveOptions aopts;
+  aopts.poll_interval = std::chrono::milliseconds(1);
+  aopts.policy.hot_steps = 200;
+  aopts.policy.min_calls = 2;
+  aopts.policy.decay = 1.0;
+  aopts.persist_profile = false;
+  AdaptiveManager m(&u, aopts);
+  m.Start();
+
+  constexpr int kThreads = 4;
+  std::atomic<bool> stop{false};
+  std::atomic<int> failures{0};
+  std::atomic<uint64_t> last_steps[kThreads] = {};
+  std::atomic<uint64_t> calls_done[kThreads] = {};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    vm::VM* w = u.AddWorkerVm();
+    threads.emplace_back(MutatorLoop, w, make, cabs, &stop, &failures,
+                         &last_steps[t], &calls_done[t]);
+  }
+
+  // Observer: the generation must never run backwards while the adaptive
+  // worker promotes and swaps underneath the mutators.
+  std::atomic<bool> monotone{true};
+  std::thread observer([&] {
+    uint64_t prev = u.binding_generation();
+    while (!stop.load(std::memory_order_acquire)) {
+      uint64_t cur = u.binding_generation();
+      if (cur < prev) monotone.store(false, std::memory_order_release);
+      prev = cur;
+    }
+  });
+
+  // Run until the adaptive writer has actually promoted (the interesting
+  // interleaving), bounded by a deadline on slow machines.
+  auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(10);
+  while (u.adaptive_counters().promotions == 0 && failures.load() == 0 &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(2));
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& th : threads) th.join();
+  observer.join();
+  m.Stop();
+
+  EXPECT_EQ(failures.load(), 0)
+      << "mutators must keep answering while the adaptive writer swaps";
+  EXPECT_TRUE(monotone.load()) << "binding generation ran backwards";
+  EXPECT_GT(u.adaptive_counters().promotions, 0u)
+      << "the background writer never promoted — the race never happened";
+  // Merged profile attribution: heat from the worker VMs reached the
+  // manager (promotions prove it, but check the merge directly too).
+  bool saw_cabs = false;
+  for (const vm::FnSample& fs : u.SnapshotProfile()) {
+    if (fs.fn != nullptr && fs.calls > 0) saw_cabs = true;
+  }
+  EXPECT_TRUE(saw_cabs);
+}
+
+}  // namespace
+}  // namespace tml

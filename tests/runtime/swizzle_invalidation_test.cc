@@ -147,7 +147,8 @@ TEST(SwizzleInvalidation, RaisedPredicateThenSwapRecovers) {
 
 TEST(SwizzleInvalidation, RawRecordChangePlusExplicitInvalidate) {
   // The lower-level contract: rewriting the closure record in the store
-  // does nothing to a hot swizzle until InvalidateSwizzle is called.
+  // does nothing to a hot swizzle — or to the universe's published
+  // binding snapshot — until InvalidateBinding drops both.
   auto s = MemStore();
   Universe u(s.get());
   ASSERT_OK(u.InstallSource(
@@ -181,11 +182,22 @@ TEST(SwizzleInvalidation, RawRecordChangePlusExplicitInvalidate) {
   ASSERT_TRUE(good_rec.ok());
   ASSERT_OK(s->Put(bad, store::ObjType::kClosure, good_rec->bytes));
 
-  // The swizzle cache still holds the old closure.
+  // The swizzle cache (and the published binding snapshot behind it)
+  // still hold the old closure.
   EXPECT_TRUE(vm->Run(*fn, args)->raised)
       << "without invalidation the cached swizzle keeps the old code";
 
+  // Dropping only the VM's swizzle is not enough anymore: re-resolution
+  // hits the universe's published snapshot, which is invalidated by
+  // InvalidateBinding (the out-of-band-surgery hook).
   vm->InvalidateSwizzle(bad);
+  EXPECT_TRUE(vm->Run(*fn, args)->raised)
+      << "the published snapshot still serves the old code";
+
+  uint64_t gen = u.binding_generation();
+  u.InvalidateBinding(bad);
+  EXPECT_GT(u.binding_generation(), gen)
+      << "surgery moves the binding generation";
   auto r = vm->Run(*fn, args);
   ASSERT_TRUE(r.ok());
   EXPECT_FALSE(r->raised) << "invalidation forces re-resolution";

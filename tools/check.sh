@@ -67,7 +67,7 @@ case "$mode" in
     # the next argument as a job count, which used to swallow `-R` and run
     # the whole suite unfiltered — always give -j an explicit value.
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
-      -R 'Adaptive|Profile|Swizzle|Runtime|Vm|Telemetry' "$@"
+      -R 'Adaptive|Profile|Swizzle|Runtime|Vm|Telemetry|Concurrent' "$@"
     ;;
   bench)
     for bench in "$build_dir"/bench/bench_*; do
@@ -79,6 +79,32 @@ case "$mode" in
       echo
     done
     echo "bench JSON written to $build_dir/BENCH_*.json, traces to TRACE_*.json"
+    # Hardware-aware scaling gate on the concurrency bench: the speedup
+    # floor only makes sense when the runner actually has the cores (an
+    # 8-thread window on a 1-core container is contention, not scaling —
+    # there we only require that threads don't make it collapse).
+    python3 - "$build_dir/BENCH_concurrent.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+hw = int(m.get("hw_threads", 1))
+if hw >= 8:
+    checks = [("speedup_8x", 2.0)]
+elif hw >= 4:
+    checks = [("speedup_4x", 1.8)]
+elif hw >= 2:
+    checks = [("speedup_2x", 1.3)]
+else:
+    checks = [("speedup_8x", 0.6)]
+failed = [(k, m.get(k), floor) for k, floor in checks
+          if m.get(k) is None or m[k] < floor]
+for k, got, floor in failed:
+    print(f"FAIL: {k} = {got} below the {floor} floor (hw_threads={hw})")
+if failed:
+    sys.exit(1)
+print(f"scaling gate OK (hw_threads={hw}): " +
+      ", ".join(f"{k} >= {floor}" for k, floor in checks))
+PYEOF
     ;;
   telemetry)
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" -R 'Telemetry' "$@"
