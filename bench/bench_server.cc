@@ -1,0 +1,273 @@
+// Tycoon-as-a-service throughput and latency (DESIGN.md §10).
+//
+// Spins an in-process server on a Unix socket and drives it with closed-
+// loop clients calling the hot complex-modulus function, measuring:
+//
+//   * unpipelined vs pipelined throughput at N concurrent clients — the
+//     batch dispatch should make pipelining >= 2x (the driver gates on
+//     pipeline_speedup in BENCH_server.json);
+//   * request latency percentiles (p50 / p99) under unpipelined load;
+//   * client-visible CALL latency before vs after OPTIMIZE — the paper's
+//     §4.1 payoff observed end to end at the wire: one reflective
+//     optimization of server-resident code speeds up every client.
+//
+// Emits BENCH_server.json via --json (tools/check.sh --bench).
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "store/object_store.h"
+
+namespace {
+
+using tml::rt::Universe;
+using tml::server::Client;
+using tml::server::Server;
+using tml::server::ServerOptions;
+using tml::server::WireValue;
+using Clock = std::chrono::steady_clock;
+
+// The hot path: the 3-4-5 complex-modulus exemplar behind a recursive
+// driver so VM time dominates the socket round-trip and the OPTIMIZE
+// speedup is visible at the wire.
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end\n"
+    "fun work(x, y, n) ="
+    "  if n <= 0 then cabs(make(x, y))"
+    "  else cabs(make(x, y)) +. work(x, y, n - 1) end "
+    "end";
+
+constexpr int kWorkDepth = 50;  // cabs calls per heavy request
+
+// Heavy request (VM-bound): exercises the full hot path; what OPTIMIZE
+// speeds up.
+WireValue WorkRequest() {
+  return WireValue::Arr({WireValue::Str("call"), WireValue::Str("app"),
+                         WireValue::Str("work"), WireValue::Int(3),
+                         WireValue::Int(4), WireValue::Int(kWorkDepth)});
+}
+
+bool WorkReplyOk(const WireValue& v) {
+  // work(3,4,n) = 5*(n+1); any non-DBL or wrong value is a bench bug.
+  return v.tag == tml::server::TAG_DBL && v.d == 5.0 * (kWorkDepth + 1);
+}
+
+// Light request (round-trip-bound): one field access.  This is where
+// pipelining pays — batching K frames per readiness event amortizes the
+// syscall + dispatch cost that dominates when the call itself is cheap.
+WireValue LightRequest() {
+  return WireValue::Arr(
+      {WireValue::Str("call"), WireValue::Str("complex"), WireValue::Str("getx"),
+       WireValue::Arr({WireValue::Int(3), WireValue::Int(4)})});
+}
+
+bool LightReplyOk(const WireValue& v) {
+  return v.tag == tml::server::TAG_INT && v.i == 3;
+}
+
+double Percentile(std::vector<double>* xs, double p) {
+  if (xs->empty()) return 0;
+  std::sort(xs->begin(), xs->end());
+  size_t idx = static_cast<size_t>(p * static_cast<double>(xs->size() - 1));
+  return (*xs)[idx];
+}
+
+struct LoadResult {
+  double throughput = 0;  ///< requests/sec across all clients
+  std::vector<double> latencies_us;
+  int errors = 0;
+};
+
+// `pipeline` = frames in flight per client (1 = strict request/response).
+LoadResult RunLoad(const std::string& sock, int clients, int requests_each,
+                   int pipeline, bool heavy) {
+  std::vector<std::thread> threads;
+  std::vector<LoadResult> per_client(static_cast<size_t>(clients));
+  threads.reserve(static_cast<size_t>(clients));
+  auto t0 = Clock::now();
+  for (int c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      LoadResult& out = per_client[static_cast<size_t>(c)];
+      auto conn = Client::ConnectUnix(sock);
+      if (!conn.ok()) {
+        out.errors++;
+        return;
+      }
+      Client cli = std::move(*conn);
+      WireValue req = heavy ? WorkRequest() : LightRequest();
+      int sent = 0;
+      while (sent < requests_each) {
+        int batch = std::min(pipeline, requests_each - sent);
+        auto s0 = Clock::now();
+        for (int k = 0; k < batch; ++k) {
+          if (!cli.Send(req).ok()) {
+            out.errors++;
+            return;
+          }
+        }
+        for (int k = 0; k < batch; ++k) {
+          auto r = cli.Recv();
+          if (!r.ok() || !(heavy ? WorkReplyOk(*r) : LightReplyOk(*r))) {
+            out.errors++;
+            return;
+          }
+        }
+        auto s1 = Clock::now();
+        // Per-request latency: batch wall time over batch size (equals the
+        // true round-trip when pipeline == 1).
+        double us = std::chrono::duration<double, std::micro>(s1 - s0).count() /
+                    batch;
+        for (int k = 0; k < batch; ++k) out.latencies_us.push_back(us);
+        sent += batch;
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  double secs = std::chrono::duration<double>(Clock::now() - t0).count();
+
+  LoadResult total;
+  for (auto& pc : per_client) {
+    total.errors += pc.errors;
+    total.latencies_us.insert(total.latencies_us.end(),
+                              pc.latencies_us.begin(), pc.latencies_us.end());
+  }
+  total.throughput =
+      static_cast<double>(total.latencies_us.size()) / (secs > 0 ? secs : 1);
+  return total;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  tml::bench::Metrics metrics(argc, argv);
+
+  auto store_r = tml::store::ObjectStore::Open("");
+  if (!store_r.ok()) {
+    std::fprintf(stderr, "bench_server: %s\n",
+                 store_r.status().ToString().c_str());
+    return 1;
+  }
+  auto store = std::move(*store_r);
+  Universe universe(store.get());
+  if (!universe.InstallStdlib().ok() ||
+      !universe
+           .InstallSource("complex", kComplexSrc,
+                          tml::fe::BindingMode::kLibrary)
+           .ok() ||
+      !universe.InstallSource("app", kAppSrc, tml::fe::BindingMode::kLibrary)
+           .ok()) {
+    std::fprintf(stderr, "bench_server: install failed\n");
+    return 1;
+  }
+
+  std::string sock = "/tmp/tml_bench_server_" +
+                     std::to_string(static_cast<long>(getpid())) + ".sock";
+  ServerOptions opts;
+  opts.unix_path = sock;
+  opts.workers = 4;
+  Server server(&universe, opts);
+  if (!server.Start().ok()) {
+    std::fprintf(stderr, "bench_server: server start failed\n");
+    return 1;
+  }
+
+  constexpr int kClients = 4;
+  constexpr int kRequestsEach = 2000;
+  constexpr int kPipelineDepth = 32;
+
+  // Warmup (also seeds worker-VM swizzle caches).
+  (void)RunLoad(sock, kClients, 200, 8, /*heavy=*/false);
+  (void)RunLoad(sock, kClients, 50, 8, /*heavy=*/true);
+
+  std::printf("bench_server: %d clients x %d requests, work depth %d\n",
+              kClients, kRequestsEach, kWorkDepth);
+
+  LoadResult unpiped =
+      RunLoad(sock, kClients, kRequestsEach, 1, /*heavy=*/false);
+  LoadResult piped =
+      RunLoad(sock, kClients, kRequestsEach, kPipelineDepth, /*heavy=*/false);
+  if (unpiped.errors + piped.errors > 0) {
+    std::fprintf(stderr, "bench_server: %d errors under load\n",
+                 unpiped.errors + piped.errors);
+    return 1;
+  }
+
+  double p50 = Percentile(&unpiped.latencies_us, 0.50);
+  double p99 = Percentile(&unpiped.latencies_us, 0.99);
+  double speedup = piped.throughput / unpiped.throughput;
+  std::printf("  unpipelined: %10.0f req/s   p50 %6.1f us   p99 %6.1f us\n",
+              unpiped.throughput, p50, p99);
+  std::printf("  pipelined:   %10.0f req/s   (depth %d, %.2fx)\n",
+              piped.throughput, kPipelineDepth, speedup);
+
+  // ---- the §4.1 payoff at the wire: CALL latency before/after OPTIMIZE --
+  LoadResult before = RunLoad(sock, 1, 1500, 1, /*heavy=*/true);
+  double before_p50 = Percentile(&before.latencies_us, 0.50);
+
+  {
+    auto conn = Client::ConnectUnix(sock);
+    if (!conn.ok()) {
+      std::fprintf(stderr, "bench_server: optimize connect failed\n");
+      return 1;
+    }
+    Client cli = std::move(*conn);
+    for (const char* fn : {"work", "cabs"}) {
+      auto r = cli.Call({"optimize", "app", fn});
+      if (!r.ok() || r->is_err()) {
+        std::fprintf(stderr, "bench_server: OPTIMIZE app.%s failed\n", fn);
+        return 1;
+      }
+    }
+    for (const char* fn : {"make", "getx", "gety"}) {
+      auto r = cli.Call({"optimize", "complex", fn});
+      if (!r.ok() || r->is_err()) {
+        std::fprintf(stderr, "bench_server: OPTIMIZE complex.%s failed\n", fn);
+        return 1;
+      }
+    }
+  }
+
+  LoadResult after = RunLoad(sock, 1, 1500, 1, /*heavy=*/true);
+  double after_p50 = Percentile(&after.latencies_us, 0.50);
+  if (before.errors + after.errors > 0) {
+    std::fprintf(stderr, "bench_server: errors around OPTIMIZE\n");
+    return 1;
+  }
+  double opt_speedup = after_p50 > 0 ? before_p50 / after_p50 : 0;
+  std::printf("  CALL p50 before OPTIMIZE: %6.1f us, after: %6.1f us (%.2fx)\n",
+              before_p50, after_p50, opt_speedup);
+
+  metrics.Add("clients", kClients);
+  metrics.Add("requests_per_client", kRequestsEach);
+  metrics.Add("pipeline_depth", kPipelineDepth);
+  metrics.Add("throughput_unpipelined_rps", unpiped.throughput);
+  metrics.Add("throughput_pipelined_rps", piped.throughput);
+  metrics.Add("pipeline_speedup", speedup);
+  metrics.Add("p50_us", p50);
+  metrics.Add("p99_us", p99);
+  metrics.Add("call_us_before_optimize", before_p50);
+  metrics.Add("call_us_after_optimize", after_p50);
+  metrics.Add("optimize_speedup", opt_speedup);
+
+  server.Stop();
+  server.Join();
+  std::remove(sock.c_str());
+  return 0;
+}

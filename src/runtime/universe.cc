@@ -41,6 +41,10 @@ Universe::Universe(store::ObjectStore* store) : store_(store) {
 Universe::~Universe() {
   // Stop background workers (adaptive manager) while the store and VMs are
   // still alive; only then let members tear down.
+  StopServices();
+}
+
+void Universe::StopServices() {
   for (auto& s : services_) s->Stop();
   services_.clear();
 }
@@ -446,6 +450,16 @@ Result<Oid> Universe::Lookup(const std::string& module,
 Result<vm::RunResult> Universe::Call(Oid closure_oid,
                                      std::span<const vm::Value> args) {
   return vm_->RunClosure(vm::Value::OidV(closure_oid), args);
+}
+
+Result<vm::RunResult> Universe::Call(Oid closure_oid,
+                                     std::span<const vm::Value> args,
+                                     uint64_t step_budget) {
+  uint64_t prev = vm_->step_budget();
+  vm_->set_step_budget(step_budget);
+  auto r = vm_->RunClosure(vm::Value::OidV(closure_oid), args);
+  vm_->set_step_budget(prev);
+  return r;
 }
 
 Result<Oid> Universe::StoreRelationBytes(std::string_view bytes) {

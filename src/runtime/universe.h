@@ -210,6 +210,14 @@ class Universe : public vm::RuntimeEnv {
   Result<vm::RunResult> Call(Oid closure_oid,
                              std::span<const vm::Value> args);
 
+  /// Call under a per-run step budget: a program exceeding `step_budget`
+  /// instructions aborts with an OutOfRange status instead of running
+  /// forever — the guard that lets a server bound hostile client programs
+  /// (0 = unlimited).  The primary VM's configured budget is restored
+  /// afterwards.
+  Result<vm::RunResult> Call(Oid closure_oid, std::span<const vm::Value> args,
+                             uint64_t step_budget);
+
   /// reflect.optimize: build a globally bound TML term for the closure,
   /// optimize across abstraction barriers, regenerate code, and return a
   /// runnable closure value (also persisted; the returned OID can be
@@ -288,6 +296,12 @@ class Universe : public vm::RuntimeEnv {
   /// Adopt a background worker; it is stopped and destroyed first in
   /// ~Universe, while the store and VMs are still alive.
   void AdoptService(std::unique_ptr<BackgroundService> service);
+
+  /// Stop and destroy every adopted background service now (idempotent;
+  /// also runs in ~Universe).  The server's graceful-shutdown path calls
+  /// this before its final CommitStore so no background promotion can be
+  /// mid-flight while the store closes.
+  void StopServices();
 
   /// Live counter cells for the manager; consistent-enough snapshot for
   /// everyone else.

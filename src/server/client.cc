@@ -1,0 +1,143 @@
+#include "server/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace tml::server {
+
+Client::~Client() { Close(); }
+
+Client::Client(Client&& other) noexcept
+    : fd_(other.fd_), rdbuf_(std::move(other.rdbuf_)) {
+  other.fd_ = -1;
+}
+
+Client& Client::operator=(Client&& other) noexcept {
+  if (this != &other) {
+    Close();
+    fd_ = other.fd_;
+    rdbuf_ = std::move(other.rdbuf_);
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void Client::Close() {
+  if (fd_ >= 0) {
+    close(fd_);
+    fd_ = -1;
+  }
+  rdbuf_.clear();
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::Invalid("client: unix path too long: " + path);
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status st = Status::IOError("connect " + path + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::Invalid("client: bad host " + host);
+  }
+  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+    Status st = Status::IOError("connect " + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  int one = 1;
+  setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  Client c;
+  c.fd_ = fd;
+  return c;
+}
+
+Status Client::Send(const WireValue& request) {
+  if (fd_ < 0) return Status::IOError("client: not connected");
+  std::string frame;
+  TML_RETURN_NOT_OK(EncodeFrame(request, &frame));
+  size_t off = 0;
+  while (off < frame.size()) {
+    ssize_t n = send(fd_, frame.data() + off, frame.size() - off, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("send: ") + std::strerror(errno));
+    }
+    off += static_cast<size_t>(n);
+  }
+  return Status::OK();
+}
+
+Result<WireValue> Client::Recv() {
+  if (fd_ < 0) return Status::IOError("client: not connected");
+  while (true) {
+    WireValue v;
+    size_t consumed = 0;
+    DecodeStatus st =
+        DecodeFrame(reinterpret_cast<const uint8_t*>(rdbuf_.data()),
+                    rdbuf_.size(), &v, &consumed);
+    if (st == DecodeStatus::kOk) {
+      rdbuf_.erase(0, consumed);
+      return v;
+    }
+    if (st == DecodeStatus::kError) {
+      return Status::Corruption("client: bad frame from server");
+    }
+    char buf[64 * 1024];
+    ssize_t n = recv(fd_, buf, sizeof buf, 0);
+    if (n == 0) return Status::IOError("client: server closed connection");
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::IOError(std::string("recv: ") + std::strerror(errno));
+    }
+    rdbuf_.append(buf, static_cast<size_t>(n));
+  }
+}
+
+Result<WireValue> Client::Call(const WireValue& request) {
+  TML_RETURN_NOT_OK(Send(request));
+  return Recv();
+}
+
+Result<WireValue> Client::Call(const std::vector<std::string>& words) {
+  std::vector<WireValue> elems;
+  elems.reserve(words.size());
+  for (const std::string& w : words) elems.push_back(WireValue::Str(w));
+  return Call(WireValue::Arr(std::move(elems)));
+}
+
+}  // namespace tml::server

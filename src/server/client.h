@@ -1,0 +1,51 @@
+// A small blocking client for the tyd wire protocol — the shared substrate
+// of tools/tyccli, bench/bench_server and the server test suites.
+//
+// One Client is one connection; it is not thread-safe.  Pipelining is
+// explicit: Send() any number of frames, then Recv() the same number of
+// responses (the server answers strictly in order).  Call() is the
+// unpipelined convenience wrapper (one Send + one Recv).
+
+#ifndef TML_SERVER_CLIENT_H_
+#define TML_SERVER_CLIENT_H_
+
+#include <string>
+#include <vector>
+
+#include "server/protocol.h"
+#include "support/status.h"
+
+namespace tml::server {
+
+class Client {
+ public:
+  Client() = default;
+  ~Client();
+  Client(const Client&) = delete;
+  Client& operator=(const Client&) = delete;
+  Client(Client&& other) noexcept;
+  Client& operator=(Client&& other) noexcept;
+
+  static Result<Client> ConnectUnix(const std::string& path);
+  static Result<Client> ConnectTcp(const std::string& host, int port);
+
+  bool connected() const { return fd_ >= 0; }
+  void Close();
+
+  /// Queue-and-write one request frame (blocking until written).
+  Status Send(const WireValue& request);
+  /// Read one response frame (blocking).
+  Result<WireValue> Recv();
+  /// Send + Recv.
+  Result<WireValue> Call(const WireValue& request);
+  /// Convenience: command + string arguments.
+  Result<WireValue> Call(const std::vector<std::string>& words);
+
+ private:
+  int fd_ = -1;
+  std::string rdbuf_;  ///< bytes read but not yet consumed as frames
+};
+
+}  // namespace tml::server
+
+#endif  // TML_SERVER_CLIENT_H_

@@ -1,0 +1,228 @@
+#include "server/protocol.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace tml::server {
+
+namespace {
+
+void PutU32(uint32_t v, std::string* out) {
+  char b[4] = {static_cast<char>(v), static_cast<char>(v >> 8),
+               static_cast<char>(v >> 16), static_cast<char>(v >> 24)};
+  out->append(b, 4);
+}
+
+void PutU64(uint64_t v, std::string* out) {
+  for (int i = 0; i < 8; ++i) out->push_back(static_cast<char>(v >> (8 * i)));
+}
+
+/// Bounded little-endian reads over [data, data+len) with a cursor; every
+/// accessor checks the remaining byte count first, so a truncated or
+/// hostile buffer can only produce `ok = false`, never an over-read.
+struct Reader {
+  const uint8_t* data;
+  size_t len;
+  size_t pos = 0;
+
+  size_t remaining() const { return len - pos; }
+
+  bool ReadU8(uint8_t* v) {
+    if (remaining() < 1) return false;
+    *v = data[pos++];
+    return true;
+  }
+  bool ReadU32(uint32_t* v) {
+    if (remaining() < 4) return false;
+    *v = static_cast<uint32_t>(data[pos]) |
+         static_cast<uint32_t>(data[pos + 1]) << 8 |
+         static_cast<uint32_t>(data[pos + 2]) << 16 |
+         static_cast<uint32_t>(data[pos + 3]) << 24;
+    pos += 4;
+    return true;
+  }
+  bool ReadU64(uint64_t* v) {
+    if (remaining() < 8) return false;
+    uint64_t x = 0;
+    for (int i = 0; i < 8; ++i) {
+      x |= static_cast<uint64_t>(data[pos + i]) << (8 * i);
+    }
+    *v = x;
+    pos += 8;
+    return true;
+  }
+  bool ReadBytes(size_t n, std::string* out) {
+    if (remaining() < n) return false;
+    out->assign(reinterpret_cast<const char*>(data + pos), n);
+    pos += n;
+    return true;
+  }
+};
+
+/// Decode one value from the frame body.  The body is complete (the frame
+/// length prefix was satisfied), so any truncation inside it is a protocol
+/// error, not kNeedMore.
+bool DecodeValue(Reader* r, WireValue* out, uint32_t depth) {
+  if (depth > kMaxDepth) return false;
+  uint8_t tag = 0;
+  if (!r->ReadU8(&tag)) return false;
+  out->tag = tag;
+  switch (tag) {
+    case TAG_NIL:
+      return true;
+    case TAG_ERR: {
+      uint32_t len = 0;
+      if (!r->ReadU32(&out->err_code) || !r->ReadU32(&len)) return false;
+      return len <= r->remaining() && r->ReadBytes(len, &out->s);
+    }
+    case TAG_STR: {
+      uint32_t len = 0;
+      if (!r->ReadU32(&len)) return false;
+      return len <= r->remaining() && r->ReadBytes(len, &out->s);
+    }
+    case TAG_INT: {
+      uint64_t bits = 0;
+      if (!r->ReadU64(&bits)) return false;
+      out->i = static_cast<int64_t>(bits);
+      return true;
+    }
+    case TAG_DBL: {
+      uint64_t bits = 0;
+      if (!r->ReadU64(&bits)) return false;
+      std::memcpy(&out->d, &bits, sizeof out->d);
+      return true;
+    }
+    case TAG_ARR: {
+      uint32_t count = 0;
+      if (!r->ReadU32(&count)) return false;
+      // Each element costs at least its tag byte, so a count beyond the
+      // bytes present is a lie — reject before reserving anything.
+      if (count > r->remaining()) return false;
+      out->elems.reserve(count);
+      for (uint32_t k = 0; k < count; ++k) {
+        WireValue elem;
+        if (!DecodeValue(r, &elem, depth + 1)) return false;
+        out->elems.push_back(std::move(elem));
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+Status EncodeValue(const WireValue& v, std::string* out, uint32_t depth) {
+  if (depth > kMaxDepth) {
+    return Status::OutOfRange("protocol: value nests deeper than kMaxDepth");
+  }
+  out->push_back(static_cast<char>(v.tag));
+  switch (v.tag) {
+    case TAG_NIL:
+      return Status::OK();
+    case TAG_ERR:
+      PutU32(v.err_code, out);
+      PutU32(static_cast<uint32_t>(v.s.size()), out);
+      out->append(v.s);
+      return Status::OK();
+    case TAG_STR:
+      PutU32(static_cast<uint32_t>(v.s.size()), out);
+      out->append(v.s);
+      return Status::OK();
+    case TAG_INT:
+      PutU64(static_cast<uint64_t>(v.i), out);
+      return Status::OK();
+    case TAG_DBL: {
+      uint64_t bits = 0;
+      std::memcpy(&bits, &v.d, sizeof bits);
+      PutU64(bits, out);
+      return Status::OK();
+    }
+    case TAG_ARR:
+      PutU32(static_cast<uint32_t>(v.elems.size()), out);
+      for (const WireValue& e : v.elems) {
+        TML_RETURN_NOT_OK(EncodeValue(e, out, depth + 1));
+      }
+      return Status::OK();
+    default:
+      return Status::Invalid("protocol: cannot encode unknown tag " +
+                             std::to_string(v.tag));
+  }
+}
+
+}  // namespace
+
+Status EncodeFrame(const WireValue& v, std::string* out) {
+  std::string body;
+  TML_RETURN_NOT_OK(EncodeValue(v, &body, 0));
+  if (body.size() > kMaxFrameLen) {
+    return Status::OutOfRange("protocol: frame body " +
+                              std::to_string(body.size()) +
+                              " bytes exceeds kMaxFrameLen");
+  }
+  PutU32(static_cast<uint32_t>(body.size()), out);
+  out->append(body);
+  return Status::OK();
+}
+
+DecodeStatus DecodeFrame(const uint8_t* data, size_t len, WireValue* out,
+                         size_t* consumed, uint32_t max_frame) {
+  *consumed = 0;
+  if (len < 4) return DecodeStatus::kNeedMore;
+  Reader prefix{data, len};
+  uint32_t body_len = 0;
+  prefix.ReadU32(&body_len);
+  if (body_len == 0 || body_len > max_frame) return DecodeStatus::kError;
+  if (len - 4 < body_len) return DecodeStatus::kNeedMore;
+  Reader body{data + 4, body_len};
+  *out = WireValue();
+  if (!DecodeValue(&body, out, 0) || body.remaining() != 0) {
+    return DecodeStatus::kError;
+  }
+  *consumed = 4 + static_cast<size_t>(body_len);
+  return DecodeStatus::kOk;
+}
+
+const char* ErrCodeName(uint32_t code) {
+  switch (code) {
+    case ERR_TOO_BIG: return "TOO_BIG";
+    case ERR_BAD_ARG: return "BAD_ARG";
+    case ERR_UNKNOWN: return "UNKNOWN";
+    case ERR_NOT_FOUND: return "NOT_FOUND";
+    case ERR_RUNTIME: return "RUNTIME";
+    case ERR_BUDGET: return "BUDGET";
+    case ERR_RAISED: return "RAISED";
+    case ERR_SHUTDOWN: return "SHUTDOWN";
+    default: return "ERR?";
+  }
+}
+
+std::string ToString(const WireValue& v) {
+  switch (v.tag) {
+    case TAG_NIL:
+      return "nil";
+    case TAG_ERR:
+      return std::string("(err ") + ErrCodeName(v.err_code) + " \"" + v.s +
+             "\")";
+    case TAG_STR:
+      return "\"" + v.s + "\"";
+    case TAG_INT:
+      return std::to_string(v.i);
+    case TAG_DBL: {
+      char buf[32];
+      std::snprintf(buf, sizeof buf, "%g", v.d);
+      return buf;
+    }
+    case TAG_ARR: {
+      std::string out = "[";
+      for (size_t k = 0; k < v.elems.size(); ++k) {
+        if (k != 0) out += ", ";
+        out += ToString(v.elems[k]);
+      }
+      return out + "]";
+    }
+    default:
+      return "<tag " + std::to_string(v.tag) + ">";
+  }
+}
+
+}  // namespace tml::server

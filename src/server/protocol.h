@@ -1,0 +1,147 @@
+// The tyd wire protocol: length-prefixed frames of tagged binary values.
+//
+// Every request and every response is one frame:
+//
+//   u32le body_len  (1 .. kMaxFrameLen)
+//   body            (exactly body_len bytes: one tagged value)
+//
+// A tagged value is a 1-byte tag followed by a tag-specific payload
+// (little-endian fixed-width integers; no varints at the wire — the codec
+// must be trivially implementable from any language):
+//
+//   TAG_NIL  —
+//   TAG_ERR  u32le code, u32le len, len message bytes
+//   TAG_STR  u32le len, len bytes
+//   TAG_INT  i64le
+//   TAG_DBL  f64le (IEEE-754 bits)
+//   TAG_ARR  u32le count, then count tagged values
+//
+// Requests are TAG_ARR values whose first element is a TAG_STR command
+// name; responses are any value (TAG_ERR carries failures).  Clients may
+// pipeline: any number of frames may be in flight before the first
+// response is read, and the server answers strictly in request order per
+// connection.
+//
+// Decoder contract (the fuzz suite pins this down): arbitrary bytes
+// produce kOk, kNeedMore (frame incomplete — feed more bytes) or kError
+// (protocol violation — the connection is poisoned); never a crash, an
+// over-read, or an unbounded allocation.  Element counts are validated
+// against the bytes actually present before any reservation, and nesting
+// is capped at kMaxDepth.
+
+#ifndef TML_SERVER_PROTOCOL_H_
+#define TML_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace tml::server {
+
+// Value tags (SNIPPETS.md Snippet 3's Redis framing).
+enum : uint8_t {
+  TAG_NIL = 0,
+  TAG_ERR = 1,
+  TAG_STR = 2,
+  TAG_INT = 3,
+  TAG_DBL = 4,
+  TAG_ARR = 5,
+};
+
+// TAG_ERR codes.
+enum : uint32_t {
+  ERR_TOO_BIG = 0,    ///< frame or value exceeds a protocol bound
+  ERR_BAD_ARG = 1,    ///< malformed command arguments
+  ERR_UNKNOWN = 2,    ///< unknown command
+  ERR_NOT_FOUND = 3,  ///< missing module / function / OID
+  ERR_RUNTIME = 4,    ///< VM or store failure executing the command
+  ERR_BUDGET = 5,     ///< per-session step budget exhausted
+  ERR_RAISED = 6,     ///< a TML exception escaped the called program
+  ERR_SHUTDOWN = 7,   ///< server is draining; no new work accepted
+};
+
+/// Frame body size cap.  Large enough for INSTALL payloads and STATS
+/// dumps, small enough that a hostile length prefix cannot make the
+/// server allocate unboundedly.
+inline constexpr uint32_t kMaxFrameLen = 1u << 20;  // 1 MiB
+
+/// Nesting cap for TAG_ARR values.
+inline constexpr uint32_t kMaxDepth = 32;
+
+/// One decoded (or to-be-encoded) wire value.
+struct WireValue {
+  uint8_t tag = TAG_NIL;
+  int64_t i = 0;                  ///< TAG_INT
+  double d = 0.0;                 ///< TAG_DBL
+  uint32_t err_code = 0;          ///< TAG_ERR
+  std::string s;                  ///< TAG_STR payload / TAG_ERR message
+  std::vector<WireValue> elems;   ///< TAG_ARR
+
+  static WireValue Nil() { return {}; }
+  static WireValue Int(int64_t v) {
+    WireValue w;
+    w.tag = TAG_INT;
+    w.i = v;
+    return w;
+  }
+  static WireValue Dbl(double v) {
+    WireValue w;
+    w.tag = TAG_DBL;
+    w.d = v;
+    return w;
+  }
+  static WireValue Str(std::string v) {
+    WireValue w;
+    w.tag = TAG_STR;
+    w.s = std::move(v);
+    return w;
+  }
+  static WireValue Err(uint32_t code, std::string msg) {
+    WireValue w;
+    w.tag = TAG_ERR;
+    w.err_code = code;
+    w.s = std::move(msg);
+    return w;
+  }
+  static WireValue Arr(std::vector<WireValue> elems) {
+    WireValue w;
+    w.tag = TAG_ARR;
+    w.elems = std::move(elems);
+    return w;
+  }
+
+  bool is_str() const { return tag == TAG_STR; }
+  bool is_err() const { return tag == TAG_ERR; }
+};
+
+/// Human-readable rendering ("(err 3 \"no such module\")", "[1, 2.5, nil]")
+/// for tyccli and test diagnostics.
+std::string ToString(const WireValue& v);
+
+/// Name of a TAG_ERR code ("NOT_FOUND", ...).
+const char* ErrCodeName(uint32_t code);
+
+/// Serialize `v` as one frame (length prefix + body) appended to `*out`.
+/// Fails with kOutOfRange if the encoding exceeds kMaxFrameLen or nests
+/// deeper than kMaxDepth.
+Status EncodeFrame(const WireValue& v, std::string* out);
+
+enum class DecodeStatus {
+  kOk,        ///< one frame consumed, *out filled
+  kNeedMore,  ///< prefix of a valid frame — read more bytes and retry
+  kError,     ///< protocol violation; the stream is unrecoverable
+};
+
+/// Decode one frame from the front of [data, data+len).  On kOk,
+/// *consumed is the full frame size (prefix + body) and *out the value.
+/// On kNeedMore / kError, *consumed is 0.  `max_frame` lets tests shrink
+/// the bound; the body must also be fully consumed by the value (trailing
+/// garbage inside a frame is kError).
+DecodeStatus DecodeFrame(const uint8_t* data, size_t len, WireValue* out,
+                         size_t* consumed, uint32_t max_frame = kMaxFrameLen);
+
+}  // namespace tml::server
+
+#endif  // TML_SERVER_PROTOCOL_H_

@@ -1,0 +1,951 @@
+#include "server/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#ifdef __linux__
+#include <sys/epoll.h>
+#endif
+
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+
+#include "query/relation.h"
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace tml::server {
+
+namespace {
+
+// ---- telemetry ("tml.server.*"; DESIGN.md §10) -------------------------------
+
+telemetry::Counter* MConnections() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.connections");
+  return c;
+}
+telemetry::Counter* MDisconnects() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.disconnects");
+  return c;
+}
+telemetry::Counter* MRequests() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.requests");
+  return c;
+}
+telemetry::Counter* MErrors() {
+  static auto* c = telemetry::Registry::Global().GetCounter("tml.server.errors");
+  return c;
+}
+telemetry::Counter* MProtocolErrors() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.protocol_errors");
+  return c;
+}
+telemetry::Counter* MBytesIn() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.bytes_in");
+  return c;
+}
+telemetry::Counter* MBytesOut() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.bytes_out");
+  return c;
+}
+telemetry::Histogram* MRequestUs() {
+  static auto* h =
+      telemetry::Registry::Global().GetHistogram("tml.server.request_us");
+  return h;
+}
+telemetry::Histogram* MBatchFrames() {
+  static auto* h =
+      telemetry::Registry::Global().GetHistogram("tml.server.batch_frames");
+  return h;
+}
+
+// ---- socket plumbing ---------------------------------------------------------
+
+Status SetNonBlocking(int fd) {
+  int flags = fcntl(fd, F_GETFL, 0);
+  if (flags < 0 || fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::IOError(std::string("fcntl(O_NONBLOCK): ") +
+                           std::strerror(errno));
+  }
+  return Status::OK();
+}
+
+Result<int> ListenTcp(const std::string& host, int port, int* bound_port) {
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::Invalid("server: bad TCP host " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(fd, 128) < 0) {
+    Status st = Status::IOError(std::string("bind/listen ") + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    *bound_port = ntohs(addr.sin_port);
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+Result<int> ListenUnix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::Invalid("server: unix path too long: " + path);
+  }
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  unlink(path.c_str());  // stale socket from a crashed predecessor
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(fd, 128) < 0) {
+    Status st = Status::IOError(std::string("bind/listen ") + path + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  Status st = SetNonBlocking(fd);
+  if (!st.ok()) {
+    close(fd);
+    return st;
+  }
+  return fd;
+}
+
+}  // namespace
+
+// ---- readiness polling -------------------------------------------------------
+
+namespace {
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+};
+}  // namespace
+
+/// Readiness-notification seam: one epoll implementation (Linux) and one
+/// portable poll(2) implementation; level-triggered in both cases.  The
+/// loop registers read interest for every fd and toggles write interest
+/// only while a session has buffered output.
+class PollerIface {
+ public:
+  virtual ~PollerIface() = default;
+  virtual void Add(int fd) = 0;
+  virtual void SetWriteInterest(int fd, bool on) = 0;
+  virtual void Remove(int fd) = 0;
+  /// Blocks up to timeout_ms (-1 = forever); fills *out.
+  virtual void Wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
+};
+
+namespace {
+
+class PollPoller final : public PollerIface {
+ public:
+  void Add(int fd) override { fds_[fd] = POLLIN; }
+  void SetWriteInterest(int fd, bool on) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return;
+    it->second = on ? (POLLIN | POLLOUT) : POLLIN;
+  }
+  void Remove(int fd) override { fds_.erase(fd); }
+  void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    scratch_.clear();
+    for (auto& [fd, ev] : fds_) {
+      scratch_.push_back(pollfd{fd, ev, 0});
+    }
+    int n = poll(scratch_.data(), scratch_.size(), timeout_ms);
+    out->clear();
+    if (n <= 0) return;
+    for (const pollfd& p : scratch_) {
+      if (p.revents == 0) continue;
+      PollEvent e;
+      e.fd = p.fd;
+      e.readable = (p.revents & (POLLIN | POLLHUP | POLLERR)) != 0;
+      e.writable = (p.revents & POLLOUT) != 0;
+      out->push_back(e);
+    }
+  }
+
+ private:
+  std::unordered_map<int, short> fds_;  // fd -> requested events
+  std::vector<pollfd> scratch_;
+};
+
+#ifdef __linux__
+class EpollPoller final : public PollerIface {
+ public:
+  EpollPoller() : ep_(epoll_create1(0)) {}
+  ~EpollPoller() override {
+    if (ep_ >= 0) close(ep_);
+  }
+  bool ok() const { return ep_ >= 0; }
+
+  void Add(int fd) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN;
+    ev.data.fd = fd;
+    epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+  }
+  void SetWriteInterest(int fd, bool on) override {
+    epoll_event ev{};
+    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
+    ev.data.fd = fd;
+    epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+  }
+  void Remove(int fd) override { epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr); }
+  void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
+    epoll_event evs[64];
+    int n = epoll_wait(ep_, evs, 64, timeout_ms);
+    out->clear();
+    for (int k = 0; k < n; ++k) {
+      PollEvent e;
+      e.fd = evs[k].data.fd;
+      e.readable = (evs[k].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) != 0;
+      e.writable = (evs[k].events & EPOLLOUT) != 0;
+      out->push_back(e);
+    }
+  }
+
+ private:
+  int ep_;
+};
+#endif  // __linux__
+
+std::unique_ptr<PollerIface> MakePoller(bool force_poll) {
+#ifdef __linux__
+  if (!force_poll) {
+    auto ep = std::make_unique<EpollPoller>();
+    if (ep->ok()) return ep;
+  }
+#else
+  (void)force_poll;
+#endif
+  return std::make_unique<PollPoller>();
+}
+
+// ---- value conversion --------------------------------------------------------
+
+/// Wire argument -> VM value on the worker's private heap.  Safe without
+/// pinning: GC only runs inside the interpreter loop, and by then the
+/// arguments live in frame registers (GC roots).
+Result<vm::Value> WireToVm(vm::VM* vm, const WireValue& w, int depth = 0) {
+  if (depth > static_cast<int>(kMaxDepth)) {
+    return Status::Invalid("argument nests too deep");
+  }
+  switch (w.tag) {
+    case TAG_NIL:
+      return vm::Value::Nil();
+    case TAG_INT:
+      return vm::Value::Int(w.i);
+    case TAG_DBL:
+      return vm::Value::Real(w.d);
+    case TAG_STR: {
+      vm::StringObj* s = vm->heap()->New<vm::StringObj>();
+      s->str = w.s;
+      return vm::Value::ObjV(s);
+    }
+    case TAG_ARR: {
+      vm::ArrayObj* a = vm->heap()->New<vm::ArrayObj>();
+      a->slots.reserve(w.elems.size());
+      for (const WireValue& e : w.elems) {
+        TML_ASSIGN_OR_RETURN(vm::Value v, WireToVm(vm, e, depth + 1));
+        a->slots.push_back(v);
+      }
+      return vm::Value::ObjV(a);
+    }
+    default:
+      return Status::Invalid("TAG_ERR is not a valid argument");
+  }
+}
+
+/// VM result -> wire value.  Booleans and characters travel as TAG_INT
+/// (the protocol keeps Snippet 3's six tags); OIDs as TAG_INT of the raw
+/// id; closures as an opaque TAG_STR.
+WireValue VmToWire(const vm::Value& v, int depth = 0) {
+  if (depth > static_cast<int>(kMaxDepth)) {
+    return WireValue::Err(ERR_TOO_BIG, "result nests too deep");
+  }
+  switch (v.tag) {
+    case vm::Tag::kNil:
+      return WireValue::Nil();
+    case vm::Tag::kBool:
+      return WireValue::Int(v.b ? 1 : 0);
+    case vm::Tag::kInt:
+      return WireValue::Int(v.i);
+    case vm::Tag::kChar:
+      return WireValue::Int(v.ch);
+    case vm::Tag::kReal:
+      return WireValue::Dbl(v.r);
+    case vm::Tag::kOid:
+      return WireValue::Int(static_cast<int64_t>(v.oid));
+    case vm::Tag::kObj:
+      switch (v.obj->kind) {
+        case vm::ObjKind::kString:
+          return WireValue::Str(static_cast<vm::StringObj*>(v.obj)->str);
+        case vm::ObjKind::kBytes: {
+          const auto& b = static_cast<vm::BytesObj*>(v.obj)->bytes;
+          return WireValue::Str(
+              std::string(reinterpret_cast<const char*>(b.data()), b.size()));
+        }
+        case vm::ObjKind::kArray: {
+          std::vector<WireValue> elems;
+          const auto& slots = static_cast<vm::ArrayObj*>(v.obj)->slots;
+          elems.reserve(slots.size());
+          for (const vm::Value& s : slots) {
+            elems.push_back(VmToWire(s, depth + 1));
+          }
+          return WireValue::Arr(std::move(elems));
+        }
+        case vm::ObjKind::kClosure:
+          return WireValue::Str("<closure>");
+      }
+      return WireValue::Err(ERR_RUNTIME, "unrenderable object");
+  }
+  return WireValue::Err(ERR_RUNTIME, "unrenderable value");
+}
+
+/// Library Status -> wire error.
+WireValue StatusToErr(const Status& st) {
+  uint32_t code = ERR_RUNTIME;
+  switch (st.code()) {
+    case StatusCode::kNotFound: code = ERR_NOT_FOUND; break;
+    case StatusCode::kInvalid:
+    case StatusCode::kAlreadyExists: code = ERR_BAD_ARG; break;
+    case StatusCode::kOutOfRange: code = ERR_BUDGET; break;
+    default: break;
+  }
+  return WireValue::Err(code, st.ToString());
+}
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t n = std::strlen(b);
+  if (a.size() != n) return false;
+  for (size_t k = 0; k < n; ++k) {
+    char c = a[k];
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    if (c != b[k]) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
+// ---- session -----------------------------------------------------------------
+
+struct Server::Session {
+  uint64_t id = 0;
+  int fd = -1;
+  std::string inbuf;                 ///< raw bytes not yet framed
+  std::deque<WireValue> pending;     ///< decoded requests awaiting dispatch
+  std::string outbuf;                ///< encoded responses awaiting write
+  uint64_t step_budget = 0;          ///< per-session CALL budget
+  bool busy = false;                 ///< a batch is at a worker
+  bool want_close = false;           ///< close once outbuf flushes
+  bool dead = false;                 ///< fd closed; lingers while busy
+};
+
+// ---- lifecycle ---------------------------------------------------------------
+
+Server::Server(rt::Universe* universe, ServerOptions opts)
+    : universe_(universe), opts_(std::move(opts)) {}
+
+Server::~Server() {
+  Stop();
+  Join();
+}
+
+Status Server::Start() {
+  if (started_.exchange(true)) {
+    return Status::AlreadyExists("server: already started");
+  }
+  if (opts_.workers < 1) opts_.workers = 1;
+  if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+    return Status::Invalid("server: no listener configured");
+  }
+  if (!opts_.unix_path.empty()) {
+    TML_ASSIGN_OR_RETURN(unix_listen_fd_, ListenUnix(opts_.unix_path));
+  }
+  if (opts_.tcp_port >= 0) {
+    TML_ASSIGN_OR_RETURN(tcp_listen_fd_,
+                         ListenTcp(opts_.tcp_host, opts_.tcp_port, &tcp_port_));
+  }
+  int pipe_fds[2];
+  if (pipe(pipe_fds) != 0) {
+    return Status::IOError(std::string("pipe: ") + std::strerror(errno));
+  }
+  wake_r_ = pipe_fds[0];
+  wake_w_ = pipe_fds[1];
+  TML_RETURN_NOT_OK(SetNonBlocking(wake_r_));
+  TML_RETURN_NOT_OK(SetNonBlocking(wake_w_));
+
+  for (int k = 0; k < opts_.workers; ++k) {
+    worker_vms_.push_back(universe_->AddWorkerVm());
+  }
+  for (int k = 0; k < opts_.workers; ++k) {
+    workers_.emplace_back([this, k] { WorkerThread(k); });
+  }
+  loop_ = std::thread([this] { LoopThread(); });
+  return Status::OK();
+}
+
+void Server::Stop() {
+  // Async-signal-safe: an atomic store plus one write(2).  tycd calls
+  // this from its SIGTERM handler.
+  stop_requested_.store(true, std::memory_order_release);
+  if (wake_w_ >= 0) {
+    char b = 'q';
+    [[maybe_unused]] ssize_t n = write(wake_w_, &b, 1);
+  }
+}
+
+void Server::Join() {
+  std::lock_guard<std::mutex> lock(join_mu_);
+  if (joined_ || !started_.load()) return;
+  if (loop_.joinable()) loop_.join();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  if (wake_w_ >= 0) {
+    int fd = wake_w_;
+    wake_w_ = -1;  // Stop() after Join() becomes a pure no-op
+    close(fd);
+  }
+  joined_ = true;
+}
+
+// ---- loop thread -------------------------------------------------------------
+
+void Server::LoopThread() {
+  std::unique_ptr<PollerIface> poller = MakePoller(opts_.use_poll);
+  poller_ = poller.get();
+  poller->Add(wake_r_);
+  if (unix_listen_fd_ >= 0) poller->Add(unix_listen_fd_);
+  if (tcp_listen_fd_ >= 0) poller->Add(tcp_listen_fd_);
+
+  bool listeners_open = true;
+  bool draining = false;
+  std::chrono::steady_clock::time_point drain_deadline;
+  std::vector<PollEvent> events;
+
+  while (true) {
+    bool stopping = stop_requested_.load(std::memory_order_acquire);
+    if (stopping && listeners_open) {
+      // Phase 1 of shutdown: no new connections, no new bytes; what is
+      // already parsed still executes and its responses still flush.
+      if (unix_listen_fd_ >= 0) {
+        poller->Remove(unix_listen_fd_);
+        close(unix_listen_fd_);
+        unix_listen_fd_ = -1;
+      }
+      if (tcp_listen_fd_ >= 0) {
+        poller->Remove(tcp_listen_fd_);
+        close(tcp_listen_fd_);
+        tcp_listen_fd_ = -1;
+      }
+      listeners_open = false;
+      draining = true;
+      drain_deadline =
+          std::chrono::steady_clock::now() + std::chrono::seconds(5);
+      // Dispatch whatever is already queued on idle sessions.
+      for (auto& [id, s] : sessions_) DispatchIfReady(s.get());
+    }
+    if (draining) {
+      bool deadline = std::chrono::steady_clock::now() >= drain_deadline;
+      if (AllDrained() || deadline) break;
+    }
+
+    poller->Wait(draining ? 50 : 500, &events);
+    for (const PollEvent& ev : events) {
+      if (ev.fd == wake_r_) {
+        char buf[256];
+        while (read(wake_r_, buf, sizeof buf) > 0) {
+        }
+        DrainCompletions();
+        continue;
+      }
+      if (ev.fd == unix_listen_fd_ || ev.fd == tcp_listen_fd_) {
+        if (ev.readable) HandleAccept(ev.fd);
+        continue;
+      }
+      auto it = fd_to_session_.find(ev.fd);
+      if (it == fd_to_session_.end()) continue;
+      // CloseSession only marks a session dead (reaped below), so `s`
+      // stays valid across both handlers even if one of them closes it.
+      Session* s = sessions_.at(it->second).get();
+      if (ev.readable && !draining) HandleReadable(s);
+      if (!s->dead && ev.writable) HandleWritable(s);
+    }
+    // The wake pipe may have been consumed by a spurious wakeup ordering;
+    // completions are cheap to poll.
+    DrainCompletions();
+    ReapDeadSessions();
+  }
+
+  // Drain done: tear down sessions, stop the workers, then make the
+  // shutdown durable — background services first (the adaptive manager
+  // must not be mid-poll while we commit), then one final CommitStore.
+  std::vector<uint64_t> ids;
+  ids.reserve(sessions_.size());
+  for (auto& [id, s] : sessions_) ids.push_back(id);
+  for (uint64_t id : ids) CloseSession(id);
+
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    workers_quit_ = true;
+  }
+  jobs_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+
+  if (wake_r_ >= 0) close(wake_r_);
+  if (unix_listen_fd_ >= 0) close(unix_listen_fd_);
+  if (tcp_listen_fd_ >= 0) close(tcp_listen_fd_);
+  if (!opts_.unix_path.empty()) unlink(opts_.unix_path.c_str());
+
+  universe_->StopServices();
+  universe_->CommitStore();
+  poller_ = nullptr;
+}
+
+void Server::HandleAccept(int listen_fd) {
+  while (true) {
+    int fd = accept(listen_fd, nullptr, nullptr);
+    if (fd < 0) return;  // EAGAIN or transient error: wait for next event
+    if (!SetNonBlocking(fd).ok()) {
+      close(fd);
+      continue;
+    }
+    int one = 1;
+    setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+    auto s = std::make_unique<Session>();
+    s->id = next_session_id_++;
+    s->fd = fd;
+    s->step_budget = opts_.default_step_budget;
+    fd_to_session_[fd] = s->id;
+    poller_->Add(fd);
+    sessions_[s->id] = std::move(s);
+    active_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+    MConnections()->Increment();
+  }
+}
+
+void Server::HandleReadable(Session* s) {
+  // Drain the socket, then the frames: every complete frame parsed here
+  // lands in one batch, which is what makes pipelining pay.
+  char buf[64 * 1024];
+  while (true) {
+    ssize_t n = recv(s->fd, buf, sizeof buf, 0);
+    if (n > 0) {
+      s->inbuf.append(buf, static_cast<size_t>(n));
+      MBytesIn()->Add(static_cast<uint64_t>(n));
+      continue;
+    }
+    if (n == 0) {  // peer closed
+      CloseSession(s->id);
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    if (errno == EINTR) continue;
+    CloseSession(s->id);
+    return;
+  }
+
+  size_t off = 0;
+  while (off < s->inbuf.size()) {
+    WireValue req;
+    size_t consumed = 0;
+    DecodeStatus st = DecodeFrame(
+        reinterpret_cast<const uint8_t*>(s->inbuf.data()) + off,
+        s->inbuf.size() - off, &req, &consumed, opts_.max_frame);
+    if (st == DecodeStatus::kNeedMore) break;
+    if (st == DecodeStatus::kError) {
+      // Poisoned stream: answer with one ERR frame, then close after the
+      // flush.  Nothing after this point can be framed reliably.
+      MProtocolErrors()->Increment();
+      WireValue err = WireValue::Err(
+          ERR_TOO_BIG, "protocol error: bad frame (oversized, malformed, "
+                       "or trailing garbage)");
+      EncodeFrame(err, &s->outbuf);
+      s->inbuf.clear();
+      s->pending.clear();
+      s->want_close = true;
+      FlushOut(s);
+      return;
+    }
+    s->pending.push_back(std::move(req));
+    off += consumed;
+  }
+  s->inbuf.erase(0, off);
+  DispatchIfReady(s);
+}
+
+void Server::DispatchIfReady(Session* s) {
+  if (s->busy || s->dead || s->pending.empty()) return;
+  Job job;
+  job.session_id = s->id;
+  job.step_budget = s->step_budget;
+  job.requests.reserve(s->pending.size());
+  while (!s->pending.empty()) {
+    job.requests.push_back(std::move(s->pending.front()));
+    s->pending.pop_front();
+  }
+  MBatchFrames()->Observe(job.requests.size());
+  s->busy = true;
+  {
+    std::lock_guard<std::mutex> lock(jobs_mu_);
+    jobs_.push_back(std::move(job));
+  }
+  jobs_cv_.notify_one();
+}
+
+void Server::DrainCompletions() {
+  std::vector<Completion> done;
+  {
+    std::lock_guard<std::mutex> lock(done_mu_);
+    done.swap(done_);
+  }
+  for (Completion& c : done) {
+    if (c.shutdown) stop_requested_.store(true, std::memory_order_release);
+    auto it = sessions_.find(c.session_id);
+    if (it == sessions_.end()) continue;
+    Session* s = it->second.get();
+    s->busy = false;
+    if (s->dead) continue;  // peer vanished while the batch ran; reaped later
+    s->step_budget = c.step_budget;
+    s->outbuf.append(c.bytes);
+    FlushOut(s);
+    if (!s->dead) DispatchIfReady(s);
+  }
+}
+
+void Server::HandleWritable(Session* s) { FlushOut(s); }
+
+void Server::FlushOut(Session* s) {
+  while (!s->outbuf.empty()) {
+    ssize_t n = send(s->fd, s->outbuf.data(), s->outbuf.size(), MSG_NOSIGNAL);
+    if (n > 0) {
+      MBytesOut()->Add(static_cast<uint64_t>(n));
+      s->outbuf.erase(0, static_cast<size_t>(n));
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      poller_->SetWriteInterest(s->fd, true);
+      return;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    CloseSession(s->id);
+    return;
+  }
+  poller_->SetWriteInterest(s->fd, false);
+  if (s->want_close) CloseSession(s->id);
+}
+
+void Server::CloseSession(uint64_t id) {
+  auto it = sessions_.find(id);
+  if (it == sessions_.end()) return;
+  Session* s = it->second.get();
+  if (s->dead) return;
+  if (s->fd >= 0) {
+    poller_->Remove(s->fd);
+    fd_to_session_.erase(s->fd);
+    close(s->fd);
+    s->fd = -1;
+    MDisconnects()->Increment();
+  }
+  s->dead = true;
+  s->pending.clear();
+}
+
+void Server::ReapDeadSessions() {
+  // Dead-but-busy sessions linger: a worker still owns their batch, and
+  // the completion must find the session to be dropped cleanly.
+  for (auto it = sessions_.begin(); it != sessions_.end();) {
+    if (it->second->dead && !it->second->busy) {
+      it = sessions_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  active_sessions_.store(sessions_.size(), std::memory_order_relaxed);
+}
+
+bool Server::AllDrained() const {
+  for (const auto& [id, s] : sessions_) {
+    if (s->busy) return false;
+    if (!s->dead && (!s->pending.empty() || !s->outbuf.empty())) return false;
+  }
+  return true;
+}
+
+// ---- worker threads ----------------------------------------------------------
+
+void Server::WorkerThread(int index) {
+  vm::VM* vm = worker_vms_[static_cast<size_t>(index)];
+  while (true) {
+    Job job;
+    {
+      std::unique_lock<std::mutex> lock(jobs_mu_);
+      jobs_cv_.wait(lock, [this] { return workers_quit_ || !jobs_.empty(); });
+      if (jobs_.empty()) {
+        if (workers_quit_) return;
+        continue;
+      }
+      job = std::move(jobs_.front());
+      jobs_.pop_front();
+    }
+    Completion c = RunBatch(vm, std::move(job));
+    {
+      std::lock_guard<std::mutex> lock(done_mu_);
+      done_.push_back(std::move(c));
+    }
+    char b = 'c';
+    [[maybe_unused]] ssize_t n = write(wake_w_, &b, 1);
+  }
+}
+
+Server::Completion Server::RunBatch(vm::VM* vm, Job job) {
+  TML_TELEMETRY_SPAN("server", "server.batch");
+  Completion c;
+  c.session_id = job.session_id;
+  c.step_budget = job.step_budget;
+  for (const WireValue& req : job.requests) {
+    TML_TELEMETRY_SPAN("server", "server.request");
+    auto t0 = std::chrono::steady_clock::now();
+    WireValue resp = Execute(vm, req, &c.step_budget, &c.shutdown);
+    auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
+        std::chrono::steady_clock::now() - t0);
+    MRequestUs()->Observe(static_cast<uint64_t>(dt.count()));
+    MRequests()->Increment();
+    if (resp.is_err()) MErrors()->Increment();
+    // Response encoding cannot fail for values we build (bounded depth),
+    // except oversized payloads — degrade those to an ERR frame.
+    std::string frame;
+    if (!EncodeFrame(resp, &frame).ok()) {
+      frame.clear();
+      EncodeFrame(WireValue::Err(ERR_TOO_BIG, "response exceeds frame limit"),
+                  &frame);
+    }
+    c.bytes.append(frame);
+  }
+  return c;
+}
+
+WireValue Server::Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
+                          bool* shutdown) {
+  if (req.tag != TAG_ARR || req.elems.empty() || !req.elems[0].is_str()) {
+    return WireValue::Err(ERR_BAD_ARG,
+                          "request must be an array [command, args...]");
+  }
+  const std::string& cmd = req.elems[0].s;
+  const std::vector<WireValue>& a = req.elems;
+
+  if (EqualsIgnoreCase(cmd, "PING")) return WireValue::Str("PONG");
+  if (EqualsIgnoreCase(cmd, "INSTALL")) return CmdInstall(a);
+  if (EqualsIgnoreCase(cmd, "LOOKUP")) return CmdLookup(a);
+  if (EqualsIgnoreCase(cmd, "CALL")) return CmdCall(vm, a, *budget);
+  if (EqualsIgnoreCase(cmd, "CALLOID")) return CmdCallOid(vm, a, *budget);
+  if (EqualsIgnoreCase(cmd, "OPTIMIZE")) return CmdOptimize(a);
+  if (EqualsIgnoreCase(cmd, "RELSTORE")) return CmdRelStore(a);
+  if (EqualsIgnoreCase(cmd, "QUERY")) return CmdQuery(vm, a, *budget);
+  if (EqualsIgnoreCase(cmd, "STATS")) return CmdStats();
+  if (EqualsIgnoreCase(cmd, "BUDGET")) {
+    if (a.size() != 2 || a[1].tag != TAG_INT || a[1].i < 0) {
+      return WireValue::Err(ERR_BAD_ARG, "usage: BUDGET <steps>=0..");
+    }
+    *budget = static_cast<uint64_t>(a[1].i);
+    return WireValue::Str("OK");
+  }
+  if (EqualsIgnoreCase(cmd, "SHUTDOWN")) {
+    *shutdown = true;
+    return WireValue::Str("OK");
+  }
+  return WireValue::Err(ERR_UNKNOWN, "unknown command: " + cmd);
+}
+
+WireValue Server::CmdInstall(const std::vector<WireValue>& a) {
+  if (a.size() < 3 || a.size() > 4 || !a[1].is_str() || !a[2].is_str() ||
+      (a.size() == 4 && !a[3].is_str())) {
+    return WireValue::Err(ERR_BAD_ARG,
+                          "usage: INSTALL <module> <source> [library|direct]");
+  }
+  fe::BindingMode mode = fe::BindingMode::kLibrary;
+  if (a.size() == 4) {
+    if (EqualsIgnoreCase(a[3].s, "DIRECT")) {
+      mode = fe::BindingMode::kDirect;
+    } else if (!EqualsIgnoreCase(a[3].s, "LIBRARY")) {
+      return WireValue::Err(ERR_BAD_ARG, "mode must be library or direct");
+    }
+  }
+  Status st = universe_->InstallSource(a[1].s, a[2].s, mode);
+  if (!st.ok()) return StatusToErr(st);
+  return WireValue::Str("OK");
+}
+
+WireValue Server::CmdLookup(const std::vector<WireValue>& a) {
+  if (a.size() != 3 || !a[1].is_str() || !a[2].is_str()) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: LOOKUP <module> <function>");
+  }
+  Result<Oid> oid = universe_->Lookup(a[1].s, a[2].s);
+  if (!oid.ok()) return StatusToErr(oid.status());
+  return WireValue::Int(static_cast<int64_t>(*oid));
+}
+
+WireValue Server::RunToWire(vm::VM* vm, Oid closure,
+                            std::span<const vm::Value> args, uint64_t budget) {
+  vm->set_step_budget(budget);
+  auto r = vm->RunClosure(vm::Value::OidV(closure), args);
+  vm->set_step_budget(0);
+  if (!r.ok()) {
+    if (r.status().code() == StatusCode::kOutOfRange) {
+      return WireValue::Err(ERR_BUDGET, r.status().ToString());
+    }
+    return WireValue::Err(ERR_RUNTIME, r.status().ToString());
+  }
+  if (r->raised) {
+    return WireValue::Err(ERR_RAISED, "uncaught TML exception: " +
+                                          vm::ToString(r->value));
+  }
+  return VmToWire(r->value);
+}
+
+WireValue Server::CmdCall(vm::VM* vm, const std::vector<WireValue>& a,
+                          uint64_t budget) {
+  if (a.size() < 3 || !a[1].is_str() || !a[2].is_str()) {
+    return WireValue::Err(ERR_BAD_ARG,
+                          "usage: CALL <module> <function> [args...]");
+  }
+  Result<Oid> oid = universe_->Lookup(a[1].s, a[2].s);
+  if (!oid.ok()) return StatusToErr(oid.status());
+  std::vector<vm::Value> args;
+  args.reserve(a.size() - 3);
+  for (size_t k = 3; k < a.size(); ++k) {
+    auto v = WireToVm(vm, a[k]);
+    if (!v.ok()) return WireValue::Err(ERR_BAD_ARG, v.status().ToString());
+    args.push_back(*v);
+  }
+  return RunToWire(vm, *oid, args, budget);
+}
+
+WireValue Server::CmdCallOid(vm::VM* vm, const std::vector<WireValue>& a,
+                             uint64_t budget) {
+  if (a.size() < 2 || a[1].tag != TAG_INT) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: CALLOID <oid> [args...]");
+  }
+  std::vector<vm::Value> args;
+  args.reserve(a.size() - 2);
+  for (size_t k = 2; k < a.size(); ++k) {
+    auto v = WireToVm(vm, a[k]);
+    if (!v.ok()) return WireValue::Err(ERR_BAD_ARG, v.status().ToString());
+    args.push_back(*v);
+  }
+  return RunToWire(vm, static_cast<Oid>(a[1].i), args, budget);
+}
+
+WireValue Server::CmdOptimize(const std::vector<WireValue>& a) {
+  if (a.size() != 3 || !a[1].is_str() || !a[2].is_str()) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: OPTIMIZE <module> <function>");
+  }
+  Result<Oid> oid = universe_->Lookup(a[1].s, a[2].s);
+  if (!oid.ok()) return StatusToErr(oid.status());
+  // Mirror the adaptive manager's promotion protocol: snapshot the binding
+  // generation before optimizing so a concurrent install voids the swap
+  // instead of installing stale code.
+  uint64_t gen = universe_->binding_generation();
+  Result<Oid> optimized = universe_->ReflectOptimize(*oid);
+  if (!optimized.ok()) return StatusToErr(optimized.status());
+  Result<bool> swapped = universe_->SwapCode(*oid, *optimized, gen);
+  if (!swapped.ok()) return StatusToErr(swapped.status());
+  return WireValue::Arr({WireValue::Int(static_cast<int64_t>(*optimized)),
+                         WireValue::Str(*swapped ? "swapped" : "stale")});
+}
+
+WireValue Server::CmdRelStore(const std::vector<WireValue>& a) {
+  if (a.size() != 3 || a[1].tag != TAG_ARR || a[2].tag != TAG_ARR) {
+    return WireValue::Err(
+        ERR_BAD_ARG, "usage: RELSTORE <[column names]> <[[row fields]...]>");
+  }
+  query::Relation rel;
+  for (const WireValue& name : a[1].elems) {
+    if (!name.is_str()) {
+      return WireValue::Err(ERR_BAD_ARG, "column names must be strings");
+    }
+    rel.columns.push_back(name.s);
+  }
+  for (const WireValue& row : a[2].elems) {
+    if (row.tag != TAG_ARR || row.elems.size() != rel.columns.size()) {
+      return WireValue::Err(ERR_BAD_ARG,
+                            "each row must be an array of arity fields");
+    }
+    query::Tuple t;
+    for (const WireValue& f : row.elems) {
+      switch (f.tag) {
+        case TAG_NIL: t.emplace_back(std::monostate{}); break;
+        case TAG_INT: t.emplace_back(f.i); break;
+        case TAG_DBL: t.emplace_back(f.d); break;
+        case TAG_STR: t.emplace_back(f.s); break;
+        default:
+          return WireValue::Err(ERR_BAD_ARG,
+                                "row fields must be nil/int/dbl/str");
+      }
+    }
+    rel.tuples.push_back(std::move(t));
+  }
+  Result<Oid> oid = universe_->StoreRelationBytes(query::EncodeRelation(rel));
+  if (!oid.ok()) return StatusToErr(oid.status());
+  return WireValue::Int(static_cast<int64_t>(*oid));
+}
+
+WireValue Server::CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
+                           uint64_t budget) {
+  if (a.size() != 4 || !a[1].is_str() || !a[2].is_str() ||
+      a[3].tag != TAG_INT) {
+    return WireValue::Err(
+        ERR_BAD_ARG, "usage: QUERY <module> <function> <relation oid>");
+  }
+  Result<Oid> fn = universe_->Lookup(a[1].s, a[2].s);
+  if (!fn.ok()) return StatusToErr(fn.status());
+  // The relation travels as an OID; the worker VM swizzles it through the
+  // shared runtime environment on first touch, like any persistent datum.
+  vm::Value arg = vm::Value::OidV(static_cast<Oid>(a[3].i));
+  return RunToWire(vm, *fn, std::span<const vm::Value>(&arg, 1), budget);
+}
+
+WireValue Server::CmdStats() {
+  return WireValue::Str(universe_->TelemetrySnapshot().ToJson());
+}
+
+}  // namespace tml::server

@@ -1,0 +1,205 @@
+// Tycoon-as-a-service: the network front end over a shared persistent
+// universe (ROADMAP item 1; DESIGN.md §10).
+//
+// One Server wraps one Universe.  Clients connect over TCP and/or a Unix
+// socket and speak the tagged binary protocol of server/protocol.h.  The
+// paper's §4.1 payoff carries to the wire: a server-side function
+// reflect-optimized once — explicitly via OPTIMIZE or in the background by
+// the AdaptiveManager — is served optimized to every connected client from
+// the persistent code cache after the SwapCode.
+//
+// Architecture (threads):
+//
+//   loop thread      single-threaded epoll (poll(2) fallback) event loop:
+//                    accepts, reads, frame decode, response write-back.
+//                    Never executes TML code.
+//   worker threads   N dispatch workers, each owning one AddWorkerVm() VM.
+//                    A worker executes one session's request batch at a
+//                    time (program order within a session is preserved;
+//                    different sessions run in parallel over the shared
+//                    lock-free binding snapshot).
+//
+// Pipelining: the loop drains every complete frame per readiness event and
+// hands the whole run to a worker as one batch; responses come back as one
+// pre-encoded byte string and are written in request order.  While a batch
+// is in flight further frames queue on the session and dispatch as the
+// next batch — so a client streaming K requests pays ~2 scheduling
+// round-trips, not K.
+//
+// Shutdown: Stop() (async-signal-safe — tycd calls it from the SIGTERM
+// handler) closes the listeners, lets in-flight and already-received
+// requests finish, flushes their responses, joins the workers, stops the
+// universe's adopted background services, and commits the store — a
+// SIGTERM'd server never relies on salvage recovery.
+
+#ifndef TML_SERVER_SERVER_H_
+#define TML_SERVER_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/universe.h"
+#include "server/protocol.h"
+#include "support/status.h"
+
+namespace tml::server {
+
+/// Readiness-notification seam (epoll on Linux, poll(2) fallback);
+/// defined in server.cc.
+class PollerIface;
+
+struct ServerOptions {
+  /// Unix-domain listener path; empty disables the Unix listener.
+  std::string unix_path;
+  /// TCP listener; port < 0 disables, port 0 binds an ephemeral port
+  /// (read it back with Server::tcp_port()).
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  /// Dispatch worker threads (each owns one AddWorkerVm() VM).
+  int workers = 2;
+  /// Default per-session CALL/QUERY step budget (0 = unlimited); sessions
+  /// adjust their own with the BUDGET command.
+  uint64_t default_step_budget = 100'000'000;
+  /// Force the portable poll(2) loop even where epoll is available (the
+  /// fallback path stays tested).
+  bool use_poll = false;
+  /// Frame size bound handed to the decoder (tests shrink it).
+  uint32_t max_frame = kMaxFrameLen;
+};
+
+class Server {
+ public:
+  /// The universe must outlive the server.  The server adds its worker
+  /// VMs to the universe at Start().
+  Server(rt::Universe* universe, ServerOptions opts);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Bind listeners and launch the loop + worker threads.
+  Status Start();
+
+  /// Request graceful shutdown.  Async-signal-safe (one atomic store and
+  /// one write(2) to the wake pipe); idempotent.  Does not block — use
+  /// Join() to wait for the drain to finish.
+  void Stop();
+
+  /// Wait until the loop and workers have exited.  After Join() the
+  /// store has been committed and adopted background services stopped.
+  void Join();
+
+  /// Actual TCP port after Start() (for tcp_port = 0).
+  int tcp_port() const { return tcp_port_; }
+
+  /// Connections currently open (loop-thread owned; approximate when read
+  /// from other threads).
+  size_t active_sessions() const {
+    return active_sessions_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  struct Session;
+
+  /// One dispatched unit: a session's drained request batch, executed by
+  /// a worker in order on its private VM.
+  struct Job {
+    uint64_t session_id = 0;
+    std::vector<WireValue> requests;
+    uint64_t step_budget = 0;
+  };
+
+  /// What a worker hands back to the loop thread.
+  struct Completion {
+    uint64_t session_id = 0;
+    std::string bytes;         ///< pre-encoded response frames, in order
+    uint64_t step_budget = 0;  ///< session budget after the batch (BUDGET)
+    bool shutdown = false;     ///< batch contained SHUTDOWN
+  };
+
+  // ---- loop thread ----
+  void LoopThread();
+  void HandleAccept(int listen_fd);
+  void HandleReadable(Session* s);
+  void HandleWritable(Session* s);
+  void DrainCompletions();
+  void DispatchIfReady(Session* s);
+  void FlushOut(Session* s);
+  /// Close the fd and mark the session dead.  The object is reaped later
+  /// by ReapDeadSessions() (never mid-event: handlers hold Session*).
+  void CloseSession(uint64_t id);
+  void ReapDeadSessions();
+  bool AllDrained() const;
+
+  // ---- worker threads ----
+  void WorkerThread(int index);
+  Completion RunBatch(vm::VM* vm, Job job);
+  WireValue Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
+                    bool* shutdown);
+
+  // Command handlers (worker threads; `vm` is the worker's private VM).
+  WireValue CmdInstall(const std::vector<WireValue>& a);
+  WireValue CmdLookup(const std::vector<WireValue>& a);
+  WireValue CmdCall(vm::VM* vm, const std::vector<WireValue>& a,
+                    uint64_t budget);
+  WireValue CmdCallOid(vm::VM* vm, const std::vector<WireValue>& a,
+                       uint64_t budget);
+  WireValue CmdOptimize(const std::vector<WireValue>& a);
+  WireValue CmdRelStore(const std::vector<WireValue>& a);
+  WireValue CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
+                     uint64_t budget);
+  WireValue CmdStats();
+
+  /// Run a closure on `vm` under `budget` and translate the outcome
+  /// (value / raise / budget exhaustion / VM error) to a wire value.
+  WireValue RunToWire(vm::VM* vm, Oid closure, std::span<const vm::Value> args,
+                      uint64_t budget);
+
+  rt::Universe* universe_;
+  ServerOptions opts_;
+
+  std::thread loop_;
+  std::vector<std::thread> workers_;
+  std::vector<vm::VM*> worker_vms_;
+
+  int unix_listen_fd_ = -1;
+  int tcp_listen_fd_ = -1;
+  int tcp_port_ = -1;
+  int wake_r_ = -1;  ///< wake pipe read end (loop thread)
+  int wake_w_ = -1;  ///< wake pipe write end (Stop, workers)
+
+  std::atomic<bool> stop_requested_{false};
+  std::atomic<bool> started_{false};
+  bool joined_ = false;
+  std::mutex join_mu_;
+
+  // Sessions (loop thread only).
+  PollerIface* poller_ = nullptr;
+  uint64_t next_session_id_ = 1;
+  std::unordered_map<uint64_t, std::unique_ptr<Session>> sessions_;
+  std::unordered_map<int, uint64_t> fd_to_session_;
+  std::atomic<size_t> active_sessions_{0};
+
+  // Job queue (loop -> workers).
+  std::mutex jobs_mu_;
+  std::condition_variable jobs_cv_;
+  std::deque<Job> jobs_;
+  bool workers_quit_ = false;
+  int busy_workers_ = 0;
+
+  // Completion queue (workers -> loop).
+  std::mutex done_mu_;
+  std::vector<Completion> done_;
+};
+
+}  // namespace tml::server
+
+#endif  // TML_SERVER_SERVER_H_

@@ -270,6 +270,14 @@ void VM::PublishTelemetry() {
 Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
   size_t base = frames_.size();
   uint64_t steps_before = total_steps_;
+  // Arm the per-run step budget at the outermost boundary only: nested
+  // runs (query predicates re-entering via CallSync) spend the enclosing
+  // run's budget rather than resetting it.
+  if (base == 0) {
+    budget_deadline_ = opts_.step_budget == 0
+                           ? UINT64_MAX
+                           : total_steps_ + opts_.step_budget;
+  }
   TML_RETURN_NOT_OK(PushFrame(closure, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
@@ -290,6 +298,11 @@ Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
 
 Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
   size_t base = frames_.size();
+  if (base == 0) {
+    budget_deadline_ = opts_.step_budget == 0
+                           ? UINT64_MAX
+                           : total_steps_ + opts_.step_budget;
+  }
   TML_RETURN_NOT_OK(PushFrame(callee, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
@@ -370,6 +383,11 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
     }
     if (++total_steps_ > opts_.max_steps) {
       return Status::RuntimeError("vm: step limit exceeded");
+    }
+    if (total_steps_ > budget_deadline_) {
+      return Status::OutOfRange(
+          "vm: step budget exceeded (budget=" +
+          std::to_string(opts_.step_budget) + ")");
     }
     // Attribute the step to the function on top of the stack: frame-local
     // now, published to the shared profile when the frame pops.

@@ -46,6 +46,15 @@ using HostFn =
 
 struct VMOptions {
   uint64_t max_steps = 4'000'000'000ull;
+  /// Per-run step budget: each *outermost* Run/RunClosure/CallSync may
+  /// execute at most this many instructions before aborting with an
+  /// OutOfRange status (0 = unlimited).  Unlike max_steps — a lifetime
+  /// cap against runaway processes — this bounds a single program, so a
+  /// long-lived server worker can cut off one hostile client CALL without
+  /// wedging or poisoning the VM: the frame stack unwinds and the next
+  /// run starts with a fresh budget.  Nested calls (query predicates,
+  /// host re-entry) share the enclosing run's budget.
+  uint64_t step_budget = 0;
   /// Maintain per-function execution counters (calls + steps attributed to
   /// the currently executing Function).  One frame-local increment per
   /// instruction plus one relaxed atomic add per call/return, so it is
@@ -124,6 +133,13 @@ class VM {
   /// publish on frame pop), so this is a sample, not an exact cut.
   std::vector<FnSample> SnapshotProfile();
 
+  /// Adjust the per-run step budget (see VMOptions::step_budget; 0 =
+  /// unlimited).  Takes effect at the next outermost run.  Mutator thread
+  /// only — the server's dispatch workers set this per session before
+  /// each CALL batch on their private VM.
+  void set_step_budget(uint64_t budget) { opts_.step_budget = budget; }
+  uint64_t step_budget() const { return opts_.step_budget; }
+
   /// Drop the cached swizzle for `oid` so the next resolution reloads it
   /// from the runtime environment — the installation hook of the adaptive
   /// optimizer (regenerated code replaces a closure's code record, then the
@@ -201,6 +217,10 @@ class VM {
   std::unordered_map<Oid, Value> swizzle_cache_;
   std::string output_;
   uint64_t total_steps_ = 0;
+  /// total_steps_ value at which the current outermost run aborts with
+  /// "step budget exceeded" (UINT64_MAX = no budget).  Armed at every
+  /// outermost Run/RunClosure/CallSync entry from opts_.step_budget.
+  uint64_t budget_deadline_ = UINT64_MAX;
 
   // Mutator-local telemetry tallies and their published watermarks (see
   // PublishTelemetry).

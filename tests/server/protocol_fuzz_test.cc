@@ -1,0 +1,346 @@
+// Fuzz suite for the tyd wire codec (server/protocol.h).  Pins down the
+// decoder contract: arbitrary bytes, truncations of valid frames,
+// hostile length prefixes, huge element counts, and over-deep nesting all
+// yield kOk / kNeedMore / kError — never a crash, an over-read, or an
+// unbounded allocation.  CI additionally runs this binary under ASan
+// (check.sh --asan), which turns any over-read into a hard failure.
+//
+// Deterministic: every case derives from a fixed-seed mt19937.
+
+#include <cstdint>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "server/protocol.h"
+
+namespace tml::server {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Generators
+
+WireValue RandomValue(std::mt19937* rng, int depth) {
+  std::uniform_int_distribution<int> tag_dist(0, depth >= 4 ? 4 : 5);
+  switch (tag_dist(*rng)) {
+    case 0:
+      return WireValue::Nil();
+    case 1: {
+      std::uniform_int_distribution<uint32_t> code((*rng)() % 8, 8);
+      return WireValue::Err(code(*rng) % 8, "fuzz error message");
+    }
+    case 2: {
+      std::uniform_int_distribution<size_t> len(0, 64);
+      std::string s(len(*rng), '\0');
+      for (auto& c : s) c = static_cast<char>((*rng)() & 0xff);
+      return WireValue::Str(std::move(s));
+    }
+    case 3:
+      return WireValue::Int(static_cast<int64_t>(
+          (static_cast<uint64_t>((*rng)()) << 32) | (*rng)()));
+    case 4: {
+      std::uniform_real_distribution<double> d(-1e18, 1e18);
+      return WireValue::Dbl(d(*rng));
+    }
+    default: {
+      std::uniform_int_distribution<size_t> count(0, 5);
+      std::vector<WireValue> elems;
+      size_t n = count(*rng);
+      elems.reserve(n);
+      for (size_t k = 0; k < n; ++k) {
+        elems.push_back(RandomValue(rng, depth + 1));
+      }
+      return WireValue::Arr(std::move(elems));
+    }
+  }
+}
+
+bool WireEq(const WireValue& a, const WireValue& b) {
+  if (a.tag != b.tag) return false;
+  switch (a.tag) {
+    case TAG_NIL:
+      return true;
+    case TAG_ERR:
+      return a.err_code == b.err_code && a.s == b.s;
+    case TAG_STR:
+      return a.s == b.s;
+    case TAG_INT:
+      return a.i == b.i;
+    case TAG_DBL:
+      // Bit-exact: the wire carries IEEE-754 bits, including NaNs.
+      return std::memcmp(&a.d, &b.d, sizeof(double)) == 0;
+    case TAG_ARR: {
+      if (a.elems.size() != b.elems.size()) return false;
+      for (size_t k = 0; k < a.elems.size(); ++k) {
+        if (!WireEq(a.elems[k], b.elems[k])) return false;
+      }
+      return true;
+    }
+    default:
+      return false;
+  }
+}
+
+void PutU32(std::string* out, uint32_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+  out->push_back(static_cast<char>((v >> 16) & 0xff));
+  out->push_back(static_cast<char>((v >> 24) & 0xff));
+}
+
+const uint8_t* Bytes(const std::string& s) {
+  return reinterpret_cast<const uint8_t*>(s.data());
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip property
+
+TEST(ProtocolFuzzTest, EncodeDecodeRoundTrip) {
+  std::mt19937 rng(0xC0FFEE);
+  for (int iter = 0; iter < 20000; ++iter) {
+    WireValue v = RandomValue(&rng, 0);
+    std::string frame;
+    ASSERT_TRUE(EncodeFrame(v, &frame).ok());
+
+    WireValue back;
+    size_t consumed = 0;
+    ASSERT_EQ(DecodeFrame(Bytes(frame), frame.size(), &back, &consumed),
+              DecodeStatus::kOk);
+    EXPECT_EQ(consumed, frame.size());
+    EXPECT_TRUE(WireEq(v, back)) << ToString(v) << " != " << ToString(back);
+  }
+}
+
+TEST(ProtocolFuzzTest, RoundTripSurvivesConcatenation) {
+  // Pipelined streams: many frames back to back decode one by one, each
+  // reporting its exact length.
+  std::mt19937 rng(0xF00D);
+  std::string stream;
+  std::vector<WireValue> sent;
+  for (int k = 0; k < 100; ++k) {
+    WireValue v = RandomValue(&rng, 0);
+    ASSERT_TRUE(EncodeFrame(v, &stream).ok());
+    sent.push_back(std::move(v));
+  }
+  size_t off = 0;
+  for (const auto& want : sent) {
+    WireValue got;
+    size_t consumed = 0;
+    ASSERT_EQ(
+        DecodeFrame(Bytes(stream) + off, stream.size() - off, &got, &consumed),
+        DecodeStatus::kOk);
+    ASSERT_GT(consumed, 0u);
+    off += consumed;
+    EXPECT_TRUE(WireEq(want, got));
+  }
+  EXPECT_EQ(off, stream.size());
+}
+
+// ---------------------------------------------------------------------------
+// Truncation: every proper prefix of a valid frame is kNeedMore, and the
+// decoder must not read past the bytes it was given.
+
+TEST(ProtocolFuzzTest, EveryPrefixOfValidFrameNeedsMore) {
+  std::mt19937 rng(0xBEEF);
+  for (int iter = 0; iter < 500; ++iter) {
+    std::string frame;
+    ASSERT_TRUE(EncodeFrame(RandomValue(&rng, 0), &frame).ok());
+    for (size_t cut = 0; cut < frame.size(); ++cut) {
+      WireValue out;
+      size_t consumed = 123;
+      DecodeStatus st = DecodeFrame(Bytes(frame), cut, &out, &consumed);
+      EXPECT_EQ(st, DecodeStatus::kNeedMore)
+          << "prefix of " << cut << "/" << frame.size() << " bytes";
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Arbitrary garbage never crashes, and kOk never consumes more bytes than
+// were offered.
+
+TEST(ProtocolFuzzTest, RandomBytesNeverCrash) {
+  std::mt19937 rng(0xDEAD);
+  std::uniform_int_distribution<size_t> len_dist(0, 512);
+  for (int iter = 0; iter < 100000; ++iter) {
+    std::string junk(len_dist(rng), '\0');
+    for (auto& c : junk) c = static_cast<char>(rng() & 0xff);
+    WireValue out;
+    size_t consumed = 0;
+    DecodeStatus st = DecodeFrame(Bytes(junk), junk.size(), &out, &consumed);
+    if (st == DecodeStatus::kOk) {
+      EXPECT_LE(consumed, junk.size());
+      EXPECT_GT(consumed, 4u);
+    } else {
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+TEST(ProtocolFuzzTest, MutatedValidFramesNeverCrash) {
+  // Flip bytes inside otherwise-valid frames: decode must still terminate
+  // with one of the three statuses and in-bounds consumption.
+  std::mt19937 rng(0xFACE);
+  for (int iter = 0; iter < 20000; ++iter) {
+    std::string frame;
+    ASSERT_TRUE(EncodeFrame(RandomValue(&rng, 0), &frame).ok());
+    std::uniform_int_distribution<size_t> pos_dist(0, frame.size() - 1);
+    for (int flips = 1 + static_cast<int>(rng() % 4); flips > 0; --flips) {
+      frame[pos_dist(rng)] = static_cast<char>(rng() & 0xff);
+    }
+    WireValue out;
+    size_t consumed = 0;
+    DecodeStatus st = DecodeFrame(Bytes(frame), frame.size(), &out, &consumed);
+    if (st == DecodeStatus::kOk) {
+      EXPECT_LE(consumed, frame.size());
+    } else {
+      EXPECT_EQ(consumed, 0u);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Hostile length prefixes and counts: bounded allocation by construction.
+
+TEST(ProtocolFuzzTest, OversizedLengthPrefixIsError) {
+  for (uint32_t body_len : {kMaxFrameLen + 1, 0x7fffffffu, 0xffffffffu}) {
+    std::string frame;
+    PutU32(&frame, body_len);
+    frame.push_back(static_cast<char>(TAG_NIL));
+    WireValue out;
+    size_t consumed = 0;
+    // Even though the body is incomplete, a prefix beyond the cap is an
+    // immediate protocol error — a hostile peer cannot make the server
+    // buffer 4 GiB waiting for "more".
+    EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+              DecodeStatus::kError);
+  }
+}
+
+TEST(ProtocolFuzzTest, ZeroLengthBodyIsError) {
+  std::string frame;
+  PutU32(&frame, 0);
+  WireValue out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, HugeElementCountIsErrorNotAllocation) {
+  // TAG_ARR claiming 2^32-1 elements inside a tiny body must be rejected
+  // by the count-vs-remaining-bytes check before any reservation.
+  std::string body;
+  body.push_back(static_cast<char>(TAG_ARR));
+  PutU32(&body, 0xffffffffu);
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  WireValue out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, HugeStringLengthIsError) {
+  std::string body;
+  body.push_back(static_cast<char>(TAG_STR));
+  PutU32(&body, 0xffffffu);  // claims 16 MiB of payload, provides none
+  std::string frame;
+  PutU32(&frame, static_cast<uint32_t>(body.size()));
+  frame += body;
+  WireValue out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, NestingBeyondMaxDepthIsError) {
+  // kMaxDepth nested [ [ [ ... nil ] ] ] decodes; one deeper does not.
+  auto nested = [](uint32_t depth) {
+    std::string body;
+    for (uint32_t k = 0; k < depth; ++k) {
+      body.push_back(static_cast<char>(TAG_ARR));
+      PutU32(&body, 1);
+    }
+    body.push_back(static_cast<char>(TAG_NIL));
+    std::string frame;
+    PutU32(&frame, static_cast<uint32_t>(body.size()));
+    frame += body;
+    return frame;
+  };
+
+  WireValue out;
+  size_t consumed = 0;
+  std::string ok_frame = nested(kMaxDepth - 1);
+  EXPECT_EQ(DecodeFrame(Bytes(ok_frame), ok_frame.size(), &out, &consumed),
+            DecodeStatus::kOk);
+
+  std::string deep_frame = nested(kMaxDepth + 1);
+  consumed = 0;
+  EXPECT_EQ(DecodeFrame(Bytes(deep_frame), deep_frame.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, TrailingGarbageInsideFrameIsError) {
+  // The body length must be exactly the value's encoding: smuggled extra
+  // bytes inside a frame poison the stream instead of desynchronizing it.
+  std::string frame;
+  ASSERT_TRUE(EncodeFrame(WireValue::Int(7), &frame).ok());
+  // Extend the body by one byte and patch the prefix.
+  frame.push_back('\0');
+  uint32_t body_len = static_cast<uint32_t>(frame.size() - 4);
+  frame[0] = static_cast<char>(body_len & 0xff);
+  frame[1] = static_cast<char>((body_len >> 8) & 0xff);
+  frame[2] = static_cast<char>((body_len >> 16) & 0xff);
+  frame[3] = static_cast<char>((body_len >> 24) & 0xff);
+  WireValue out;
+  size_t consumed = 0;
+  EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+            DecodeStatus::kError);
+}
+
+TEST(ProtocolFuzzTest, UnknownTagIsError) {
+  for (uint8_t tag = 6; tag != 0; tag = static_cast<uint8_t>(tag + 50)) {
+    std::string body(1, static_cast<char>(tag));
+    std::string frame;
+    PutU32(&frame, 1);
+    frame += body;
+    WireValue out;
+    size_t consumed = 0;
+    EXPECT_EQ(DecodeFrame(Bytes(frame), frame.size(), &out, &consumed),
+              DecodeStatus::kError)
+        << "tag " << static_cast<int>(tag);
+  }
+}
+
+TEST(ProtocolFuzzTest, EncodeRejectsOverDeepAndOversize) {
+  WireValue deep = WireValue::Nil();
+  for (uint32_t k = 0; k < kMaxDepth + 1; ++k) {
+    deep = WireValue::Arr({std::move(deep)});
+  }
+  std::string out;
+  EXPECT_FALSE(EncodeFrame(deep, &out).ok());
+
+  WireValue big = WireValue::Str(std::string(kMaxFrameLen + 1, 'x'));
+  out.clear();
+  EXPECT_FALSE(EncodeFrame(big, &out).ok());
+}
+
+TEST(ProtocolFuzzTest, SmallMaxFrameIsHonored) {
+  // Tests shrink the decoder bound; a frame legal at the default bound is
+  // rejected at the smaller one.
+  std::string frame;
+  ASSERT_TRUE(EncodeFrame(WireValue::Str(std::string(256, 'a')), &frame).ok());
+  WireValue out;
+  size_t consumed = 0;
+  EXPECT_EQ(
+      DecodeFrame(Bytes(frame), frame.size(), &out, &consumed, /*max_frame=*/64),
+      DecodeStatus::kError);
+}
+
+}  // namespace
+}  // namespace tml::server

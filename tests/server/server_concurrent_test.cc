@@ -1,0 +1,242 @@
+// Concurrency surface of the tyd server: several clients pipelining CALLs
+// in parallel — across worker VMs and the lock-free published binding
+// snapshot — while code is promoted mid-stream, both explicitly (OPTIMIZE
+// from a competing session) and by a live AdaptiveManager.  Every reply
+// must stay correct and in per-session order through the SwapCode.
+//
+// The suite name matches the `Concurrent` regex in tools/check.sh so this
+// also runs under TSan.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/manager.h"
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace tml::server {
+namespace {
+
+using adaptive::AdaptiveManager;
+using adaptive::AdaptiveOptions;
+using rt::Universe;
+
+// The shared hot function (the 3-4-5 complex-modulus exemplar used across
+// the bench suite): hyp(3, 4) must always be 5.
+std::unique_ptr<store::ObjectStore> OpenStore(const std::string& path = "") {
+  auto s = store::ObjectStore::Open(path);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(*s);
+}
+
+constexpr const char* kComplexSrc =
+    "fun make(x, y) = array(x, y) end\n"
+    "fun getx(c) = c[0] end\n"
+    "fun gety(c) = c[1] end";
+constexpr const char* kAppSrc =
+    "fun cabs(c) ="
+    "  sqrt(real(getx(c) * getx(c) + gety(c) * gety(c))) "
+    "end\n"
+    "fun hyp(x, y) = cabs(make(x, y)) end";
+
+std::string UniqueSock(const char* tag) {
+  return ::testing::TempDir() + "/tyd_conc_" + tag + ".sock";
+}
+
+// One client session hammering `call app hyp 3 4` with a pipeline depth
+// of `kDepth`, verifying every reply is exactly 5.0 and in order.
+void ClientLoop(const std::string& sock, int rounds, std::atomic<int>* wrong,
+                std::atomic<int>* transport_errors) {
+  constexpr int kDepth = 16;
+  auto conn = Client::ConnectUnix(sock);
+  if (!conn.ok()) {
+    transport_errors->fetch_add(1);
+    return;
+  }
+  Client c = std::move(*conn);
+  WireValue req = WireValue::Arr({WireValue::Str("call"), WireValue::Str("app"),
+                                  WireValue::Str("hyp"), WireValue::Int(3),
+                                  WireValue::Int(4)});
+  for (int round = 0; round < rounds; ++round) {
+    for (int k = 0; k < kDepth; ++k) {
+      if (!c.Send(req).ok()) {
+        transport_errors->fetch_add(1);
+        return;
+      }
+    }
+    for (int k = 0; k < kDepth; ++k) {
+      auto r = c.Recv();
+      if (!r.ok()) {
+        transport_errors->fetch_add(1);
+        return;
+      }
+      if (r->tag != TAG_DBL || r->d != 5.0) {
+        wrong->fetch_add(1);
+      }
+    }
+  }
+}
+
+TEST(ServerConcurrentTest, PipelinedClientsStayCorrectAcrossExplicitSwap) {
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc, fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+
+  std::string sock = UniqueSock("swap");
+  ServerOptions opts;
+  opts.unix_path = sock;
+  opts.workers = 4;
+  Server server(&u, opts);
+  ASSERT_OK(server.Start());
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 30;
+  std::atomic<int> wrong{0}, transport_errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back(ClientLoop, sock, kRounds, &wrong, &transport_errors);
+  }
+
+  // Meanwhile a fifth session repeatedly promotes the whole hot path —
+  // every OPTIMIZE swaps the published binding under the callers' feet.
+  {
+    auto conn = Client::ConnectUnix(sock);
+    ASSERT_TRUE(conn.ok());
+    Client opt = std::move(*conn);
+    const char* targets[][2] = {{"app", "hyp"},
+                                {"app", "cabs"},
+                                {"complex", "getx"},
+                                {"complex", "gety"},
+                                {"complex", "make"}};
+    for (int round = 0; round < 10; ++round) {
+      for (const auto& t : targets) {
+        auto r = opt.Call({"optimize", t[0], t[1]});
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+        // "stale" (lost a generation race) is fine; a wire error is not.
+        ASSERT_FALSE(r->is_err()) << ToString(*r);
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+  }
+
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+
+  server.Stop();
+  server.Join();
+}
+
+TEST(ServerConcurrentTest, AdaptiveManagerPromotesUnderLiveTraffic) {
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  ASSERT_OK(u.InstallSource("complex", kComplexSrc, fe::BindingMode::kLibrary));
+  ASSERT_OK(u.InstallSource("app", kAppSrc, fe::BindingMode::kLibrary));
+
+  // Aggressive policy so promotion reliably fires inside the test window.
+  AdaptiveOptions aopts;
+  aopts.policy.hot_steps = 200;
+  aopts.policy.min_calls = 2;
+  aopts.policy.decay = 1.0;
+  aopts.poll_interval = std::chrono::milliseconds(5);
+  auto manager = std::make_unique<AdaptiveManager>(&u, aopts);
+  manager->Start();
+  u.AdoptService(std::move(manager));
+
+  std::string sock = UniqueSock("adaptive");
+  ServerOptions opts;
+  opts.unix_path = sock;
+  opts.workers = 4;
+  Server server(&u, opts);
+  ASSERT_OK(server.Start());
+
+  uint64_t gen_before = u.binding_generation();
+
+  constexpr int kClients = 4;
+  constexpr int kRounds = 40;
+  std::atomic<int> wrong{0}, transport_errors{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back(ClientLoop, sock, kRounds, &wrong, &transport_errors);
+  }
+  for (auto& t : clients) t.join();
+
+  EXPECT_EQ(wrong.load(), 0);
+  EXPECT_EQ(transport_errors.load(), 0);
+  // The manager saw the traffic (worker-VM profiles aggregate into the
+  // universe) and promoted at least one closure mid-stream.
+  EXPECT_GT(u.adaptive_counters().promotions, 0u)
+      << "adaptive manager never promoted during traffic";
+  EXPECT_GT(u.binding_generation(), gen_before);
+
+  server.Stop();
+  server.Join();  // also stops the adopted manager and commits
+}
+
+TEST(ServerConcurrentTest, ManySessionsInstallDistinctModules) {
+  // Cross-session write traffic: installs from parallel sessions contend
+  // on the universe writer lock but never corrupt the binding snapshot.
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+
+  std::string sock = UniqueSock("install");
+  ServerOptions opts;
+  opts.unix_path = sock;
+  opts.workers = 4;
+  Server server(&u, opts);
+  ASSERT_OK(server.Start());
+
+  constexpr int kClients = 6;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> clients;
+  clients.reserve(kClients);
+  for (int k = 0; k < kClients; ++k) {
+    clients.emplace_back([&sock, k, &failures] {
+      auto conn = Client::ConnectUnix(sock);
+      if (!conn.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      Client c = std::move(*conn);
+      std::string mod = "mod" + std::to_string(k);
+      std::string src = "fun f(x) = x + " + std::to_string(k) + " end";
+      auto inst = c.Call({"install", mod, src});
+      if (!inst.ok() || inst->is_err()) {
+        failures.fetch_add(1);
+        return;
+      }
+      for (int i = 0; i < 50; ++i) {
+        auto r = c.Call(WireValue::Arr({WireValue::Str("call"),
+                                        WireValue::Str(mod),
+                                        WireValue::Str("f"),
+                                        WireValue::Int(i)}));
+        if (!r.ok() || r->tag != TAG_INT || r->i != i + k) {
+          failures.fetch_add(1);
+          return;
+        }
+      }
+    });
+  }
+  for (auto& t : clients) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  server.Stop();
+  server.Join();
+}
+
+}  // namespace
+}  // namespace tml::server

@@ -1,0 +1,468 @@
+// End-to-end tests for the tyd server (server/server.h): command
+// round-trips over a real Unix socket, pipelining order, the per-session
+// step budget (and its Universe/VM substrate), protocol-violation
+// handling, the poll(2) fallback loop, and graceful shutdown with store
+// commit.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "tests/test_util.h"
+
+namespace tml::server {
+namespace {
+
+using rt::Universe;
+using vm::Value;
+
+std::unique_ptr<store::ObjectStore> OpenStore(const std::string& path = "") {
+  auto s = store::ObjectStore::Open(path);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(*s);
+}
+
+constexpr const char* kMathSrc =
+    "fun double(x) = x + x end\n"
+    "fun fact(n) = if n <= 1 then 1 else n * fact(n - 1) end end";
+// Unbounded recursion: only a step budget stops it.
+constexpr const char* kSpinSrc = "fun spin(n) = spin(n + 1) end";
+
+std::string UniqueSock(const void* self) {
+  return ::testing::TempDir() + "/tyd_" +
+         std::to_string(reinterpret_cast<uintptr_t>(self)) + ".sock";
+}
+
+class ServerTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions opts) {
+    store_ = OpenStore("");
+    universe_ = std::make_unique<Universe>(store_.get());
+    ASSERT_OK(universe_->InstallStdlib());
+    opts_ = std::move(opts);
+    if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+      opts_.unix_path = UniqueSock(this);
+    }
+    server_ = std::make_unique<Server>(universe_.get(), opts_);
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->Join();
+    }
+  }
+
+  Client Connect() {
+    auto c = Client::ConnectUnix(opts_.unix_path);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(*c);
+  }
+
+  std::unique_ptr<store::ObjectStore> store_;
+  std::unique_ptr<Universe> universe_;
+  std::unique_ptr<Server> server_;
+  ServerOptions opts_;
+};
+
+// ---------------------------------------------------------------------------
+// The budget substrate: Universe::Call's budgeted overload (the fix this
+// server depends on — previously a hostile CALL could spin the VM forever).
+
+TEST(StepBudgetTest, UniverseCallAbortsWithOutOfRange) {
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallSource("m", kSpinSrc, fe::BindingMode::kLibrary));
+  auto spin = u.Lookup("m", "spin");
+  ASSERT_TRUE(spin.ok());
+
+  Value args[] = {Value::Int(0)};
+  auto r = u.Call(*spin, args, /*step_budget=*/10'000);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange)
+      << r.status().ToString();
+
+  // The VM survives budget exhaustion: a normal call still works, and a
+  // budget of 0 means unlimited.
+  ASSERT_OK(u.InstallSource("n", kMathSrc, fe::BindingMode::kLibrary));
+  auto fact = u.Lookup("n", "fact");
+  ASSERT_TRUE(fact.ok());
+  Value fargs[] = {Value::Int(10)};
+  auto ok = u.Call(*fact, fargs, /*step_budget=*/0);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->value.i, 3628800);
+}
+
+TEST(StepBudgetTest, BudgetIsPerRunNotCumulative) {
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallSource("n", kMathSrc, fe::BindingMode::kLibrary));
+  auto fact = u.Lookup("n", "fact");
+  ASSERT_TRUE(fact.ok());
+  Value args[] = {Value::Int(12)};
+  // Each run re-arms the deadline: many calls under the same budget all
+  // succeed even though their total steps exceed it.
+  for (int k = 0; k < 50; ++k) {
+    auto r = u.Call(*fact, args, /*step_budget=*/100'000);
+    ASSERT_TRUE(r.ok()) << "iteration " << k << ": " << r.status().ToString();
+    EXPECT_EQ(r->value.i, 479001600);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Command round-trips
+
+TEST_F(ServerTest, PingAndUnknownCommand) {
+  StartServer({});
+  Client c = Connect();
+  auto pong = c.Call({"ping"});
+  ASSERT_TRUE(pong.ok());
+  EXPECT_EQ(pong->tag, TAG_STR);
+  EXPECT_EQ(pong->s, "PONG");
+
+  auto unknown = c.Call({"frobnicate"});
+  ASSERT_TRUE(unknown.ok());
+  ASSERT_TRUE(unknown->is_err());
+  EXPECT_EQ(unknown->err_code, ERR_UNKNOWN);
+}
+
+TEST_F(ServerTest, InstallCallLookupOptimize) {
+  StartServer({});
+  Client c = Connect();
+  auto ok = c.Call({"install", "m", kMathSrc});
+  ASSERT_TRUE(ok.ok());
+  ASSERT_FALSE(ok->is_err()) << ToString(*ok);
+
+  auto r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                                  WireValue::Str("double"),
+                                  WireValue::Int(21)}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tag, TAG_INT) << ToString(*r);
+  EXPECT_EQ(r->i, 42);
+
+  auto oid = c.Call({"lookup", "m", "double"});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_EQ(oid->tag, TAG_INT) << ToString(*oid);
+
+  auto opt = c.Call({"optimize", "m", "double"});
+  ASSERT_TRUE(opt.ok());
+  ASSERT_EQ(opt->tag, TAG_ARR) << ToString(*opt);
+  ASSERT_EQ(opt->elems.size(), 2u);
+  EXPECT_EQ(opt->elems[1].s, "swapped");
+
+  // Same answer from the promoted code, and CALLOID hits it directly.
+  r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                             WireValue::Str("double"), WireValue::Int(21)}));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->i, 42);
+  auto r2 = c.Call(WireValue::Arr({WireValue::Str("calloid"),
+                                   WireValue::Int(opt->elems[0].i),
+                                   WireValue::Int(-8)}));
+  ASSERT_TRUE(r2.ok());
+  ASSERT_EQ(r2->tag, TAG_INT) << ToString(*r2);
+  EXPECT_EQ(r2->i, -16);
+}
+
+TEST_F(ServerTest, CallErrorsMapToWireCodes) {
+  StartServer({});
+  Client c = Connect();
+  auto nf = c.Call({"call", "nope", "f"});
+  ASSERT_TRUE(nf.ok());
+  ASSERT_TRUE(nf->is_err());
+  EXPECT_EQ(nf->err_code, ERR_NOT_FOUND);
+
+  auto bad = c.Call({"install", "only-a-name"});
+  ASSERT_TRUE(bad.ok());
+  ASSERT_TRUE(bad->is_err());
+  EXPECT_EQ(bad->err_code, ERR_BAD_ARG);
+
+  // An uncaught TML throw arrives as ERR_RAISED, not a dead connection.
+  auto ok = c.Call({"install", "boom", "fun go(x) = throw 42 end"});
+  ASSERT_TRUE(ok.ok());
+  ASSERT_FALSE(ok->is_err()) << ToString(*ok);
+  auto raised = c.Call(WireValue::Arr({WireValue::Str("call"),
+                                       WireValue::Str("boom"),
+                                       WireValue::Str("go"),
+                                       WireValue::Int(1)}));
+  ASSERT_TRUE(raised.ok());
+  ASSERT_TRUE(raised->is_err()) << ToString(*raised);
+  EXPECT_EQ(raised->err_code, ERR_RAISED);
+}
+
+TEST_F(ServerTest, SessionBudgetStopsRunawayCall) {
+  StartServer({});
+  Client c = Connect();
+  ASSERT_FALSE(c.Call({"install", "s", kSpinSrc})->is_err());
+
+  auto ok = c.Call(
+      WireValue::Arr({WireValue::Str("budget"), WireValue::Int(20'000)}));
+  ASSERT_TRUE(ok.ok());
+  ASSERT_FALSE(ok->is_err());
+
+  auto r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("s"),
+                                  WireValue::Str("spin"), WireValue::Int(0)}));
+  ASSERT_TRUE(r.ok());
+  ASSERT_TRUE(r->is_err()) << ToString(*r);
+  EXPECT_EQ(r->err_code, ERR_BUDGET);
+
+  // The session (and its worker VM) survive; later calls still run.
+  ASSERT_FALSE(c.Call({"install", "m", kMathSrc})->is_err());
+  auto good = c.Call(WireValue::Arr({WireValue::Str("call"),
+                                     WireValue::Str("m"),
+                                     WireValue::Str("double"),
+                                     WireValue::Int(5)}));
+  ASSERT_TRUE(good.ok());
+  EXPECT_EQ(good->i, 10);
+}
+
+TEST_F(ServerTest, StatsReportsServerMetrics) {
+  StartServer({});
+  Client c = Connect();
+  ASSERT_EQ(c.Call({"ping"})->s, "PONG");
+  auto stats = c.Call({"stats"});
+  ASSERT_TRUE(stats.ok());
+  ASSERT_EQ(stats->tag, TAG_STR) << ToString(*stats);
+  EXPECT_NE(stats->s.find("tml.server.requests"), std::string::npos)
+      << stats->s;
+}
+
+// ---------------------------------------------------------------------------
+// Pipelining
+
+TEST_F(ServerTest, PipelinedRequestsAnswerInOrder) {
+  StartServer({});
+  Client c = Connect();
+  ASSERT_FALSE(c.Call({"install", "m", kMathSrc})->is_err());
+
+  constexpr int kN = 200;
+  for (int k = 0; k < kN; ++k) {
+    ASSERT_OK(c.Send(
+        WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                        WireValue::Str("double"), WireValue::Int(k)})));
+  }
+  for (int k = 0; k < kN; ++k) {
+    auto r = c.Recv();
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_EQ(r->tag, TAG_INT) << "reply " << k << ": " << ToString(*r);
+    EXPECT_EQ(r->i, 2 * k);
+  }
+}
+
+TEST_F(ServerTest, PipelinedInstallThenCallSeesTheInstall) {
+  // Program order within a session: a CALL pipelined behind the INSTALL
+  // of its own module must succeed.
+  StartServer({});
+  Client c = Connect();
+  ASSERT_OK(c.Send(WireValue::Arr({WireValue::Str("install"),
+                                   WireValue::Str("late"),
+                                   WireValue::Str("fun f(x) = x * 3 end")})));
+  ASSERT_OK(c.Send(WireValue::Arr({WireValue::Str("call"),
+                                   WireValue::Str("late"), WireValue::Str("f"),
+                                   WireValue::Int(7)})));
+  auto inst = c.Recv();
+  ASSERT_TRUE(inst.ok());
+  ASSERT_FALSE(inst->is_err()) << ToString(*inst);
+  auto r = c.Recv();
+  ASSERT_TRUE(r.ok());
+  ASSERT_EQ(r->tag, TAG_INT) << ToString(*r);
+  EXPECT_EQ(r->i, 21);
+}
+
+// ---------------------------------------------------------------------------
+// Protocol violations at the socket level
+
+TEST_F(ServerTest, OversizedFrameGetsErrorThenClose) {
+  StartServer({});
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                opts_.unix_path.c_str());
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+
+  // A length prefix beyond kMaxFrameLen: the server answers one
+  // ERR_TOO_BIG frame and closes the connection.
+  uint8_t evil[5] = {0xff, 0xff, 0xff, 0xff, TAG_NIL};
+  ASSERT_EQ(write(fd, evil, sizeof(evil)), static_cast<ssize_t>(sizeof(evil)));
+
+  std::string got;
+  char buf[512];
+  for (;;) {
+    ssize_t n = read(fd, buf, sizeof(buf));
+    if (n <= 0) break;  // EOF: server closed us
+    got.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+
+  WireValue reply;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(got.data()),
+                        got.size(), &reply, &consumed),
+            DecodeStatus::kOk);
+  ASSERT_TRUE(reply.is_err());
+  EXPECT_EQ(reply.err_code, ERR_TOO_BIG);
+  EXPECT_EQ(consumed, got.size());  // nothing after the error frame
+}
+
+TEST_F(ServerTest, GarbageBytesDoNotKillOtherSessions) {
+  StartServer({});
+  Client healthy = Connect();
+
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::snprintf(addr.sun_path, sizeof(addr.sun_path), "%s",
+                opts_.unix_path.c_str());
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)), 0);
+  // Valid length prefix, garbage body (unknown tag).
+  uint8_t junk[6] = {0x02, 0x00, 0x00, 0x00, 0xee, 0xee};
+  ASSERT_EQ(write(fd, junk, sizeof(junk)), static_cast<ssize_t>(sizeof(junk)));
+  char buf[256];
+  while (read(fd, buf, sizeof(buf)) > 0) {
+  }
+  close(fd);
+
+  auto pong = healthy.Call({"ping"});
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+  EXPECT_EQ(pong->s, "PONG");
+}
+
+// ---------------------------------------------------------------------------
+// TCP listener + poll(2) fallback loop
+
+TEST_F(ServerTest, TcpEphemeralPortRoundTrip) {
+  ServerOptions opts;
+  opts.tcp_port = 0;  // ephemeral
+  StartServer(opts);
+  ASSERT_GT(server_->tcp_port(), 0);
+  auto c = Client::ConnectTcp("127.0.0.1", server_->tcp_port());
+  ASSERT_TRUE(c.ok()) << c.status().ToString();
+  EXPECT_EQ(c->Call({"ping"})->s, "PONG");
+}
+
+TEST_F(ServerTest, PollFallbackServesTraffic) {
+  ServerOptions opts;
+  opts.use_poll = true;
+  StartServer(opts);
+  Client c = Connect();
+  ASSERT_FALSE(c.Call({"install", "m", kMathSrc})->is_err());
+  for (int k = 0; k < 20; ++k) {
+    ASSERT_OK(c.Send(
+        WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                        WireValue::Str("double"), WireValue::Int(k)})));
+  }
+  for (int k = 0; k < 20; ++k) {
+    auto r = c.Recv();
+    ASSERT_TRUE(r.ok());
+    EXPECT_EQ(r->i, 2 * k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Graceful shutdown
+
+TEST(ServerShutdownTest, StopCommitsStoreAndModulesSurviveRestart) {
+  std::string db = ::testing::TempDir() + "/tyd_shutdown.db";
+  std::string sock = ::testing::TempDir() + "/tyd_shutdown.sock";
+  std::remove(db.c_str());
+  {
+    auto store = OpenStore(db);
+    Universe u(store.get());
+    ASSERT_OK(u.InstallStdlib());
+    ServerOptions opts;
+    opts.unix_path = sock;
+    Server server(&u, opts);
+    ASSERT_OK(server.Start());
+
+    auto c = Client::ConnectUnix(sock);
+    ASSERT_TRUE(c.ok());
+    ASSERT_FALSE(c->Call({"install", "m", kMathSrc})->is_err());
+    // No explicit commit: the graceful-shutdown path must do it.
+    server.Stop();
+    server.Join();
+  }
+  // Restart: the module is there, loaded from the committed store.
+  auto store = OpenStore(db);
+  Universe u(store.get());
+  ASSERT_OK(u.LoadPersistedModules());
+  auto f = u.Lookup("m", "fact");
+  ASSERT_TRUE(f.ok()) << f.status().ToString();
+  Value args[] = {Value::Int(6)};
+  auto r = u.Call(*f, args);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r->value.i, 720);
+  std::remove(db.c_str());
+}
+
+TEST(ServerShutdownTest, StopDrainsPipelinedRequests) {
+  // Requests already received when Stop() lands are answered before the
+  // connection closes.
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  std::string sock = ::testing::TempDir() + "/tyd_drain.sock";
+  ServerOptions opts;
+  opts.unix_path = sock;
+  Server server(&u, opts);
+  ASSERT_OK(server.Start());
+
+  auto c = Client::ConnectUnix(sock);
+  ASSERT_TRUE(c.ok());
+  ASSERT_FALSE(c->Call({"install", "m", kMathSrc})->is_err());
+  constexpr int kN = 50;
+  for (int k = 0; k < kN; ++k) {
+    ASSERT_OK(c->Send(
+        WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                        WireValue::Str("fact"), WireValue::Int(10)})));
+  }
+  // Give the loop a beat to pull the frames in, then stop mid-stream.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  server.Stop();
+  int answered = 0;
+  for (int k = 0; k < kN; ++k) {
+    auto r = c->Recv();
+    if (!r.ok()) break;  // connection closed after the drain
+    EXPECT_EQ(r->i, 3628800);
+    ++answered;
+  }
+  server.Join();
+  // Everything the server had read by Stop() time was answered; at
+  // minimum the first batch made it.
+  EXPECT_GT(answered, 0);
+}
+
+TEST(ServerShutdownTest, ShutdownCommandStopsTheServer) {
+  auto store = OpenStore("");
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  std::string sock = ::testing::TempDir() + "/tyd_cmd_shutdown.sock";
+  ServerOptions opts;
+  opts.unix_path = sock;
+  Server server(&u, opts);
+  ASSERT_OK(server.Start());
+
+  auto c = Client::ConnectUnix(sock);
+  ASSERT_TRUE(c.ok());
+  auto ok = c->Call({"shutdown"});
+  ASSERT_TRUE(ok.ok());
+  EXPECT_EQ(ok->s, "OK");
+  server.Join();  // returns because SHUTDOWN initiated the drain
+}
+
+}  // namespace
+}  // namespace tml::server

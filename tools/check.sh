@@ -16,6 +16,10 @@
 #                           # tests, the every-syscall-boundary sweep, the
 #                           # salvage end-to-end flow, and the adaptive
 #                           # park/backoff behavior
+#   tools/check.sh --server # end-to-end smoke of the tycd daemon: start it
+#                           # on a Unix socket, drive an install / call /
+#                           # optimize / stats round-trip with tyccli,
+#                           # SIGTERM it, and require a clean exit
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -51,6 +55,10 @@ case "${1:-}" in
     cmake_args+=(-DCMAKE_BUILD_TYPE=Asan)
     mode=faults
     ;;
+  --server)
+    shift
+    mode=server
+    ;;
 esac
 
 cmake -B "$build_dir" -S . "${cmake_args[@]}"
@@ -62,10 +70,13 @@ case "$mode" in
     ;;
   tsan)
     # The suites that exercise threads (the adaptive worker, the telemetry
-    # snapshot reader) plus the VM and runtime paths they race against.
-    # gtest-derived ctest names are CamelCase.  NB: ctest's bare `-j` eats
-    # the next argument as a job count, which used to swallow `-R` and run
-    # the whole suite unfiltered — always give -j an explicit value.
+    # snapshot reader, the server) plus the VM and runtime paths they race
+    # against.  gtest-derived ctest names are CamelCase.  NB: ctest's bare
+    # `-j` eats the next argument as a job count, which used to swallow
+    # `-R` and run the whole suite unfiltered — always give -j an explicit
+    # value.  tsan.supp silences the benign libstdc++ _Sp_atomic report
+    # (see the file for the analysis).
+    export TSAN_OPTIONS="suppressions=$PWD/tools/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
       -R 'Adaptive|Profile|Swizzle|Runtime|Vm|Telemetry|Concurrent' "$@"
     ;;
@@ -105,6 +116,34 @@ if failed:
 print(f"scaling gate OK (hw_threads={hw}): " +
       ", ".join(f"{k} >= {floor}" for k, floor in checks))
 PYEOF
+    # Wire-protocol gate: pipelining must pay (batch dispatch), and the
+    # post-OPTIMIZE CALL latency must beat the unoptimized one at the wire.
+    python3 - "$build_dir/BENCH_server.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    m = json.load(f)
+required = ["clients", "throughput_unpipelined_rps", "throughput_pipelined_rps",
+            "pipeline_speedup", "p50_us", "p99_us",
+            "call_us_before_optimize", "call_us_after_optimize",
+            "optimize_speedup"]
+missing = [k for k in required if not isinstance(m.get(k), (int, float))]
+if missing:
+    print(f"FAIL: BENCH_server.json missing numeric keys: {missing}")
+    sys.exit(1)
+failed = []
+if m["clients"] < 4:
+    failed.append(("clients", m["clients"], 4))
+if m["pipeline_speedup"] < 2.0:
+    failed.append(("pipeline_speedup", m["pipeline_speedup"], 2.0))
+if m["optimize_speedup"] < 1.2:
+    failed.append(("optimize_speedup", m["optimize_speedup"], 1.2))
+for k, got, floor in failed:
+    print(f"FAIL: {k} = {got} below the {floor} floor")
+if failed:
+    sys.exit(1)
+print("server gate OK: pipeline_speedup >= 2.0, optimize_speedup >= 1.2, "
+      f"clients = {m['clients']}")
+PYEOF
     ;;
   telemetry)
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" -R 'Telemetry' "$@"
@@ -112,5 +151,38 @@ PYEOF
   faults)
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
       -R 'FaultVfs|StoreFaults|StoreFormats|StoreCompact|CrashRecovery|Salvage|AdaptiveFaults' "$@"
+    ;;
+  server)
+    # End-to-end daemon smoke: real processes, real Unix socket, real
+    # SIGTERM.  Everything a client needs for the quick-start must work.
+    tmpdir=$(mktemp -d)
+    trap 'kill "$tycd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+    sock="$tmpdir/tycd.sock"
+    db="$tmpdir/universe.db"
+    "$build_dir/tools/tycd" "$db" --unix "$sock" --workers 2 &
+    tycd_pid=$!
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ -S "$sock" ]] || { echo "FAIL: tycd never bound $sock"; exit 1; }
+
+    cli="$build_dir/tools/tyccli"
+    "$cli" --unix "$sock" -c 'ping' | grep -q PONG
+    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep -q OK
+    [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
+    "$cli" --unix "$sock" -c 'optimize m double' | grep -q swapped
+    [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
+    "$cli" --unix "$sock" -c 'stats' | grep -q 'tml.server.requests'
+
+    kill -TERM "$tycd_pid"
+    wait "$tycd_pid"   # non-zero exit fails the check via set -e
+
+    # The graceful shutdown committed the store: a restarted daemon serves
+    # the module without reinstalling.
+    "$build_dir/tools/tycd" "$db" --unix "$sock" --workers 2 &
+    tycd_pid=$!
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ "$("$cli" --unix "$sock" -c 'call m double 50')" == "100" ]]
+    kill -TERM "$tycd_pid"
+    wait "$tycd_pid"
+    echo "server smoke OK: install/call/optimize/stats round-trip, clean SIGTERM shutdown, module survived restart"
     ;;
 esac

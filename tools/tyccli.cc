@@ -1,0 +1,191 @@
+// tyccli — interactive line client for tycd (DESIGN.md §10).
+//
+//   tyccli (--unix <path> | --tcp <host:port>) [-c "<command...>"]
+//
+// Each input line is tokenized into words (double quotes group words,
+// backslash escapes inside quotes) and sent as one TAG_ARR-of-TAG_STR
+// request frame; the reply is decoded and pretty-printed.  With -c the
+// single command is sent non-interactively and the exit status reflects
+// whether the reply was an error — handy for shell scripts and
+// `check.sh --server`.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "server/client.h"
+#include "server/protocol.h"
+
+namespace {
+
+using tml::server::Client;
+using tml::server::WireValue;
+
+int Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--unix <path> | --tcp <host:port>) "
+               "[-c \"<command...>\"]\n",
+               argv0);
+  return 2;
+}
+
+struct Token {
+  std::string text;
+  bool quoted = false;  // quoted tokens always go over the wire as TAG_STR
+};
+
+// Splits a command line into words; double-quoted spans keep spaces and
+// honor \" and \\ escapes so module source can be passed inline:
+//   install m "fun f(x) = x + 1 end"
+std::vector<Token> Tokenize(const std::string& line) {
+  std::vector<Token> words;
+  Token cur;
+  bool in_word = false, in_quote = false;
+  for (size_t i = 0; i < line.size(); ++i) {
+    char c = line[i];
+    if (in_quote) {
+      if (c == '\\' && i + 1 < line.size() &&
+          (line[i + 1] == '"' || line[i + 1] == '\\')) {
+        cur.text.push_back(line[++i]);
+      } else if (c == '"') {
+        in_quote = false;
+      } else {
+        cur.text.push_back(c);
+      }
+    } else if (c == '"') {
+      in_quote = true;
+      in_word = true;
+      cur.quoted = true;
+    } else if (c == ' ' || c == '\t' || c == '\r' || c == '\n') {
+      if (in_word) words.push_back(cur);
+      cur = Token{};
+      in_word = false;
+    } else {
+      cur.text.push_back(c);
+      in_word = true;
+    }
+  }
+  if (in_word) words.push_back(cur);
+  return words;
+}
+
+// Unquoted words that parse fully as numbers become TAG_INT/TAG_DBL so
+// `call m double 21` passes an integer, not the string "21".
+WireValue ToWire(const Token& t) {
+  if (!t.quoted && !t.text.empty()) {
+    char* end = nullptr;
+    errno = 0;
+    long long i = std::strtoll(t.text.c_str(), &end, 10);
+    if (errno == 0 && end != nullptr && *end == '\0') {
+      return WireValue::Int(i);
+    }
+    errno = 0;
+    double d = std::strtod(t.text.c_str(), &end);
+    if (errno == 0 && end != nullptr && *end == '\0' && end != t.text.c_str()) {
+      return WireValue::Dbl(d);
+    }
+  }
+  return WireValue::Str(t.text);
+}
+
+void Print(const WireValue& v, int indent = 0) {
+  std::string pad(static_cast<size_t>(indent) * 2, ' ');
+  switch (v.tag) {
+    case tml::server::TAG_ARR:
+      std::printf("%s[%zu elements]\n", pad.c_str(), v.elems.size());
+      for (const auto& e : v.elems) Print(e, indent + 1);
+      break;
+    case tml::server::TAG_ERR:
+      std::printf("%s(error %s) %s\n", pad.c_str(),
+                  tml::server::ErrCodeName(v.err_code), v.s.c_str());
+      break;
+    default:
+      std::printf("%s%s\n", pad.c_str(), tml::server::ToString(v).c_str());
+  }
+}
+
+// Returns 0 on a non-error reply, 1 on TAG_ERR, 2 on transport failure.
+int RunOne(Client& client, const std::vector<Token>& words) {
+  std::vector<WireValue> elems;
+  elems.reserve(words.size());
+  for (const auto& w : words) elems.push_back(ToWire(w));
+  auto reply = client.Call(WireValue::Arr(std::move(elems)));
+  if (!reply.ok()) {
+    std::fprintf(stderr, "tyccli: %s\n", reply.status().ToString().c_str());
+    return 2;
+  }
+  Print(*reply);
+  return reply->is_err() ? 1 : 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string unix_path, tcp_spec, command;
+  for (int i = 1; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      unix_path = v;
+    } else if (a == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      tcp_spec = v;
+    } else if (a == "-c") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      command = v;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (unix_path.empty() == tcp_spec.empty()) return Usage(argv[0]);
+
+  tml::Result<Client> conn = [&]() -> tml::Result<Client> {
+    if (!unix_path.empty()) return Client::ConnectUnix(unix_path);
+    size_t colon = tcp_spec.rfind(':');
+    if (colon == std::string::npos)
+      return tml::Status::Invalid("tyccli: --tcp wants host:port");
+    return Client::ConnectTcp(tcp_spec.substr(0, colon),
+                              std::atoi(tcp_spec.c_str() + colon + 1));
+  }();
+  if (!conn.ok()) {
+    std::fprintf(stderr, "tyccli: %s\n", conn.status().ToString().c_str());
+    return 2;
+  }
+  Client client = std::move(*conn);
+
+  if (!command.empty()) {
+    auto words = Tokenize(command);
+    if (words.empty()) return Usage(argv[0]);
+    return RunOne(client, words);
+  }
+
+  bool tty = isatty(0) != 0;
+  std::string line;
+  while (true) {
+    if (tty) {
+      std::printf("tyc> ");
+      std::fflush(stdout);
+    }
+    if (!std::getline(std::cin, line)) break;
+    auto words = Tokenize(line);
+    if (words.empty()) continue;
+    if (words.size() == 1 && !words[0].quoted &&
+        (words[0].text == "quit" || words[0].text == "exit")) {
+      break;
+    }
+    if (RunOne(client, words) == 2) return 2;  // transport gone
+  }
+  return 0;
+}

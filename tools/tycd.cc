@@ -1,0 +1,142 @@
+// tycd — the Tycoon database daemon: one persistent universe served to
+// many network clients (DESIGN.md §10).
+//
+//   tycd <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]
+//        [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]
+//
+// Opens (or creates) the store, re-attaches persisted modules, starts the
+// background adaptive optimizer, and serves the tagged binary protocol
+// until SIGTERM/SIGINT.  Shutdown is graceful: in-flight requests finish,
+// the adaptive manager stops, and the store is committed — killing tycd
+// with SIGTERM never relies on salvage recovery.
+//
+// Quick start:
+//   ./build/tools/tycd /tmp/u.db --unix /tmp/tycd.sock &
+//   ./build/tools/tyccli --unix /tmp/tycd.sock
+//   tyc> install m "fun double(x) = x + x end"
+//   tyc> call m double 21
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "adaptive/manager.h"
+#include "runtime/universe.h"
+#include "server/server.h"
+#include "store/object_store.h"
+
+namespace {
+
+tml::server::Server* g_server = nullptr;
+
+// Async-signal-safe by construction: Server::Stop is one atomic store
+// plus one write(2) to the wake pipe.
+void HandleSignal(int) {
+  if (g_server != nullptr) g_server->Stop();
+}
+
+int Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]\n"
+      "          [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]\n"
+      "At least one of --unix/--tcp is required.\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace tml;
+
+  if (argc < 2) return Usage(argv[0]);
+  std::string store_path = argv[1];
+  server::ServerOptions opts;
+  bool adaptive = true;
+  for (int i = 2; i < argc; ++i) {
+    std::string a = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (a == "--unix") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.unix_path = v;
+    } else if (a == "--tcp") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.tcp_port = std::atoi(v);
+    } else if (a == "--host") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.tcp_host = v;
+    } else if (a == "--workers") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.workers = std::atoi(v);
+    } else if (a == "--budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.default_step_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--no-adaptive") {
+      adaptive = false;
+    } else if (a == "--poll") {
+      opts.use_poll = true;
+    } else {
+      return Usage(argv[0]);
+    }
+  }
+  if (opts.unix_path.empty() && opts.tcp_port < 0) return Usage(argv[0]);
+
+  auto store = store::ObjectStore::Open(store_path);
+  if (!store.ok()) {
+    std::fprintf(stderr, "tycd: cannot open %s: %s\n", store_path.c_str(),
+                 store.status().ToString().c_str());
+    return 1;
+  }
+
+  rt::Universe universe(store->get());
+  Status st = universe.InstallStdlib();
+  if (st.ok()) st = universe.LoadPersistedModules();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tycd: universe init failed: %s\n",
+                 st.ToString().c_str());
+    return 1;
+  }
+
+  if (adaptive) {
+    auto manager = std::make_unique<adaptive::AdaptiveManager>(
+        &universe, adaptive::AdaptiveOptions{});
+    (void)manager->LoadPersistedProfile();  // absent on a fresh store
+    manager->Start();
+    universe.AdoptService(std::move(manager));
+  }
+
+  server::Server server(&universe, opts);
+  st = server.Start();
+  if (!st.ok()) {
+    std::fprintf(stderr, "tycd: %s\n", st.ToString().c_str());
+    return 1;
+  }
+
+  g_server = &server;
+  std::signal(SIGTERM, HandleSignal);
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::fprintf(stderr, "tycd: serving %s%s%s%s (workers=%d, adaptive=%s)\n",
+               store_path.c_str(),
+               opts.unix_path.empty() ? "" : (" on unix " + opts.unix_path).c_str(),
+               opts.tcp_port >= 0 ? " on tcp port " : "",
+               opts.tcp_port >= 0 ? std::to_string(server.tcp_port()).c_str()
+                                  : "",
+               opts.workers, adaptive ? "on" : "off");
+
+  server.Join();  // returns after a signal or a SHUTDOWN command drains
+  g_server = nullptr;
+  std::fprintf(stderr, "tycd: clean shutdown (store committed)\n");
+  return 0;
+}
