@@ -211,11 +211,14 @@ int main(int argc, char** argv) {
 
   double p50 = Percentile(&unpiped.latencies_us, 0.50);
   double p99 = Percentile(&unpiped.latencies_us, 0.99);
+  double piped_p50 = Percentile(&piped.latencies_us, 0.50);
+  double piped_p99 = Percentile(&piped.latencies_us, 0.99);
   double speedup = piped.throughput / unpiped.throughput;
   std::printf("  unpipelined: %10.0f req/s   p50 %6.1f us   p99 %6.1f us\n",
               unpiped.throughput, p50, p99);
-  std::printf("  pipelined:   %10.0f req/s   (depth %d, %.2fx)\n",
-              piped.throughput, kPipelineDepth, speedup);
+  std::printf("  pipelined:   %10.0f req/s   p50 %6.1f us   p99 %6.1f us"
+              "   (depth %d, %.2fx)\n",
+              piped.throughput, piped_p50, piped_p99, kPipelineDepth, speedup);
 
   // ---- the §4.1 payoff at the wire: CALL latency before/after OPTIMIZE --
   LoadResult before = RunLoad(sock, 1, 1500, 1, /*heavy=*/true);
@@ -262,6 +265,8 @@ int main(int argc, char** argv) {
   metrics.Add("pipeline_speedup", speedup);
   metrics.Add("p50_us", p50);
   metrics.Add("p99_us", p99);
+  metrics.Add("pipelined_p50_us", piped_p50);
+  metrics.Add("pipelined_p99_us", piped_p99);
   metrics.Add("call_us_before_optimize", before_p50);
   metrics.Add("call_us_after_optimize", after_p50);
   metrics.Add("optimize_speedup", opt_speedup);

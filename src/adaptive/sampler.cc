@@ -1,0 +1,172 @@
+#include "adaptive/sampler.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/metrics.h"
+#include "vm/code.h"
+
+namespace tml::adaptive {
+
+namespace {
+
+bool IsOptimizedTier(const std::string& name) {
+  // Reflect-optimized code units are named "reflect$N" by the universe's
+  // optimizer; everything else is baseline interpreted code.
+  return name.rfind("reflect$", 0) == 0;
+}
+
+}  // namespace
+
+VmSampler::VmSampler(rt::Universe* universe, const SamplerOptions& opts)
+    : universe_(universe), opts_(opts) {
+  auto& reg = telemetry::Registry::Global();
+  samples_counter_ = reg.GetCounter("tml.profiler.samples");
+  idle_counter_ = reg.GetCounter("tml.profiler.idle_samples");
+}
+
+VmSampler::~VmSampler() {
+  Stop();
+  // The provider closure captures `this`; unhook before the members die.
+  universe_->SetProfileProvider(nullptr);
+}
+
+void VmSampler::Start() {
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  if (started_) return;
+  started_ = true;
+  stop_requested_ = false;
+  worker_ = std::thread([this] { WorkerLoop(); });
+}
+
+void VmSampler::Stop() {
+  {
+    std::lock_guard<std::mutex> lock(worker_mu_);
+    if (!started_) return;
+    stop_requested_ = true;
+  }
+  worker_cv_.notify_all();
+  if (worker_.joinable()) worker_.join();
+  std::lock_guard<std::mutex> lock(worker_mu_);
+  started_ = false;
+}
+
+void VmSampler::WorkerLoop() {
+  std::unique_lock<std::mutex> lock(worker_mu_);
+  while (!stop_requested_) {
+    lock.unlock();
+    SampleOnce();
+    lock.lock();
+    worker_cv_.wait_for(lock, opts_.interval,
+                        [this] { return stop_requested_; });
+  }
+}
+
+Oid VmSampler::ClosureOidFor(const vm::Function* fn, bool* refreshed) {
+  // mu_ held.  The index is refreshed lazily: when the universe's binding
+  // generation moved, or at most once per sweep when a sampled function
+  // is missing (it may have been linked since the last refresh).
+  uint64_t gen = universe_->binding_generation();
+  if (gen != closure_index_gen_) {
+    closure_index_ = universe_->FunctionClosureIndex();
+    closure_index_gen_ = gen;
+    *refreshed = true;
+  }
+  auto it = closure_index_.find(fn);
+  if (it == closure_index_.end() && !*refreshed) {
+    closure_index_ = universe_->FunctionClosureIndex();
+    *refreshed = true;
+    it = closure_index_.find(fn);
+  }
+  return it == closure_index_.end() ? kNullOid : it->second;
+}
+
+void VmSampler::SampleOnce() {
+  std::vector<vm::VM::ExecStatus> statuses = universe_->SampleExecStatus();
+  uint64_t idle = 0;
+  std::lock_guard<std::mutex> lock(mu_);
+  bool refreshed = false;
+  for (const vm::VM::ExecStatus& s : statuses) {
+    ++total_samples_;
+    if (s.fn == nullptr) {
+      ++idle_samples_;
+      ++idle;
+      continue;
+    }
+    FnStats& st = table_[s.fn];
+    if (st.samples == 0) st.closure_oid = ClosureOidFor(s.fn, &refreshed);
+    ++st.samples;
+    ++st.ops[s.op];
+  }
+  samples_counter_->Add(statuses.size());
+  idle_counter_->Add(idle);
+}
+
+VmSampler::Report VmSampler::Snapshot() const {
+  Report rep;
+  std::lock_guard<std::mutex> lock(mu_);
+  rep.total_samples = total_samples_;
+  rep.idle_samples = idle_samples_;
+  rep.hot.reserve(table_.size());
+  for (const auto& [fn, st] : table_) {
+    FnRow row;
+    row.name = fn->name.empty() ? "<anon>" : fn->name;
+    row.closure_oid = st.closure_oid;
+    row.samples = st.samples;
+    row.optimized = IsOptimizedTier(fn->name);
+    uint64_t best = 0;
+    for (const auto& [op, n] : st.ops) {
+      if (n > best) {
+        best = n;
+        row.top_op = vm::OpName(static_cast<vm::Op>(op));
+      }
+    }
+    if (!fn->name.empty()) rep.attributed_samples += st.samples;
+    rep.hot.push_back(std::move(row));
+  }
+  std::sort(rep.hot.begin(), rep.hot.end(),
+            [](const FnRow& a, const FnRow& b) { return a.samples > b.samples; });
+  if (rep.hot.size() > opts_.max_report_rows) {
+    rep.hot.resize(opts_.max_report_rows);
+  }
+  return rep;
+}
+
+std::string VmSampler::Report::ToJson() const {
+  uint64_t busy = total_samples - idle_samples;
+  double pct = busy == 0 ? 100.0
+                         : 100.0 * static_cast<double>(attributed_samples) /
+                               static_cast<double>(busy);
+  std::string out = "{";
+  out += "\"total_samples\":" + std::to_string(total_samples);
+  out += ",\"idle_samples\":" + std::to_string(idle_samples);
+  out += ",\"attributed_samples\":" + std::to_string(attributed_samples);
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.1f", pct);
+  out += ",\"attribution_pct\":";
+  out += buf;
+  out += ",\"functions\":[";
+  for (size_t k = 0; k < hot.size(); ++k) {
+    const FnRow& r = hot[k];
+    if (k != 0) out += ',';
+    out += "{\"name\":\"" + telemetry::JsonEscape(r.name) + "\"";
+    out += ",\"oid\":" + std::to_string(r.closure_oid);
+    out += ",\"samples\":" + std::to_string(r.samples);
+    out += ",\"tier\":\"";
+    out += r.optimized ? "optimized" : "interpreted";
+    out += "\",\"top_op\":\"" + telemetry::JsonEscape(r.top_op) + "\"}";
+  }
+  out += "]}";
+  return out;
+}
+
+VmSampler* EnableSampler(rt::Universe* universe, const SamplerOptions& opts) {
+  auto sampler = std::make_unique<VmSampler>(universe, opts);
+  VmSampler* raw = sampler.get();
+  universe->SetProfileProvider([raw] { return raw->Snapshot().ToJson(); });
+  raw->Start();
+  universe->AdoptService(std::move(sampler));
+  return raw;
+}
+
+}  // namespace tml::adaptive

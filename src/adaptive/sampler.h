@@ -1,0 +1,122 @@
+// The sampling VM profiler (observability plane; DESIGN.md §11).
+//
+// Where the per-function counters (VMOptions::profile) tell you what has
+// been hot since process start, the sampler tells you what is hot *right
+// now*: a background thread periodically snapshots every VM's execution
+// status — the function on top of the frame stack and the opcode about to
+// dispatch — via the lock-free VM::exec_status() seam, and folds the
+// samples into a hot-function table.  The call path pays nothing beyond
+// the two relaxed stores it already makes per instruction; the sampler
+// never takes a VM lock.
+//
+// Each sample is attributed to a named function, classified by tier
+// (reflect-optimized code units are named "reflect$N"; everything else
+// runs the interpreter's baseline code), and tagged with its opcode so a
+// hot table row says "fib, interpreted, mostly CALL".  Idle VMs (no
+// outermost run in progress) sample as idle and are counted separately.
+//
+// Surfaces: the PROFILE wire command and the `reflect.profile` host
+// primitive (both via Universe::SetProfileProvider), the /profile HTTP
+// endpoint, and tml.profiler.* registry counters.
+
+#ifndef TML_ADAPTIVE_SAMPLER_H_
+#define TML_ADAPTIVE_SAMPLER_H_
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "runtime/universe.h"
+
+namespace tml::adaptive {
+
+struct SamplerOptions {
+  /// Sampling period of the background worker (500 Hz default — coarse
+  /// enough to be invisible, fine enough to rank hot functions within a
+  /// second of workload).
+  std::chrono::microseconds interval{2000};
+  /// Rows retained in the rendered hot-function report (the table itself
+  /// keeps every function ever sampled).
+  size_t max_report_rows = 32;
+};
+
+class VmSampler final : public rt::BackgroundService {
+ public:
+  VmSampler(rt::Universe* universe, const SamplerOptions& opts = {});
+  ~VmSampler() override;
+
+  /// Launch the background sampling thread; idempotent.
+  void Start();
+  /// Stop and join; idempotent (also called by ~Universe via adoption).
+  void Stop() override;
+
+  /// One synchronous sampling sweep over every VM of the universe.
+  /// Public so tests drive the profiler deterministically.
+  void SampleOnce();
+
+  struct FnRow {
+    std::string name;          ///< Function::name ("<anon>" if empty)
+    Oid closure_oid = kNullOid;  ///< persistent closure, if linked
+    uint64_t samples = 0;
+    bool optimized = false;    ///< tier: reflect-optimized vs interpreted
+    std::string top_op;        ///< modal opcode across this row's samples
+  };
+  struct Report {
+    uint64_t total_samples = 0;       ///< VM-samples taken (VMs x sweeps)
+    uint64_t idle_samples = 0;        ///< VM was outside any run
+    uint64_t attributed_samples = 0;  ///< landed on a named function
+    std::vector<FnRow> hot;           ///< sorted by samples, descending
+    std::string ToJson() const;
+  };
+  /// Consistent copy of the hot table (worst-case max_report_rows rows).
+  Report Snapshot() const;
+
+ private:
+  void WorkerLoop();
+  /// Closure OID for `fn`, refreshing the cached index from the universe
+  /// when the binding generation moved (or on first miss this sweep).
+  Oid ClosureOidFor(const vm::Function* fn, bool* refreshed);
+
+  rt::Universe* universe_;
+  SamplerOptions opts_;
+  telemetry::Counter* samples_counter_;
+  telemetry::Counter* idle_counter_;
+
+  /// Guards the sample table and the cached closure index.
+  mutable std::mutex mu_;
+  struct FnStats {
+    uint64_t samples = 0;
+    Oid closure_oid = kNullOid;
+    /// Opcode histogram of this function's samples (tiny: a function
+    /// only ever dispatches a handful of distinct opcodes).
+    std::map<uint8_t, uint64_t> ops;
+  };
+  std::unordered_map<const vm::Function*, FnStats> table_;
+  uint64_t total_samples_ = 0;
+  uint64_t idle_samples_ = 0;
+  std::unordered_map<const vm::Function*, Oid> closure_index_;
+  uint64_t closure_index_gen_ = ~0ull;
+
+  std::mutex worker_mu_;
+  std::condition_variable worker_cv_;
+  bool stop_requested_ = false;
+  bool started_ = false;
+  std::thread worker_;
+};
+
+/// Create a VmSampler for `universe`, start it, register it as the
+/// universe's profile provider (PROFILE / reflect.profile), and hand
+/// ownership to the universe.  Returns the sampler for test access; the
+/// pointer stays valid for the universe's lifetime.
+VmSampler* EnableSampler(rt::Universe* universe,
+                         const SamplerOptions& opts = {});
+
+}  // namespace tml::adaptive
+
+#endif  // TML_ADAPTIVE_SAMPLER_H_

@@ -10,6 +10,7 @@
 #include "query/relation.h"
 #include "support/fnv.h"
 #include "support/varint.h"
+#include "telemetry/flight.h"
 #include "telemetry/trace.h"
 
 namespace tml::rt {
@@ -66,6 +67,33 @@ void Universe::RegisterHostsOn(vm::VM* vm) {
         s->str = json ? rep.ToJson() : rep.ToText();
         return vm::Value::ObjV(s);
       });
+  // `(ccall "reflect.profile")`: the sampling profiler's hot-function
+  // table as a JSON string — the paper's reflective loop closed over
+  // observability: a TML program can ask which of its own functions are
+  // hot and whether they run interpreted or reflect-optimized.
+  vm->RegisterHost(
+      "reflect.profile",
+      [this](vm::VM* host_vm,
+             std::span<const vm::Value>) -> Result<vm::Value> {
+        vm::StringObj* s = host_vm->heap()->New<vm::StringObj>();
+        s->str = ProfileJson();
+        return vm::Value::ObjV(s);
+      });
+}
+
+void Universe::SetProfileProvider(std::function<std::string()> provider) {
+  std::lock_guard<std::mutex> lock(profile_provider_mu_);
+  profile_provider_ = std::move(provider);
+}
+
+std::string Universe::ProfileJson() const {
+  std::function<std::string()> provider;
+  {
+    std::lock_guard<std::mutex> lock(profile_provider_mu_);
+    provider = profile_provider_;
+  }
+  if (!provider) return "{}";
+  return provider();
 }
 
 vm::VM* Universe::AddWorkerVm() {
@@ -108,6 +136,14 @@ std::vector<vm::FnSample> Universe::SnapshotProfile() const {
   std::vector<vm::FnSample> out;
   out.reserve(merged.size());
   for (auto& [fn, s] : merged) out.push_back(s);
+  return out;
+}
+
+std::vector<vm::VM::ExecStatus> Universe::SampleExecStatus() const {
+  std::vector<vm::VM::ExecStatus> out;
+  out.push_back(vm_->exec_status());
+  std::lock_guard<std::mutex> lock(vms_mu_);
+  for (const auto& w : worker_vms_) out.push_back(w->exec_status());
   return out;
 }
 
@@ -985,6 +1021,10 @@ Universe::SizeReport Universe::Sizes() const {
 // ---- telemetry export ------------------------------------------------------
 
 Universe::TelemetryReport Universe::TelemetrySnapshot() const {
+  // Fold the derived observability gauges (trace drops, flight-recorder
+  // overwrites) into the registry first, so every STATS/scrape rendering
+  // carries them without a side channel.
+  telemetry::RefreshObservabilityGauges();
   TelemetryReport rep;
   rep.metrics = telemetry::Registry::Global().Snapshot();
   rep.adaptive = adaptive_counters();

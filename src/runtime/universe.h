@@ -179,6 +179,22 @@ class Universe : public vm::RuntimeEnv {
   /// worker VM (the adaptive optimizer feeds on this).  Thread-safe.
   std::vector<vm::FnSample> SnapshotProfile() const;
 
+  /// Instantaneous exec status of the primary and every worker VM — the
+  /// sampling profiler's input (one relaxed-load pair per VM; idle VMs
+  /// report fn == nullptr).  Thread-safe.
+  std::vector<vm::VM::ExecStatus> SampleExecStatus() const;
+
+  /// Profile-provider seam: the VmSampler (src/adaptive) registers a
+  /// callback rendering its hot-function table as JSON; the server's
+  /// PROFILE command and the `reflect.profile` host primitive read it
+  /// through ProfileJson(), so the runtime library never depends on
+  /// src/adaptive.  The provider must clear itself (nullptr) before its
+  /// owner is destroyed; adopted services are stopped first in ~Universe,
+  /// which makes that ordering automatic for adopted samplers.
+  void SetProfileProvider(std::function<std::string()> provider);
+  /// Rendered hot-function profile JSON ("{}" when no sampler runs).
+  std::string ProfileJson() const;
+
   /// Install the standard library module ("stdlib") used by kLibrary-mode
   /// code; idempotent.
   Status InstallStdlib();
@@ -459,6 +475,11 @@ class Universe : public vm::RuntimeEnv {
   std::atomic<uint64_t> binding_gen_{0};
   AtomicAdaptiveCounters adaptive_counters_;
   std::vector<std::unique_ptr<BackgroundService>> services_;
+
+  /// Profile provider (SetProfileProvider); guarded by its own mutex so
+  /// worker threads can render PROFILE while the sampler re-registers.
+  mutable std::mutex profile_provider_mu_;
+  std::function<std::string()> profile_provider_;
 };
 
 }  // namespace tml::rt

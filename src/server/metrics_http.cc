@@ -1,0 +1,177 @@
+#include "server/metrics_http.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "runtime/universe.h"
+#include "server/server.h"
+#include "telemetry/flight.h"
+#include "telemetry/metrics.h"
+#include "telemetry/prometheus.h"
+
+namespace tml::server {
+
+namespace {
+
+std::string HttpResponse(int code, const char* reason,
+                         const char* content_type, const std::string& body) {
+  std::string out = "HTTP/1.0 " + std::to_string(code) + " " + reason + "\r\n";
+  out += "Content-Type: ";
+  out += content_type;
+  out += "\r\nContent-Length: " + std::to_string(body.size()) +
+         "\r\nConnection: close\r\n\r\n";
+  out += body;
+  return out;
+}
+
+/// Parse "?window=SECONDS" off a /flight path; 0 = full retained window.
+uint64_t FlightWindowNs(const std::string& path) {
+  size_t q = path.find("?window=");
+  if (q == std::string::npos) return 0;
+  uint64_t secs = std::strtoull(path.c_str() + q + 8, nullptr, 10);
+  return secs * 1'000'000'000ull;
+}
+
+}  // namespace
+
+MetricsHttpServer::~MetricsHttpServer() { Stop(); }
+
+Status MetricsHttpServer::Start(const std::string& host, int port) {
+  if (started_) return Status::AlreadyExists("metrics http: already started");
+  int fd = socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return Status::IOError(std::string("socket: ") + std::strerror(errno));
+  }
+  int one = 1;
+  setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof one);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<uint16_t>(port));
+  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+    close(fd);
+    return Status::Invalid("metrics http: bad host " + host);
+  }
+  if (bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0 ||
+      listen(fd, 16) < 0) {
+    Status st = Status::IOError(std::string("bind/listen ") + host + ":" +
+                                std::to_string(port) + ": " +
+                                std::strerror(errno));
+    close(fd);
+    return st;
+  }
+  socklen_t len = sizeof addr;
+  if (getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  stop_.store(false, std::memory_order_release);
+  started_ = true;
+  thread_ = std::thread([this] { Loop(); });
+  return Status::OK();
+}
+
+void MetricsHttpServer::Stop() {
+  if (!started_) return;
+  stop_.store(true, std::memory_order_release);
+  if (thread_.joinable()) thread_.join();
+  if (listen_fd_ >= 0) {
+    close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  started_ = false;
+}
+
+void MetricsHttpServer::Loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    pollfd p{listen_fd_, POLLIN, 0};
+    int n = poll(&p, 1, 100);
+    if (n <= 0) continue;
+    int fd = accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    // Serving is synchronous: scrape endpoints are cheap (a registry
+    // snapshot, a ring dump) and a one-thread listener cannot be wedged
+    // into unbounded concurrency by a misbehaving scraper.
+    ServeOne(fd);
+    close(fd);
+  }
+}
+
+void MetricsHttpServer::ServeOne(int fd) const {
+  // Bound both the read size and the wait: a scraper that trickles or
+  // never finishes its request gets dropped, not serviced.
+  timeval tv{2, 0};
+  setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
+  setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  std::string req;
+  char buf[4096];
+  while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    req.append(buf, static_cast<size_t>(n));
+  }
+  size_t eol = req.find("\r\n");
+  std::string line = eol == std::string::npos ? req : req.substr(0, eol);
+  std::string method, path;
+  size_t sp1 = line.find(' ');
+  if (sp1 != std::string::npos) {
+    method = line.substr(0, sp1);
+    size_t sp2 = line.find(' ', sp1 + 1);
+    path = sp2 == std::string::npos ? line.substr(sp1 + 1)
+                                    : line.substr(sp1 + 1, sp2 - sp1 - 1);
+  }
+  std::string resp;
+  if (method != "GET") {
+    resp = HttpResponse(405, "Method Not Allowed", "text/plain",
+                        "only GET is supported\n");
+  } else {
+    resp = Respond(path);
+  }
+  size_t off = 0;
+  while (off < resp.size()) {
+    ssize_t n = send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
+    if (n <= 0) {
+      if (n < 0 && errno == EINTR) continue;
+      break;
+    }
+    off += static_cast<size_t>(n);
+  }
+}
+
+std::string MetricsHttpServer::Respond(const std::string& path) const {
+  if (path == "/metrics") {
+    telemetry::RefreshObservabilityGauges();
+    std::string body =
+        telemetry::FormatPrometheus(telemetry::Registry::Global().Snapshot());
+    return HttpResponse(200, "OK", "text/plain; version=0.0.4", body);
+  }
+  if (path == "/healthz") {
+    return HttpResponse(200, "OK", "text/plain", "ok\n");
+  }
+  if (path == "/profile") {
+    std::string body = universe_ == nullptr ? "{}" : universe_->ProfileJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/flight" || path.rfind("/flight?", 0) == 0) {
+    std::string body = telemetry::FlightRecorder::Global().DumpChromeJson(
+        FlightWindowNs(path));
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  if (path == "/slow") {
+    std::string body = server_ == nullptr ? "[]" : server_->SlowRequestsJson();
+    return HttpResponse(200, "OK", "application/json", body);
+  }
+  return HttpResponse(404, "Not Found", "text/plain",
+                      "endpoints: /metrics /healthz /profile /flight /slow\n");
+}
+
+}  // namespace tml::server

@@ -1,0 +1,77 @@
+// Minimal embedded HTTP listener for the scrape/health surface
+// (observability plane; DESIGN.md §11).
+//
+// Serves exactly five read-only endpoints over HTTP/1.0-style
+// request/response (no keep-alive, no TLS, no dependencies):
+//
+//   GET /metrics   the full metrics registry, Prometheus text exposition
+//                  format 0.0.4 (the same payload as the METRICS command)
+//   GET /healthz   "ok" while the process is serving — a liveness probe
+//   GET /profile   the sampling profiler's hot-function table (JSON)
+//   GET /flight    the flight recorder's retained window (Chrome trace
+//                  JSON; ?window=SECONDS bounds it)
+//   GET /slow      the server's slow-request log (JSON array)
+//
+// Deliberately *not* the tagged-binary server: scrapers (Prometheus,
+// curl, a browser) speak HTTP, and a diagnostic surface must stay
+// reachable even when the main protocol path is wedged.  One thread,
+// blocking accept with a poll timeout for prompt Stop(); each request is
+// served and closed — scrape traffic is low-rate by design.
+
+#ifndef TML_SERVER_METRICS_HTTP_H_
+#define TML_SERVER_METRICS_HTTP_H_
+
+#include <atomic>
+#include <string>
+#include <thread>
+
+#include "support/status.h"
+
+namespace tml::rt {
+class Universe;
+}
+
+namespace tml::server {
+
+class Server;
+
+class MetricsHttpServer {
+ public:
+  /// Both pointers may be null: a null universe serves "{}" on /profile,
+  /// a null server serves "[]" on /slow.  Non-null pointers must outlive
+  /// the listener.
+  MetricsHttpServer(rt::Universe* universe, Server* server)
+      : universe_(universe), server_(server) {}
+  ~MetricsHttpServer();
+
+  MetricsHttpServer(const MetricsHttpServer&) = delete;
+  MetricsHttpServer& operator=(const MetricsHttpServer&) = delete;
+
+  /// Bind `host:port` (port 0 = ephemeral, read back with port()) and
+  /// launch the serving thread.
+  Status Start(const std::string& host, int port);
+  /// Close the listener and join the thread; idempotent.
+  void Stop();
+
+  int port() const { return port_; }
+
+  /// Request routing, exposed for tests: full response bytes (status
+  /// line + headers + body) for `path` ("/metrics", ...).
+  std::string Respond(const std::string& path) const;
+
+ private:
+  void Loop();
+  void ServeOne(int fd) const;
+
+  rt::Universe* universe_;
+  Server* server_;
+  int listen_fd_ = -1;
+  int port_ = -1;
+  std::atomic<bool> stop_{false};
+  bool started_ = false;
+  std::thread thread_;
+};
+
+}  // namespace tml::server
+
+#endif  // TML_SERVER_METRICS_HTTP_H_

@@ -13,17 +13,32 @@
 #include <sys/epoll.h>
 #endif
 
+#include <algorithm>
 #include <cerrno>
 #include <chrono>
 #include <cstring>
+#include <string_view>
 
 #include "query/relation.h"
+#include "telemetry/flight.h"
 #include "telemetry/metrics.h"
+#include "telemetry/prometheus.h"
 #include "telemetry/trace.h"
 
 namespace tml::server {
 
 namespace {
+
+bool EqualsIgnoreCase(const std::string& a, const char* b) {
+  size_t n = std::strlen(b);
+  if (a.size() != n) return false;
+  for (size_t k = 0; k < n; ++k) {
+    char c = a[k];
+    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
+    if (c != b[k]) return false;
+  }
+  return true;
+}
 
 // ---- telemetry ("tml.server.*"; DESIGN.md §10) -------------------------------
 
@@ -70,6 +85,51 @@ telemetry::Histogram* MBatchFrames() {
   static auto* h =
       telemetry::Registry::Global().GetHistogram("tml.server.batch_frames");
   return h;
+}
+telemetry::Histogram* MQueueWaitUs() {
+  static auto* h =
+      telemetry::Registry::Global().GetHistogram("tml.server.queue_wait_us");
+  return h;
+}
+telemetry::Counter* MSlowRequests() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.slow_requests");
+  return c;
+}
+
+/// The canonical command set, shared by the per-command latency
+/// histograms and the dispatch label.  "OTHER" buckets malformed and
+/// unknown commands so every request lands in exactly one histogram.
+constexpr const char* kCommands[] = {
+    "PING",  "INSTALL",  "LOOKUP", "CALL",   "CALLOID",  "OPTIMIZE",
+    "QUERY", "RELSTORE", "STATS",  "BUDGET", "SHUTDOWN", "OBSERVE",
+    "PROFILE", "METRICS", "OTHER"};
+
+/// Canonical (immortal) label for a request's command word.
+const char* CommandLabel(const WireValue& req) {
+  if (req.tag != TAG_ARR || req.elems.empty() || !req.elems[0].is_str()) {
+    return "OTHER";
+  }
+  for (const char* c : kCommands) {
+    if (EqualsIgnoreCase(req.elems[0].s, c)) return c;
+  }
+  return "OTHER";
+}
+
+/// Per-command request-latency histogram, tml.server.cmd_us{cmd=...}.
+/// The table is built once (thread-safe function-local static), so the
+/// per-request cost is one hash lookup — no registry mutex on the
+/// dispatch path.
+telemetry::Histogram* MCmdUs(const char* cmd) {
+  static const auto* table = [] {
+    auto* m = new std::unordered_map<std::string_view, telemetry::Histogram*>;
+    for (const char* c : kCommands) {
+      (*m)[c] = telemetry::Registry::Global().GetHistogram("tml.server.cmd_us",
+                                                           {{"cmd", c}});
+    }
+    return m;
+  }();
+  return table->at(cmd);
 }
 
 // ---- socket plumbing ---------------------------------------------------------
@@ -350,17 +410,6 @@ WireValue StatusToErr(const Status& st) {
   return WireValue::Err(code, st.ToString());
 }
 
-bool EqualsIgnoreCase(const std::string& a, const char* b) {
-  size_t n = std::strlen(b);
-  if (a.size() != n) return false;
-  for (size_t k = 0; k < n; ++k) {
-    char c = a[k];
-    if (c >= 'a' && c <= 'z') c = static_cast<char>(c - 'a' + 'A');
-    if (c != b[k]) return false;
-  }
-  return true;
-}
-
 }  // namespace
 
 // ---- session -----------------------------------------------------------------
@@ -618,6 +667,7 @@ void Server::DispatchIfReady(Session* s) {
   Job job;
   job.session_id = s->id;
   job.step_budget = s->step_budget;
+  job.enqueue_ns = telemetry::Tracer::NowNs();
   job.requests.reserve(s->pending.size());
   while (!s->pending.empty()) {
     job.requests.push_back(std::move(s->pending.front()));
@@ -739,17 +789,29 @@ void Server::WorkerThread(int index) {
 
 Server::Completion Server::RunBatch(vm::VM* vm, Job job) {
   TML_TELEMETRY_SPAN("server", "server.batch");
+  // Queue wait: time from DispatchIfReady to a worker picking the batch
+  // up — the component of client latency the VM never sees.
+  uint64_t now_ns = telemetry::Tracer::NowNs();
+  if (job.enqueue_ns != 0 && now_ns > job.enqueue_ns) {
+    MQueueWaitUs()->Observe((now_ns - job.enqueue_ns) / 1000);
+  }
   Completion c;
   c.session_id = job.session_id;
   c.step_budget = job.step_budget;
   for (const WireValue& req : job.requests) {
     TML_TELEMETRY_SPAN("server", "server.request");
+    const char* cmd = CommandLabel(req);
     auto t0 = std::chrono::steady_clock::now();
     WireValue resp = Execute(vm, req, &c.step_budget, &c.shutdown);
     auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - t0);
-    MRequestUs()->Observe(static_cast<uint64_t>(dt.count()));
+    uint64_t us = static_cast<uint64_t>(dt.count());
+    MRequestUs()->Observe(us);
+    MCmdUs(cmd)->Observe(us);
     MRequests()->Increment();
+    if (opts_.slow_request_us != 0 && us >= opts_.slow_request_us) {
+      NoteSlow(cmd, us, job.session_id);
+    }
     if (resp.is_err()) MErrors()->Increment();
     // Response encoding cannot fail for values we build (bounded depth),
     // except oversized payloads — degrade those to an ERR frame.
@@ -781,7 +843,12 @@ WireValue Server::Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
   if (EqualsIgnoreCase(cmd, "OPTIMIZE")) return CmdOptimize(a);
   if (EqualsIgnoreCase(cmd, "RELSTORE")) return CmdRelStore(a);
   if (EqualsIgnoreCase(cmd, "QUERY")) return CmdQuery(vm, a, *budget);
-  if (EqualsIgnoreCase(cmd, "STATS")) return CmdStats();
+  if (EqualsIgnoreCase(cmd, "STATS")) return CmdStats(a);
+  if (EqualsIgnoreCase(cmd, "OBSERVE")) return CmdObserve(a);
+  if (EqualsIgnoreCase(cmd, "PROFILE")) {
+    return WireValue::Str(universe_->ProfileJson());
+  }
+  if (EqualsIgnoreCase(cmd, "METRICS")) return CmdMetrics(a);
   if (EqualsIgnoreCase(cmd, "BUDGET")) {
     if (a.size() != 2 || a[1].tag != TAG_INT || a[1].i < 0) {
       return WireValue::Err(ERR_BAD_ARG, "usage: BUDGET <steps>=0..");
@@ -831,6 +898,10 @@ WireValue Server::RunToWire(vm::VM* vm, Oid closure,
   vm->set_step_budget(0);
   if (!r.ok()) {
     if (r.status().code() == StatusCode::kOutOfRange) {
+      // A budget kill is an operator-interesting incident: the flight
+      // recorder notes it (and auto-dumps the last seconds of activity
+      // when TYCOON_FLIGHT_DIR / --flight-dir is configured).
+      telemetry::FlightRecorder::Global().NoteIncident("budget_kill");
       return WireValue::Err(ERR_BUDGET, r.status().ToString());
     }
     return WireValue::Err(ERR_RUNTIME, r.status().ToString());
@@ -944,8 +1015,89 @@ WireValue Server::CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
   return RunToWire(vm, *fn, std::span<const vm::Value>(&arg, 1), budget);
 }
 
-WireValue Server::CmdStats() {
+WireValue Server::CmdStats(const std::vector<WireValue>& a) {
+  if (a.size() > 2 || (a.size() == 2 && !a[1].is_str())) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: STATS [slow]");
+  }
+  if (a.size() == 2) {
+    if (!EqualsIgnoreCase(a[1].s, "SLOW")) {
+      return WireValue::Err(ERR_BAD_ARG, "usage: STATS [slow]");
+    }
+    return WireValue::Str(SlowRequestsJson());
+  }
   return WireValue::Str(universe_->TelemetrySnapshot().ToJson());
+}
+
+WireValue Server::CmdObserve(const std::vector<WireValue>& a) {
+  // OBSERVE [seconds]: the flight recorder's retained window (bounded to
+  // the trailing `seconds` when given) as Chrome trace JSON.
+  if (a.size() > 2 || (a.size() == 2 && (a[1].tag != TAG_INT || a[1].i < 0))) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: OBSERVE [seconds]");
+  }
+  uint64_t window_ns = 0;
+  if (a.size() == 2) {
+    window_ns = static_cast<uint64_t>(a[1].i) * 1'000'000'000ull;
+  }
+  return WireValue::Str(
+      telemetry::FlightRecorder::Global().DumpChromeJson(window_ns));
+}
+
+WireValue Server::CmdMetrics(const std::vector<WireValue>& a) {
+  // METRICS [prom|text|json]: the full registry in Prometheus exposition
+  // (default — the same payload the --metrics-port listener scrapes),
+  // aligned text, or JSON.
+  enum { kProm, kText, kJson } fmt = kProm;
+  if (a.size() > 2 || (a.size() == 2 && !a[1].is_str())) {
+    return WireValue::Err(ERR_BAD_ARG, "usage: METRICS [prom|text|json]");
+  }
+  if (a.size() == 2) {
+    if (EqualsIgnoreCase(a[1].s, "TEXT")) {
+      fmt = kText;
+    } else if (EqualsIgnoreCase(a[1].s, "JSON")) {
+      fmt = kJson;
+    } else if (!EqualsIgnoreCase(a[1].s, "PROM")) {
+      return WireValue::Err(ERR_BAD_ARG, "usage: METRICS [prom|text|json]");
+    }
+  }
+  telemetry::RefreshObservabilityGauges();
+  std::vector<telemetry::MetricSample> samples =
+      telemetry::Registry::Global().Snapshot();
+  switch (fmt) {
+    case kText: return WireValue::Str(telemetry::FormatText(samples));
+    case kJson: return WireValue::Str(telemetry::FormatJson(samples));
+    default: return WireValue::Str(telemetry::FormatPrometheus(samples));
+  }
+}
+
+void Server::NoteSlow(const char* cmd, uint64_t us, uint64_t session_id) {
+  MSlowRequests()->Increment();
+  // Slow requests also mark the flight timeline, so an OBSERVE dump shows
+  // *where* in the recent activity the outlier happened.
+  auto& flight = telemetry::FlightRecorder::Global();
+  uint64_t now_ns = telemetry::Tracer::NowNs();
+  if (flight.enabled()) flight.Record("server", "server.slow", now_ns, 0);
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  SlowRequest r{cmd, us, now_ns, session_id};
+  auto it = std::upper_bound(
+      slow_log_.begin(), slow_log_.end(), r,
+      [](const SlowRequest& x, const SlowRequest& y) { return x.us > y.us; });
+  slow_log_.insert(it, r);
+  if (slow_log_.size() > opts_.slow_log_size) slow_log_.resize(opts_.slow_log_size);
+}
+
+std::string Server::SlowRequestsJson() const {
+  std::lock_guard<std::mutex> lock(slow_mu_);
+  std::string out = "[";
+  for (size_t k = 0; k < slow_log_.size(); ++k) {
+    const SlowRequest& r = slow_log_[k];
+    if (k != 0) out += ',';
+    out += "{\"cmd\":\"" + std::string(r.cmd) +
+           "\",\"us\":" + std::to_string(r.us) +
+           ",\"ts_ns\":" + std::to_string(r.ts_ns) +
+           ",\"session\":" + std::to_string(r.session_id) + "}";
+  }
+  out += "]";
+  return out;
 }
 
 }  // namespace tml::server

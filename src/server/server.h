@@ -73,6 +73,12 @@ struct ServerOptions {
   bool use_poll = false;
   /// Frame size bound handed to the decoder (tests shrink it).
   uint32_t max_frame = kMaxFrameLen;
+  /// Requests at least this slow (wall microseconds) enter the worst-
+  /// offender slow-request log (STATS SLOW) and emit a flight-recorder
+  /// instant event.  0 logs nothing.
+  uint64_t slow_request_us = 10'000;
+  /// Worst offenders retained in the slow-request log.
+  size_t slow_log_size = 16;
 };
 
 class Server {
@@ -106,6 +112,10 @@ class Server {
     return active_sessions_.load(std::memory_order_relaxed);
   }
 
+  /// The slow-request log as a JSON array of {cmd,us,ts_ns,session}
+  /// objects, worst first (the STATS SLOW command and tools read this).
+  std::string SlowRequestsJson() const;
+
  private:
   struct Session;
 
@@ -115,6 +125,7 @@ class Server {
     uint64_t session_id = 0;
     std::vector<WireValue> requests;
     uint64_t step_budget = 0;
+    uint64_t enqueue_ns = 0;  ///< Tracer::NowNs() at dispatch (queue wait)
   };
 
   /// What a worker hands back to the loop thread.
@@ -156,12 +167,18 @@ class Server {
   WireValue CmdRelStore(const std::vector<WireValue>& a);
   WireValue CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
                      uint64_t budget);
-  WireValue CmdStats();
+  WireValue CmdStats(const std::vector<WireValue>& a);
+  WireValue CmdObserve(const std::vector<WireValue>& a);
+  WireValue CmdMetrics(const std::vector<WireValue>& a);
 
   /// Run a closure on `vm` under `budget` and translate the outcome
   /// (value / raise / budget exhaustion / VM error) to a wire value.
   WireValue RunToWire(vm::VM* vm, Oid closure, std::span<const vm::Value> args,
                       uint64_t budget);
+
+  /// Record one request into the slow-request log if it crossed the
+  /// slow_request_us threshold (worst `slow_log_size` kept, sorted).
+  void NoteSlow(const char* cmd, uint64_t us, uint64_t session_id);
 
   rt::Universe* universe_;
   ServerOptions opts_;
@@ -198,6 +215,17 @@ class Server {
   // Completion queue (workers -> loop).
   std::mutex done_mu_;
   std::vector<Completion> done_;
+
+  // Slow-request log: the worst slow_log_size requests by wall time,
+  // sorted descending (workers write, STATS SLOW reads).
+  struct SlowRequest {
+    const char* cmd = "";
+    uint64_t us = 0;
+    uint64_t ts_ns = 0;
+    uint64_t session_id = 0;
+  };
+  mutable std::mutex slow_mu_;
+  std::vector<SlowRequest> slow_log_;
 };
 
 }  // namespace tml::server

@@ -4,6 +4,7 @@
 
 #include "support/crc32.h"
 #include "support/varint.h"
+#include "telemetry/flight.h"
 #include "telemetry/metrics.h"
 #include "telemetry/trace.h"
 
@@ -274,6 +275,10 @@ Status ObjectStore::LoadFromFile() {
   if (salvage_.salvaged) {
     const RecoveryCounters& rc = RecoveryCounters::Get();
     rc.salvage_opens->Increment();
+    // Salvage engaging is a flight-recorder incident: when an auto-dump
+    // dir is configured, the last seconds before the corrupted open get
+    // written out for post-mortem.
+    telemetry::FlightRecorder::Global().NoteIncident("salvage");
     rc.quarantined->Add(salvage_.quarantined_records);
     rc.truncated_bytes->Add(salvage_.truncated_bytes);
     if (!read_only_) {

@@ -1,0 +1,232 @@
+#include "telemetry/flight.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "telemetry/metrics.h"
+#include "telemetry/trace.h"
+
+namespace tml::telemetry {
+
+namespace {
+
+Counter* MIncidents(const char* reason) {
+  // Incident reasons form a tiny fixed set (budget_kill/salvage/sigusr2/
+  // fatal), so a labeled counter per reason stays bounded.
+  return Registry::Global().GetCounter("tml.flight.incidents",
+                                       {{"reason", reason}});
+}
+
+thread_local void* t_ring = nullptr;  // FlightRecorder::Ring*, this process
+
+}  // namespace
+
+FlightRecorder& FlightRecorder::Global() {
+  static FlightRecorder* f = new FlightRecorder();  // leaked: atexit-safe
+  return *f;
+}
+
+void FlightRecorder::set_ring_capacity(size_t capacity) {
+  if (capacity < 256) capacity = 256;
+  if (capacity > (1u << 20)) capacity = 1u << 20;
+  ring_capacity_.store(capacity, std::memory_order_relaxed);
+}
+
+FlightRecorder::Ring* FlightRecorder::ThreadRing() {
+  if (t_ring != nullptr) return static_cast<Ring*>(t_ring);
+  auto* ring = new Ring(ring_capacity_.load(std::memory_order_relaxed));
+  ring->tid = Tracer::ThreadId();
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings_.push_back(ring);
+  }
+  t_ring = ring;
+  return ring;
+}
+
+void FlightRecorder::Record(const char* cat, const char* name, uint64_t ts_ns,
+                            uint64_t dur_ns) {
+  if (!enabled()) return;
+  Ring* ring = ThreadRing();
+  uint64_t idx = ring->cursor.load(std::memory_order_relaxed);
+  Slot& s = ring->slots[idx % ring->slots.size()];
+  // Seqlock write: odd seq opens the slot, even seq (released) commits it.
+  // Only the owning thread writes, so plain increments of the cursor and
+  // an unconditional odd/even pair are enough.
+  uint64_t seq = s.seq.load(std::memory_order_relaxed);
+  s.seq.store(seq + 1, std::memory_order_release);  // odd: in progress
+  s.cat.store(cat, std::memory_order_relaxed);
+  s.name.store(name, std::memory_order_relaxed);
+  s.ts_ns.store(ts_ns, std::memory_order_relaxed);
+  s.dur_ns.store(dur_ns, std::memory_order_relaxed);
+  s.seq.store(seq + 2, std::memory_order_release);  // even: committed
+  ring->cursor.store(idx + 1, std::memory_order_release);
+}
+
+std::vector<FlightEvent> FlightRecorder::Snapshot(uint64_t window_ns) const {
+  std::vector<Ring*> rings;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    rings = rings_;
+  }
+  uint64_t now = Tracer::NowNs();
+  uint64_t cutoff = (window_ns == 0 || window_ns > now) ? 0 : now - window_ns;
+  std::vector<FlightEvent> out;
+  for (Ring* ring : rings) {
+    uint64_t end = ring->cursor.load(std::memory_order_acquire);
+    size_t cap = ring->slots.size();
+    uint64_t begin = end > cap ? end - cap : 0;
+    for (uint64_t i = begin; i < end; ++i) {
+      const Slot& s = ring->slots[i % cap];
+      uint64_t seq_before = s.seq.load(std::memory_order_acquire);
+      if (seq_before & 1) continue;  // mid-write
+      FlightEvent e;
+      e.cat = s.cat.load(std::memory_order_relaxed);
+      e.name = s.name.load(std::memory_order_relaxed);
+      e.ts_ns = s.ts_ns.load(std::memory_order_relaxed);
+      e.dur_ns = s.dur_ns.load(std::memory_order_relaxed);
+      e.tid = ring->tid;
+      std::atomic_thread_fence(std::memory_order_acquire);
+      if (s.seq.load(std::memory_order_relaxed) != seq_before) {
+        continue;  // overwritten while we read it
+      }
+      if (e.name == nullptr) continue;  // never committed
+      if (e.ts_ns + e.dur_ns < cutoff) continue;
+      out.push_back(e);
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const FlightEvent& a, const FlightEvent& b) {
+              return a.ts_ns < b.ts_ns;
+            });
+  return out;
+}
+
+uint64_t FlightRecorder::overwritten() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const Ring* ring : rings_) {
+    uint64_t end = ring->cursor.load(std::memory_order_relaxed);
+    size_t cap = ring->slots.size();
+    if (end > cap) n += end - cap;
+  }
+  return n;
+}
+
+uint64_t FlightRecorder::recorded() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t n = 0;
+  for (const Ring* ring : rings_) {
+    n += ring->cursor.load(std::memory_order_relaxed);
+  }
+  return n;
+}
+
+size_t FlightRecorder::rings() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return rings_.size();
+}
+
+std::string FlightRecorder::DumpChromeJson(uint64_t window_ns) const {
+  std::vector<FlightEvent> events = Snapshot(window_ns);
+  std::string out = "{\"traceEvents\": [\n";
+  char buf[256];
+  for (size_t i = 0; i < events.size(); ++i) {
+    const FlightEvent& e = events[i];
+    // Instant incidents render as ph "i" marks; spans as "X" like the
+    // Tracer's output, so both load in the same viewers.
+    if (e.dur_ns == 0) {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"i\", "
+                    "\"s\": \"g\", \"ts\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+                    JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(),
+                    static_cast<double>(e.ts_ns) / 1000.0, e.tid,
+                    i + 1 < events.size() ? "," : "");
+    } else {
+      std::snprintf(buf, sizeof buf,
+                    "{\"name\": \"%s\", \"cat\": \"%s\", \"ph\": \"X\", "
+                    "\"ts\": %.3f, \"dur\": %.3f, \"pid\": 1, \"tid\": %u}%s\n",
+                    JsonEscape(e.name).c_str(), JsonEscape(e.cat).c_str(),
+                    static_cast<double>(e.ts_ns) / 1000.0,
+                    static_cast<double>(e.dur_ns) / 1000.0, e.tid,
+                    i + 1 < events.size() ? "," : "");
+    }
+    out += buf;
+  }
+  out += "], \"displayTimeUnit\": \"ms\", \"otherData\": {"
+         "\"overwritten\": " + std::to_string(overwritten()) +
+         ", \"rings\": " + std::to_string(rings()) +
+         ", \"ring_capacity\": " + std::to_string(ring_capacity()) + "}}\n";
+  return out;
+}
+
+Status FlightRecorder::WriteDump(const std::string& path,
+                                 uint64_t window_ns) const {
+  std::string json = DumpChromeJson(window_ns);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IOError("cannot write flight dump " + path);
+  }
+  size_t n = std::fwrite(json.data(), 1, json.size(), f);
+  std::fclose(f);
+  if (n != json.size()) {
+    return Status::IOError("short write to flight dump " + path);
+  }
+  return Status::OK();
+}
+
+void FlightRecorder::SetAutoDumpDir(const std::string& dir,
+                                    uint64_t max_dumps) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto_dump_dir_ = dir;
+  auto_dump_max_ = max_dumps;
+}
+
+uint64_t FlightRecorder::auto_dumps_written() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return auto_dump_seq_;
+}
+
+std::string FlightRecorder::last_auto_dump_path() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return last_auto_dump_path_;
+}
+
+void FlightRecorder::NoteIncident(const char* reason) {
+  MIncidents(reason)->Increment();
+  if (enabled()) {
+    uint64_t now = Tracer::NowNs();
+    Record("incident", reason, now, 0);
+  }
+  std::string path;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (auto_dump_dir_.empty() || auto_dump_seq_ >= auto_dump_max_) return;
+    ++auto_dump_seq_;
+    path = auto_dump_dir_ + "/flight-" + reason + "-" +
+           std::to_string(auto_dump_seq_) + ".json";
+    last_auto_dump_path_ = path;
+  }
+  Status st = WriteDump(path);
+  if (!st.ok()) {
+    std::fprintf(stderr, "flight: %s\n", st.ToString().c_str());
+  } else {
+    std::fprintf(stderr, "flight: incident '%s' dumped to %s\n", reason,
+                 path.c_str());
+    Registry::Global().GetCounter("tml.flight.auto_dumps")->Increment();
+  }
+}
+
+void RefreshObservabilityGauges() {
+  FlightRecorder& fr = FlightRecorder::Global();
+  Registry& reg = Registry::Global();
+  reg.GetGauge("tml.trace.dropped_events")
+      ->Set(static_cast<int64_t>(Tracer::Global().dropped()));
+  reg.GetGauge("tml.flight.overwritten_events")
+      ->Set(static_cast<int64_t>(fr.overwritten()));
+  reg.GetGauge("tml.flight.recorded_events")
+      ->Set(static_cast<int64_t>(fr.recorded()));
+  reg.GetGauge("tml.flight.rings")->Set(static_cast<int64_t>(fr.rings()));
+}
+
+}  // namespace tml::telemetry

@@ -1,0 +1,171 @@
+// The always-on flight recorder (observability plane; DESIGN.md §11).
+//
+// Where the Tracer (trace.h) is an opt-in capture — enabled explicitly,
+// records until its ring fills, then drops — the FlightRecorder is on by
+// default and never stops: every thread that emits spans owns a small
+// private ring that wraps, so at any moment the recorder holds the *most
+// recent* window of activity per thread.  When something goes wrong (a
+// budget kill, salvage-mode recovery, SIGUSR2, a fatal error) the last
+// seconds before the incident can be dumped as Chrome trace JSON — the
+// post-hoc answer to "what was the server doing right before that?".
+//
+// Design constraints, in order:
+//   1. Recording must be cheap enough to leave on under the tier-1 bench
+//      overhead budget (≤2% on bench_stanford dynamic): one thread-local
+//      load, one monotone bump of a thread-owned cursor, five relaxed
+//      stores and two seq stores per span.  No locks, no allocation after
+//      ring creation, no fences beyond the seq protocol.
+//   2. Wrap-around must be data-race-free against a concurrent dump.
+//      Slots use a seqlock-style commit: the writer makes the slot's
+//      sequence odd, writes the (individually atomic) fields, then
+//      publishes an even sequence with release order; the dumper
+//      acquire-loads the sequence, reads the fields, and re-checks the
+//      sequence — a slot observed mid-overwrite is skipped.  Every field
+//      is an atomic, so even an adversarial interleaving can at worst
+//      yield a skipped slot or (in the theoretical limit of the C++
+//      seqlock idiom) a mixed-but-well-formed event — never a torn
+//      pointer or UB, which is the right trade for a diagnostic ring.
+//   3. Rings are registered once per thread and deliberately leaked (like
+//      the Tracer and the metrics registry) so a dump can run from signal
+//      watchers and atexit handlers after thread exit.
+//
+// "Last N seconds" is capacity-based: each ring holds the newest
+// `capacity` events of its thread; Snapshot(window_ns) additionally
+// filters to events ending within the window.  Overwritten events are
+// counted per ring (the flight-recorder analogue of Tracer::dropped()).
+
+#ifndef TML_TELEMETRY_FLIGHT_H_
+#define TML_TELEMETRY_FLIGHT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "support/status.h"
+
+namespace tml::telemetry {
+
+/// One event read back out of a ring.  `cat`/`name` are the string
+/// literals the span sites passed in; `dur_ns == 0` marks an instant
+/// event (incidents).
+struct FlightEvent {
+  const char* cat = nullptr;
+  const char* name = nullptr;
+  uint64_t ts_ns = 0;   ///< start, Tracer::NowNs() epoch
+  uint64_t dur_ns = 0;  ///< 0 = instant event
+  uint32_t tid = 0;     ///< Tracer::ThreadId() of the recording thread
+};
+
+class FlightRecorder {
+ public:
+  static FlightRecorder& Global();
+
+  /// Recording is on by default; TYCOON_FLIGHT=0 (via trace.h's
+  /// InitFromEnv) or set_enabled(false) turns it off for overhead A/B
+  /// runs.  Checked with one relaxed load per span.
+  bool enabled() const { return enabled_.load(std::memory_order_relaxed); }
+  void set_enabled(bool on) {
+    enabled_.store(on, std::memory_order_relaxed);
+  }
+
+  /// Events retained per thread ring.  Affects rings created *after* the
+  /// call; clamped to [256, 1<<20].  (TYCOON_FLIGHT_BUF env knob.)
+  void set_ring_capacity(size_t capacity);
+  size_t ring_capacity() const {
+    return ring_capacity_.load(std::memory_order_relaxed);
+  }
+
+  /// Record one complete span on the calling thread's ring.  Lock-free;
+  /// wraps (overwriting the oldest event) when the ring is full.
+  /// `cat`/`name` must be string literals or otherwise immortal.
+  void Record(const char* cat, const char* name, uint64_t ts_ns,
+              uint64_t dur_ns);
+
+  /// Record an instant incident event ("budget_kill", "salvage", ...),
+  /// bump the tml.flight.incidents counter, and — when an auto-dump
+  /// directory is configured — write a bounded number of
+  /// flight-<reason>-<n>.json dumps.  Safe from any thread; NOT
+  /// async-signal-safe (signal handlers should set a flag and let a
+  /// watcher thread call this, as tycd does for SIGUSR2).
+  void NoteIncident(const char* reason);
+
+  /// Committed events across all rings with end time inside the trailing
+  /// `window_ns` (0 = everything retained), sorted by start time.
+  std::vector<FlightEvent> Snapshot(uint64_t window_ns = 0) const;
+
+  /// Snapshot rendered as a Chrome trace_event JSON document (loads in
+  /// chrome://tracing / ui.perfetto.dev).  otherData carries the
+  /// overwritten-event count and ring geometry.
+  std::string DumpChromeJson(uint64_t window_ns = 0) const;
+
+  /// Events overwritten by ring wrap-around, summed across rings — the
+  /// silent-loss counter surfaced in STATS and /metrics.
+  uint64_t overwritten() const;
+  /// Total events ever recorded (committed), summed across rings.
+  uint64_t recorded() const;
+  /// Number of per-thread rings created so far.
+  size_t rings() const;
+
+  /// Configure automatic incident dumps: NoteIncident writes
+  /// <dir>/flight-<reason>-<seq>.json until `max_dumps` files have been
+  /// written (a crash loop must not fill the disk).  Empty dir disables.
+  void SetAutoDumpDir(const std::string& dir, uint64_t max_dumps = 8);
+  uint64_t auto_dumps_written() const;
+  /// Path of the most recent auto dump (tests; empty if none).
+  std::string last_auto_dump_path() const;
+
+  /// Write the current snapshot to `path` as Chrome trace JSON.
+  Status WriteDump(const std::string& path, uint64_t window_ns = 0) const;
+
+ private:
+  FlightRecorder() = default;
+
+  /// One seqlock slot.  All fields atomic so a concurrent reader races
+  /// benignly with an overwriting writer; `seq` odd = write in progress.
+  struct Slot {
+    std::atomic<uint64_t> seq{0};
+    std::atomic<const char*> cat{nullptr};
+    std::atomic<const char*> name{nullptr};
+    std::atomic<uint64_t> ts_ns{0};
+    std::atomic<uint64_t> dur_ns{0};
+  };
+
+  /// One thread's ring.  `cursor` is written only by the owning thread
+  /// (atomic for cross-thread visibility to the dumper); `overwritten`
+  /// counts wrapped slots.  Rings are leaked on thread exit — the thread
+  /// id stays attributed in later dumps.
+  struct Ring {
+    explicit Ring(size_t cap) : slots(cap) {}
+    std::vector<Slot> slots;
+    std::atomic<uint64_t> cursor{0};  ///< next monotone slot index
+    uint32_t tid = 0;
+  };
+
+  Ring* ThreadRing();
+
+  std::atomic<bool> enabled_{true};
+  std::atomic<size_t> ring_capacity_{8192};
+
+  /// Guards rings_ growth and the auto-dump configuration; never taken on
+  /// the record path.
+  mutable std::mutex mu_;
+  std::vector<Ring*> rings_;  ///< leaked Ring objects, one per thread
+
+  // Auto-dump state (mu_).
+  std::string auto_dump_dir_;
+  uint64_t auto_dump_max_ = 8;
+  uint64_t auto_dump_seq_ = 0;
+  std::string last_auto_dump_path_;
+};
+
+/// Push the derived observability gauges (trace drops, flight overwrites,
+/// ring count) into the metrics registry so they appear in every snapshot
+/// and scrape.  Called by TelemetrySnapshot, the METRICS command, and the
+/// /metrics HTTP handler just before rendering.
+void RefreshObservabilityGauges();
+
+}  // namespace tml::telemetry
+
+#endif  // TML_TELEMETRY_FLIGHT_H_

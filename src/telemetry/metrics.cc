@@ -23,6 +23,48 @@ void Histogram::Reset() {
   sum_.store(0, std::memory_order_relaxed);
 }
 
+double BucketQuantile(const std::vector<std::pair<int, uint64_t>>& buckets,
+                      double q) {
+  uint64_t total = 0;
+  for (const auto& [b, n] : buckets) total += n;
+  if (total == 0) return 0.0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  // 0-based rank of the target observation; walk buckets in index order
+  // (the pairs come from Snapshot(), which emits them ascending).
+  double rank = q * static_cast<double>(total - 1);
+  uint64_t cum = 0;
+  for (const auto& [b, n] : buckets) {
+    if (static_cast<double>(cum + n) > rank) {
+      // Interpolate within [2^(b-1), 2^b); bucket 0 is exactly zero.
+      if (b == 0) return 0.0;
+      double lo = static_cast<double>(1ull << (b - 1));
+      double hi = b >= 64 ? 2.0 * lo : static_cast<double>(1ull << b);
+      double frac = (rank - static_cast<double>(cum) + 0.5) /
+                    static_cast<double>(n);
+      if (frac < 0.0) frac = 0.0;
+      if (frac > 1.0) frac = 1.0;
+      return lo + frac * (hi - lo);
+    }
+    cum += n;
+  }
+  // rank beyond the last bucket (rounding): top of the last bucket.
+  int last = buckets.back().first;
+  if (last == 0) return 0.0;
+  double lo = static_cast<double>(1ull << (last - 1));
+  return last >= 64 ? 2.0 * lo : static_cast<double>(1ull << last);
+}
+
+double Histogram::Quantile(double q) const {
+  std::vector<std::pair<int, uint64_t>> occupied;
+  for (int b = 0; b < kBuckets; ++b) {
+    uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+    if (n != 0) occupied.emplace_back(b, n);
+  }
+  if (occupied.empty()) return 0.0;
+  return BucketQuantile(occupied, q);
+}
+
 namespace {
 
 /// Canonical full name: name{k1=v1,k2=v2} with labels sorted by key, so the
@@ -148,7 +190,7 @@ uint64_t Registry::CounterValue(std::string_view full_name) const {
 
 std::string FormatText(const std::vector<MetricSample>& samples) {
   std::string out;
-  char buf[160];
+  char buf[256];
   for (const MetricSample& s : samples) {
     switch (s.kind) {
       case MetricKind::kCounter:
@@ -167,9 +209,14 @@ std::string FormatText(const std::vector<MetricSample>& samples) {
                          : static_cast<double>(s.sum) /
                                static_cast<double>(s.count);
         std::snprintf(buf, sizeof buf,
-                      "%-52s count=%llu sum=%llu mean=%.1f\n", s.name.c_str(),
+                      "%-52s count=%llu sum=%llu mean=%.1f"
+                      " p50=%.0f p90=%.0f p99=%.0f\n",
+                      s.name.c_str(),
                       static_cast<unsigned long long>(s.count),
-                      static_cast<unsigned long long>(s.sum), mean);
+                      static_cast<unsigned long long>(s.sum), mean,
+                      s.count == 0 ? 0.0 : BucketQuantile(s.buckets, 0.50),
+                      s.count == 0 ? 0.0 : BucketQuantile(s.buckets, 0.90),
+                      s.count == 0 ? 0.0 : BucketQuantile(s.buckets, 0.99));
         out += buf;
         for (const auto& [b, n] : s.buckets) {
           // Bucket b covers [2^(b-1), 2^b); bucket 0 is exactly zero.

@@ -74,6 +74,12 @@ class Histogram {
   }
   void Reset();
 
+  /// Estimated q-quantile (q in [0,1]) of the observed distribution:
+  /// rank-based walk over the log2 buckets with linear interpolation
+  /// inside the landing bucket, so the estimate is exact to within the
+  /// bucket's factor-of-2 span.  Returns 0 for an empty histogram.
+  double Quantile(double q) const;
+
  private:
   std::atomic<uint64_t> buckets_[kBuckets] = {};
   std::atomic<uint64_t> sum_{0};
@@ -147,8 +153,15 @@ class Registry {
   std::map<std::string, Cell, std::less<>> cells_;
 };
 
+/// Estimated q-quantile from snapshot bucket pairs (the MetricSample
+/// form of Histogram::Quantile — same rank walk + interpolation, usable
+/// on serialized snapshots without the live cells).
+double BucketQuantile(const std::vector<std::pair<int, uint64_t>>& buckets,
+                      double q);
+
 /// Render samples as aligned text (one metric per line; histograms show
-/// count/sum/mean and their occupied log2 buckets).
+/// count/sum/mean, p50/p90/p99 estimates, and their occupied log2
+/// buckets).
 std::string FormatText(const std::vector<MetricSample>& samples);
 
 /// Render samples as a JSON object keyed by full metric name.  Counters

@@ -1,0 +1,142 @@
+#include "telemetry/prometheus.h"
+
+#include <cstdint>
+
+namespace tml::telemetry {
+
+namespace {
+
+/// Split a registry full name "base{k=v,k2=v2}" back into base + labels.
+/// Registry label keys/values are plain identifiers and short tokens (the
+/// FullName join is unescaped), so first-'{' / ',' / first-'=' splitting
+/// is exact.
+void SplitFullName(const std::string& full, std::string* base,
+                   Labels* labels) {
+  size_t brace = full.find('{');
+  if (brace == std::string::npos) {
+    *base = full;
+    return;
+  }
+  *base = full.substr(0, brace);
+  size_t end = full.rfind('}');
+  if (end == std::string::npos || end <= brace + 1) return;
+  std::string body = full.substr(brace + 1, end - brace - 1);
+  size_t pos = 0;
+  while (pos < body.size()) {
+    size_t comma = body.find(',', pos);
+    std::string pair = comma == std::string::npos
+                           ? body.substr(pos)
+                           : body.substr(pos, comma - pos);
+    size_t eq = pair.find('=');
+    if (eq != std::string::npos) {
+      labels->emplace_back(pair.substr(0, eq), pair.substr(eq + 1));
+    }
+    if (comma == std::string::npos) break;
+    pos = comma + 1;
+  }
+}
+
+/// Render a label set, optionally with an extra trailing label (le=...).
+std::string RenderLabels(const Labels& labels, const char* extra_key,
+                         const std::string& extra_value) {
+  if (labels.empty() && extra_key == nullptr) return "";
+  std::string out = "{";
+  bool first = true;
+  for (const auto& [k, v] : labels) {
+    if (!first) out += ',';
+    first = false;
+    out += PrometheusName(k) + "=\"" + PrometheusLabelValue(v) + "\"";
+  }
+  if (extra_key != nullptr) {
+    if (!first) out += ',';
+    out += std::string(extra_key) + "=\"" + extra_value + "\"";
+  }
+  out += '}';
+  return out;
+}
+
+}  // namespace
+
+std::string PrometheusName(std::string_view name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+              (c >= '0' && c <= '9') || c == '_' || c == ':';
+    out += ok ? c : '_';
+  }
+  if (out.empty() || (out[0] >= '0' && out[0] <= '9')) out.insert(0, "_");
+  return out;
+}
+
+std::string PrometheusLabelValue(std::string_view value) {
+  std::string out;
+  out.reserve(value.size());
+  for (char c : value) {
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+std::string FormatPrometheus(const std::vector<MetricSample>& samples) {
+  std::string out;
+  std::string last_typed;  // base that already has its # TYPE header
+  for (const MetricSample& s : samples) {
+    std::string base;
+    Labels labels;
+    SplitFullName(s.name, &base, &labels);
+    std::string pname = PrometheusName(base);
+    switch (s.kind) {
+      case MetricKind::kCounter:
+        if (pname != last_typed) {
+          out += "# TYPE " + pname + " counter\n";
+          last_typed = pname;
+        }
+        out += pname + RenderLabels(labels, nullptr, "") + " " +
+               std::to_string(s.count) + "\n";
+        break;
+      case MetricKind::kGauge:
+        if (pname != last_typed) {
+          out += "# TYPE " + pname + " gauge\n";
+          last_typed = pname;
+        }
+        out += pname + RenderLabels(labels, nullptr, "") + " " +
+               std::to_string(s.gauge) + "\n";
+        break;
+      case MetricKind::kHistogram: {
+        if (pname != last_typed) {
+          out += "# TYPE " + pname + " histogram\n";
+          last_typed = pname;
+        }
+        // Cumulative buckets: registry bucket b holds integer values in
+        // [2^(b-1), 2^b), whose inclusive upper bound is 2^b - 1 — that
+        // is the le edge Prometheus wants.  Bucket 0 is exactly zero.
+        uint64_t cum = 0;
+        for (const auto& [b, n] : s.buckets) {
+          cum += n;
+          uint64_t le = b == 0 ? 0
+                       : b >= 64 ? UINT64_MAX
+                                 : (1ull << b) - 1;
+          out += pname + "_bucket" +
+                 RenderLabels(labels, "le", std::to_string(le)) + " " +
+                 std::to_string(cum) + "\n";
+        }
+        out += pname + "_bucket" + RenderLabels(labels, "le", "+Inf") + " " +
+               std::to_string(cum) + "\n";
+        out += pname + "_sum" + RenderLabels(labels, nullptr, "") + " " +
+               std::to_string(s.sum) + "\n";
+        out += pname + "_count" + RenderLabels(labels, nullptr, "") + " " +
+               std::to_string(cum) + "\n";
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+}  // namespace tml::telemetry

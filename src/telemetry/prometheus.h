@@ -1,0 +1,44 @@
+// Prometheus text exposition (format 0.0.4) of the metrics registry —
+// the scrape surface behind `tycd --metrics-port` and the native METRICS
+// command (DESIGN.md §11).
+//
+// The registry's dotted names ("tml.server.request_us") and embedded
+// label syntax ("tml.vm.steps{op=call}") are mapped onto the Prometheus
+// data model:
+//
+//   * name sanitization: every character outside [a-zA-Z0-9_:] becomes
+//     '_' (dots included), a leading digit gets a '_' prefix;
+//   * label values are escaped per the exposition format (backslash,
+//     double quote, newline);
+//   * counters emit `# TYPE <name> counter` + one sample line, gauges
+//     likewise; histograms emit cumulative `_bucket{le="..."}` lines
+//     derived from the log2 buckets (le = upper bound of each occupied
+//     bucket), a `+Inf` bucket, `_sum` and `_count` — the shape
+//     histogram_quantile() expects.
+//
+// Metrics sharing a base name but different labels are grouped under one
+// TYPE header, as the format requires.
+
+#ifndef TML_TELEMETRY_PROMETHEUS_H_
+#define TML_TELEMETRY_PROMETHEUS_H_
+
+#include <string>
+#include <vector>
+
+#include "telemetry/metrics.h"
+
+namespace tml::telemetry {
+
+/// Render a registry snapshot in Prometheus text exposition format.
+std::string FormatPrometheus(const std::vector<MetricSample>& samples);
+
+/// Sanitize one metric name to the Prometheus grammar
+/// [a-zA-Z_:][a-zA-Z0-9_:]* (exposed for the golden test).
+std::string PrometheusName(std::string_view name);
+
+/// Escape a label value (backslash, quote, newline).
+std::string PrometheusLabelValue(std::string_view value);
+
+}  // namespace tml::telemetry
+
+#endif  // TML_TELEMETRY_PROMETHEUS_H_

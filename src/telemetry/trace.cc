@@ -5,6 +5,7 @@
 #include <cstdlib>
 #include <cstring>
 
+#include "telemetry/flight.h"
 #include "telemetry/metrics.h"
 
 namespace tml::telemetry {
@@ -35,7 +36,13 @@ Tracer& Tracer::Global() {
   return *t;
 }
 
-uint64_t Tracer::NowNs() { return SteadyNowNs() - TraceEpochNs(); }
+uint64_t Tracer::NowNs() {
+  // Pin the epoch before sampling the clock: with unspecified operand
+  // order, `SteadyNowNs() - TraceEpochNs()` can sample first and pin
+  // second on the very first call, underflowing to ~2^64.
+  const uint64_t epoch = TraceEpochNs();
+  return SteadyNowNs() - epoch;
+}
 
 uint32_t Tracer::ThreadId() {
   if (t_tid == 0) {
@@ -151,17 +158,22 @@ Status Tracer::WriteChromeJson(const std::string& path) {
 
 SpanGuard::SpanGuard(const char* cat, const char* name)
     : cat_(cat), name_(name) {
-  if (!Tracer::Global().enabled()) return;
-  active_ = true;
+  active_ = Tracer::Global().enabled();
+  flight_ = FlightRecorder::Global().enabled();
+  if (!active_ && !flight_) return;
   ++t_span_depth;
   start_ns_ = Tracer::NowNs();
 }
 
 SpanGuard::~SpanGuard() {
-  if (!active_) return;
+  if (!active_ && !flight_) return;
   --t_span_depth;
   uint64_t end = Tracer::NowNs();
-  Tracer::Global().Record(cat_, name_, start_ns_, end - start_ns_);
+  // Clamp to 1ns so a sub-tick span stays a span (dur 0 marks instant
+  // events in the flight dump).
+  uint64_t dur = end > start_ns_ ? end - start_ns_ : 1;
+  if (active_) Tracer::Global().Record(cat_, name_, start_ns_, dur);
+  if (flight_) FlightRecorder::Global().Record(cat_, name_, start_ns_, dur);
 }
 
 namespace {
@@ -192,6 +204,24 @@ void InitFromEnv() {
   std::call_once(once, [] {
     const char* trace = std::getenv("TYCOON_TRACE");
     const char* dump = std::getenv("TYCOON_METRICS_DUMP");
+    // Flight-recorder knobs: TYCOON_FLIGHT=0 disables (overhead A/B
+    // runs), TYCOON_FLIGHT_BUF sizes the per-thread rings,
+    // TYCOON_FLIGHT_DIR arms automatic incident dumps.
+    if (const char* flight = std::getenv("TYCOON_FLIGHT")) {
+      if (std::strcmp(flight, "0") == 0) {
+        FlightRecorder::Global().set_enabled(false);
+      }
+    }
+    if (const char* fbuf = std::getenv("TYCOON_FLIGHT_BUF")) {
+      char* endp = nullptr;
+      unsigned long long v = std::strtoull(fbuf, &endp, 10);
+      if (endp != fbuf && v > 0) {
+        FlightRecorder::Global().set_ring_capacity(static_cast<size_t>(v));
+      }
+    }
+    if (const char* fdir = std::getenv("TYCOON_FLIGHT_DIR")) {
+      if (fdir[0] != '\0') FlightRecorder::Global().SetAutoDumpDir(fdir);
+    }
     g_metrics_dump = dump != nullptr && dump[0] != '\0' &&
                      std::strcmp(dump, "0") != 0;
     if (trace != nullptr && trace[0] != '\0') {

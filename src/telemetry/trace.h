@@ -115,9 +115,11 @@ class Tracer {
   std::mutex control_mu_;
 };
 
-/// RAII span: records a complete event over its own lifetime.  The
-/// enabled() check is captured at construction so a mid-span Disable still
-/// pairs begin/end consistently.
+/// RAII span: records a complete event over its own lifetime — into the
+/// opt-in Tracer ring when tracing is enabled, and (independently) into
+/// the calling thread's always-on flight-recorder ring (telemetry/
+/// flight.h).  Both enabled() checks are captured at construction so a
+/// mid-span flip still pairs begin/end consistently.
 class SpanGuard {
  public:
   SpanGuard(const char* cat, const char* name);
@@ -129,7 +131,8 @@ class SpanGuard {
   const char* cat_;
   const char* name_;
   uint64_t start_ns_ = 0;
-  bool active_ = false;
+  bool active_ = false;  ///< Tracer was enabled at construction
+  bool flight_ = false;  ///< FlightRecorder was enabled at construction
 };
 
 /// Read TYCOON_TRACE / TYCOON_TRACE_BUF / TYCOON_METRICS_DUMP once and

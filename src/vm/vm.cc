@@ -282,8 +282,13 @@ Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
   bool raised = false;
   auto v = Execute(base, &raised);
   // Publish telemetry deltas only at the outermost run boundary, so nested
-  // RunClosure calls (query predicates) cost nothing extra.
-  if (base == 0) MaybePublishTelemetry();
+  // RunClosure calls (query predicates) cost nothing extra.  Also drop the
+  // exec-status publication back to idle so the sampler never attributes
+  // between-run time to the last function.
+  if (base == 0) {
+    MaybePublishTelemetry();
+    exec_fn_.store(nullptr, std::memory_order_relaxed);
+  }
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);
@@ -306,7 +311,10 @@ Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
   TML_RETURN_NOT_OK(PushFrame(callee, args, 0, false));
   bool raised = false;
   auto v = Execute(base, &raised);
-  if (base == 0) MaybePublishTelemetry();
+  if (base == 0) {
+    MaybePublishTelemetry();
+    exec_fn_.store(nullptr, std::memory_order_relaxed);
+  }
   if (!v.ok()) {
     FlushFramesFrom(base);
     frames_.resize(base);
@@ -393,6 +401,12 @@ Result<Value> VM::Execute(size_t base, bool* raised) {
     // now, published to the shared profile when the frame pops.
     ++f.local_steps;
     const Instr& in = fn->code[f.pc++];
+    if (opts_.exec_status) {
+      // Sampling-profiler seam: two relaxed stores so a sampler thread
+      // sees (current function, current opcode) without any lock.
+      exec_fn_.store(fn, std::memory_order_relaxed);
+      exec_op_.store(static_cast<uint8_t>(in.op), std::memory_order_relaxed);
+    }
     std::vector<Value>& R = f.regs;
 
     switch (in.op) {

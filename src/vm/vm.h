@@ -67,6 +67,11 @@ struct VMOptions {
   /// batch so N threads don't contend on the same four atomic counters at
   /// every call; the remainder is flushed by ~VM().
   uint64_t telemetry_batch_steps = 0;
+  /// Publish the currently executing function/opcode as two relaxed
+  /// atomic stores per instruction, so a sampling profiler thread can
+  /// snapshot "what is this VM doing right now" without locking the call
+  /// path (see VM::exec_status; the adaptive VmSampler feeds on it).
+  bool exec_status = true;
 };
 
 struct RunResult {
@@ -147,6 +152,24 @@ class VM {
   /// VM drains pending invalidations before its next swizzle-cache lookup.
   void InvalidateSwizzle(Oid oid);
 
+  /// What the VM is executing at this instant: the function on top of the
+  /// frame stack and the opcode it is about to dispatch, or fn == nullptr
+  /// when idle (outside any outermost run).  Thread-safe sampling seam:
+  /// the interpreter publishes with relaxed stores (VMOptions::
+  /// exec_status) and a profiler thread reads with relaxed loads — no
+  /// lock, no fence.  The sampled Function* never dangles: functions are
+  /// owned by CodeUnits that outlive every VM of the universe.
+  struct ExecStatus {
+    const Function* fn = nullptr;
+    uint8_t op = 0;
+  };
+  ExecStatus exec_status() const {
+    ExecStatus s;
+    s.fn = exec_fn_.load(std::memory_order_relaxed);
+    s.op = exec_op_.load(std::memory_order_relaxed);
+    return s;
+  }
+
  private:
   struct Frame {
     const ClosureObj* clo = nullptr;
@@ -217,6 +240,11 @@ class VM {
   std::unordered_map<Oid, Value> swizzle_cache_;
   std::string output_;
   uint64_t total_steps_ = 0;
+  /// The sampling-profiler seam (see exec_status()).  Written by the
+  /// mutator with relaxed stores each dispatch; fn reset to nullptr when
+  /// the outermost run exits, so idle VMs sample as idle.
+  std::atomic<const Function*> exec_fn_{nullptr};
+  std::atomic<uint8_t> exec_op_{0};
   /// total_steps_ value at which the current outermost run aborts with
   /// "step budget exceeded" (UINT64_MAX = no budget).  Armed at every
   /// outermost Run/RunClosure/CallSync entry from opts_.step_budget.

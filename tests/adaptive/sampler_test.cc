@@ -1,0 +1,184 @@
+// The sampling VM profiler (adaptive/sampler.h): idle attribution, hot-
+// function attribution against a running mutator, tier classification of
+// reflect-optimized code, report JSON shape, and the Universe profile-
+// provider wiring behind PROFILE / reflect.profile.  Suite name carries
+// "Profile" so tools/check.sh --tsan races the sampler against the VM.
+
+#include <atomic>
+#include <chrono>
+#include <string>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/sampler.h"
+#include "core/parser.h"
+#include "tests/test_util.h"
+#include "vm/codegen.h"
+
+namespace tml {
+namespace {
+
+using adaptive::EnableSampler;
+using adaptive::SamplerOptions;
+using adaptive::VmSampler;
+using rt::Universe;
+using vm::Value;
+
+constexpr const char* kSpinSrc =
+    "fun spin(n) = if n <= 0 then 0 else spin(n - 1) end end";
+
+std::unique_ptr<store::ObjectStore> MemStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok());
+  return std::move(*s);
+}
+
+/// Drives `oid` with spin(depth) calls until told to stop.
+class Spinner {
+ public:
+  Spinner(Universe* u, Oid oid, int depth) : u_(u), oid_(oid), depth_(depth) {
+    worker_ = std::thread([this] {
+      Value args[] = {Value::Int(depth_)};
+      while (!stop_.load(std::memory_order_relaxed)) {
+        auto r = u_->Call(oid_, args);
+        ASSERT_TRUE(r.ok()) << r.status().ToString();
+      }
+    });
+  }
+  ~Spinner() {
+    stop_.store(true, std::memory_order_relaxed);
+    worker_.join();
+  }
+
+ private:
+  Universe* u_;
+  Oid oid_;
+  int depth_;
+  std::atomic<bool> stop_{false};
+  std::thread worker_;
+};
+
+TEST(SamplerProfile, IdleUniverseSamplesAsIdle) {
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  VmSampler sampler(&u);
+  for (int k = 0; k < 10; ++k) sampler.SampleOnce();
+  VmSampler::Report rep = sampler.Snapshot();
+  EXPECT_GT(rep.total_samples, 0u);
+  EXPECT_EQ(rep.idle_samples, rep.total_samples);
+  EXPECT_EQ(rep.attributed_samples, 0u);
+}
+
+TEST(SamplerProfile, AttributesHotFunctionWithHighCoverage) {
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  ASSERT_OK(u.InstallSource("m", kSpinSrc, fe::BindingMode::kLibrary));
+  Oid spin = *u.Lookup("m", "spin");
+
+  VmSampler sampler(&u);
+  {
+    Spinner load(&u, spin, /*depth=*/20000);
+    // Sweep until enough busy samples accumulate (bounded by wall time).
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      sampler.SampleOnce();
+      VmSampler::Report rep = sampler.Snapshot();
+      if (rep.total_samples - rep.idle_samples >= 200) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+
+  VmSampler::Report rep = sampler.Snapshot();
+  uint64_t busy = rep.total_samples - rep.idle_samples;
+  ASSERT_GE(busy, 200u) << "mutator never got sampled";
+  // Acceptance bar: >= 90% of busy samples attributed to a named function.
+  EXPECT_GE(static_cast<double>(rep.attributed_samples),
+            0.9 * static_cast<double>(busy));
+
+  // spin dominates the hot table and runs in the interpreted tier.
+  ASSERT_FALSE(rep.hot.empty());
+  EXPECT_EQ(rep.hot[0].name, "m.spin");
+  EXPECT_FALSE(rep.hot[0].optimized);
+  EXPECT_GT(rep.hot[0].samples, 0u);
+  EXPECT_FALSE(rep.hot[0].top_op.empty());
+  // The hot row links back to the persistent closure.
+  EXPECT_EQ(rep.hot[0].closure_oid, spin);
+
+  std::string json = rep.ToJson();
+  EXPECT_NE(json.find("\"m.spin\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"interpreted\""), std::string::npos) << json;
+  EXPECT_NE(json.find("attribution_pct"), std::string::npos) << json;
+}
+
+TEST(SamplerProfile, ClassifiesOptimizedTier) {
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  ASSERT_OK(u.InstallSource("m", kSpinSrc, fe::BindingMode::kLibrary));
+  Oid spin = *u.Lookup("m", "spin");
+  auto opt = u.ReflectOptimize(spin);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+
+  VmSampler sampler(&u);
+  bool saw_optimized = false;
+  {
+    Spinner load(&u, *opt, /*depth=*/20000);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      sampler.SampleOnce();
+      for (const auto& row : sampler.Snapshot().hot) {
+        if (row.optimized && row.samples > 0) saw_optimized = true;
+      }
+      if (saw_optimized) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_TRUE(saw_optimized);
+  std::string json = sampler.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"optimized\""), std::string::npos) << json;
+}
+
+TEST(SamplerProfile, EnableSamplerWiresProfileProvider) {
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  // No provider yet: the seam reports the empty object.
+  EXPECT_EQ(u.ProfileJson(), "{}");
+
+  VmSampler* sampler = EnableSampler(&u);
+  ASSERT_NE(sampler, nullptr);
+  sampler->SampleOnce();
+  std::string json = u.ProfileJson();
+  EXPECT_NE(json.find("total_samples"), std::string::npos) << json;
+  EXPECT_NE(json.find("functions"), std::string::npos) << json;
+  // ~Universe stops the adopted sampler; nothing to clean up here.
+}
+
+TEST(SamplerProfile, ReflectProfileHostReturnsSamplerJson) {
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  VmSampler* sampler = EnableSampler(&u);
+  sampler->SampleOnce();
+
+  // `reflect.profile` is a ccall host; compile a raw TML stub to call it.
+  ir::Module m;
+  const ir::Abstraction* prog = test::MustParseProgram(
+      &m, "(proc (ce cc) (ccall \"reflect.profile\" ce cc))");
+  ASSERT_NE(prog, nullptr);
+  vm::CodeUnit unit;
+  auto fn = vm::CompileProc(&unit, m, prog, "profile_stub");
+  ASSERT_TRUE(fn.ok()) << fn.status().ToString();
+  auto res = u.vm()->Run(*fn, {});
+  ASSERT_TRUE(res.ok()) << res.status().ToString();
+  ASSERT_TRUE(res->value.is_obj());
+  auto* str = static_cast<vm::StringObj*>(res->value.obj);
+  ASSERT_EQ(str->kind, vm::ObjKind::kString);
+  EXPECT_NE(str->str.find("total_samples"), std::string::npos) << str->str;
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,312 @@
+// The server's observability surface end to end (DESIGN.md §11): the
+// OBSERVE / PROFILE / METRICS wire commands, STATS SLOW and the
+// slow-request log, the budget-kill incident auto-dump, and the embedded
+// metrics HTTP listener (routing and a real socket round-trip).
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "adaptive/sampler.h"
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/metrics_http.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "telemetry/flight.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace tml::server {
+namespace {
+
+using rt::Universe;
+
+constexpr const char* kMathSrc = "fun double(x) = x + x end";
+// Unbounded recursion: only a step budget stops it.
+constexpr const char* kSpinSrc = "fun spin(n) = spin(n + 1) end";
+
+std::unique_ptr<store::ObjectStore> OpenStore() {
+  auto s = store::ObjectStore::Open("");
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(*s);
+}
+
+std::string UniqueSock(const void* self) {
+  return ::testing::TempDir() + "/tyd_obs_" +
+         std::to_string(reinterpret_cast<uintptr_t>(self)) + ".sock";
+}
+
+class ObserveTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions opts = {}) {
+    store_ = OpenStore();
+    universe_ = std::make_unique<Universe>(store_.get());
+    ASSERT_OK(universe_->InstallStdlib());
+    opts_ = std::move(opts);
+    if (opts_.unix_path.empty()) opts_.unix_path = UniqueSock(this);
+    server_ = std::make_unique<Server>(universe_.get(), opts_);
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->Join();
+    }
+    // Never leave an auto-dump directory armed for later tests.
+    telemetry::FlightRecorder::Global().SetAutoDumpDir("");
+  }
+
+  Client Connect() {
+    auto c = Client::ConnectUnix(opts_.unix_path);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(*c);
+  }
+
+  std::unique_ptr<store::ObjectStore> store_;
+  std::unique_ptr<Universe> universe_;
+  std::unique_ptr<Server> server_;
+  ServerOptions opts_;
+};
+
+TEST_F(ObserveTest, ObserveDumpsChromeTraceJson) {
+  StartServer();
+  Client c = Connect();
+  ASSERT_OK(c.Call({"install", "m", kMathSrc}).status());
+  auto r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                                  WireValue::Str("double"),
+                                  WireValue::Int(21)}));
+  ASSERT_OK(r.status());
+
+  auto dump = c.Call({"observe"});
+  ASSERT_OK(dump.status());
+  ASSERT_TRUE(dump->is_str()) << dump->s;
+  EXPECT_NE(dump->s.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(dump->s.find("\"overwritten\""), std::string::npos);
+
+  // Windowed variant: a huge window still includes the CALL span.
+  auto windowed = c.Call(
+      WireValue::Arr({WireValue::Str("observe"), WireValue::Int(3600)}));
+  ASSERT_OK(windowed.status());
+  ASSERT_TRUE(windowed->is_str());
+  EXPECT_NE(windowed->s.find("\"traceEvents\""), std::string::npos);
+
+  // Garbage argument is a client error, not a crash.
+  auto bad = c.Call({"observe", "soon"});
+  ASSERT_OK(bad.status());
+  EXPECT_TRUE(bad->is_err());
+}
+
+TEST_F(ObserveTest, ProfileCommandReflectsSamplerState) {
+  StartServer();
+  Client c = Connect();
+  // No sampler attached: the provider seam serves the empty object.
+  auto empty = c.Call({"profile"});
+  ASSERT_OK(empty.status());
+  ASSERT_TRUE(empty->is_str());
+  EXPECT_EQ(empty->s, "{}");
+
+  adaptive::VmSampler* sampler = adaptive::EnableSampler(universe_.get());
+  sampler->SampleOnce();
+  auto prof = c.Call({"profile"});
+  ASSERT_OK(prof.status());
+  ASSERT_TRUE(prof->is_str());
+  EXPECT_NE(prof->s.find("total_samples"), std::string::npos) << prof->s;
+  EXPECT_NE(prof->s.find("functions"), std::string::npos) << prof->s;
+}
+
+TEST_F(ObserveTest, MetricsCommandRendersAllFormats) {
+  StartServer();
+  Client c = Connect();
+  ASSERT_OK(c.Call({"ping"}).status());
+
+  // Default: Prometheus 0.0.4 exposition with server counters present.
+  auto prom = c.Call({"metrics"});
+  ASSERT_OK(prom.status());
+  ASSERT_TRUE(prom->is_str());
+  EXPECT_NE(prom->s.find("# TYPE tml_server_requests counter"),
+            std::string::npos)
+      << prom->s.substr(0, 400);
+  EXPECT_NE(prom->s.find("tml_server_request_us_bucket"), std::string::npos);
+  // The per-command latency family carries cmd labels.
+  EXPECT_NE(prom->s.find("cmd=\"PING\""), std::string::npos);
+  // Observability gauges are refreshed into the scrape.
+  EXPECT_NE(prom->s.find("tml_flight_rings"), std::string::npos);
+
+  auto text = c.Call({"metrics", "text"});
+  ASSERT_OK(text.status());
+  ASSERT_TRUE(text->is_str());
+  EXPECT_NE(text->s.find("tml.server.requests"), std::string::npos);
+
+  auto json = c.Call({"metrics", "json"});
+  ASSERT_OK(json.status());
+  ASSERT_TRUE(json->is_str());
+  EXPECT_NE(json->s.find("\"tml.server.requests\""), std::string::npos);
+
+  auto bad = c.Call({"metrics", "xml"});
+  ASSERT_OK(bad.status());
+  EXPECT_TRUE(bad->is_err());
+}
+
+TEST_F(ObserveTest, StatsSlowSurfacesSlowRequests) {
+  ServerOptions opts;
+  opts.slow_request_us = 1;  // every request is a worst offender
+  opts.slow_log_size = 4;
+  StartServer(std::move(opts));
+  Client c = Connect();
+  ASSERT_OK(c.Call({"install", "m", kMathSrc}).status());
+  for (int k = 0; k < 8; ++k) {
+    auto r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                                    WireValue::Str("double"),
+                                    WireValue::Int(7)}));
+    ASSERT_OK(r.status());
+    ASSERT_FALSE(r->is_err()) << r->s;
+  }
+
+  auto slow = c.Call({"stats", "slow"});
+  ASSERT_OK(slow.status());
+  ASSERT_TRUE(slow->is_str());
+  EXPECT_NE(slow->s.find("\"cmd\":\"CALL\""), std::string::npos) << slow->s;
+  EXPECT_NE(slow->s.find("\"us\":"), std::string::npos);
+
+  // The log is bounded at slow_log_size entries.
+  size_t entries = 0;
+  for (size_t pos = 0; (pos = slow->s.find("\"cmd\"", pos)) != std::string::npos;
+       ++pos) {
+    ++entries;
+  }
+  EXPECT_LE(entries, 4u);
+  EXPECT_GE(entries, 1u);
+
+  // Plain STATS still answers (the pre-existing shape).
+  auto stats = c.Call({"stats"});
+  ASSERT_OK(stats.status());
+  ASSERT_TRUE(stats->is_str());
+}
+
+TEST_F(ObserveTest, BudgetKillWritesIncidentAutoDump) {
+  StartServer();
+  std::string dir = ::testing::TempDir() + "/observe_dumps";
+  ::mkdir(dir.c_str(), 0755);
+  auto& fr = telemetry::FlightRecorder::Global();
+  fr.set_enabled(true);
+  fr.SetAutoDumpDir(dir, /*max_dumps=*/8);
+  uint64_t dumps_before = fr.auto_dumps_written();
+  uint64_t incidents_before = telemetry::Registry::Global().CounterValue(
+      "tml.flight.incidents{reason=budget_kill}");
+
+  Client c = Connect();
+  ASSERT_OK(c.Call({"install", "m", kSpinSrc}).status());
+  auto b = c.Call(
+      WireValue::Arr({WireValue::Str("budget"), WireValue::Int(50'000)}));
+  ASSERT_OK(b.status());
+  ASSERT_FALSE(b->is_err()) << b->s;
+  auto r = c.Call(WireValue::Arr({WireValue::Str("call"), WireValue::Str("m"),
+                                  WireValue::Str("spin"), WireValue::Int(0)}));
+  ASSERT_OK(r.status());
+  ASSERT_TRUE(r->is_err());
+  EXPECT_EQ(r->err_code, ERR_BUDGET);
+
+  // The kill is an incident: counted, and auto-dumped to the armed dir.
+  EXPECT_GE(telemetry::Registry::Global().CounterValue(
+                "tml.flight.incidents{reason=budget_kill}"),
+            incidents_before + 1);
+  EXPECT_GE(fr.auto_dumps_written(), dumps_before + 1);
+  std::string path = fr.last_auto_dump_path();
+  EXPECT_NE(path.find("flight-budget_kill-"), std::string::npos) << path;
+  FILE* f = std::fopen(path.c_str(), "rb");
+  ASSERT_NE(f, nullptr) << path;
+  std::fclose(f);
+  fr.SetAutoDumpDir("");
+
+  // The session survives the kill.
+  auto reset = c.Call(
+      WireValue::Arr({WireValue::Str("budget"), WireValue::Int(0)}));
+  ASSERT_OK(reset.status());
+  auto ok = c.Call({"ping"});
+  ASSERT_OK(ok.status());
+}
+
+TEST_F(ObserveTest, MetricsHttpRouting) {
+  StartServer();
+  Client c = Connect();
+  ASSERT_OK(c.Call({"ping"}).status());
+  MetricsHttpServer http(universe_.get(), server_.get());
+
+  std::string health = http.Respond("/healthz");
+  EXPECT_NE(health.find("200"), std::string::npos);
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string metrics = http.Respond("/metrics");
+  EXPECT_NE(metrics.find("text/plain; version=0.0.4"), std::string::npos);
+  EXPECT_NE(metrics.find("# TYPE tml_server_requests counter"),
+            std::string::npos);
+
+  std::string profile = http.Respond("/profile");
+  EXPECT_NE(profile.find("200"), std::string::npos);
+  EXPECT_NE(profile.find("{}"), std::string::npos);  // no sampler attached
+
+  std::string flight = http.Respond("/flight");
+  EXPECT_NE(flight.find("traceEvents"), std::string::npos);
+  std::string windowed = http.Respond("/flight?window=60");
+  EXPECT_NE(windowed.find("traceEvents"), std::string::npos);
+
+  std::string slow = http.Respond("/slow");
+  EXPECT_NE(slow.find("200"), std::string::npos);
+
+  std::string missing = http.Respond("/nope");
+  EXPECT_NE(missing.find("404"), std::string::npos);
+}
+
+TEST_F(ObserveTest, MetricsHttpServesRealSockets) {
+  StartServer();
+  MetricsHttpServer http(universe_.get(), server_.get());
+  ASSERT_OK(http.Start("127.0.0.1", 0));
+  ASSERT_GT(http.port(), 0);
+
+  auto get = [&](const std::string& path) {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(http.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << strerror(errno);
+    std::string req = "GET " + path + " HTTP/1.0\r\n\r\n";
+    EXPECT_EQ(::send(fd, req.data(), req.size(), 0),
+              static_cast<ssize_t>(req.size()));
+    std::string out;
+    char buf[4096];
+    ssize_t n;
+    while ((n = ::recv(fd, buf, sizeof buf, 0)) > 0) {
+      out.append(buf, static_cast<size_t>(n));
+    }
+    ::close(fd);
+    return out;
+  };
+
+  std::string health = get("/healthz");
+  EXPECT_NE(health.find("HTTP/1.0 200"), std::string::npos) << health;
+  EXPECT_NE(health.find("ok"), std::string::npos);
+
+  std::string metrics = get("/metrics");
+  EXPECT_NE(metrics.find("# TYPE"), std::string::npos);
+
+  http.Stop();
+  http.Stop();  // idempotent
+}
+
+}  // namespace
+}  // namespace tml::server

@@ -1,0 +1,140 @@
+// Prometheus text exposition (telemetry/prometheus.h): golden-output
+// rendering of counters/gauges/histograms, name sanitization, label
+// value escaping, and the histogram quantile estimators the exposition
+// and FormatText lean on.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "telemetry/metrics.h"
+#include "telemetry/prometheus.h"
+
+namespace tml::telemetry {
+namespace {
+
+TEST(TelemetryPrometheus, NameSanitization) {
+  EXPECT_EQ(PrometheusName("tml.server.requests"), "tml_server_requests");
+  EXPECT_EQ(PrometheusName("already_ok:name"), "already_ok:name");
+  EXPECT_EQ(PrometheusName("weird-chars%here"), "weird_chars_here");
+  // A leading digit is invalid in the exposition grammar.
+  EXPECT_EQ(PrometheusName("9lives"), "_9lives");
+  EXPECT_EQ(PrometheusName(""), "_");
+}
+
+TEST(TelemetryPrometheus, LabelValueEscaping) {
+  EXPECT_EQ(PrometheusLabelValue("plain"), "plain");
+  EXPECT_EQ(PrometheusLabelValue("a\"b"), "a\\\"b");
+  EXPECT_EQ(PrometheusLabelValue("a\\b"), "a\\\\b");
+  EXPECT_EQ(PrometheusLabelValue("a\nb"), "a\\nb");
+}
+
+TEST(TelemetryPrometheus, GoldenCounterAndGauge) {
+  std::vector<MetricSample> samples;
+  MetricSample c;
+  c.name = "tml.test.hits{cmd=CALL}";
+  c.kind = MetricKind::kCounter;
+  c.count = 7;
+  samples.push_back(c);
+  MetricSample g;
+  g.name = "tml.test.level";
+  g.kind = MetricKind::kGauge;
+  g.gauge = -3;
+  samples.push_back(g);
+
+  EXPECT_EQ(FormatPrometheus(samples),
+            "# TYPE tml_test_hits counter\n"
+            "tml_test_hits{cmd=\"CALL\"} 7\n"
+            "# TYPE tml_test_level gauge\n"
+            "tml_test_level -3\n");
+}
+
+TEST(TelemetryPrometheus, GoldenHistogramCumulativeBuckets) {
+  MetricSample h;
+  h.name = "tml.test.lat_us";
+  h.kind = MetricKind::kHistogram;
+  // Registry bucket b holds [2^(b-1), 2^b): bucket 0 = zeros, bucket 3 =
+  // [4,8) whose inclusive le edge is 7.
+  h.buckets = {{0, 2}, {3, 5}, {10, 1}};
+  h.count = 8;
+  h.sum = 1234;
+
+  EXPECT_EQ(FormatPrometheus({h}),
+            "# TYPE tml_test_lat_us histogram\n"
+            "tml_test_lat_us_bucket{le=\"0\"} 2\n"
+            "tml_test_lat_us_bucket{le=\"7\"} 7\n"
+            "tml_test_lat_us_bucket{le=\"1023\"} 8\n"
+            "tml_test_lat_us_bucket{le=\"+Inf\"} 8\n"
+            "tml_test_lat_us_sum 1234\n"
+            "tml_test_lat_us_count 8\n");
+}
+
+TEST(TelemetryPrometheus, TypeHeaderEmittedOncePerBaseName) {
+  std::vector<MetricSample> samples;
+  for (const char* cmd : {"CALL", "PING"}) {
+    MetricSample c;
+    c.name = std::string("tml.test.cmds{cmd=") + cmd + "}";
+    c.kind = MetricKind::kCounter;
+    c.count = 1;
+    samples.push_back(c);
+  }
+  std::string out = FormatPrometheus(samples);
+  size_t first = out.find("# TYPE tml_test_cmds counter");
+  EXPECT_NE(first, std::string::npos);
+  EXPECT_EQ(out.find("# TYPE tml_test_cmds counter", first + 1),
+            std::string::npos)
+      << out;
+}
+
+TEST(TelemetryPrometheus, RegistryRoundTrip) {
+  // End to end through the real registry: labeled counter in, correctly
+  // split base name and labels out.
+  auto& reg = Registry::Global();
+  reg.GetCounter("tml.prom_rt.ops", {{"kind", "write"}})->Add(11);
+  reg.GetHistogram("tml.prom_rt.lat")->Observe(5);
+  std::string out = FormatPrometheus(reg.Snapshot());
+  EXPECT_NE(out.find("tml_prom_rt_ops{kind=\"write\"} 11\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("tml_prom_rt_lat_bucket{le=\"7\"} 1\n"),
+            std::string::npos)
+      << out;
+  EXPECT_NE(out.find("tml_prom_rt_lat_count 1\n"), std::string::npos) << out;
+}
+
+TEST(TelemetryPrometheus, BucketQuantileInterpolation) {
+  // 100 zeros: every quantile is exactly 0.
+  EXPECT_DOUBLE_EQ(BucketQuantile({{0, 100}}, 0.5), 0.0);
+  // Empty: 0 by convention.
+  EXPECT_DOUBLE_EQ(BucketQuantile({}, 0.99), 0.0);
+  // All mass in bucket 3 = [4,8): every quantile lands inside [4,8].
+  double p50 = BucketQuantile({{3, 10}}, 0.5);
+  EXPECT_GE(p50, 4.0);
+  EXPECT_LE(p50, 8.0);
+  // Two equal buckets: the median sits at the boundary region and p99 in
+  // the upper bucket.
+  double p99 = BucketQuantile({{3, 10}, {6, 10}}, 0.99);
+  EXPECT_GE(p99, 32.0);
+  EXPECT_LE(p99, 64.0);
+}
+
+TEST(TelemetryPrometheus, HistogramQuantileLive) {
+  Histogram* h =
+      Registry::Global().GetHistogram("tml.prom_rt.quantile_live");
+  for (int k = 0; k < 90; ++k) h->Observe(10);    // bucket 4: [8,16)
+  for (int k = 0; k < 10; ++k) h->Observe(1000);  // bucket 10: [512,1024)
+  double p50 = h->Quantile(0.5);
+  EXPECT_GE(p50, 8.0);
+  EXPECT_LE(p50, 16.0);
+  double p99 = h->Quantile(0.99);
+  EXPECT_GE(p99, 512.0);
+  EXPECT_LE(p99, 1024.0);
+  // FormatText surfaces the estimates.
+  std::string text = FormatText(Registry::Global().Snapshot());
+  EXPECT_NE(text.find("tml.prom_rt.quantile_live"), std::string::npos);
+  EXPECT_NE(text.find("p99="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tml::telemetry

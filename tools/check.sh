@@ -20,6 +20,12 @@
 #                           # on a Unix socket, drive an install / call /
 #                           # optimize / stats round-trip with tyccli,
 #                           # SIGTERM it, and require a clean exit
+#   tools/check.sh --observe # end-to-end smoke of the observability plane:
+#                           # tycd with --metrics-port/--flight-dir, the
+#                           # OBSERVE/PROFILE/METRICS commands, the
+#                           # /metrics //healthz //profile //flight HTTP
+#                           # endpoints, a budget-kill incident auto-dump,
+#                           # and a SIGUSR2 on-demand flight dump
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -58,6 +64,10 @@ case "${1:-}" in
   --server)
     shift
     mode=server
+    ;;
+  --observe)
+    shift
+    mode=observe
     ;;
 esac
 
@@ -124,6 +134,7 @@ with open(sys.argv[1]) as f:
     m = json.load(f)
 required = ["clients", "throughput_unpipelined_rps", "throughput_pipelined_rps",
             "pipeline_speedup", "p50_us", "p99_us",
+            "pipelined_p50_us", "pipelined_p99_us",
             "call_us_before_optimize", "call_us_after_optimize",
             "optimize_speedup"]
 missing = [k for k in required if not isinstance(m.get(k), (int, float))]
@@ -184,5 +195,99 @@ PYEOF
     kill -TERM "$tycd_pid"
     wait "$tycd_pid"
     echo "server smoke OK: install/call/optimize/stats round-trip, clean SIGTERM shutdown, module survived restart"
+    ;;
+  observe)
+    # End-to-end smoke of the observability plane (DESIGN.md §11): the
+    # flight recorder, the wire commands, the scrape endpoints, and the
+    # incident auto-dump paths — against a real tycd process.
+    tmpdir=$(mktemp -d)
+    trap 'kill "$tycd_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+    sock="$tmpdir/tycd.sock"
+    db="$tmpdir/universe.db"
+    flight_dir="$tmpdir/flight"
+    mkdir -p "$flight_dir"
+    "$build_dir/tools/tycd" "$db" --unix "$sock" --workers 2 \
+      --metrics-port 0 --flight-dir "$flight_dir" 2>"$tmpdir/tycd.log" &
+    tycd_pid=$!
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ -S "$sock" ]] || { echo "FAIL: tycd never bound $sock"; cat "$tmpdir/tycd.log"; exit 1; }
+
+    # The ephemeral metrics port is announced on stderr.
+    metrics_port=""
+    for _ in $(seq 50); do
+      metrics_port=$(sed -n 's|.*metrics on http://[^:]*:\([0-9]*\)/metrics.*|\1|p' "$tmpdir/tycd.log" | head -1)
+      [[ -n "$metrics_port" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$metrics_port" ]] || { echo "FAIL: tycd never announced the metrics port"; cat "$tmpdir/tycd.log"; exit 1; }
+
+    cli="$build_dir/tools/tyccli"
+    "$cli" --unix "$sock" -c 'ping' | grep -q PONG
+    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep -q OK
+    [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
+
+    # The observability wire commands.  (Plain grep, not -q: these payloads
+    # can exceed the pipe buffer, and -q's early exit would SIGPIPE tyccli
+    # under pipefail.)
+    "$cli" --unix "$sock" -c 'observe' | grep traceEvents >/dev/null
+    "$cli" --unix "$sock" -c 'observe 60' | grep traceEvents >/dev/null
+    "$cli" --unix "$sock" -c 'profile' | grep total_samples >/dev/null
+    "$cli" --unix "$sock" -c 'metrics' | grep '# TYPE tml_server_requests counter' >/dev/null
+    "$cli" --unix "$sock" -c 'metrics text' | grep 'tml.server.requests' >/dev/null
+    "$cli" --unix "$sock" -c 'metrics json' | grep 'tml.server.requests' >/dev/null
+
+    # The scrape surface: /healthz liveness, Prometheus exposition on
+    # /metrics, and machine-valid JSON on /profile and /flight.
+    python3 - "$metrics_port" <<'PYEOF'
+import json, sys, urllib.request
+port = sys.argv[1]
+def get(path):
+    with urllib.request.urlopen(f"http://127.0.0.1:{port}{path}", timeout=10) as r:
+        return r.read().decode()
+assert get("/healthz").strip() == "ok", "healthz"
+metrics = get("/metrics")
+assert "# TYPE tml_server_requests counter" in metrics, metrics[:400]
+assert "tml_flight_rings" in metrics, "observability gauges missing"
+profile = json.loads(get("/profile"))
+assert profile.get("total_samples", 0) >= 0, profile
+flight = json.loads(get("/flight"))
+assert "traceEvents" in flight, flight
+json.loads(get("/slow"))
+print("scrape endpoints OK: /healthz /metrics /profile /flight /slow")
+PYEOF
+
+    # A budget kill is an incident: it must leave a flight dump behind.
+    "$cli" --unix "$sock" -c 'install s "fun spin(n) = spin(n + 1) end"' | grep -q OK
+    # The kill reply is an ERR frame, so tyccli exits non-zero by design.
+    kill_out=$("$cli" --unix "$sock" -c 'call s spin 0' 2>&1 || true)
+    echo "$kill_out" | grep -i budget >/dev/null || { echo "FAIL: CALL was not budget-killed: $kill_out"; exit 1; }
+    kill_dump=""
+    for _ in $(seq 20); do
+      kill_dump=$(ls "$flight_dir"/flight-budget_kill-*.json 2>/dev/null | head -1 || true)
+      [[ -n "$kill_dump" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$kill_dump" ]] || { echo "FAIL: no budget_kill flight dump in $flight_dir"; exit 1; }
+    python3 -c "import json,sys; json.load(open(sys.argv[1]))" "$kill_dump"
+
+    # SIGUSR2 dumps the retained window on demand.
+    kill -USR2 "$tycd_pid"
+    usr2_dump=""
+    for _ in $(seq 30); do
+      usr2_dump=$(ls "$flight_dir"/flight-sigusr2-*.json 2>/dev/null | head -1 || true)
+      [[ -n "$usr2_dump" ]] && break
+      sleep 0.1
+    done
+    [[ -n "$usr2_dump" ]] || { echo "FAIL: no sigusr2 flight dump in $flight_dir"; exit 1; }
+
+    kill -TERM "$tycd_pid"
+    wait "$tycd_pid"   # non-zero exit fails the check via set -e
+
+    # CI artifact hook: keep the dumps past the tmpdir cleanup trap.
+    if [[ -n "${OBSERVE_ARTIFACT_DIR:-}" ]]; then
+      mkdir -p "$OBSERVE_ARTIFACT_DIR"
+      cp "$flight_dir"/flight-*.json "$OBSERVE_ARTIFACT_DIR"/ 2>/dev/null || true
+    fi
+    echo "observe smoke OK: OBSERVE/PROFILE/METRICS round-trip, scrape endpoints, budget-kill + SIGUSR2 flight dumps, clean shutdown"
     ;;
 esac

@@ -3,6 +3,7 @@
 //
 //   tycd <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]
 //        [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]
+//        [--metrics-port <p>] [--flight-dir <dir>] [--no-profiler]
 //
 // Opens (or creates) the store, re-attaches persisted modules, starts the
 // background adaptive optimizer, and serves the tagged binary protocol
@@ -10,22 +11,35 @@
 // the adaptive manager stops, and the store is committed — killing tycd
 // with SIGTERM never relies on salvage recovery.
 //
+// Observability: --metrics-port starts the embedded HTTP listener
+// (/metrics Prometheus scrape, /healthz, /profile, /flight, /slow);
+// --flight-dir arms automatic flight-recorder dumps on incidents (budget
+// kills, salvage recovery, SIGUSR2); SIGUSR2 dumps the recorder's
+// retained window on demand (to --flight-dir, else <store.db>.flight.json).
+// --no-profiler disables the background sampling VM profiler.
+//
 // Quick start:
 //   ./build/tools/tycd /tmp/u.db --unix /tmp/tycd.sock &
 //   ./build/tools/tyccli --unix /tmp/tycd.sock
 //   tyc> install m "fun double(x) = x + x end"
 //   tyc> call m double 21
 
+#include <atomic>
+#include <chrono>
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
 #include "adaptive/manager.h"
+#include "adaptive/sampler.h"
 #include "runtime/universe.h"
+#include "server/metrics_http.h"
 #include "server/server.h"
 #include "store/object_store.h"
+#include "telemetry/flight.h"
 
 namespace {
 
@@ -37,11 +51,18 @@ void HandleSignal(int) {
   if (g_server != nullptr) g_server->Stop();
 }
 
+// SIGUSR2 = "dump the flight recorder".  The handler only sets a flag
+// (NoteIncident allocates and takes locks, so it must not run in signal
+// context); a watcher thread polls the flag and performs the dump.
+volatile std::sig_atomic_t g_sigusr2 = 0;
+void HandleUsr2(int) { g_sigusr2 = 1; }
+
 int Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]\n"
       "          [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]\n"
+      "          [--metrics-port <p>] [--flight-dir <dir>] [--no-profiler]\n"
       "At least one of --unix/--tcp is required.\n",
       argv0);
   return 2;
@@ -56,6 +77,9 @@ int main(int argc, char** argv) {
   std::string store_path = argv[1];
   server::ServerOptions opts;
   bool adaptive = true;
+  bool profiler = true;
+  int metrics_port = -1;
+  std::string flight_dir;
   for (int i = 2; i < argc; ++i) {
     std::string a = argv[i];
     auto next = [&]() -> const char* {
@@ -83,8 +107,18 @@ int main(int argc, char** argv) {
       opts.default_step_budget = std::strtoull(v, nullptr, 10);
     } else if (a == "--no-adaptive") {
       adaptive = false;
+    } else if (a == "--no-profiler") {
+      profiler = false;
     } else if (a == "--poll") {
       opts.use_poll = true;
+    } else if (a == "--metrics-port") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      metrics_port = std::atoi(v);
+    } else if (a == "--flight-dir") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      flight_dir = v;
     } else {
       return Usage(argv[0]);
     }
@@ -114,6 +148,10 @@ int main(int argc, char** argv) {
     manager->Start();
     universe.AdoptService(std::move(manager));
   }
+  if (profiler) adaptive::EnableSampler(&universe);
+  if (!flight_dir.empty()) {
+    telemetry::FlightRecorder::Global().SetAutoDumpDir(flight_dir);
+  }
 
   server::Server server(&universe, opts);
   st = server.Start();
@@ -122,10 +160,42 @@ int main(int argc, char** argv) {
     return 1;
   }
 
+  server::MetricsHttpServer metrics_http(&universe, &server);
+  if (metrics_port >= 0) {
+    st = metrics_http.Start(opts.tcp_host, metrics_port);
+    if (!st.ok()) {
+      std::fprintf(stderr, "tycd: %s\n", st.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "tycd: metrics on http://%s:%d/metrics\n",
+                 opts.tcp_host.c_str(), metrics_http.port());
+  }
+
   g_server = &server;
   std::signal(SIGTERM, HandleSignal);
   std::signal(SIGINT, HandleSignal);
+  std::signal(SIGUSR2, HandleUsr2);
   std::signal(SIGPIPE, SIG_IGN);
+
+  // SIGUSR2 watcher: performs the flight dump the handler may not.
+  std::atomic<bool> watcher_stop{false};
+  std::thread usr2_watcher([&watcher_stop, &flight_dir, &store_path] {
+    while (!watcher_stop.load(std::memory_order_acquire)) {
+      if (g_sigusr2 != 0) {
+        g_sigusr2 = 0;
+        auto& flight = tml::telemetry::FlightRecorder::Global();
+        flight.NoteIncident("sigusr2");  // auto-dumps into --flight-dir
+        if (flight_dir.empty()) {
+          std::string path = store_path + ".flight.json";
+          Status dst = flight.WriteDump(path);
+          std::fprintf(stderr, "tycd: SIGUSR2 flight dump %s (%s)\n",
+                       path.c_str(),
+                       dst.ok() ? "ok" : dst.ToString().c_str());
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(200));
+    }
+  });
 
   std::fprintf(stderr, "tycd: serving %s%s%s%s (workers=%d, adaptive=%s)\n",
                store_path.c_str(),
@@ -137,6 +207,9 @@ int main(int argc, char** argv) {
 
   server.Join();  // returns after a signal or a SHUTDOWN command drains
   g_server = nullptr;
+  watcher_stop.store(true, std::memory_order_release);
+  usr2_watcher.join();
+  metrics_http.Stop();
   std::fprintf(stderr, "tycd: clean shutdown (store committed)\n");
   return 0;
 }

@@ -14,16 +14,30 @@
 // post-incident inspector: it reports what recovery had to quarantine or
 // truncate instead of refusing to open.
 //
+// --watch flips tyctop from store inspector to live monitor: it connects
+// to a running tycd (--unix or --tcp), polls the METRICS and PROFILE wire
+// commands every --interval seconds, and redraws a one-screen summary —
+// request rates, latency quantiles, the hot-function table with its
+// interpreted/optimized tier split.
+//
 // Usage: tyctop <store-file> [--top N] [--json]
+//        tyctop --watch (--unix <path> | --tcp <host:port>)
+//               [--interval <secs>] [--count <n>]
+
+#include <unistd.h>
 
 #include <algorithm>
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <map>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "adaptive/profile.h"
+#include "server/client.h"
 #include "store/object_store.h"
 #include "store/reflect_cache.h"
 #include "telemetry/metrics.h"
@@ -203,27 +217,122 @@ int Run(const std::string& path, int top_n, bool json) {
   return 0;
 }
 
+// ---- live watch mode ---------------------------------------------------------
+
+/// One METRICS TEXT + PROFILE poll against a running tycd, rendered as a
+/// refreshing screen.  `count` bounds the redraws (0 = until ^C / error).
+int Watch(const std::string& unix_path, const std::string& tcp_host,
+          int tcp_port, int interval_secs, int count) {
+  using tml::server::Client;
+  using tml::server::WireValue;
+  auto conn = unix_path.empty() ? Client::ConnectTcp(tcp_host, tcp_port)
+                                : Client::ConnectUnix(unix_path);
+  if (!conn.ok()) {
+    std::fprintf(stderr, "tyctop: connect failed: %s\n",
+                 conn.status().ToString().c_str());
+    return 1;
+  }
+  Client client = std::move(*conn);
+  for (int iter = 0; count == 0 || iter < count; ++iter) {
+    if (iter != 0) {
+      std::this_thread::sleep_for(std::chrono::seconds(interval_secs));
+    }
+    auto metrics = client.Call({"METRICS", "text"});
+    if (!metrics.ok() || !metrics->is_str()) {
+      std::fprintf(stderr, "tyctop: METRICS failed: %s\n",
+                   metrics.ok() ? "unexpected reply"
+                                : metrics.status().ToString().c_str());
+      return 1;
+    }
+    auto profile = client.Call({"PROFILE"});
+    auto slow = client.Call({"STATS", "slow"});
+    // ANSI clear + home keeps the display in place like top(1); plain
+    // scrolling when stdout is not a terminal.
+    if (isatty(1)) std::fputs("\033[2J\033[H", stdout);
+    std::printf("tyctop --watch  (interval %ds, poll %d)\n\n", interval_secs,
+                iter + 1);
+    // The interesting server lines first, then everything else.
+    const std::string& text = metrics->s;
+    size_t pos = 0;
+    while (pos < text.size()) {
+      size_t eol = text.find('\n', pos);
+      if (eol == std::string::npos) eol = text.size();
+      std::string line = text.substr(pos, eol - pos);
+      pos = eol + 1;
+      if (line.rfind("tml.server.", 0) == 0 ||
+          line.rfind("tml.profiler.", 0) == 0 ||
+          line.rfind("tml.flight.", 0) == 0 ||
+          line.rfind("tml.trace.", 0) == 0) {
+        std::printf("%s\n", line.c_str());
+      }
+    }
+    if (profile.ok() && profile->is_str()) {
+      std::printf("\nprofile: %s\n", profile->s.c_str());
+    }
+    if (slow.ok() && slow->is_str() && slow->s != "[]") {
+      std::printf("\nslow requests: %s\n", slow->s.c_str());
+    }
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   std::string path;
   int top_n = 10;
   bool json = false;
+  bool watch = false;
+  std::string unix_path;
+  std::string tcp_host = "127.0.0.1";
+  int tcp_port = -1;
+  int interval_secs = 2;
+  int count = 0;
+  const char* usage =
+      "usage: tyctop <store-file> [--top N] [--json]\n"
+      "       tyctop --watch (--unix <path> | --tcp <host:port>)\n"
+      "              [--interval <secs>] [--count <n>]\n";
   for (int i = 1; i < argc; ++i) {
     if (std::strcmp(argv[i], "--top") == 0 && i + 1 < argc) {
       top_n = std::atoi(argv[++i]);
       if (top_n <= 0) top_n = 10;
     } else if (std::strcmp(argv[i], "--json") == 0) {
       json = true;
-    } else if (path.empty()) {
+    } else if (std::strcmp(argv[i], "--watch") == 0) {
+      watch = true;
+    } else if (std::strcmp(argv[i], "--unix") == 0 && i + 1 < argc) {
+      unix_path = argv[++i];
+    } else if (std::strcmp(argv[i], "--tcp") == 0 && i + 1 < argc) {
+      std::string hp = argv[++i];
+      size_t colon = hp.rfind(':');
+      if (colon == std::string::npos) {
+        tcp_port = std::atoi(hp.c_str());
+      } else {
+        tcp_host = hp.substr(0, colon);
+        tcp_port = std::atoi(hp.c_str() + colon + 1);
+      }
+    } else if (std::strcmp(argv[i], "--interval") == 0 && i + 1 < argc) {
+      interval_secs = std::atoi(argv[++i]);
+      if (interval_secs <= 0) interval_secs = 2;
+    } else if (std::strcmp(argv[i], "--count") == 0 && i + 1 < argc) {
+      count = std::atoi(argv[++i]);
+    } else if (path.empty() && argv[i][0] != '-') {
       path = argv[i];
     } else {
-      std::fprintf(stderr, "usage: tyctop <store-file> [--top N] [--json]\n");
+      std::fputs(usage, stderr);
       return 2;
     }
   }
+  if (watch) {
+    if (unix_path.empty() && tcp_port < 0) {
+      std::fputs(usage, stderr);
+      return 2;
+    }
+    return Watch(unix_path, tcp_host, tcp_port, interval_secs, count);
+  }
   if (path.empty()) {
-    std::fprintf(stderr, "usage: tyctop <store-file> [--top N] [--json]\n");
+    std::fputs(usage, stderr);
     return 2;
   }
   return Run(path, top_n, json);
