@@ -54,7 +54,7 @@ constexpr int kWarmupCalls = 50;
 void WorkerLoop(tml::vm::VM* w, Oid make, Oid cabs,
                 std::atomic<int>* ready, const std::atomic<bool>* start,
                 const std::atomic<bool>* stop, std::atomic<uint64_t>* calls,
-                std::atomic<int>* failures) {
+                std::atomic<uint64_t>* steps, std::atomic<int>* failures) {
   Value margs[] = {Value::Int(3), Value::Int(4)};
   auto c = w->RunClosure(Value::OidV(make), margs);
   if (!c.ok() || c->raised) {
@@ -77,6 +77,7 @@ void WorkerLoop(tml::vm::VM* w, Oid make, Oid cabs,
     std::this_thread::yield();
   }
   uint64_t n = 0;
+  uint64_t nsteps = 0;
   while (!stop->load(std::memory_order_acquire)) {
     auto r = w->RunClosure(Value::OidV(cabs), cargs);
     if (!r.ok() || r->raised || r->value.r != 5.0) {
@@ -84,17 +85,22 @@ void WorkerLoop(tml::vm::VM* w, Oid make, Oid cabs,
       break;
     }
     ++n;
+    nsteps += r->steps;
   }
   calls->store(n, std::memory_order_release);
+  steps->store(nsteps, std::memory_order_release);
 }
 
 // Calls/second with `nthreads` concurrent workers over one timed window.
+// `steps_per_sec` (optional) receives the aggregate TVM instruction rate.
 double MeasureThroughput(Universe* u, Oid make, Oid cabs, int nthreads,
-                         std::atomic<int>* failures) {
+                         std::atomic<int>* failures,
+                         double* steps_per_sec = nullptr) {
   std::atomic<int> ready{0};
   std::atomic<bool> start{false};
   std::atomic<bool> stop{false};
   std::vector<std::atomic<uint64_t>> calls(nthreads);
+  std::vector<std::atomic<uint64_t>> steps(nthreads);
   std::vector<std::thread> threads;
   threads.reserve(nthreads);
   for (int t = 0; t < nthreads; ++t) {
@@ -102,7 +108,7 @@ double MeasureThroughput(Universe* u, Oid make, Oid cabs, int nthreads,
     // start of every window, warmed before the clock starts.
     tml::vm::VM* w = u->AddWorkerVm();
     threads.emplace_back(WorkerLoop, w, make, cabs, &ready, &start, &stop,
-                         &calls[t], failures);
+                         &calls[t], &steps[t], failures);
   }
   while (ready.load(std::memory_order_acquire) < nthreads) {
     std::this_thread::sleep_for(std::chrono::milliseconds(1));
@@ -115,7 +121,12 @@ double MeasureThroughput(Universe* u, Oid make, Oid cabs, int nthreads,
   auto t1 = std::chrono::steady_clock::now();
   double secs = std::chrono::duration<double>(t1 - t0).count();
   uint64_t total = 0;
+  uint64_t total_steps = 0;
   for (auto& c : calls) total += c.load(std::memory_order_acquire);
+  for (auto& st : steps) total_steps += st.load(std::memory_order_acquire);
+  if (steps_per_sec != nullptr) {
+    *steps_per_sec = static_cast<double>(total_steps) / secs;
+  }
   return static_cast<double>(total) / secs;
 }
 
@@ -153,11 +164,14 @@ int main(int argc, char** argv) {
 
   std::atomic<int> failures{0};
   double throughput[4] = {0, 0, 0, 0};
+  double steps_rate[4] = {0, 0, 0, 0};
   for (int i = 0; i < 4; ++i) {
     int n = kThreadCounts[i];
-    throughput[i] = MeasureThroughput(&u, make, cabs, n, &failures);
-    std::printf("threads=%d    %12.0f calls/s    speedup %.2fx\n", n,
-                throughput[i],
+    throughput[i] =
+        MeasureThroughput(&u, make, cabs, n, &failures, &steps_rate[i]);
+    std::printf("threads=%d    %12.0f calls/s  %12.0f steps/s    speedup "
+                "%.2fx\n",
+                n, throughput[i], steps_rate[i],
                 throughput[0] > 0 ? throughput[i] / throughput[0] : 0.0);
   }
   mgr.Stop();
@@ -185,6 +199,12 @@ int main(int argc, char** argv) {
     metrics.Add("speedup_" + std::to_string(kThreadCounts[i]) + "x",
                 throughput[0] > 0 ? throughput[i] / throughput[0] : 0.0);
   }
+  for (int i = 0; i < 4; ++i) {
+    metrics.Add("steps_per_sec_" + std::to_string(kThreadCounts[i]),
+                steps_rate[i]);
+  }
+  metrics.Add("ns_per_step_1",
+              steps_rate[0] > 0 ? 1e9 / steps_rate[0] : 0.0);
   metrics.Add("writer_polls", static_cast<double>(c.polls));
   metrics.Add("writer_persists", static_cast<double>(c.profile_persists));
 

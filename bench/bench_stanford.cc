@@ -25,6 +25,7 @@
 #include "bench/bench_util.h"
 #include "corpus/stanford.h"
 #include "runtime/universe.h"
+#include "vm/vm.h"
 
 namespace {
 
@@ -80,18 +81,24 @@ Measurement RunConfig(const StanfordProgram& prog, tml::fe::BindingMode mode,
     target = *r;
   }
   Value args[] = {Value::Int(prog.bench_n)};
-  // Warm the swizzle caches, then measure.
+  // Warm the swizzle caches, then take the best of three measured calls:
+  // the minimum is the noise-robust estimator the check.sh --bench
+  // dispatch gate relies on.
   (void)u.Call(target, args);
-  auto t0 = std::chrono::steady_clock::now();
-  auto r = u.Call(target, args);
-  auto t1 = std::chrono::steady_clock::now();
-  if (!r.ok()) {
-    out.error = r.status().ToString();
-    return out;
+  out.ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    auto t0 = std::chrono::steady_clock::now();
+    auto r = u.Call(target, args);
+    auto t1 = std::chrono::steady_clock::now();
+    if (!r.ok()) {
+      out.error = r.status().ToString();
+      return out;
+    }
+    double ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
+    if (ms < out.ms) out.ms = ms;
+    out.steps = r->steps;
+    out.checksum = r->value.is_int() ? r->value.i : -1;
   }
-  out.ms = std::chrono::duration<double, std::milli>(t1 - t0).count();
-  out.steps = r->steps;
-  out.checksum = r->value.is_int() ? r->value.i : -1;
   out.ok = true;
   return out;
 }
@@ -111,6 +118,8 @@ int main(int argc, char** argv) {
               "spdup", "checksum");
 
   double geo_static = 0, geo_dyn = 0, geo_direct = 0;
+  double unopt_ms_total = 0, dyn_ms_total = 0;
+  uint64_t unopt_steps_total = 0, dyn_steps_total = 0;
   int count = 0;
   for (const StanfordProgram& prog : tml::corpus::StanfordSuite()) {
     Measurement unopt =
@@ -141,6 +150,10 @@ int main(int argc, char** argv) {
     geo_static += std::log(s_stat);
     geo_dyn += std::log(s_dyn);
     geo_direct += std::log(s_dir);
+    unopt_ms_total += unopt.ms;
+    unopt_steps_total += unopt.steps;
+    dyn_ms_total += dyn.ms;
+    dyn_steps_total += dyn.steps;
     ++count;
   }
   if (count > 0) {
@@ -154,6 +167,24 @@ int main(int argc, char** argv) {
     metrics.Add("geomean_static_speedup", std::exp(geo_static / count));
     metrics.Add("geomean_dynamic_speedup", std::exp(geo_dyn / count));
     metrics.Add("geomean_direct_speedup", std::exp(geo_direct / count));
+    // Raw interpreter throughput across the whole suite (per binding
+    // configuration): ns per executed TVM instruction and its inverse.
+    // check.sh --bench compares these between dispatch modes.
+    double unopt_ns = unopt_ms_total * 1e6 / unopt_steps_total;
+    double dyn_ns = dyn_ms_total * 1e6 / dyn_steps_total;
+    std::printf("per-step: unopt %.2f ns, dynamic %.2f ns (dispatch: %s)\n",
+                unopt_ns, dyn_ns,
+                tml::vm::DispatchModeName(
+                    tml::vm::ResolveDispatchMode(tml::vm::DispatchMode::kAuto)));
+    metrics.Add("ns_per_step_unopt", unopt_ns);
+    metrics.Add("ns_per_step_dynamic", dyn_ns);
+    metrics.Add("steps_per_sec_unopt", 1e9 / unopt_ns);
+    metrics.Add("steps_per_sec_dynamic", 1e9 / dyn_ns);
+    metrics.Add("dispatch_threaded",
+                tml::vm::ResolveDispatchMode(tml::vm::DispatchMode::kAuto) ==
+                        tml::vm::DispatchMode::kThreaded
+                    ? 1
+                    : 0);
   }
   return 0;
 }

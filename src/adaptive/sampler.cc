@@ -5,18 +5,32 @@
 
 #include "telemetry/metrics.h"
 #include "vm/code.h"
+#include "vm/fuse.h"
 
 namespace tml::adaptive {
 
 namespace {
 
-bool IsOptimizedTier(const std::string& name) {
+VmSampler::Tier TierOf(const vm::Function* fn) {
   // Reflect-optimized code units are named "reflect$N" by the universe's
-  // optimizer; everything else is baseline interpreted code.
-  return name.rfind("reflect$", 0) == 0;
+  // optimizer; everything else is baseline interpreted code.  An optimized
+  // unit that carries superinstructions (the fusion pass ran on it) sits
+  // on the top rung of the ladder.
+  if (vm::ContainsFusedOps(*fn)) return VmSampler::Tier::kFused;
+  if (fn->name.rfind("reflect$", 0) == 0) return VmSampler::Tier::kOptimized;
+  return VmSampler::Tier::kInterpreted;
 }
 
 }  // namespace
+
+const char* VmSampler::TierName(Tier t) {
+  switch (t) {
+    case Tier::kInterpreted: return "interpreted";
+    case Tier::kOptimized: return "optimized";
+    case Tier::kFused: return "fused";
+  }
+  return "interpreted";
+}
 
 VmSampler::VmSampler(rt::Universe* universe, const SamplerOptions& opts)
     : universe_(universe), opts_(opts) {
@@ -94,7 +108,10 @@ void VmSampler::SampleOnce() {
       continue;
     }
     FnStats& st = table_[s.fn];
-    if (st.samples == 0) st.closure_oid = ClosureOidFor(s.fn, &refreshed);
+    if (st.samples == 0) {
+      st.closure_oid = ClosureOidFor(s.fn, &refreshed);
+      st.tier = TierOf(s.fn);
+    }
     ++st.samples;
     ++st.ops[s.op];
   }
@@ -113,7 +130,8 @@ VmSampler::Report VmSampler::Snapshot() const {
     row.name = fn->name.empty() ? "<anon>" : fn->name;
     row.closure_oid = st.closure_oid;
     row.samples = st.samples;
-    row.optimized = IsOptimizedTier(fn->name);
+    row.tier = st.tier;
+    row.optimized = st.tier != Tier::kInterpreted;
     uint64_t best = 0;
     for (const auto& [op, n] : st.ops) {
       if (n > best) {
@@ -153,7 +171,7 @@ std::string VmSampler::Report::ToJson() const {
     out += ",\"oid\":" + std::to_string(r.closure_oid);
     out += ",\"samples\":" + std::to_string(r.samples);
     out += ",\"tier\":\"";
-    out += r.optimized ? "optimized" : "interpreted";
+    out += TierName(r.tier);
     out += "\",\"top_op\":\"" + telemetry::JsonEscape(r.top_op) + "\"}";
   }
   out += "]}";

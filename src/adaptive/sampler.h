@@ -60,11 +60,19 @@ class VmSampler final : public rt::BackgroundService {
   /// Public so tests drive the profiler deterministically.
   void SampleOnce();
 
+  /// The execution-tier ladder (DESIGN.md §12): baseline interpreted
+  /// code, reflect-optimized code units ("reflect$N"), and optimized
+  /// units whose hot sequences were additionally fused into
+  /// superinstructions (vm/fuse.h).
+  enum class Tier : uint8_t { kInterpreted, kOptimized, kFused };
+  static const char* TierName(Tier t);
+
   struct FnRow {
     std::string name;          ///< Function::name ("<anon>" if empty)
     Oid closure_oid = kNullOid;  ///< persistent closure, if linked
     uint64_t samples = 0;
-    bool optimized = false;    ///< tier: reflect-optimized vs interpreted
+    Tier tier = Tier::kInterpreted;
+    bool optimized = false;    ///< compat: tier != kInterpreted
     std::string top_op;        ///< modal opcode across this row's samples
   };
   struct Report {
@@ -93,6 +101,9 @@ class VmSampler final : public rt::BackgroundService {
   struct FnStats {
     uint64_t samples = 0;
     Oid closure_oid = kNullOid;
+    /// Classified once at first sample: a Function's code never mutates
+    /// after publication (recompiles swap in a fresh Function object).
+    Tier tier = Tier::kInterpreted;
     /// Opcode histogram of this function's samples (tiny: a function
     /// only ever dispatches a handful of distinct opcodes).
     std::map<uint8_t, uint64_t> ops;

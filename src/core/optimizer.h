@@ -28,6 +28,9 @@ struct OptimizerOptions {
   int penalty_limit = 64;
   /// Upper bound on reduction/expansion rounds.
   int max_rounds = 16;
+  /// Backend: fuse hot adjacent opcode sequences into superinstructions
+  /// after code generation (the third execution tier; see vm/fuse.h).
+  bool fuse_superinstructions = true;
 };
 
 struct OptimizerStats {

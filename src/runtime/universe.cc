@@ -12,6 +12,7 @@
 #include "support/varint.h"
 #include "telemetry/flight.h"
 #include "telemetry/trace.h"
+#include "vm/fuse.h"
 
 namespace tml::rt {
 
@@ -659,6 +660,7 @@ uint64_t HashOptimizerOptions(const ir::OptimizerOptions& o, uint64_t h) {
   mix(static_cast<uint64_t>(o.expand.max_expansions_per_pass));
   mix(static_cast<uint64_t>(o.penalty_limit));
   mix(static_cast<uint64_t>(o.max_rounds));
+  mix(static_cast<uint64_t>(o.fuse_superinstructions));
   return h;
 }
 
@@ -975,6 +977,15 @@ Result<Oid> Universe::ReflectOptimize(Oid closure_oid,
   TML_ASSIGN_OR_RETURN(vm::Function * code,
                        vm::CompileProc(&code_unit_, *m, optimized, fname));
   code->ptml_oid = ptml_oid;
+  if (opts.fuse_superinstructions) {
+    // Backend tier promotion: rewrite hot adjacent sequences into
+    // superinstructions before the record is serialized, so the fused
+    // code persists and reloads like any other code record.
+    vm::FuseStats fs = vm::FuseSuperinstructions(code);
+    if (stats != nullptr) {
+      stats->superinstructions_fused += fs.pairs_fused + fs.triples_fused;
+    }
+  }
   TML_ASSIGN_OR_RETURN(Oid code_oid,
                        store_->Allocate(store::ObjType::kCode,
                                         vm::SerializeFunction(*code)));

@@ -76,6 +76,9 @@ struct ReflectStats {
   size_t cache_hits = 0;
   size_t cache_misses = 0;
   size_t cache_bytes = 0;  ///< live bytes of the kReflectCache index
+  /// Superinstruction slots rewritten by the backend fusion pass (pairs +
+  /// triples, across the function and its subfunctions).
+  size_t superinstructions_fused = 0;
 };
 
 /// A background worker attached to a Universe (the adaptive optimization

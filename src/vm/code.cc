@@ -1,73 +1,74 @@
 #include "vm/code.h"
 
 #include <cstring>
+#include <iterator>
 
 #include "support/varint.h"
 
 namespace tml::vm {
 
+namespace {
+
+// All opcode metadata regenerates from ops.def; the static_asserts below
+// are the satellite guarantee that enum, decode bound and every table
+// agree on the opcode count.
+constexpr const char* kOpNames[] = {
+#define TML_OP(name, mnemonic, shape) mnemonic,
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) mnemonic,
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) mnemonic,
+#include "vm/ops.def"
+};
+
+// Operand shapes for base ops; fused ops borrow their first op's shape via
+// kFusedFirstOp (the fused slot keeps the first op's operands).
+constexpr const char* kOpShapes[] = {
+#define TML_OP(name, mnemonic, shape) shape,
+#include "vm/ops.def"
+};
+
+constexpr uint8_t kOpWidths[] = {
+#define TML_OP(name, mnemonic, shape) 1,
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) 2,
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) 3,
+#include "vm/ops.def"
+};
+
+// First constituent op of each fused op, indexed by (op - kNumBaseOps).
+constexpr Op kFusedFirstOp[] = {
+#define TML_OP(name, mnemonic, shape)
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) Op::firstOp,
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) Op::firstOp,
+#include "vm/ops.def"
+};
+
+static_assert(std::size(kOpNames) == kNumOps,
+              "mnemonic table out of sync with the Op enum");
+static_assert(std::size(kOpShapes) == kNumBaseOps,
+              "shape table out of sync with the base opcode block");
+static_assert(std::size(kOpWidths) == kNumOps,
+              "width table out of sync with the Op enum");
+static_assert(std::size(kFusedFirstOp) == kNumOps - kNumBaseOps,
+              "fused-op table out of sync with the Op enum");
+
+}  // namespace
+
 const char* OpName(Op op) {
-  switch (op) {
-    case Op::kLoadK: return "loadk";
-    case Op::kMove: return "move";
-    case Op::kAddI: return "addi";
-    case Op::kSubI: return "subi";
-    case Op::kMulI: return "muli";
-    case Op::kDivI: return "divi";
-    case Op::kModI: return "modi";
-    case Op::kShl: return "shl";
-    case Op::kShr: return "shr";
-    case Op::kBitAnd: return "band";
-    case Op::kBitOr: return "bor";
-    case Op::kBitXor: return "bxor";
-    case Op::kAddR: return "addr";
-    case Op::kSubR: return "subr";
-    case Op::kMulR: return "mulr";
-    case Op::kDivR: return "divr";
-    case Op::kSqrt: return "sqrt";
-    case Op::kI2R: return "i2r";
-    case Op::kR2I: return "r2i";
-    case Op::kC2I: return "c2i";
-    case Op::kI2C: return "i2c";
-    case Op::kAndB: return "andb";
-    case Op::kOrB: return "orb";
-    case Op::kNotB: return "notb";
-    case Op::kBrLtI: return "brlti";
-    case Op::kBrLeI: return "brlei";
-    case Op::kBrLtR: return "brltr";
-    case Op::kBrLeR: return "brler";
-    case Op::kBrEq: return "breq";
-    case Op::kCaseEq: return "caseeq";
-    case Op::kJmp: return "jmp";
-    case Op::kNewArray: return "newarr";
-    case Op::kNewVector: return "newvec";
-    case Op::kNewArrN: return "newarrn";
-    case Op::kNewBytes: return "newbytes";
-    case Op::kALoad: return "aload";
-    case Op::kAStore: return "astore";
-    case Op::kBLoad: return "bload";
-    case Op::kBStore: return "bstore";
-    case Op::kSize: return "size";
-    case Op::kMoveN: return "moven";
-    case Op::kBMoveN: return "bmoven";
-    case Op::kClosure: return "closure";
-    case Op::kSetCap: return "setcap";
-    case Op::kGetCap: return "getcap";
-    case Op::kCall: return "call";
-    case Op::kTailCall: return "tailcall";
-    case Op::kRet: return "ret";
-    case Op::kRaise: return "raise";
-    case Op::kPushH: return "pushh";
-    case Op::kPopH: return "poph";
-    case Op::kCCall: return "ccall";
-    case Op::kSelect: return "select";
-    case Op::kProject: return "project";
-    case Op::kJoin: return "join";
-    case Op::kExists: return "exists";
-    case Op::kEmpty: return "empty";
-    case Op::kCount: return "count";
+  uint8_t i = static_cast<uint8_t>(op);
+  return i < kNumOps ? kOpNames[i] : "?";
+}
+
+const char* OpShape(Op op) {
+  uint8_t i = static_cast<uint8_t>(op);
+  if (i >= kNumOps) return "abcd";
+  if (i >= kNumBaseOps) {
+    i = static_cast<uint8_t>(kFusedFirstOp[i - kNumBaseOps]);
   }
-  return "?";
+  return kOpShapes[i];
+}
+
+int OpWidth(Op op) {
+  uint8_t i = static_cast<uint8_t>(op);
+  return i < kNumOps ? kOpWidths[i] : 1;
 }
 
 size_t Function::ByteSize() const {
@@ -83,11 +84,20 @@ std::string Function::Disassemble() const {
   for (size_t i = 0; i < code.size(); ++i) {
     const Instr& in = code[i];
     char buf[96];
-    std::snprintf(buf, sizeof(buf), "  %4zu  %-9s a=%u b=%u c=%u d=%d%s\n",
-                  i, OpName(in.op), in.a, in.b, in.c, in.d,
-                  in.fail >= 0 ? (" !" + std::to_string(in.fail)).c_str()
-                               : "");
+    std::snprintf(buf, sizeof(buf), "  %4zu  %-18s", i, OpName(in.op));
     out += buf;
+    // Print only the operand fields this op actually uses (ops.def shape).
+    for (const char* s = OpShape(in.op); *s != '\0'; ++s) {
+      switch (*s) {
+        case 'a': std::snprintf(buf, sizeof(buf), " a=%u", in.a); break;
+        case 'b': std::snprintf(buf, sizeof(buf), " b=%u", in.b); break;
+        case 'c': std::snprintf(buf, sizeof(buf), " c=%u", in.c); break;
+        default: std::snprintf(buf, sizeof(buf), " d=%d", in.d); break;
+      }
+      out += buf;
+    }
+    if (in.fail >= 0) out += " !" + std::to_string(in.fail);
+    out += '\n';
   }
   return out;
 }
@@ -256,7 +266,9 @@ Result<Function*> DeserializeFunctionImpl(CodeUnit* unit,
     Instr in;
     TML_ASSIGN_OR_RETURN(std::string op_b, r.ReadBytes(1));
     uint8_t op_raw = static_cast<uint8_t>(op_b[0]);
-    if (op_raw > static_cast<uint8_t>(Op::kCount)) {
+    // Fused opcodes decode too: code records persisted after superinstruction
+    // promotion carry them, and the decode bound tracks ops.def via kNumOps.
+    if (op_raw >= kNumOps) {
       return Status::Corruption("code: unknown opcode " +
                                 std::to_string(op_raw));
     }

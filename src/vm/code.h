@@ -20,79 +20,53 @@
 
 namespace tml::vm {
 
+// The opcode set is generated from the single-source X-macro table in
+// ops.def (base ops first, then superinstructions); per-op semantics are
+// documented there.  Serialization persists the raw enum byte, so the base
+// block's order is frozen — see the ORDER CONTRACT in ops.def.
 enum class Op : uint8_t {
-  kLoadK,     // regs[a] = pool[d]
-  kMove,      // regs[a] = regs[b]
-  // Integer arithmetic; d = fail-info index or -1 (unwind on fault).
-  kAddI,      // regs[a] = regs[b] + regs[c]
-  kSubI,
-  kMulI,
-  kDivI,
-  kModI,
-  // Bit operations (cannot fault).
-  kShl,
-  kShr,
-  kBitAnd,
-  kBitOr,
-  kBitXor,
-  // Real arithmetic.
-  kAddR,
-  kSubR,
-  kMulR,
-  kDivR,      // d = fail info (division by zero)
-  kSqrt,      // regs[a] = sqrt(regs[b]); d = fail info
-  kI2R,
-  kR2I,       // d = fail info (range)
-  kC2I,
-  kI2C,
-  kAndB,
-  kOrB,
-  kNotB,
-  // Branches: jump to d when the comparison holds, else fall through.
-  kBrLtI,
-  kBrLeI,
-  kBrLtR,
-  kBrLeR,
-  kBrEq,      // scalar identity regs[b] == regs[c]
-  kCaseEq,    // scalar identity regs[b] == pool[c]; jump d on match
-  kJmp,       // pc = d
-  // Aggregates; d = fail info where faults are possible.
-  kNewArray,  // regs[a] = array of regs[b..b+c)
-  kNewVector,
-  kNewArrN,   // regs[a] = array of size regs[b], init regs[c]; fail on n<0
-  kNewBytes,  // regs[a] = byte array, size regs[b], init regs[c]
-  kALoad,     // regs[a] = regs[b][regs[c]]
-  kAStore,    // regs[a][regs[b]] = regs[c]
-  kBLoad,
-  kBStore,
-  kSize,      // regs[a] = size(regs[b])
-  kMoveN,     // array copy; a = base of 5 regs (dst doff src soff n)
-  kBMoveN,
-  // Closures.
-  kClosure,   // regs[a] = closure over subfns[d] with c uninitialized caps
-  kSetCap,    // closure regs[a], cap index b, value regs[c]
-  kGetCap,    // regs[a] = current closure's cap b
-  // Calls.
-  kCall,      // regs[a] = call regs[b] with args regs[c..c+d)
-  kTailCall,  // tail call regs[b] with args regs[c..c+d)
-  kRet,       // return regs[a]
-  // Exceptions.
-  kRaise,     // raise regs[a]
-  kPushH,     // push handler (fail info d) onto the handler stack
-  kPopH,
-  // Host call-out: regs[a] = host[pool[c]](regs[b..b+?]); count in d's
-  // fail-info-free upper half — see Instr::d2.
-  kCCall,     // regs[a] = host fn pool[c] applied to regs[b..b+d2)
-  // Query primitives (§4.2); relations are arrays of tuple-arrays or OIDs.
-  kSelect,    // regs[a] = filter(regs[b] = pred, regs[c] = rel)
-  kProject,   // regs[a] = map(regs[b], regs[c])
-  kJoin,      // regs[a] = join(pred regs[b], rels regs[c], regs[c+1])
-  kExists,    // regs[a] = bool: any tuple of regs[c] satisfies regs[b]
-  kEmpty,     // regs[a] = (|regs[b]| == 0)
-  kCount,     // regs[a] = |regs[b]|
+#define TML_OP(name, mnemonic, shape) name,
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) name,
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) name,
+#include "vm/ops.def"
 };
 
+/// Number of base (single-step) opcodes; fused opcodes follow contiguously.
+inline constexpr uint8_t kNumBaseOps = 0
+#define TML_OP(name, mnemonic, shape) +1
+#include "vm/ops.def"
+    ;
+
+/// Total opcode count (base + fused) — the bound checked by decode and the
+/// size every generated table must match.
+inline constexpr uint8_t kNumOps = 0
+#define TML_OP(name, mnemonic, shape) +1
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) +1
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) +1
+#include "vm/ops.def"
+    ;
+
+// The base block must still end at kCount: store records serialized before
+// the superinstruction tier carry base opcode bytes only, and those bytes
+// are meaningful forever.
+static_assert(static_cast<uint8_t>(Op::kCount) == kNumBaseOps - 1,
+              "base opcode block reordered or extended past kCount; "
+              "persisted code records would change meaning");
+static_assert(kNumOps > kNumBaseOps, "ops.def lost its fused entries");
+
+/// True for superinstructions (the fused execution tier).
+constexpr bool IsFusedOp(Op op) {
+  return static_cast<uint8_t>(op) >= kNumBaseOps;
+}
+
 const char* OpName(Op op);
+/// Operand fields the op uses, as a subset of "abcd" (disassembly shape).
+/// Fused ops report the shape of their first constituent op — the fused
+/// slot keeps that op's operands.
+const char* OpShape(Op op);
+/// Logical instruction slots the op covers: 1 for base ops, 2/3 for fused
+/// pairs/triples (the trailing slots keep their original instructions).
+int OpWidth(Op op);
 
 /// One instruction.  `d` is a signed payload: jump target, pool index,
 /// subfunction index, argument count or fail-info index depending on op;

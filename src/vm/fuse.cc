@@ -1,0 +1,99 @@
+#include "vm/fuse.h"
+
+#include <unordered_map>
+
+namespace tml::vm {
+
+namespace {
+
+// Pattern tables generated from ops.def.  Keys pack the constituent base
+// opcodes: (a<<8)|b for pairs, (a<<16)|(b<<8)|c for triples.
+uint32_t PairKey(Op a, Op b) {
+  return (static_cast<uint32_t>(a) << 8) | static_cast<uint32_t>(b);
+}
+uint32_t TripleKey(Op a, Op b, Op c) {
+  return (static_cast<uint32_t>(a) << 16) |
+         (static_cast<uint32_t>(b) << 8) | static_cast<uint32_t>(c);
+}
+
+const std::unordered_map<uint32_t, Op>& PairTable() {
+  static const std::unordered_map<uint32_t, Op> table = {
+#define TML_FUSED2(name, mnemonic, firstOp, secondOp) \
+  {PairKey(Op::firstOp, Op::secondOp), Op::name},
+#include "vm/ops.def"
+  };
+  return table;
+}
+
+const std::unordered_map<uint32_t, Op>& TripleTable() {
+  static const std::unordered_map<uint32_t, Op> table = {
+#define TML_FUSED3(name, mnemonic, firstOp, secondOp, thirdOp) \
+  {TripleKey(Op::firstOp, Op::secondOp, Op::thirdOp), Op::name},
+#include "vm/ops.def"
+  };
+  return table;
+}
+
+FuseStats FuseOne(Function* fn) {
+  FuseStats stats;
+  const auto& pairs = PairTable();
+  const auto& triples = TripleTable();
+  std::vector<Instr>& code = fn->code;
+  size_t i = 0;
+  while (i < code.size()) {
+    // Never look *through* an existing superinstruction: its trailing
+    // slots are live operands of the fused handler.
+    if (IsFusedOp(code[i].op)) {
+      i += static_cast<size_t>(OpWidth(code[i].op));
+      continue;
+    }
+    if (i + 2 < code.size() && !IsFusedOp(code[i + 1].op) &&
+        !IsFusedOp(code[i + 2].op)) {
+      auto it = triples.find(
+          TripleKey(code[i].op, code[i + 1].op, code[i + 2].op));
+      if (it != triples.end()) {
+        code[i].op = it->second;
+        ++stats.triples_fused;
+        i += 3;
+        continue;
+      }
+    }
+    if (i + 1 < code.size() && !IsFusedOp(code[i + 1].op)) {
+      auto it = pairs.find(PairKey(code[i].op, code[i + 1].op));
+      if (it != pairs.end()) {
+        code[i].op = it->second;
+        ++stats.pairs_fused;
+        i += 2;
+        continue;
+      }
+    }
+    ++i;
+  }
+  if (stats.pairs_fused + stats.triples_fused > 0) stats.functions_touched = 1;
+  return stats;
+}
+
+}  // namespace
+
+FuseStats FuseSuperinstructions(Function* fn) {
+  FuseStats stats = FuseOne(fn);
+  for (const Function* sub : fn->subfns) {
+    // Subfunction trees are freshly built (or deserialized) per code unit
+    // and uniquely owned; the const in `subfns` guards the interpreter,
+    // not this backend pass.
+    FuseStats s = FuseSuperinstructions(const_cast<Function*>(sub));
+    stats.pairs_fused += s.pairs_fused;
+    stats.triples_fused += s.triples_fused;
+    stats.functions_touched += s.functions_touched;
+  }
+  return stats;
+}
+
+bool ContainsFusedOps(const Function& fn) {
+  for (const Instr& in : fn.code) {
+    if (IsFusedOp(in.op)) return true;
+  }
+  return false;
+}
+
+}  // namespace tml::vm

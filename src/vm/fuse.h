@@ -1,0 +1,41 @@
+// Superinstruction fusion: the backend pass of the third execution tier.
+//
+// Rewrites hot straight-line opcode sequences into the fused opcodes
+// declared in ops.def (TML_FUSED2/TML_FUSED3).  The fused opcode replaces
+// the first slot of the sequence — keeping that slot's operands and fail
+// route — while the following slots keep their original instructions, so
+// jump targets into the middle of a fused sequence remain valid and the
+// serialized record stays decodable by construction.
+//
+// The pass runs at ReflectOptimize time, after CompileProc and before the
+// function is serialized into the store, so fused code persists and reloads
+// like any other code record.
+
+#ifndef TML_VM_FUSE_H_
+#define TML_VM_FUSE_H_
+
+#include <cstdint>
+
+#include "vm/code.h"
+
+namespace tml::vm {
+
+struct FuseStats {
+  uint64_t pairs_fused = 0;
+  uint64_t triples_fused = 0;
+  uint64_t functions_touched = 0;  ///< functions (incl. subfns) with >=1 fuse
+};
+
+/// Greedily fuse adjacent instructions of `fn` (and, recursively, its
+/// subfunctions) against the ops.def pattern table.  Longer patterns win:
+/// triples are tried before pairs at each position.  Idempotent — already
+/// fused slots are skipped, never re-fused.
+FuseStats FuseSuperinstructions(Function* fn);
+
+/// True if any instruction of `fn` itself is a fused opcode (subfunctions
+/// are not consulted) — the sampler's fused-tier detector.
+bool ContainsFusedOps(const Function& fn);
+
+}  // namespace tml::vm
+
+#endif  // TML_VM_FUSE_H_

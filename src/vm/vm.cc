@@ -1,7 +1,9 @@
 #include "vm/vm.h"
 
+#include <algorithm>
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <limits>
 
@@ -106,7 +108,8 @@ bool ConstEquals(const Value& v, const Constant& c) {
 
 }  // namespace
 
-VM::VM(RuntimeEnv* env, VMOptions opts) : env_(env), opts_(opts) {
+VM::VM(RuntimeEnv* env, VMOptions opts)
+    : env_(env), opts_(opts), dispatch_(ResolveDispatchMode(opts.dispatch)) {
   RegisterHost("print",
                [](VM* vm, std::span<const Value> args) -> Result<Value> {
                  for (const Value& a : args) {
@@ -222,7 +225,12 @@ Status VM::PushFrame(Value callee, std::span<const Value> args,
     return Status::RuntimeError("vm: frame stack overflow");
   }
   Frame fr;
+  if (!frame_pool_.empty()) {
+    fr = std::move(frame_pool_.back());
+    frame_pool_.pop_back();
+  }
   fr.clo = clo;
+  fr.pc = 0;
   fr.dst_reg = dst_reg;
   fr.ret_through = ret_through;
   if (opts_.profile) {
@@ -230,8 +238,10 @@ Status VM::PushFrame(Value callee, std::span<const Value> args,
     fr.prof->calls.fetch_add(1, std::memory_order_relaxed);
   }
   ++calls_;
+  // assign + resize (not resize + copy) so a recycled buffer's stale slots
+  // are all overwritten: params take the arguments, the rest become Nil.
+  fr.regs.assign(args.begin(), args.end());
   fr.regs.resize(clo->fn->num_regs);
-  std::copy(args.begin(), args.end(), fr.regs.begin());
   frames_.push_back(std::move(fr));
   return Status::OK();
 }
@@ -367,646 +377,77 @@ void VM::CollectGarbage() {
   heap_.Sweep();
 }
 
-// Convenience macros keep the dispatch loop readable; every use returns or
-// breaks out of the switch explicitly.
-#define TML_VM_FAULT(exn_value)                              \
-  do {                                                       \
-    Value _escaped;                                          \
-    if (!Fault(in, (exn_value), base, &_escaped)) {          \
-      *raised = true;                                        \
-      return _escaped;                                       \
-    }                                                        \
-  } while (0)
-
-Result<Value> VM::Execute(size_t base, bool* raised) {
-  *raised = false;
-  while (true) {
-    if (frames_.size() <= base) {
-      return Status::RuntimeError("vm: frame stack underflow");
-    }
-    Frame& f = frames_.back();
-    const Function* fn = f.clo->fn;
-    if (f.pc >= fn->code.size()) {
-      return Status::RuntimeError("vm: pc past end of " + fn->name);
-    }
-    if (++total_steps_ > opts_.max_steps) {
-      return Status::RuntimeError("vm: step limit exceeded");
-    }
-    if (total_steps_ > budget_deadline_) {
-      return Status::OutOfRange(
-          "vm: step budget exceeded (budget=" +
-          std::to_string(opts_.step_budget) + ")");
-    }
-    // Attribute the step to the function on top of the stack: frame-local
-    // now, published to the shared profile when the frame pops.
-    ++f.local_steps;
-    const Instr& in = fn->code[f.pc++];
-    if (opts_.exec_status) {
-      // Sampling-profiler seam: two relaxed stores so a sampler thread
-      // sees (current function, current opcode) without any lock.
-      exec_fn_.store(fn, std::memory_order_relaxed);
-      exec_op_.store(static_cast<uint8_t>(in.op), std::memory_order_relaxed);
-    }
-    std::vector<Value>& R = f.regs;
-
-    switch (in.op) {
-      case Op::kLoadK: {
-        const Constant& c = fn->pool[static_cast<size_t>(in.d)];
-        switch (c.kind) {
-          case Constant::Kind::kNil: R[in.a] = Value::Nil(); break;
-          case Constant::Kind::kBool: R[in.a] = Value::Bool(c.i != 0); break;
-          case Constant::Kind::kInt: R[in.a] = Value::Int(c.i); break;
-          case Constant::Kind::kChar:
-            R[in.a] = Value::Char(static_cast<uint8_t>(c.i));
-            break;
-          case Constant::Kind::kReal: R[in.a] = Value::Real(c.r); break;
-          case Constant::Kind::kOid:
-            R[in.a] = Value::OidV(static_cast<Oid>(c.i));
-            break;
-          case Constant::Kind::kString: {
-            MaybeCollect();
-            StringObj* s = heap_.New<StringObj>();
-            s->str = c.s;
-            frames_.back().regs[in.a] = Value::ObjV(s);
-            break;
-          }
-        }
-        break;
-      }
-      case Op::kMove:
-        R[in.a] = R[in.b];
-        break;
-
-      case Op::kAddI:
-      case Op::kSubI:
-      case Op::kMulI:
-      case Op::kDivI:
-      case Op::kModI: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (!x.is_int() || !y.is_int()) return TypeErr("integer arithmetic");
-        int64_t r = 0;
-        bool fault = false;
-        switch (in.op) {
-          case Op::kAddI: fault = __builtin_add_overflow(x.i, y.i, &r); break;
-          case Op::kSubI: fault = __builtin_sub_overflow(x.i, y.i, &r); break;
-          case Op::kMulI: fault = __builtin_mul_overflow(x.i, y.i, &r); break;
-          case Op::kDivI:
-            fault = (y.i == 0 ||
-                     (x.i == std::numeric_limits<int64_t>::min() &&
-                      y.i == -1));
-            if (!fault) r = x.i / y.i;
-            break;
-          default:
-            fault = (y.i == 0 ||
-                     (x.i == std::numeric_limits<int64_t>::min() &&
-                      y.i == -1));
-            if (!fault) r = x.i % y.i;
-            break;
-        }
-        if (fault) {
-          TML_VM_FAULT(StringValue("integer arithmetic fault"));
-          break;
-        }
-        R[in.a] = Value::Int(r);
-        break;
-      }
-
-      case Op::kShl:
-      case Op::kShr:
-      case Op::kBitAnd:
-      case Op::kBitOr:
-      case Op::kBitXor: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (!x.is_int() || !y.is_int()) return TypeErr("bit operation");
-        uint64_t ux = static_cast<uint64_t>(x.i);
-        int64_t r = 0;
-        switch (in.op) {
-          case Op::kShl:
-            r = (y.i >= 0 && y.i < 64) ? static_cast<int64_t>(ux << y.i) : 0;
-            break;
-          case Op::kShr:
-            r = (y.i >= 0 && y.i < 64) ? static_cast<int64_t>(ux >> y.i) : 0;
-            break;
-          case Op::kBitAnd: r = x.i & y.i; break;
-          case Op::kBitOr: r = x.i | y.i; break;
-          default: r = x.i ^ y.i; break;
-        }
-        R[in.a] = Value::Int(r);
-        break;
-      }
-
-      case Op::kAddR:
-      case Op::kSubR:
-      case Op::kMulR:
-      case Op::kDivR: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (!x.is_real() || !y.is_real()) return TypeErr("real arithmetic");
-        if (in.op == Op::kDivR && y.r == 0.0) {
-          TML_VM_FAULT(StringValue("real division by zero"));
-          break;
-        }
-        double r = 0;
-        switch (in.op) {
-          case Op::kAddR: r = x.r + y.r; break;
-          case Op::kSubR: r = x.r - y.r; break;
-          case Op::kMulR: r = x.r * y.r; break;
-          default: r = x.r / y.r; break;
-        }
-        R[in.a] = Value::Real(r);
-        break;
-      }
-
-      case Op::kSqrt: {
-        const Value& x = R[in.b];
-        if (!x.is_real()) return TypeErr("sqrt");
-        if (x.r < 0) {
-          TML_VM_FAULT(StringValue("sqrt: negative"));
-          break;
-        }
-        R[in.a] = Value::Real(std::sqrt(x.r));
-        break;
-      }
-      case Op::kI2R:
-        if (!R[in.b].is_int()) return TypeErr("int2real");
-        R[in.a] = Value::Real(static_cast<double>(R[in.b].i));
-        break;
-      case Op::kR2I: {
-        if (!R[in.b].is_real()) return TypeErr("real2int");
-        double r = R[in.b].r;
-        if (!(r > -9.0e18 && r < 9.0e18)) {
-          TML_VM_FAULT(StringValue("real2int: out of range"));
-          break;
-        }
-        R[in.a] = Value::Int(static_cast<int64_t>(r));
-        break;
-      }
-      case Op::kC2I:
-        if (R[in.b].tag != Tag::kChar) return TypeErr("char2int");
-        R[in.a] = Value::Int(R[in.b].ch);
-        break;
-      case Op::kI2C:
-        if (!R[in.b].is_int()) return TypeErr("int2char");
-        R[in.a] = Value::Char(static_cast<uint8_t>(R[in.b].i & 0xFF));
-        break;
-      case Op::kAndB:
-      case Op::kOrB: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (x.tag != Tag::kBool || y.tag != Tag::kBool) {
-          return TypeErr("boolean operation");
-        }
-        R[in.a] = Value::Bool(in.op == Op::kAndB ? (x.b && y.b)
-                                                 : (x.b || y.b));
-        break;
-      }
-      case Op::kNotB:
-        if (R[in.b].tag != Tag::kBool) return TypeErr("not");
-        R[in.a] = Value::Bool(!R[in.b].b);
-        break;
-
-      case Op::kBrLtI:
-      case Op::kBrLeI: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (!x.is_int() || !y.is_int()) return TypeErr("integer comparison");
-        bool taken = in.op == Op::kBrLtI ? x.i < y.i : x.i <= y.i;
-        if (taken) f.pc = static_cast<uint32_t>(in.d);
-        break;
-      }
-      case Op::kBrLtR:
-      case Op::kBrLeR: {
-        const Value& x = R[in.b];
-        const Value& y = R[in.c];
-        if (!x.is_real() || !y.is_real()) return TypeErr("real comparison");
-        bool taken = in.op == Op::kBrLtR ? x.r < y.r : x.r <= y.r;
-        if (taken) f.pc = static_cast<uint32_t>(in.d);
-        break;
-      }
-      case Op::kBrEq:
-        if (ScalarEquals(R[in.b], R[in.c])) {
-          f.pc = static_cast<uint32_t>(in.d);
-        }
-        break;
-      case Op::kCaseEq:
-        if (ConstEquals(R[in.b], fn->pool[in.c])) {
-          f.pc = static_cast<uint32_t>(in.d);
-        }
-        break;
-      case Op::kJmp:
-        f.pc = static_cast<uint32_t>(in.d);
-        break;
-
-      case Op::kNewArray:
-      case Op::kNewVector: {
-        MaybeCollect();
-        Frame& fr = frames_.back();
-        ArrayObj* a = heap_.New<ArrayObj>();
-        a->immutable = (in.op == Op::kNewVector);
-        a->slots.assign(fr.regs.begin() + in.b,
-                        fr.regs.begin() + in.b + in.c);
-        fr.regs[in.a] = Value::ObjV(a);
-        break;
-      }
-      case Op::kNewArrN: {
-        const Value& n = R[in.b];
-        if (!n.is_int()) return TypeErr("mkarray");
-        if (n.i > (1ll << 32)) return TypeErr("mkarray: huge size");
-        if (n.i < 0) {
-          TML_VM_FAULT(StringValue("mkarray: negative size"));
-          break;
-        }
-        Value init = R[in.c];
-        MaybeCollect();
-        Frame& fr = frames_.back();
-        ArrayObj* a = heap_.New<ArrayObj>();
-        a->slots.assign(static_cast<size_t>(n.i), init);
-        fr.regs[in.a] = Value::ObjV(a);
-        break;
-      }
-      case Op::kNewBytes: {
-        const Value& n = R[in.b];
-        const Value& init = R[in.c];
-        if (!n.is_int() || !init.is_int()) return TypeErr("new");
-        if (n.i < 0 || n.i > (1ll << 32)) return TypeErr("new: bad size");
-        MaybeCollect();
-        Frame& fr = frames_.back();
-        BytesObj* b = heap_.New<BytesObj>();
-        b->bytes.assign(static_cast<size_t>(n.i),
-                        static_cast<uint8_t>(init.i & 0xFF));
-        fr.regs[in.a] = Value::ObjV(b);
-        break;
-      }
-      case Op::kALoad: {
-        // Polymorphic over arrays and byte arrays (see interp); OIDs of
-        // store relations swizzle on demand, so programs can scan
-        // persistent relations like arrays.
-        if (!R[in.c].is_int()) return TypeErr("[]");
-        int64_t i = R[in.c].i;
-        if (R[in.b].tag == Tag::kOid) {
-          TML_ASSIGN_OR_RETURN(Value rv, ResolveCallee(R[in.b]));
-          frames_.back().regs[in.b] = rv;
-        }
-        if (BytesObj* bo = As<BytesObj>(R[in.b])) {
-          if (i < 0 || static_cast<size_t>(i) >= bo->bytes.size()) {
-            TML_VM_FAULT(StringValue("[]: index out of range"));
-            break;
-          }
-          R[in.a] = Value::Int(bo->bytes[static_cast<size_t>(i)]);
-          break;
-        }
-        ArrayObj* a = As<ArrayObj>(R[in.b]);
-        if (a == nullptr) return TypeErr("[]");
-        if (i < 0 || static_cast<size_t>(i) >= a->slots.size()) {
-          TML_VM_FAULT(StringValue("[]: index out of range"));
-          break;
-        }
-        R[in.a] = a->slots[static_cast<size_t>(i)];
-        break;
-      }
-      case Op::kAStore: {
-        if (!R[in.b].is_int()) return TypeErr("[]:=");
-        int64_t i = R[in.b].i;
-        if (BytesObj* bo = As<BytesObj>(R[in.a])) {
-          if (!R[in.c].is_int()) return TypeErr("[]:= byte value");
-          if (i < 0 || static_cast<size_t>(i) >= bo->bytes.size()) {
-            TML_VM_FAULT(StringValue("[]:=: index out of range"));
-            break;
-          }
-          bo->bytes[static_cast<size_t>(i)] =
-              static_cast<uint8_t>(R[in.c].i & 0xFF);
-          break;
-        }
-        ArrayObj* a = As<ArrayObj>(R[in.a]);
-        if (a == nullptr) return TypeErr("[]:=");
-        if (a->immutable) {
-          TML_VM_FAULT(StringValue("[]:=: immutable vector"));
-          break;
-        }
-        if (i < 0 || static_cast<size_t>(i) >= a->slots.size()) {
-          TML_VM_FAULT(StringValue("[]:=: index out of range"));
-          break;
-        }
-        a->slots[static_cast<size_t>(i)] = R[in.c];
-        break;
-      }
-      case Op::kBLoad: {
-        BytesObj* b = As<BytesObj>(R[in.b]);
-        if (b == nullptr || !R[in.c].is_int()) return TypeErr("$[]");
-        int64_t i = R[in.c].i;
-        if (i < 0 || static_cast<size_t>(i) >= b->bytes.size()) {
-          TML_VM_FAULT(StringValue("$[]: index out of range"));
-          break;
-        }
-        R[in.a] = Value::Int(b->bytes[static_cast<size_t>(i)]);
-        break;
-      }
-      case Op::kBStore: {
-        BytesObj* b = As<BytesObj>(R[in.a]);
-        if (b == nullptr || !R[in.b].is_int() || !R[in.c].is_int()) {
-          return TypeErr("$[]:=");
-        }
-        int64_t i = R[in.b].i;
-        if (i < 0 || static_cast<size_t>(i) >= b->bytes.size()) {
-          TML_VM_FAULT(StringValue("$[]:=: index out of range"));
-          break;
-        }
-        b->bytes[static_cast<size_t>(i)] =
-            static_cast<uint8_t>(R[in.c].i & 0xFF);
-        break;
-      }
-      case Op::kSize: {
-        if (ArrayObj* a = As<ArrayObj>(R[in.b])) {
-          R[in.a] = Value::Int(static_cast<int64_t>(a->slots.size()));
-        } else if (BytesObj* b = As<BytesObj>(R[in.b])) {
-          R[in.a] = Value::Int(static_cast<int64_t>(b->bytes.size()));
-        } else if (R[in.b].tag == Tag::kOid) {
-          TML_ASSIGN_OR_RETURN(Value rv, ResolveCallee(R[in.b]));
-          ArrayObj* a = As<ArrayObj>(rv);
-          if (a == nullptr) return TypeErr("size of OID");
-          frames_.back().regs[in.a] =
-              Value::Int(static_cast<int64_t>(a->slots.size()));
-        } else {
-          return TypeErr("size");
-        }
-        break;
-      }
-      case Op::kMoveN:
-      case Op::kBMoveN: {
-        const Value* w = &R[in.a];
-        if (!w[1].is_int() || !w[3].is_int() || !w[4].is_int()) {
-          return TypeErr("move offsets");
-        }
-        int64_t doff = w[1].i, soff = w[3].i, n = w[4].i;
-        if (in.op == Op::kMoveN) {
-          ArrayObj* d = As<ArrayObj>(w[0]);
-          ArrayObj* s = As<ArrayObj>(w[2]);
-          if (d == nullptr || s == nullptr || d->immutable) {
-            return TypeErr("move");
-          }
-          if (n < 0 || doff < 0 || soff < 0 ||
-              static_cast<size_t>(doff + n) > d->slots.size() ||
-              static_cast<size_t>(soff + n) > s->slots.size()) {
-            return TypeErr("move bounds");
-          }
-          for (int64_t i = 0; i < n; ++i) {
-            d->slots[static_cast<size_t>(doff + i)] =
-                s->slots[static_cast<size_t>(soff + i)];
-          }
-        } else {
-          BytesObj* d = As<BytesObj>(w[0]);
-          BytesObj* s = As<BytesObj>(w[2]);
-          if (d == nullptr || s == nullptr) return TypeErr("$move");
-          if (n < 0 || doff < 0 || soff < 0 ||
-              static_cast<size_t>(doff + n) > d->bytes.size() ||
-              static_cast<size_t>(soff + n) > s->bytes.size()) {
-            return TypeErr("$move bounds");
-          }
-          std::memmove(d->bytes.data() + doff, s->bytes.data() + soff,
-                       static_cast<size_t>(n));
-        }
-        break;
-      }
-
-      case Op::kClosure: {
-        MaybeCollect();
-        Frame& fr = frames_.back();
-        ClosureObj* clo = heap_.New<ClosureObj>();
-        clo->fn = fn->subfns[static_cast<size_t>(in.d)];
-        clo->caps.resize(in.c);
-        fr.regs[in.a] = Value::ObjV(clo);
-        break;
-      }
-      case Op::kSetCap: {
-        ClosureObj* clo = As<ClosureObj>(R[in.a]);
-        if (clo == nullptr || in.b >= clo->caps.size()) {
-          return TypeErr("setcap");
-        }
-        clo->caps[in.b] = R[in.c];
-        break;
-      }
-      case Op::kGetCap: {
-        if (in.b >= f.clo->caps.size()) return TypeErr("getcap");
-        R[in.a] = f.clo->caps[in.b];
-        break;
-      }
-
-      case Op::kCall: {
-        Value callee = R[in.b];
-        std::vector<Value> args(R.begin() + in.c, R.begin() + in.c + in.d);
-        TML_RETURN_NOT_OK(PushFrame(callee, args, in.a, false));
-        break;
-      }
-      case Op::kTailCall: {
-        Value callee = R[in.b];
-        std::vector<Value> args(R.begin() + in.c, R.begin() + in.c + in.d);
-        size_t cur = frames_.size() - 1;
-        bool handler_here =
-            !handlers_.empty() && handlers_.back().frame_index >= cur;
-        if (handler_here) {
-          // A handler targets this frame: it must survive the callee, so
-          // demote to a call whose return value is propagated onward.
-          TML_RETURN_NOT_OK(PushFrame(callee, args, 0, true));
-        } else {
-          Frame popped = std::move(frames_.back());
-          frames_.pop_back();
-          FlushFrameProfile(popped);
-          Status st =
-              PushFrame(callee, args, popped.dst_reg, popped.ret_through);
-          if (!st.ok()) return st;
-        }
-        break;
-      }
-      case Op::kRet: {
-        Value v = R[in.a];
-        while (true) {
-          Frame popped = std::move(frames_.back());
-          frames_.pop_back();
-          FlushFrameProfile(popped);
-          size_t idx = frames_.size();
-          while (!handlers_.empty() &&
-                 handlers_.back().frame_index >= idx) {
-            handlers_.pop_back();
-          }
-          if (frames_.size() <= base) return v;  // normal completion
-          if (popped.ret_through) continue;
-          frames_.back().regs[popped.dst_reg] = v;
-          break;
-        }
-        break;
-      }
-
-      case Op::kRaise: {
-        ++raises_;
-        Value exn = R[in.a];
-        Value escaped;
-        if (!Unwind(exn, base, &escaped)) {
-          *raised = true;
-          return escaped;
-        }
-        break;
-      }
-      case Op::kPushH:
-        handlers_.push_back(
-            Handler{frames_.size() - 1, in.d});
-        break;
-      case Op::kPopH:
-        if (handlers_.empty()) return TypeErr("popHandler on empty stack");
-        handlers_.pop_back();
-        break;
-
-      case Op::kCCall: {
-        const Constant& name = fn->pool[in.c];
-        auto it = hosts_.find(name.s);
-        if (it == hosts_.end()) {
-          return Status::RuntimeError("vm: unknown host function " + name.s);
-        }
-        std::vector<Value> args(R.begin() + in.b, R.begin() + in.b + in.d);
-        TML_ASSIGN_OR_RETURN(Value v, it->second(this, args));
-        frames_.back().regs[in.a] = v;
-        break;
-      }
-
-      case Op::kSelect:
-      case Op::kProject:
-      case Op::kExists: {
-        Value pred = R[in.b];
-        TML_ASSIGN_OR_RETURN(Value relv, ResolveCallee(R[in.c]));
-        ArrayObj* rel = As<ArrayObj>(relv);
-        if (rel == nullptr) return TypeErr("query relation");
-        MaybeCollect();
-        ArrayObj* out = nullptr;
-        if (in.op != Op::kExists) {
-          out = heap_.New<ArrayObj>();
-          out->immutable = true;
-          pins_.push_back(Value::ObjV(out));
-        }
-        pins_.push_back(relv);
-        pins_.push_back(pred);
-        bool exists = false;
-        Status st = Status::OK();
-        Value pred_exn;
-        bool pred_raised = false;
-        for (const Value& tuple : rel->slots) {
-          Value targ[1] = {tuple};
-          auto r = CallSync(pred, targ);
-          if (!r.ok()) {
-            st = r.status();
-            break;
-          }
-          if (r->raised) {
-            pred_raised = true;
-            pred_exn = r->value;
-            break;
-          }
-          if (in.op == Op::kProject) {
-            out->slots.push_back(r->value);
-          } else {
-            if (r->value.tag != Tag::kBool) {
-              st = TypeErr("query predicate must return a boolean");
-              break;
-            }
-            if (r->value.b) {
-              if (in.op == Op::kExists) {
-                exists = true;
-                break;
-              }
-              out->slots.push_back(tuple);
-            }
-          }
-        }
-        pins_.pop_back();
-        pins_.pop_back();
-        if (out != nullptr) pins_.pop_back();
-        if (!st.ok()) return st;
-        if (pred_raised) {
-          TML_VM_FAULT(pred_exn);
-          break;
-        }
-        frames_.back().regs[in.a] = in.op == Op::kExists
-                                        ? Value::Bool(exists)
-                                        : Value::ObjV(out);
-        break;
-      }
-
-      case Op::kJoin: {
-        Value pred = R[in.b];
-        TML_ASSIGN_OR_RETURN(Value r1v, ResolveCallee(R[in.c]));
-        TML_ASSIGN_OR_RETURN(Value r2v, ResolveCallee(R[in.c + 1]));
-        ArrayObj* r1 = As<ArrayObj>(r1v);
-        ArrayObj* r2 = As<ArrayObj>(r2v);
-        if (r1 == nullptr || r2 == nullptr) return TypeErr("join relations");
-        MaybeCollect();
-        ArrayObj* out = heap_.New<ArrayObj>();
-        out->immutable = true;
-        pins_.push_back(Value::ObjV(out));
-        pins_.push_back(r1v);
-        pins_.push_back(r2v);
-        pins_.push_back(pred);
-        Status st = Status::OK();
-        Value pred_exn;
-        bool pred_raised = false;
-        for (const Value& t1 : r1->slots) {
-          for (const Value& t2 : r2->slots) {
-            Value targ[2] = {t1, t2};
-            auto r = CallSync(pred, targ);
-            if (!r.ok()) {
-              st = r.status();
-              break;
-            }
-            if (r->raised) {
-              pred_raised = true;
-              pred_exn = r->value;
-              break;
-            }
-            if (r->value.tag != Tag::kBool) {
-              st = TypeErr("join predicate must return a boolean");
-              break;
-            }
-            if (r->value.b) {
-              ArrayObj* joined = heap_.New<ArrayObj>();
-              joined->immutable = true;
-              ArrayObj* a1 = As<ArrayObj>(t1);
-              ArrayObj* a2 = As<ArrayObj>(t2);
-              if (a1 == nullptr || a2 == nullptr) {
-                st = TypeErr("join tuples must be arrays");
-                break;
-              }
-              joined->slots = a1->slots;
-              joined->slots.insert(joined->slots.end(), a2->slots.begin(),
-                                   a2->slots.end());
-              out->slots.push_back(Value::ObjV(joined));
-            }
-          }
-          if (!st.ok() || pred_raised) break;
-        }
-        pins_.resize(pins_.size() - 4);
-        if (!st.ok()) return st;
-        if (pred_raised) {
-          TML_VM_FAULT(pred_exn);
-          break;
-        }
-        frames_.back().regs[in.a] = Value::ObjV(out);
-        break;
-      }
-
-      case Op::kEmpty:
-      case Op::kCount: {
-        TML_ASSIGN_OR_RETURN(Value relv, ResolveCallee(R[in.b]));
-        ArrayObj* rel = As<ArrayObj>(relv);
-        if (rel == nullptr) return TypeErr("relation cardinality");
-        frames_.back().regs[in.a] =
-            in.op == Op::kEmpty
-                ? Value::Bool(rel->slots.empty())
-                : Value::Int(static_cast<int64_t>(rel->slots.size()));
-        break;
-      }
-    }
-  }
+bool ThreadedDispatchAvailable() {
+#if TML_VM_HAVE_THREADED
+  return true;
+#else
+  return false;
+#endif
 }
 
-#undef TML_VM_FAULT
+const char* DispatchModeName(DispatchMode mode) {
+  switch (mode) {
+    case DispatchMode::kAuto:
+      return "auto";
+    case DispatchMode::kSwitch:
+      return "switch";
+    case DispatchMode::kThreaded:
+      return "threaded";
+  }
+  return "?";
+}
+
+DispatchMode ResolveDispatchMode(DispatchMode requested) {
+  if (requested == DispatchMode::kAuto) {
+    if (const char* env = std::getenv("TML_VM_DISPATCH")) {
+      if (std::strcmp(env, "switch") == 0) return DispatchMode::kSwitch;
+      if (std::strcmp(env, "threaded") == 0) requested = DispatchMode::kThreaded;
+    }
+  }
+  if (requested == DispatchMode::kAuto) {
+    requested = ThreadedDispatchAvailable() ? DispatchMode::kThreaded
+                                            : DispatchMode::kSwitch;
+  }
+  if (requested == DispatchMode::kThreaded && !ThreadedDispatchAvailable()) {
+    return DispatchMode::kSwitch;
+  }
+  return requested;
+}
+
+Status VM::StepLimitStatus() const {
+  // The loop compares against min(max_steps, budget deadline); disambiguate
+  // here, lifetime cap first to match the historical check ordering.
+  if (total_steps_ > opts_.max_steps) {
+    return Status::RuntimeError("vm: step limit exceeded");
+  }
+  return Status::OutOfRange("vm: step budget exceeded (budget=" +
+                            std::to_string(opts_.step_budget) + ")");
+}
+
+Result<Value> VM::Execute(size_t base, bool* raised) {
+#if TML_VM_HAVE_THREADED
+  if (dispatch_ == DispatchMode::kThreaded) {
+    return ExecuteThreaded(base, raised);
+  }
+#endif
+  return ExecuteSwitch(base, raised);
+}
+
+// Both interpreter loops compile from the same handler bodies; see
+// interp_loop.inc for the dispatch-mode contract.
+
+Result<Value> VM::ExecuteSwitch(size_t base, bool* raised) {
+#define TML_VM_LOOP_THREADED 0
+#include "vm/interp_loop.inc"
+#undef TML_VM_LOOP_THREADED
+}
+
+#if TML_VM_HAVE_THREADED
+Result<Value> VM::ExecuteThreaded(size_t base, bool* raised) {
+#define TML_VM_LOOP_THREADED 1
+#include "vm/interp_loop.inc"
+#undef TML_VM_LOOP_THREADED
+}
+#endif
 
 }  // namespace tml::vm

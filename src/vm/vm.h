@@ -44,6 +44,24 @@ class RuntimeEnv {
 using HostFn =
     std::function<Result<Value>(VM* vm, std::span<const Value> args)>;
 
+/// Interpreter dispatch strategy.  The handler bodies are identical (one
+/// shared interp_loop.inc compiled twice); only the dispatch mechanism
+/// differs, so both modes are always present in a binary that compiled the
+/// threaded loop and differential tests can compare them in-process.
+enum class DispatchMode : uint8_t {
+  kAuto,      ///< TML_VM_DISPATCH env override, else threaded if available
+  kSwitch,    ///< portable switch dispatch (the configure-time fallback)
+  kThreaded,  ///< computed-goto threaded dispatch (GCC/Clang &&labels)
+};
+
+/// True when this binary was built with the computed-goto loop
+/// (-DTML_VM_THREADED_DISPATCH, default ON for GNU/Clang).
+bool ThreadedDispatchAvailable();
+/// Resolve kAuto (TML_VM_DISPATCH=switch|threaded env override, else the
+/// compile-time default) and downgrade kThreaded when unavailable.
+DispatchMode ResolveDispatchMode(DispatchMode requested);
+const char* DispatchModeName(DispatchMode mode);
+
 struct VMOptions {
   uint64_t max_steps = 4'000'000'000ull;
   /// Per-run step budget: each *outermost* Run/RunClosure/CallSync may
@@ -71,7 +89,11 @@ struct VMOptions {
   /// atomic stores per instruction, so a sampling profiler thread can
   /// snapshot "what is this VM doing right now" without locking the call
   /// path (see VM::exec_status; the adaptive VmSampler feeds on it).
+  /// Fused superinstructions publish once per dispatch with the fused
+  /// opcode — that is how the sampler reports the fused tier.
   bool exec_status = true;
+  /// Interpreter loop selection; resolved once at VM construction.
+  DispatchMode dispatch = DispatchMode::kAuto;
 };
 
 struct RunResult {
@@ -170,6 +192,9 @@ class VM {
     return s;
   }
 
+  /// The dispatch mode this VM actually runs (kAuto already resolved).
+  DispatchMode dispatch_mode() const { return dispatch_; }
+
  private:
   struct Frame {
     const ClosureObj* clo = nullptr;
@@ -187,11 +212,32 @@ class VM {
 
   Status PushFrame(Value callee, std::span<const Value> args,
                    uint16_t dst_reg, bool ret_through);
+  /// Return a dead frame's register storage to frame_pool_ so the next
+  /// PushFrame reuses its capacity instead of allocating.  Stale register
+  /// Values (possibly dangling after a GC) stay in the buffer; PushFrame
+  /// overwrites every slot before the frame becomes live again, and the
+  /// pool is never scanned by the collector.
+  void RecycleFrame(Frame&& fr) {
+    if (frame_pool_.size() >= kFramePoolCap) return;
+    fr.clo = nullptr;
+    fr.prof = nullptr;
+    fr.local_steps = 0;
+    frame_pool_.push_back(std::move(fr));
+  }
   Result<Value> ResolveCallee(Value callee);
 
   /// Run until the frame stack drops back to `base`; out-params tell raise
-  /// from return.
+  /// from return.  Dispatches to the loop selected at construction; both
+  /// loops compile from the shared interp_loop.inc handler bodies.
   Result<Value> Execute(size_t base, bool* raised);
+  Result<Value> ExecuteSwitch(size_t base, bool* raised);
+  /// Defined only when the binary carries the computed-goto loop
+  /// (ThreadedDispatchAvailable()); never referenced otherwise.
+  Result<Value> ExecuteThreaded(size_t base, bool* raised);
+  /// Disambiguate the merged per-step deadline: lifetime max_steps
+  /// (RuntimeError, checked first to match historical ordering) vs the
+  /// per-run step budget (OutOfRange).
+  Status StepLimitStatus() const;
 
   /// Route a fault: local fail-info, else unwind (bounded by `base`).
   /// Returns false when the fault escapes the run boundary.
@@ -232,8 +278,13 @@ class VM {
 
   RuntimeEnv* env_;
   VMOptions opts_;
+  /// opts_.dispatch with kAuto resolved (env override + build default).
+  DispatchMode dispatch_ = DispatchMode::kSwitch;
   Heap heap_;
   std::vector<Frame> frames_;
+  /// Recycled frames (dead regs vectors kept for their capacity).
+  static constexpr size_t kFramePoolCap = 64;
+  std::vector<Frame> frame_pool_;
   std::vector<Handler> handlers_;
   std::vector<Value> pins_;
   std::unordered_map<std::string, HostFn> hosts_;

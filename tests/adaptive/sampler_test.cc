@@ -124,21 +124,65 @@ TEST(SamplerProfile, ClassifiesOptimizedTier) {
 
   VmSampler sampler(&u);
   bool saw_optimized = false;
+  VmSampler::Tier seen_tier = VmSampler::Tier::kInterpreted;
   {
     Spinner load(&u, *opt, /*depth=*/20000);
     auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
     while (std::chrono::steady_clock::now() < deadline) {
       sampler.SampleOnce();
       for (const auto& row : sampler.Snapshot().hot) {
-        if (row.optimized && row.samples > 0) saw_optimized = true;
+        if (row.optimized && row.samples > 0) {
+          saw_optimized = true;
+          seen_tier = row.tier;
+        }
       }
       if (saw_optimized) break;
       std::this_thread::sleep_for(std::chrono::microseconds(200));
     }
   }
   EXPECT_TRUE(saw_optimized);
+  // The compat bool covers both upper rungs of the tier ladder.
+  EXPECT_NE(seen_tier, VmSampler::Tier::kInterpreted);
   std::string json = sampler.Snapshot().ToJson();
-  EXPECT_NE(json.find("\"optimized\""), std::string::npos) << json;
+  std::string label = std::string("\"") + VmSampler::TierName(seen_tier) + "\"";
+  EXPECT_NE(json.find(label), std::string::npos) << json;
+}
+
+TEST(SamplerProfile, ClassifiesFusedTier) {
+  // Default optimizer options fuse superinstructions, so the optimized
+  // spin closure should classify as the top "fused" tier — provided the
+  // fusion pass found a pattern, which the recursive spin body does hit.
+  auto store = MemStore();
+  Universe u(store.get());
+  ASSERT_OK(u.InstallStdlib());
+  ASSERT_OK(u.InstallSource("m", kSpinSrc, fe::BindingMode::kLibrary));
+  Oid spin = *u.Lookup("m", "spin");
+  rt::ReflectStats stats;
+  auto opt = u.ReflectOptimize(spin, {}, &stats);
+  ASSERT_TRUE(opt.ok()) << opt.status().ToString();
+  if (stats.superinstructions_fused == 0) {
+    GTEST_SKIP() << "no fusible pattern in optimized spin";
+  }
+
+  VmSampler sampler(&u);
+  bool saw_fused = false;
+  {
+    Spinner load(&u, *opt, /*depth=*/20000);
+    auto deadline = std::chrono::steady_clock::now() + std::chrono::seconds(20);
+    while (std::chrono::steady_clock::now() < deadline) {
+      sampler.SampleOnce();
+      for (const auto& row : sampler.Snapshot().hot) {
+        if (row.tier == VmSampler::Tier::kFused && row.samples > 0) {
+          saw_fused = true;
+        }
+      }
+      if (saw_fused) break;
+      std::this_thread::sleep_for(std::chrono::microseconds(200));
+    }
+  }
+  EXPECT_TRUE(saw_fused);
+  std::string json = sampler.Snapshot().ToJson();
+  EXPECT_NE(json.find("\"fused\""), std::string::npos) << json;
 }
 
 TEST(SamplerProfile, EnableSamplerWiresProfileProvider) {

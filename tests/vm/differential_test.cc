@@ -14,9 +14,10 @@
 #include "core/rewrite.h"
 #include "core/validate.h"
 #include "interp/interp.h"
+#include "tests/test_util.h"
+#include "tests/vm/corpus.h"
 #include "vm/codegen.h"
 #include "vm/vm.h"
-#include "tests/test_util.h"
 
 namespace tml {
 namespace {
@@ -24,6 +25,8 @@ namespace {
 using ir::Abstraction;
 using ir::Module;
 using test::MustParseProgram;
+
+using Corpus = test::CorpusProgram;
 
 struct Observed {
   std::string value;
@@ -54,130 +57,6 @@ Observed ObserveVm(const Module& m, const Abstraction* prog, int64_t arg) {
   return {vm::ToString(res->value), res->raised, vm.TakeOutput()};
 }
 
-struct Corpus {
-  const char* name;
-  const char* text;  // a proc taking one integer argument
-  std::vector<int64_t> args;
-};
-
-const Corpus kCorpus[] = {
-    {"identity", "(proc (x ce cc) (cc x))", {0, -3, 99}},
-    {"arith",
-     "(proc (x ce cc)"
-     " (* x 6 ce (cont (t) (+ t 2 ce (cont (u) (% u 7 ce cc))))))",
-     {0, 1, 7, 100, -13}},
-    {"branch",
-     "(proc (x ce cc)"
-     " (< x 10 (cont () (cc 1)) (cont () (cc 2))))",
-     {9, 10, 11}},
-    {"div_fault_caught",
-     "(proc (x ce cc) (/ 100 x (cont (e) (cc -1)) cc))",
-     {0, 1, 7}},
-    {"div_fault_uncaught", "(proc (x ce cc) (/ 100 x ce cc))", {0, 5}},
-    {"loop_sum",
-     "(proc (n ce cc)"
-     " (Y (proc (/ c0 for c)"
-     "      (c (cont () (for 1 0))"
-     "         (cont (i acc)"
-     "           (> i n"
-     "              (cont () (cc acc))"
-     "              (cont ()"
-     "                (+ acc i ce (cont (a2)"
-     "                  (+ i 1 ce (cont (t2) (for t2 a2))))))))))))",
-     {0, 1, 10, 50}},
-    {"recursion_factorial",
-     "(proc (n ce cc)"
-     " (Y (proc (^c0 fact ^c)"
-     "      (c (cont () (fact n ce cc))"
-     "         (proc (i ce1 cc1)"
-     "           (<= i 1 (cont () (cc1 1))"
-     "                   (cont ()"
-     "                     (- i 1 ce1 (cont (t)"
-     "                       (fact t ce1 (cont (r)"
-     "                         (* i r ce1 cc1))))))))))))",
-     {0, 1, 5, 12}},
-    {"mutual_even_odd",
-     "(proc (n ce cc)"
-     " (Y (proc (^c0 even odd ^c)"
-     "      (c (cont () (even n ce cc))"
-     "         (proc (i ce1 cc1)"
-     "           (== i 0 (cont () (cc1 true))"
-     "                   (cont () (- i 1 ce1 (cont (t) (odd t ce1 cc1))))))"
-     "         (proc (i ce2 cc2)"
-     "           (== i 0 (cont () (cc2 false))"
-     "                   (cont () (- i 1 ce2 (cont (t) (even t ce2 cc2))))))))))",
-     {0, 1, 9, 10}},
-    {"arrays",
-     "(proc (n ce cc)"
-     " (array 0 0 0 0 (cont (a)"
-     "  ([]:= a 1 n ce (cont (g1)"
-     "   ([] a 1 ce (cont (v)"
-     "    (size a (cont (s)"
-     "     (+ v s ce cc))))))))))",
-     {5, -5}},
-    {"array_bounds_fault",
-     "(proc (n ce cc)"
-     " (array 1 2 (cont (a)"
-     "  ([] a n (cont (e) (cc -1)) cc))))",
-     {0, 1, 2, -1}},
-    {"bytes",
-     "(proc (n ce cc)"
-     " (new 8 0 (cont (b)"
-     "  ($[]:= b 3 n ce (cont (g)"
-     "   ($[] b 3 ce cc))))))",
-     {0, 255, 256}},
-    {"case_dispatch",
-     "(proc (v ce cc)"
-     " (== v 1 2 3"
-     "     (cont () (cc 10)) (cont () (cc 20)) (cont () (cc 30))"
-     "     (cont () (cc -1))))",
-     {1, 2, 3, 4}},
-    {"handlers",
-     "(proc (x ce cc)"
-     " (pushHandler (cont (e) (+ e 1000 ce cc))"
-     "  (cont ()"
-     "   (== x 0 (cont () (raise 5))"
-     "           (cont () (popHandler (cont () (cc x))))))))",
-     {0, 3}},
-    {"exceptions_across_calls",
-     "(proc (x ce cc)"
-     " ((lambda (f)"
-     "    (pushHandler (cont (e) (cc e))"
-     "     (cont () (f x ce (cont (t) (cc t))))))"
-     "  (proc (a ce2 cc2)"
-     "    (== a 0 (cont () (raise 42))"
-     "            (cont () (* a 2 ce2 cc2))))))",
-     {0, 4}},
-    {"higher_order",
-     "(proc (x ce cc)"
-     " ((lambda (twice f)"
-     "    (twice f x ce cc))"
-     "  (proc (g a ce1 cc1) (g a ce1 (cont (t) (g t ce1 cc1))))"
-     "  (proc (a ce2 cc2) (* a 3 ce2 cc2))))",
-     {1, 7}},
-    {"shadowed_copy_prop",
-     "(proc (x ce cc)"
-     " ((lambda (a) ((lambda (b) ((lambda (d) (+ a d ce cc)) b)) a)) x))",
-     {3, -9}},
-    {"overflow_caught",
-     "(proc (x ce cc)"
-     " (+ x 9223372036854775807 (cont (e) (cc -1)) cc))",
-     {0, 1, -1}},
-    {"bitops",
-     "(proc (x ce cc)"
-     " (<< x 3 (cont (a)"
-     "  (>> a 1 (cont (b)"
-     "   (& b 255 (cont (andv)"
-     "    (| andv 16 (cont (orv)"
-     "     (^ orv 3 cc))))))))))",
-     {0, 5, 1023}},
-    {"print_effect",
-     "(proc (x ce cc)"
-     " (ccall \"print\" x ce (cont (g)"
-     "  (+ x 1 ce (cont (y)"
-     "   (ccall \"print\" y ce (cont (g2) (cc y))))))))",
-     {7}},
-};
 
 class DifferentialTest : public ::testing::TestWithParam<Corpus> {};
 
@@ -224,7 +103,7 @@ TEST_P(DifferentialTest, InterpAndVmAgreeAtEveryOptLevel) {
 }
 
 INSTANTIATE_TEST_SUITE_P(
-    Corpus, DifferentialTest, ::testing::ValuesIn(kCorpus),
+    Corpus, DifferentialTest, ::testing::ValuesIn(test::kDifferentialCorpus),
     [](const ::testing::TestParamInfo<Corpus>& info) {
       return info.param.name;
     });

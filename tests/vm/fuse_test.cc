@@ -1,0 +1,263 @@
+// Superinstruction fusion (vm/fuse.h): pattern application and metadata,
+// execution equivalence of fused vs unfused code — including jumps into
+// the middle of a fused sequence, faults escaping from a non-final part,
+// step-budget exhaustion between parts and a fused head as the last
+// instruction — plus serialization of fused code records.
+
+#include <cstdint>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+#include "vm/code.h"
+#include "vm/fuse.h"
+#include "vm/vm.h"
+
+namespace tml {
+namespace {
+
+using vm::Constant;
+using vm::Function;
+using vm::Instr;
+using vm::Op;
+using vm::Value;
+
+Instr MakeInstr(Op op, uint16_t a = 0, uint16_t b = 0, uint16_t c = 0,
+                int32_t d = 0) {
+  Instr in;
+  in.op = op;
+  in.a = a;
+  in.b = b;
+  in.c = c;
+  in.d = d;
+  return in;
+}
+
+/// r1 = pool[0]; r2 = r1; ret r2 — the kLoadK+kMove prefix is a fused pair.
+Function PairFn() {
+  Function fn;
+  fn.name = "pair";
+  fn.num_params = 1;
+  fn.num_regs = 3;
+  fn.pool.push_back(Constant::Int(5));
+  fn.code.push_back(MakeInstr(Op::kLoadK, 1, 0, 0, 0));
+  fn.code.push_back(MakeInstr(Op::kMove, 2, 1));
+  fn.code.push_back(MakeInstr(Op::kRet, 2));
+  return fn;
+}
+
+struct RunObs {
+  bool ok = false;
+  std::string error;
+  std::string value;
+  bool raised = false;
+  uint64_t steps = 0;
+};
+
+RunObs RunFn(const Function* fn, int64_t arg, uint64_t step_budget = 0) {
+  vm::VMOptions opts;
+  opts.step_budget = step_budget;
+  vm::VM vm(nullptr, opts);
+  Value args[] = {Value::Int(arg)};
+  auto r = vm.Run(fn, args);
+  RunObs obs;
+  if (!r.ok()) {
+    obs.error = r.status().ToString();
+    return obs;
+  }
+  obs.ok = true;
+  obs.value = vm::ToString(r->value);
+  obs.raised = r->raised;
+  obs.steps = r->steps;
+  return obs;
+}
+
+void ExpectSameRun(const Function* unfused, const Function* fused,
+                   int64_t arg, uint64_t step_budget = 0) {
+  RunObs u = RunFn(unfused, arg, step_budget);
+  RunObs f = RunFn(fused, arg, step_budget);
+  EXPECT_EQ(u.ok, f.ok) << u.error << " vs " << f.error;
+  EXPECT_EQ(u.error, f.error);
+  EXPECT_EQ(u.value, f.value);
+  EXPECT_EQ(u.raised, f.raised);
+  EXPECT_EQ(u.steps, f.steps);
+}
+
+TEST(FuseTest, FusesPairAndIsIdempotent) {
+  Function fn = PairFn();
+  EXPECT_FALSE(vm::ContainsFusedOps(fn));
+  vm::FuseStats st = vm::FuseSuperinstructions(&fn);
+  EXPECT_EQ(st.pairs_fused, 1u);
+  EXPECT_EQ(st.triples_fused, 0u);
+  EXPECT_EQ(st.functions_touched, 1u);
+  EXPECT_EQ(fn.code[0].op, Op::kFuseLoadKMove);
+  // The trailing slot keeps its original instruction.
+  EXPECT_EQ(fn.code[1].op, Op::kMove);
+  EXPECT_TRUE(vm::ContainsFusedOps(fn));
+
+  // Re-running the pass never re-fuses through a superinstruction.
+  vm::FuseStats again = vm::FuseSuperinstructions(&fn);
+  EXPECT_EQ(again.pairs_fused + again.triples_fused, 0u);
+  EXPECT_EQ(fn.code[0].op, Op::kFuseLoadKMove);
+}
+
+TEST(FuseTest, TriplesWinOverPairs) {
+  // kLoadK+kAddI+kJmp matches both the triple and the kLoadK+kAddI pair;
+  // the longer pattern must win.
+  Function fn;
+  fn.name = "triple";
+  fn.num_params = 1;
+  fn.num_regs = 3;
+  fn.pool.push_back(Constant::Int(1));
+  fn.code.push_back(MakeInstr(Op::kLoadK, 1, 0, 0, 0));
+  fn.code.push_back(MakeInstr(Op::kAddI, 2, 0, 1));
+  fn.code.push_back(MakeInstr(Op::kJmp, 0, 0, 0, 3));
+  fn.code.push_back(MakeInstr(Op::kRet, 2));
+  vm::FuseStats st = vm::FuseSuperinstructions(&fn);
+  EXPECT_EQ(st.triples_fused, 1u);
+  EXPECT_EQ(fn.code[0].op, Op::kFuseLoadKAddIJmp);
+  EXPECT_EQ(fn.code[1].op, Op::kAddI);
+  EXPECT_EQ(fn.code[2].op, Op::kJmp);
+
+  Function plain;
+  plain.name = "triple";
+  plain.num_params = 1;
+  plain.num_regs = 3;
+  plain.pool.push_back(Constant::Int(1));
+  plain.code.push_back(MakeInstr(Op::kLoadK, 1, 0, 0, 0));
+  plain.code.push_back(MakeInstr(Op::kAddI, 2, 0, 1));
+  plain.code.push_back(MakeInstr(Op::kJmp, 0, 0, 0, 3));
+  plain.code.push_back(MakeInstr(Op::kRet, 2));
+  for (int64_t arg : {0, 7, -20}) ExpectSameRun(&plain, &fn, arg);
+}
+
+TEST(FuseTest, OpMetadataTables) {
+  EXPECT_EQ(vm::OpWidth(Op::kLoadK), 1);
+  EXPECT_EQ(vm::OpWidth(Op::kFuseLoadKMove), 2);
+  EXPECT_EQ(vm::OpWidth(Op::kFuseLoadKAddIJmp), 3);
+  EXPECT_TRUE(vm::IsFusedOp(Op::kFuseLoadKMove));
+  EXPECT_FALSE(vm::IsFusedOp(Op::kRet));
+  // A fused op keeps its first constituent's operand shape: the fused
+  // slot keeps that instruction's operands.
+  EXPECT_STREQ(vm::OpShape(Op::kFuseLoadKMove), vm::OpShape(Op::kLoadK));
+  EXPECT_STREQ(vm::OpName(Op::kFuseLoadKMove), "loadk+move");
+}
+
+TEST(FuseTest, RunMatchesUnfused) {
+  Function plain = PairFn();
+  Function fused = PairFn();
+  vm::FuseSuperinstructions(&fused);
+  for (int64_t arg : {0, 42}) ExpectSameRun(&plain, &fused, arg);
+  RunObs r = RunFn(&fused, 0);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, "5");
+  EXPECT_EQ(r.steps, 3u);  // fused execution still charges one step/slot
+}
+
+TEST(FuseTest, JumpIntoMiddleOfFusedSequenceIsValid) {
+  // 0: jmp 2 / 1: loadk r1 / 2: move r2<-r0 / 3: ret r2.  Slots 1-2 fuse
+  // into loadk+move; the jump lands on the *trailing* slot, which must
+  // still execute as a plain kMove.
+  auto build = [] {
+    Function fn;
+    fn.name = "midjump";
+    fn.num_params = 1;
+    fn.num_regs = 3;
+    fn.pool.push_back(Constant::Int(7));
+    fn.code.push_back(MakeInstr(Op::kJmp, 0, 0, 0, 2));
+    fn.code.push_back(MakeInstr(Op::kLoadK, 1, 0, 0, 0));
+    fn.code.push_back(MakeInstr(Op::kMove, 2, 0));
+    fn.code.push_back(MakeInstr(Op::kRet, 2));
+    return fn;
+  };
+  Function plain = build();
+  Function fused = build();
+  vm::FuseStats st = vm::FuseSuperinstructions(&fused);
+  ASSERT_EQ(st.pairs_fused, 1u);
+  ASSERT_EQ(fused.code[1].op, Op::kFuseLoadKMove);
+  ASSERT_EQ(fused.code[2].op, Op::kMove);
+  for (int64_t arg : {11, -4}) ExpectSameRun(&plain, &fused, arg);
+  RunObs r = RunFn(&fused, 11);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_EQ(r.value, "11");  // the jump skipped the loadk half entirely
+}
+
+TEST(FuseTest, FaultInFirstPartSkipsSecondPart) {
+  // addi overflows on INT64_MAX + INT64_MAX; the second part is a jump
+  // back to 0, so if the fused handler failed to escape after the fault
+  // the test would spin forever (bounded by the step budget).
+  auto build = [] {
+    Function fn;
+    fn.name = "faulty";
+    fn.num_params = 1;
+    fn.num_regs = 2;
+    fn.code.push_back(MakeInstr(Op::kAddI, 1, 0, 0));
+    fn.code.push_back(MakeInstr(Op::kJmp, 0, 0, 0, 2));
+    fn.code.push_back(MakeInstr(Op::kRet, 1));
+    return fn;
+  };
+  Function plain = build();
+  Function fused = build();
+  vm::FuseStats st = vm::FuseSuperinstructions(&fused);
+  ASSERT_EQ(st.pairs_fused, 1u);
+  ASSERT_EQ(fused.code[0].op, Op::kFuseAddIJmp);
+
+  constexpr int64_t kMax = INT64_MAX;
+  ExpectSameRun(&plain, &fused, kMax, /*step_budget=*/1000);
+  RunObs r = RunFn(&fused, kMax, /*step_budget=*/1000);
+  ASSERT_TRUE(r.ok) << r.error;
+  EXPECT_TRUE(r.raised);            // overflow fault escaped as a raise
+  EXPECT_EQ(r.steps, 1u);           // part B was never charged or run
+  // The non-faulting path still runs both parts.
+  ExpectSameRun(&plain, &fused, 3, /*step_budget=*/1000);
+}
+
+TEST(FuseTest, StepBudgetExhaustsBetweenParts) {
+  // Budget of 1: the unfused program dies fetching its second
+  // instruction; the fused program must die at the equivalent point — in
+  // VM_FUSED_ARG between the two parts — with the same status.
+  Function plain = PairFn();
+  Function fused = PairFn();
+  vm::FuseSuperinstructions(&fused);
+  ExpectSameRun(&plain, &fused, 0, /*step_budget=*/1);
+  RunObs r = RunFn(&fused, 0, /*step_budget=*/1);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("step budget"), std::string::npos) << r.error;
+}
+
+TEST(FuseTest, FusedHeadAsLastInstructionReportsPcPastEnd) {
+  // A fused head whose trailing slot would lie past the end of the code
+  // vector must fail exactly like the unfused program running off the
+  // end.  The fusion pass never creates this (it bounds-checks), so the
+  // fused opcode is planted by hand.
+  Function plain;
+  plain.name = "tail";
+  plain.num_params = 1;
+  plain.num_regs = 2;
+  plain.pool.push_back(Constant::Int(5));
+  plain.code.push_back(MakeInstr(Op::kLoadK, 1, 0, 0, 0));
+  Function fused = plain;
+  fused.code[0].op = Op::kFuseLoadKMove;
+  ExpectSameRun(&plain, &fused, 0);
+  RunObs r = RunFn(&fused, 0);
+  EXPECT_FALSE(r.ok);
+  EXPECT_NE(r.error.find("pc past end"), std::string::npos) << r.error;
+}
+
+TEST(FuseTest, SerializationRoundtripsFusedCode) {
+  Function fused = PairFn();
+  vm::FuseSuperinstructions(&fused);
+  std::string bytes = vm::SerializeFunction(fused);
+  vm::CodeUnit unit;
+  auto back = vm::DeserializeFunction(&unit, bytes);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ((*back)->code.size(), fused.code.size());
+  EXPECT_EQ((*back)->code[0].op, Op::kFuseLoadKMove);
+  EXPECT_EQ((*back)->code[1].op, Op::kMove);
+  Function plain = PairFn();
+  ExpectSameRun(&plain, *back, 9);
+}
+
+}  // namespace
+}  // namespace tml

@@ -87,6 +87,12 @@ case "$mode" in
     # value.  tsan.supp silences the benign libstdc++ _Sp_atomic report
     # (see the file for the analysis).
     export TSAN_OPTIONS="suppressions=$PWD/tools/tsan.supp${TSAN_OPTIONS:+ $TSAN_OPTIONS}"
+    # Race the concurrency suites against the computed-goto loop: the
+    # threaded dispatcher shares the exec-status seam and the published
+    # binding snapshot with the sampler/adaptive threads, so it must be
+    # the loop under test whenever the binary carries it (VMs silently
+    # fall back to the switch loop when it doesn't).
+    export TML_VM_DISPATCH=threaded
     cd "$build_dir" && ctest --output-on-failure -j "$(nproc)" \
       -R 'Adaptive|Profile|Swizzle|Runtime|Vm|Telemetry|Concurrent' "$@"
     ;;
@@ -100,6 +106,45 @@ case "$mode" in
       echo
     done
     echo "bench JSON written to $build_dir/BENCH_*.json, traces to TRACE_*.json"
+    # Dispatch gate: rerun the Stanford suite pinned to the portable
+    # switch loop and require that the default (threaded) loop is not
+    # slower per executed instruction.  The threshold is tolerant (0.9x)
+    # because single-core CI runners show double-digit noise and some
+    # GCC versions genuinely tie the two loops; the gate exists to catch
+    # a *broken* threaded build (e.g. dispatch-table misgeneration), not
+    # to police microarchitectural luck.
+    if python3 -c "import json,sys; sys.exit(0 if json.load(open('$build_dir/BENCH_stanford.json')).get('dispatch_threaded') == 1 else 1)"; then
+      echo "== bench_stanford (switch dispatch) =="
+      TML_VM_DISPATCH=switch "$build_dir/bench/bench_stanford" \
+        --json "$build_dir/BENCH_stanford_switch.json"
+      echo
+      python3 - "$build_dir/BENCH_stanford.json" "$build_dir/BENCH_stanford_switch.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    threaded = json.load(f)
+with open(sys.argv[2]) as f:
+    switch = json.load(f)
+failed = []
+for key in ("ns_per_step_unopt", "ns_per_step_dynamic"):
+    t, s = threaded.get(key), switch.get(key)
+    if not isinstance(t, (int, float)) or not isinstance(s, (int, float)):
+        failed.append((key, t, s, "missing"))
+        continue
+    ratio = s / t  # >1: threaded faster
+    if ratio < 0.9:
+        failed.append((key, t, s, f"threaded/switch speedup {ratio:.2f} < 0.9"))
+    else:
+        print(f"dispatch gate: {key} threaded {t:.2f} ns vs switch {s:.2f} ns "
+              f"(speedup {ratio:.2f}x)")
+for key, t, s, why in failed:
+    print(f"FAIL: {key} threaded={t} switch={s}: {why}")
+if failed:
+    sys.exit(1)
+print("dispatch gate OK: threaded loop >= 0.9x switch-loop throughput")
+PYEOF
+    else
+      echo "dispatch gate skipped: binary has no threaded loop"
+    fi
     # Hardware-aware scaling gate on the concurrency bench: the speedup
     # floor only makes sense when the runner actually has the cores (an
     # 8-thread window on a 1-core container is contention, not scaling —

@@ -18,7 +18,7 @@
 // to a running tycd (--unix or --tcp), polls the METRICS and PROFILE wire
 // commands every --interval seconds, and redraws a one-screen summary —
 // request rates, latency quantiles, the hot-function table with its
-// interpreted/optimized tier split.
+// interpreted/optimized/fused execution-tier split.
 //
 // Usage: tyctop <store-file> [--top N] [--json]
 //        tyctop --watch (--unix <path> | --tcp <host:port>)
@@ -27,6 +27,7 @@
 #include <unistd.h>
 
 #include <algorithm>
+#include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -219,6 +220,63 @@ int Run(const std::string& path, int top_n, bool json) {
 
 // ---- live watch mode ---------------------------------------------------------
 
+/// Pull a string field ("key":"value") out of a flat JSON object slice.
+std::string JsonStrField(const std::string& obj, const std::string& key) {
+  std::string needle = "\"" + key + "\":\"";
+  size_t at = obj.find(needle);
+  if (at == std::string::npos) return "";
+  at += needle.size();
+  size_t end = obj.find('"', at);
+  if (end == std::string::npos) return "";
+  return obj.substr(at, end - at);
+}
+
+/// Pull a numeric field ("key":123) out of a flat JSON object slice.
+std::string JsonNumField(const std::string& obj, const std::string& key) {
+  std::string needle = "\"" + key + "\":";
+  size_t at = obj.find(needle);
+  if (at == std::string::npos) return "-";
+  at += needle.size();
+  size_t end = at;
+  while (end < obj.size() &&
+         (std::isdigit(static_cast<unsigned char>(obj[end])) ||
+          obj[end] == '.' || obj[end] == '-')) {
+    ++end;
+  }
+  return end == at ? "-" : obj.substr(at, end - at);
+}
+
+/// Render the sampler's PROFILE JSON as the hot-function table an operator
+/// wants: one row per function with its execution tier
+/// (interpreted/optimized/fused), sample count, and modal opcode.  Falls
+/// back to printing the raw JSON when the shape is unrecognized.
+void RenderProfile(const std::string& json) {
+  size_t arr = json.find("\"functions\":[");
+  if (arr == std::string::npos) {
+    std::printf("\nprofile: %s\n", json.c_str());
+    return;
+  }
+  std::printf("\nprofile: %s total, %s idle, %s%% attributed\n",
+              JsonNumField(json, "total_samples").c_str(),
+              JsonNumField(json, "idle_samples").c_str(),
+              JsonNumField(json, "attribution_pct").c_str());
+  std::printf("  %-28s %-12s %10s  %s\n", "function", "tier", "samples",
+              "top op");
+  size_t pos = arr + std::strlen("\"functions\":[");
+  while (pos < json.size() && json[pos] == '{') {
+    size_t end = json.find('}', pos);
+    if (end == std::string::npos) break;
+    std::string obj = json.substr(pos, end - pos + 1);
+    std::printf("  %-28s %-12s %10s  %s\n",
+                JsonStrField(obj, "name").c_str(),
+                JsonStrField(obj, "tier").c_str(),
+                JsonNumField(obj, "samples").c_str(),
+                JsonStrField(obj, "top_op").c_str());
+    pos = end + 1;
+    if (pos < json.size() && json[pos] == ',') ++pos;
+  }
+}
+
 /// One METRICS TEXT + PROFILE poll against a running tycd, rendered as a
 /// refreshing screen.  `count` bounds the redraws (0 = until ^C / error).
 int Watch(const std::string& unix_path, const std::string& tcp_host,
@@ -267,7 +325,7 @@ int Watch(const std::string& unix_path, const std::string& tcp_host,
       }
     }
     if (profile.ok() && profile->is_str()) {
-      std::printf("\nprofile: %s\n", profile->s.c_str());
+      RenderProfile(profile->s);
     }
     if (slow.ok() && slow->is_str() && slow->s != "[]") {
       std::printf("\nslow requests: %s\n", slow->s.c_str());
