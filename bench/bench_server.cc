@@ -257,6 +257,92 @@ int main(int argc, char** argv) {
   std::printf("  CALL p50 before OPTIMIZE: %6.1f us, after: %6.1f us (%.2fx)\n",
               before_p50, after_p50, opt_speedup);
 
+  // ---- overload: 2x admission capacity (DESIGN.md §13) ------------------
+  // A server capped at kClients sessions, driven by 2x that many clients:
+  // the excess must be shed immediately with one clean ERR_OVERLOAD frame
+  // (fail fast — no queueing behind admitted work), while the admitted
+  // clients' p99 stays in the same regime as the uncontended run.
+  int shed_total = 0;
+  double overload_p99 = 0;
+  {
+    std::string osock = sock + ".ov";
+    ServerOptions oopts;
+    oopts.unix_path = osock;
+    oopts.workers = 4;
+    oopts.max_sessions = kClients;
+    Server oserver(&universe, oopts);
+    if (!oserver.Start().ok()) {
+      std::fprintf(stderr, "bench_server: overload server start failed\n");
+      return 1;
+    }
+    constexpr int kOverClients = 2 * kClients;
+    constexpr int kOverRequests = 600;
+    std::atomic<int> shed{0};
+    std::atomic<int> over_errors{0};
+    std::vector<std::vector<double>> lat(kOverClients);
+    std::vector<double> shed_us(kOverClients, 0);
+    std::vector<std::thread> threads;
+    for (int c = 0; c < kOverClients; ++c) {
+      threads.emplace_back([&, c] {
+        auto s0 = Clock::now();
+        auto conn = Client::ConnectUnix(osock);
+        if (!conn.ok()) {
+          over_errors++;
+          return;
+        }
+        Client cli = std::move(*conn);
+        WireValue req = LightRequest();
+        for (int k = 0; k < kOverRequests; ++k) {
+          auto r0 = Clock::now();
+          if (!cli.Send(req).ok()) {
+            over_errors++;
+            return;
+          }
+          auto r = cli.Recv();
+          if (!r.ok()) {
+            over_errors++;
+            return;
+          }
+          if (r->is_err()) {
+            // Shed at admission: one decodable frame, then done.  Record
+            // how fast the rejection came back.
+            shed++;
+            shed_us[static_cast<size_t>(c)] =
+                std::chrono::duration<double, std::micro>(Clock::now() - s0)
+                    .count();
+            return;
+          }
+          if (!LightReplyOk(*r)) {
+            over_errors++;
+            return;
+          }
+          lat[static_cast<size_t>(c)].push_back(
+              std::chrono::duration<double, std::micro>(Clock::now() - r0)
+                  .count());
+        }
+      });
+    }
+    for (auto& t : threads) t.join();
+    oserver.Stop();
+    oserver.Join();
+    std::remove(osock.c_str());
+    if (over_errors.load() > 0) {
+      std::fprintf(stderr, "bench_server: %d transport errors under overload"
+                           " (shed must be a clean frame, not a dead socket)\n",
+                   over_errors.load());
+      return 1;
+    }
+    std::vector<double> accepted;
+    for (auto& l : lat) accepted.insert(accepted.end(), l.begin(), l.end());
+    shed_total = shed.load();
+    overload_p99 = Percentile(&accepted, 0.99);
+    double worst_shed = 0;
+    for (double us : shed_us) worst_shed = std::max(worst_shed, us);
+    std::printf("  overload (2x capacity): %d shed (worst %.0f us to reject),"
+                " accepted p99 %6.1f us over %zu requests\n",
+                shed_total, worst_shed, overload_p99, accepted.size());
+  }
+
   metrics.Add("clients", kClients);
   metrics.Add("requests_per_client", kRequestsEach);
   metrics.Add("pipeline_depth", kPipelineDepth);
@@ -270,6 +356,8 @@ int main(int argc, char** argv) {
   metrics.Add("call_us_before_optimize", before_p50);
   metrics.Add("call_us_after_optimize", after_p50);
   metrics.Add("optimize_speedup", opt_speedup);
+  metrics.Add("shed_total", shed_total);
+  metrics.Add("p99_under_overload_us", overload_p99);
 
   server.Stop();
   server.Join();

@@ -5,6 +5,7 @@
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
+#include <time.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -13,10 +14,55 @@
 
 namespace tml::server {
 
+namespace {
+
+/// splitmix64 — the repo's standard cheap deterministic mixer.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a * 0x9E3779B97F4A7C15ull + b;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+/// The commands safe to replay after a lost reply: they read state (or
+/// are PING) and executing them twice is indistinguishable from once.
+bool IsIdempotent(const WireValue& req) {
+  if (req.tag != TAG_ARR || req.elems.empty() || !req.elems[0].is_str()) {
+    return false;
+  }
+  static constexpr const char* kSafe[] = {"PING",    "LOOKUP",  "QUERY",
+                                          "STATS",   "METRICS", "OBSERVE",
+                                          "PROFILE"};
+  const std::string& cmd = req.elems[0].s;
+  for (const char* c : kSafe) {
+    size_t n = std::strlen(c);
+    if (cmd.size() != n) continue;
+    bool eq = true;
+    for (size_t k = 0; k < n; ++k) {
+      char ch = cmd[k];
+      if (ch >= 'a' && ch <= 'z') ch = static_cast<char>(ch - 'a' + 'A');
+      if (ch != c[k]) {
+        eq = false;
+        break;
+      }
+    }
+    if (eq) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
 Client::~Client() { Close(); }
 
 Client::Client(Client&& other) noexcept
-    : fd_(other.fd_), rdbuf_(std::move(other.rdbuf_)) {
+    : fd_(other.fd_),
+      rdbuf_(std::move(other.rdbuf_)),
+      opts_(other.opts_),
+      is_unix_(other.is_unix_),
+      target_path_(std::move(other.target_path_)),
+      target_port_(other.target_port_),
+      reconnects_(other.reconnects_) {
   other.fd_ = -1;
 }
 
@@ -25,6 +71,11 @@ Client& Client::operator=(Client&& other) noexcept {
     Close();
     fd_ = other.fd_;
     rdbuf_ = std::move(other.rdbuf_);
+    opts_ = other.opts_;
+    is_unix_ = other.is_unix_;
+    target_path_ = std::move(other.target_path_);
+    target_port_ = other.target_port_;
+    reconnects_ = other.reconnects_;
     other.fd_ = -1;
   }
   return *this;
@@ -38,51 +89,76 @@ void Client::Close() {
   rdbuf_.clear();
 }
 
-Result<Client> Client::ConnectUnix(const std::string& path) {
-  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
-    return Status::Invalid("client: unix path too long: " + path);
+Status Client::Dial() {
+  Close();
+  if (is_unix_) {
+    int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return Status::IOError(std::string("socket: ") + std::strerror(errno));
+    }
+    sockaddr_un addr{};
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, target_path_.c_str(),
+                 sizeof addr.sun_path - 1);
+    if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
+      Status st = Status::IOError("connect " + target_path_ + ": " +
+                                  std::strerror(errno));
+      close(fd);
+      return st;
+    }
+    fd_ = fd;
+    return Status::OK();
   }
-  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
-  if (fd < 0) {
-    return Status::IOError(std::string("socket: ") + std::strerror(errno));
-  }
-  sockaddr_un addr{};
-  addr.sun_family = AF_UNIX;
-  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
-  if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    Status st = Status::IOError("connect " + path + ": " +
-                                std::strerror(errno));
-    close(fd);
-    return st;
-  }
-  Client c;
-  c.fd_ = fd;
-  return c;
-}
-
-Result<Client> Client::ConnectTcp(const std::string& host, int port) {
   int fd = socket(AF_INET, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
   sockaddr_in addr{};
   addr.sin_family = AF_INET;
-  addr.sin_port = htons(static_cast<uint16_t>(port));
-  if (inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1) {
+  addr.sin_port = htons(static_cast<uint16_t>(target_port_));
+  if (inet_pton(AF_INET, target_path_.c_str(), &addr.sin_addr) != 1) {
     close(fd);
-    return Status::Invalid("client: bad host " + host);
+    return Status::Invalid("client: bad host " + target_path_);
   }
   if (connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) < 0) {
-    Status st = Status::IOError("connect " + host + ":" +
-                                std::to_string(port) + ": " +
+    Status st = Status::IOError("connect " + target_path_ + ":" +
+                                std::to_string(target_port_) + ": " +
                                 std::strerror(errno));
     close(fd);
     return st;
   }
   int one = 1;
   setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
+  fd_ = fd;
+  return Status::OK();
+}
+
+Status Client::Reconnect() {
+  ++reconnects_;
+  return Dial();
+}
+
+Result<Client> Client::ConnectUnix(const std::string& path,
+                                   ClientOptions opts) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
+    return Status::Invalid("client: unix path too long: " + path);
+  }
   Client c;
-  c.fd_ = fd;
+  c.opts_ = opts;
+  c.is_unix_ = true;
+  c.target_path_ = path;
+  TML_RETURN_NOT_OK(c.Dial());
+  return c;
+}
+
+Result<Client> Client::ConnectTcp(const std::string& host, int port,
+                                  ClientOptions opts) {
+  Client c;
+  c.opts_ = opts;
+  c.is_unix_ = false;
+  c.target_path_ = host;
+  c.target_port_ = port;
+  TML_RETURN_NOT_OK(c.Dial());
   return c;
 }
 
@@ -128,9 +204,39 @@ Result<WireValue> Client::Recv() {
   }
 }
 
-Result<WireValue> Client::Call(const WireValue& request) {
+Result<WireValue> Client::CallOnce(const WireValue& request) {
   TML_RETURN_NOT_OK(Send(request));
   return Recv();
+}
+
+void Client::BackoffSleep(int attempt) {
+  uint64_t ms = opts_.base_backoff_ms;
+  for (int k = 0; k < attempt && ms < opts_.max_backoff_ms; ++k) ms *= 2;
+  if (ms > opts_.max_backoff_ms) ms = opts_.max_backoff_ms;
+  if (ms == 0) return;
+  // Half fixed, half deterministic jitter: spreads reconnect storms
+  // without losing test reproducibility.
+  uint64_t half = ms / 2;
+  uint64_t jitter = half != 0
+                        ? Mix(opts_.seed, static_cast<uint64_t>(attempt)) % half
+                        : 0;
+  uint64_t sleep_ms = ms - half + jitter;
+  struct timespec ts;
+  ts.tv_sec = static_cast<time_t>(sleep_ms / 1000);
+  ts.tv_nsec = static_cast<long>((sleep_ms % 1000) * 1'000'000);
+  nanosleep(&ts, nullptr);
+}
+
+Result<WireValue> Client::Call(const WireValue& request) {
+  Result<WireValue> r = CallOnce(request);
+  if (r.ok() || opts_.max_retries <= 0 || !IsIdempotent(request)) return r;
+  for (int attempt = 0; attempt < opts_.max_retries; ++attempt) {
+    BackoffSleep(attempt);
+    if (!Reconnect().ok()) continue;  // backoff grows; maybe next attempt
+    r = CallOnce(request);
+    if (r.ok()) return r;
+  }
+  return r;
 }
 
 Result<WireValue> Client::Call(const std::vector<std::string>& words) {

@@ -5,10 +5,21 @@
 // explicit: Send() any number of frames, then Recv() the same number of
 // responses (the server answers strictly in order).  Call() is the
 // unpipelined convenience wrapper (one Send + one Recv).
+//
+// Resilience: the client remembers its connect target and, when
+// ClientOptions::max_retries > 0, Call() recovers from transport failures
+// (reset, refused reconnect, torn reply) by reconnecting under capped
+// exponential backoff with deterministic jitter — but only for commands
+// on the idempotent list (PING / LOOKUP / QUERY / STATS / METRICS /
+// OBSERVE / PROFILE).  A non-idempotent command (INSTALL, CALL, ...)
+// whose reply is lost may or may not have executed, so it is never
+// retried; the transport error surfaces to the caller.  An ERR frame is
+// a *successful* round-trip and is never retried either.
 
 #ifndef TML_SERVER_CLIENT_H_
 #define TML_SERVER_CLIENT_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -16,6 +27,20 @@
 #include "support/status.h"
 
 namespace tml::server {
+
+struct ClientOptions {
+  /// Reconnect-and-retry attempts for idempotent Call()s after a
+  /// transport failure.  0 disables all retry (the seed behavior).
+  int max_retries = 0;
+  /// First backoff sleep; doubles per attempt.
+  uint64_t base_backoff_ms = 10;
+  /// Backoff cap.
+  uint64_t max_backoff_ms = 1000;
+  /// Jitter seed: sleeps are backoff/2 + splitmix64(seed, attempt) % backoff/2,
+  /// so two clients with different seeds never thunder in lockstep and a
+  /// test with a fixed seed replays exactly.
+  uint64_t seed = 1;
+};
 
 class Client {
  public:
@@ -26,24 +51,46 @@ class Client {
   Client(Client&& other) noexcept;
   Client& operator=(Client&& other) noexcept;
 
-  static Result<Client> ConnectUnix(const std::string& path);
-  static Result<Client> ConnectTcp(const std::string& host, int port);
+  static Result<Client> ConnectUnix(const std::string& path,
+                                    ClientOptions opts = {});
+  static Result<Client> ConnectTcp(const std::string& host, int port,
+                                   ClientOptions opts = {});
 
   bool connected() const { return fd_ >= 0; }
+  /// Raw socket fd (chaos tests use this to misbehave on purpose).
+  int fd() const { return fd_; }
   void Close();
+
+  /// Drop and re-dial the remembered target (used by the retry loop;
+  /// public so tests and tools can force a fresh connection).
+  Status Reconnect();
 
   /// Queue-and-write one request frame (blocking until written).
   Status Send(const WireValue& request);
   /// Read one response frame (blocking).
   Result<WireValue> Recv();
-  /// Send + Recv.
+  /// Send + Recv, with transparent reconnect/retry for idempotent
+  /// commands when opts.max_retries > 0.
   Result<WireValue> Call(const WireValue& request);
   /// Convenience: command + string arguments.
   Result<WireValue> Call(const std::vector<std::string>& words);
 
+  /// Transport-level reconnects performed by the retry loop so far.
+  uint64_t reconnects() const { return reconnects_; }
+
  private:
+  Status Dial();
+  Result<WireValue> CallOnce(const WireValue& request);
+  void BackoffSleep(int attempt);
+
   int fd_ = -1;
   std::string rdbuf_;  ///< bytes read but not yet consumed as frames
+  ClientOptions opts_;
+  // Remembered target (is_unix_ selects which fields apply).
+  bool is_unix_ = false;
+  std::string target_path_;  ///< unix path, or tcp host
+  int target_port_ = -1;
+  uint64_t reconnects_ = 0;
 };
 
 }  // namespace tml::server

@@ -8,6 +8,7 @@
 #include <unistd.h>
 
 #include <cerrno>
+#include <chrono>
 #include <cstring>
 
 #include "runtime/universe.h"
@@ -104,14 +105,28 @@ void MetricsHttpServer::Loop() {
 }
 
 void MetricsHttpServer::ServeOne(int fd) const {
-  // Bound both the read size and the wait: a scraper that trickles or
-  // never finishes its request gets dropped, not serviced.
+  // Bound the read size, the per-recv wait, AND the whole request: the
+  // per-recv SO_RCVTIMEO alone still lets a scraper trickle one byte
+  // every <2s and wedge the single-threaded listener for as long as it
+  // cares to keep dribbling.  An overall wall-clock deadline closes that
+  // hole — no request may take longer than 2s end to end, period.
   timeval tv{2, 0};
   setsockopt(fd, SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof tv);
   setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof tv);
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(2);
   std::string req;
   char buf[4096];
   while (req.size() < 16 * 1024 && req.find("\r\n\r\n") == std::string::npos) {
+    auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+        deadline - std::chrono::steady_clock::now());
+    if (left.count() <= 0) return;  // trickling scraper: drop, don't serve
+    pollfd p{fd, POLLIN, 0};
+    int pn = poll(&p, 1, static_cast<int>(left.count()));
+    if (pn <= 0) {
+      if (pn < 0 && errno == EINTR) continue;
+      return;
+    }
     ssize_t n = recv(fd, buf, sizeof buf, 0);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;
@@ -137,7 +152,9 @@ void MetricsHttpServer::ServeOne(int fd) const {
     resp = Respond(path);
   }
   size_t off = 0;
-  while (off < resp.size()) {
+  // The same overall deadline bounds the write side: a scraper that
+  // stops reading mid-response gets cut, not serviced byte by byte.
+  while (off < resp.size() && std::chrono::steady_clock::now() < deadline) {
     ssize_t n = send(fd, resp.data() + off, resp.size() - off, MSG_NOSIGNAL);
     if (n <= 0) {
       if (n < 0 && errno == EINTR) continue;

@@ -192,6 +192,9 @@ const char* ErrCodeName(uint32_t code) {
     case ERR_BUDGET: return "BUDGET";
     case ERR_RAISED: return "RAISED";
     case ERR_SHUTDOWN: return "SHUTDOWN";
+    case ERR_OOM: return "OOM";
+    case ERR_DEADLINE: return "DEADLINE";
+    case ERR_OVERLOAD: return "OVERLOAD";
     default: return "ERR?";
   }
 }

@@ -60,6 +60,9 @@ enum : uint32_t {
   ERR_BUDGET = 5,     ///< per-session step budget exhausted
   ERR_RAISED = 6,     ///< a TML exception escaped the called program
   ERR_SHUTDOWN = 7,   ///< server is draining; no new work accepted
+  ERR_OOM = 8,        ///< per-session heap budget exhausted
+  ERR_DEADLINE = 9,   ///< per-request wall-clock deadline exceeded
+  ERR_OVERLOAD = 10,  ///< admission control shed this connection/request
 };
 
 /// Frame body size cap.  Large enough for INSTALL payloads and STATS

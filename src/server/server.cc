@@ -6,6 +6,7 @@
 #include <netinet/tcp.h>
 #include <poll.h>
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/un.h>
 #include <unistd.h>
 
@@ -96,6 +97,21 @@ telemetry::Counter* MSlowRequests() {
       telemetry::Registry::Global().GetCounter("tml.server.slow_requests");
   return c;
 }
+telemetry::Counter* MShed() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.shed_total");
+  return c;
+}
+telemetry::Counter* MTimeouts() {
+  static auto* c =
+      telemetry::Registry::Global().GetCounter("tml.server.timeouts");
+  return c;
+}
+telemetry::Gauge* MQueueDepth() {
+  static auto* g =
+      telemetry::Registry::Global().GetGauge("tml.server.queue_depth");
+  return g;
+}
 
 /// The canonical command set, shared by the per-command latency
 /// histograms and the dispatch label.  "OTHER" buckets malformed and
@@ -103,7 +119,7 @@ telemetry::Counter* MSlowRequests() {
 constexpr const char* kCommands[] = {
     "PING",  "INSTALL",  "LOOKUP", "CALL",   "CALLOID",  "OPTIMIZE",
     "QUERY", "RELSTORE", "STATS",  "BUDGET", "SHUTDOWN", "OBSERVE",
-    "PROFILE", "METRICS", "OTHER"};
+    "PROFILE", "METRICS", "DEADLINE", "OTHER"};
 
 /// Canonical (immortal) label for a request's command word.
 const char* CommandLabel(const WireValue& req) {
@@ -177,15 +193,41 @@ Result<int> ListenTcp(const std::string& host, int port, int* bound_port) {
   return fd;
 }
 
+/// True when a process is still accepting on the Unix socket at `path` —
+/// a probe connect() succeeds.  A dead predecessor's socket file refuses
+/// (ECONNREFUSED) or is gone, and is safe to unlink.
+bool UnixSocketAlive(const std::string& path) {
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
+  bool alive = connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr) == 0;
+  close(fd);
+  return alive;
+}
+
 Result<int> ListenUnix(const std::string& path) {
   if (path.size() >= sizeof(sockaddr_un{}.sun_path)) {
     return Status::Invalid("server: unix path too long: " + path);
+  }
+  // Never steal a live daemon's socket: unlinking unconditionally would
+  // let a second tycd silently take over the path while the first keeps
+  // serving its (now unreachable) listener.  Probe first; only a dead
+  // predecessor's leftover is removed.
+  struct stat st_buf;
+  if (stat(path.c_str(), &st_buf) == 0) {
+    if (UnixSocketAlive(path)) {
+      return Status::AlreadyExists("server: " + path +
+                                   " is in use by a live server; refusing to "
+                                   "steal it");
+    }
+    unlink(path.c_str());  // stale socket from a crashed predecessor
   }
   int fd = socket(AF_UNIX, SOCK_STREAM, 0);
   if (fd < 0) {
     return Status::IOError(std::string("socket: ") + std::strerror(errno));
   }
-  unlink(path.c_str());  // stale socket from a crashed predecessor
   sockaddr_un addr{};
   addr.sun_family = AF_UNIX;
   std::strncpy(addr.sun_path, path.c_str(), sizeof addr.sun_path - 1);
@@ -225,6 +267,11 @@ class PollerIface {
   virtual ~PollerIface() = default;
   virtual void Add(int fd) = 0;
   virtual void SetWriteInterest(int fd, bool on) = 0;
+  /// Backpressure: disarming read interest (EPOLLIN off) stops the loop
+  /// from draining a session's socket; bytes back up into the kernel
+  /// buffer and, once it fills, into the sender.  Hangup/error events
+  /// still fire either way.
+  virtual void SetReadInterest(int fd, bool on) = 0;
   virtual void Remove(int fd) = 0;
   /// Blocks up to timeout_ms (-1 = forever); fills *out.
   virtual void Wait(int timeout_ms, std::vector<PollEvent>* out) = 0;
@@ -238,7 +285,14 @@ class PollPoller final : public PollerIface {
   void SetWriteInterest(int fd, bool on) override {
     auto it = fds_.find(fd);
     if (it == fds_.end()) return;
-    it->second = on ? (POLLIN | POLLOUT) : POLLIN;
+    it->second = static_cast<short>(on ? (it->second | POLLOUT)
+                                       : (it->second & ~POLLOUT));
+  }
+  void SetReadInterest(int fd, bool on) override {
+    auto it = fds_.find(fd);
+    if (it == fds_.end()) return;
+    it->second = static_cast<short>(on ? (it->second | POLLIN)
+                                       : (it->second & ~POLLIN));
   }
   void Remove(int fd) override { fds_.erase(fd); }
   void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
@@ -274,18 +328,25 @@ class EpollPoller final : public PollerIface {
   bool ok() const { return ep_ >= 0; }
 
   void Add(int fd) override {
-    epoll_event ev{};
-    ev.events = EPOLLIN;
-    ev.data.fd = fd;
-    epoll_ctl(ep_, EPOLL_CTL_ADD, fd, &ev);
+    interest_[fd] = EPOLLIN;
+    Apply(fd, EPOLL_CTL_ADD);
   }
   void SetWriteInterest(int fd, bool on) override {
-    epoll_event ev{};
-    ev.events = EPOLLIN | (on ? EPOLLOUT : 0u);
-    ev.data.fd = fd;
-    epoll_ctl(ep_, EPOLL_CTL_MOD, fd, &ev);
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return;
+    it->second = on ? (it->second | EPOLLOUT) : (it->second & ~EPOLLOUT);
+    Apply(fd, EPOLL_CTL_MOD);
   }
-  void Remove(int fd) override { epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr); }
+  void SetReadInterest(int fd, bool on) override {
+    auto it = interest_.find(fd);
+    if (it == interest_.end()) return;
+    it->second = on ? (it->second | EPOLLIN) : (it->second & ~EPOLLIN);
+    Apply(fd, EPOLL_CTL_MOD);
+  }
+  void Remove(int fd) override {
+    interest_.erase(fd);
+    epoll_ctl(ep_, EPOLL_CTL_DEL, fd, nullptr);
+  }
   void Wait(int timeout_ms, std::vector<PollEvent>* out) override {
     epoll_event evs[64];
     int n = epoll_wait(ep_, evs, 64, timeout_ms);
@@ -300,7 +361,15 @@ class EpollPoller final : public PollerIface {
   }
 
  private:
+  void Apply(int fd, int op) {
+    epoll_event ev{};
+    ev.events = interest_[fd];
+    ev.data.fd = fd;
+    epoll_ctl(ep_, op, fd, &ev);
+  }
+
   int ep_;
+  std::unordered_map<int, uint32_t> interest_;  // fd -> desired events
 };
 #endif  // __linux__
 
@@ -420,16 +489,21 @@ struct Server::Session {
   std::string inbuf;                 ///< raw bytes not yet framed
   std::deque<WireValue> pending;     ///< decoded requests awaiting dispatch
   std::string outbuf;                ///< encoded responses awaiting write
-  uint64_t step_budget = 0;          ///< per-session CALL budget
+  SessionLimits limits;              ///< BUDGET / BUDGET MEM / DEADLINE state
   bool busy = false;                 ///< a batch is at a worker
   bool want_close = false;           ///< close once outbuf flushes
   bool dead = false;                 ///< fd closed; lingers while busy
+  bool read_paused = false;          ///< EPOLLIN disarmed (backpressure)
+  uint64_t last_activity_ns = 0;     ///< last byte in or out (idle sweep)
+  uint64_t frame_start_ns = 0;       ///< first byte of an incomplete frame
 };
 
 // ---- lifecycle ---------------------------------------------------------------
 
 Server::Server(rt::Universe* universe, ServerOptions opts)
-    : universe_(universe), opts_(std::move(opts)) {}
+    : universe_(universe),
+      opts_(std::move(opts)),
+      net_(opts_.net != nullptr ? opts_.net : Net::Default()) {}
 
 Server::~Server() {
   Stop();
@@ -560,6 +634,10 @@ void Server::LoopThread() {
     // The wake pipe may have been consumed by a spurious wakeup ordering;
     // completions are cheap to poll.
     DrainCompletions();
+    if (!draining &&
+        (opts_.idle_timeout_ms != 0 || opts_.read_timeout_ms != 0)) {
+      SweepTimeouts(telemetry::Tracer::NowNs());
+    }
     ReapDeadSessions();
   }
 
@@ -598,12 +676,32 @@ void Server::HandleAccept(int listen_fd) {
       close(fd);
       continue;
     }
+    if (opts_.max_sessions != 0 && sessions_.size() >= opts_.max_sessions) {
+      // Admission control: over capacity a connect is answered with one
+      // clean ERR_OVERLOAD frame and closed — the client sees a decodable
+      // refusal it can back off on, never a hang or a torn stream.  The
+      // send is best-effort (the fd is fresh, so the frame almost always
+      // fits the empty socket buffer in one shot).
+      MShed()->Increment();  // count before the send: the client may react
+                             // to the frame (and read the counter) at once
+      std::string frame;
+      EncodeFrame(WireValue::Err(ERR_OVERLOAD,
+                                 "server over capacity; retry with backoff"),
+                  &frame);
+      int err = 0;
+      (void)net_->Send(fd, frame.data(), frame.size(), &err);
+      close(fd);
+      continue;
+    }
     int one = 1;
     setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof one);
     auto s = std::make_unique<Session>();
     s->id = next_session_id_++;
     s->fd = fd;
-    s->step_budget = opts_.default_step_budget;
+    s->limits.step_budget = opts_.default_step_budget;
+    s->limits.heap_budget = opts_.default_heap_budget;
+    s->limits.deadline_ms = opts_.default_deadline_ms;
+    s->last_activity_ns = telemetry::Tracer::NowNs();
     fd_to_session_[fd] = s->id;
     poller_->Add(fd);
     sessions_[s->id] = std::move(s);
@@ -616,22 +714,31 @@ void Server::HandleReadable(Session* s) {
   // Drain the socket, then the frames: every complete frame parsed here
   // lands in one batch, which is what makes pipelining pay.
   char buf[64 * 1024];
+  bool got_bytes = false;
   while (true) {
-    ssize_t n = recv(s->fd, buf, sizeof buf, 0);
+    int err = 0;
+    ssize_t n = net_->Recv(s->fd, buf, sizeof buf, &err);
     if (n > 0) {
       s->inbuf.append(buf, static_cast<size_t>(n));
       MBytesIn()->Add(static_cast<uint64_t>(n));
+      got_bytes = true;
+      // Backpressure mid-drain too: a firehose peer must not grow inbuf
+      // past the cap just because it arrived in one readiness event.
+      if (opts_.max_session_buffer != 0 &&
+          s->inbuf.size() >= opts_.max_session_buffer) {
+        break;
+      }
       continue;
     }
     if (n == 0) {  // peer closed
       CloseSession(s->id);
       return;
     }
-    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
-    if (errno == EINTR) continue;
+    if (err == EAGAIN || err == EWOULDBLOCK) break;
     CloseSession(s->id);
     return;
   }
+  if (got_bytes) s->last_activity_ns = telemetry::Tracer::NowNs();
 
   size_t off = 0;
   while (off < s->inbuf.size()) {
@@ -659,14 +766,72 @@ void Server::HandleReadable(Session* s) {
     off += consumed;
   }
   s->inbuf.erase(0, off);
+  // Slowloris bookkeeping: an incomplete frame left in inbuf starts (or
+  // continues) the read-timeout clock; a fully-framed buffer clears it.
+  if (s->inbuf.empty()) {
+    s->frame_start_ns = 0;
+  } else if (s->frame_start_ns == 0) {
+    s->frame_start_ns = telemetry::Tracer::NowNs();
+  }
   DispatchIfReady(s);
+  if (!s->dead) UpdateReadInterest(s);
+}
+
+void Server::UpdateReadInterest(Session* s) {
+  bool over =
+      (opts_.max_queued_batches != 0 &&
+       s->pending.size() >= opts_.max_queued_batches) ||
+      (opts_.max_session_buffer != 0 &&
+       s->inbuf.size() >= opts_.max_session_buffer);
+  if (over == s->read_paused) return;
+  s->read_paused = over;
+  poller_->SetReadInterest(s->fd, !over);
+}
+
+void Server::SweepTimeouts(uint64_t now_ns) {
+  for (auto& [id, s_ptr] : sessions_) {
+    Session* s = s_ptr.get();
+    if (s->dead) continue;
+    // Slow-read (slowloris) and write-stall: a peer that trickles a frame
+    // or refuses to drain its responses is cut after read_timeout_ms.
+    if (opts_.read_timeout_ms != 0) {
+      uint64_t limit = opts_.read_timeout_ms * 1'000'000ull;
+      bool slow_read =
+          s->frame_start_ns != 0 && now_ns - s->frame_start_ns > limit;
+      bool write_stall =
+          !s->outbuf.empty() && now_ns - s->last_activity_ns > limit;
+      if (slow_read || write_stall) {
+        MTimeouts()->Increment();
+        if (slow_read) {
+          // Best-effort courtesy frame; the write-staller by definition
+          // is not reading, so it just gets the close.
+          EncodeFrame(WireValue::Err(ERR_OVERLOAD, "read timeout"),
+                      &s->outbuf);
+          s->want_close = true;
+          FlushOut(s);
+          if (!s->dead && !s->outbuf.empty()) CloseSession(s->id);
+        } else {
+          CloseSession(s->id);
+        }
+        continue;
+      }
+    }
+    // Idle: nothing buffered, nothing in flight, no traffic for
+    // idle_timeout_ms.
+    if (opts_.idle_timeout_ms != 0 && !s->busy && s->pending.empty() &&
+        s->outbuf.empty() && s->inbuf.empty() &&
+        now_ns - s->last_activity_ns > opts_.idle_timeout_ms * 1'000'000ull) {
+      MTimeouts()->Increment();
+      CloseSession(s->id);
+    }
+  }
 }
 
 void Server::DispatchIfReady(Session* s) {
   if (s->busy || s->dead || s->pending.empty()) return;
   Job job;
   job.session_id = s->id;
-  job.step_budget = s->step_budget;
+  job.limits = s->limits;
   job.enqueue_ns = telemetry::Tracer::NowNs();
   job.requests.reserve(s->pending.size());
   while (!s->pending.empty()) {
@@ -678,6 +843,7 @@ void Server::DispatchIfReady(Session* s) {
   {
     std::lock_guard<std::mutex> lock(jobs_mu_);
     jobs_.push_back(std::move(job));
+    MQueueDepth()->Set(static_cast<int64_t>(jobs_.size()));
   }
   jobs_cv_.notify_one();
 }
@@ -695,10 +861,14 @@ void Server::DrainCompletions() {
     Session* s = it->second.get();
     s->busy = false;
     if (s->dead) continue;  // peer vanished while the batch ran; reaped later
-    s->step_budget = c.step_budget;
+    s->limits = c.limits;
     s->outbuf.append(c.bytes);
     FlushOut(s);
-    if (!s->dead) DispatchIfReady(s);
+    if (!s->dead) {
+      DispatchIfReady(s);
+      // The drained queue may un-trip the backpressure latch.
+      UpdateReadInterest(s);
+    }
   }
 }
 
@@ -706,17 +876,18 @@ void Server::HandleWritable(Session* s) { FlushOut(s); }
 
 void Server::FlushOut(Session* s) {
   while (!s->outbuf.empty()) {
-    ssize_t n = send(s->fd, s->outbuf.data(), s->outbuf.size(), MSG_NOSIGNAL);
+    int err = 0;
+    ssize_t n = net_->Send(s->fd, s->outbuf.data(), s->outbuf.size(), &err);
     if (n > 0) {
       MBytesOut()->Add(static_cast<uint64_t>(n));
       s->outbuf.erase(0, static_cast<size_t>(n));
+      s->last_activity_ns = telemetry::Tracer::NowNs();
       continue;
     }
-    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+    if (n < 0 && (err == EAGAIN || err == EWOULDBLOCK)) {
       poller_->SetWriteInterest(s->fd, true);
       return;
     }
-    if (n < 0 && errno == EINTR) continue;
     CloseSession(s->id);
     return;
   }
@@ -776,6 +947,7 @@ void Server::WorkerThread(int index) {
       }
       job = std::move(jobs_.front());
       jobs_.pop_front();
+      MQueueDepth()->Set(static_cast<int64_t>(jobs_.size()));
     }
     Completion c = RunBatch(vm, std::move(job));
     {
@@ -797,12 +969,12 @@ Server::Completion Server::RunBatch(vm::VM* vm, Job job) {
   }
   Completion c;
   c.session_id = job.session_id;
-  c.step_budget = job.step_budget;
+  c.limits = job.limits;
   for (const WireValue& req : job.requests) {
     TML_TELEMETRY_SPAN("server", "server.request");
     const char* cmd = CommandLabel(req);
     auto t0 = std::chrono::steady_clock::now();
-    WireValue resp = Execute(vm, req, &c.step_budget, &c.shutdown);
+    WireValue resp = Execute(vm, req, &c.limits, &c.shutdown);
     auto dt = std::chrono::duration_cast<std::chrono::microseconds>(
         std::chrono::steady_clock::now() - t0);
     uint64_t us = static_cast<uint64_t>(dt.count());
@@ -826,8 +998,8 @@ Server::Completion Server::RunBatch(vm::VM* vm, Job job) {
   return c;
 }
 
-WireValue Server::Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
-                          bool* shutdown) {
+WireValue Server::Execute(vm::VM* vm, const WireValue& req,
+                          SessionLimits* limits, bool* shutdown) {
   if (req.tag != TAG_ARR || req.elems.empty() || !req.elems[0].is_str()) {
     return WireValue::Err(ERR_BAD_ARG,
                           "request must be an array [command, args...]");
@@ -838,11 +1010,11 @@ WireValue Server::Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
   if (EqualsIgnoreCase(cmd, "PING")) return WireValue::Str("PONG");
   if (EqualsIgnoreCase(cmd, "INSTALL")) return CmdInstall(a);
   if (EqualsIgnoreCase(cmd, "LOOKUP")) return CmdLookup(a);
-  if (EqualsIgnoreCase(cmd, "CALL")) return CmdCall(vm, a, *budget);
-  if (EqualsIgnoreCase(cmd, "CALLOID")) return CmdCallOid(vm, a, *budget);
+  if (EqualsIgnoreCase(cmd, "CALL")) return CmdCall(vm, a, *limits);
+  if (EqualsIgnoreCase(cmd, "CALLOID")) return CmdCallOid(vm, a, *limits);
   if (EqualsIgnoreCase(cmd, "OPTIMIZE")) return CmdOptimize(a);
   if (EqualsIgnoreCase(cmd, "RELSTORE")) return CmdRelStore(a);
-  if (EqualsIgnoreCase(cmd, "QUERY")) return CmdQuery(vm, a, *budget);
+  if (EqualsIgnoreCase(cmd, "QUERY")) return CmdQuery(vm, a, *limits);
   if (EqualsIgnoreCase(cmd, "STATS")) return CmdStats(a);
   if (EqualsIgnoreCase(cmd, "OBSERVE")) return CmdObserve(a);
   if (EqualsIgnoreCase(cmd, "PROFILE")) {
@@ -850,10 +1022,26 @@ WireValue Server::Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
   }
   if (EqualsIgnoreCase(cmd, "METRICS")) return CmdMetrics(a);
   if (EqualsIgnoreCase(cmd, "BUDGET")) {
-    if (a.size() != 2 || a[1].tag != TAG_INT || a[1].i < 0) {
-      return WireValue::Err(ERR_BAD_ARG, "usage: BUDGET <steps>=0..");
+    // BUDGET <steps>  |  BUDGET MEM <bytes>
+    if (a.size() == 3 && a[1].is_str() && EqualsIgnoreCase(a[1].s, "MEM")) {
+      if (a[2].tag != TAG_INT || a[2].i < 0) {
+        return WireValue::Err(ERR_BAD_ARG, "usage: BUDGET MEM <bytes>=0..");
+      }
+      limits->heap_budget = static_cast<uint64_t>(a[2].i);
+      return WireValue::Str("OK");
     }
-    *budget = static_cast<uint64_t>(a[1].i);
+    if (a.size() != 2 || a[1].tag != TAG_INT || a[1].i < 0) {
+      return WireValue::Err(ERR_BAD_ARG,
+                            "usage: BUDGET <steps>=0.. | BUDGET MEM <bytes>");
+    }
+    limits->step_budget = static_cast<uint64_t>(a[1].i);
+    return WireValue::Str("OK");
+  }
+  if (EqualsIgnoreCase(cmd, "DEADLINE")) {
+    if (a.size() != 2 || a[1].tag != TAG_INT || a[1].i < 0) {
+      return WireValue::Err(ERR_BAD_ARG, "usage: DEADLINE <ms>=0.. (0 clears)");
+    }
+    limits->deadline_ms = static_cast<uint64_t>(a[1].i);
     return WireValue::Str("OK");
   }
   if (EqualsIgnoreCase(cmd, "SHUTDOWN")) {
@@ -892,21 +1080,40 @@ WireValue Server::CmdLookup(const std::vector<WireValue>& a) {
 }
 
 WireValue Server::RunToWire(vm::VM* vm, Oid closure,
-                            std::span<const vm::Value> args, uint64_t budget) {
-  vm->set_step_budget(budget);
+                            std::span<const vm::Value> args,
+                            const SessionLimits& limits) {
+  vm->set_step_budget(limits.step_budget);
+  vm->set_heap_budget(limits.heap_budget);
+  if (limits.deadline_ms != 0) {
+    vm->set_run_deadline_ns(vm::VM::MonotonicNowNs() +
+                            limits.deadline_ms * 1'000'000ull);
+  }
   auto r = vm->RunClosure(vm::Value::OidV(closure), args);
   vm->set_step_budget(0);
+  vm->set_heap_budget(0);
+  vm->set_run_deadline_ns(0);
   if (!r.ok()) {
+    // Resource kills are operator-interesting incidents: the flight
+    // recorder notes them (and auto-dumps the last seconds of activity
+    // when TYCOON_FLIGHT_DIR / --flight-dir is configured).
     if (r.status().code() == StatusCode::kOutOfRange) {
-      // A budget kill is an operator-interesting incident: the flight
-      // recorder notes it (and auto-dumps the last seconds of activity
-      // when TYCOON_FLIGHT_DIR / --flight-dir is configured).
       telemetry::FlightRecorder::Global().NoteIncident("budget_kill");
       return WireValue::Err(ERR_BUDGET, r.status().ToString());
+    }
+    if (r.status().code() == StatusCode::kDeadline) {
+      telemetry::FlightRecorder::Global().NoteIncident("deadline_kill");
+      return WireValue::Err(ERR_DEADLINE, r.status().ToString());
     }
     return WireValue::Err(ERR_RUNTIME, r.status().ToString());
   }
   if (r->raised) {
+    if (vm->oom_raised()) {
+      // The heap-budget fault escaped every TML handler: classify it for
+      // the wire so a client can tell OOM from an application raise.
+      telemetry::FlightRecorder::Global().NoteIncident("oom_kill");
+      return WireValue::Err(ERR_OOM, "out of memory: " +
+                                         vm::ToString(r->value));
+    }
     return WireValue::Err(ERR_RAISED, "uncaught TML exception: " +
                                           vm::ToString(r->value));
   }
@@ -914,7 +1121,7 @@ WireValue Server::RunToWire(vm::VM* vm, Oid closure,
 }
 
 WireValue Server::CmdCall(vm::VM* vm, const std::vector<WireValue>& a,
-                          uint64_t budget) {
+                          const SessionLimits& limits) {
   if (a.size() < 3 || !a[1].is_str() || !a[2].is_str()) {
     return WireValue::Err(ERR_BAD_ARG,
                           "usage: CALL <module> <function> [args...]");
@@ -928,11 +1135,11 @@ WireValue Server::CmdCall(vm::VM* vm, const std::vector<WireValue>& a,
     if (!v.ok()) return WireValue::Err(ERR_BAD_ARG, v.status().ToString());
     args.push_back(*v);
   }
-  return RunToWire(vm, *oid, args, budget);
+  return RunToWire(vm, *oid, args, limits);
 }
 
 WireValue Server::CmdCallOid(vm::VM* vm, const std::vector<WireValue>& a,
-                             uint64_t budget) {
+                             const SessionLimits& limits) {
   if (a.size() < 2 || a[1].tag != TAG_INT) {
     return WireValue::Err(ERR_BAD_ARG, "usage: CALLOID <oid> [args...]");
   }
@@ -943,7 +1150,7 @@ WireValue Server::CmdCallOid(vm::VM* vm, const std::vector<WireValue>& a,
     if (!v.ok()) return WireValue::Err(ERR_BAD_ARG, v.status().ToString());
     args.push_back(*v);
   }
-  return RunToWire(vm, static_cast<Oid>(a[1].i), args, budget);
+  return RunToWire(vm, static_cast<Oid>(a[1].i), args, limits);
 }
 
 WireValue Server::CmdOptimize(const std::vector<WireValue>& a) {
@@ -1001,7 +1208,7 @@ WireValue Server::CmdRelStore(const std::vector<WireValue>& a) {
 }
 
 WireValue Server::CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
-                           uint64_t budget) {
+                           const SessionLimits& limits) {
   if (a.size() != 4 || !a[1].is_str() || !a[2].is_str() ||
       a[3].tag != TAG_INT) {
     return WireValue::Err(
@@ -1012,7 +1219,7 @@ WireValue Server::CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
   // The relation travels as an OID; the worker VM swizzles it through the
   // shared runtime environment on first touch, like any persistent datum.
   vm::Value arg = vm::Value::OidV(static_cast<Oid>(a[3].i));
-  return RunToWire(vm, *fn, std::span<const vm::Value>(&arg, 1), budget);
+  return RunToWire(vm, *fn, std::span<const vm::Value>(&arg, 1), limits);
 }
 
 WireValue Server::CmdStats(const std::vector<WireValue>& a) {

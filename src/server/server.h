@@ -48,6 +48,7 @@
 
 #include "runtime/universe.h"
 #include "server/protocol.h"
+#include "support/net.h"
 #include "support/status.h"
 
 namespace tml::server {
@@ -79,6 +80,40 @@ struct ServerOptions {
   uint64_t slow_request_us = 10'000;
   /// Worst offenders retained in the slow-request log.
   size_t slow_log_size = 16;
+
+  // ---- resilience & limits (DESIGN.md §13) ----
+
+  /// Admission control: a connect while this many sessions are open is
+  /// answered with one clean ERR_OVERLOAD frame and closed immediately
+  /// (tml.server.shed_total counts them).  0 = unlimited.
+  size_t max_sessions = 0;
+  /// Backpressure: once a session has this many parsed requests queued
+  /// behind its in-flight batch, the loop stops reading its socket
+  /// (EPOLLIN disarm) until the batch completes and the queue drains —
+  /// the client's sends back up in its kernel buffer instead of growing
+  /// server memory.  0 = unlimited.
+  size_t max_queued_batches = 0;
+  /// Backpressure on raw bytes: a session whose unframed input buffer
+  /// exceeds this also stops being read.  0 = unlimited.
+  size_t max_session_buffer = 0;
+  /// Per-request wall-clock deadline in milliseconds, enforced inside the
+  /// VM through the step-budget polling seam (a slow-but-cheap request
+  /// cannot pin a worker); sessions adjust their own with the DEADLINE
+  /// command.  Exceeding it answers ERR_DEADLINE.  0 = none.
+  uint64_t default_deadline_ms = 0;
+  /// Default per-session VM heap budget in bytes (ERR_OOM past it);
+  /// sessions adjust their own with BUDGET MEM <bytes>.  0 = unlimited.
+  uint64_t default_heap_budget = 0;
+  /// Close sessions with no traffic and nothing in flight after this many
+  /// milliseconds.  0 = never.
+  uint64_t idle_timeout_ms = 0;
+  /// Slowloris guard: close sessions that sit on an incomplete frame (or
+  /// an unflushed response the peer won't read) longer than this many
+  /// milliseconds.  0 = never.
+  uint64_t read_timeout_ms = 0;
+  /// Socket I/O seam; null uses Net::Default(), which honors the
+  /// TYCOON_NETFAULT_* chaos knobs.  Must outlive the server.
+  Net* net = nullptr;
 };
 
 class Server {
@@ -119,21 +154,29 @@ class Server {
  private:
   struct Session;
 
+  /// A session's adjustable execution limits; travels with each batch and
+  /// back with its completion (the BUDGET / DEADLINE commands mutate it).
+  struct SessionLimits {
+    uint64_t step_budget = 0;   ///< per-run VM step budget (BUDGET <n>)
+    uint64_t heap_budget = 0;   ///< per-VM heap bytes (BUDGET MEM <n>)
+    uint64_t deadline_ms = 0;   ///< per-request wall clock (DEADLINE <ms>)
+  };
+
   /// One dispatched unit: a session's drained request batch, executed by
   /// a worker in order on its private VM.
   struct Job {
     uint64_t session_id = 0;
     std::vector<WireValue> requests;
-    uint64_t step_budget = 0;
+    SessionLimits limits;
     uint64_t enqueue_ns = 0;  ///< Tracer::NowNs() at dispatch (queue wait)
   };
 
   /// What a worker hands back to the loop thread.
   struct Completion {
     uint64_t session_id = 0;
-    std::string bytes;         ///< pre-encoded response frames, in order
-    uint64_t step_budget = 0;  ///< session budget after the batch (BUDGET)
-    bool shutdown = false;     ///< batch contained SHUTDOWN
+    std::string bytes;       ///< pre-encoded response frames, in order
+    SessionLimits limits;    ///< session limits after the batch
+    bool shutdown = false;   ///< batch contained SHUTDOWN
   };
 
   // ---- loop thread ----
@@ -144,6 +187,12 @@ class Server {
   void DrainCompletions();
   void DispatchIfReady(Session* s);
   void FlushOut(Session* s);
+  /// Arm or disarm read interest from the session's queue depth and
+  /// buffer size (see max_queued_batches / max_session_buffer).
+  void UpdateReadInterest(Session* s);
+  /// Idle / slow-read (slowloris) / write-stall sweep, run from the poll
+  /// loop's Wait() tick.
+  void SweepTimeouts(uint64_t now_ns);
   /// Close the fd and mark the session dead.  The object is reaped later
   /// by ReapDeadSessions() (never mid-event: handlers hold Session*).
   void CloseSession(uint64_t id);
@@ -153,28 +202,29 @@ class Server {
   // ---- worker threads ----
   void WorkerThread(int index);
   Completion RunBatch(vm::VM* vm, Job job);
-  WireValue Execute(vm::VM* vm, const WireValue& req, uint64_t* budget,
+  WireValue Execute(vm::VM* vm, const WireValue& req, SessionLimits* limits,
                     bool* shutdown);
 
   // Command handlers (worker threads; `vm` is the worker's private VM).
   WireValue CmdInstall(const std::vector<WireValue>& a);
   WireValue CmdLookup(const std::vector<WireValue>& a);
   WireValue CmdCall(vm::VM* vm, const std::vector<WireValue>& a,
-                    uint64_t budget);
+                    const SessionLimits& limits);
   WireValue CmdCallOid(vm::VM* vm, const std::vector<WireValue>& a,
-                       uint64_t budget);
+                       const SessionLimits& limits);
   WireValue CmdOptimize(const std::vector<WireValue>& a);
   WireValue CmdRelStore(const std::vector<WireValue>& a);
   WireValue CmdQuery(vm::VM* vm, const std::vector<WireValue>& a,
-                     uint64_t budget);
+                     const SessionLimits& limits);
   WireValue CmdStats(const std::vector<WireValue>& a);
   WireValue CmdObserve(const std::vector<WireValue>& a);
   WireValue CmdMetrics(const std::vector<WireValue>& a);
 
-  /// Run a closure on `vm` under `budget` and translate the outcome
-  /// (value / raise / budget exhaustion / VM error) to a wire value.
+  /// Run a closure on `vm` under the session's limits and translate the
+  /// outcome (value / raise / budget / OOM / deadline / VM error) to a
+  /// wire value.
   WireValue RunToWire(vm::VM* vm, Oid closure, std::span<const vm::Value> args,
-                      uint64_t budget);
+                      const SessionLimits& limits);
 
   /// Record one request into the slow-request log if it crossed the
   /// slow_request_us threshold (worst `slow_log_size` kept, sorted).
@@ -182,6 +232,7 @@ class Server {
 
   rt::Universe* universe_;
   ServerOptions opts_;
+  Net* net_ = nullptr;  ///< opts_.net or Net::Default(); never null
 
   std::thread loop_;
   std::vector<std::thread> workers_;

@@ -1,0 +1,161 @@
+#include "support/net.h"
+
+#include <errno.h>
+#include <sys/socket.h>
+#include <time.h>
+
+#include <cstdlib>
+#include <cstring>
+
+namespace tml {
+
+Net::~Net() = default;
+
+ssize_t Net::Recv(int fd, void* buf, size_t len, int* err) {
+  ssize_t n;
+  do {
+    n = ::recv(fd, buf, len, 0);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0 && err != nullptr) *err = errno;
+  return n;
+}
+
+ssize_t Net::Send(int fd, const void* buf, size_t len, int* err) {
+  ssize_t n;
+  do {
+    // MSG_NOSIGNAL: a dead peer must surface as EPIPE, never SIGPIPE.
+    n = ::send(fd, buf, len, MSG_NOSIGNAL);
+  } while (n < 0 && errno == EINTR);
+  if (n < 0 && err != nullptr) *err = errno;
+  return n;
+}
+
+// ---- TYCOON_NETFAULT_* env knobs -------------------------------------------
+
+namespace {
+
+uint64_t EnvU64(const char* name, uint64_t dflt) {
+  const char* v = std::getenv(name);
+  return v != nullptr && *v != '\0' ? std::strtoull(v, nullptr, 10) : dflt;
+}
+
+Net* MakeDefault() {
+  static Net posix;
+  FaultNet::Options o;
+  o.short_io = static_cast<uint32_t>(EnvU64("TYCOON_NETFAULT_SHORT_IO", 0));
+  o.eagain_every = EnvU64("TYCOON_NETFAULT_EAGAIN_EVERY", 0);
+  o.reset_after_ops =
+      EnvU64("TYCOON_NETFAULT_RESET_AT", FaultNet::kNoFault);
+  o.sticky = EnvU64("TYCOON_NETFAULT_STICKY", 0) != 0;
+  o.stall_ms = static_cast<uint32_t>(EnvU64("TYCOON_NETFAULT_STALL_MS", 0));
+  o.seed = EnvU64("TYCOON_NETFAULT_SEED", 0);
+  const bool armed = o.short_io != 0 || o.eagain_every != 0 ||
+                     o.reset_after_ops != FaultNet::kNoFault ||
+                     o.stall_ms != 0;
+  if (!armed) return &posix;
+  static FaultNet faulty(o, &posix);
+  return &faulty;
+}
+
+}  // namespace
+
+Net* Net::Default() {
+  static Net* net = MakeDefault();
+  return net;
+}
+
+// ---- FaultNet --------------------------------------------------------------
+
+FaultNet::FaultNet() : FaultNet(Options{}) {}
+
+FaultNet::FaultNet(Options opts, Net* base) : opts_(opts), base_(base) {
+  static Net posix;
+  if (base_ == nullptr) base_ = &posix;
+}
+
+FaultNet::~FaultNet() = default;
+
+uint64_t FaultNet::Mix(uint64_t a, uint64_t b) const {
+  // splitmix64 finalizer over (seed, a, b).
+  uint64_t x = opts_.seed ^ (a * 0x9e3779b97f4a7c15ull) ^ (b + 0x7f4a7c15ull);
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ull;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebull;
+  x ^= x >> 31;
+  return x;
+}
+
+int FaultNet::Gate(size_t len, size_t* cap) {
+  uint32_t stall_ms;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++ops_;
+    const uint64_t op = ops_ - op_base_;
+    stall_ms = opts_.stall_ms;
+    if (opts_.reset_after_ops != kNoFault && op > opts_.reset_after_ops) {
+      // One transient reset unless sticky: re-arm past this op.
+      if (!opts_.sticky) opts_.reset_after_ops = kNoFault;
+      ++faults_;
+      return ECONNRESET;
+    }
+    if (opts_.eagain_every != 0 && ops_ % opts_.eagain_every == 0) {
+      ++faults_;
+      return EAGAIN;
+    }
+    *cap = len;
+    if (opts_.short_io != 0 && len > 1) {
+      *cap = 1 + static_cast<size_t>(Mix(ops_, len) % opts_.short_io);
+      if (*cap > len) *cap = len;
+    }
+  }
+  if (stall_ms != 0) {
+    struct timespec ts = {stall_ms / 1000, (stall_ms % 1000) * 1000000L};
+    nanosleep(&ts, nullptr);
+  }
+  return 0;
+}
+
+ssize_t FaultNet::Recv(int fd, void* buf, size_t len, int* err) {
+  size_t cap = len;
+  if (int e = Gate(len, &cap); e != 0) {
+    if (err != nullptr) *err = e;
+    return -1;
+  }
+  return base_->Recv(fd, buf, cap, err);
+}
+
+ssize_t FaultNet::Send(int fd, const void* buf, size_t len, int* err) {
+  size_t cap = len;
+  if (int e = Gate(len, &cap); e != 0) {
+    if (err != nullptr) *err = e;
+    return -1;
+  }
+  return base_->Send(fd, buf, cap, err);
+}
+
+uint64_t FaultNet::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+uint64_t FaultNet::faults_injected() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return faults_;
+}
+
+void FaultNet::SetResetAfterOps(uint64_t k) {
+  std::lock_guard<std::mutex> lock(mu_);
+  op_base_ = ops_;
+  opts_.reset_after_ops = k;
+}
+
+void FaultNet::ClearFaults() {
+  std::lock_guard<std::mutex> lock(mu_);
+  opts_.short_io = 0;
+  opts_.eagain_every = 0;
+  opts_.reset_after_ops = kNoFault;
+  opts_.stall_ms = 0;
+}
+
+}  // namespace tml

@@ -1,0 +1,116 @@
+// Net: the socket I/O seam, mirroring the Vfs design at the network
+// boundary (DESIGN.md §13).
+//
+// Production code calls recv(2)/send(2) through Net::Default(); tests and
+// chaos harnesses substitute a FaultNet that perturbs the byte stream
+// deterministically:
+//
+//   * short I/O — each Recv/Send moves only 1..short_io bytes, chopping
+//     frames at arbitrary boundaries (exercises kNeedMore reassembly and
+//     partial-write flushing);
+//   * EAGAIN storms — every `eagain_every`-th op reports EAGAIN without
+//     moving bytes (exercises level-triggered re-arm paths);
+//   * mid-frame resets — ops after `reset_after_ops` fail with
+//     ECONNRESET, optionally sticky (a peer that vanished);
+//   * stalls — every op first sleeps `stall_ms` (a slow or congested
+//     link; exercises idle/slow-read sweeps).
+//
+// Net::Default() honors TYCOON_NETFAULT_* environment knobs, exactly like
+// Vfs::Default() honors TYCOON_FAULT_*, so a stock tycd binary can be run
+// under network chaos with zero code changes:
+//
+//   TYCOON_NETFAULT_SHORT_IO=<n>      cap each op at 1..n bytes
+//   TYCOON_NETFAULT_EAGAIN_EVERY=<n>  every n-th op returns EAGAIN
+//   TYCOON_NETFAULT_RESET_AT=<n>      ops after the n-th fail ECONNRESET
+//   TYCOON_NETFAULT_STICKY=0|1        resets keep failing (default 0)
+//   TYCOON_NETFAULT_STALL_MS=<n>      sleep n ms before each op
+//   TYCOON_NETFAULT_SEED=<n>          drives the short-I/O length hash
+//
+// Unlike FaultVfs, FaultNet is a wrapper, not a replacement: bytes that
+// it does move travel over the real socket, so both ends of a connection
+// stay genuinely coupled and only the *schedule* is perturbed.
+
+#ifndef TML_SUPPORT_NET_H_
+#define TML_SUPPORT_NET_H_
+
+#include <sys/types.h>
+
+#include <cstdint>
+#include <mutex>
+
+namespace tml {
+
+/// Narrow syscall surface for stream-socket I/O.  Both calls follow the
+/// syscall contract: return the byte count moved, 0 for EOF (Recv), or -1
+/// with `*err` holding the errno.  `*err` is always written on failure
+/// (callers must not read the global errno — a fault impl may not set it).
+class Net {
+ public:
+  virtual ~Net();
+
+  virtual ssize_t Recv(int fd, void* buf, size_t len, int* err);
+  virtual ssize_t Send(int fd, const void* buf, size_t len, int* err);
+
+  /// The process-wide posix implementation, wrapped in a FaultNet when
+  /// any TYCOON_NETFAULT_* knob is set in the environment.
+  static Net* Default();
+};
+
+/// Deterministic fault-injecting Net (see file comment).  Thread-safe:
+/// the op counter and fault schedule are mutex-guarded, mirroring
+/// FaultVfs.
+class FaultNet final : public Net {
+ public:
+  static constexpr uint64_t kNoFault = ~0ull;
+
+  struct Options {
+    /// Cap each Recv/Send at 1..short_io bytes (seeded); 0 = off.
+    uint32_t short_io = 0;
+    /// Every n-th op returns EAGAIN without moving bytes; 0 = off.
+    uint64_t eagain_every = 0;
+    /// 1-based: ops 1..reset_after_ops succeed, later ones ECONNRESET.
+    uint64_t reset_after_ops = kNoFault;
+    /// Keep resetting after the first (peer truly gone) vs one transient.
+    bool sticky = false;
+    /// Sleep this long before every op (slow link); 0 = off.
+    uint32_t stall_ms = 0;
+    /// Drives short-I/O lengths.
+    uint64_t seed = 0;
+  };
+
+  /// `base` must outlive this FaultNet; null means the posix impl.
+  FaultNet();
+  explicit FaultNet(Options opts, Net* base = nullptr);
+  ~FaultNet() override;
+
+  ssize_t Recv(int fd, void* buf, size_t len, int* err) override;
+  ssize_t Send(int fd, const void* buf, size_t len, int* err) override;
+
+  /// Total ops issued so far (the chaos sweep's boundary count).
+  uint64_t ops() const;
+  /// Number of faults injected so far (EAGAINs + resets).
+  uint64_t faults_injected() const;
+
+  /// Re-arm: the next `k` ops (counted from now) succeed, later ones
+  /// fail with ECONNRESET.
+  void SetResetAfterOps(uint64_t k);
+  /// Disable all faulting from now on (counters keep advancing).
+  void ClearFaults();
+
+ private:
+  /// Returns 0 to proceed, or the errno to inject for this op; on
+  /// proceed, *cap is the short-I/O byte limit (<= len).
+  int Gate(size_t len, size_t* cap);
+  uint64_t Mix(uint64_t a, uint64_t b) const;
+
+  mutable std::mutex mu_;
+  Options opts_;
+  Net* base_;
+  uint64_t op_base_ = 0;  ///< ops consumed before the current schedule
+  uint64_t ops_ = 0;
+  uint64_t faults_ = 0;
+};
+
+}  // namespace tml
+
+#endif  // TML_SUPPORT_NET_H_

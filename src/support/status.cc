@@ -18,6 +18,8 @@ const char* StatusCodeToString(StatusCode code) {
       return "IOError";
     case StatusCode::kCorruption:
       return "Corruption";
+    case StatusCode::kDeadline:
+      return "Deadline";
     case StatusCode::kUnimplemented:
       return "Unimplemented";
     case StatusCode::kRuntimeError:

@@ -27,6 +27,7 @@ enum class StatusCode : int {
   kCorruption,     ///< store or PTML bytes fail integrity checks
   kUnimplemented,  ///< feature hole (should not be reachable from tests)
   kRuntimeError,   ///< VM-level failure that is not a TML exception
+  kDeadline,       ///< wall-clock deadline exceeded (server request limits)
 };
 
 /// Human-readable name for a StatusCode ("Invalid", "IOError", ...).
@@ -62,6 +63,9 @@ class Status {
   }
   static Status RuntimeError(std::string msg) {
     return Status(StatusCode::kRuntimeError, std::move(msg));
+  }
+  static Status Deadline(std::string msg) {
+    return Status(StatusCode::kDeadline, std::move(msg));
   }
 
   bool ok() const { return rep_ == nullptr; }

@@ -130,12 +130,20 @@ T* As(const Value& v) {
 /// Mark-sweep heap.  Collection runs when allocated object count crosses a
 /// growing threshold; the VM supplies roots (frames, handler values,
 /// swizzle table) via the GC visitor in vm.cc.
+///
+/// Byte accounting (for VMOptions::heap_budget_bytes): New() charges the
+/// object's base size, allocation sites charge payload bytes they size
+/// (AccountBytes), and Sweep() recomputes the exact total from survivors —
+/// so any growth the interpreter didn't account (query-output appends,
+/// vector slack) is corrected at every collection, bounding drift to one
+/// GC cycle.
 class Heap {
  public:
   template <typename T>
   T* New() {
     auto owned = std::make_unique<T>();
     T* ptr = owned.get();
+    bytes_ += sizeof(T) + kObjSlack;
     objects_.push_back(std::move(owned));
     return ptr;
   }
@@ -144,16 +152,46 @@ class Heap {
   size_t gc_threshold() const { return gc_threshold_; }
   bool ShouldCollect() const { return objects_.size() >= gc_threshold_; }
 
+  /// Approximate live bytes: exact as of the last Sweep, plus everything
+  /// charged since (see class comment).
+  uint64_t bytes_allocated() const { return bytes_; }
+  /// Charge payload bytes at an allocation site that knows its size.
+  void AccountBytes(uint64_t n) { bytes_ += n; }
+
+  /// Approximate footprint of one object: base + payload capacity.
+  static uint64_t ApproxBytes(const Obj* o) {
+    switch (o->kind) {
+      case ObjKind::kArray:
+        return sizeof(ArrayObj) + kObjSlack +
+               static_cast<const ArrayObj*>(o)->slots.capacity() *
+                   sizeof(Value);
+      case ObjKind::kBytes:
+        return sizeof(BytesObj) + kObjSlack +
+               static_cast<const BytesObj*>(o)->bytes.capacity();
+      case ObjKind::kString:
+        return sizeof(StringObj) + kObjSlack +
+               static_cast<const StringObj*>(o)->str.capacity();
+      case ObjKind::kClosure:
+        return sizeof(ClosureObj) + kObjSlack +
+               static_cast<const ClosureObj*>(o)->caps.capacity() *
+                   sizeof(Value);
+    }
+    return kObjSlack;
+  }
+
   /// Sweep unmarked objects; callers must have marked all roots.
   void Sweep() {
     size_t w = 0;
+    uint64_t live_bytes = 0;
     for (size_t i = 0; i < objects_.size(); ++i) {
       if (objects_[i]->marked) {
         objects_[i]->marked = false;
+        live_bytes += ApproxBytes(objects_[i].get());
         objects_[w++] = std::move(objects_[i]);
       }
     }
     objects_.resize(w);
+    bytes_ = live_bytes;
     gc_threshold_ = std::max<size_t>(kMinThreshold, objects_.size() * 2);
   }
 
@@ -170,8 +208,11 @@ class Heap {
 
  private:
   static constexpr size_t kMinThreshold = 4096;
+  /// Per-object bookkeeping overhead (unique_ptr slot, allocator headers).
+  static constexpr size_t kObjSlack = 48;
   std::vector<std::unique_ptr<Obj>> objects_;
   size_t gc_threshold_ = kMinThreshold;
+  uint64_t bytes_ = 0;
 };
 
 /// Render a value for tests and the "print" host function.

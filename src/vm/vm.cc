@@ -1,5 +1,7 @@
 #include "vm/vm.h"
 
+#include <time.h>
+
 #include <algorithm>
 #include <cmath>
 #include <cstdio>
@@ -287,6 +289,7 @@ Result<RunResult> VM::RunClosure(Value closure, std::span<const Value> args) {
     budget_deadline_ = opts_.step_budget == 0
                            ? UINT64_MAX
                            : total_steps_ + opts_.step_budget;
+    oom_raised_ = false;
   }
   TML_RETURN_NOT_OK(PushFrame(closure, args, 0, false));
   bool raised = false;
@@ -317,6 +320,7 @@ Result<VM::CallOut> VM::CallSync(Value callee, std::span<const Value> args) {
     budget_deadline_ = opts_.step_budget == 0
                            ? UINT64_MAX
                            : total_steps_ + opts_.step_budget;
+    oom_raised_ = false;
   }
   TML_RETURN_NOT_OK(PushFrame(callee, args, 0, false));
   bool raised = false;
@@ -422,6 +426,25 @@ Status VM::StepLimitStatus() const {
   }
   return Status::OutOfRange("vm: step budget exceeded (budget=" +
                             std::to_string(opts_.step_budget) + ")");
+}
+
+uint64_t VM::MonotonicNowNs() {
+  struct timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return static_cast<uint64_t>(ts.tv_sec) * 1'000'000'000ull +
+         static_cast<uint64_t>(ts.tv_nsec);
+}
+
+Status VM::StepGate(uint64_t* soft_deadline) {
+  const uint64_t hard = std::min(opts_.max_steps, budget_deadline_);
+  if (total_steps_ > hard) return StepLimitStatus();
+  // Only here to poll the wall clock: the soft watermark expired, no real
+  // step limit did.
+  if (run_deadline_ns_ != 0 && MonotonicNowNs() >= run_deadline_ns_) {
+    return Status::Deadline("vm: request deadline exceeded");
+  }
+  *soft_deadline = std::min(hard, total_steps_ + kDeadlinePollSteps);
+  return Status::OK();
 }
 
 Result<Value> VM::Execute(size_t base, bool* raised) {

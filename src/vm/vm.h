@@ -73,6 +73,15 @@ struct VMOptions {
   /// run starts with a fresh budget.  Nested calls (query predicates,
   /// host re-entry) share the enclosing run's budget.
   uint64_t step_budget = 0;
+  /// Per-VM heap budget in approximate live bytes (0 = unlimited).  When
+  /// an allocation site would push Heap::bytes_allocated() past this, the
+  /// VM first collects garbage; if still over, it raises a *catchable*
+  /// TML fault ("out of memory") instead of aborting the process — a
+  /// hostile allocation loop unwinds like any other raise, the heap stays
+  /// coherent, and the next run proceeds normally once the garbage is
+  /// collected.  An OOM raise that escapes the run is flagged on
+  /// oom_raised() so the server can answer ERR_OOM, not ERR_RAISED.
+  uint64_t heap_budget_bytes = 0;
   /// Maintain per-function execution counters (calls + steps attributed to
   /// the currently executing Function).  One frame-local increment per
   /// instruction plus one relaxed atomic add per call/return, so it is
@@ -167,6 +176,29 @@ class VM {
   void set_step_budget(uint64_t budget) { opts_.step_budget = budget; }
   uint64_t step_budget() const { return opts_.step_budget; }
 
+  /// Adjust the heap budget (see VMOptions::heap_budget_bytes; 0 =
+  /// unlimited).  Takes effect at the next allocation site.  Mutator
+  /// thread only.
+  void set_heap_budget(uint64_t bytes) { opts_.heap_budget_bytes = bytes; }
+  uint64_t heap_budget() const { return opts_.heap_budget_bytes; }
+
+  /// Absolute CLOCK_MONOTONIC deadline for execution (0 = none): once
+  /// MonotonicNowNs() passes it, the run aborts with a kDeadline status.
+  /// Enforced through the step-budget polling seam — the hot path stays a
+  /// single step-count compare, and the clock is read only every
+  /// kDeadlinePollSteps instructions — so resolution is a few tens of
+  /// microseconds of VM work, plenty for millisecond-scale request
+  /// deadlines.  The server's dispatch workers arm this per request;
+  /// blocking host calls are not interrupted (the check fires on the next
+  /// executed instruction).  Mutator thread only.
+  void set_run_deadline_ns(uint64_t abs_ns) { run_deadline_ns_ = abs_ns; }
+  uint64_t run_deadline_ns() const { return run_deadline_ns_; }
+  static uint64_t MonotonicNowNs();
+
+  /// True when the most recent outermost run ended with an out-of-memory
+  /// raise that no TML handler caught (see VMOptions::heap_budget_bytes).
+  bool oom_raised() const { return oom_raised_; }
+
   /// Drop the cached swizzle for `oid` so the next resolution reloads it
   /// from the runtime environment — the installation hook of the adaptive
   /// optimizer (regenerated code replaces a closure's code record, then the
@@ -238,6 +270,13 @@ class VM {
   /// (RuntimeError, checked first to match historical ordering) vs the
   /// per-run step budget (OutOfRange).
   Status StepLimitStatus() const;
+  /// Slow path behind the loop's step-deadline compare: non-OK when a real
+  /// limit (max_steps / step budget / wall-clock deadline) is exhausted;
+  /// otherwise renews *soft_deadline to the next wall-clock poll point and
+  /// execution continues.
+  Status StepGate(uint64_t* soft_deadline);
+  /// How many steps run between wall-clock reads (see set_run_deadline_ns).
+  static constexpr uint64_t kDeadlinePollSteps = 32768;
 
   /// Route a fault: local fail-info, else unwind (bounded by `base`).
   /// Returns false when the fault escapes the run boundary.
@@ -300,6 +339,12 @@ class VM {
   /// "step budget exceeded" (UINT64_MAX = no budget).  Armed at every
   /// outermost Run/RunClosure/CallSync entry from opts_.step_budget.
   uint64_t budget_deadline_ = UINT64_MAX;
+  /// Absolute wall-clock deadline (see set_run_deadline_ns; 0 = none).
+  uint64_t run_deadline_ns_ = 0;
+  /// An OOM raise escaped the current/most recent outermost run (see
+  /// VMOptions::heap_budget_bytes); cleared at every outermost run entry
+  /// and whenever a TML handler catches the OOM.
+  bool oom_raised_ = false;
 
   // Mutator-local telemetry tallies and their published watermarks (see
   // PublishTelemetry).

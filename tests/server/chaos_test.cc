@@ -1,0 +1,305 @@
+// Chaos soak (ISSUE 10 acceptance): a disk-backed tyd server under
+// concurrent hostile clients — budget kills, OOM allocations, deadline
+// kills, garbage bytes, abandoned pipelines — with FaultNet chopping and
+// EAGAIN-storming every socket op, then a SIGTERM-style Stop() mid-load.
+// The store must reopen with a zero salvage report (graceful drain means
+// no salvage, ever), every frame any client decoded must be well-formed,
+// and a restarted server over the same store must serve immediately.
+//
+// The suite name contains "Concurrent" so the --tsan sweep runs it.
+// TYCOON_CHAOS_SECONDS lengthens the soak (default is CI-short).
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "support/net.h"
+#include "tests/test_util.h"
+
+namespace tml::server {
+namespace {
+
+using rt::Universe;
+
+/// splitmix64: per-thread deterministic op schedule.
+uint64_t Mix(uint64_t a, uint64_t b) {
+  uint64_t z = a * 0x9E3779B97F4A7C15ull + b;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ull;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBull;
+  return z ^ (z >> 31);
+}
+
+uint64_t SoakMillis() {
+  const char* env = std::getenv("TYCOON_CHAOS_SECONDS");
+  if (env != nullptr && *env != '\0') {
+    uint64_t secs = std::strtoull(env, nullptr, 10);
+    if (secs > 0) return secs * 1000;
+  }
+  return 1500;  // CI-short default
+}
+
+struct SoakStats {
+  std::atomic<uint64_t> ok{0};             ///< non-ERR replies
+  std::atomic<uint64_t> err_frames{0};     ///< clean ERR_* replies
+  std::atomic<uint64_t> transport{0};      ///< connect/IO failures (fine)
+  std::atomic<uint64_t> torn_frames{0};    ///< decode Corruption (MUST be 0)
+  std::atomic<uint64_t> unknown_errs{0};   ///< ERR code outside the enum
+};
+
+bool KnownErrCode(uint32_t code) {
+  switch (code) {
+    case ERR_TOO_BIG:
+    case ERR_BAD_ARG:
+    case ERR_UNKNOWN:
+    case ERR_NOT_FOUND:
+    case ERR_RUNTIME:
+    case ERR_BUDGET:
+    case ERR_RAISED:
+    case ERR_SHUTDOWN:
+    case ERR_OOM:
+    case ERR_DEADLINE:
+    case ERR_OVERLOAD:
+      return true;
+    default:
+      return false;
+  }
+}
+
+/// One hostile client thread: a deterministic mix of well-behaved and
+/// abusive traffic until `stop` flips.
+void HostileClient(const std::string& sock, uint64_t seed,
+                   std::atomic<bool>* stop, SoakStats* stats) {
+  uint64_t op = 0;
+  while (!stop->load(std::memory_order_acquire)) {
+    auto c = Client::ConnectUnix(sock);
+    if (!c.ok()) {
+      // Shed at accept, listener mid-shutdown, backlog full: all fine.
+      stats->transport.fetch_add(1, std::memory_order_relaxed);
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+      continue;
+    }
+    // A handful of ops per connection, then churn the session.
+    int per_conn = 1 + static_cast<int>(Mix(seed, op) % 6);
+    for (int k = 0; k < per_conn && !stop->load(std::memory_order_acquire);
+         ++k, ++op) {
+      uint64_t dice = Mix(seed, op) % 10;
+      Result<WireValue> r = WireValue::Nil();
+      switch (dice) {
+        case 0:  // plain liveness
+          r = c->Call({"PING"});
+          break;
+        case 1:  // honest work
+        case 2:
+          r = c->Call(WireValue::Arr(
+              {WireValue::Str("CALL"), WireValue::Str("m"),
+               WireValue::Str("double"),
+               WireValue::Int(static_cast<int64_t>(op % 1000))}));
+          break;
+        case 3: {  // budget kill
+          (void)c->Call(WireValue::Arr(
+              {WireValue::Str("BUDGET"), WireValue::Int(200'000)}));
+          r = c->Call(WireValue::Arr({WireValue::Str("CALL"),
+                                      WireValue::Str("s"),
+                                      WireValue::Str("spin"),
+                                      WireValue::Int(0)}));
+          break;
+        }
+        case 4: {  // OOM kill
+          (void)c->Call(WireValue::Arr({WireValue::Str("BUDGET"),
+                                        WireValue::Str("MEM"),
+                                        WireValue::Int(256 * 1024)}));
+          r = c->Call(WireValue::Arr({WireValue::Str("CALL"),
+                                      WireValue::Str("a"),
+                                      WireValue::Str("alloc"),
+                                      WireValue::Int(10'000'000)}));
+          break;
+        }
+        case 5: {  // deadline kill (steps unlimited)
+          (void)c->Call(WireValue::Arr(
+              {WireValue::Str("BUDGET"), WireValue::Int(0)}));
+          (void)c->Call(WireValue::Arr(
+              {WireValue::Str("DEADLINE"), WireValue::Int(20)}));
+          r = c->Call(WireValue::Arr({WireValue::Str("CALL"),
+                                      WireValue::Str("s"),
+                                      WireValue::Str("spin"),
+                                      WireValue::Int(0)}));
+          break;
+        }
+        case 6: {  // store mutation under chaos
+          std::string mod = "chaos_" + std::to_string(seed % 7);
+          r = c->Call({"INSTALL", mod, "fun id(x) = x end"});
+          break;
+        }
+        case 7: {  // garbage bytes, then vanish
+          uint8_t junk[16];
+          for (size_t j = 0; j < sizeof junk; ++j) {
+            junk[j] = static_cast<uint8_t>(Mix(op, j));
+          }
+          (void)send(c->fd(), junk, sizeof junk, MSG_NOSIGNAL);
+          c->Close();
+          k = per_conn;  // next connection
+          break;
+        }
+        case 8: {  // abandoned pipeline: requests in flight, peer dies
+          for (int q = 0; q < 4; ++q) {
+            (void)c->Send(WireValue::Arr(
+                {WireValue::Str("CALL"), WireValue::Str("m"),
+                 WireValue::Str("double"), WireValue::Int(q)}));
+          }
+          c->Close();
+          k = per_conn;
+          break;
+        }
+        default:  // read-side load
+          r = c->Call({"STATS"});
+          break;
+      }
+      if (dice == 7 || dice == 8) continue;
+      if (!r.ok()) {
+        if (r.status().code() == StatusCode::kCorruption) {
+          stats->torn_frames.fetch_add(1, std::memory_order_relaxed);
+        } else {
+          stats->transport.fetch_add(1, std::memory_order_relaxed);
+        }
+        break;  // dead socket: reconnect
+      }
+      if (r->is_err()) {
+        stats->err_frames.fetch_add(1, std::memory_order_relaxed);
+        if (!KnownErrCode(r->err_code)) {
+          stats->unknown_errs.fetch_add(1, std::memory_order_relaxed);
+        }
+      } else {
+        stats->ok.fetch_add(1, std::memory_order_relaxed);
+      }
+    }
+  }
+}
+
+class ChaosConcurrentTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    db_path_ = ::testing::TempDir() + "/tyd_chaos_" +
+               std::to_string(reinterpret_cast<uintptr_t>(this)) + ".db";
+    sock_path_ = ::testing::TempDir() + "/tyd_chaos_" +
+                 std::to_string(reinterpret_cast<uintptr_t>(this)) + ".sock";
+    std::remove(db_path_.c_str());
+  }
+  void TearDown() override { std::remove(db_path_.c_str()); }
+
+  std::string db_path_;
+  std::string sock_path_;
+};
+
+TEST_F(ChaosConcurrentTest, SoakThenSigtermLeavesACleanStore) {
+  SoakStats stats;
+  const uint64_t soak_ms = SoakMillis();
+
+  // Every server-side socket op goes through a fault schedule: chopped
+  // to at most 9 bytes, with a spurious EAGAIN every 13th op.
+  FaultNet::Options fo;
+  fo.short_io = 9;
+  fo.eagain_every = 13;
+  fo.seed = 0xC4A05;
+  FaultNet fnet(fo);
+
+  // Phase 1: serve hostile traffic, then Stop() mid-load (tyd's SIGTERM
+  // handler calls exactly this).
+  {
+    auto s = store::ObjectStore::Open(db_path_);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    Universe u(s->get());
+    ASSERT_OK(u.InstallStdlib());
+    ASSERT_OK(u.InstallSource("m", "fun double(x) = x + x end",
+                              fe::BindingMode::kLibrary));
+    ASSERT_OK(u.InstallSource("s", "fun spin(n) = spin(n + 1) end",
+                              fe::BindingMode::kLibrary));
+    ASSERT_OK(u.InstallSource("a", "fun alloc(n) = size(newarray(n, 0)) end",
+                              fe::BindingMode::kLibrary));
+
+    ServerOptions o;
+    o.unix_path = sock_path_;
+    o.net = &fnet;
+    o.max_sessions = 32;
+    o.max_queued_batches = 4;
+    o.max_session_buffer = 64 * 1024;
+    o.default_step_budget = 5'000'000;
+    o.default_deadline_ms = 2'000;
+    o.read_timeout_ms = 1'000;
+    Server server(&u, o);
+    ASSERT_OK(server.Start());
+
+    std::atomic<bool> stop{false};
+    std::vector<std::thread> clients;
+    for (uint64_t t = 0; t < 4; ++t) {
+      clients.emplace_back(HostileClient, sock_path_, t + 1, &stop, &stats);
+    }
+
+    // Stop the server while the clients are still firing — the SIGTERM
+    // case.  Only then tell the clients to wind down.
+    std::this_thread::sleep_for(std::chrono::milliseconds(soak_ms));
+    server.Stop();
+    server.Join();
+    stop.store(true, std::memory_order_release);
+    for (auto& th : clients) th.join();
+  }
+
+  // The soak must have exercised both the happy path and the error paths,
+  // with zero torn frames and no error code outside the protocol enum.
+  EXPECT_GT(stats.ok.load(), 0u);
+  EXPECT_GT(stats.err_frames.load(), 0u);
+  EXPECT_EQ(stats.torn_frames.load(), 0u)
+      << "a client decoded a torn/corrupt frame during the soak";
+  EXPECT_EQ(stats.unknown_errs.load(), 0u);
+  EXPECT_GT(fnet.faults_injected(), 0u) << "FaultNet never fired: the soak "
+                                           "did not actually test the seam";
+
+  // Phase 2: the store reopens with salvage *allowed* but *unneeded* — a
+  // graceful drain commits; it never leans on recovery.
+  {
+    store::OpenOptions oo;
+    oo.recovery = store::RecoveryPolicy::kSalvage;
+    auto s = store::ObjectStore::Open(db_path_, oo);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    const store::SalvageReport& rep = (*s)->salvage_report();
+    EXPECT_FALSE(rep.salvaged);
+    EXPECT_FALSE(rep.header_rebuilt);
+    EXPECT_EQ(rep.quarantined_records, 0u);
+    EXPECT_EQ(rep.truncated_bytes, 0u);
+
+    // Phase 3: a restarted server over the same store serves immediately.
+    Universe u(s->get());
+    ASSERT_OK(u.LoadPersistedModules());
+    ServerOptions o;
+    o.unix_path = sock_path_;
+    Server server(&u, o);
+    ASSERT_OK(server.Start());
+    auto c = Client::ConnectUnix(sock_path_);
+    ASSERT_TRUE(c.ok()) << c.status().ToString();
+    auto r = c->Call(WireValue::Arr({WireValue::Str("CALL"),
+                                     WireValue::Str("m"),
+                                     WireValue::Str("double"),
+                                     WireValue::Int(21)}));
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    ASSERT_FALSE(r->is_err()) << r->s;
+    EXPECT_EQ(r->i, 42);
+    server.Stop();
+    server.Join();
+  }
+}
+
+}  // namespace
+}  // namespace tml::server

@@ -9,6 +9,7 @@
 #include <sys/stat.h>
 #include <unistd.h>
 
+#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
@@ -306,6 +307,55 @@ TEST_F(ObserveTest, MetricsHttpServesRealSockets) {
 
   http.Stop();
   http.Stop();  // idempotent
+}
+
+TEST_F(ObserveTest, MetricsHttpSurvivesAStallingScraper) {
+  StartServer();
+  MetricsHttpServer http(universe_.get(), server_.get());
+  ASSERT_OK(http.Start("127.0.0.1", 0));
+  ASSERT_GT(http.port(), 0);
+
+  auto dial = [&] {
+    int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    EXPECT_GE(fd, 0);
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<uint16_t>(http.port()));
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    EXPECT_EQ(::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr),
+              0)
+        << strerror(errno);
+    return fd;
+  };
+
+  // A slowloris scraper: one byte of a request, then silence.  The
+  // single-threaded listener must cut it at the overall 2s deadline
+  // instead of waiting on it forever (or, worse, being trickled one byte
+  // every 1.9s indefinitely).
+  int stall_fd = dial();
+  ASSERT_EQ(::send(stall_fd, "G", 1, MSG_NOSIGNAL), 1);
+
+  // Meanwhile a well-behaved scrape queued behind it must still complete
+  // in bounded time: listener wedge would make this hang past the bound.
+  auto t0 = std::chrono::steady_clock::now();
+  int good_fd = dial();
+  std::string req = "GET /healthz HTTP/1.0\r\n\r\n";
+  ASSERT_EQ(::send(good_fd, req.data(), req.size(), 0),
+            static_cast<ssize_t>(req.size()));
+  std::string out;
+  char buf[1024];
+  ssize_t n;
+  while ((n = ::recv(good_fd, buf, sizeof buf, 0)) > 0) {
+    out.append(buf, static_cast<size_t>(n));
+  }
+  ::close(good_fd);
+  auto waited = std::chrono::duration_cast<std::chrono::seconds>(
+      std::chrono::steady_clock::now() - t0);
+  EXPECT_NE(out.find("HTTP/1.0 200"), std::string::npos) << out;
+  EXPECT_LT(waited.count(), 10) << "listener wedged behind a stalled scraper";
+
+  ::close(stall_fd);
+  http.Stop();
 }
 
 }  // namespace

@@ -1,0 +1,502 @@
+// The overload- and failure-resilience layer of the tyd server
+// (DESIGN.md §13): admission control and ERR_OVERLOAD shedding,
+// per-session backpressure, request deadlines (DEADLINE / ERR_DEADLINE),
+// heap budgets (BUDGET MEM / ERR_OOM), idle and slow-read timeouts, the
+// FaultNet chaos seam threaded through the server loop, Unix-socket
+// takeover refusal, and the client's idempotent-only retry/backoff.
+
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "runtime/universe.h"
+#include "server/client.h"
+#include "server/protocol.h"
+#include "server/server.h"
+#include "support/net.h"
+#include "telemetry/metrics.h"
+#include "tests/test_util.h"
+
+namespace tml::server {
+namespace {
+
+using rt::Universe;
+
+std::unique_ptr<store::ObjectStore> OpenStore(const std::string& path = "") {
+  auto s = store::ObjectStore::Open(path);
+  EXPECT_TRUE(s.ok()) << s.status().ToString();
+  return std::move(*s);
+}
+
+constexpr const char* kMathSrc = "fun double(x) = x + x end";
+constexpr const char* kSpinSrc = "fun spin(n) = spin(n + 1) end";
+constexpr const char* kAllocSrc = "fun alloc(n) = size(newarray(n, 0)) end";
+constexpr const char* kSafeAllocSrc =
+    "fun safe(n) = try size(newarray(n, 0)) catch e -> 0 - 1 end end";
+
+std::string UniqueSock(const void* self) {
+  return ::testing::TempDir() + "/tyd_res_" +
+         std::to_string(reinterpret_cast<uintptr_t>(self)) + ".sock";
+}
+
+class ResilienceTest : public ::testing::Test {
+ protected:
+  void StartServer(ServerOptions opts) {
+    store_ = OpenStore("");
+    universe_ = std::make_unique<Universe>(store_.get());
+    ASSERT_OK(universe_->InstallStdlib());
+    opts_ = std::move(opts);
+    if (opts_.unix_path.empty() && opts_.tcp_port < 0) {
+      opts_.unix_path = UniqueSock(this);
+    }
+    server_ = std::make_unique<Server>(universe_.get(), opts_);
+    ASSERT_OK(server_->Start());
+  }
+
+  void TearDown() override {
+    if (server_ != nullptr) {
+      server_->Stop();
+      server_->Join();
+    }
+  }
+
+  Client Connect(ClientOptions copts = {}) {
+    auto c = Client::ConnectUnix(opts_.unix_path, copts);
+    EXPECT_TRUE(c.ok()) << c.status().ToString();
+    return std::move(*c);
+  }
+
+  std::unique_ptr<store::ObjectStore> store_;
+  std::unique_ptr<Universe> universe_;
+  std::unique_ptr<Server> server_;
+  ServerOptions opts_;
+};
+
+// ---------------------------------------------------------------------------
+// Admission control
+
+TEST_F(ResilienceTest, OverCapacityConnectIsShedWithCleanFrame) {
+  ServerOptions o;
+  o.max_sessions = 1;
+  StartServer(o);
+  uint64_t shed_before =
+      telemetry::Registry::Global().GetCounter("tml.server.shed_total")->value();
+
+  Client keeper = Connect();
+  auto pong = keeper.Call({"PING"});
+  ASSERT_TRUE(pong.ok()) << pong.status().ToString();
+
+  // The second connect is accepted at the socket layer and then shed: it
+  // reads exactly one decodable ERR_OVERLOAD frame, never a hang or a
+  // torn stream.
+  Client shed = Connect();
+  auto r = shed.Call({"PING"});
+  ASSERT_TRUE(r.ok()) << "shed client saw transport garbage: "
+                      << r.status().ToString();
+  ASSERT_TRUE(r->is_err());
+  EXPECT_EQ(r->err_code, ERR_OVERLOAD) << r->s;
+
+  // The counter is bumped on the loop thread; give it a moment to land
+  // (the relaxed increment is not ordered against the frame delivery).
+  auto* shed_total =
+      telemetry::Registry::Global().GetCounter("tml.server.shed_total");
+  for (int k = 0; k < 200 && shed_total->value() <= shed_before; ++k) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  EXPECT_GT(shed_total->value(), shed_before);
+
+  // The admitted session is unaffected, and capacity frees on disconnect.
+  ASSERT_TRUE(keeper.Call({"PING"}).ok());
+  keeper.Close();
+  for (int k = 0; k < 100; ++k) {
+    Client again = Connect();
+    auto ok = again.Call({"PING"});
+    if (ok.ok() && !ok->is_err()) return;  // slot reclaimed
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  FAIL() << "capacity never freed after the admitted session closed";
+}
+
+// ---------------------------------------------------------------------------
+// Backpressure
+
+TEST_F(ResilienceTest, DeepPipelineDrainsUnderQueueCaps) {
+  ServerOptions o;
+  o.max_queued_batches = 2;
+  o.max_session_buffer = 4 * 1024;
+  StartServer(o);
+  ASSERT_OK(universe_->InstallSource("m", kMathSrc, fe::BindingMode::kLibrary));
+
+  // Pipeline far more requests than the queue caps allow to be buffered:
+  // the loop pauses reads (EPOLLIN disarm) and resumes as batches drain —
+  // every request still answers, in order.
+  Client c = Connect();
+  constexpr int kN = 500;
+  for (int k = 0; k < kN; ++k) {
+    WireValue req = WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("m"),
+                                    WireValue::Str("double"),
+                                    WireValue::Int(k)});
+    ASSERT_OK(c.Send(req));
+  }
+  for (int k = 0; k < kN; ++k) {
+    auto r = c.Recv();
+    ASSERT_TRUE(r.ok()) << "response " << k << ": " << r.status().ToString();
+    ASSERT_FALSE(r->is_err()) << "response " << k << ": " << r->s;
+    EXPECT_EQ(r->i, 2 * k);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadlines
+
+TEST_F(ResilienceTest, DeadlineCommandKillsSlowRequestWithErrDeadline) {
+  StartServer({});
+  ASSERT_OK(universe_->InstallSource("s", kSpinSrc, fe::BindingMode::kLibrary));
+
+  Client c = Connect();
+  // Unlimited steps, 50 ms of wall clock: only the deadline can stop the
+  // spin, and it must come back as ERR_DEADLINE (not ERR_BUDGET).
+  auto b = c.Call(WireValue::Arr({WireValue::Str("BUDGET"), WireValue::Int(0)}));
+  ASSERT_TRUE(b.ok() && !b->is_err()) << b.status().ToString();
+  auto d = c.Call(
+      WireValue::Arr({WireValue::Str("DEADLINE"), WireValue::Int(50)}));
+  ASSERT_TRUE(d.ok() && !d->is_err()) << d.status().ToString();
+
+  auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("s"),
+                                  WireValue::Str("spin"), WireValue::Int(0)}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->is_err());
+  EXPECT_EQ(r->err_code, ERR_DEADLINE) << r->s;
+
+  // DEADLINE 0 clears it; the session survives the kill.
+  auto clear = c.Call(
+      WireValue::Arr({WireValue::Str("DEADLINE"), WireValue::Int(0)}));
+  ASSERT_TRUE(clear.ok() && !clear->is_err());
+  ASSERT_OK(universe_->InstallSource("m", kMathSrc, fe::BindingMode::kLibrary));
+  auto ok = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("m"),
+                                   WireValue::Str("double"),
+                                   WireValue::Int(21)}));
+  ASSERT_TRUE(ok.ok() && !ok->is_err()) << ok.status().ToString();
+  EXPECT_EQ(ok->i, 42);
+}
+
+TEST_F(ResilienceTest, DefaultDeadlineAppliesWithoutCommand) {
+  ServerOptions o;
+  o.default_step_budget = 0;  // only the deadline can stop the spin
+  o.default_deadline_ms = 50;
+  StartServer(o);
+  ASSERT_OK(universe_->InstallSource("s", kSpinSrc, fe::BindingMode::kLibrary));
+  Client c = Connect();
+  auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("s"),
+                                  WireValue::Str("spin"), WireValue::Int(0)}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_TRUE(r->is_err());
+  EXPECT_EQ(r->err_code, ERR_DEADLINE) << r->s;
+}
+
+// ---------------------------------------------------------------------------
+// Heap budgets
+
+TEST_F(ResilienceTest, BudgetMemKillsAllocatorWithErrOom) {
+  StartServer({});
+  ASSERT_OK(
+      universe_->InstallSource("a", kAllocSrc, fe::BindingMode::kLibrary));
+
+  Client c = Connect();
+  auto b = c.Call(WireValue::Arr({WireValue::Str("BUDGET"),
+                                  WireValue::Str("MEM"),
+                                  WireValue::Int(256 * 1024)}));
+  ASSERT_TRUE(b.ok() && !b->is_err()) << b.status().ToString();
+
+  // Small allocation fits the budget.
+  auto small = c.Call(WireValue::Arr({WireValue::Str("CALL"),
+                                      WireValue::Str("a"),
+                                      WireValue::Str("alloc"),
+                                      WireValue::Int(100)}));
+  ASSERT_TRUE(small.ok() && !small->is_err()) << small.status().ToString();
+  EXPECT_EQ(small->i, 100);
+
+  // A 10M-slot array does not: the uncaught OOM fault is classified on
+  // the wire as ERR_OOM, distinct from an application raise.
+  auto big = c.Call(WireValue::Arr({WireValue::Str("CALL"),
+                                    WireValue::Str("a"),
+                                    WireValue::Str("alloc"),
+                                    WireValue::Int(10'000'000)}));
+  ASSERT_TRUE(big.ok()) << big.status().ToString();
+  ASSERT_TRUE(big->is_err());
+  EXPECT_EQ(big->err_code, ERR_OOM) << big->s;
+
+  // The session (and its worker VM) survive the kill.
+  auto again = c.Call(WireValue::Arr({WireValue::Str("CALL"),
+                                      WireValue::Str("a"),
+                                      WireValue::Str("alloc"),
+                                      WireValue::Int(100)}));
+  ASSERT_TRUE(again.ok() && !again->is_err()) << again.status().ToString();
+
+  // BUDGET MEM 0 lifts the cap again.
+  auto lift = c.Call(WireValue::Arr({WireValue::Str("BUDGET"),
+                                     WireValue::Str("MEM"), WireValue::Int(0)}));
+  ASSERT_TRUE(lift.ok() && !lift->is_err());
+  auto now_ok = c.Call(WireValue::Arr({WireValue::Str("CALL"),
+                                       WireValue::Str("a"),
+                                       WireValue::Str("alloc"),
+                                       WireValue::Int(1'000'000)}));
+  ASSERT_TRUE(now_ok.ok() && !now_ok->is_err()) << now_ok.status().ToString();
+}
+
+TEST_F(ResilienceTest, TmlCatchOfOomIsNotErrOom) {
+  ServerOptions o;
+  o.default_heap_budget = 256 * 1024;
+  StartServer(o);
+  ASSERT_OK(
+      universe_->InstallSource("a", kSafeAllocSrc, fe::BindingMode::kLibrary));
+  Client c = Connect();
+  // The program catches its own OOM: that is an ordinary value on the
+  // wire (-1 from the handler), not an ERR_OOM.
+  auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("a"),
+                                  WireValue::Str("safe"),
+                                  WireValue::Int(10'000'000)}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->is_err()) << r->s;
+  EXPECT_EQ(r->i, -1);
+}
+
+// ---------------------------------------------------------------------------
+// Timeouts
+
+TEST_F(ResilienceTest, IdleSessionIsClosed) {
+  ServerOptions o;
+  o.idle_timeout_ms = 100;
+  StartServer(o);
+  Client c = Connect();
+  ASSERT_TRUE(c.Call({"PING"}).ok());
+  // Sit idle past the timeout (+ the poll loop's 500 ms sweep tick): the
+  // server must close us, observed as EOF on a blocking read.
+  auto r = c.Recv();
+  ASSERT_FALSE(r.ok());
+  EXPECT_NE(r.status().ToString().find("closed"), std::string::npos)
+      << r.status().ToString();
+}
+
+TEST_F(ResilienceTest, SlowlorisPartialFrameIsCut) {
+  ServerOptions o;
+  o.read_timeout_ms = 100;
+  StartServer(o);
+
+  // Hand-roll a raw connection and send only a prefix of a valid frame.
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+
+  std::string frame;
+  ASSERT_OK(EncodeFrame(WireValue::Str("PING"), &frame));
+  ASSERT_GT(frame.size(), 3u);
+  ASSERT_EQ(send(fd, frame.data(), 3, MSG_NOSIGNAL), 3);
+
+  // The sweep cuts us within read_timeout_ms + one poll tick; the close
+  // is preceded by a best-effort ERR_OVERLOAD "read timeout" frame.
+  std::string got;
+  char buf[512];
+  while (true) {
+    ssize_t n = recv(fd, buf, sizeof buf, 0);
+    if (n <= 0) break;
+    got.append(buf, static_cast<size_t>(n));
+  }
+  close(fd);
+  WireValue v;
+  size_t consumed = 0;
+  ASSERT_EQ(DecodeFrame(reinterpret_cast<const uint8_t*>(got.data()),
+                        got.size(), &v, &consumed),
+            DecodeStatus::kOk)
+      << "no decodable courtesy frame before the cut (" << got.size()
+      << " bytes)";
+  ASSERT_TRUE(v.is_err());
+  EXPECT_EQ(v.err_code, ERR_OVERLOAD);
+  EXPECT_NE(v.s.find("read timeout"), std::string::npos) << v.s;
+}
+
+// ---------------------------------------------------------------------------
+// Unix-socket takeover refusal (the unconditional-unlink fix)
+
+TEST_F(ResilienceTest, SecondServerRefusesLiveSocketAndTakesStaleOne) {
+  StartServer({});
+  Client c = Connect();
+  ASSERT_TRUE(c.Call({"PING"}).ok());
+
+  // A second server on the same path must refuse to steal it while the
+  // first is alive...
+  auto store2 = OpenStore("");
+  Universe u2(store2.get());
+  ASSERT_OK(u2.InstallStdlib());
+  ServerOptions o2;
+  o2.unix_path = opts_.unix_path;
+  {
+    Server s2(&u2, o2);
+    Status st = s2.Start();
+    ASSERT_FALSE(st.ok());
+    EXPECT_EQ(st.code(), StatusCode::kAlreadyExists) << st.ToString();
+  }
+  // ...and the first server is still serving afterwards.
+  ASSERT_TRUE(c.Call({"PING"}).ok());
+
+  // A *stale* socket file (dead predecessor) is fair game: stop server 1
+  // and fake a crash by re-creating the socket file it unlinked.
+  c.Close();
+  server_->Stop();
+  server_->Join();
+  int fd = socket(AF_UNIX, SOCK_STREAM, 0);
+  ASSERT_GE(fd, 0);
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, opts_.unix_path.c_str(),
+               sizeof addr.sun_path - 1);
+  ASSERT_EQ(bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof addr), 0);
+  close(fd);  // bound but never listening: connects refuse, file remains
+
+  Server s3(&u2, o2);
+  ASSERT_OK(s3.Start());
+  auto c3 = Client::ConnectUnix(o2.unix_path);
+  ASSERT_TRUE(c3.ok()) << c3.status().ToString();
+  ASSERT_TRUE(c3->Call({"PING"}).ok());
+  s3.Stop();
+  s3.Join();
+}
+
+// ---------------------------------------------------------------------------
+// FaultNet through the server loop
+
+TEST_F(ResilienceTest, ServesCorrectlyOverChoppedAndStormySockets) {
+  FaultNet::Options fo;
+  fo.short_io = 7;       // every op moves 1..7 bytes
+  fo.eagain_every = 5;   // plus periodic spurious EAGAINs
+  fo.seed = 42;
+  FaultNet fnet(fo);
+  ServerOptions o;
+  o.net = &fnet;
+  StartServer(o);
+  ASSERT_OK(universe_->InstallSource("m", kMathSrc, fe::BindingMode::kLibrary));
+
+  Client c = Connect();
+  for (int k = 0; k < 20; ++k) {
+    auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("m"),
+                                    WireValue::Str("double"),
+                                    WireValue::Int(k)}));
+    ASSERT_TRUE(r.ok()) << "call " << k << ": " << r.status().ToString();
+    ASSERT_FALSE(r->is_err()) << "call " << k << ": " << r->s;
+    EXPECT_EQ(r->i, 2 * k);
+  }
+  EXPECT_GT(fnet.ops(), 40u);
+  EXPECT_GT(fnet.faults_injected(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Client retry/backoff
+
+TEST_F(ResilienceTest, IdempotentCallRetriesAcrossServerRestart) {
+  StartServer({});
+  ClientOptions copts;
+  copts.max_retries = 20;
+  copts.base_backoff_ms = 5;
+  copts.max_backoff_ms = 50;
+  copts.seed = 3;
+  Client c = Connect(copts);
+  ASSERT_TRUE(c.Call({"PING"}).ok());
+
+  // Bounce the server.  The client's next PING hits a dead socket, then
+  // reconnects under backoff once the new listener is up.
+  server_->Stop();
+  server_->Join();
+  Server replacement(universe_.get(), opts_);
+  ASSERT_OK(replacement.Start());
+
+  auto r = c.Call({"PING"});
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->is_err());
+  EXPECT_GT(c.reconnects(), 0u);
+  replacement.Stop();
+  replacement.Join();
+  server_.reset();  // TearDown: nothing left to stop
+}
+
+TEST_F(ResilienceTest, NonIdempotentCallIsNeverRetried) {
+  StartServer({});
+  ASSERT_OK(universe_->InstallSource("m", kMathSrc, fe::BindingMode::kLibrary));
+  ClientOptions copts;
+  copts.max_retries = 5;
+  copts.base_backoff_ms = 1;
+  Client c = Connect(copts);
+  ASSERT_TRUE(c.Call({"PING"}).ok());
+
+  server_->Stop();
+  server_->Join();
+  server_.reset();
+
+  // CALL executes code: with the reply lost the client cannot know if it
+  // ran, so the transport error must surface instead of a blind replay.
+  auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("m"),
+                                  WireValue::Str("double"),
+                                  WireValue::Int(1)}));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(c.reconnects(), 0u);
+
+  // An ERR reply is a successful round-trip: no retry, no reconnect.
+  StartServer({});
+  Client c2 = Connect(copts);
+  auto err = c2.Call({"LOOKUP", "nope", "nope"});
+  ASSERT_TRUE(err.ok()) << err.status().ToString();
+  EXPECT_TRUE(err->is_err());
+  EXPECT_EQ(c2.reconnects(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Dead peer mid-batch (named *Concurrent* so the TSan sweep picks it up)
+
+class ResilienceConcurrentTest : public ResilienceTest {};
+
+TEST_F(ResilienceConcurrentTest, PeerDeathDuringBatchIsReapedCleanly) {
+  StartServer({});
+  ASSERT_OK(universe_->InstallSource("s", kSpinSrc, fe::BindingMode::kLibrary));
+  ASSERT_OK(universe_->InstallSource("m", kMathSrc, fe::BindingMode::kLibrary));
+
+  for (int round = 0; round < 10; ++round) {
+    Client doomed = Connect();
+    // A pipelined batch of budget-limited spins keeps a worker busy for a
+    // few ms; the peer vanishes while the batch is in flight, so the
+    // completion must find a dead session and drop the bytes (the
+    // `if (s->dead) continue;` path) without leaking or crashing.
+    ASSERT_TRUE(
+        doomed
+            .Call(WireValue::Arr(
+                {WireValue::Str("BUDGET"), WireValue::Int(500'000)}))
+            .ok());
+    for (int k = 0; k < 8; ++k) {
+      ASSERT_OK(doomed.Send(
+          WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("s"),
+                          WireValue::Str("spin"), WireValue::Int(0)})));
+    }
+    doomed.Close();  // gone before (most of) the batch executes
+  }
+
+  // The server is fully alive afterwards.
+  Client c = Connect();
+  auto r = c.Call(WireValue::Arr({WireValue::Str("CALL"), WireValue::Str("m"),
+                                  WireValue::Str("double"),
+                                  WireValue::Int(21)}));
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_FALSE(r->is_err()) << r->s;
+  EXPECT_EQ(r->i, 42);
+}
+
+}  // namespace
+}  // namespace tml::server

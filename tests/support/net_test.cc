@@ -1,0 +1,178 @@
+// FaultNet (support/net.h): the socket I/O seam's deterministic fault
+// schedules — short I/O chopping, EAGAIN storms, transient and sticky
+// mid-stream resets, and the env-knob Default() — over real socketpairs.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "support/net.h"
+
+namespace tml {
+namespace {
+
+struct Pair {
+  int a = -1;
+  int b = -1;
+  Pair() {
+    int fds[2];
+    EXPECT_EQ(socketpair(AF_UNIX, SOCK_STREAM, 0, fds), 0);
+    a = fds[0];
+    b = fds[1];
+  }
+  ~Pair() {
+    if (a >= 0) close(a);
+    if (b >= 0) close(b);
+  }
+};
+
+TEST(NetTest, PosixRoundTrip) {
+  Pair p;
+  Net* net = Net::Default();
+  int err = 0;
+  ASSERT_EQ(net->Send(p.a, "hello", 5, &err), 5);
+  char buf[16];
+  ASSERT_EQ(net->Recv(p.b, buf, sizeof buf, &err), 5);
+  EXPECT_EQ(std::string(buf, 5), "hello");
+}
+
+TEST(NetTest, RecvReportsEof) {
+  Pair p;
+  Net* net = Net::Default();
+  close(p.a);
+  p.a = -1;
+  char buf[8];
+  int err = 0;
+  EXPECT_EQ(net->Recv(p.b, buf, sizeof buf, &err), 0);
+}
+
+TEST(FaultNetTest, ShortIoCapsEveryOp) {
+  Pair p;
+  FaultNet::Options o;
+  o.short_io = 4;
+  o.seed = 7;
+  FaultNet fn(o);
+  const char msg[] = "twelve bytes";
+  size_t off = 0;
+  int guard = 0;
+  while (off < sizeof msg - 1 && guard++ < 64) {
+    int err = 0;
+    ssize_t n = fn.Send(p.a, msg + off, sizeof msg - 1 - off, &err);
+    ASSERT_GT(n, 0);
+    ASSERT_LE(n, 4);  // never moves more than short_io bytes
+    off += static_cast<size_t>(n);
+  }
+  ASSERT_EQ(off, sizeof msg - 1);
+  // The reassembled stream is intact: only the schedule was perturbed.
+  std::string got;
+  while (got.size() < sizeof msg - 1) {
+    char buf[16];
+    int err = 0;
+    ssize_t n = fn.Recv(p.b, buf, sizeof buf, &err);
+    ASSERT_GT(n, 0);
+    ASSERT_LE(n, 4);
+    got.append(buf, static_cast<size_t>(n));
+  }
+  EXPECT_EQ(got, "twelve bytes");
+  EXPECT_GE(fn.ops(), 6u);  // 12 bytes at <=4/op, both directions
+}
+
+TEST(FaultNetTest, EagainEveryNthOp) {
+  Pair p;
+  FaultNet::Options o;
+  o.eagain_every = 3;
+  FaultNet fn(o);
+  int eagains = 0;
+  for (int k = 0; k < 9; ++k) {
+    int err = 0;
+    ssize_t n = fn.Send(p.a, "x", 1, &err);
+    if (n < 0) {
+      EXPECT_EQ(err, EAGAIN);
+      ++eagains;
+    } else {
+      EXPECT_EQ(n, 1);
+    }
+  }
+  EXPECT_EQ(eagains, 3);  // ops 3, 6, 9
+  EXPECT_EQ(fn.faults_injected(), 3u);
+}
+
+TEST(FaultNetTest, TransientResetFiresOnce) {
+  Pair p;
+  FaultNet::Options o;
+  o.reset_after_ops = 2;
+  o.sticky = false;
+  FaultNet fn(o);
+  int err = 0;
+  EXPECT_EQ(fn.Send(p.a, "a", 1, &err), 1);
+  EXPECT_EQ(fn.Send(p.a, "b", 1, &err), 1);
+  EXPECT_EQ(fn.Send(p.a, "c", 1, &err), -1);  // op 3: injected reset
+  EXPECT_EQ(err, ECONNRESET);
+  EXPECT_EQ(fn.Send(p.a, "d", 1, &err), 1);  // transient: next op is clean
+  EXPECT_EQ(fn.faults_injected(), 1u);
+}
+
+TEST(FaultNetTest, StickyResetKeepsFailing) {
+  Pair p;
+  FaultNet::Options o;
+  o.reset_after_ops = 1;
+  o.sticky = true;
+  FaultNet fn(o);
+  int err = 0;
+  EXPECT_EQ(fn.Send(p.a, "a", 1, &err), 1);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_EQ(fn.Send(p.a, "b", 1, &err), -1);
+    EXPECT_EQ(err, ECONNRESET);
+  }
+  EXPECT_EQ(fn.faults_injected(), 3u);
+}
+
+TEST(FaultNetTest, SetResetAfterOpsReArmsFromNow) {
+  Pair p;
+  FaultNet fn;  // no faults armed
+  int err = 0;
+  for (int k = 0; k < 5; ++k) {
+    ASSERT_EQ(fn.Send(p.a, "x", 1, &err), 1);
+  }
+  fn.SetResetAfterOps(2);  // counted from now, not from op 0
+  EXPECT_EQ(fn.Send(p.a, "y", 1, &err), 1);
+  EXPECT_EQ(fn.Send(p.a, "y", 1, &err), 1);
+  EXPECT_EQ(fn.Send(p.a, "z", 1, &err), -1);
+  EXPECT_EQ(err, ECONNRESET);
+}
+
+TEST(FaultNetTest, ClearFaultsStopsInjection) {
+  Pair p;
+  FaultNet::Options o;
+  o.eagain_every = 1;  // every op would fail
+  FaultNet fn(o);
+  int err = 0;
+  EXPECT_EQ(fn.Send(p.a, "x", 1, &err), -1);
+  fn.ClearFaults();
+  EXPECT_EQ(fn.Send(p.a, "x", 1, &err), 1);
+  char buf[4];
+  EXPECT_EQ(fn.Recv(p.b, buf, sizeof buf, &err), 1);
+}
+
+TEST(FaultNetTest, WrapsABaseNet) {
+  // FaultNet over FaultNet: the outer schedule gates, the inner moves the
+  // bytes — the composition a chaos harness uses to stack behaviors.
+  Pair p;
+  FaultNet inner;  // clean pass-through
+  FaultNet::Options o;
+  o.short_io = 2;
+  FaultNet outer(o, &inner);
+  int err = 0;
+  ssize_t n = outer.Send(p.a, "abcd", 4, &err);
+  ASSERT_GT(n, 0);
+  ASSERT_LE(n, 2);
+  EXPECT_GE(inner.ops(), 1u);
+}
+
+}  // namespace
+}  // namespace tml

@@ -1,0 +1,196 @@
+// VM resource limits (DESIGN.md §13): the per-VM heap budget (catchable
+// OOM fault at the interp-loop allocation gates, byte accounting exact
+// after each Sweep) and the wall-clock run deadline enforced through the
+// step-budget polling seam.
+
+#include <gtest/gtest.h>
+
+#include "core/module.h"
+#include "support/status.h"
+#include "vm/codegen.h"
+#include "vm/vm.h"
+#include "tests/test_util.h"
+
+namespace tml {
+namespace {
+
+using ir::Abstraction;
+using ir::Module;
+using test::MustParseProgram;
+using vm::CodeUnit;
+using vm::CompileProc;
+using vm::RunResult;
+using vm::Value;
+using vm::VM;
+
+const vm::Function* Compile(Module* m, CodeUnit* unit, const char* text) {
+  const Abstraction* prog = MustParseProgram(m, text);
+  EXPECT_NE(prog, nullptr);
+  if (prog == nullptr) return nullptr;
+  auto fn = CompileProc(unit, *m, prog, "test");
+  EXPECT_TRUE(fn.ok()) << fn.status().ToString();
+  return fn.ok() ? *fn : nullptr;
+}
+
+constexpr const char* kAlloc = "(proc (n ce cc) (mkarray n 0 ce cc))";
+
+TEST(HeapBudget, UnlimitedByDefault) {
+  Module m;
+  CodeUnit unit;
+  const vm::Function* fn = Compile(&m, &unit, kAlloc);
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  EXPECT_EQ(vm.heap_budget(), 0u);
+  Value a_r[] = {Value::Int(100'000)};
+  auto r = vm.Run(fn, a_r);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->raised);
+}
+
+TEST(HeapBudget, OverBudgetAllocationRaisesCatchableFault) {
+  Module m;
+  CodeUnit unit;
+  const vm::Function* fn = Compile(&m, &unit, kAlloc);
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  vm.set_heap_budget(64 * 1024);
+  // 1M slots * 16 bytes is far past 64 KiB: the gate must fire even
+  // after a collection, and as a TML fault — not a C++ failure.
+  Value a_r[] = {Value::Int(1'000'000)};
+  auto r = vm.Run(fn, a_r);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_TRUE(r->raised);
+  EXPECT_TRUE(vm.oom_raised());
+  EXPECT_NE(vm::ToString(r->value).find("heap budget"), std::string::npos)
+      << vm::ToString(r->value);
+}
+
+TEST(HeapBudget, WithinBudgetSucceedsAndVmSurvivesOom) {
+  Module m;
+  CodeUnit unit;
+  const vm::Function* fn = Compile(&m, &unit, kAlloc);
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  vm.set_heap_budget(1 * 1024 * 1024);
+  Value a_small[] = {Value::Int(1'000)};
+  auto small = vm.Run(fn, a_small);
+  ASSERT_TRUE(small.ok());
+  EXPECT_FALSE(small->raised);
+
+  Value a_big[] = {Value::Int(10'000'000)};
+  auto big = vm.Run(fn, a_big);
+  ASSERT_TRUE(big.ok());
+  EXPECT_TRUE(big->raised);
+
+  // The VM is not poisoned: after the OOM kill the same VM serves a
+  // small allocation again (the wedge the budget exists to prevent is a
+  // dead worker, not a dead request).
+  Value a_again[] = {Value::Int(1'000)};
+  auto again = vm.Run(fn, a_again);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_FALSE(again->raised);
+  EXPECT_FALSE(vm.oom_raised());
+}
+
+TEST(HeapBudget, TmlHandlerCatchesOomAndClearsFlag) {
+  Module m;
+  CodeUnit unit;
+  // pushHandler around the allocation: the OOM fault is an ordinary TML
+  // raise, so a handler converts it to a value and oom_raised() clears.
+  const vm::Function* fn = Compile(
+      &m, &unit,
+      "(proc (n ce cc)"
+      " (pushHandler (cont (e) (cc -1))"
+      "  (cont () (mkarray n 0 ce (cont (a) (cc 1))))))");
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  vm.set_heap_budget(64 * 1024);
+  Value a_r[] = {Value::Int(1'000'000)};
+  auto r = vm.Run(fn, a_r);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_FALSE(r->raised);
+  EXPECT_EQ(r->value.i, -1);
+  EXPECT_FALSE(vm.oom_raised());
+}
+
+TEST(HeapBudget, SweepRecomputesAccountedBytes) {
+  Module m;
+  CodeUnit unit;
+  const vm::Function* fn = Compile(&m, &unit, kAlloc);
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  // 50 runs x ~1.6 MB each under a 4 MB budget: this only stays under
+  // budget because each over-budget gate collects and the Sweep
+  // *recomputes* accounted bytes from survivors.  If accounting only
+  // ever grew, run ~3 would spuriously OOM.
+  vm.set_heap_budget(4 * 1024 * 1024);
+  for (int k = 0; k < 50; ++k) {
+    Value a_r[] = {Value::Int(100'000)};
+  auto r = vm.Run(fn, a_r);
+    ASSERT_TRUE(r.ok()) << "run " << k << ": " << r.status().ToString();
+    ASSERT_FALSE(r->raised) << "run " << k << " spuriously OOM-killed; "
+                            << "accounting drifted up instead of tracking "
+                            << "survivors";
+  }
+  vm.set_heap_budget(0);
+}
+
+TEST(RunDeadline, ExpiredDeadlineStopsTheLoop) {
+  Module m;
+  CodeUnit unit;
+  // Unbounded self-call: only the wall-clock deadline can stop it (no
+  // step budget armed).
+  const vm::Function* fn = Compile(
+      &m, &unit,
+      "(proc (ce cc)"
+      " ((lambda (f) (f f ce cc))"
+      "  (proc (g ce2 cc2) (g g ce2 cc2))))");
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  vm.set_run_deadline_ns(VM::MonotonicNowNs() + 50'000'000ull);  // 50 ms
+  auto t0 = VM::MonotonicNowNs();
+  auto r = vm.Run(fn, {});
+  auto elapsed_ms = (VM::MonotonicNowNs() - t0) / 1'000'000;
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kDeadline) << r.status().ToString();
+  // The polling seam checks every kDeadlinePollSteps: overshoot is
+  // bounded (seconds would mean the seam is broken).
+  EXPECT_LT(elapsed_ms, 5'000u);
+  vm.set_run_deadline_ns(0);
+
+  // A deadline in the future does not perturb a short run.
+  const vm::Function* ok_fn =
+      Compile(&m, &unit, "(proc (x ce cc) (+ x 1 ce cc))");
+  ASSERT_NE(ok_fn, nullptr);
+  vm.set_run_deadline_ns(VM::MonotonicNowNs() + 10'000'000'000ull);
+  Value a_ok[] = {Value::Int(41)};
+  auto ok = vm.Run(ok_fn, a_ok);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->value.i, 42);
+  vm.set_run_deadline_ns(0);
+}
+
+TEST(RunDeadline, DeadlineAndStepBudgetCompose) {
+  Module m;
+  CodeUnit unit;
+  const vm::Function* fn = Compile(
+      &m, &unit,
+      "(proc (ce cc)"
+      " ((lambda (f) (f f ce cc))"
+      "  (proc (g ce2 cc2) (g g ce2 cc2))))");
+  ASSERT_NE(fn, nullptr);
+  VM vm;
+  // A tight step budget under a lax deadline: the budget fires first and
+  // keeps its kOutOfRange identity (the server maps these to distinct
+  // wire errors).
+  vm.set_step_budget(10'000);
+  vm.set_run_deadline_ns(VM::MonotonicNowNs() + 60'000'000'000ull);
+  auto r = vm.Run(fn, {});
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfRange) << r.status().ToString();
+  vm.set_step_budget(0);
+  vm.set_run_deadline_ns(0);
+}
+
+}  // namespace
+}  // namespace tml

@@ -26,6 +26,14 @@
 #                           # /metrics //healthz //profile //flight HTTP
 #                           # endpoints, a budget-kill incident auto-dump,
 #                           # and a SIGUSR2 on-demand flight dump
+#   tools/check.sh --chaos  # resilience drill (DESIGN.md §13): the
+#                           # in-process chaos soak (TYCOON_CHAOS_SECONDS
+#                           # lengthens it), then a real tycd under
+#                           # TYCOON_NETFAULT_* socket faults + hostile
+#                           # clients, SIGTERM'd mid-load and restarted —
+#                           # the restart must be clean (tycd opens the
+#                           # store kStrict, so damage refuses to start).
+#                           # CHAOS_ARTIFACT_DIR keeps logs/flight dumps.
 #
 # Extra arguments after the mode are forwarded to ctest, e.g.
 #   tools/check.sh --asan -R 'DecodeFuzz|VarintHardening'
@@ -68,6 +76,10 @@ case "${1:-}" in
   --observe)
     shift
     mode=observe
+    ;;
+  --chaos)
+    shift
+    mode=chaos
     ;;
 esac
 
@@ -181,7 +193,7 @@ required = ["clients", "throughput_unpipelined_rps", "throughput_pipelined_rps",
             "pipeline_speedup", "p50_us", "p99_us",
             "pipelined_p50_us", "pipelined_p99_us",
             "call_us_before_optimize", "call_us_after_optimize",
-            "optimize_speedup"]
+            "optimize_speedup", "shed_total", "p99_under_overload_us"]
 missing = [k for k in required if not isinstance(m.get(k), (int, float))]
 if missing:
     print(f"FAIL: BENCH_server.json missing numeric keys: {missing}")
@@ -193,12 +205,22 @@ if m["pipeline_speedup"] < 2.0:
     failed.append(("pipeline_speedup", m["pipeline_speedup"], 2.0))
 if m["optimize_speedup"] < 1.2:
     failed.append(("optimize_speedup", m["optimize_speedup"], 1.2))
+# Overload gate (DESIGN.md §13): at 2x admission capacity some clients
+# must actually be shed (fail fast, not queued), and the admitted
+# clients' p99 must stay bounded — 200ms is generous for a light
+# request; an unbounded value means shed load leaked into served load.
+if m["shed_total"] < 1:
+    failed.append(("shed_total", m["shed_total"], 1))
+if not (0 < m["p99_under_overload_us"] < 200_000):
+    failed.append(("p99_under_overload_us", m["p99_under_overload_us"],
+                   "(0, 200000)"))
 for k, got, floor in failed:
-    print(f"FAIL: {k} = {got} below the {floor} floor")
+    print(f"FAIL: {k} = {got} outside bound {floor}")
 if failed:
     sys.exit(1)
 print("server gate OK: pipeline_speedup >= 2.0, optimize_speedup >= 1.2, "
-      f"clients = {m['clients']}")
+      f"clients = {m['clients']}, shed_total = {m['shed_total']}, "
+      f"p99_under_overload_us = {m['p99_under_overload_us']:.0f}")
 PYEOF
     ;;
   telemetry)
@@ -221,12 +243,12 @@ PYEOF
     [[ -S "$sock" ]] || { echo "FAIL: tycd never bound $sock"; exit 1; }
 
     cli="$build_dir/tools/tyccli"
-    "$cli" --unix "$sock" -c 'ping' | grep -q PONG
-    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep -q OK
+    "$cli" --unix "$sock" -c 'ping' | grep PONG >/dev/null
+    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep OK >/dev/null
     [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
-    "$cli" --unix "$sock" -c 'optimize m double' | grep -q swapped
+    "$cli" --unix "$sock" -c 'optimize m double' | grep swapped >/dev/null
     [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
-    "$cli" --unix "$sock" -c 'stats' | grep -q 'tml.server.requests'
+    "$cli" --unix "$sock" -c 'stats' | grep 'tml.server.requests' >/dev/null
 
     kill -TERM "$tycd_pid"
     wait "$tycd_pid"   # non-zero exit fails the check via set -e
@@ -267,8 +289,8 @@ PYEOF
     [[ -n "$metrics_port" ]] || { echo "FAIL: tycd never announced the metrics port"; cat "$tmpdir/tycd.log"; exit 1; }
 
     cli="$build_dir/tools/tyccli"
-    "$cli" --unix "$sock" -c 'ping' | grep -q PONG
-    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep -q OK
+    "$cli" --unix "$sock" -c 'ping' | grep PONG >/dev/null
+    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep OK >/dev/null
     [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
 
     # The observability wire commands.  (Plain grep, not -q: these payloads
@@ -302,7 +324,7 @@ print("scrape endpoints OK: /healthz /metrics /profile /flight /slow")
 PYEOF
 
     # A budget kill is an incident: it must leave a flight dump behind.
-    "$cli" --unix "$sock" -c 'install s "fun spin(n) = spin(n + 1) end"' | grep -q OK
+    "$cli" --unix "$sock" -c 'install s "fun spin(n) = spin(n + 1) end"' | grep OK >/dev/null
     # The kill reply is an ERR frame, so tyccli exits non-zero by design.
     kill_out=$("$cli" --unix "$sock" -c 'call s spin 0' 2>&1 || true)
     echo "$kill_out" | grep -i budget >/dev/null || { echo "FAIL: CALL was not budget-killed: $kill_out"; exit 1; }
@@ -334,5 +356,83 @@ PYEOF
       cp "$flight_dir"/flight-*.json "$OBSERVE_ARTIFACT_DIR"/ 2>/dev/null || true
     fi
     echo "observe smoke OK: OBSERVE/PROFILE/METRICS round-trip, scrape endpoints, budget-kill + SIGUSR2 flight dumps, clean shutdown"
+    ;;
+  chaos)
+    # Part 1: the in-process soak — concurrent hostile clients, FaultNet
+    # on every server socket op, SIGTERM-style Stop() mid-load, store must
+    # reopen with a zero salvage report.  TYCOON_CHAOS_SECONDS lengthens
+    # it beyond the CI-short default.
+    "$build_dir/tests/chaos_test"
+
+    # Part 2: the same story against real processes.  tycd runs with the
+    # resilience knobs on and TYCOON_NETFAULT_* chopping/EAGAIN-storming
+    # its socket I/O; hostile clients fire until a mid-load SIGTERM.  The
+    # restart is the verdict: tycd opens the store kStrict, so a store
+    # that needed salvage refuses to start and fails the check.
+    tmpdir=$(mktemp -d)
+    artifacts() {
+      if [[ -n "${CHAOS_ARTIFACT_DIR:-}" ]]; then
+        mkdir -p "$CHAOS_ARTIFACT_DIR"
+        cp "$tmpdir"/tycd*.log "$tmpdir"/flight/flight-*.json \
+          "$CHAOS_ARTIFACT_DIR"/ 2>/dev/null || true
+      fi
+    }
+    trap 'artifacts; kill "$tycd_pid" "$hostile_pid" 2>/dev/null || true; rm -rf "$tmpdir"' EXIT
+    sock="$tmpdir/tycd.sock"
+    db="$tmpdir/universe.db"
+    mkdir -p "$tmpdir/flight"
+    TYCOON_NETFAULT_SHORT_IO=9 TYCOON_NETFAULT_EAGAIN_EVERY=13 \
+      "$build_dir/tools/tycd" "$db" --unix "$sock" --workers 2 \
+      --max-sessions 16 --max-queued 4 --deadline-ms 2000 \
+      --read-timeout-ms 1000 --flight-dir "$tmpdir/flight" \
+      2>"$tmpdir/tycd.log" &
+    tycd_pid=$!
+    hostile_pid=
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ -S "$sock" ]] || { echo "FAIL: tycd never bound $sock"; cat "$tmpdir/tycd.log"; exit 1; }
+
+    cli="$build_dir/tools/tyccli"
+    # The protocol works end to end *through* the fault schedule.
+    "$cli" --unix "$sock" -c 'install m "fun double(x) = x + x end"' | grep OK >/dev/null
+    "$cli" --unix "$sock" -c 'install s "fun spin(n) = spin(n + 1) end"' | grep OK >/dev/null
+    [[ "$("$cli" --unix "$sock" -c 'call m double 21')" == "42" ]]
+
+    # Hostile load: honest calls, budget kills, and raw garbage bytes.
+    (
+      i=0
+      while :; do
+        i=$((i + 1))
+        "$cli" --unix "$sock" -c "call m double $i" >/dev/null 2>&1 || true
+        printf 'budget 200000\ncall s spin 0\n' | "$cli" --unix "$sock" >/dev/null 2>&1 || true
+        python3 - "$sock" <<'PYEOF' >/dev/null 2>&1 || true
+import socket, sys
+s = socket.socket(socket.AF_UNIX, socket.SOCK_STREAM)
+s.settimeout(1)
+s.connect(sys.argv[1])
+s.sendall(bytes((7 * k + 3) % 256 for k in range(64)))
+s.close()
+PYEOF
+      done
+    ) &
+    hostile_pid=$!
+
+    sleep 2
+    kill -TERM "$tycd_pid"
+    wait "$tycd_pid"   # non-zero exit (crash, unclean drain) fails via set -e
+    kill "$hostile_pid" 2>/dev/null || true
+    wait "$hostile_pid" 2>/dev/null || true
+    hostile_pid=
+
+    # The verdict: a strict reopen serves the pre-chaos module at once.
+    "$build_dir/tools/tycd" "$db" --unix "$sock" --workers 2 \
+      2>"$tmpdir/tycd2.log" &
+    tycd_pid=$!
+    for _ in $(seq 50); do [[ -S "$sock" ]] && break; sleep 0.1; done
+    [[ -S "$sock" ]] || { echo "FAIL: tycd did not restart cleanly after chaos"; cat "$tmpdir/tycd2.log"; exit 1; }
+    [[ "$("$cli" --unix "$sock" -c 'call m double 50')" == "100" ]]
+    kill -TERM "$tycd_pid"
+    wait "$tycd_pid"
+    artifacts
+    echo "chaos drill OK: soak survived, SIGTERM mid-load left a store that reopens strict and serves immediately"
     ;;
 esac

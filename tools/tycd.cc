@@ -4,6 +4,17 @@
 //   tycd <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]
 //        [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]
 //        [--metrics-port <p>] [--flight-dir <dir>] [--no-profiler]
+//        [--max-sessions <n>] [--max-queued <n>] [--deadline-ms <ms>]
+//        [--heap-budget <bytes>] [--idle-timeout-ms <ms>]
+//        [--read-timeout-ms <ms>]
+//
+// Overload resilience (DESIGN.md §13): --max-sessions sheds connects past
+// the cap with one clean ERR_OVERLOAD frame; --max-queued stops reading a
+// session that pipelines too far ahead (backpressure via the kernel
+// buffer); --deadline-ms / --heap-budget bound each request's wall clock
+// and each session's VM heap (ERR_DEADLINE / ERR_OOM); the timeout flags
+// reap idle and slowloris sessions.  The TYCOON_NETFAULT_* env knobs
+// (support/net.h) inject socket faults for chaos drills.
 //
 // Opens (or creates) the store, re-attaches persisted modules, starts the
 // background adaptive optimizer, and serves the tagged binary protocol
@@ -63,6 +74,9 @@ int Usage(const char* argv0) {
       "usage: %s <store.db> [--unix <path>] [--tcp <port>] [--host <addr>]\n"
       "          [--workers <n>] [--budget <steps>] [--no-adaptive] [--poll]\n"
       "          [--metrics-port <p>] [--flight-dir <dir>] [--no-profiler]\n"
+      "          [--max-sessions <n>] [--max-queued <n>] [--deadline-ms <ms>]\n"
+      "          [--heap-budget <bytes>] [--idle-timeout-ms <ms>]\n"
+      "          [--read-timeout-ms <ms>]\n"
       "At least one of --unix/--tcp is required.\n",
       argv0);
   return 2;
@@ -105,6 +119,30 @@ int main(int argc, char** argv) {
       const char* v = next();
       if (v == nullptr) return Usage(argv[0]);
       opts.default_step_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--max-sessions") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.max_sessions = std::strtoull(v, nullptr, 10);
+    } else if (a == "--max-queued") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.max_queued_batches = std::strtoull(v, nullptr, 10);
+    } else if (a == "--deadline-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.default_deadline_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--heap-budget") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.default_heap_budget = std::strtoull(v, nullptr, 10);
+    } else if (a == "--idle-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.idle_timeout_ms = std::strtoull(v, nullptr, 10);
+    } else if (a == "--read-timeout-ms") {
+      const char* v = next();
+      if (v == nullptr) return Usage(argv[0]);
+      opts.read_timeout_ms = std::strtoull(v, nullptr, 10);
     } else if (a == "--no-adaptive") {
       adaptive = false;
     } else if (a == "--no-profiler") {
